@@ -1,0 +1,122 @@
+//! Criterion microbenchmarks of the compute kernels the modeling layer
+//! leans on: request differencing (the O(m·n) DTW against the O(n) L1 —
+//! the cost tradeoff §4.2 discusses), k-medoids clustering, the analytical
+//! contention model, and the trace-driven cache simulator.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::Rng;
+
+use rbv_core::cluster::{k_medoids, DistanceMatrix};
+use rbv_core::distance::{dtw_banded, dtw_distance_with_penalty, l1_distance, levenshtein};
+use rbv_core::predict::{Predictor, VaEwma};
+use rbv_mem::cache::CacheConfig;
+use rbv_mem::{MachineSpec, MemoryHierarchy, SegmentProfile};
+use rbv_sim::SimRng;
+
+fn random_series(len: usize, seed: u64) -> Vec<f64> {
+    let mut rng = SimRng::seed_from(seed);
+    (0..len).map(|_| rng.gen_range(0.5..5.0)).collect()
+}
+
+fn bench_distances(c: &mut Criterion) {
+    let mut group = c.benchmark_group("distance");
+    for len in [32usize, 128, 512] {
+        let x = random_series(len, 1);
+        let y = random_series(len, 2);
+        group.bench_with_input(BenchmarkId::new("l1", len), &len, |b, _| {
+            b.iter(|| l1_distance(black_box(&x), black_box(&y), 2.0))
+        });
+        group.bench_with_input(BenchmarkId::new("dtw_penalty", len), &len, |b, _| {
+            b.iter(|| dtw_distance_with_penalty(black_box(&x), black_box(&y), 2.0))
+        });
+        group.bench_with_input(BenchmarkId::new("dtw_banded8", len), &len, |b, _| {
+            b.iter(|| dtw_banded(black_box(&x), black_box(&y), 2.0, 8))
+        });
+    }
+    group.finish();
+}
+
+fn bench_levenshtein(c: &mut Criterion) {
+    let mut rng = SimRng::seed_from(3);
+    let a: Vec<u16> = (0..150).map(|_| rng.gen_range(0..20)).collect();
+    let b: Vec<u16> = (0..150).map(|_| rng.gen_range(0..20)).collect();
+    c.bench_function("levenshtein_150", |bench| {
+        bench.iter(|| levenshtein(black_box(&a), black_box(&b)))
+    });
+}
+
+fn bench_kmedoids(c: &mut Criterion) {
+    let mut rng = SimRng::seed_from(4);
+    let points: Vec<f64> = (0..200).map(|_| rng.gen_range(0.0..100.0)).collect();
+    let dm = DistanceMatrix::compute(points.len(), |i, j| (points[i] - points[j]).abs());
+    c.bench_function("k_medoids_200x10", |b| {
+        b.iter(|| k_medoids(black_box(&dm), 10, 40))
+    });
+}
+
+fn bench_contention_model(c: &mut Criterion) {
+    let machine = MachineSpec::xeon_5160();
+    let scan = SegmentProfile {
+        base_cpi: 0.8,
+        l2_refs_per_ins: 0.006,
+        working_set_bytes: 200e6,
+        reuse_locality: 0.35,
+    };
+    let join = SegmentProfile {
+        base_cpi: 0.9,
+        l2_refs_per_ins: 0.007,
+        working_set_bytes: 12e6,
+        reuse_locality: 0.65,
+    };
+    let running = vec![Some(scan), Some(join), Some(scan), Some(join)];
+    c.bench_function("contention_model_4core", |b| {
+        b.iter(|| machine.evaluate(black_box(&running)))
+    });
+}
+
+fn bench_cache_simulator(c: &mut Criterion) {
+    c.bench_function("trace_cache_100k_accesses", |b| {
+        b.iter(|| {
+            let mut m = MemoryHierarchy::new(
+                rbv_mem::Topology::XEON_5160_2X2,
+                CacheConfig::XEON_5160_L1D,
+                CacheConfig {
+                    size_bytes: 256 << 10,
+                    associativity: 16,
+                    line_bytes: 64,
+                },
+            );
+            let mut rng = SimRng::seed_from(5);
+            for i in 0..100_000u64 {
+                let core = (i % 4) as usize;
+                let addr = rng.gen_range(0..4u64 << 20);
+                m.access(core, addr, i % 7 == 0);
+            }
+            black_box(m.counters(0))
+        })
+    });
+}
+
+fn bench_vaewma(c: &mut Criterion) {
+    let values = random_series(10_000, 6);
+    c.bench_function("vaewma_10k_observations", |b| {
+        b.iter(|| {
+            let mut f = VaEwma::new(0.6, 1.0);
+            for &v in &values {
+                f.observe(v, 1.5);
+            }
+            black_box(f.predict())
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_distances,
+    bench_levenshtein,
+    bench_kmedoids,
+    bench_contention_model,
+    bench_cache_simulator,
+    bench_vaewma,
+);
+criterion_main!(benches);

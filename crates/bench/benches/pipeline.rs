@@ -1,0 +1,56 @@
+//! Criterion benchmarks of the end-to-end simulation pipeline: how fast
+//! the event-driven kernel pushes whole requests through each application
+//! model, and the relative cost of the two sampling approaches.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use rbv_bench::harness::standard_factory;
+use rbv_os::{run_simulation, SimConfig};
+use rbv_workloads::AppId;
+
+fn bench_simulation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulate");
+    group.sample_size(10);
+    for app in AppId::SERVER_APPS {
+        let n = match app {
+            AppId::Webwork => 4,
+            AppId::Tpch => 8,
+            _ => 30,
+        };
+        group.bench_with_input(
+            BenchmarkId::new(app.to_string().replace(' ', "-"), n),
+            &n,
+            |b, &n| {
+                b.iter(|| {
+                    let mut factory = standard_factory(app, 1);
+                    let cfg = SimConfig::paper_default()
+                        .with_interrupt_sampling(app.sampling_period_micros());
+                    black_box(run_simulation(cfg, factory.as_mut(), n).expect("valid"))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_sampling_policies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sampling_policy");
+    group.sample_size(10);
+    for (label, syscall) in [("interrupt", false), ("syscall_triggered", true)] {
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                let mut factory = standard_factory(AppId::WebServer, 2);
+                let cfg = if syscall {
+                    SimConfig::paper_default().with_syscall_sampling(6, 40)
+                } else {
+                    SimConfig::paper_default().with_interrupt_sampling(10)
+                };
+                black_box(run_simulation(cfg, factory.as_mut(), 40).expect("valid"))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_simulation, bench_sampling_policies);
+criterion_main!(benches);

@@ -1,0 +1,137 @@
+//! Raw data export: per-request sample-period timelines as CSV on stdout,
+//! for external plotting or analysis of any figure.
+
+use rbv_workloads::AppId;
+
+use crate::harness::{requests_of, standard_run};
+
+/// Parses an application name as accepted by `repro dump <app>`.
+pub fn parse_app(name: &str) -> Option<AppId> {
+    match name.to_ascii_lowercase().as_str() {
+        "web" | "webserver" | "web-server" => Some(AppId::WebServer),
+        "tpcc" | "tpc-c" => Some(AppId::Tpcc),
+        "tpch" | "tpc-h" => Some(AppId::Tpch),
+        "rubis" => Some(AppId::Rubis),
+        "webwork" => Some(AppId::Webwork),
+        _ => None,
+    }
+}
+
+/// Runs `app` under the standard configuration and writes one CSV row per
+/// sample period to `out`.
+///
+/// Columns: `request_id,class,arrived_cycles,finished_cycles,period_index,
+/// cycles,instructions,l2_refs,l2_misses`.
+///
+/// # Errors
+///
+/// Propagates I/O errors from `out`.
+pub fn write_csv(app: AppId, fast: bool, out: &mut dyn std::io::Write) -> std::io::Result<()> {
+    let result = standard_run(app, 0xD0, requests_of(app, fast), false);
+    writeln!(
+        out,
+        "request_id,class,arrived_cycles,finished_cycles,period_index,cycles,instructions,l2_refs,l2_misses"
+    )?;
+    for r in &result.completed {
+        for (i, p) in r.timeline.periods().iter().enumerate() {
+            writeln!(
+                out,
+                "{},{},{},{},{},{:.0},{:.0},{:.3},{:.3}",
+                r.id,
+                r.class,
+                r.arrived_at.get(),
+                r.finished_at.get(),
+                i,
+                p.cycles,
+                p.instructions,
+                p.l2_refs,
+                p.l2_misses,
+            )?;
+        }
+    }
+    Ok(())
+}
+
+/// Writes one CSV row per system call occurrence to `out`.
+///
+/// Columns: `request_id,class,at_cycles,request_cycles,request_ins,name`.
+///
+/// # Errors
+///
+/// Propagates I/O errors from `out`.
+pub fn write_syscalls_csv(
+    app: AppId,
+    fast: bool,
+    out: &mut dyn std::io::Write,
+) -> std::io::Result<()> {
+    let result = standard_run(app, 0xD0, requests_of(app, fast), false);
+    writeln!(out, "request_id,class,at_cycles,request_cycles,request_ins,name")?;
+    for r in &result.completed {
+        for sc in &r.syscalls {
+            writeln!(
+                out,
+                "{},{},{},{:.0},{:.0},{}",
+                r.id, r.class, sc.at.get(), sc.request_cycles, sc.request_ins, sc.name
+            )?;
+        }
+    }
+    Ok(())
+}
+
+/// Runs the dump to stdout; `syscalls` selects the syscall stream instead
+/// of the counter timelines.
+pub fn run(app: AppId, fast: bool, syscalls: bool) {
+    let stdout = std::io::stdout();
+    let mut lock = stdout.lock();
+    if syscalls {
+        write_syscalls_csv(app, fast, &mut lock).expect("writing to stdout");
+    } else {
+        write_csv(app, fast, &mut lock).expect("writing to stdout");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn app_names_parse() {
+        assert_eq!(parse_app("web"), Some(AppId::WebServer));
+        assert_eq!(parse_app("TPCC"), Some(AppId::Tpcc));
+        assert_eq!(parse_app("tpc-h"), Some(AppId::Tpch));
+        assert_eq!(parse_app("RUBiS"), Some(AppId::Rubis));
+        assert_eq!(parse_app("webwork"), Some(AppId::Webwork));
+        assert_eq!(parse_app("mbench"), None);
+    }
+
+    #[test]
+    fn syscall_csv_is_well_formed() {
+        let mut buf = Vec::new();
+        write_syscalls_csv(AppId::WebServer, true, &mut buf).expect("in-memory write");
+        let text = String::from_utf8(buf).expect("utf8");
+        let mut lines = text.lines();
+        let cols = lines.next().expect("header").split(',').count();
+        assert_eq!(cols, 6);
+        assert!(lines.clone().count() > 100);
+        for line in lines {
+            assert_eq!(line.split(',').count(), cols);
+        }
+    }
+
+    #[test]
+    fn csv_has_header_and_consistent_columns() {
+        let mut buf = Vec::new();
+        write_csv(AppId::Tpcc, true, &mut buf).expect("in-memory write");
+        let text = String::from_utf8(buf).expect("utf8");
+        let mut lines = text.lines();
+        let header = lines.next().expect("header");
+        let cols = header.split(',').count();
+        assert_eq!(cols, 9);
+        let mut rows = 0;
+        for line in lines {
+            assert_eq!(line.split(',').count(), cols, "ragged row: {line}");
+            rows += 1;
+        }
+        assert!(rows > 50, "expected many periods, got {rows}");
+    }
+}

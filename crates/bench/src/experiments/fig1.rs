@@ -1,0 +1,123 @@
+//! Figure 1: per-request CPI distributions, 1-core serial vs 4-core
+//! concurrent, for all five applications — the multicore performance
+//! obfuscation result.
+
+use rbv_core::stats::{percentile, Histogram};
+use rbv_workloads::AppId;
+
+use crate::harness::{bar, print_table, requests_of, section, standard_run};
+
+/// Distribution summary for one (application, mode) cell of Figure 1.
+#[derive(Debug, Clone)]
+pub struct CpiDistribution {
+    /// Application.
+    pub app: AppId,
+    /// True for the 1-core serial execution row.
+    pub serial: bool,
+    /// Raw per-request CPI values.
+    pub cpis: Vec<f64>,
+    /// The 90-percentile marked on each paper plot.
+    pub p90: f64,
+    /// Count of clear histogram modes (TPCC is multimodal).
+    pub modes: usize,
+}
+
+/// Paper histogram bin width per application (taken from the figure's
+/// y-axis labels).
+fn bin_width(app: AppId) -> f64 {
+    match app {
+        AppId::WebServer => 0.05,
+        AppId::Tpcc => 0.1,
+        AppId::Tpch => 0.1,
+        AppId::Rubis => 0.2,
+        AppId::Webwork => 0.02,
+        _ => 0.1,
+    }
+}
+
+fn histogram_of(app: AppId, cpis: &[f64]) -> Histogram {
+    let lo = percentile(cpis, 0.0).unwrap_or(0.5).min(1.0);
+    let hi = percentile(cpis, 1.0).unwrap_or(5.0).max(lo + 1.0) + 0.2;
+    let bins = ((hi - lo) / bin_width(app)).ceil().max(4.0) as usize;
+    let mut h = Histogram::new(lo, hi, bins.min(400));
+    h.extend(cpis.iter().copied());
+    h
+}
+
+/// Runs the Figure 1 experiment and returns both rows for every app.
+pub fn compute(fast: bool) -> Vec<CpiDistribution> {
+    let mut out = Vec::new();
+    for app in AppId::SERVER_APPS {
+        let n = requests_of(app, fast);
+        for serial in [true, false] {
+            let result = standard_run(app, 0xF1, n, serial);
+            let cpis = result.request_cpis();
+            let p90 = percentile(&cpis, 0.9).unwrap_or(f64::NAN);
+            let modes = histogram_of(app, &cpis).modes_above(0.025);
+            out.push(CpiDistribution {
+                app,
+                serial,
+                cpis,
+                p90,
+                modes,
+            });
+        }
+    }
+    out
+}
+
+/// Runs and prints Figure 1.
+pub fn run(fast: bool) -> Vec<CpiDistribution> {
+    section("Figure 1: request CPI distributions (1-core vs 4-core)");
+    let rows = compute(fast);
+
+    let mut table = Vec::new();
+    for pair in rows.chunks(2) {
+        let serial = &pair[0];
+        let conc = &pair[1];
+        let p = |v: &[f64], q| percentile(v, q).unwrap_or(f64::NAN);
+        table.push(vec![
+            serial.app.to_string(),
+            format!("{:.2}", p(&serial.cpis, 0.5)),
+            format!("{:.2}", serial.p90),
+            format!("{:.2}", p(&conc.cpis, 0.5)),
+            format!("{:.2}", conc.p90),
+            format!("{:.2}x", conc.p90 / serial.p90),
+            format!("{}", serial.modes),
+        ]);
+    }
+    print_table(
+        &[
+            "application",
+            "1-core p50",
+            "1-core p90",
+            "4-core p50",
+            "4-core p90",
+            "p90 ratio",
+            "serial modes",
+        ],
+        &table,
+    );
+
+    for pair in rows.chunks(2) {
+        for dist in pair {
+            let mode = if dist.serial { "1-core" } else { "4-core" };
+            println!();
+            println!(
+                "{} ({mode}), 90%tile = {:.2} CPI, bins of {:.2}:",
+                dist.app,
+                dist.p90,
+                bin_width(dist.app)
+            );
+            let h = histogram_of(dist.app, &dist.cpis);
+            let probs: Vec<(f64, f64)> = h.probabilities().collect();
+            let max_p = probs.iter().map(|&(_, p)| p).fold(0.0, f64::max);
+            for (center, p) in probs {
+                if p > 0.002 {
+                    println!("  CPI {center:5.2}  {p:5.3}  {}", bar(p, max_p));
+                }
+            }
+        }
+    }
+    rows
+}

@@ -1,0 +1,95 @@
+//! Figure 3: captured request behavior variations — the weighted
+//! coefficient of variation (Equation 1) per metric, comparing
+//! inter-request-only variation against variation with intra-request
+//! fluctuations included.
+
+use rbv_core::series::Metric;
+use rbv_core::stats::coefficient_of_variation;
+use rbv_os::RunResult;
+use rbv_workloads::AppId;
+
+use crate::harness::{bar, print_table, requests_of, section, standard_run, REPORT_METRICS};
+
+/// One (application, metric) cell of Figure 3.
+#[derive(Debug, Clone)]
+pub struct CovCell {
+    /// Application.
+    pub app: AppId,
+    /// Metric.
+    pub metric: Metric,
+    /// CoV when each request is assumed uniform over its execution.
+    pub inter_only: f64,
+    /// CoV with intra-request sample periods included.
+    pub with_intra: f64,
+}
+
+/// CoV treating each request as one uniform period.
+fn inter_request_cov(result: &RunResult, metric: Metric) -> f64 {
+    let mut lengths = Vec::new();
+    let mut values = Vec::new();
+    for r in &result.completed {
+        if let Some(v) = r.timeline.average(metric) {
+            lengths.push(r.timeline.total_instructions());
+            values.push(v);
+        }
+    }
+    coefficient_of_variation(&lengths, &values).unwrap_or(0.0)
+}
+
+/// CoV over every sample period of every request (inter + intra).
+fn full_cov(result: &RunResult, metric: Metric) -> f64 {
+    let mut lengths = Vec::new();
+    let mut values = Vec::new();
+    for r in &result.completed {
+        let (mut l, mut v) = r.timeline.weighted_values(metric);
+        lengths.append(&mut l);
+        values.append(&mut v);
+    }
+    coefficient_of_variation(&lengths, &values).unwrap_or(0.0)
+}
+
+/// Runs the Figure 3 experiment.
+pub fn compute(fast: bool) -> Vec<CovCell> {
+    let mut out = Vec::new();
+    for app in AppId::SERVER_APPS {
+        let result = standard_run(app, 0xF3, requests_of(app, fast), false);
+        for metric in REPORT_METRICS {
+            out.push(CovCell {
+                app,
+                metric,
+                inter_only: inter_request_cov(&result, metric),
+                with_intra: full_cov(&result, metric),
+            });
+        }
+    }
+    out
+}
+
+/// Runs and prints Figure 3.
+pub fn run(fast: bool) -> Vec<CovCell> {
+    section("Figure 3: captured behavior variations (Eq. 1 CoV)");
+    let cells = compute(fast);
+    for metric in REPORT_METRICS {
+        println!();
+        println!("Captured variation on {metric}:");
+        let max = cells
+            .iter()
+            .filter(|c| c.metric == metric)
+            .map(|c| c.with_intra)
+            .fold(0.0, f64::max);
+        let rows: Vec<Vec<String>> = cells
+            .iter()
+            .filter(|c| c.metric == metric)
+            .map(|c| {
+                vec![
+                    c.app.to_string(),
+                    format!("{:.3}", c.inter_only),
+                    format!("{:.3}", c.with_intra),
+                    bar(c.with_intra, max),
+                ]
+            })
+            .collect();
+        print_table(&["application", "inter-request", "+intra-request", ""], &rows);
+    }
+    cells
+}

@@ -1,0 +1,91 @@
+//! Figure 6: two inherently similar TPC-C requests whose executions drift
+//! apart — the motivating example for dynamic time warping over the L1
+//! distance.
+
+use rbv_core::distance::{dtw_distance_with_penalty, l1_distance, length_penalty};
+use rbv_core::series::Metric;
+use rbv_workloads::{AppId, RequestClass, TpccTxn};
+
+use crate::harness::{bucket_ins, requests_of, section, standard_run};
+
+/// The drifting pair and its distances under both measures.
+#[derive(Debug, Clone)]
+pub struct DriftPair {
+    /// First request's CPI series.
+    pub a: Vec<f64>,
+    /// Second request's CPI series.
+    pub b: Vec<f64>,
+    /// The computed length/asynchrony penalty `p`.
+    pub penalty: f64,
+    /// L1 distance (Equation 2).
+    pub l1: f64,
+    /// DTW distance with asynchrony penalty.
+    pub dtw: f64,
+}
+
+/// Finds, among concurrent new-order transactions, the pair whose DTW
+/// distance is smallest relative to its L1 distance — i.e. inherently
+/// similar requests whose peaks shifted.
+pub fn compute(fast: bool) -> DriftPair {
+    let n = requests_of(AppId::Tpcc, fast);
+    let result = standard_run(AppId::Tpcc, 0xF6, n, false);
+    let bucket = bucket_ins(AppId::Tpcc);
+
+    let series: Vec<Vec<f64>> = result
+        .completed
+        .iter()
+        .filter(|r| r.class == RequestClass::TpccTxn(TpccTxn::NewOrder))
+        .map(|r| r.series(Metric::Cpi, bucket).values().to_vec())
+        .collect();
+    assert!(series.len() >= 2, "need at least two new-order requests");
+    let refs: Vec<&[f64]> = series.iter().map(|s| s.as_slice()).collect();
+    let penalty = length_penalty(&refs, 200_000);
+
+    let mut best: Option<(usize, usize, f64, f64)> = None;
+    for i in 0..series.len() {
+        for j in (i + 1)..series.len().min(i + 40) {
+            let l1 = l1_distance(&series[i], &series[j], penalty);
+            let dtw = dtw_distance_with_penalty(&series[i], &series[j], penalty);
+            if l1 <= 0.0 {
+                continue;
+            }
+            let ratio = dtw / l1;
+            if best.is_none_or(|(.., bl1, bdtw)| ratio < bdtw / bl1) {
+                best = Some((i, j, l1, dtw));
+            }
+        }
+    }
+    let (i, j, l1, dtw) = best.expect("at least one pair");
+    DriftPair {
+        a: series[i].clone(),
+        b: series[j].clone(),
+        penalty,
+        l1,
+        dtw,
+    }
+}
+
+/// Runs and prints Figure 6.
+pub fn run(fast: bool) -> DriftPair {
+    section("Figure 6: similar TPCC requests drifting apart");
+    let pair = compute(fast);
+    println!(
+        "penalty p = {:.2}; L1 distance = {:.2}; DTW+penalty distance = {:.2} ({:.0}% of L1)",
+        pair.penalty,
+        pair.l1,
+        pair.dtw,
+        100.0 * pair.dtw / pair.l1
+    );
+    println!();
+    println!("  bucket   request A CPI   request B CPI");
+    let len = pair.a.len().max(pair.b.len());
+    let step = (len / 28).max(1);
+    for i in (0..len).step_by(step) {
+        let fmt = |s: &[f64]| {
+            s.get(i)
+                .map_or(String::from("      -"), |v| format!("{v:7.2}"))
+        };
+        println!("  {:>6}   {:>13}   {:>13}", i, fmt(&pair.a), fmt(&pair.b));
+    }
+    pair
+}

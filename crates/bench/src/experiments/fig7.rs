@@ -1,0 +1,204 @@
+//! Figure 7: request classification effectiveness under the five request
+//! differencing measures of §4.1, scored as cluster members' divergence
+//! from their centroids on (A) request CPU time and (B) request peak
+//! (90-percentile) CPI.
+
+use rbv_core::cluster::{divergence_from_centroid, k_medoids, DistanceMatrix};
+use rbv_core::distance::{
+    average_metric_distance, dtw_distance, dtw_distance_with_penalty, l1_distance, length_penalty,
+    levenshtein,
+};
+use rbv_core::series::Metric;
+use rbv_workloads::AppId;
+
+use crate::harness::{print_table, requests_of, section, standard_run};
+
+/// The five differencing measures compared in Figure 7.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MeasureKind {
+    /// Levenshtein edit distance of request system call sequences
+    /// (the Magpie-style software-only baseline).
+    SyscallLevenshtein,
+    /// Difference of average request CPIs (the \[27\] baseline).
+    AverageCpi,
+    /// L1 distance of CPI variation patterns (Equation 2).
+    L1,
+    /// Plain dynamic time warping.
+    Dtw,
+    /// DTW with the asynchrony penalty (the paper's best measure).
+    DtwWithPenalty,
+}
+
+impl MeasureKind {
+    /// All measures in the paper's legend order.
+    pub const ALL: [MeasureKind; 5] = [
+        MeasureKind::SyscallLevenshtein,
+        MeasureKind::AverageCpi,
+        MeasureKind::L1,
+        MeasureKind::Dtw,
+        MeasureKind::DtwWithPenalty,
+    ];
+
+    /// Display label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            MeasureKind::SyscallLevenshtein => "Levenshtein(syscalls)",
+            MeasureKind::AverageCpi => "avg CPI diff",
+            MeasureKind::L1 => "L1(CPI series)",
+            MeasureKind::Dtw => "DTW",
+            MeasureKind::DtwWithPenalty => "DTW+penalty",
+        }
+    }
+}
+
+/// One (application, measure) cell of Figure 7.
+#[derive(Debug, Clone)]
+pub struct ClassificationCell {
+    /// Application.
+    pub app: AppId,
+    /// Differencing measure.
+    pub measure: MeasureKind,
+    /// Divergence from centroid on request CPU time, percent (Fig. 7A).
+    pub cpu_time_divergence: f64,
+    /// Divergence from centroid on request peak CPI, percent (Fig. 7B).
+    pub peak_cpi_divergence: f64,
+}
+
+/// Levenshtein sequences are truncated to this many calls: TPCH requests
+/// issue thousands of calls and the full O(m*n) DP over all pairs would
+/// dominate the harness. The Magpie-style prefix retains the request's
+/// software identity.
+const MAX_TOKENS: usize = 150;
+
+/// Extracted per-request features for the clustering run.
+struct Features {
+    series: Vec<Vec<f64>>,
+    tokens: Vec<Vec<u16>>,
+    avg_cpi: Vec<f64>,
+    cpu_time: Vec<f64>,
+    peak_cpi: Vec<f64>,
+    penalty: f64,
+}
+
+fn extract(app: AppId, fast: bool) -> Features {
+    let n = requests_of(app, fast);
+    let result = standard_run(app, 0xF7, n, false);
+
+    // Bucket size: median request spans ~48 buckets regardless of app.
+    let mut lens: Vec<f64> = result
+        .completed
+        .iter()
+        .map(|r| r.timeline.total_instructions())
+        .collect();
+    lens.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    let median = lens[lens.len() / 2].max(1.0);
+    let bucket = (median / 48.0).max(1_000.0);
+
+    let mut series = Vec::new();
+    let mut tokens = Vec::new();
+    let mut avg_cpi = Vec::new();
+    let mut cpu_time = Vec::new();
+    let mut peak_cpi = Vec::new();
+    for r in &result.completed {
+        series.push(r.series(Metric::Cpi, bucket).values().to_vec());
+        tokens.push(
+            r.syscalls
+                .iter()
+                .take(MAX_TOKENS)
+                .map(|s| s.name as u16)
+                .collect(),
+        );
+        avg_cpi.push(r.request_cpi().unwrap_or(0.0));
+        cpu_time.push(r.cpu_cycles());
+        peak_cpi.push(r.peak_cpi().unwrap_or(0.0));
+    }
+    let refs: Vec<&[f64]> = series.iter().map(|s| s.as_slice()).collect();
+    let penalty = length_penalty(&refs, 200_000);
+    Features {
+        series,
+        tokens,
+        avg_cpi,
+        cpu_time,
+        peak_cpi,
+        penalty,
+    }
+}
+
+fn matrix_for(f: &Features, measure: MeasureKind) -> DistanceMatrix {
+    let n = f.series.len();
+    match measure {
+        MeasureKind::SyscallLevenshtein => DistanceMatrix::compute(n, |i, j| {
+            levenshtein(&f.tokens[i], &f.tokens[j]) as f64
+        }),
+        MeasureKind::AverageCpi => DistanceMatrix::compute(n, |i, j| {
+            average_metric_distance(f.avg_cpi[i], f.avg_cpi[j])
+        }),
+        MeasureKind::L1 => {
+            DistanceMatrix::compute(n, |i, j| l1_distance(&f.series[i], &f.series[j], f.penalty))
+        }
+        MeasureKind::Dtw => {
+            DistanceMatrix::compute(n, |i, j| dtw_distance(&f.series[i], &f.series[j]))
+        }
+        MeasureKind::DtwWithPenalty => DistanceMatrix::compute(n, |i, j| {
+            dtw_distance_with_penalty(&f.series[i], &f.series[j], f.penalty)
+        }),
+    }
+}
+
+/// Runs the Figure 7 experiment with the paper's k = 10 clusters.
+pub fn compute(fast: bool) -> Vec<ClassificationCell> {
+    let mut out = Vec::new();
+    for app in AppId::SERVER_APPS {
+        let f = extract(app, fast);
+        for measure in MeasureKind::ALL {
+            let dm = matrix_for(&f, measure);
+            let clustering = k_medoids(&dm, 10, 40);
+            out.push(ClassificationCell {
+                app,
+                measure,
+                cpu_time_divergence: divergence_from_centroid(&clustering, &f.cpu_time)
+                    .unwrap_or(f64::NAN),
+                peak_cpi_divergence: divergence_from_centroid(&clustering, &f.peak_cpi)
+                    .unwrap_or(f64::NAN),
+            });
+        }
+    }
+    out
+}
+
+/// Runs and prints Figure 7.
+pub fn run(fast: bool) -> Vec<ClassificationCell> {
+    section("Figure 7: classification quality by differencing measure (k = 10)");
+    let cells = compute(fast);
+    for (title, pick) in [
+        ("(A) divergence on request CPU time", true),
+        ("(B) divergence on request peak (90%) CPI", false),
+    ] {
+        println!();
+        println!("{title} (lower = better):");
+        let mut rows = Vec::new();
+        for measure in MeasureKind::ALL {
+            let mut row = vec![measure.label().to_string()];
+            for app in AppId::SERVER_APPS {
+                let cell = cells
+                    .iter()
+                    .find(|c| c.app == app && c.measure == measure)
+                    .expect("cell computed");
+                let v = if pick {
+                    cell.cpu_time_divergence
+                } else {
+                    cell.peak_cpi_divergence
+                };
+                row.push(format!("{v:.1}%"));
+            }
+            rows.push(row);
+        }
+        print_table(
+            &["measure", "Web server", "TPCC", "TPCH", "RUBiS", "WeBWorK"],
+            &rows,
+        );
+    }
+    println!("(paper: DTW+penalty best overall; plain DTW poor without the penalty;");
+    println!(" avg-CPI good on (B) but poor on (A); L1 a close, cheaper second)");
+    cells
+}

@@ -1,0 +1,138 @@
+//! Figure 8: anomaly detection within a semantic group — the TPCH Q20
+//! request farthest from its group centroid, compared against the centroid
+//! as reference.
+
+use rbv_core::anomaly::{centroid_outliers, divergent_regions};
+use rbv_core::cluster::DistanceMatrix;
+use rbv_core::distance::{dtw_distance_with_penalty, length_penalty};
+use rbv_core::series::Metric;
+use rbv_os::CompletedRequest;
+use rbv_workloads::{AppId, RequestClass};
+
+use crate::harness::{bucket_ins, requests_of, section, standard_run};
+
+/// The anomaly/reference trace pair of Figure 8 (or 9).
+#[derive(Debug, Clone)]
+pub struct AnomalyTraces {
+    /// Group label.
+    pub group: String,
+    /// Anomaly's CPI / misses-per-ins / refs-per-ins traces.
+    pub anomaly: [Vec<f64>; 3],
+    /// Reference's traces in the same order.
+    pub reference: [Vec<f64>; 3],
+    /// The anomaly's distance from the centroid.
+    pub distance: f64,
+    /// Whole-request CPI of the anomaly and reference.
+    pub cpis: (f64, f64),
+}
+
+fn traces(r: &CompletedRequest, bucket: f64) -> [Vec<f64>; 3] {
+    [
+        r.series(Metric::Cpi, bucket).values().to_vec(),
+        r.series(Metric::L2MissesPerIns, bucket).values().to_vec(),
+        r.series(Metric::L2RefsPerIns, bucket).values().to_vec(),
+    ]
+}
+
+/// Runs the Figure 8 experiment: Q20 group, DTW+penalty CPI distances.
+pub fn compute(fast: bool) -> AnomalyTraces {
+    let n = requests_of(AppId::Tpch, fast).max(60);
+    let result = standard_run(AppId::Tpch, 0xF8, n, false);
+    let group: Vec<&CompletedRequest> = result
+        .completed
+        .iter()
+        .filter(|r| r.class == RequestClass::TpchQuery(20))
+        .collect();
+    assert!(group.len() >= 3, "need several Q20 requests");
+
+    let bucket = bucket_ins(AppId::Tpch);
+    let series: Vec<Vec<f64>> = group
+        .iter()
+        .map(|r| r.series(Metric::Cpi, bucket).values().to_vec())
+        .collect();
+    let refs: Vec<&[f64]> = series.iter().map(|s| s.as_slice()).collect();
+    let penalty = length_penalty(&refs, 100_000);
+    let dm = DistanceMatrix::compute(group.len(), |i, j| {
+        dtw_distance_with_penalty(&series[i], &series[j], penalty)
+    });
+    let (centroid, outliers) = centroid_outliers(&dm).expect("group size >= 2");
+    let worst = outliers[0];
+
+    AnomalyTraces {
+        group: "TPCH Q20".into(),
+        anomaly: traces(group[worst.index], bucket),
+        reference: traces(group[centroid], bucket),
+        distance: worst.distance,
+        cpis: (
+            group[worst.index].request_cpi().unwrap_or(f64::NAN),
+            group[centroid].request_cpi().unwrap_or(f64::NAN),
+        ),
+    }
+}
+
+/// Prints an anomaly/reference trace pair (shared with Figure 9).
+pub fn print_traces(t: &AnomalyTraces, bucket_m: f64) {
+    println!(
+        "group {} — anomaly request CPI {:.2} vs reference {:.2} (centroid distance {:.1})",
+        t.group, t.cpis.0, t.cpis.1, t.distance
+    );
+    println!();
+    println!("  progress(Mins)   anomaly: CPI  mpi      rpi     | reference: CPI  mpi      rpi");
+    let len = t.anomaly[0].len().max(t.reference[0].len());
+    let step = (len / 20).max(1);
+    let cell = |v: &[f64], i: usize, w: usize| {
+        v.get(i)
+            .map_or(" ".repeat(w), |x| format!("{x:>w$.4}", w = w))
+    };
+    for i in (0..len).step_by(step) {
+        println!(
+            "  {:>13.2}   {} {} {} | {} {} {}",
+            (i as f64 + 0.5) * bucket_m,
+            cell(&t.anomaly[0], i, 6),
+            cell(&t.anomaly[1], i, 8),
+            cell(&t.anomaly[2], i, 8),
+            cell(&t.reference[0], i, 6),
+            cell(&t.reference[1], i, 8),
+            cell(&t.reference[2], i, 8),
+        );
+    }
+}
+
+/// Runs and prints Figure 8, localizing the divergent regions via DTW
+/// alignment.
+pub fn run(fast: bool) -> AnomalyTraces {
+    section("Figure 8: anomalous TPCH request vs group centroid (Q20)");
+    let t = compute(fast);
+    let bucket_m = bucket_ins(AppId::Tpch) / 1e6;
+    print_traces(&t, bucket_m);
+    // Where exactly does the anomaly run slower? Align the CPI traces and
+    // report the contiguous elevated regions.
+    let spread = t.anomaly[0]
+        .iter()
+        .chain(&t.reference[0])
+        .cloned()
+        .fold(f64::NEG_INFINITY, f64::max)
+        - t.anomaly[0]
+            .iter()
+            .chain(&t.reference[0])
+            .cloned()
+            .fold(f64::INFINITY, f64::min);
+    let regions = divergent_regions(&t.anomaly[0], &t.reference[0], spread, spread * 0.25);
+    println!();
+    if regions.is_empty() {
+        println!("no CPI region diverges by more than {:.2}", spread * 0.25);
+    } else {
+        println!("divergent CPI regions (anomaly above reference):");
+        for r in &regions {
+            println!(
+                "  {:.1}-{:.1} M ins: +{:.2} CPI",
+                r.anomaly_range.0 as f64 * bucket_m,
+                (r.anomaly_range.1 + 1) as f64 * bucket_m,
+                r.mean_gap
+            );
+        }
+    }
+    println!();
+    println!("(paper: the anomaly's elevated CPI regions track elevated L2 misses/ins)");
+    t
+}

@@ -1,0 +1,125 @@
+//! One module per paper artifact; see the crate docs for the mapping.
+
+pub mod ablate;
+pub mod dump;
+pub mod fig1;
+pub mod fig10;
+pub mod fig11;
+pub mod fig12_13;
+pub mod fig2;
+pub mod fig3;
+pub mod fig4;
+pub mod fig5;
+pub mod fig6;
+pub mod fig7;
+pub mod fig8;
+pub mod fig9;
+pub mod sig;
+pub mod tab1;
+pub mod tab2;
+
+/// `(id, description)` of every runnable experiment.
+pub const REGISTRY: &[(&str, &str)] = &[
+    ("fig1", "request CPI distributions, 1-core vs 4-core"),
+    ("fig2", "intra-request behavior variation traces"),
+    ("tab1", "per-sample cost and observer-effect events"),
+    ("fig3", "captured variations (weighted CoV, Eq. 1)"),
+    ("fig4", "next system call distance distributions"),
+    ("fig5", "syscall-triggered vs interrupt sampling overhead"),
+    ("tab2", "syscall name -> CPI change transition table"),
+    ("sig", "behavior transition signal sampling (CoV gain)"),
+    ("fig6", "similar TPCC requests drifting apart"),
+    ("fig7", "classification quality by differencing measure"),
+    ("fig8", "TPCH anomaly vs group centroid"),
+    ("fig9", "WeBWorK multi-metric anomaly pair"),
+    ("fig10", "online signature identification accuracy"),
+    ("fig11", "online predictor RMSE (Eq. 7)"),
+    ("fig12", "contention-easing: simultaneous high-usage time"),
+    ("fig13", "contention-easing: request CPI percentiles"),
+    ("ablate-dtw", "asynchrony penalty / band width sweep"),
+    ("ablate-ewma", "vaEWMA vs fixed-aging EWMA"),
+    ("ablate-sampling", "t_syscall_min / t_backup_int sweep"),
+    ("ablate-threshold", "contention threshold percentile sweep"),
+    ("ablate-signals", "name vs bigram transition signals"),
+    ("ablate-load", "open-loop Poisson load sweep"),
+    ("ablate-partition", "LRU sharing vs static cache partitioning"),
+    ("ablate-stealing", "request migration on skewed load"),
+];
+
+/// Dispatches one experiment id. Returns false for unknown ids.
+/// `fig12` and `fig13` share one computation and print both.
+pub fn dispatch(id: &str, fast: bool) -> bool {
+    match id {
+        "fig1" => {
+            fig1::run(fast);
+        }
+        "fig2" => {
+            fig2::run(fast);
+        }
+        "tab1" => {
+            tab1::run(fast);
+        }
+        "fig3" => {
+            fig3::run(fast);
+        }
+        "fig4" => {
+            fig4::run(fast);
+        }
+        "fig5" => {
+            fig5::run(fast);
+        }
+        "tab2" => {
+            tab2::run(fast);
+        }
+        "sig" => {
+            sig::run(fast);
+        }
+        "fig6" => {
+            fig6::run(fast);
+        }
+        "fig7" => {
+            fig7::run(fast);
+        }
+        "fig8" => {
+            fig8::run(fast);
+        }
+        "fig9" => {
+            fig9::run(fast);
+        }
+        "fig10" => {
+            fig10::run(fast);
+        }
+        "fig11" => {
+            fig11::run(fast);
+        }
+        "fig12" | "fig13" => {
+            fig12_13::run(fast);
+        }
+        "ablate-dtw" => {
+            ablate::ablate_dtw(fast);
+        }
+        "ablate-ewma" => {
+            ablate::ablate_ewma(fast);
+        }
+        "ablate-sampling" => {
+            ablate::ablate_sampling(fast);
+        }
+        "ablate-threshold" => {
+            ablate::ablate_threshold(fast);
+        }
+        "ablate-signals" => {
+            ablate::ablate_signals(fast);
+        }
+        "ablate-load" => {
+            ablate::ablate_load(fast);
+        }
+        "ablate-partition" => {
+            ablate::ablate_partition(fast);
+        }
+        "ablate-stealing" => {
+            ablate::ablate_stealing(fast);
+        }
+        _ => return false,
+    }
+    true
+}

@@ -1,0 +1,88 @@
+//! Table 2: system call names as behavior transition signals — the mean ±
+//! standard deviation of the CPI change across each call, for the Apache
+//! web server.
+
+use rbv_os::{run_simulation, RunResult, SimConfig};
+use rbv_workloads::{AppId, SyscallName};
+
+use crate::harness::{print_table, requests_of, section, standard_factory};
+
+/// One row of Table 2.
+#[derive(Debug, Clone)]
+pub struct TransitionRow {
+    /// System call name.
+    pub name: SyscallName,
+    /// Mean CPI change across the call.
+    pub mean: f64,
+    /// Standard deviation of the change.
+    pub std: f64,
+    /// Occurrences observed.
+    pub count: usize,
+}
+
+/// Runs the web server with fine syscall-triggered sampling and trains the
+/// name → CPI-change table online (§3.2).
+pub fn compute(fast: bool) -> (Vec<TransitionRow>, RunResult) {
+    let n = requests_of(AppId::WebServer, fast);
+    let mut f = standard_factory(AppId::WebServer, 0x7B2);
+    // Tiny t_syscall_min: sample at essentially every call so each ±period
+    // around a call is isolated (the paper's 10 us windows).
+    let mut cfg = SimConfig::paper_default().with_syscall_sampling(2, 100);
+    cfg.seed = 0x7B2;
+    let result = run_simulation(cfg, f.as_mut(), n).expect("valid");
+    let rows = result
+        .transition_table(if fast { 5 } else { 20 })
+        .into_iter()
+        .map(|(name, mean, std, count)| TransitionRow {
+            name,
+            mean,
+            std,
+            count,
+        })
+        .collect();
+    (rows, result)
+}
+
+/// Runs and prints Table 2.
+pub fn run(fast: bool) -> Vec<TransitionRow> {
+    section("Table 2: syscall name -> CPI change (web server)");
+    let (rows, _) = compute(fast);
+    let paper: &[(SyscallName, f64)] = &[
+        (SyscallName::Writev, 3.66),
+        (SyscallName::Lseek, -1.99),
+        (SyscallName::Stat, -1.39),
+        (SyscallName::Poll, 1.22),
+        (SyscallName::Shutdown, 0.82),
+        (SyscallName::Read, 0.61),
+        (SyscallName::Open, -0.14),
+        (SyscallName::Write, -0.11),
+    ];
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            let dir = if r.mean > 0.05 {
+                "increase"
+            } else if r.mean < -0.05 {
+                "decrease"
+            } else {
+                "-"
+            };
+            let paper_val = paper
+                .iter()
+                .find(|&&(n, _)| n == r.name)
+                .map_or(String::from("-"), |&(_, v)| format!("{v:+.2}"));
+            vec![
+                r.name.to_string(),
+                dir.to_string(),
+                format!("{:+.2} +- {:.2}", r.mean, r.std),
+                format!("{}", r.count),
+                paper_val,
+            ]
+        })
+        .collect();
+    print_table(
+        &["syscall", "direction", "CPI change", "n", "paper mean"],
+        &table,
+    );
+    rows
+}

@@ -1,0 +1,22 @@
+//! Experiment harness regenerating every table and figure of *Request
+//! Behavior Variations* (ASPLOS 2010).
+//!
+//! Each submodule of [`experiments`] reproduces one paper artifact and is
+//! runnable through the `repro` binary:
+//!
+//! ```text
+//! cargo run --release -p rbv-bench --bin repro -- fig1
+//! cargo run --release -p rbv-bench --bin repro -- all
+//! cargo run --release -p rbv-bench --bin repro -- list
+//! ```
+//!
+//! Experiments return structured results (consumed by the integration
+//! tests, which assert the paper's qualitative shapes) and print the same
+//! rows/series the paper reports. Absolute numbers come from the simulated
+//! platform; EXPERIMENTS.md records paper-vs-measured for every artifact.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod harness;

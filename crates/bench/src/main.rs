@@ -1,0 +1,68 @@
+//! `repro` — regenerate the tables and figures of *Request Behavior
+//! Variations* (ASPLOS 2010).
+//!
+//! ```text
+//! repro <experiment-id> [--fast]   # one artifact
+//! repro all [--fast]               # everything, in paper order
+//! repro list                       # available experiment ids
+//! ```
+
+use std::process::ExitCode;
+
+use rbv_bench::experiments::{dispatch, REGISTRY};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let fast = args.iter().any(|a| a == "--fast");
+    let ids: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
+
+    let Some(first) = ids.first() else {
+        eprintln!("usage: repro <experiment-id>|all|list [--fast]");
+        eprintln!("run `repro list` for the available experiments");
+        return ExitCode::FAILURE;
+    };
+
+    match first.as_str() {
+        "dump" => {
+            let Some(app) = ids.get(1).and_then(|a| rbv_bench::experiments::dump::parse_app(a))
+            else {
+                eprintln!("usage: repro dump <web|tpcc|tpch|rubis|webwork> [--syscalls] [--fast]");
+                return ExitCode::FAILURE;
+            };
+            let syscalls = args.iter().any(|a| a == "--syscalls");
+            rbv_bench::experiments::dump::run(app, fast, syscalls);
+            ExitCode::SUCCESS
+        }
+        "list" => {
+            for (id, desc) in REGISTRY {
+                println!("{id:18} {desc}");
+            }
+            ExitCode::SUCCESS
+        }
+        "all" => {
+            let start = std::time::Instant::now();
+            // fig13 shares fig12's computation; skip the duplicate run.
+            for (id, _) in REGISTRY.iter().filter(|(id, _)| *id != "fig13") {
+                let t = std::time::Instant::now();
+                dispatch(id, fast);
+                eprintln!("[{id} done in {:.1?}]", t.elapsed());
+            }
+            eprintln!("[all experiments done in {:.1?}]", start.elapsed());
+            ExitCode::SUCCESS
+        }
+        _ => {
+            let mut ok = true;
+            for id in &ids {
+                if !dispatch(id, fast) {
+                    eprintln!("unknown experiment `{id}`; run `repro list`");
+                    ok = false;
+                }
+            }
+            if ok {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+    }
+}

@@ -1,0 +1,311 @@
+//! Anomaly detection and analysis (§4.3).
+//!
+//! Anomalous requests deviate from a *reference* against expected
+//! similarity. Two detectors from the paper:
+//!
+//! * [`centroid_outliers`] — within a group of requests sharing
+//!   application-level semantics (same TPCH query, same WeBWorK problem),
+//!   the requests farthest from the group centroid share the least common
+//!   behavior and are flagged as suspected anomalies, with the centroid as
+//!   their reference (Figure 8).
+//! * [`multi_metric_pairs`] — searches for request pairs whose shared-
+//!   resource *usage* patterns (L2 references per instruction) are very
+//!   similar while their *performance* (CPI) diverges: the signature of
+//!   adverse dynamic contention on cache-sharing multicores (Figure 9).
+
+use crate::cluster::DistanceMatrix;
+
+/// A request flagged by [`centroid_outliers`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Outlier {
+    /// Index of the suspected anomaly within the group.
+    pub index: usize,
+    /// Its distance to the group centroid.
+    pub distance: f64,
+}
+
+/// Ranks a semantic group's members by distance from the group centroid
+/// (most distant first) and returns the centroid as the reference.
+///
+/// Returns `(centroid_index, outliers)`; `outliers` excludes the centroid
+/// itself. Returns `None` for groups smaller than 2.
+pub fn centroid_outliers(dm: &DistanceMatrix) -> Option<(usize, Vec<Outlier>)> {
+    if dm.len() < 2 {
+        return None;
+    }
+    let all: Vec<usize> = (0..dm.len()).collect();
+    let centroid = dm.medoid_of(&all)?;
+    let mut outliers: Vec<Outlier> = all
+        .into_iter()
+        .filter(|&i| i != centroid)
+        .map(|i| Outlier {
+            index: i,
+            distance: dm.get(i, centroid),
+        })
+        .collect();
+    outliers.sort_by(|a, b| b.distance.partial_cmp(&a.distance).expect("finite"));
+    Some((centroid, outliers))
+}
+
+/// An anomaly-reference candidate pair from [`multi_metric_pairs`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AnomalyPair {
+    /// Index of the slower request (the suspected anomaly).
+    pub anomaly: usize,
+    /// Index of the faster request (the reference).
+    pub reference: usize,
+    /// Distance between the two requests' usage patterns (smaller =
+    /// more similar instruction streams).
+    pub usage_distance: f64,
+    /// Divergence between the two requests' performance (larger = more
+    /// anomalous).
+    pub perf_divergence: f64,
+}
+
+impl AnomalyPair {
+    /// Anomaly score: performance divergence per unit of usage distance.
+    /// Higher = more suspicious (similar work, very different outcome).
+    pub fn score(&self) -> f64 {
+        self.perf_divergence / (self.usage_distance + 1e-12)
+    }
+}
+
+/// Finds request pairs with similar usage patterns but divergent
+/// performance.
+///
+/// `usage` is a pairwise distance matrix over L2-references-per-instruction
+/// variation patterns (the paper uses DTW with asynchrony penalty here);
+/// `perf` gives each request's performance level (e.g. request CPI — the
+/// anomaly is the *higher*-CPI member of a pair). A pair qualifies when its
+/// usage distance is at most `usage_threshold` and its performance gap at
+/// least `perf_threshold`; qualifying pairs are returned sorted by
+/// decreasing [`AnomalyPair::score`].
+///
+/// # Panics
+///
+/// Panics if `perf.len()` differs from the matrix size or thresholds are
+/// negative.
+pub fn multi_metric_pairs(
+    usage: &DistanceMatrix,
+    perf: &[f64],
+    usage_threshold: f64,
+    perf_threshold: f64,
+) -> Vec<AnomalyPair> {
+    assert_eq!(perf.len(), usage.len(), "one perf value per request");
+    assert!(
+        usage_threshold >= 0.0 && perf_threshold >= 0.0,
+        "thresholds must be nonnegative"
+    );
+    let n = perf.len();
+    let mut pairs = Vec::new();
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let ud = usage.get(i, j);
+            let pd = (perf[i] - perf[j]).abs();
+            if ud <= usage_threshold && pd >= perf_threshold {
+                let (anomaly, reference) = if perf[i] >= perf[j] { (i, j) } else { (j, i) };
+                pairs.push(AnomalyPair {
+                    anomaly,
+                    reference,
+                    usage_distance: ud,
+                    perf_divergence: pd,
+                });
+            }
+        }
+    }
+    pairs.sort_by(|a, b| b.score().partial_cmp(&a.score()).expect("finite scores"));
+    pairs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line_matrix(points: &[f64]) -> DistanceMatrix {
+        DistanceMatrix::compute(points.len(), |i, j| (points[i] - points[j]).abs())
+    }
+
+    #[test]
+    fn outlier_is_farthest_from_centroid() {
+        // Tight group at ~1 plus one far point.
+        let dm = line_matrix(&[1.0, 1.1, 0.9, 1.05, 9.0]);
+        let (centroid, outliers) = centroid_outliers(&dm).unwrap();
+        assert_ne!(centroid, 4, "the anomaly is not the centroid");
+        assert_eq!(outliers[0].index, 4);
+        assert!(outliers[0].distance > 7.0);
+        // Ranked descending.
+        assert!(outliers
+            .windows(2)
+            .all(|w| w[0].distance >= w[1].distance));
+        assert_eq!(outliers.len(), 4);
+    }
+
+    #[test]
+    fn tiny_groups_are_rejected() {
+        assert!(centroid_outliers(&line_matrix(&[1.0])).is_none());
+        assert!(centroid_outliers(&line_matrix(&[])).is_none());
+    }
+
+    #[test]
+    fn two_member_group_works() {
+        let dm = line_matrix(&[1.0, 2.0]);
+        let (centroid, outliers) = centroid_outliers(&dm).unwrap();
+        assert_eq!(outliers.len(), 1);
+        assert_ne!(outliers[0].index, centroid);
+    }
+
+    #[test]
+    fn multi_metric_finds_contention_victims() {
+        // Requests 0 and 1 do identical work (usage distance ~0) but 1 is
+        // much slower; request 2 does different work.
+        let usage = DistanceMatrix::compute(3, |i, j| match (i.min(j), i.max(j)) {
+            (0, 1) => 0.05,
+            _ => 5.0,
+        });
+        let perf = [1.0, 3.0, 1.0];
+        let pairs = multi_metric_pairs(&usage, &perf, 0.5, 1.0);
+        assert_eq!(pairs.len(), 1);
+        assert_eq!(pairs[0].anomaly, 1);
+        assert_eq!(pairs[0].reference, 0);
+        assert!((pairs[0].perf_divergence - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn thresholds_filter_pairs() {
+        let usage = DistanceMatrix::compute(2, |_, _| 0.1);
+        let perf = [1.0, 1.2];
+        // Perf gap below threshold: nothing.
+        assert!(multi_metric_pairs(&usage, &perf, 1.0, 0.5).is_empty());
+        // Usage distance above threshold: nothing.
+        assert!(multi_metric_pairs(&usage, &perf, 0.01, 0.1).is_empty());
+        // Both satisfied: one pair.
+        assert_eq!(multi_metric_pairs(&usage, &perf, 1.0, 0.1).len(), 1);
+    }
+
+    #[test]
+    fn pairs_sorted_by_score() {
+        let usage = DistanceMatrix::compute(4, |i, j| match (i.min(j), i.max(j)) {
+            (0, 1) => 0.01, // very similar
+            (2, 3) => 0.4,  // loosely similar
+            _ => 10.0,
+        });
+        let perf = [1.0, 2.0, 1.0, 2.0];
+        let pairs = multi_metric_pairs(&usage, &perf, 1.0, 0.5);
+        assert_eq!(pairs.len(), 2);
+        assert!(pairs[0].score() >= pairs[1].score());
+        assert_eq!((pairs[0].reference, pairs[0].anomaly), (0, 1));
+    }
+
+    #[test]
+    fn anomaly_is_the_slower_member() {
+        let usage = DistanceMatrix::compute(2, |_, _| 0.0);
+        let pairs = multi_metric_pairs(&usage, &[5.0, 2.0], 1.0, 1.0);
+        assert_eq!(pairs[0].anomaly, 0);
+        assert_eq!(pairs[0].reference, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "one perf value per request")]
+    fn mismatched_perf_panics() {
+        let usage = DistanceMatrix::compute(3, |_, _| 1.0);
+        multi_metric_pairs(&usage, &[1.0], 1.0, 1.0);
+    }
+}
+
+/// A contiguous stretch of the DTW-aligned comparison where the anomaly's
+/// metric exceeds the reference's by at least a threshold — the "higher
+/// CPIs in certain regions of execution" the paper reads off Figures 8/9.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DivergentRegion {
+    /// Bucket index range (inclusive) in the anomaly's series.
+    pub anomaly_range: (usize, usize),
+    /// Bucket index range (inclusive) in the reference's series.
+    pub reference_range: (usize, usize),
+    /// Mean metric gap (anomaly − reference) over the region.
+    pub mean_gap: f64,
+}
+
+/// Aligns two metric series with DTW (asynchrony penalty `penalty`) and
+/// returns the contiguous aligned regions where `anomaly − reference >=
+/// threshold`, ordered by position.
+///
+/// # Panics
+///
+/// Panics if `penalty` is negative (propagated from the alignment).
+pub fn divergent_regions(
+    anomaly: &[f64],
+    reference: &[f64],
+    penalty: f64,
+    threshold: f64,
+) -> Vec<DivergentRegion> {
+    let (_, path) = crate::distance::dtw_alignment(anomaly, reference, penalty);
+    let mut regions = Vec::new();
+    let mut current: Option<(usize, usize, usize, usize, f64, usize)> = None;
+    for &(i, j) in &path {
+        let gap = anomaly[i] - reference[j];
+        if gap >= threshold {
+            current = Some(match current {
+                None => (i, i, j, j, gap, 1),
+                Some((i0, _, j0, _, sum, n)) => (i0, i, j0, j, sum + gap, n + 1),
+            });
+        } else if let Some((i0, i1, j0, j1, sum, n)) = current.take() {
+            regions.push(DivergentRegion {
+                anomaly_range: (i0, i1),
+                reference_range: (j0, j1),
+                mean_gap: sum / n as f64,
+            });
+        }
+    }
+    if let Some((i0, i1, j0, j1, sum, n)) = current {
+        regions.push(DivergentRegion {
+            anomaly_range: (i0, i1),
+            reference_range: (j0, j1),
+            mean_gap: sum / n as f64,
+        });
+    }
+    regions
+}
+
+#[cfg(test)]
+mod region_tests {
+    use super::*;
+
+    #[test]
+    fn finds_the_single_divergent_stretch() {
+        let reference = [1.0, 1.0, 1.0, 1.0, 1.0, 1.0];
+        let anomaly = [1.0, 1.0, 3.0, 3.0, 1.0, 1.0];
+        let regions = divergent_regions(&anomaly, &reference, 0.5, 1.0);
+        assert_eq!(regions.len(), 1);
+        assert_eq!(regions[0].anomaly_range, (2, 3));
+        assert!((regions[0].mean_gap - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn no_regions_when_similar() {
+        let a = [1.0, 2.0, 1.0];
+        let b = [1.0, 2.0, 1.0];
+        assert!(divergent_regions(&a, &b, 0.5, 0.5).is_empty());
+    }
+
+    #[test]
+    fn multiple_regions_are_separated() {
+        let reference = [1.0; 8];
+        let anomaly = [3.0, 1.0, 1.0, 3.0, 3.0, 1.0, 1.0, 3.0];
+        let regions = divergent_regions(&anomaly, &reference, 0.5, 1.0);
+        assert!(regions.len() >= 2, "{regions:?}");
+        assert!(regions
+            .windows(2)
+            .all(|w| w[0].anomaly_range.1 < w[1].anomaly_range.0));
+    }
+
+    #[test]
+    fn alignment_tolerates_shift_before_divergence() {
+        // The divergence is real even though the series are shifted: DTW
+        // aligns the common prefix first.
+        let reference = [1.0, 5.0, 1.0, 1.0, 1.0, 1.0];
+        let anomaly = [1.0, 1.0, 5.0, 1.0, 4.0, 4.0];
+        let regions = divergent_regions(&anomaly, &reference, 0.2, 1.5);
+        assert_eq!(regions.len(), 1, "{regions:?}");
+        assert!(regions[0].anomaly_range.0 >= 4);
+    }
+}

@@ -1,0 +1,374 @@
+//! Request classification by k-medoids clustering (§4.2).
+//!
+//! The paper classifies requests into groups with similar variation
+//! patterns. Since "the mean of a set of request variation patterns is not
+//! well defined", it replaces k-means' centroid with the cluster *medoid*:
+//! the member whose summed distance to all other members is minimal. This
+//! module implements that algorithm over a precomputed [`DistanceMatrix`]
+//! plus the Figure 7 quality metric, [`divergence_from_centroid`].
+
+/// A dense symmetric pairwise distance matrix.
+#[derive(Debug, Clone)]
+pub struct DistanceMatrix {
+    n: usize,
+    // Row-major full matrix; n is at most a few thousand requests.
+    data: Vec<f64>,
+}
+
+impl DistanceMatrix {
+    /// Computes all pairwise distances via `dist` (assumed symmetric, with
+    /// `dist(i, i) == 0`; only `i < j` pairs are evaluated).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dist` returns a negative or NaN value.
+    pub fn compute(n: usize, mut dist: impl FnMut(usize, usize) -> f64) -> DistanceMatrix {
+        let mut data = vec![0.0; n * n];
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let d = dist(i, j);
+                assert!(d >= 0.0, "distance({i},{j}) = {d} must be nonnegative");
+                data[i * n + j] = d;
+                data[j * n + i] = d;
+            }
+        }
+        DistanceMatrix { n, data }
+    }
+
+    /// Number of points.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// True when the matrix covers no points.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Distance between points `i` and `j`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of bounds.
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        assert!(i < self.n && j < self.n, "index out of bounds");
+        self.data[i * self.n + j]
+    }
+
+    /// The medoid of `members`: the member minimizing summed distance to
+    /// the other members. Returns `None` on an empty slice.
+    pub fn medoid_of(&self, members: &[usize]) -> Option<usize> {
+        members
+            .iter()
+            .map(|&c| {
+                let cost: f64 = members.iter().map(|&m| self.get(c, m)).sum();
+                (c, cost)
+            })
+            .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite distances"))
+            .map(|(c, _)| c)
+    }
+}
+
+/// Result of a k-medoids run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Clustering {
+    /// `assignments[i]` is the cluster index of point `i`.
+    pub assignments: Vec<usize>,
+    /// Medoid point index per cluster.
+    pub medoids: Vec<usize>,
+    /// Total distance of every point to its medoid.
+    pub cost: f64,
+}
+
+impl Clustering {
+    /// Point indices belonging to cluster `c`.
+    pub fn members_of(&self, c: usize) -> Vec<usize> {
+        self.assignments
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &a)| (a == c).then_some(i))
+            .collect()
+    }
+
+    /// The medoid point index assigned to point `i`.
+    pub fn medoid_for(&self, i: usize) -> usize {
+        self.medoids[self.assignments[i]]
+    }
+}
+
+/// Runs k-medoids: greedy farthest-point seeding, then alternating
+/// assignment and medoid update until stable (at most `max_iters` rounds).
+///
+/// If `k >= n` every point becomes its own medoid. Deterministic.
+///
+/// # Panics
+///
+/// Panics if `k == 0` or the matrix is empty.
+pub fn k_medoids(dm: &DistanceMatrix, k: usize, max_iters: usize) -> Clustering {
+    let n = dm.len();
+    assert!(k > 0, "need at least one cluster");
+    assert!(n > 0, "cannot cluster zero points");
+
+    if k >= n {
+        return Clustering {
+            assignments: (0..n).collect(),
+            medoids: (0..n).collect(),
+            cost: 0.0,
+        };
+    }
+
+    // Seeding: first medoid = the most central point; each further medoid
+    // = the point farthest from its nearest existing medoid.
+    let first = dm
+        .medoid_of(&(0..n).collect::<Vec<_>>())
+        .expect("nonempty matrix");
+    let mut medoids = vec![first];
+    while medoids.len() < k {
+        let next = (0..n)
+            .filter(|i| !medoids.contains(i))
+            .max_by(|&a, &b| {
+                let da = nearest(dm, a, &medoids).1;
+                let db = nearest(dm, b, &medoids).1;
+                da.partial_cmp(&db).expect("finite distances")
+            })
+            .expect("k < n leaves candidates");
+        medoids.push(next);
+    }
+
+    let mut assignments = vec![0usize; n];
+    let mut prev_cost = f64::INFINITY;
+    for _ in 0..max_iters {
+        // Assignment step.
+        let mut new_cost = 0.0;
+        for (i, slot) in assignments.iter_mut().enumerate() {
+            let (c, d) = nearest_cluster(dm, i, &medoids);
+            *slot = c;
+            new_cost += d;
+        }
+        // Medoid update step.
+        let mut changed = false;
+        for (c, medoid) in medoids.iter_mut().enumerate() {
+            let members: Vec<usize> = (0..n).filter(|&i| assignments[i] == c).collect();
+            if let Some(m) = dm.medoid_of(&members) {
+                if m != *medoid {
+                    *medoid = m;
+                    changed = true;
+                }
+            }
+        }
+        if !changed && new_cost >= prev_cost {
+            break;
+        }
+        prev_cost = new_cost;
+    }
+    // Final assignment against the settled medoids.
+    let mut final_cost = 0.0;
+    for (i, slot) in assignments.iter_mut().enumerate() {
+        let (c, d) = nearest_cluster(dm, i, &medoids);
+        *slot = c;
+        final_cost += d;
+    }
+    Clustering {
+        assignments,
+        medoids,
+        cost: final_cost,
+    }
+}
+
+fn nearest(dm: &DistanceMatrix, i: usize, medoids: &[usize]) -> (usize, f64) {
+    medoids
+        .iter()
+        .map(|&m| (m, dm.get(i, m)))
+        .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite distances"))
+        .expect("at least one medoid")
+}
+
+fn nearest_cluster(dm: &DistanceMatrix, i: usize, medoids: &[usize]) -> (usize, f64) {
+    medoids
+        .iter()
+        .enumerate()
+        .map(|(c, &m)| (c, dm.get(i, m)))
+        .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite distances"))
+        .expect("at least one medoid")
+}
+
+/// The Figure 7 classification quality metric: each request's divergence
+/// from its cluster centroid on a request property, averaged over all
+/// requests, in percent.
+///
+/// For request `r` with property `C_r` and its centroid's property `C_c`:
+/// `|C_r − C_c| / C_c × 100%`.
+///
+/// Centroids with a zero property value are skipped (undefined divergence).
+/// Returns `None` if nothing is measurable.
+///
+/// # Panics
+///
+/// Panics if `property.len()` differs from the clustering size.
+pub fn divergence_from_centroid(clustering: &Clustering, property: &[f64]) -> Option<f64> {
+    assert_eq!(
+        property.len(),
+        clustering.assignments.len(),
+        "one property value per point required"
+    );
+    let mut sum = 0.0;
+    let mut count = 0usize;
+    for i in 0..property.len() {
+        let c = property[clustering.medoid_for(i)];
+        if c != 0.0 {
+            sum += (property[i] - c).abs() / c * 100.0;
+            count += 1;
+        }
+    }
+    (count > 0).then(|| sum / count as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Points on a line; distance = |a - b|.
+    fn line_matrix(points: &[f64]) -> DistanceMatrix {
+        DistanceMatrix::compute(points.len(), |i, j| (points[i] - points[j]).abs())
+    }
+
+    #[test]
+    fn matrix_is_symmetric_with_zero_diagonal() {
+        let dm = line_matrix(&[0.0, 3.0, 10.0]);
+        for i in 0..3 {
+            assert_eq!(dm.get(i, i), 0.0);
+            for j in 0..3 {
+                assert_eq!(dm.get(i, j), dm.get(j, i));
+            }
+        }
+        assert_eq!(dm.get(0, 2), 10.0);
+    }
+
+    #[test]
+    fn medoid_of_line_cluster_is_median_like() {
+        let dm = line_matrix(&[0.0, 1.0, 2.0, 10.0]);
+        // Sum distances: p0: 13, p1: 11, p2: 11, p3: 27 — tie between the
+        // two central points resolves to the first.
+        assert_eq!(dm.medoid_of(&[0, 1, 2, 3]), Some(1));
+        assert_eq!(dm.medoid_of(&[]), None);
+    }
+
+    #[test]
+    fn two_well_separated_clusters_recovered() {
+        let points = [0.0, 0.5, 1.0, 100.0, 100.5, 101.0];
+        let dm = line_matrix(&points);
+        let c = k_medoids(&dm, 2, 50);
+        // Same-group points share a cluster; cross-group don't.
+        assert_eq!(c.assignments[0], c.assignments[1]);
+        assert_eq!(c.assignments[1], c.assignments[2]);
+        assert_eq!(c.assignments[3], c.assignments[4]);
+        assert_eq!(c.assignments[4], c.assignments[5]);
+        assert_ne!(c.assignments[0], c.assignments[3]);
+        // Medoids are the middle points of each group.
+        let mut ms = c.medoids.clone();
+        ms.sort();
+        assert_eq!(ms, vec![1, 4]);
+    }
+
+    #[test]
+    fn k_ge_n_gives_singletons() {
+        let dm = line_matrix(&[1.0, 2.0, 3.0]);
+        let c = k_medoids(&dm, 5, 10);
+        assert_eq!(c.assignments, vec![0, 1, 2]);
+        assert_eq!(c.cost, 0.0);
+    }
+
+    #[test]
+    fn k1_picks_global_medoid() {
+        let points = [0.0, 1.0, 2.0, 3.0, 50.0];
+        let dm = line_matrix(&points);
+        let c = k_medoids(&dm, 1, 20);
+        assert_eq!(c.medoids, vec![2]);
+        assert!(c.assignments.iter().all(|&a| a == 0));
+    }
+
+    #[test]
+    fn cost_is_sum_of_distances_to_medoids() {
+        let points = [0.0, 2.0, 10.0, 12.0];
+        let dm = line_matrix(&points);
+        let c = k_medoids(&dm, 2, 20);
+        let manual: f64 = (0..4).map(|i| dm.get(i, c.medoid_for(i))).sum();
+        assert!((c.cost - manual).abs() < 1e-12);
+        assert!((c.cost - 4.0).abs() < 1e-12); // 2 + 2 within the two pairs
+    }
+
+    #[test]
+    fn more_clusters_never_raise_cost() {
+        let points: Vec<f64> = (0..20).map(|i| (i * i) as f64 * 0.37).collect();
+        let dm = line_matrix(&points);
+        let mut prev = f64::INFINITY;
+        for k in 1..=6 {
+            let c = k_medoids(&dm, k, 60);
+            assert!(
+                c.cost <= prev + 1e-9,
+                "k={k} cost {} > previous {prev}",
+                c.cost
+            );
+            prev = c.cost;
+        }
+    }
+
+    #[test]
+    fn members_of_partitions_everything() {
+        let points: Vec<f64> = (0..15).map(|i| i as f64 * 1.7).collect();
+        let dm = line_matrix(&points);
+        let c = k_medoids(&dm, 3, 50);
+        let total: usize = (0..3).map(|k| c.members_of(k).len()).sum();
+        assert_eq!(total, 15);
+    }
+
+    #[test]
+    fn deterministic() {
+        let points: Vec<f64> = (0..30).map(|i| ((i * 7919) % 100) as f64).collect();
+        let dm = line_matrix(&points);
+        let a = k_medoids(&dm, 4, 50);
+        let b = k_medoids(&dm, 4, 50);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn divergence_zero_for_tight_clusters() {
+        let points = [1.0, 1.0, 1.0, 5.0, 5.0];
+        let dm = line_matrix(&points);
+        let c = k_medoids(&dm, 2, 20);
+        let div = divergence_from_centroid(&c, &points).unwrap();
+        assert_eq!(div, 0.0);
+    }
+
+    #[test]
+    fn divergence_reflects_property_spread() {
+        // One cluster (by distance) but the property varies 100% around
+        // the centroid's value.
+        let dm = DistanceMatrix::compute(3, |_, _| 0.1);
+        let c = k_medoids(&dm, 1, 10);
+        let centroid = c.medoids[0];
+        let mut property = vec![0.0; 3];
+        property[centroid] = 10.0;
+        for (i, p) in property.iter_mut().enumerate() {
+            if i != centroid {
+                *p = 20.0;
+            }
+        }
+        let div = divergence_from_centroid(&c, &property).unwrap();
+        // Two of three points diverge by 100%.
+        assert!((div - 200.0 / 3.0).abs() < 1e-9, "div {div}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one cluster")]
+    fn zero_k_panics() {
+        let dm = line_matrix(&[1.0, 2.0]);
+        k_medoids(&dm, 0, 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be nonnegative")]
+    fn negative_distance_panics() {
+        DistanceMatrix::compute(2, |_, _| -1.0);
+    }
+}

@@ -1,0 +1,521 @@
+//! Request differencing measures (§4.1).
+//!
+//! A foundation of the paper's request modeling is quantifying the
+//! difference between two requests' time-series behaviors. This module
+//! implements every measure the paper compares in Figure 7:
+//!
+//! * [`l1_distance`] — Equation 2: element-wise L1 over the common prefix
+//!   plus a per-element penalty `p` for the length difference, with `p`
+//!   set to a peak-level metric difference ([`length_penalty`]);
+//! * [`dtw_distance`] — classic dynamic time warping (Equation 3
+//!   minimized over warp paths), which tolerates time shifting but can
+//!   *under*-estimate differences through free asynchronous steps;
+//! * [`dtw_distance_with_penalty`] — the paper's enhancement: each
+//!   asynchronous warp step pays the same penalty `p`, fixing the
+//!   under-estimation (the single most effective measure in Figure 7);
+//! * [`dtw_banded`] — a Sakoe–Chiba band-constrained variant (ablation:
+//!   trades warp freedom for `O(n·band)` cost);
+//! * [`levenshtein`] — string edit distance over system call sequences,
+//!   the software-metric-only Magpie-style baseline;
+//! * [`average_metric_distance`] — the average-value signature baseline
+//!   of the authors' earlier work \[27\].
+
+/// L1 distance with unequal-length penalty (Equation 2).
+///
+/// ```text
+/// d = Σ_{i<min(m,n)} |x_i − y_i|  +  |m − n| · p
+/// ```
+///
+/// # Panics
+///
+/// Panics if `penalty` is negative.
+///
+/// # Examples
+///
+/// ```
+/// use rbv_core::distance::l1_distance;
+///
+/// let d = l1_distance(&[1.0, 2.0], &[1.5, 2.0, 9.0], 10.0);
+/// assert!((d - (0.5 + 10.0)).abs() < 1e-12);
+/// ```
+pub fn l1_distance(x: &[f64], y: &[f64], penalty: f64) -> f64 {
+    assert!(penalty >= 0.0, "penalty must be nonnegative");
+    let common: f64 = x.iter().zip(y).map(|(a, b)| (a - b).abs()).sum();
+    common + (x.len().abs_diff(y.len())) as f64 * penalty
+}
+
+/// Classic dynamic time warping distance (no asynchrony penalty).
+///
+/// The minimum over valid warp paths of the summed point-wise metric
+/// differences (Equation 3), allowing free asynchronous steps. `O(m·n)`
+/// time, `O(min(m,n))` space.
+///
+/// Empty-series convention: if exactly one series is empty the distance is
+/// `+∞` is unhelpful for clustering, so we mirror the L1 convention and
+/// charge nothing here (callers use the penalty variant in practice);
+/// both empty gives 0.
+pub fn dtw_distance(x: &[f64], y: &[f64]) -> f64 {
+    dtw_distance_with_penalty(x, y, 0.0)
+}
+
+/// Dynamic time warping with a per-asynchronous-step penalty (§4.1).
+///
+/// Identical to [`dtw_distance`] except every asynchronous warp step (one
+/// pointer advances while the other stays) adds `penalty`, preventing
+/// cost-free time shifting from under-estimating request differences. The
+/// paper sets `penalty` to the same value as the L1 unequal-length penalty.
+///
+/// # Panics
+///
+/// Panics if `penalty` is negative.
+pub fn dtw_distance_with_penalty(x: &[f64], y: &[f64], penalty: f64) -> f64 {
+    assert!(penalty >= 0.0, "penalty must be nonnegative");
+    if x.is_empty() || y.is_empty() {
+        return (x.len() + y.len()) as f64 * penalty;
+    }
+    // Keep the shorter series as the row for O(min) space.
+    let (rows, cols) = if x.len() <= y.len() { (x, y) } else { (y, x) };
+    let m = rows.len();
+
+    // prev[i] = D[j-1][i], cur[i] = D[j][i]; D over (col index j, row i).
+    let mut prev = vec![f64::INFINITY; m];
+    let mut cur = vec![f64::INFINITY; m];
+
+    for (j, &cv) in cols.iter().enumerate() {
+        std::mem::swap(&mut prev, &mut cur);
+        for (i, &rv) in rows.iter().enumerate() {
+            let local = (cv - rv).abs();
+            let best = if i == 0 && j == 0 {
+                0.0
+            } else {
+                let diag = if i > 0 && j > 0 {
+                    prev[i - 1]
+                } else {
+                    f64::INFINITY
+                };
+                let up = if i > 0 { cur[i - 1] + penalty } else { f64::INFINITY };
+                let left = if j > 0 { prev[i] + penalty } else { f64::INFINITY };
+                diag.min(up).min(left)
+            };
+            cur[i] = best + local;
+        }
+    }
+    cur[m - 1]
+}
+
+/// Sakoe–Chiba band-constrained DTW with asynchrony penalty.
+///
+/// Warp paths may deviate at most `band` elements from the (rescaled)
+/// diagonal. With `band >= max(m, n)` this equals the unconstrained
+/// distance; smaller bands are cheaper and forbid extreme warps. Returns
+/// the unconstrained convention for empty inputs.
+///
+/// # Panics
+///
+/// Panics if `penalty` is negative or `band` is zero.
+pub fn dtw_banded(x: &[f64], y: &[f64], penalty: f64, band: usize) -> f64 {
+    assert!(penalty >= 0.0, "penalty must be nonnegative");
+    assert!(band > 0, "band must be at least 1");
+    if x.is_empty() || y.is_empty() {
+        return (x.len() + y.len()) as f64 * penalty;
+    }
+    let (rows, cols) = if x.len() <= y.len() { (x, y) } else { (y, x) };
+    let m = rows.len();
+    let n = cols.len();
+    // Rescaled diagonal: row index ~ j * m / n.
+    let mut prev = vec![f64::INFINITY; m];
+    let mut cur = vec![f64::INFINITY; m];
+
+    for (j, &cv) in cols.iter().enumerate() {
+        std::mem::swap(&mut prev, &mut cur);
+        cur.fill(f64::INFINITY);
+        let center = j * m / n;
+        let lo = center.saturating_sub(band);
+        let hi = (center + band).min(m - 1);
+        for i in lo..=hi {
+            let rv = rows[i];
+            let local = (cv - rv).abs();
+            let best = if i == 0 && j == 0 {
+                0.0
+            } else {
+                let diag = if i > 0 && j > 0 {
+                    prev[i - 1]
+                } else {
+                    f64::INFINITY
+                };
+                let up = if i > 0 { cur[i - 1] + penalty } else { f64::INFINITY };
+                let left = if j > 0 { prev[i] + penalty } else { f64::INFINITY };
+                diag.min(up).min(left)
+            };
+            cur[i] = best + local;
+        }
+    }
+    cur[m - 1]
+}
+
+/// Levenshtein string edit distance over token sequences: the minimum
+/// number of insertions, deletions, or substitutions transforming one
+/// sequence into the other. Used on per-request system call name sequences
+/// as the Magpie-style software-only baseline (§4.1).
+pub fn levenshtein<T: PartialEq>(a: &[T], b: &[T]) -> usize {
+    if a.is_empty() {
+        return b.len();
+    }
+    if b.is_empty() {
+        return a.len();
+    }
+    let (short, long) = if a.len() <= b.len() { (a, b) } else { (b, a) };
+    let mut prev: Vec<usize> = (0..=short.len()).collect();
+    let mut cur = vec![0usize; short.len() + 1];
+    for (j, lv) in long.iter().enumerate() {
+        cur[0] = j + 1;
+        for (i, sv) in short.iter().enumerate() {
+            let sub = prev[i] + usize::from(sv != lv);
+            cur[i + 1] = sub.min(prev[i + 1] + 1).min(cur[i] + 1);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[short.len()]
+}
+
+/// The average-metric-value baseline \[27\]: `|x̄ − ȳ|`.
+pub fn average_metric_distance(x_avg: f64, y_avg: f64) -> f64 {
+    (x_avg - y_avg).abs()
+}
+
+/// Computes the unequal-length / asynchrony penalty `p` of §4.1: "the
+/// 99-percentile value of the distribution of metric differences at two
+/// arbitrary points of application execution".
+///
+/// Scans deterministic strided point pairs across all provided series
+/// (≈ `target_pairs` of them) and returns the 99th percentile of their
+/// absolute differences. Returns 0 when fewer than two points exist.
+pub fn length_penalty(series: &[&[f64]], target_pairs: usize) -> f64 {
+    let all: Vec<f64> = series.iter().flat_map(|s| s.iter().copied()).collect();
+    let n = all.len();
+    if n < 2 {
+        return 0.0;
+    }
+    let target = target_pairs.max(16);
+    // Deterministic quasi-random pairing: golden-ratio stride walk.
+    let mut diffs = Vec::with_capacity(target);
+    let mut a = 0usize;
+    let mut b = n / 2;
+    const STRIDE_A: usize = 7_919; // primes avoid short cycles
+    const STRIDE_B: usize = 104_729;
+    for _ in 0..target {
+        a = (a + STRIDE_A) % n;
+        b = (b + STRIDE_B) % n;
+        if a != b {
+            diffs.push((all[a] - all[b]).abs());
+        }
+    }
+    crate::stats::percentile(&diffs, 0.99).unwrap_or(0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn l1_equal_lengths() {
+        let d = l1_distance(&[1.0, 2.0, 3.0], &[2.0, 2.0, 1.0], 5.0);
+        assert!((d - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn l1_length_penalty_applied() {
+        let d = l1_distance(&[1.0], &[1.0, 1.0, 1.0], 2.5);
+        assert!((d - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn l1_identity_and_symmetry() {
+        let x = [1.0, 4.0, 2.0];
+        let y = [2.0, 1.0];
+        assert_eq!(l1_distance(&x, &x, 3.0), 0.0);
+        assert_eq!(l1_distance(&x, &y, 3.0), l1_distance(&y, &x, 3.0));
+    }
+
+    #[test]
+    fn dtw_identity() {
+        let x = [1.0, 2.0, 3.0, 2.0];
+        assert_eq!(dtw_distance(&x, &x), 0.0);
+        assert_eq!(dtw_distance_with_penalty(&x, &x, 5.0), 0.0);
+    }
+
+    #[test]
+    fn dtw_symmetry() {
+        let x = [1.0, 5.0, 2.0, 8.0];
+        let y = [2.0, 4.0, 4.0];
+        assert_eq!(dtw_distance(&x, &y), dtw_distance(&y, &x));
+        assert_eq!(
+            dtw_distance_with_penalty(&x, &y, 1.5),
+            dtw_distance_with_penalty(&y, &x, 1.5)
+        );
+    }
+
+    #[test]
+    fn dtw_absorbs_time_shift_that_l1_overestimates() {
+        // The Figure 6 scenario: identical peaks, shifted by one position.
+        let x = [1.0, 1.0, 9.0, 1.0, 1.0, 1.0];
+        let y = [1.0, 1.0, 1.0, 9.0, 1.0, 1.0];
+        let l1 = l1_distance(&x, &y, 10.0);
+        let dtw = dtw_distance(&x, &y);
+        assert!((l1 - 16.0).abs() < 1e-12, "L1 counts the peak twice");
+        assert!(dtw < 1e-12, "DTW aligns the peaks for free");
+    }
+
+    #[test]
+    fn asynchrony_penalty_charges_shifts() {
+        let x = [1.0, 1.0, 9.0, 1.0, 1.0, 1.0];
+        let y = [1.0, 1.0, 1.0, 9.0, 1.0, 1.0];
+        let p = 2.0;
+        let d = dtw_distance_with_penalty(&x, &y, p);
+        // The shift needs at least two asynchronous steps (one each way).
+        assert!(d >= 2.0 * p - 1e-9, "d = {d}");
+        assert!(d < l1_distance(&x, &y, p), "still cheaper than L1's 16");
+    }
+
+    #[test]
+    fn plain_dtw_underestimates_shifted_spiky_series() {
+        // Free warping absorbs a whole-series phase shift for nothing —
+        // the paper's motivation for the penalty.
+        let x = [1.0, 9.0, 1.0, 9.0, 1.0, 9.0, 1.0, 9.0];
+        let y = [9.0, 1.0, 9.0, 1.0, 9.0, 1.0, 9.0, 1.0];
+        let free = dtw_distance(&x, &y);
+        let charged = dtw_distance_with_penalty(&x, &y, 3.0);
+        // Free DTW pays only the two boundary cells (8 each).
+        assert!((free - 16.0).abs() < 1e-12, "free {free}");
+        // The penalty charges the two asynchronous shift steps.
+        assert!(charged >= free + 2.0 * 3.0 - 1e-9, "charged {charged}");
+        // Both stay below the fully synchronized cost of 64.
+        assert!(charged < l1_distance(&x, &y, 3.0));
+    }
+
+    #[test]
+    fn dtw_with_penalty_at_most_l1_for_equal_lengths() {
+        // The synchronized path IS a warp path, so the DTW minimum can't
+        // exceed the L1 sum on equal-length series.
+        let x = [1.0, 3.0, 2.0, 5.0, 4.0];
+        let y = [2.0, 2.0, 4.0, 4.0, 4.0];
+        let l1 = l1_distance(&x, &y, 7.0);
+        let d = dtw_distance_with_penalty(&x, &y, 7.0);
+        assert!(d <= l1 + 1e-12);
+    }
+
+    #[test]
+    fn dtw_unequal_lengths() {
+        let d = dtw_distance_with_penalty(&[1.0], &[1.0, 1.0, 1.0], 2.0);
+        // Two asynchronous steps at penalty 2 each, zero value difference.
+        assert!((d - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dtw_empty_conventions() {
+        assert_eq!(dtw_distance_with_penalty(&[], &[], 3.0), 0.0);
+        assert_eq!(dtw_distance_with_penalty(&[], &[1.0, 2.0], 3.0), 6.0);
+        assert_eq!(dtw_distance(&[], &[1.0, 2.0]), 0.0);
+    }
+
+    #[test]
+    fn banded_matches_full_with_wide_band() {
+        let x = [1.0, 5.0, 2.0, 8.0, 3.0, 3.0];
+        let y = [2.0, 4.0, 4.0, 7.0, 2.0];
+        let full = dtw_distance_with_penalty(&x, &y, 1.0);
+        let banded = dtw_banded(&x, &y, 1.0, 16);
+        assert!((full - banded).abs() < 1e-12);
+    }
+
+    #[test]
+    fn narrow_band_never_below_full() {
+        let x = [1.0, 1.0, 9.0, 1.0, 1.0, 1.0, 1.0, 1.0];
+        let y = [1.0, 1.0, 1.0, 1.0, 1.0, 9.0, 1.0, 1.0];
+        let full = dtw_distance_with_penalty(&x, &y, 0.5);
+        let narrow = dtw_banded(&x, &y, 0.5, 1);
+        assert!(narrow >= full - 1e-12);
+        // Band 1 cannot reach the 3-position shift: it must pay value cost.
+        assert!(narrow > full + 1.0, "narrow {narrow} vs full {full}");
+    }
+
+    #[test]
+    fn levenshtein_classic_cases() {
+        assert_eq!(levenshtein(&b"kitten"[..], &b"sitting"[..]), 3);
+        assert_eq!(levenshtein(&b"abc"[..], &b"abc"[..]), 0);
+        assert_eq!(levenshtein(&b""[..], &b"abc"[..]), 3);
+        assert_eq!(levenshtein(&b"abc"[..], &b""[..]), 3);
+        assert_eq!(levenshtein::<u8>(&[], &[]), 0);
+    }
+
+    #[test]
+    fn levenshtein_symmetry_and_triangle() {
+        let a = [1u16, 2, 3, 4];
+        let b = [2u16, 3, 4, 4, 5];
+        let c = [1u16, 1, 1];
+        let dab = levenshtein(&a, &b);
+        assert_eq!(dab, levenshtein(&b, &a));
+        assert!(levenshtein(&a, &c) <= dab + levenshtein(&b, &c));
+    }
+
+    #[test]
+    fn average_metric_distance_is_abs_diff() {
+        assert_eq!(average_metric_distance(2.0, 3.5), 1.5);
+        assert_eq!(average_metric_distance(3.5, 2.0), 1.5);
+    }
+
+    #[test]
+    fn length_penalty_is_peak_level() {
+        // Values mostly near 1 with rare 10s: p99 of |diff| should be
+        // well above the typical diff and near the extreme.
+        let mut vals = vec![1.0; 990];
+        vals.extend(vec![10.0; 10]);
+        let p = length_penalty(&[&vals], 100_000);
+        assert!(p > 4.0, "penalty {p} should reflect the peak diffs");
+        assert!(p <= 9.0 + 1e-9);
+    }
+
+    #[test]
+    fn length_penalty_degenerate_inputs() {
+        assert_eq!(length_penalty(&[], 1000), 0.0);
+        assert_eq!(length_penalty(&[&[1.0]], 1000), 0.0);
+        // Constant values: all diffs zero.
+        let c = vec![2.0; 100];
+        assert_eq!(length_penalty(&[&c], 1000), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "penalty must be nonnegative")]
+    fn negative_penalty_panics() {
+        l1_distance(&[1.0], &[1.0], -1.0);
+    }
+}
+
+/// Dynamic time warping with full path recovery: returns the distance of
+/// the optimal warp path (identical to [`dtw_distance_with_penalty`]) plus
+/// the path itself as `(x_index, y_index)` pointer positions, starting at
+/// `(0, 0)` and ending at `(m-1, n-1)`.
+///
+/// Uses `O(m·n)` memory for backtracking — fine for the few-hundred-bucket
+/// series request signatures use; prefer the path-free variant inside
+/// clustering loops.
+///
+/// Returns distance 0 and an empty path when either series is empty
+/// (matching the distance-only convention only when both are empty; a
+/// single empty side yields the length-penalty distance and no path).
+///
+/// # Panics
+///
+/// Panics if `penalty` is negative.
+pub fn dtw_alignment(x: &[f64], y: &[f64], penalty: f64) -> (f64, Vec<(usize, usize)>) {
+    assert!(penalty >= 0.0, "penalty must be nonnegative");
+    if x.is_empty() || y.is_empty() {
+        return ((x.len() + y.len()) as f64 * penalty, Vec::new());
+    }
+    let (m, n) = (x.len(), y.len());
+    let idx = |i: usize, j: usize| i * n + j;
+    let mut cost = vec![f64::INFINITY; m * n];
+    // 0 = start, 1 = diagonal, 2 = from (i-1, j), 3 = from (i, j-1).
+    let mut from = vec![0u8; m * n];
+    for i in 0..m {
+        for j in 0..n {
+            let local = (x[i] - y[j]).abs();
+            let (best, step) = if i == 0 && j == 0 {
+                (0.0, 0u8)
+            } else {
+                let diag = if i > 0 && j > 0 {
+                    cost[idx(i - 1, j - 1)]
+                } else {
+                    f64::INFINITY
+                };
+                let up = if i > 0 {
+                    cost[idx(i - 1, j)] + penalty
+                } else {
+                    f64::INFINITY
+                };
+                let left = if j > 0 {
+                    cost[idx(i, j - 1)] + penalty
+                } else {
+                    f64::INFINITY
+                };
+                if diag <= up && diag <= left {
+                    (diag, 1)
+                } else if up <= left {
+                    (up, 2)
+                } else {
+                    (left, 3)
+                }
+            };
+            cost[idx(i, j)] = best + local;
+            from[idx(i, j)] = step;
+        }
+    }
+    // Backtrack.
+    let mut path = Vec::with_capacity(m + n);
+    let (mut i, mut j) = (m - 1, n - 1);
+    loop {
+        path.push((i, j));
+        match from[idx(i, j)] {
+            0 => break,
+            1 => {
+                i -= 1;
+                j -= 1;
+            }
+            2 => i -= 1,
+            _ => j -= 1,
+        }
+    }
+    path.reverse();
+    (cost[idx(m - 1, n - 1)], path)
+}
+
+#[cfg(test)]
+mod alignment_tests {
+    use super::*;
+
+    #[test]
+    fn alignment_distance_matches_distance_only_variant() {
+        let x = [1.0, 5.0, 2.0, 8.0, 3.0];
+        let y = [2.0, 4.0, 4.0, 7.0];
+        for penalty in [0.0, 1.0, 3.5] {
+            let (d, path) = dtw_alignment(&x, &y, penalty);
+            assert!((d - dtw_distance_with_penalty(&x, &y, penalty)).abs() < 1e-12);
+            assert_eq!(*path.first().unwrap(), (0, 0));
+            assert_eq!(*path.last().unwrap(), (x.len() - 1, y.len() - 1));
+        }
+    }
+
+    #[test]
+    fn path_steps_are_valid_warp_moves() {
+        let x = [1.0, 1.0, 9.0, 1.0, 1.0, 1.0];
+        let y = [1.0, 1.0, 1.0, 9.0, 1.0, 1.0];
+        let (_, path) = dtw_alignment(&x, &y, 0.5);
+        for w in path.windows(2) {
+            let (di, dj) = (w[1].0 - w[0].0, w[1].1 - w[0].1);
+            assert!(
+                (di, dj) == (1, 1) || (di, dj) == (1, 0) || (di, dj) == (0, 1),
+                "invalid step {:?} -> {:?}",
+                w[0],
+                w[1]
+            );
+        }
+    }
+
+    #[test]
+    fn shifted_peaks_get_aligned() {
+        let x = [1.0, 1.0, 9.0, 1.0, 1.0, 1.0];
+        let y = [1.0, 1.0, 1.0, 9.0, 1.0, 1.0];
+        let (_, path) = dtw_alignment(&x, &y, 0.1);
+        // The peak at x[2] must be matched to the peak at y[3].
+        assert!(path.contains(&(2, 3)), "path {path:?}");
+    }
+
+    #[test]
+    fn empty_inputs_follow_conventions() {
+        let (d, path) = dtw_alignment(&[], &[1.0, 2.0], 3.0);
+        assert_eq!(d, 6.0);
+        assert!(path.is_empty());
+        let (d, path) = dtw_alignment(&[], &[], 3.0);
+        assert_eq!(d, 0.0);
+        assert!(path.is_empty());
+    }
+}

@@ -1,0 +1,55 @@
+//! Variation-driven request modeling: the primary contribution of
+//! *Request Behavior Variations* (Kai Shen, ASPLOS 2010).
+//!
+//! A server request's hardware behavior (CPI, L2 references per
+//! instruction, L2 misses per reference) fluctuates over its execution.
+//! This crate turns those fluctuations into models:
+//!
+//! * [`series`] — per-request counter [`Timeline`]s and fixed-bucket
+//!   [`MetricSeries`] signatures;
+//! * [`stats`] — the paper's Equation 1 (weighted coefficient of
+//!   variation) and Equation 7 (weighted RMSE), plus histograms and CDFs;
+//! * [`distance`] — request differencing (§4.1): L1 with length penalty,
+//!   dynamic time warping, DTW with the paper's asynchrony penalty,
+//!   banded DTW, Levenshtein over syscall sequences;
+//! * [`cluster`] — k-medoids classification and the Figure 7 quality
+//!   metric (§4.2);
+//! * [`anomaly`] — centroid-outlier and multi-metric anomaly detection
+//!   (§4.3);
+//! * [`signature`] — online request signature identification and CPU
+//!   usage prediction (§4.4);
+//! * [`predict`] — online behavior predictors including the paper's
+//!   variable-aging EWMA (§5.1).
+//!
+//! # Example: differencing two requests' CPI patterns
+//!
+//! ```
+//! use rbv_core::distance::{dtw_distance_with_penalty, l1_distance, length_penalty};
+//!
+//! // Two similar requests whose executions drift apart (the Figure 6
+//! // scenario): DTW with asynchrony penalty absorbs the shift cheaply,
+//! // the L1 distance overestimates it.
+//! let a = [1.0, 1.0, 6.0, 1.0, 6.0, 1.0, 1.0, 1.0];
+//! let b = [1.0, 1.0, 1.0, 6.0, 1.0, 6.0, 1.0, 1.0];
+//! let p = length_penalty(&[&a, &b], 10_000);
+//! assert!(dtw_distance_with_penalty(&a, &b, p) < l1_distance(&a, &b, p));
+//! ```
+//!
+//! [`Timeline`]: series::Timeline
+//! [`MetricSeries`]: series::MetricSeries
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod anomaly;
+pub mod cluster;
+pub mod distance;
+pub mod predict;
+pub mod series;
+pub mod signature;
+pub mod stats;
+
+pub use cluster::{k_medoids, Clustering, DistanceMatrix};
+pub use predict::{Ewma, LastValue, Predictor, RunningAverage, VaEwma};
+pub use series::{Metric, MetricSeries, SamplePeriod, Timeline};
+pub use signature::{BankEntry, RecentPastPredictor, SignatureBank};

@@ -1,0 +1,371 @@
+//! Online request behavior predictors (§5.1).
+//!
+//! To drive adaptive scheduling, the OS must estimate the target metric
+//! (L2 misses per instruction) for the *coming* execution period at each
+//! sampling moment, using only information available online. The paper
+//! evaluates (Figure 11):
+//!
+//! * [`LastValue`] — assume short-term stability: next = last observed;
+//! * [`RunningAverage`] — assume no variation: next = cumulative
+//!   duration-weighted average since the request began;
+//! * [`Ewma`] — the classic exponentially weighted moving average of
+//!   Equation 4 (`E_k = α E_{k-1} + (1-α) O_k`);
+//! * [`VaEwma`] — the paper's variable-aging EWMA of Equation 5: samples
+//!   of duration `t` age prior state by `α^(t/t̂)`
+//!   (`E_k = α^(t_k/t̂) E_{k-1} + (1 − α^(t_k/t̂)) O_k`), correcting for
+//!   the widely varying sample durations of context-switch and syscall
+//!   sampling.
+//!
+//! All predictors share the [`Predictor`] trait; [`evaluate_rmse`] scores
+//! a predictor over a request timeline with Equation 7.
+
+use crate::stats::weighted_rmse;
+
+/// An online metric predictor fed (value, duration) observations.
+pub trait Predictor {
+    /// Feeds one observed sample: metric `value` over a period of
+    /// `duration` (any consistent unit; the vaEWMA unit length t̂ must use
+    /// the same unit).
+    fn observe(&mut self, value: f64, duration: f64);
+
+    /// Predicted metric for the coming period; `None` before any
+    /// observation.
+    fn predict(&self) -> Option<f64>;
+
+    /// Forgets all state (new request).
+    fn reset(&mut self);
+}
+
+/// Predicts the next period's metric as the last observed value.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct LastValue {
+    last: Option<f64>,
+}
+
+impl LastValue {
+    /// Creates the predictor.
+    pub fn new() -> LastValue {
+        LastValue::default()
+    }
+}
+
+impl Predictor for LastValue {
+    fn observe(&mut self, value: f64, _duration: f64) {
+        self.last = Some(value);
+    }
+
+    fn predict(&self) -> Option<f64> {
+        self.last
+    }
+
+    fn reset(&mut self) {
+        self.last = None;
+    }
+}
+
+/// Predicts the cumulative duration-weighted average from the request's
+/// beginning ("assumes the request behavior does not vary").
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct RunningAverage {
+    weighted_sum: f64,
+    total_duration: f64,
+}
+
+impl RunningAverage {
+    /// Creates the predictor.
+    pub fn new() -> RunningAverage {
+        RunningAverage::default()
+    }
+}
+
+impl Predictor for RunningAverage {
+    fn observe(&mut self, value: f64, duration: f64) {
+        self.weighted_sum += value * duration;
+        self.total_duration += duration;
+    }
+
+    fn predict(&self) -> Option<f64> {
+        (self.total_duration > 0.0).then(|| self.weighted_sum / self.total_duration)
+    }
+
+    fn reset(&mut self) {
+        *self = RunningAverage::default();
+    }
+}
+
+/// The basic EWMA filter of Equation 4 (fixed aging per sample).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Ewma {
+    alpha: f64,
+    state: Option<f64>,
+}
+
+impl Ewma {
+    /// Creates the filter with gain `alpha` (0 = track instantly,
+    /// 1 = never update).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `alpha` is outside `[0, 1]`.
+    pub fn new(alpha: f64) -> Ewma {
+        assert!((0.0..=1.0).contains(&alpha), "alpha must be in [0, 1]");
+        Ewma { alpha, state: None }
+    }
+
+    /// The gain parameter.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+}
+
+impl Predictor for Ewma {
+    fn observe(&mut self, value: f64, _duration: f64) {
+        self.state = Some(match self.state {
+            None => value,
+            Some(e) => self.alpha * e + (1.0 - self.alpha) * value,
+        });
+    }
+
+    fn predict(&self) -> Option<f64> {
+        self.state
+    }
+
+    fn reset(&mut self) {
+        self.state = None;
+    }
+}
+
+/// The paper's variable-aging EWMA of Equation 5.
+///
+/// A sample spanning `t` time units ages the previous estimate by
+/// `α^(t/t̂)`: long samples (e.g. a full scheduling quantum between context
+/// switches) displace more history than the 1-unit samples of periodic
+/// interrupts, which makes the filter consistent across the mixed sample
+/// durations produced by syscall-triggered sampling.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct VaEwma {
+    alpha: f64,
+    unit: f64,
+    state: Option<f64>,
+}
+
+impl VaEwma {
+    /// Creates the filter with gain `alpha` and unit observation length
+    /// `unit` (t̂; the paper uses 1 ms).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `alpha` is outside `[0, 1]` or `unit` is not positive.
+    pub fn new(alpha: f64, unit: f64) -> VaEwma {
+        assert!((0.0..=1.0).contains(&alpha), "alpha must be in [0, 1]");
+        assert!(unit > 0.0, "unit length must be positive");
+        VaEwma {
+            alpha,
+            unit,
+            state: None,
+        }
+    }
+
+    /// The gain parameter.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+}
+
+impl Predictor for VaEwma {
+    fn observe(&mut self, value: f64, duration: f64) {
+        let aging = self.alpha.powf((duration / self.unit).max(0.0));
+        self.state = Some(match self.state {
+            None => value,
+            Some(e) => aging * e + (1.0 - aging) * value,
+        });
+    }
+
+    fn predict(&self) -> Option<f64> {
+        self.state
+    }
+
+    fn reset(&mut self) {
+        self.state = None;
+    }
+}
+
+/// Replays a request's sample sequence through `predictor` and scores it
+/// with the duration-weighted RMSE of Equation 7.
+///
+/// At each period the predictor first predicts (from past observations
+/// only), then observes the actual value. Periods before the first
+/// prediction are excluded. Returns `None` if fewer than two periods.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length.
+pub fn evaluate_rmse(
+    predictor: &mut dyn Predictor,
+    durations: &[f64],
+    values: &[f64],
+) -> Option<f64> {
+    assert_eq!(durations.len(), values.len(), "mismatched slice lengths");
+    predictor.reset();
+    let mut ts = Vec::new();
+    let mut actual = Vec::new();
+    let mut predicted = Vec::new();
+    for (&t, &x) in durations.iter().zip(values) {
+        if let Some(p) = predictor.predict() {
+            ts.push(t);
+            actual.push(x);
+            predicted.push(p);
+        }
+        predictor.observe(x, t);
+    }
+    weighted_rmse(&ts, &actual, &predicted)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn last_value_tracks() {
+        let mut p = LastValue::new();
+        assert_eq!(p.predict(), None);
+        p.observe(3.0, 1.0);
+        assert_eq!(p.predict(), Some(3.0));
+        p.observe(5.0, 10.0);
+        assert_eq!(p.predict(), Some(5.0));
+        p.reset();
+        assert_eq!(p.predict(), None);
+    }
+
+    #[test]
+    fn running_average_weights_by_duration() {
+        let mut p = RunningAverage::new();
+        p.observe(1.0, 3.0);
+        p.observe(5.0, 1.0);
+        assert_eq!(p.predict(), Some(2.0)); // (3 + 5) / 4
+    }
+
+    #[test]
+    fn ewma_recurrence_matches_equation_4() {
+        let mut p = Ewma::new(0.6);
+        p.observe(10.0, 1.0);
+        assert_eq!(p.predict(), Some(10.0));
+        p.observe(0.0, 1.0);
+        assert!((p.predict().unwrap() - 6.0).abs() < 1e-12);
+        p.observe(0.0, 1.0);
+        assert!((p.predict().unwrap() - 3.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ewma_extremes() {
+        let mut frozen = Ewma::new(1.0);
+        frozen.observe(2.0, 1.0);
+        frozen.observe(100.0, 1.0);
+        assert_eq!(frozen.predict(), Some(2.0));
+
+        let mut instant = Ewma::new(0.0);
+        instant.observe(2.0, 1.0);
+        instant.observe(100.0, 1.0);
+        assert_eq!(instant.predict(), Some(100.0));
+    }
+
+    #[test]
+    fn vaewma_equals_ewma_on_unit_samples() {
+        // Equation 5 reduces to Equation 4 when every t_k == t̂.
+        let mut va = VaEwma::new(0.7, 1.0);
+        let mut basic = Ewma::new(0.7);
+        for (i, v) in [3.0, 9.0, 1.0, 4.0, 8.0].iter().enumerate() {
+            va.observe(*v, 1.0);
+            basic.observe(*v, 1.0);
+            let (a, b) = (va.predict().unwrap(), basic.predict().unwrap());
+            assert!((a - b).abs() < 1e-12, "step {i}: {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn vaewma_long_samples_age_more() {
+        // After the same new observation, a longer duration pulls the
+        // estimate further from history.
+        let mut short = VaEwma::new(0.6, 1.0);
+        let mut long = VaEwma::new(0.6, 1.0);
+        short.observe(10.0, 1.0);
+        long.observe(10.0, 1.0);
+        short.observe(0.0, 1.0);
+        long.observe(0.0, 5.0);
+        assert!(long.predict().unwrap() < short.predict().unwrap());
+        // alpha^5 * 10 vs alpha^1 * 10.
+        assert!((long.predict().unwrap() - 10.0 * 0.6f64.powi(5)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn vaewma_split_sample_consistency() {
+        // Observing the same value for duration 2 equals observing it
+        // twice for duration 1 (the aging law is multiplicative).
+        let mut once = VaEwma::new(0.5, 1.0);
+        let mut twice = VaEwma::new(0.5, 1.0);
+        once.observe(8.0, 1.0);
+        twice.observe(8.0, 1.0);
+        once.observe(2.0, 2.0);
+        twice.observe(2.0, 1.0);
+        twice.observe(2.0, 1.0);
+        assert!((once.predict().unwrap() - twice.predict().unwrap()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn evaluate_rmse_on_constant_series() {
+        // Any sane predictor is perfect on a constant series.
+        let d = vec![1.0; 10];
+        let v = vec![4.2; 10];
+        for p in [
+            &mut LastValue::new() as &mut dyn Predictor,
+            &mut RunningAverage::new(),
+            &mut Ewma::new(0.5),
+            &mut VaEwma::new(0.5, 1.0),
+        ] {
+            assert_eq!(evaluate_rmse(p, &d, &v), Some(0.0));
+        }
+    }
+
+    #[test]
+    fn evaluate_rmse_last_value_on_alternating_series() {
+        // Alternating 0/1: last-value is always wrong by 1.
+        let d = vec![1.0; 8];
+        let v: Vec<f64> = (0..8).map(|i| (i % 2) as f64).collect();
+        let r = evaluate_rmse(&mut LastValue::new(), &d, &v).unwrap();
+        assert!((r - 1.0).abs() < 1e-12);
+        // The running average does better (always predicts ~0.5).
+        let ra = evaluate_rmse(&mut RunningAverage::new(), &d, &v).unwrap();
+        assert!(ra < r);
+    }
+
+    #[test]
+    fn evaluate_rmse_smooth_drift_favors_adaptive_filters() {
+        // Slowly drifting signal with noise: EWMA beats the global average.
+        let n = 200;
+        let d = vec![1.0; n];
+        let v: Vec<f64> = (0..n)
+            .map(|i| i as f64 * 0.05 + if i % 2 == 0 { 0.3 } else { -0.3 })
+            .collect();
+        let ewma = evaluate_rmse(&mut Ewma::new(0.6), &d, &v).unwrap();
+        let avg = evaluate_rmse(&mut RunningAverage::new(), &d, &v).unwrap();
+        assert!(ewma < avg, "ewma {ewma} vs avg {avg}");
+    }
+
+    #[test]
+    fn evaluate_rmse_too_short_is_none() {
+        assert_eq!(evaluate_rmse(&mut LastValue::new(), &[], &[]), None);
+        assert_eq!(evaluate_rmse(&mut LastValue::new(), &[1.0], &[2.0]), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha must be in [0, 1]")]
+    fn bad_alpha_panics() {
+        Ewma::new(1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "unit length must be positive")]
+    fn bad_unit_panics() {
+        VaEwma::new(0.5, 0.0);
+    }
+}

@@ -1,0 +1,410 @@
+//! Per-request counter timelines and metric time series.
+//!
+//! The OS sampling machinery produces, for each request, a sequence of
+//! *sample periods* — hardware counter deltas between consecutive sampling
+//! moments, serialized across the request's (possibly interleaved)
+//! execution periods into one continuous timeline (§2.1). Request modeling
+//! (§4.1) then needs sequences of metric values over *fixed-length*
+//! periods; [`Timeline::series`] resamples the raw periods into
+//! equal-instruction buckets, producing the [`MetricSeries`] the
+//! differencing measures operate on.
+
+/// A hardware counter metric derived from one sample period, per §2/§3.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Metric {
+    /// CPU cycles per retired instruction.
+    Cpi,
+    /// L2 cache references per instruction (shared-resource *usage*).
+    L2RefsPerIns,
+    /// L2 misses per reference (shared-resource *performance*).
+    L2MissesPerRef,
+    /// L2 misses per instruction (the scheduling metric of §5.2).
+    L2MissesPerIns,
+}
+
+impl Metric {
+    /// All metrics, in the paper's reporting order.
+    pub const ALL: [Metric; 4] = [
+        Metric::Cpi,
+        Metric::L2RefsPerIns,
+        Metric::L2MissesPerRef,
+        Metric::L2MissesPerIns,
+    ];
+}
+
+impl std::fmt::Display for Metric {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let name = match self {
+            Metric::Cpi => "cycles/ins",
+            Metric::L2RefsPerIns => "L2 refs/ins",
+            Metric::L2MissesPerRef => "L2 misses/ref",
+            Metric::L2MissesPerIns => "L2 misses/ins",
+        };
+        f.write_str(name)
+    }
+}
+
+/// Counter deltas accumulated between two consecutive sampling moments.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct SamplePeriod {
+    /// Elapsed CPU cycles.
+    pub cycles: f64,
+    /// Retired instructions.
+    pub instructions: f64,
+    /// L2 cache references.
+    pub l2_refs: f64,
+    /// L2 cache misses.
+    pub l2_misses: f64,
+}
+
+impl SamplePeriod {
+    /// The metric value for this period; `None` when the denominator is
+    /// zero (e.g. CPI of a period that retired nothing).
+    pub fn value(&self, metric: Metric) -> Option<f64> {
+        let (num, den) = self.fraction_parts(metric);
+        (den > 0.0).then(|| num / den)
+    }
+
+    /// Numerator/denominator pair defining `metric`.
+    pub fn fraction_parts(&self, metric: Metric) -> (f64, f64) {
+        match metric {
+            Metric::Cpi => (self.cycles, self.instructions),
+            Metric::L2RefsPerIns => (self.l2_refs, self.instructions),
+            Metric::L2MissesPerRef => (self.l2_misses, self.l2_refs),
+            Metric::L2MissesPerIns => (self.l2_misses, self.instructions),
+        }
+    }
+
+    /// Component-wise sum.
+    pub fn merged(&self, other: &SamplePeriod) -> SamplePeriod {
+        SamplePeriod {
+            cycles: self.cycles + other.cycles,
+            instructions: self.instructions + other.instructions,
+            l2_refs: self.l2_refs + other.l2_refs,
+            l2_misses: self.l2_misses + other.l2_misses,
+        }
+    }
+}
+
+/// A request's serialized sequence of sample periods.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Timeline {
+    periods: Vec<SamplePeriod>,
+}
+
+impl Timeline {
+    /// An empty timeline.
+    pub fn new() -> Timeline {
+        Timeline::default()
+    }
+
+    /// Builds directly from periods.
+    pub fn from_periods(periods: Vec<SamplePeriod>) -> Timeline {
+        Timeline { periods }
+    }
+
+    /// Appends one period (skipping completely empty ones).
+    pub fn push(&mut self, period: SamplePeriod) {
+        if period.cycles > 0.0 || period.instructions > 0.0 {
+            self.periods.push(period);
+        }
+    }
+
+    /// The raw periods.
+    pub fn periods(&self) -> &[SamplePeriod] {
+        &self.periods
+    }
+
+    /// Number of periods.
+    pub fn len(&self) -> usize {
+        self.periods.len()
+    }
+
+    /// True when no periods were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.periods.is_empty()
+    }
+
+    /// Counter totals over the whole request.
+    pub fn totals(&self) -> SamplePeriod {
+        self.periods
+            .iter()
+            .fold(SamplePeriod::default(), |acc, p| acc.merged(p))
+    }
+
+    /// Total CPU cycles consumed (the request "CPU time" of Figure 7A).
+    pub fn total_cycles(&self) -> f64 {
+        self.periods.iter().map(|p| p.cycles).sum()
+    }
+
+    /// Total retired instructions.
+    pub fn total_instructions(&self) -> f64 {
+        self.periods.iter().map(|p| p.instructions).sum()
+    }
+
+    /// Whole-request average metric value (e.g. the per-request CPI of
+    /// Figure 1: total cycles over total instructions).
+    pub fn average(&self, metric: Metric) -> Option<f64> {
+        self.totals().value(metric)
+    }
+
+    /// Per-period `(length, value)` pairs for CoV/RMSE computations, using
+    /// instruction counts as period lengths. Periods with an undefined
+    /// metric are skipped.
+    pub fn weighted_values(&self, metric: Metric) -> (Vec<f64>, Vec<f64>) {
+        let mut lengths = Vec::with_capacity(self.periods.len());
+        let mut values = Vec::with_capacity(self.periods.len());
+        for p in &self.periods {
+            if let Some(v) = p.value(metric) {
+                lengths.push(p.instructions);
+                values.push(v);
+            }
+        }
+        (lengths, values)
+    }
+
+    /// Resamples into a [`MetricSeries`] of equal-instruction buckets.
+    ///
+    /// Counter deltas are distributed over buckets assuming uniform rates
+    /// within each period, then the metric is formed per bucket. A trailing
+    /// partial bucket is kept if it covers at least half of `bucket_ins`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bucket_ins` is not positive.
+    pub fn series(&self, metric: Metric, bucket_ins: f64) -> MetricSeries {
+        assert!(bucket_ins > 0.0, "bucket size must be positive");
+        let total_ins = self.total_instructions();
+        let n_full = (total_ins / bucket_ins) as usize;
+        let tail = total_ins - n_full as f64 * bucket_ins;
+        let n = n_full + usize::from(tail >= bucket_ins * 0.5);
+        let mut num = vec![0.0f64; n];
+        let mut den = vec![0.0f64; n];
+
+        let mut pos = 0.0f64; // cumulative instructions so far
+        for p in &self.periods {
+            if p.instructions <= 0.0 {
+                continue;
+            }
+            let (pnum, pden) = p.fraction_parts(metric);
+            let start = pos;
+            let end = pos + p.instructions;
+            pos = end;
+            // Spread this period across the buckets it overlaps.
+            let first = (start / bucket_ins) as usize;
+            let last = ((end / bucket_ins) as usize).min(n.saturating_sub(1));
+            if n == 0 {
+                continue;
+            }
+            for b in first..=last.max(first) {
+                if b >= n {
+                    break;
+                }
+                let b_start = b as f64 * bucket_ins;
+                let b_end = b_start + bucket_ins;
+                let overlap = (end.min(b_end) - start.max(b_start)).max(0.0);
+                let frac = overlap / p.instructions;
+                num[b] += pnum * frac;
+                den[b] += pden * frac;
+            }
+        }
+
+        let values = num
+            .iter()
+            .zip(&den)
+            .map(|(&nu, &de)| if de > 0.0 { nu / de } else { 0.0 })
+            .collect();
+        MetricSeries { values, bucket_ins }
+    }
+}
+
+/// A metric sampled over fixed-instruction-length buckets: the request
+/// signature form the differencing measures of §4.1 compare.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricSeries {
+    values: Vec<f64>,
+    bucket_ins: f64,
+}
+
+impl MetricSeries {
+    /// Builds from raw values with a stated bucket size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bucket_ins` is not positive.
+    pub fn from_values(values: Vec<f64>, bucket_ins: f64) -> MetricSeries {
+        assert!(bucket_ins > 0.0, "bucket size must be positive");
+        MetricSeries { values, bucket_ins }
+    }
+
+    /// The bucket length in instructions.
+    pub fn bucket_ins(&self) -> f64 {
+        self.bucket_ins
+    }
+
+    /// The metric values.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Number of buckets.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True when there are no buckets.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// The first `n` buckets (for online partial-signature matching, §4.4).
+    pub fn prefix(&self, n: usize) -> MetricSeries {
+        MetricSeries {
+            values: self.values[..n.min(self.values.len())].to_vec(),
+            bucket_ins: self.bucket_ins,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn period(cycles: f64, ins: f64, refs: f64, misses: f64) -> SamplePeriod {
+        SamplePeriod {
+            cycles,
+            instructions: ins,
+            l2_refs: refs,
+            l2_misses: misses,
+        }
+    }
+
+    #[test]
+    fn metric_values_from_period() {
+        let p = period(200.0, 100.0, 10.0, 5.0);
+        assert_eq!(p.value(Metric::Cpi), Some(2.0));
+        assert_eq!(p.value(Metric::L2RefsPerIns), Some(0.1));
+        assert_eq!(p.value(Metric::L2MissesPerRef), Some(0.5));
+        assert_eq!(p.value(Metric::L2MissesPerIns), Some(0.05));
+    }
+
+    #[test]
+    fn zero_denominator_is_none() {
+        let p = period(100.0, 0.0, 0.0, 0.0);
+        assert_eq!(p.value(Metric::Cpi), None);
+        assert_eq!(p.value(Metric::L2MissesPerRef), None);
+    }
+
+    #[test]
+    fn timeline_totals_and_average() {
+        let mut t = Timeline::new();
+        t.push(period(100.0, 50.0, 4.0, 2.0));
+        t.push(period(300.0, 100.0, 6.0, 1.0));
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.total_cycles(), 400.0);
+        assert_eq!(t.total_instructions(), 150.0);
+        // Request CPI = 400/150.
+        assert!((t.average(Metric::Cpi).unwrap() - 400.0 / 150.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn push_skips_empty_periods() {
+        let mut t = Timeline::new();
+        t.push(SamplePeriod::default());
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn weighted_values_skip_undefined() {
+        let t = Timeline::from_periods(vec![
+            period(100.0, 50.0, 0.0, 0.0),
+            period(50.0, 0.0, 0.0, 0.0), // no instructions: CPI undefined
+        ]);
+        let (lens, vals) = t.weighted_values(Metric::Cpi);
+        assert_eq!(lens, vec![50.0]);
+        assert_eq!(vals, vec![2.0]);
+    }
+
+    #[test]
+    fn series_splits_periods_across_buckets() {
+        // One period of 100 ins at CPI 2, then 100 ins at CPI 4;
+        // bucket = 50 ins -> [2, 2, 4, 4].
+        let t = Timeline::from_periods(vec![
+            period(200.0, 100.0, 0.0, 0.0),
+            period(400.0, 100.0, 0.0, 0.0),
+        ]);
+        let s = t.series(Metric::Cpi, 50.0);
+        assert_eq!(s.len(), 4);
+        let expect = [2.0, 2.0, 4.0, 4.0];
+        for (v, e) in s.values().iter().zip(expect) {
+            assert!((v - e).abs() < 1e-9, "{:?}", s.values());
+        }
+    }
+
+    #[test]
+    fn series_blends_period_boundary_mid_bucket() {
+        // 50 ins at CPI 2 then 50 ins at CPI 4, one 100-ins bucket:
+        // blended CPI = (100+200)/100 = 3.
+        let t = Timeline::from_periods(vec![
+            period(100.0, 50.0, 0.0, 0.0),
+            period(200.0, 50.0, 0.0, 0.0),
+        ]);
+        let s = t.series(Metric::Cpi, 100.0);
+        assert_eq!(s.len(), 1);
+        assert!((s.values()[0] - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn series_keeps_large_tail_drops_small() {
+        let t = Timeline::from_periods(vec![period(130.0, 130.0, 0.0, 0.0)]);
+        // 130 ins with 50-ins buckets: 2 full + 30-tail (>= 25) kept.
+        assert_eq!(t.series(Metric::Cpi, 50.0).len(), 3);
+        let t2 = Timeline::from_periods(vec![period(120.0, 120.0, 0.0, 0.0)]);
+        // 20-tail (< 25) dropped.
+        assert_eq!(t2.series(Metric::Cpi, 50.0).len(), 2);
+    }
+
+    #[test]
+    fn series_conserves_counters() {
+        // Total cycles recovered from buckets ~= timeline total.
+        let t = Timeline::from_periods(vec![
+            period(123.0, 77.0, 5.0, 2.0),
+            period(456.0, 133.0, 9.0, 4.0),
+            period(89.0, 40.0, 2.0, 1.0),
+        ]);
+        let s = t.series(Metric::Cpi, 25.0);
+        let recovered: f64 = s.values().iter().map(|v| v * 25.0).sum();
+        assert!(
+            (recovered - t.total_cycles()).abs() / t.total_cycles() < 0.01,
+            "recovered {recovered} vs {}",
+            t.total_cycles()
+        );
+    }
+
+    #[test]
+    fn empty_timeline_series_is_empty() {
+        let t = Timeline::new();
+        assert!(t.series(Metric::Cpi, 10.0).is_empty());
+        assert_eq!(t.average(Metric::Cpi), None);
+    }
+
+    #[test]
+    fn prefix_truncates() {
+        let s = MetricSeries::from_values(vec![1.0, 2.0, 3.0], 10.0);
+        assert_eq!(s.prefix(2).values(), &[1.0, 2.0]);
+        assert_eq!(s.prefix(9).values(), &[1.0, 2.0, 3.0]);
+        assert_eq!(s.prefix(2).bucket_ins(), 10.0);
+    }
+
+    #[test]
+    fn metric_display() {
+        assert_eq!(Metric::Cpi.to_string(), "cycles/ins");
+        assert_eq!(Metric::L2MissesPerRef.to_string(), "L2 misses/ref");
+    }
+
+    #[test]
+    #[should_panic(expected = "bucket size must be positive")]
+    fn zero_bucket_panics() {
+        Timeline::new().series(Metric::Cpi, 0.0);
+    }
+}

@@ -1,0 +1,362 @@
+//! Online request signature identification (§4.4).
+//!
+//! Shortly after a request starts executing, its *partial* variation
+//! pattern is matched against a bank of representative signatures; the
+//! closest bank entry's recorded properties then predict the new request's
+//! — e.g. whether its CPU consumption will land above or below the
+//! workload median — well before it finishes. The paper uses L2 references
+//! per instruction as the signature metric (inherent behavior, free of
+//! dynamic L2 contention) and the L1 distance for its low online cost.
+//!
+//! Three predictors are compared in Figure 10:
+//!
+//! * [`SignatureBank`] with variation-pattern matching (this paper);
+//! * [`SignatureBank::identify_by_average`] — average-metric-value
+//!   signatures (the authors' earlier work \[27\]);
+//! * [`RecentPastPredictor`] — the application-transparent conventional
+//!   baseline: predict from the mean of the 10 most recent requests.
+
+use std::collections::VecDeque;
+
+use crate::distance::{l1_distance, length_penalty};
+use crate::series::MetricSeries;
+use crate::stats::percentile;
+
+/// One representative request stored in the bank.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BankEntry {
+    /// The signature: metric variation pattern over fixed buckets.
+    pub series: MetricSeries,
+    /// The request's total CPU consumption in cycles.
+    pub cpu_cycles: f64,
+}
+
+/// A bank of representative request signatures.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SignatureBank {
+    entries: Vec<BankEntry>,
+    median_cpu: f64,
+    penalty: f64,
+}
+
+impl SignatureBank {
+    /// Builds a bank; the prediction threshold is the median CPU usage of
+    /// the entries (the paper sets the threshold to the workload median).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` is empty.
+    pub fn new(entries: Vec<BankEntry>) -> SignatureBank {
+        assert!(!entries.is_empty(), "bank needs at least one signature");
+        let cpus: Vec<f64> = entries.iter().map(|e| e.cpu_cycles).collect();
+        let median_cpu = percentile(&cpus, 0.5).expect("nonempty bank");
+        // Unequal-length penalty (§4.1): without it, signatures shorter
+        // than the partial execution would win matches spuriously (fewer
+        // compared elements = smaller L1 sum).
+        let series: Vec<&[f64]> = entries.iter().map(|e| e.series.values()).collect();
+        let penalty = length_penalty(&series, 100_000);
+        SignatureBank {
+            entries,
+            median_cpu,
+            penalty,
+        }
+    }
+
+    /// The unequal-length penalty used during matching.
+    pub fn penalty(&self) -> f64 {
+        self.penalty
+    }
+
+    /// Number of stored signatures.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no signatures are stored (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The median-CPU prediction threshold.
+    pub fn median_cpu(&self) -> f64 {
+        self.median_cpu
+    }
+
+    /// The stored entries.
+    pub fn entries(&self) -> &[BankEntry] {
+        &self.entries
+    }
+
+    /// Matches a partial variation pattern against the bank: each stored
+    /// signature is truncated to the partial length and compared by L1
+    /// distance (low cost, suitable online). Returns the closest entry.
+    ///
+    /// Returns `None` for an empty partial pattern (nothing observed yet).
+    pub fn identify(&self, partial: &MetricSeries) -> Option<&BankEntry> {
+        if partial.is_empty() {
+            return None;
+        }
+        let n = partial.len();
+        self.entries
+            .iter()
+            .min_by(|a, b| {
+                let da = l1_distance(partial.values(), a.series.prefix(n).values(), self.penalty);
+                let db = l1_distance(partial.values(), b.series.prefix(n).values(), self.penalty);
+                da.partial_cmp(&db).expect("finite distances")
+            })
+    }
+
+    /// The \[27\] baseline: match on the *average* metric value of the
+    /// partial execution against each signature's prefix average.
+    pub fn identify_by_average(&self, partial: &MetricSeries) -> Option<&BankEntry> {
+        if partial.is_empty() {
+            return None;
+        }
+        let n = partial.len();
+        let avg = mean_of(partial.values());
+        self.entries
+            .iter()
+            .min_by(|a, b| {
+                let da = (mean_of(a.series.prefix(n).values()) - avg).abs();
+                let db = (mean_of(b.series.prefix(n).values()) - avg).abs();
+                da.partial_cmp(&db).expect("finite distances")
+            })
+    }
+
+    /// Predicts whether the request's CPU usage will exceed the median,
+    /// from its matched signature. `by_average` selects the \[27\] matching
+    /// rule instead of the variation-pattern rule.
+    pub fn predict_above_median(&self, partial: &MetricSeries, by_average: bool) -> Option<bool> {
+        let entry = if by_average {
+            self.identify_by_average(partial)?
+        } else {
+            self.identify(partial)?
+        };
+        Some(entry.cpu_cycles > self.median_cpu)
+    }
+}
+
+fn mean_of(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        0.0
+    } else {
+        values.iter().sum::<f64>() / values.len() as f64
+    }
+}
+
+/// The conventional transparent baseline: "there is little other choice
+/// but to use recent past workloads" — predicts every incoming request's
+/// CPU usage as the mean of the last `window` completed requests.
+#[derive(Debug, Clone)]
+pub struct RecentPastPredictor {
+    window: usize,
+    recent: VecDeque<f64>,
+}
+
+impl RecentPastPredictor {
+    /// Creates the predictor with the paper's 10-request window by default
+    /// via [`Default`], or a custom window here.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` is zero.
+    pub fn new(window: usize) -> RecentPastPredictor {
+        assert!(window > 0, "window must be nonzero");
+        RecentPastPredictor {
+            window,
+            recent: VecDeque::new(),
+        }
+    }
+
+    /// Records a completed request's CPU usage.
+    pub fn record(&mut self, cpu_cycles: f64) {
+        if self.recent.len() == self.window {
+            self.recent.pop_front();
+        }
+        self.recent.push_back(cpu_cycles);
+    }
+
+    /// Predicted CPU usage for the next request; `None` before any
+    /// completion.
+    pub fn predict(&self) -> Option<f64> {
+        if self.recent.is_empty() {
+            return None;
+        }
+        Some(self.recent.iter().sum::<f64>() / self.recent.len() as f64)
+    }
+
+    /// Predicts above/below a threshold.
+    pub fn predict_above(&self, threshold: f64) -> Option<bool> {
+        self.predict().map(|p| p > threshold)
+    }
+}
+
+impl Default for RecentPastPredictor {
+    /// The paper's 10-request window.
+    fn default() -> RecentPastPredictor {
+        RecentPastPredictor::new(10)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn series(values: &[f64]) -> MetricSeries {
+        MetricSeries::from_values(values.to_vec(), 1000.0)
+    }
+
+    fn bank() -> SignatureBank {
+        SignatureBank::new(vec![
+            BankEntry {
+                series: series(&[1.0, 1.0, 5.0, 5.0]),
+                cpu_cycles: 100.0,
+            },
+            BankEntry {
+                series: series(&[5.0, 5.0, 1.0, 1.0]),
+                cpu_cycles: 300.0,
+            },
+            BankEntry {
+                series: series(&[3.0, 3.0, 3.0, 3.0]),
+                cpu_cycles: 200.0,
+            },
+        ])
+    }
+
+    #[test]
+    fn identify_matches_closest_pattern() {
+        let b = bank();
+        let m = b.identify(&series(&[1.1, 0.9])).unwrap();
+        assert_eq!(m.cpu_cycles, 100.0);
+        let m = b.identify(&series(&[4.8, 5.2])).unwrap();
+        assert_eq!(m.cpu_cycles, 300.0);
+    }
+
+    #[test]
+    fn identify_uses_prefix_only() {
+        // Entries 0 and 1 differ only after position 1 when the partial is
+        // [3.0]: the average-flat entry should win.
+        let b = bank();
+        let m = b.identify(&series(&[3.0])).unwrap();
+        assert_eq!(m.cpu_cycles, 200.0);
+    }
+
+    #[test]
+    fn average_matching_ignores_shape() {
+        // Three signatures whose 2-bucket prefixes all average 3.0: the
+        // average rule cannot tell them apart (falls back to the first),
+        // while the variation-pattern rule matches the true shape.
+        let b = SignatureBank::new(vec![
+            BankEntry {
+                series: series(&[1.0, 5.0, 1.0, 5.0]),
+                cpu_cycles: 100.0,
+            },
+            BankEntry {
+                series: series(&[5.0, 1.0, 5.0, 1.0]),
+                cpu_cycles: 300.0,
+            },
+            BankEntry {
+                series: series(&[3.0, 3.0, 3.0, 3.0]),
+                cpu_cycles: 200.0,
+            },
+        ]);
+        let by_shape = b.identify(&series(&[5.0, 1.0])).unwrap();
+        assert_eq!(by_shape.cpu_cycles, 300.0);
+        let by_avg = b.identify_by_average(&series(&[5.0, 1.0])).unwrap();
+        assert_eq!(by_avg.cpu_cycles, 100.0, "average rule cannot discriminate");
+    }
+
+    #[test]
+    fn empty_partial_identifies_nothing() {
+        let b = bank();
+        assert!(b.identify(&series(&[])).is_none());
+        assert!(b.identify_by_average(&series(&[])).is_none());
+    }
+
+    #[test]
+    fn median_threshold_and_prediction() {
+        let b = bank();
+        assert_eq!(b.median_cpu(), 200.0);
+        assert_eq!(
+            b.predict_above_median(&series(&[5.0, 5.0, 1.0]), false),
+            Some(true)
+        );
+        assert_eq!(
+            b.predict_above_median(&series(&[1.0, 1.0, 5.0]), false),
+            Some(false)
+        );
+    }
+
+    #[test]
+    fn longer_partial_cannot_hurt_an_exact_match() {
+        let b = bank();
+        for n in 1..=4 {
+            let full = [1.0, 1.0, 5.0, 5.0];
+            let m = b.identify(&series(&full[..n])).unwrap();
+            assert_eq!(m.cpu_cycles, 100.0, "prefix length {n}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one signature")]
+    fn empty_bank_panics() {
+        SignatureBank::new(vec![]);
+    }
+
+    #[test]
+    fn recent_past_window_slides() {
+        let mut p = RecentPastPredictor::new(3);
+        assert_eq!(p.predict(), None);
+        p.record(10.0);
+        assert_eq!(p.predict(), Some(10.0));
+        p.record(20.0);
+        p.record(30.0);
+        assert_eq!(p.predict(), Some(20.0));
+        p.record(40.0); // evicts the 10
+        assert_eq!(p.predict(), Some(30.0));
+    }
+
+    #[test]
+    fn recent_past_threshold() {
+        let mut p = RecentPastPredictor::default();
+        assert_eq!(p.predict_above(5.0), None);
+        p.record(10.0);
+        assert_eq!(p.predict_above(5.0), Some(true));
+        assert_eq!(p.predict_above(15.0), Some(false));
+    }
+
+    #[test]
+    #[should_panic(expected = "window must be nonzero")]
+    fn zero_window_panics() {
+        RecentPastPredictor::new(0);
+    }
+}
+#[cfg(test)]
+mod length_bias_tests {
+    use super::*;
+
+    fn series(values: &[f64], bucket: f64) -> MetricSeries {
+        MetricSeries::from_values(values.to_vec(), bucket)
+    }
+
+    #[test]
+    fn long_partial_does_not_spuriously_match_short_signature() {
+        // A short signature compared over fewer elements must not win by
+        // default: the unequal-length penalty charges the missing tail.
+        let b = SignatureBank::new(vec![
+            BankEntry {
+                series: series(&[2.0, 8.0], 1.0), // short request
+                cpu_cycles: 10.0,
+            },
+            BankEntry {
+                series: series(&[2.1, 8.2, 2.0, 8.0, 2.1, 8.1], 1.0), // long request
+                cpu_cycles: 100.0,
+            },
+        ]);
+        assert!(b.penalty() > 0.0);
+        // The partial clearly continues past the short signature's end.
+        let partial = series(&[2.0, 8.0, 2.0, 8.0, 2.0], 1.0);
+        let m = b.identify(&partial).unwrap();
+        assert_eq!(m.cpu_cycles, 100.0, "the long signature should match");
+    }
+}

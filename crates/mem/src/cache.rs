@@ -1,0 +1,491 @@
+//! A single set-associative cache with LRU replacement.
+//!
+//! This is the building block of the trace-driven [`hierarchy`] simulator
+//! used to ground the analytical contention model. Geometry defaults follow
+//! the paper's Xeon 5160: a 4 MB, 16-way, 64-byte-line shared L2.
+//!
+//! [`hierarchy`]: crate::hierarchy
+
+use std::fmt;
+
+/// Geometry of a set-associative cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CacheConfig {
+    /// Total capacity in bytes. Must be a power of two.
+    pub size_bytes: usize,
+    /// Number of ways per set. Must divide `size_bytes / line_bytes`.
+    pub associativity: usize,
+    /// Cache line size in bytes. Must be a power of two.
+    pub line_bytes: usize,
+}
+
+impl CacheConfig {
+    /// The paper's shared L2: 4 MB, 16-way, 64-byte lines.
+    pub const XEON_5160_L2: CacheConfig = CacheConfig {
+        size_bytes: 4 << 20,
+        associativity: 16,
+        line_bytes: 64,
+    };
+
+    /// A Woodcrest-like private L1D: 32 KB, 8-way, 64-byte lines.
+    pub const XEON_5160_L1D: CacheConfig = CacheConfig {
+        size_bytes: 32 << 10,
+        associativity: 8,
+        line_bytes: 64,
+    };
+
+    /// Number of sets implied by the geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry is inconsistent (see [`CacheConfig::validate`]).
+    pub fn num_sets(&self) -> usize {
+        self.validate().expect("invalid cache geometry");
+        self.size_bytes / (self.line_bytes * self.associativity)
+    }
+
+    /// Checks the geometry: power-of-two sizes, nonzero associativity, and
+    /// a whole number of sets.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CacheGeometryError`] describing the first violated rule.
+    pub fn validate(&self) -> Result<(), CacheGeometryError> {
+        if self.line_bytes == 0 || !self.line_bytes.is_power_of_two() {
+            return Err(CacheGeometryError::LineNotPowerOfTwo(self.line_bytes));
+        }
+        if self.associativity == 0 {
+            return Err(CacheGeometryError::ZeroAssociativity);
+        }
+        if self.size_bytes == 0 || !self.size_bytes.is_multiple_of(self.line_bytes * self.associativity) {
+            return Err(CacheGeometryError::SizeNotDivisible {
+                size_bytes: self.size_bytes,
+                line_bytes: self.line_bytes,
+                associativity: self.associativity,
+            });
+        }
+        let sets = self.size_bytes / (self.line_bytes * self.associativity);
+        if !sets.is_power_of_two() {
+            return Err(CacheGeometryError::SetsNotPowerOfTwo(sets));
+        }
+        Ok(())
+    }
+}
+
+/// Error returned by [`CacheConfig::validate`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CacheGeometryError {
+    /// The line size is zero or not a power of two.
+    LineNotPowerOfTwo(usize),
+    /// Associativity is zero.
+    ZeroAssociativity,
+    /// Capacity is not a whole number of sets.
+    SizeNotDivisible {
+        /// Offending capacity.
+        size_bytes: usize,
+        /// Line size used.
+        line_bytes: usize,
+        /// Associativity used.
+        associativity: usize,
+    },
+    /// The implied set count is not a power of two (index bits ill-defined).
+    SetsNotPowerOfTwo(usize),
+}
+
+impl fmt::Display for CacheGeometryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CacheGeometryError::LineNotPowerOfTwo(l) => {
+                write!(f, "line size {l} is not a nonzero power of two")
+            }
+            CacheGeometryError::ZeroAssociativity => write!(f, "associativity is zero"),
+            CacheGeometryError::SizeNotDivisible {
+                size_bytes,
+                line_bytes,
+                associativity,
+            } => write!(
+                f,
+                "capacity {size_bytes} is not divisible by line {line_bytes} x ways {associativity}"
+            ),
+            CacheGeometryError::SetsNotPowerOfTwo(s) => {
+                write!(f, "implied set count {s} is not a power of two")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CacheGeometryError {}
+
+/// Outcome of a cache lookup.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Lookup {
+    /// The line was present.
+    Hit,
+    /// The line was absent; it has been installed. Contains the evicted
+    /// victim line address (line-aligned), if any.
+    Miss {
+        /// Evicted line address, if an occupied way was replaced.
+        evicted: Option<u64>,
+    },
+}
+
+impl Lookup {
+    /// True for [`Lookup::Hit`].
+    pub fn is_hit(&self) -> bool {
+        matches!(self, Lookup::Hit)
+    }
+}
+
+/// One way of a set: a tag plus bookkeeping.
+#[derive(Debug, Clone, Copy)]
+struct Way {
+    tag: u64,
+    /// Owning core, used by the hierarchy for coherence; `u8::MAX` = shared.
+    owner: u8,
+    valid: bool,
+    /// Larger = more recently used.
+    lru_stamp: u64,
+}
+
+const EMPTY_WAY: Way = Way {
+    tag: 0,
+    owner: 0,
+    valid: false,
+    lru_stamp: 0,
+};
+
+/// A set-associative, LRU, write-allocate cache over 64-bit line addresses.
+///
+/// Stores full line addresses as tags (no aliasing), tracks hit/miss
+/// counters, and reports evicted victims so an enclosing hierarchy can
+/// maintain inclusion.
+///
+/// # Example
+///
+/// ```
+/// use rbv_mem::cache::{CacheConfig, SetAssocCache};
+///
+/// let mut c = SetAssocCache::new(CacheConfig {
+///     size_bytes: 1024,
+///     associativity: 2,
+///     line_bytes: 64,
+/// });
+/// assert!(!c.access(0x40, 0).is_hit()); // cold miss
+/// assert!(c.access(0x40, 0).is_hit()); // now resident
+/// ```
+#[derive(Debug, Clone)]
+pub struct SetAssocCache {
+    config: CacheConfig,
+    sets: Vec<Way>,
+    num_sets: usize,
+    line_shift: u32,
+    clock: u64,
+    hits: u64,
+    misses: u64,
+}
+
+impl SetAssocCache {
+    /// Builds an empty cache.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config` fails [`CacheConfig::validate`].
+    pub fn new(config: CacheConfig) -> SetAssocCache {
+        config.validate().expect("invalid cache geometry");
+        let num_sets = config.num_sets();
+        SetAssocCache {
+            config,
+            sets: vec![EMPTY_WAY; num_sets * config.associativity],
+            num_sets,
+            line_shift: config.line_bytes.trailing_zeros(),
+            clock: 0,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// The geometry this cache was built with.
+    pub fn config(&self) -> CacheConfig {
+        self.config
+    }
+
+    fn line_addr(&self, addr: u64) -> u64 {
+        addr >> self.line_shift
+    }
+
+    fn set_index(&self, line: u64) -> usize {
+        (line as usize) & (self.num_sets - 1)
+    }
+
+    /// Looks up `addr` for `core`, installing the line on a miss (LRU
+    /// victim). Returns hit/miss plus any evicted victim line address
+    /// (byte address of the line start).
+    pub fn access(&mut self, addr: u64, core: u8) -> Lookup {
+        self.clock += 1;
+        let line = self.line_addr(addr);
+        let set = self.set_index(line);
+        let base = set * self.config.associativity;
+        let ways = &mut self.sets[base..base + self.config.associativity];
+
+        if let Some(way) = ways.iter_mut().find(|w| w.valid && w.tag == line) {
+            way.lru_stamp = self.clock;
+            way.owner = core;
+            self.hits += 1;
+            return Lookup::Hit;
+        }
+
+        self.misses += 1;
+        // Prefer an invalid way, else evict the LRU one.
+        let victim_idx = ways
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, w)| (w.valid, w.lru_stamp))
+            .map(|(i, _)| i)
+            .expect("associativity is nonzero");
+        let victim = ways[victim_idx];
+        let evicted = victim
+            .valid
+            .then_some(victim.tag << self.line_shift);
+        ways[victim_idx] = Way {
+            tag: line,
+            owner: core,
+            valid: true,
+            lru_stamp: self.clock,
+        };
+        Lookup::Miss { evicted }
+    }
+
+    /// True if the line holding `addr` is resident (no LRU update).
+    pub fn contains(&self, addr: u64) -> bool {
+        let line = self.line_addr(addr);
+        let set = self.set_index(line);
+        let base = set * self.config.associativity;
+        self.sets[base..base + self.config.associativity]
+            .iter()
+            .any(|w| w.valid && w.tag == line)
+    }
+
+    /// Invalidates the line holding `addr` if resident; returns whether a
+    /// line was dropped. Used for inclusion/coherence by the hierarchy.
+    pub fn invalidate(&mut self, addr: u64) -> bool {
+        let line = self.line_addr(addr);
+        let set = self.set_index(line);
+        let base = set * self.config.associativity;
+        let ways = &mut self.sets[base..base + self.config.associativity];
+        if let Some(way) = ways.iter_mut().find(|w| w.valid && w.tag == line) {
+            way.valid = false;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// The owning core recorded for the line holding `addr`, if resident.
+    pub fn owner_of(&self, addr: u64) -> Option<u8> {
+        let line = self.line_addr(addr);
+        let set = self.set_index(line);
+        let base = set * self.config.associativity;
+        self.sets[base..base + self.config.associativity]
+            .iter()
+            .find(|w| w.valid && w.tag == line)
+            .map(|w| w.owner)
+    }
+
+    /// Total hits since construction or [`SetAssocCache::reset_counters`].
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Total misses since construction or [`SetAssocCache::reset_counters`].
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Miss ratio over all accesses so far; `None` before any access.
+    pub fn miss_ratio(&self) -> Option<f64> {
+        let total = self.hits + self.misses;
+        (total > 0).then(|| self.misses as f64 / total as f64)
+    }
+
+    /// Zeroes the hit/miss counters without touching cache contents
+    /// (e.g. to measure steady state after a warm-up pass).
+    pub fn reset_counters(&mut self) {
+        self.hits = 0;
+        self.misses = 0;
+    }
+
+    /// Number of valid lines currently resident.
+    pub fn resident_lines(&self) -> usize {
+        self.sets.iter().filter(|w| w.valid).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> SetAssocCache {
+        SetAssocCache::new(CacheConfig {
+            size_bytes: 512,
+            associativity: 2,
+            line_bytes: 64,
+        }) // 4 sets x 2 ways
+    }
+
+    #[test]
+    fn geometry_validation() {
+        assert!(CacheConfig::XEON_5160_L2.validate().is_ok());
+        assert!(CacheConfig::XEON_5160_L1D.validate().is_ok());
+        assert_eq!(CacheConfig::XEON_5160_L2.num_sets(), 4096);
+
+        let bad_line = CacheConfig {
+            size_bytes: 512,
+            associativity: 2,
+            line_bytes: 48,
+        };
+        assert!(matches!(
+            bad_line.validate(),
+            Err(CacheGeometryError::LineNotPowerOfTwo(48))
+        ));
+
+        let zero_ways = CacheConfig {
+            size_bytes: 512,
+            associativity: 0,
+            line_bytes: 64,
+        };
+        assert!(matches!(
+            zero_ways.validate(),
+            Err(CacheGeometryError::ZeroAssociativity)
+        ));
+
+        let ragged = CacheConfig {
+            size_bytes: 500,
+            associativity: 2,
+            line_bytes: 64,
+        };
+        assert!(matches!(
+            ragged.validate(),
+            Err(CacheGeometryError::SizeNotDivisible { .. })
+        ));
+
+        let nonpow2_sets = CacheConfig {
+            size_bytes: 3 * 128,
+            associativity: 2,
+            line_bytes: 64,
+        };
+        assert!(matches!(
+            nonpow2_sets.validate(),
+            Err(CacheGeometryError::SetsNotPowerOfTwo(3))
+        ));
+    }
+
+    #[test]
+    fn cold_miss_then_hit() {
+        let mut c = tiny();
+        assert!(!c.access(0x100, 0).is_hit());
+        assert!(c.access(0x100, 0).is_hit());
+        assert!(c.access(0x13F, 0).is_hit()); // same 64B line
+        assert!(!c.access(0x140, 0).is_hit()); // next line
+        assert_eq!(c.hits(), 2);
+        assert_eq!(c.misses(), 2);
+    }
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        let mut c = tiny(); // 4 sets; set = (addr/64) % 4
+        // Three lines mapping to set 0: lines 0, 4, 8 -> addrs 0, 256, 512.
+        c.access(0, 0);
+        c.access(256, 0);
+        c.access(0, 0); // touch line 0 again; line 4 (addr 256) is now LRU
+        let out = c.access(512, 0);
+        assert_eq!(out, Lookup::Miss { evicted: Some(256) });
+        assert!(c.contains(0));
+        assert!(!c.contains(256));
+        assert!(c.contains(512));
+    }
+
+    #[test]
+    fn invalid_ways_fill_before_eviction() {
+        let mut c = tiny();
+        match c.access(0, 0) {
+            Lookup::Miss { evicted } => assert_eq!(evicted, None),
+            Lookup::Hit => panic!("expected miss"),
+        }
+        match c.access(256, 0) {
+            Lookup::Miss { evicted } => assert_eq!(evicted, None),
+            Lookup::Hit => panic!("expected miss"),
+        }
+    }
+
+    #[test]
+    fn invalidate_and_contains() {
+        let mut c = tiny();
+        c.access(0x80, 3);
+        assert!(c.contains(0x80));
+        assert_eq!(c.owner_of(0x80), Some(3));
+        assert!(c.invalidate(0x80));
+        assert!(!c.contains(0x80));
+        assert!(!c.invalidate(0x80)); // second invalidate is a no-op
+        assert_eq!(c.owner_of(0x80), None);
+    }
+
+    #[test]
+    fn owner_updates_on_access() {
+        let mut c = tiny();
+        c.access(0x40, 1);
+        c.access(0x40, 2);
+        assert_eq!(c.owner_of(0x40), Some(2));
+    }
+
+    #[test]
+    fn working_set_within_capacity_has_no_steady_state_misses() {
+        let mut c = SetAssocCache::new(CacheConfig {
+            size_bytes: 4096,
+            associativity: 4,
+            line_bytes: 64,
+        });
+        let lines: Vec<u64> = (0..64).map(|i| i * 64).collect(); // exactly capacity
+        for &a in &lines {
+            c.access(a, 0);
+        }
+        c.reset_counters();
+        for _ in 0..10 {
+            for &a in &lines {
+                c.access(a, 0);
+            }
+        }
+        assert_eq!(c.misses(), 0);
+        assert_eq!(c.miss_ratio(), Some(0.0));
+    }
+
+    #[test]
+    fn cyclic_overflow_thrashes_lru() {
+        // Classic LRU pathology: cyclically scanning capacity+1 lines in one
+        // set misses every time.
+        let mut c = tiny(); // 2 ways per set
+        let set0_lines = [0u64, 256, 512]; // 3 lines, one set, 2 ways
+        for _ in 0..5 {
+            for &a in &set0_lines {
+                c.access(a, 0);
+            }
+        }
+        assert_eq!(c.hits(), 0);
+    }
+
+    #[test]
+    fn resident_lines_counts_valid_ways() {
+        let mut c = tiny();
+        assert_eq!(c.resident_lines(), 0);
+        c.access(0, 0);
+        c.access(64, 0);
+        assert_eq!(c.resident_lines(), 2);
+        c.invalidate(0);
+        assert_eq!(c.resident_lines(), 1);
+    }
+
+    #[test]
+    fn miss_ratio_none_before_accesses() {
+        let c = tiny();
+        assert_eq!(c.miss_ratio(), None);
+    }
+}

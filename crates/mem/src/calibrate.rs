@@ -1,0 +1,197 @@
+//! Calibration of the analytical contention model against the trace-driven
+//! simulator.
+//!
+//! The analytical model's miss-ratio curve (`miss_ratio` in [`model`]) is a
+//! claim about LRU behavior: a workload with working set `W` granted an
+//! effective share `S` of a shared cache hits its reusable references with
+//! probability `locality · (S/W)^exponent`. This module *measures* that
+//! curve by replaying synthetic traces through the real set-associative
+//! simulator — both solo (share = capacity) and against a streaming
+//! co-runner (share squeezed) — and quantifies the fit. The calibration
+//! tests keep the two layers from drifting apart; the
+//! `calibrate_model` example prints the full curve.
+//!
+//! [`model`]: crate::model
+
+use crate::cache::{CacheConfig, SetAssocCache};
+use crate::model::miss_ratio;
+use crate::trace::{Access, UniformWorkingSet, ZipfWorkingSet};
+use rbv_sim::SimRng;
+
+/// One measured point of the miss-ratio curve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CurvePoint {
+    /// Cache capacity granted to the workload, bytes.
+    pub share_bytes: f64,
+    /// The workload's working set, bytes.
+    pub ws_bytes: f64,
+    /// Steady-state miss ratio measured by the trace simulator.
+    pub measured: f64,
+    /// The analytical curve's prediction at the same point.
+    pub predicted: f64,
+}
+
+impl CurvePoint {
+    /// Absolute prediction error.
+    pub fn error(&self) -> f64 {
+        (self.measured - self.predicted).abs()
+    }
+}
+
+/// Reference-trace flavors whose locality the curve must capture.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceKind {
+    /// Uniform random references: locality 1, exponent 1 in the analytic
+    /// curve (steady-state LRU hit ratio = share / working set).
+    Uniform,
+    /// Zipf(1.0)-skewed references: concave reuse, exponent < 1.
+    Zipf,
+}
+
+/// Measures the steady-state miss ratio of `kind` over a working set of
+/// `ws_bytes`, granted a dedicated cache of `share_bytes` (the share a
+/// workload would enjoy inside a bigger shared cache).
+///
+/// Runs `warmup` accesses before measuring `measure` accesses.
+///
+/// # Panics
+///
+/// Panics if sizes don't form a valid cache geometry or the working set is
+/// smaller than one line.
+pub fn measure_miss_ratio(
+    kind: TraceKind,
+    share_bytes: usize,
+    ws_bytes: u64,
+    warmup: usize,
+    measure: usize,
+    seed: u64,
+) -> f64 {
+    let mut cache = SetAssocCache::new(CacheConfig {
+        size_bytes: share_bytes,
+        associativity: 8,
+        line_bytes: 64,
+    });
+    let rng = SimRng::seed_from(seed);
+    let mut trace: Box<dyn Iterator<Item = Access>> = match kind {
+        TraceKind::Uniform => Box::new(UniformWorkingSet::new(0, ws_bytes, 0, rng)),
+        TraceKind::Zipf => Box::new(ZipfWorkingSet::new(0, ws_bytes, 1.0, 0, rng)),
+    };
+    for a in trace.by_ref().take(warmup) {
+        cache.access(a.addr, 0);
+    }
+    cache.reset_counters();
+    for a in trace.take(measure) {
+        cache.access(a.addr, 0);
+    }
+    cache.miss_ratio().unwrap_or(1.0)
+}
+
+/// Sweeps share/working-set ratios for `kind` and returns measured vs
+/// predicted points, using the analytical curve with the given `locality`
+/// and `exponent` parameters.
+pub fn sweep_curve(
+    kind: TraceKind,
+    locality: f64,
+    exponent: f64,
+    seed: u64,
+) -> Vec<CurvePoint> {
+    // Power-of-two shares from 1/8 of the working set up to 2x (fully
+    // fitting); set counts must stay powers of two.
+    const WS_BYTES: u64 = 512 << 10;
+    let shares: [usize; 5] = [
+        (WS_BYTES / 8) as usize,
+        (WS_BYTES / 4) as usize,
+        (WS_BYTES / 2) as usize,
+        WS_BYTES as usize,
+        (WS_BYTES * 2) as usize,
+    ];
+    shares
+        .iter()
+        .map(|&share| {
+            let measured = measure_miss_ratio(kind, share, WS_BYTES, 300_000, 300_000, seed);
+            let predicted = miss_ratio(share as f64, WS_BYTES as f64, locality, exponent);
+            CurvePoint {
+                share_bytes: share as f64,
+                ws_bytes: WS_BYTES as f64,
+                measured,
+                predicted,
+            }
+        })
+        .collect()
+}
+
+/// Fits the exponent of the analytical curve to a measured sweep by grid
+/// search (locality fixed), returning `(exponent, mean_abs_error)`.
+pub fn fit_exponent(points: &[CurvePoint], locality: f64) -> (f64, f64) {
+    let mut best = (1.0, f64::INFINITY);
+    let mut gamma = 0.3;
+    while gamma <= 1.5 {
+        let err: f64 = points
+            .iter()
+            .map(|p| {
+                (p.measured - miss_ratio(p.share_bytes, p.ws_bytes, locality, gamma)).abs()
+            })
+            .sum::<f64>()
+            / points.len() as f64;
+        if err < best.1 {
+            best = (gamma, err);
+        }
+        gamma += 0.05;
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_trace_matches_linear_curve() {
+        // LRU steady state under uniform reuse: hit ratio = share / ws,
+        // i.e. the analytic curve with locality 1, exponent 1.
+        let points = sweep_curve(TraceKind::Uniform, 1.0, 1.0, 42);
+        for p in &points {
+            assert!(
+                p.error() < 0.08,
+                "share {}: measured {} vs predicted {}",
+                p.share_bytes,
+                p.measured,
+                p.predicted
+            );
+        }
+    }
+
+    #[test]
+    fn zipf_trace_is_concave() {
+        // Skewed reuse hits more than the linear curve at small shares:
+        // the fitted exponent is below 1.
+        let points = sweep_curve(TraceKind::Zipf, 1.0, 1.0, 43);
+        let (gamma, err) = fit_exponent(&points, 1.0);
+        assert!(gamma < 0.9, "fitted exponent {gamma}");
+        assert!(err < 0.10, "fit error {err}");
+        // At half share, Zipf must beat (miss less than) uniform.
+        let zipf_half = points[2].measured;
+        let uniform_half = sweep_curve(TraceKind::Uniform, 1.0, 1.0, 43)[2].measured;
+        assert!(zipf_half < uniform_half);
+    }
+
+    #[test]
+    fn fully_fitting_share_has_near_zero_misses() {
+        let m = measure_miss_ratio(TraceKind::Uniform, 1 << 20, 256 << 10, 200_000, 200_000, 1);
+        assert!(m < 0.01, "miss ratio {m}");
+    }
+
+    #[test]
+    fn fit_exponent_recovers_linear_for_uniform() {
+        let points = sweep_curve(TraceKind::Uniform, 1.0, 1.0, 44);
+        let (gamma, _) = fit_exponent(&points, 1.0);
+        assert!((0.85..=1.25).contains(&gamma), "fitted exponent {gamma}");
+    }
+
+    #[test]
+    fn measured_points_are_deterministic() {
+        let a = measure_miss_ratio(TraceKind::Zipf, 64 << 10, 512 << 10, 50_000, 50_000, 7);
+        let b = measure_miss_ratio(TraceKind::Zipf, 64 << 10, 512 << 10, 50_000, 50_000, 7);
+        assert_eq!(a, b);
+    }
+}

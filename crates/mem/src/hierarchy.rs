@@ -1,0 +1,403 @@
+//! A trace-driven multicore memory hierarchy.
+//!
+//! Models the paper's platform: four cores, each with a private L1D, and one
+//! shared, inclusive L2 per two-core cluster (two dual-core Xeon 5160
+//! packages). Lines are kept inclusive: an L2 eviction back-invalidates the
+//! L1 copies; a write by one core invalidates other cores' L1 copies
+//! (coherence), which is one of the paper's two explanations for the extra
+//! L2 references seen during the TPCH anomaly of Figure 8.
+//!
+//! The hierarchy exists to *ground* the fast analytical model in
+//! [`crate::model`]: the calibration tests replay synthetic traces through
+//! both and check that the analytical miss-ratio curve tracks the simulated
+//! one.
+
+use crate::cache::{CacheConfig, Lookup, SetAssocCache};
+
+/// Where an access was satisfied.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessLevel {
+    /// Private L1 hit.
+    L1,
+    /// Shared L2 hit (an L2 *reference* in counter terms).
+    L2,
+    /// L2 miss — satisfied from memory.
+    Memory,
+}
+
+/// Per-core hardware event counters maintained by the hierarchy.
+///
+/// Mirrors the counter set the paper samples: L2 references and L2 misses
+/// (cycles and instructions are accounted by the execution model, not here).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CoreCounters {
+    /// Total L1 accesses issued by the core.
+    pub accesses: u64,
+    /// L1 misses == L2 references.
+    pub l2_references: u64,
+    /// L2 misses (memory fetches).
+    pub l2_misses: u64,
+    /// L1 lines lost to cross-core write invalidations.
+    pub coherence_invalidations: u64,
+}
+
+impl CoreCounters {
+    /// L2 miss ratio (misses per reference); `None` with no references.
+    pub fn l2_miss_ratio(&self) -> Option<f64> {
+        (self.l2_references > 0).then(|| self.l2_misses as f64 / self.l2_references as f64)
+    }
+}
+
+/// Static description of the machine topology.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Topology {
+    /// Number of cores.
+    pub cores: usize,
+    /// Cores per shared-L2 cluster.
+    pub cores_per_cluster: usize,
+}
+
+impl Topology {
+    /// The paper's machine: 4 cores, L2 shared by pairs.
+    pub const XEON_5160_2X2: Topology = Topology {
+        cores: 4,
+        cores_per_cluster: 2,
+    };
+
+    /// Cluster index owning `core`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core >= self.cores`.
+    pub fn cluster_of(&self, core: usize) -> usize {
+        assert!(core < self.cores, "core {core} out of range");
+        core / self.cores_per_cluster
+    }
+
+    /// Number of clusters.
+    pub fn clusters(&self) -> usize {
+        self.cores.div_ceil(self.cores_per_cluster)
+    }
+}
+
+/// Trace-driven two-level inclusive hierarchy.
+///
+/// # Example
+///
+/// ```
+/// use rbv_mem::hierarchy::{MemoryHierarchy, Topology, AccessLevel};
+/// use rbv_mem::cache::CacheConfig;
+///
+/// let mut m = MemoryHierarchy::new(
+///     Topology::XEON_5160_2X2,
+///     CacheConfig::XEON_5160_L1D,
+///     CacheConfig::XEON_5160_L2,
+/// );
+/// assert_eq!(m.access(0, 0x1000, false), AccessLevel::Memory); // cold
+/// assert_eq!(m.access(0, 0x1000, false), AccessLevel::L1);
+/// assert_eq!(m.access(1, 0x1000, false), AccessLevel::L2); // same cluster
+/// ```
+#[derive(Debug, Clone)]
+pub struct MemoryHierarchy {
+    topology: Topology,
+    l1: Vec<SetAssocCache>,
+    l2: Vec<SetAssocCache>,
+    counters: Vec<CoreCounters>,
+}
+
+impl MemoryHierarchy {
+    /// Builds the hierarchy with the given cache geometries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either geometry is invalid or the topology has zero cores.
+    pub fn new(topology: Topology, l1: CacheConfig, l2: CacheConfig) -> MemoryHierarchy {
+        assert!(topology.cores > 0, "need at least one core");
+        assert!(
+            topology.cores_per_cluster > 0,
+            "need at least one core per cluster"
+        );
+        MemoryHierarchy {
+            topology,
+            l1: (0..topology.cores).map(|_| SetAssocCache::new(l1)).collect(),
+            l2: (0..topology.clusters())
+                .map(|_| SetAssocCache::new(l2))
+                .collect(),
+            counters: vec![CoreCounters::default(); topology.cores],
+        }
+    }
+
+    /// The paper's machine with its cache geometries.
+    pub fn xeon_5160() -> MemoryHierarchy {
+        MemoryHierarchy::new(
+            Topology::XEON_5160_2X2,
+            CacheConfig::XEON_5160_L1D,
+            CacheConfig::XEON_5160_L2,
+        )
+    }
+
+    /// The machine topology.
+    pub fn topology(&self) -> Topology {
+        self.topology
+    }
+
+    /// Performs one data access by `core` at byte address `addr`.
+    ///
+    /// Returns which level satisfied it, updates counters, maintains
+    /// inclusion (L2 evictions back-invalidate L1) and write coherence
+    /// (a write invalidates the line in *other* cores' L1s in the same
+    /// cluster — cross-cluster sharing is handled identically).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` is out of range.
+    pub fn access(&mut self, core: usize, addr: u64, is_write: bool) -> AccessLevel {
+        assert!(core < self.topology.cores, "core {core} out of range");
+        self.counters[core].accesses += 1;
+
+        if is_write {
+            // Coherence: strip the line from every *other* L1.
+            for other in 0..self.topology.cores {
+                if other != core && self.l1[other].invalidate(addr) {
+                    self.counters[other].coherence_invalidations += 1;
+                }
+            }
+        }
+
+        if self.l1[core].access(addr, core as u8).is_hit() {
+            return AccessLevel::L1;
+        }
+
+        // L1 miss => L2 reference.
+        self.counters[core].l2_references += 1;
+        let cluster = self.topology.cluster_of(core);
+        match self.l2[cluster].access(addr, core as u8) {
+            Lookup::Hit => AccessLevel::L2,
+            Lookup::Miss { evicted } => {
+                self.counters[core].l2_misses += 1;
+                if let Some(victim) = evicted {
+                    // Inclusion: the victim may still live in L1s of this
+                    // cluster; back-invalidate it.
+                    let lo = cluster * self.topology.cores_per_cluster;
+                    let hi = (lo + self.topology.cores_per_cluster).min(self.topology.cores);
+                    for l1 in &mut self.l1[lo..hi] {
+                        l1.invalidate(victim);
+                    }
+                }
+                AccessLevel::Memory
+            }
+        }
+    }
+
+    /// Counters for `core`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` is out of range.
+    pub fn counters(&self, core: usize) -> CoreCounters {
+        self.counters[core]
+    }
+
+    /// Zeroes all per-core counters (cache contents untouched).
+    pub fn reset_counters(&mut self) {
+        for c in &mut self.counters {
+            *c = CoreCounters::default();
+        }
+        for l1 in &mut self.l1 {
+            l1.reset_counters();
+        }
+        for l2 in &mut self.l2 {
+            l2.reset_counters();
+        }
+    }
+
+    /// Shared-L2 miss ratio of `cluster` since the last reset.
+    pub fn l2_miss_ratio(&self, cluster: usize) -> Option<f64> {
+        self.l2[cluster].miss_ratio()
+    }
+
+}
+
+/// Exhaustive inclusion check over a bounded address range, for tests.
+///
+/// Walks `0..range_bytes` line by line; wherever the L1 of `core` holds the
+/// line, asserts the cluster L2 holds it too.
+pub fn inclusion_holds_over(m: &MemoryHierarchy, core: usize, range_bytes: u64) -> bool {
+    let line = 64u64;
+    let cluster = m.topology.cluster_of(core);
+    let mut addr = 0;
+    while addr < range_bytes {
+        if m.l1[core].contains(addr) && !m.l2[cluster].contains(addr) {
+            return false;
+        }
+        addr += line;
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> MemoryHierarchy {
+        MemoryHierarchy::new(
+            Topology {
+                cores: 4,
+                cores_per_cluster: 2,
+            },
+            CacheConfig {
+                size_bytes: 1 << 10, // 1 KB L1
+                associativity: 2,
+                line_bytes: 64,
+            },
+            CacheConfig {
+                size_bytes: 4 << 10, // 4 KB L2
+                associativity: 4,
+                line_bytes: 64,
+            },
+        )
+    }
+
+    #[test]
+    fn topology_cluster_mapping() {
+        let t = Topology::XEON_5160_2X2;
+        assert_eq!(t.cluster_of(0), 0);
+        assert_eq!(t.cluster_of(1), 0);
+        assert_eq!(t.cluster_of(2), 1);
+        assert_eq!(t.cluster_of(3), 1);
+        assert_eq!(t.clusters(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn cluster_of_out_of_range_panics() {
+        Topology::XEON_5160_2X2.cluster_of(4);
+    }
+
+    #[test]
+    fn levels_resolve_in_order() {
+        let mut m = small();
+        assert_eq!(m.access(0, 0x2000, false), AccessLevel::Memory);
+        assert_eq!(m.access(0, 0x2000, false), AccessLevel::L1);
+        // Sibling core in the same cluster: misses its L1, hits shared L2.
+        assert_eq!(m.access(1, 0x2000, false), AccessLevel::L2);
+        // Core in the other cluster: different L2, memory again.
+        assert_eq!(m.access(2, 0x2000, false), AccessLevel::Memory);
+    }
+
+    #[test]
+    fn counters_track_references_and_misses() {
+        let mut m = small();
+        m.access(0, 0, false); // mem
+        m.access(0, 0, false); // l1
+        m.access(0, 64, false); // mem
+        let c = m.counters(0);
+        assert_eq!(c.accesses, 3);
+        assert_eq!(c.l2_references, 2);
+        assert_eq!(c.l2_misses, 2);
+        assert_eq!(c.l2_miss_ratio(), Some(1.0));
+    }
+
+    #[test]
+    fn write_invalidates_other_l1s() {
+        let mut m = small();
+        m.access(0, 0x100, false);
+        m.access(1, 0x100, false);
+        assert_eq!(m.access(1, 0x100, false), AccessLevel::L1);
+        // Core 0 writes the line: core 1 loses its L1 copy.
+        m.access(0, 0x100, true);
+        assert_eq!(m.access(1, 0x100, false), AccessLevel::L2);
+        assert_eq!(m.counters(1).coherence_invalidations, 1);
+    }
+
+    #[test]
+    fn coherence_misses_inflate_l2_references() {
+        // The Figure 8 effect: ping-ponged writes raise sibling L2 refs.
+        let mut m = small();
+        let mut quiet = small();
+        for i in 0..200u64 {
+            let addr = (i % 8) * 64;
+            m.access(0, addr, true);
+            m.access(1, addr, true);
+            quiet.access(0, addr, false);
+            quiet.access(1, addr, false);
+        }
+        assert!(
+            m.counters(1).l2_references > quiet.counters(1).l2_references,
+            "write sharing should add L2 references"
+        );
+    }
+
+    #[test]
+    fn inclusion_maintained_under_pressure() {
+        let mut m = small();
+        // Touch far more lines than L2 capacity from both cores of cluster 0.
+        for i in 0..10_000u64 {
+            m.access((i % 2) as usize, (i * 64) % (64 << 10), false);
+        }
+        assert!(inclusion_holds_over(&m, 0, 64 << 10));
+        assert!(inclusion_holds_over(&m, 1, 64 << 10));
+    }
+
+    #[test]
+    fn shared_cache_contention_raises_miss_ratio() {
+        // One core alone fits its working set in L2; add a streaming
+        // sibling and its miss ratio rises. This is the phenomenon behind
+        // Figure 1's multicore obfuscation.
+        let ws: Vec<u64> = (0..32).map(|i| i * 64).collect(); // 2 KB, fits 4 KB L2
+
+        let mut alone = small();
+        for _ in 0..50 {
+            for &a in &ws {
+                alone.access(0, a, false);
+            }
+        }
+        alone.reset_counters();
+        for _ in 0..50 {
+            for &a in &ws {
+                alone.access(0, a, false);
+            }
+        }
+        let alone_ratio = alone.counters(0).l2_miss_ratio().unwrap_or(0.0);
+
+        let mut shared = small();
+        let mut stream_addr: u64 = 1 << 20;
+        for round in 0..100 {
+            for &a in &ws {
+                shared.access(0, a, false);
+                // Sibling streams new lines through the same L2 at 4x the
+                // victim's rate, overwhelming LRU retention.
+                if round >= 50 {
+                    for _ in 0..4 {
+                        shared.access(1, stream_addr, false);
+                        stream_addr += 64;
+                    }
+                }
+            }
+            if round == 50 {
+                shared.reset_counters();
+            }
+        }
+        let shared_ratio = shared.counters(0).l2_miss_ratio().unwrap_or(0.0);
+        assert!(
+            shared_ratio > alone_ratio,
+            "contention should raise miss ratio: alone={alone_ratio} shared={shared_ratio}"
+        );
+    }
+
+    #[test]
+    fn reset_counters_clears_everything() {
+        let mut m = small();
+        m.access(0, 0, true);
+        m.reset_counters();
+        assert_eq!(m.counters(0), CoreCounters::default());
+        assert_eq!(m.l2_miss_ratio(0), None);
+    }
+
+    #[test]
+    fn xeon_constructor_matches_paper_geometry() {
+        let m = MemoryHierarchy::xeon_5160();
+        assert_eq!(m.topology().cores, 4);
+        assert_eq!(m.topology().cores_per_cluster, 2);
+    }
+}

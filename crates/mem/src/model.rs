@@ -1,0 +1,962 @@
+//! Analytical multicore performance model.
+//!
+//! Replaying hundreds of millions of instructions per request (a single
+//! WeBWorK request executes ~600 M instructions) through the trace-driven
+//! simulator is infeasible, so the execution engine in `rbv-os` advances
+//! time at scheduling-tick granularity using this analytical model. The
+//! model captures exactly the two multicore effects the paper attributes
+//! request behavior variation to:
+//!
+//! 1. **Shared L2 capacity contention** — co-running execution segments
+//!    divide the shared cache in proportion to their *insertion pressure*
+//!    (miss rate × reference rate, plus a small retention credit for
+//!    re-touched resident lines), capped at each segment's working set.
+//!    This is the standard LRU occupancy fixed point: a segment whose
+//!    share falls below its working set sees its miss ratio rise along a
+//!    concave curve, which in turn raises its insertion pressure, until
+//!    the system balances.
+//! 2. **Memory bandwidth contention** — total miss traffic inflates the
+//!    effective memory latency through an M/M/1-style queueing factor,
+//!    which is what degrades streaming workloads (TPCH) even when they
+//!    have no cache share worth losing.
+//!
+//! The miss-ratio curve is anchored by the trace-driven simulator: for a
+//! uniform working set of `W` bytes and an effective share of `S` bytes,
+//! LRU steady state hits with probability `S/W`, which is the curve at
+//! locality 1, exponent 1 (see the calibration tests).
+//!
+//! CPI composition:
+//!
+//! ```text
+//! cpi = base_cpi + refs_per_ins * (l2_hit_cycles * (1 - miss) + mem_latency * miss)
+//! ```
+//!
+//! where `base_cpi` is the core-local CPI (pipeline + L1 hits) of the
+//! segment and `mem_latency` the contention-inflated memory latency.
+
+use crate::hierarchy::Topology;
+
+/// Inherent (machine-independent) behavior of one execution segment.
+///
+/// Workload models in `rbv-workloads` emit requests as sequences of these;
+/// the model turns them into cycles, L2 references, and L2 misses given the
+/// set of co-running segments.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SegmentProfile {
+    /// Core-local CPI: pipeline plus L1-hit costs, no L2/memory stalls.
+    pub base_cpi: f64,
+    /// L1 misses (== L2 references) per retired instruction.
+    pub l2_refs_per_ins: f64,
+    /// Bytes of data with reuse potential touched by the segment.
+    pub working_set_bytes: f64,
+    /// Fraction of L2 references that hit when the segment enjoys a full
+    /// cache share (1 = perfectly cacheable, 0 = pure streaming).
+    pub reuse_locality: f64,
+}
+
+impl SegmentProfile {
+    /// Validates field ranges.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the first out-of-range field.
+    pub fn validate(&self) -> Result<(), String> {
+        if !(self.base_cpi.is_finite() && self.base_cpi > 0.0) {
+            return Err(format!("base_cpi {} must be positive", self.base_cpi));
+        }
+        if !(self.l2_refs_per_ins.is_finite() && self.l2_refs_per_ins >= 0.0) {
+            return Err(format!(
+                "l2_refs_per_ins {} must be nonnegative",
+                self.l2_refs_per_ins
+            ));
+        }
+        if !(self.working_set_bytes.is_finite() && self.working_set_bytes >= 0.0) {
+            return Err(format!(
+                "working_set_bytes {} must be nonnegative",
+                self.working_set_bytes
+            ));
+        }
+        if !(0.0..=1.0).contains(&self.reuse_locality) {
+            return Err(format!(
+                "reuse_locality {} must be in [0, 1]",
+                self.reuse_locality
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Machine constants for the analytical model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MachineSpec {
+    /// Core/cluster layout.
+    pub topology: Topology,
+    /// Shared L2 capacity per cluster, bytes.
+    pub l2_capacity_bytes: f64,
+    /// L2 hit latency, cycles (the paper's 14).
+    pub l2_hit_cycles: f64,
+    /// Uncontended memory access latency, cycles.
+    pub mem_base_cycles: f64,
+    /// Peak memory system throughput, cache lines per cycle, per memory
+    /// domain.
+    pub peak_lines_per_cycle: f64,
+    /// Number of independent memory domains the cores split into evenly —
+    /// 1 for a single machine (the paper's platform); `m` when modeling an
+    /// `m`-machine cluster where each machine has its own memory system
+    /// (the §7 distributed extension). Cores only contend for bandwidth
+    /// within their own domain.
+    pub memory_domains: usize,
+    /// Concavity exponent of the miss-ratio curve in `share / working_set`.
+    pub share_exponent: f64,
+}
+
+impl MachineSpec {
+    /// The paper's 4-core Xeon 5160 platform: 4 MB shared L2 per core pair,
+    /// 14-cycle L2 hits, FSB-era memory bandwidth.
+    pub fn xeon_5160() -> MachineSpec {
+        MachineSpec {
+            topology: Topology::XEON_5160_2X2,
+            l2_capacity_bytes: (4 << 20) as f64,
+            l2_hit_cycles: 14.0,
+            mem_base_cycles: 250.0,
+            // ~1.9 GB/s sustained at 3 GHz with 64 B lines; FSB-era memory
+            // systems saturate quickly, which is what doubles TPCH's tail
+            // CPI at 4 cores (Figure 1).
+            peak_lines_per_cycle: 0.010,
+            memory_domains: 1,
+            share_exponent: 0.85,
+        }
+    }
+
+    /// An `m`-machine cluster of Xeon 5160 boxes: `4m` cores, a shared L2
+    /// per core pair, and one independent memory system per machine.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `machines` is zero.
+    pub fn xeon_5160_cluster(machines: usize) -> MachineSpec {
+        assert!(machines > 0, "need at least one machine");
+        let single = MachineSpec::xeon_5160();
+        MachineSpec {
+            topology: Topology {
+                cores: single.topology.cores * machines,
+                cores_per_cluster: single.topology.cores_per_cluster,
+            },
+            memory_domains: machines,
+            ..single
+        }
+    }
+
+    /// Cores per memory domain.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the domain count does not divide the core count.
+    pub fn cores_per_domain(&self) -> usize {
+        assert!(
+            self.memory_domains > 0 && self.topology.cores % self.memory_domains == 0,
+            "memory domains must evenly divide the cores"
+        );
+        self.topology.cores / self.memory_domains
+    }
+
+    /// Evaluates the model for one scheduling tick.
+    ///
+    /// `running[i]` is the profile of the segment currently on core `i`
+    /// (`None` when the core is idle). Returns a [`PerfEstimate`] per core
+    /// (`None` for idle cores).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `running.len()` disagrees with the topology or any profile
+    /// fails validation (programming errors, not data errors).
+    pub fn evaluate(&self, running: &[Option<SegmentProfile>]) -> Vec<Option<PerfEstimate>> {
+        assert_eq!(
+            running.len(),
+            self.topology.cores,
+            "one slot per core required"
+        );
+        for p in running.iter().flatten() {
+            if let Err(e) = p.validate() {
+                panic!("invalid segment profile: {e}");
+            }
+        }
+
+        let n = running.len();
+        // Initial IPC guess ignores memory stalls; initial shares split each
+        // cluster evenly among its occupied cores.
+        let mut ipc: Vec<f64> = running
+            .iter()
+            .map(|p| p.map_or(0.0, |p| 1.0 / p.base_cpi))
+            .collect();
+        let mut share = vec![0.0f64; n];
+        for cluster in 0..self.topology.clusters() {
+            let (lo, hi) = self.cluster_range(cluster, n);
+            let active = running[lo..hi].iter().filter(|p| p.is_some()).count();
+            if active > 0 {
+                let even = self.l2_capacity_bytes / active as f64;
+                for i in lo..hi {
+                    if let Some(p) = running[i] {
+                        share[i] = even.min(p.working_set_bytes.max(1.0));
+                    }
+                }
+            }
+        }
+
+        let mut out: Vec<Option<PerfEstimate>> = vec![None; n];
+        for _ in 0..MAX_ITERS {
+            // Miss ratios at current shares.
+            let miss: Vec<f64> = running
+                .iter()
+                .enumerate()
+                .map(|(i, p)| {
+                    p.map_or(0.0, |p| {
+                        miss_ratio(
+                            share[i],
+                            p.working_set_bytes,
+                            p.reuse_locality,
+                            self.share_exponent,
+                        )
+                    })
+                })
+                .collect();
+
+            // Reference pressure (L2 refs per cycle) and insertion-based
+            // occupancy weights. Resident re-touches defend occupancy too,
+            // hence the small retention credit on the hit fraction.
+            let pressure: Vec<f64> = running
+                .iter()
+                .zip(&ipc)
+                .map(|(p, &ipc)| p.map_or(0.0, |p| p.l2_refs_per_ins * ipc))
+                .collect();
+            let weight: Vec<f64> = pressure
+                .iter()
+                .zip(&miss)
+                .map(|(&p, &m)| p * (m + RETENTION_CREDIT * (1.0 - m)))
+                .collect();
+
+            // Target shares: weight-proportional water-filling, capped at
+            // each segment's working set (occupancy never exceeds demand).
+            let mut target = vec![0.0f64; n];
+            for cluster in 0..self.topology.clusters() {
+                let (lo, hi) = self.cluster_range(cluster, n);
+                let limits: Vec<f64> = running[lo..hi]
+                    .iter()
+                    .map(|p| p.map_or(0.0, |p| p.working_set_bytes))
+                    .collect();
+                let filled =
+                    proportional_fill(self.l2_capacity_bytes, &weight[lo..hi], &limits);
+                target[lo..hi].copy_from_slice(&filled);
+            }
+
+            // Bandwidth and latency from current rates, per memory domain
+            // (one domain per machine; a single machine has one domain).
+            let cpd = self.cores_per_domain();
+            let mut mem_latency_of = vec![self.mem_base_cycles; self.memory_domains];
+            for (d, lat) in mem_latency_of.iter_mut().enumerate() {
+                let demand: f64 = (d * cpd..(d + 1) * cpd)
+                    .map(|i| pressure[i] * miss[i])
+                    .sum();
+                let utilization = (demand / self.peak_lines_per_cycle).min(MAX_UTILIZATION);
+                *lat = self.mem_base_cycles / (1.0 - utilization);
+            }
+
+            // New CPI / IPC estimates; damped updates for both shares and
+            // IPC keep the coupled fixed point stable (the share map is
+            // monotone decreasing in each segment's own share, so damped
+            // iteration converges).
+            let mut max_delta = 0.0f64;
+            for i in 0..n {
+                let Some(p) = running[i] else { continue };
+                let mem_latency = mem_latency_of[i / cpd];
+                let cpi = p.base_cpi
+                    + p.l2_refs_per_ins
+                        * (self.l2_hit_cycles * (1.0 - miss[i]) + mem_latency * miss[i]);
+                let new_ipc = 1.0 / cpi;
+                let next_ipc = (1.0 - DAMPING) * ipc[i] + DAMPING * new_ipc;
+                let next_share = (1.0 - DAMPING) * share[i] + DAMPING * target[i];
+                max_delta = max_delta
+                    .max((next_ipc - ipc[i]).abs() / next_ipc.max(1e-12))
+                    .max((next_share - share[i]).abs() / self.l2_capacity_bytes);
+                ipc[i] = next_ipc;
+                share[i] = next_share;
+                out[i] = Some(PerfEstimate {
+                    cpi,
+                    l2_refs_per_ins: p.l2_refs_per_ins,
+                    l2_miss_ratio: miss[i],
+                    mem_latency_cycles: mem_latency,
+                    l2_share_bytes: share[i],
+                });
+            }
+            if max_delta < CONVERGENCE_TOL {
+                break;
+            }
+        }
+        out
+    }
+
+    /// Evaluates the model with *fixed* per-core L2 shares instead of the
+    /// LRU-occupancy sharing fixed point — modeling page-coloring-style
+    /// static cache partitioning (the related-work alternative to
+    /// contention-easing scheduling; Lin et al. / Tam et al. / Zhang et
+    /// al. in the paper's §6). Bandwidth contention is unchanged.
+    ///
+    /// # Panics
+    ///
+    /// Panics if slot counts disagree with the topology, any profile is
+    /// invalid, shares are negative, or a cluster's shares exceed its L2
+    /// capacity.
+    pub fn evaluate_partitioned(
+        &self,
+        running: &[Option<SegmentProfile>],
+        shares: &[f64],
+    ) -> Vec<Option<PerfEstimate>> {
+        assert_eq!(running.len(), self.topology.cores, "one slot per core");
+        assert_eq!(shares.len(), self.topology.cores, "one share per core");
+        for p in running.iter().flatten() {
+            if let Err(e) = p.validate() {
+                panic!("invalid segment profile: {e}");
+            }
+        }
+        for cluster in 0..self.topology.clusters() {
+            let (lo, hi) = self.cluster_range(cluster, running.len());
+            let total: f64 = shares[lo..hi].iter().sum();
+            assert!(
+                shares[lo..hi].iter().all(|&s| s >= 0.0)
+                    && total <= self.l2_capacity_bytes + 1.0,
+                "cluster {cluster} shares exceed capacity"
+            );
+        }
+
+        let n = running.len();
+        let miss: Vec<f64> = running
+            .iter()
+            .enumerate()
+            .map(|(i, p)| {
+                p.map_or(0.0, |p| {
+                    miss_ratio(
+                        shares[i],
+                        p.working_set_bytes,
+                        p.reuse_locality,
+                        self.share_exponent,
+                    )
+                })
+            })
+            .collect();
+        // Fixed shares decouple the cache from IPC; only the bandwidth
+        // coupling needs the fixed point.
+        let mut ipc: Vec<f64> = running
+            .iter()
+            .map(|p| p.map_or(0.0, |p| 1.0 / p.base_cpi))
+            .collect();
+        let mut out = vec![None; n];
+        let cpd = self.cores_per_domain();
+        for _ in 0..MAX_ITERS {
+            let mut mem_latency_of = vec![self.mem_base_cycles; self.memory_domains];
+            for (d, lat) in mem_latency_of.iter_mut().enumerate() {
+                let demand: f64 = (d * cpd..(d + 1) * cpd)
+                    .map(|i| running[i].map_or(0.0, |p| p.l2_refs_per_ins * ipc[i] * miss[i]))
+                    .sum();
+                let utilization = (demand / self.peak_lines_per_cycle).min(MAX_UTILIZATION);
+                *lat = self.mem_base_cycles / (1.0 - utilization);
+            }
+            let mut max_delta = 0.0f64;
+            for i in 0..n {
+                let Some(p) = running[i] else { continue };
+                let mem_latency = mem_latency_of[i / cpd];
+                let cpi = p.base_cpi
+                    + p.l2_refs_per_ins
+                        * (self.l2_hit_cycles * (1.0 - miss[i]) + mem_latency * miss[i]);
+                let next = (1.0 - DAMPING) * ipc[i] + DAMPING / cpi;
+                max_delta = max_delta.max((next - ipc[i]).abs() / next.max(1e-12));
+                ipc[i] = next;
+                out[i] = Some(PerfEstimate {
+                    cpi,
+                    l2_refs_per_ins: p.l2_refs_per_ins,
+                    l2_miss_ratio: miss[i],
+                    mem_latency_cycles: mem_latency,
+                    l2_share_bytes: shares[i],
+                });
+            }
+            if max_delta < CONVERGENCE_TOL {
+                break;
+            }
+        }
+        out
+    }
+
+    /// Convenience: evaluates `profile` running alone on core 0.
+    pub fn solo(&self, profile: SegmentProfile) -> PerfEstimate {
+        let mut running = vec![None; self.topology.cores];
+        running[0] = Some(profile);
+        self.evaluate(&running)[0].expect("core 0 is occupied")
+    }
+
+    fn cluster_range(&self, cluster: usize, n: usize) -> (usize, usize) {
+        let lo = cluster * self.topology.cores_per_cluster;
+        let hi = (lo + self.topology.cores_per_cluster).min(n);
+        (lo, hi)
+    }
+}
+
+const MAX_ITERS: usize = 400;
+const CONVERGENCE_TOL: f64 = 1e-9;
+const MAX_UTILIZATION: f64 = 0.95;
+const DAMPING: f64 = 0.35;
+/// Occupancy defense of resident, re-touched lines relative to insertions.
+const RETENTION_CREDIT: f64 = 0.08;
+
+/// Splits `capacity` across claimants in proportion to `weights`, capping
+/// each at its `limits` entry and redistributing surplus (water-filling).
+///
+/// Zero-weight claimants receive zero. The sum of the result never exceeds
+/// `capacity`, and equals `min(capacity, sum(limits of positive-weight
+/// claimants))` up to floating-point error.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length.
+pub fn proportional_fill(capacity: f64, weights: &[f64], limits: &[f64]) -> Vec<f64> {
+    assert_eq!(weights.len(), limits.len(), "mismatched slice lengths");
+    let n = weights.len();
+    let mut share = vec![0.0f64; n];
+    let mut capped = vec![false; n];
+    let mut remaining = capacity;
+    // Each pass either terminates or caps at least one claimant, so at most
+    // n passes are needed.
+    for _ in 0..=n {
+        let wsum: f64 = (0..n)
+            .filter(|&i| !capped[i])
+            .map(|i| weights[i].max(0.0))
+            .sum();
+        if wsum <= 0.0 || remaining <= 0.0 {
+            break;
+        }
+        let mut newly_capped = false;
+        for i in 0..n {
+            if capped[i] || weights[i] <= 0.0 {
+                continue;
+            }
+            let alloc = remaining * weights[i] / wsum;
+            if share[i] + alloc >= limits[i] {
+                // Grant up to the limit and retire this claimant.
+                let grant = (limits[i] - share[i]).max(0.0);
+                share[i] = limits[i];
+                remaining -= grant;
+                capped[i] = true;
+                newly_capped = true;
+            }
+        }
+        if !newly_capped {
+            // No caps hit: distribute the remainder proportionally and stop.
+            for i in 0..n {
+                if !capped[i] && weights[i] > 0.0 {
+                    share[i] += remaining * weights[i] / wsum;
+                }
+            }
+            break;
+        }
+    }
+    share
+}
+
+/// Model-predicted rates for a segment during one tick.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PerfEstimate {
+    /// Cycles per instruction.
+    pub cpi: f64,
+    /// L2 references per instruction (inherent; passed through).
+    pub l2_refs_per_ins: f64,
+    /// L2 misses per reference.
+    pub l2_miss_ratio: f64,
+    /// Contention-inflated memory latency in cycles.
+    pub mem_latency_cycles: f64,
+    /// The L2 share the segment was allotted, bytes.
+    pub l2_share_bytes: f64,
+}
+
+impl PerfEstimate {
+    /// Instructions per cycle.
+    pub fn ipc(&self) -> f64 {
+        1.0 / self.cpi
+    }
+
+    /// L2 misses per instruction (the contention-easing scheduler's metric).
+    pub fn l2_misses_per_ins(&self) -> f64 {
+        self.l2_refs_per_ins * self.l2_miss_ratio
+    }
+}
+
+/// The analytical miss-ratio curve.
+///
+/// * share ≥ working set → misses are only the non-reusable fraction
+///   `1 - locality`;
+/// * share < working set → the reusable fraction's hit probability decays
+///   as `(share / ws) ^ exponent` (uniform reuse is `exponent == 1`,
+///   skewed/Zipf-like reuse is concave, `exponent < 1`).
+///
+/// With `working_set == 0` there is nothing to re-reference, so the
+/// reusable fraction trivially hits (ratio `1 - locality`).
+pub fn miss_ratio(share_bytes: f64, ws_bytes: f64, locality: f64, exponent: f64) -> f64 {
+    debug_assert!((0.0..=1.0).contains(&locality));
+    if ws_bytes <= 0.0 || share_bytes >= ws_bytes {
+        return 1.0 - locality;
+    }
+    let frac = (share_bytes / ws_bytes).clamp(0.0, 1.0);
+    1.0 - locality * frac.powf(exponent)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> MachineSpec {
+        MachineSpec::xeon_5160()
+    }
+
+    fn cacheable() -> SegmentProfile {
+        SegmentProfile {
+            base_cpi: 0.8,
+            l2_refs_per_ins: 0.01,
+            working_set_bytes: (2 << 20) as f64, // 2 MB, fits alone
+            reuse_locality: 0.95,
+        }
+    }
+
+    fn streaming() -> SegmentProfile {
+        SegmentProfile {
+            base_cpi: 0.7,
+            l2_refs_per_ins: 0.008,
+            working_set_bytes: 360e6, // TPCH-scale scan
+            reuse_locality: 0.5,
+        }
+    }
+
+    #[test]
+    fn miss_curve_anchors() {
+        // Full share: only the streaming fraction misses.
+        assert!((miss_ratio(4e6, 1e6, 0.9, 1.0) - 0.1).abs() < 1e-12);
+        // Zero share: everything misses.
+        assert!((miss_ratio(0.0, 1e6, 0.9, 1.0) - 1.0).abs() < 1e-12);
+        // Half share, uniform reuse: hit = 0.9 * 0.5.
+        assert!((miss_ratio(0.5e6, 1e6, 0.9, 1.0) - 0.55).abs() < 1e-12);
+        // Zero working set: nothing to re-reference, reusable part hits.
+        assert!((miss_ratio(0.0, 0.0, 0.9, 1.0) - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn miss_curve_monotone_in_share() {
+        let mut prev = f64::INFINITY;
+        for i in 0..=20 {
+            let share = i as f64 * 1e5;
+            let m = miss_ratio(share, 2e6, 0.9, 0.85);
+            assert!(m <= prev + 1e-12);
+            prev = m;
+        }
+    }
+
+    #[test]
+    fn fill_basic_proportions() {
+        let s = proportional_fill(100.0, &[1.0, 3.0], &[f64::MAX, f64::MAX]);
+        assert!((s[0] - 25.0).abs() < 1e-9);
+        assert!((s[1] - 75.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fill_respects_limits_and_redistributes() {
+        let s = proportional_fill(100.0, &[1.0, 1.0], &[10.0, f64::MAX]);
+        assert!((s[0] - 10.0).abs() < 1e-9);
+        assert!((s[1] - 90.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fill_zero_weights_get_nothing() {
+        let s = proportional_fill(100.0, &[0.0, 2.0, 0.0], &[50.0, 50.0, 50.0]);
+        assert_eq!(s[0], 0.0);
+        assert!((s[1] - 50.0).abs() < 1e-9);
+        assert_eq!(s[2], 0.0);
+    }
+
+    #[test]
+    fn fill_total_never_exceeds_capacity() {
+        let s = proportional_fill(100.0, &[5.0, 1.0, 2.0], &[30.0, 40.0, 50.0]);
+        let total: f64 = s.iter().sum();
+        assert!(total <= 100.0 + 1e-9);
+        // All limits sum to 120 > 100, so capacity should be fully used.
+        assert!(total >= 100.0 - 1e-9);
+        for (i, &v) in s.iter().enumerate() {
+            assert!(v <= [30.0, 40.0, 50.0][i] + 1e-9);
+        }
+    }
+
+    #[test]
+    fn fill_undersubscribed_leaves_surplus() {
+        let s = proportional_fill(100.0, &[1.0, 1.0], &[20.0, 30.0]);
+        assert!((s[0] - 20.0).abs() < 1e-9);
+        assert!((s[1] - 30.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn solo_matches_closed_form() {
+        let s = spec();
+        let p = cacheable();
+        let est = s.solo(p);
+        // Working set fits: miss = 1 - locality.
+        let miss = 1.0 - p.reuse_locality;
+        assert!((est.l2_miss_ratio - miss).abs() < 1e-9);
+        assert!(est.mem_latency_cycles >= s.mem_base_cycles);
+        let cpi_floor = p.base_cpi
+            + p.l2_refs_per_ins * (s.l2_hit_cycles * (1.0 - miss) + s.mem_base_cycles * miss);
+        assert!(est.cpi >= cpi_floor - 1e-9);
+        assert!(est.cpi < cpi_floor * 1.2, "solo inflation should be mild");
+    }
+
+    #[test]
+    fn idle_cores_are_none() {
+        let s = spec();
+        let mut running = vec![None; 4];
+        running[2] = Some(cacheable());
+        let out = s.evaluate(&running);
+        assert!(out[0].is_none() && out[1].is_none() && out[3].is_none());
+        assert!(out[2].is_some());
+    }
+
+    #[test]
+    fn cache_contention_within_cluster() {
+        let s = spec();
+        let solo = s.solo(cacheable()).cpi;
+        // Large-footprint co-runner on the sibling core (same cluster).
+        let mut running = vec![None; 4];
+        running[0] = Some(cacheable());
+        running[1] = Some(streaming());
+        let shared = s.evaluate(&running)[0].unwrap();
+        assert!(
+            shared.cpi > solo * 1.05,
+            "same-cluster streaming co-runner should inflate CPI: solo={solo} shared={}",
+            shared.cpi
+        );
+        assert!(shared.l2_share_bytes < s.l2_capacity_bytes);
+        assert!(shared.l2_miss_ratio > s.solo(cacheable()).l2_miss_ratio);
+    }
+
+    #[test]
+    fn cross_cluster_contention_is_bandwidth_only() {
+        let s = spec();
+        let mut same = vec![None; 4];
+        same[0] = Some(cacheable());
+        same[1] = Some(streaming());
+        let mut cross = vec![None; 4];
+        cross[0] = Some(cacheable());
+        cross[2] = Some(streaming());
+        let same_est = s.evaluate(&same)[0].unwrap();
+        let cross_est = s.evaluate(&cross)[0].unwrap();
+        // Cross-cluster: the cacheable segment keeps its full working set
+        // resident, so its miss ratio stays at the solo level.
+        assert!(
+            (cross_est.l2_miss_ratio - s.solo(cacheable()).l2_miss_ratio).abs() < 1e-6
+        );
+        // ...so the same-cluster pairing hurts at least as much.
+        assert!(same_est.cpi >= cross_est.cpi - 1e-9);
+        // But bandwidth still bites: worse than solo.
+        assert!(cross_est.cpi > s.solo(cacheable()).cpi);
+    }
+
+    #[test]
+    fn four_streaming_corunners_hit_the_bandwidth_wall() {
+        let s = spec();
+        let solo = s.solo(streaming());
+        let running = vec![Some(streaming()); 4];
+        let loaded = s.evaluate(&running)[0].unwrap();
+        assert!(
+            loaded.cpi > solo.cpi * 1.2,
+            "4 streams contend for memory: solo={} loaded={}",
+            solo.cpi,
+            loaded.cpi
+        );
+        assert!(loaded.mem_latency_cycles > solo.mem_latency_cycles);
+
+        // Scarcer bandwidth makes the degradation strictly worse.
+        let tight = MachineSpec {
+            peak_lines_per_cycle: s.peak_lines_per_cycle / 2.0,
+            ..s
+        };
+        let tight_solo = tight.solo(streaming());
+        let tight_loaded = tight.evaluate(&running)[0].unwrap();
+        assert!(
+            tight_loaded.cpi / tight_solo.cpi > loaded.cpi / solo.cpi,
+            "halving bandwidth should worsen the relative degradation"
+        );
+    }
+
+    #[test]
+    fn small_working_set_immune_to_corunners() {
+        // The WeBWorK effect in Figure 1: compute-bound, cache-light
+        // requests barely notice the multicore.
+        let s = spec();
+        let light = SegmentProfile {
+            base_cpi: 1.2,
+            l2_refs_per_ins: 0.0005,
+            working_set_bytes: (64 << 10) as f64,
+            reuse_locality: 0.98,
+        };
+        let solo = s.solo(light).cpi;
+        let mut running = vec![Some(streaming()); 4];
+        running[0] = Some(light);
+        let loaded = s.evaluate(&running)[0].unwrap().cpi;
+        assert!(
+            loaded < solo * 1.10,
+            "light segment should see <10% impact: solo={solo} loaded={loaded}"
+        );
+    }
+
+    #[test]
+    fn symmetric_profiles_get_symmetric_estimates() {
+        let s = spec();
+        let running = vec![Some(streaming()); 4];
+        let out = s.evaluate(&running);
+        let first = out[0].unwrap();
+        for est in out.iter().flatten() {
+            assert!((est.cpi - first.cpi).abs() < 1e-6);
+            assert!((est.l2_share_bytes - first.l2_share_bytes).abs() < 1.0);
+        }
+    }
+
+    #[test]
+    fn zero_refs_segment_runs_at_base_cpi() {
+        let s = spec();
+        let pure_compute = SegmentProfile {
+            base_cpi: 1.5,
+            l2_refs_per_ins: 0.0,
+            working_set_bytes: 0.0,
+            reuse_locality: 0.0,
+        };
+        let est = s.solo(pure_compute);
+        assert!((est.cpi - 1.5).abs() < 1e-12);
+        assert_eq!(est.l2_misses_per_ins(), 0.0);
+    }
+
+    #[test]
+    fn estimates_expose_derived_rates() {
+        let est = spec().solo(streaming());
+        assert!((est.ipc() - 1.0 / est.cpi).abs() < 1e-15);
+        assert!(
+            (est.l2_misses_per_ins() - est.l2_refs_per_ins * est.l2_miss_ratio).abs() < 1e-15
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "one slot per core")]
+    fn wrong_slot_count_panics() {
+        spec().evaluate(&[None, None]);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid segment profile")]
+    fn invalid_profile_panics() {
+        let bad = SegmentProfile {
+            base_cpi: -1.0,
+            l2_refs_per_ins: 0.0,
+            working_set_bytes: 0.0,
+            reuse_locality: 0.0,
+        };
+        let mut running = vec![None; 4];
+        running[0] = Some(bad);
+        spec().evaluate(&running);
+    }
+
+    #[test]
+    fn profile_validation_messages() {
+        let mut p = cacheable();
+        p.reuse_locality = 1.5;
+        assert!(p.validate().unwrap_err().contains("reuse_locality"));
+        let mut p = cacheable();
+        p.l2_refs_per_ins = f64::NAN;
+        assert!(p.validate().unwrap_err().contains("l2_refs_per_ins"));
+        let mut p = cacheable();
+        p.working_set_bytes = -5.0;
+        assert!(p.validate().unwrap_err().contains("working_set_bytes"));
+        assert!(cacheable().validate().is_ok());
+    }
+
+    #[test]
+    fn convergence_is_deterministic() {
+        let s = spec();
+        let running = vec![
+            Some(streaming()),
+            Some(cacheable()),
+            Some(streaming()),
+            None,
+        ];
+        let a = s.evaluate(&running);
+        let b = s.evaluate(&running);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn more_corunners_never_help() {
+        let s = spec();
+        let p = cacheable();
+        let mut prev = s.solo(p).cpi;
+        for extra in 1..4 {
+            let mut running = vec![None; 4];
+            running[0] = Some(p);
+            for slot in running.iter_mut().skip(1).take(extra) {
+                *slot = Some(streaming());
+            }
+            let cpi = s.evaluate(&running)[0].unwrap().cpi;
+            assert!(
+                cpi >= prev - 1e-6,
+                "adding co-runner #{extra} should not speed core 0 up: {prev} -> {cpi}"
+            );
+            prev = cpi;
+        }
+    }
+}
+
+#[cfg(test)]
+mod partition_tests {
+    use super::*;
+
+    fn cacheable() -> SegmentProfile {
+        SegmentProfile {
+            base_cpi: 0.8,
+            l2_refs_per_ins: 0.01,
+            working_set_bytes: (2 << 20) as f64,
+            reuse_locality: 0.95,
+        }
+    }
+
+    fn streaming() -> SegmentProfile {
+        SegmentProfile {
+            base_cpi: 0.7,
+            l2_refs_per_ins: 0.008,
+            working_set_bytes: 360e6,
+            reuse_locality: 0.5,
+        }
+    }
+
+    #[test]
+    fn equal_partition_isolates_the_cacheable_corunner() {
+        let s = MachineSpec::xeon_5160();
+        let running = vec![Some(cacheable()), Some(streaming()), None, None];
+        // LRU sharing: the streaming co-runner squeezes the cacheable one.
+        let shared = s.evaluate(&running)[0].unwrap();
+        // Static halves: the cacheable working set (2 MB) fits its half.
+        let half = s.l2_capacity_bytes / 2.0;
+        let parts = vec![half, half, 0.0, 0.0];
+        let partitioned = s.evaluate_partitioned(&running, &parts)[0].unwrap();
+        assert!(
+            partitioned.l2_miss_ratio < shared.l2_miss_ratio,
+            "partitioning should protect the cacheable workload: {} vs {}",
+            partitioned.l2_miss_ratio,
+            shared.l2_miss_ratio
+        );
+        assert!(partitioned.cpi <= shared.cpi + 1e-9);
+    }
+
+    #[test]
+    fn partitioning_cannot_help_a_working_set_beyond_its_slice() {
+        let s = MachineSpec::xeon_5160();
+        let running = vec![Some(streaming()); 4];
+        let half = s.l2_capacity_bytes / 2.0;
+        let parts = vec![half; 4];
+        let shared = s.evaluate(&running)[0].unwrap();
+        let partitioned = s.evaluate_partitioned(&running, &parts)[0].unwrap();
+        // Streaming misses either way.
+        assert!((partitioned.l2_miss_ratio - shared.l2_miss_ratio).abs() < 0.05);
+    }
+
+    #[test]
+    #[should_panic(expected = "shares exceed capacity")]
+    fn oversubscribed_shares_panic() {
+        let s = MachineSpec::xeon_5160();
+        let running = vec![Some(cacheable()); 4];
+        let too_much = vec![s.l2_capacity_bytes; 4];
+        s.evaluate_partitioned(&running, &too_much);
+    }
+
+    #[test]
+    fn partitioned_idle_cores_stay_none() {
+        let s = MachineSpec::xeon_5160();
+        let mut running = vec![None; 4];
+        running[1] = Some(cacheable());
+        let parts = vec![0.0, s.l2_capacity_bytes, 0.0, 0.0];
+        let out = s.evaluate_partitioned(&running, &parts);
+        assert!(out[0].is_none() && out[2].is_none());
+        let est = out[1].unwrap();
+        assert!((est.l2_share_bytes - s.l2_capacity_bytes).abs() < 1.0);
+    }
+}
+
+#[cfg(test)]
+mod domain_tests {
+    use super::*;
+
+    fn stream() -> SegmentProfile {
+        SegmentProfile {
+            base_cpi: 0.7,
+            l2_refs_per_ins: 0.008,
+            working_set_bytes: 360e6,
+            reuse_locality: 0.5,
+        }
+    }
+
+    #[test]
+    fn cluster_constructor_scales_cores_and_domains() {
+        let c = MachineSpec::xeon_5160_cluster(3);
+        assert_eq!(c.topology.cores, 12);
+        assert_eq!(c.memory_domains, 3);
+        assert_eq!(c.cores_per_domain(), 4);
+        assert_eq!(c.topology.clusters(), 6);
+    }
+
+    #[test]
+    fn bandwidth_contention_is_domain_local() {
+        // Two machines: four streams on machine 0 saturate ITS memory
+        // system but leave machine 1's untouched.
+        let c = MachineSpec::xeon_5160_cluster(2);
+        let mut running = vec![None; 8];
+        for slot in running.iter_mut().take(4) {
+            *slot = Some(stream());
+        }
+        running[4] = Some(stream());
+        let out = c.evaluate(&running);
+        let crowded = out[0].unwrap();
+        let remote = out[4].unwrap();
+        assert!(
+            crowded.mem_latency_cycles > remote.mem_latency_cycles * 1.3,
+            "crowded {} vs remote {}",
+            crowded.mem_latency_cycles,
+            remote.mem_latency_cycles
+        );
+        // The remote machine's lone stream behaves like a solo run.
+        let solo = MachineSpec::xeon_5160().solo(stream());
+        assert!((remote.cpi - solo.cpi).abs() / solo.cpi < 0.02);
+    }
+
+    #[test]
+    fn single_domain_matches_previous_global_behavior() {
+        let single = MachineSpec::xeon_5160();
+        assert_eq!(single.memory_domains, 1);
+        assert_eq!(single.cores_per_domain(), 4);
+        let running = vec![Some(stream()); 4];
+        let out = single.evaluate(&running);
+        // All four share the one domain: identical latencies.
+        let lats: Vec<f64> = out.iter().flatten().map(|e| e.mem_latency_cycles).collect();
+        assert!(lats.windows(2).all(|w| (w[0] - w[1]).abs() < 1e-9));
+    }
+
+    #[test]
+    #[should_panic(expected = "need at least one machine")]
+    fn zero_machines_panics() {
+        MachineSpec::xeon_5160_cluster(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "evenly divide")]
+    fn ragged_domains_panic() {
+        let mut c = MachineSpec::xeon_5160();
+        c.memory_domains = 3;
+        c.solo(stream());
+    }
+}

@@ -1,0 +1,372 @@
+//! Configuration of the simulated machine, sampling, and scheduling.
+
+use std::collections::HashSet;
+
+use rbv_mem::MachineSpec;
+use rbv_sim::Cycles;
+use rbv_workloads::SyscallName;
+
+/// How the OS samples hardware counters beyond the always-on request
+/// context switch sampling (§3).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SamplingPolicy {
+    /// Only sample at request context switches (the §2.1 baseline needed
+    /// for per-request attribution).
+    ContextSwitchOnly,
+    /// Periodic interrupt-based sampling (§3.1): one APIC interrupt per
+    /// `period`.
+    Interrupt {
+        /// Sampling period.
+        period: Cycles,
+    },
+    /// System call-triggered sampling (§3.2): sample at a syscall's kernel
+    /// entrance when at least `t_syscall_min` has elapsed since the last
+    /// sample; a backup interrupt fires after `t_backup_int` without any
+    /// sample. `t_backup_int` is substantially larger than `t_syscall_min`
+    /// so no interrupts occur while syscalls are frequent.
+    SyscallTriggered {
+        /// Minimum spacing between syscall-context samples.
+        t_syscall_min: Cycles,
+        /// Backup interrupt delay covering syscall-free stretches.
+        t_backup_int: Cycles,
+    },
+    /// Behavior-transition-signal sampling (§3.2 "Behavior Transition
+    /// Signals"): like [`SamplingPolicy::SyscallTriggered`] but only the
+    /// listed system calls trigger samples.
+    TransitionSignals {
+        /// Syscall names acting as transition signals (e.g. `writev`,
+        /// `lseek`, `stat`, `poll` for the web server).
+        triggers: HashSet<SyscallName>,
+        /// Minimum spacing between trigger samples (set *smaller* than the
+        /// plain syscall-triggered policy to equalize overall frequency).
+        t_syscall_min: Cycles,
+        /// Backup interrupt delay.
+        t_backup_int: Cycles,
+    },
+    /// The paper's suggested improvement: trigger on *pairs* of recent
+    /// system call names. A single name occurring in many semantic
+    /// contexts of a long request cannot consistently signal transitions;
+    /// the `(previous, current)` bigram disambiguates the context.
+    TransitionSignalPairs {
+        /// `(previous, current)` name pairs acting as transition signals.
+        triggers: HashSet<(SyscallName, SyscallName)>,
+        /// Minimum spacing between trigger samples.
+        t_syscall_min: Cycles,
+        /// Backup interrupt delay.
+        t_backup_int: Cycles,
+    },
+}
+
+/// CPU scheduling policy (§5.2).
+#[derive(Debug, Clone, PartialEq)]
+pub enum SchedulerPolicy {
+    /// Stock round-robin per-core runqueues with the configured quantum.
+    Stock,
+    /// Contention-easing scheduling: at each scheduling opportunity
+    /// (re-evaluated every `resched_interval`, the paper's ≤ 5 ms), avoid
+    /// co-executing requests whose predicted L2 misses per instruction
+    /// exceed `high_usage_threshold`.
+    ContentionEasing {
+        /// Re-scheduling attempt interval (≤ 5 ms in the paper).
+        resched_interval: Cycles,
+        /// The high-resource-usage threshold on predicted L2 misses per
+        /// instruction (the paper uses the per-application 80th
+        /// percentile).
+        high_usage_threshold: f64,
+        /// vaEWMA gain for online prediction (the paper settles on 0.6).
+        alpha: f64,
+    },
+}
+
+/// How requests enter the system.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArrivalProcess {
+    /// Closed loop: `concurrency` requests in flight; each completion
+    /// immediately admits the next (the paper's saturated test runs).
+    ClosedLoop,
+    /// Open loop: requests arrive by a Poisson process with the given mean
+    /// interarrival time, regardless of completions. Queueing delay then
+    /// shows up in request latency.
+    OpenPoisson {
+        /// Mean interarrival time.
+        mean_interarrival: Cycles,
+    },
+}
+
+/// Multi-machine deployment (§7, future work): the machine spec's cores
+/// split into `machines` equal boxes (one memory domain each — pair with
+/// [`rbv_mem::MachineSpec::xeon_5160_cluster`]), server components are
+/// placed on dedicated machines, and a request's stage hop to another
+/// machine pays a network delay before it becomes runnable there.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MultiMachine {
+    /// Number of machines; must divide the topology's core count and
+    /// match the machine spec's `memory_domains`.
+    pub machines: usize,
+    /// One-way network latency of an inter-machine request hop.
+    pub network_hop_delay: Cycles,
+}
+
+impl MultiMachine {
+    /// The machine a server component is deployed on: web tier on machine
+    /// 0, database on the last machine, application tier in between
+    /// (collapsing gracefully for small clusters). Standalone components
+    /// live on machine 0.
+    pub fn machine_of(&self, component: rbv_workloads::Component) -> usize {
+        use rbv_workloads::Component;
+        match component {
+            Component::WebTier | Component::Standalone => 0,
+            Component::AppTier => 1.min(self.machines - 1),
+            Component::Database => self.machines - 1,
+        }
+    }
+}
+
+/// Full simulation configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimConfig {
+    /// Machine constants for the analytical performance model.
+    pub machine: MachineSpec,
+    /// CPU scheduling quantum (Linux-like 100 ms default).
+    pub quantum: Cycles,
+    /// Counter sampling policy.
+    pub sampling: SamplingPolicy,
+    /// Scheduling policy.
+    pub scheduler: SchedulerPolicy,
+    /// Closed-loop concurrency: requests kept in flight. 1 = the serial
+    /// executions of Figure 1's first row. Ignored under
+    /// [`ArrivalProcess::OpenPoisson`].
+    pub concurrency: usize,
+    /// Request arrival process.
+    pub arrivals: ArrivalProcess,
+    /// Multi-machine deployment; `None` = the paper's single machine.
+    pub multi_machine: Option<MultiMachine>,
+    /// Allow an idling core to steal the tail request of the longest
+    /// runqueue. The paper's contention-easing prototype explicitly does
+    /// *not* migrate requests between runqueues "for simplicity" (§5.2);
+    /// this switch lifts that limitation for comparison.
+    pub work_stealing: bool,
+    /// Pin server components to dedicated cores (web tier on core 0, the
+    /// application tier on the middle cores, the database on the last
+    /// core) instead of least-loaded placement — the component-placement
+    /// dimension the paper's §7 sketches for multi-machine deployments,
+    /// here at core granularity.
+    pub component_affinity: bool,
+    /// Replace LRU cache sharing with static equal partitioning of each
+    /// shared L2 among its occupied cores (page-coloring-style isolation,
+    /// the related-work alternative the paper's §6 discusses).
+    pub static_cache_partition: bool,
+    /// Whether to subtract the minimum ("do no harm") observer effect from
+    /// collected samples (§3.1).
+    pub compensate_observer_effect: bool,
+    /// Relative sigma of multiplicative measurement noise applied to the
+    /// L2 reference/miss counts of each collected sample period. Real
+    /// performance counter sampling jitters (interrupt skid, unattributed
+    /// speculative events, unrelated kernel activity); a noiseless
+    /// simulator would make trivial last-value prediction look unbeatable
+    /// in Figure 11. Zero disables.
+    pub counter_noise: f64,
+    /// When set, the engine accounts the time during which `k` cores
+    /// simultaneously run at L2-misses-per-instruction at or above this
+    /// level (the Figure 12 measurement), independent of the scheduler.
+    pub measure_threshold: Option<f64>,
+    /// Engine RNG seed (placement decisions only; workload randomness
+    /// lives in the factories).
+    pub seed: u64,
+}
+
+impl SimConfig {
+    /// The paper's default setup: 4-core Xeon 5160, 100 ms quanta, stock
+    /// scheduler, context-switch-only sampling, 8-way closed loop.
+    pub fn paper_default() -> SimConfig {
+        SimConfig {
+            machine: MachineSpec::xeon_5160(),
+            quantum: Cycles::from_millis(100),
+            sampling: SamplingPolicy::ContextSwitchOnly,
+            scheduler: SchedulerPolicy::Stock,
+            concurrency: 8,
+            arrivals: ArrivalProcess::ClosedLoop,
+            multi_machine: None,
+            work_stealing: false,
+            component_affinity: false,
+            static_cache_partition: false,
+            compensate_observer_effect: true,
+            counter_noise: 0.08,
+            measure_threshold: None,
+            seed: 0,
+        }
+    }
+
+    /// Same but sampling at periodic interrupts of `period_micros`.
+    pub fn with_interrupt_sampling(mut self, period_micros: u64) -> SimConfig {
+        self.sampling = SamplingPolicy::Interrupt {
+            period: Cycles::from_micros(period_micros),
+        };
+        self
+    }
+
+    /// Same but with syscall-triggered sampling.
+    pub fn with_syscall_sampling(
+        mut self,
+        t_syscall_min_micros: u64,
+        t_backup_int_micros: u64,
+    ) -> SimConfig {
+        self.sampling = SamplingPolicy::SyscallTriggered {
+            t_syscall_min: Cycles::from_micros(t_syscall_min_micros),
+            t_backup_int: Cycles::from_micros(t_backup_int_micros),
+        };
+        self
+    }
+
+    /// Serial execution (one request at a time), as in Figure 1 row 1.
+    pub fn serial(mut self) -> SimConfig {
+        self.concurrency = 1;
+        self
+    }
+
+    /// Checks configuration sanity.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first inconsistent field.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.concurrency == 0 {
+            return Err("concurrency must be at least 1".into());
+        }
+        if let ArrivalProcess::OpenPoisson { mean_interarrival } = self.arrivals {
+            if mean_interarrival.is_zero() {
+                return Err("mean interarrival must be nonzero".into());
+            }
+        }
+        if let Some(mm) = &self.multi_machine {
+            if mm.machines == 0 {
+                return Err("multi-machine deployment needs at least one machine".into());
+            }
+            if self.machine.topology.cores % mm.machines != 0 {
+                return Err(format!(
+                    "{} machines must evenly divide {} cores",
+                    mm.machines, self.machine.topology.cores
+                ));
+            }
+            if self.machine.memory_domains != mm.machines {
+                return Err(format!(
+                    "machine spec has {} memory domains but the deployment has {} machines",
+                    self.machine.memory_domains, mm.machines
+                ));
+            }
+        }
+        if self.quantum.is_zero() {
+            return Err("quantum must be nonzero".into());
+        }
+        match &self.sampling {
+            SamplingPolicy::Interrupt { period } if period.is_zero() => {
+                return Err("interrupt period must be nonzero".into());
+            }
+            SamplingPolicy::SyscallTriggered {
+                t_syscall_min,
+                t_backup_int,
+            }
+            | SamplingPolicy::TransitionSignals {
+                t_syscall_min,
+                t_backup_int,
+                ..
+            }
+            | SamplingPolicy::TransitionSignalPairs {
+                t_syscall_min,
+                t_backup_int,
+                ..
+            }
+                if t_backup_int <= t_syscall_min => {
+                    return Err(format!(
+                        "backup interrupt delay {t_backup_int} must exceed t_syscall_min {t_syscall_min}"
+                    ));
+                }
+            _ => {}
+        }
+        if !(self.counter_noise.is_finite() && (0.0..1.0).contains(&self.counter_noise)) {
+            return Err(format!(
+                "counter_noise {} must be in [0, 1)",
+                self.counter_noise
+            ));
+        }
+        if let SchedulerPolicy::ContentionEasing {
+            resched_interval,
+            high_usage_threshold,
+            alpha,
+        } = &self.scheduler
+        {
+            if resched_interval.is_zero() {
+                return Err("resched interval must be nonzero".into());
+            }
+            if !(0.0..=1.0).contains(alpha) {
+                return Err(format!("alpha {alpha} must be in [0, 1]"));
+            }
+            if !high_usage_threshold.is_finite() || *high_usage_threshold < 0.0 {
+                return Err(format!(
+                    "high usage threshold {high_usage_threshold} must be nonnegative"
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_default_is_valid() {
+        assert!(SimConfig::paper_default().validate().is_ok());
+    }
+
+    #[test]
+    fn builders_set_policies() {
+        let c = SimConfig::paper_default().with_interrupt_sampling(10);
+        assert_eq!(
+            c.sampling,
+            SamplingPolicy::Interrupt {
+                period: Cycles::from_micros(10)
+            }
+        );
+        let c = SimConfig::paper_default().with_syscall_sampling(5, 200);
+        assert!(matches!(c.sampling, SamplingPolicy::SyscallTriggered { .. }));
+        assert!(c.validate().is_ok());
+        let c = SimConfig::paper_default().serial();
+        assert_eq!(c.concurrency, 1);
+    }
+
+    #[test]
+    fn validation_catches_bad_configs() {
+        let mut c = SimConfig::paper_default();
+        c.concurrency = 0;
+        assert!(c.validate().is_err());
+
+        let mut c = SimConfig::paper_default().with_syscall_sampling(100, 50);
+        assert!(c.validate().is_err());
+        c = SimConfig::paper_default().with_syscall_sampling(50, 100);
+        assert!(c.validate().is_ok());
+
+        let mut c = SimConfig::paper_default();
+        c.scheduler = SchedulerPolicy::ContentionEasing {
+            resched_interval: Cycles::from_millis(5),
+            high_usage_threshold: -1.0,
+            alpha: 0.6,
+        };
+        assert!(c.validate().is_err());
+
+        let mut c = SimConfig::paper_default();
+        c.scheduler = SchedulerPolicy::ContentionEasing {
+            resched_interval: Cycles::from_millis(5),
+            high_usage_threshold: 0.001,
+            alpha: 1.5,
+        };
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn quantum_default_is_100ms() {
+        let c = SimConfig::paper_default();
+        assert_eq!(c.quantum, Cycles::from_millis(100));
+    }
+}

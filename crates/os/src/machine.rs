@@ -1,0 +1,1463 @@
+//! The event-driven execution engine: a simulated 4-core server machine.
+//!
+//! Requests from a [`RequestFactory`] execute on per-core runqueues under
+//! a configurable scheduler, while hardware counters advance according to
+//! the analytical contention model of `rbv-mem` — re-evaluated whenever the
+//! set of co-running execution phases changes. The kernel instrumentation
+//! of §2.1/§3 is modeled faithfully:
+//!
+//! * counters are sampled at every request context switch (attribution),
+//!   at periodic interrupts, and/or at system call entrances per the
+//!   configured [`SamplingPolicy`];
+//! * each sample injects its observer-effect events into the counter
+//!   stream and "do no harm" compensation subtracts the Mbench-Spin
+//!   minimum at collection time (§3.1);
+//! * request contexts propagate across server components (stage hops over
+//!   socket IPC), and each request's sample periods are serialized into a
+//!   continuous timeline;
+//! * the contention-easing scheduler (§5.2) re-evaluates placement every
+//!   few milliseconds using per-request vaEWMA predictions of L2 misses
+//!   per instruction.
+//!
+//! Between events every core's progress is linear in cycles (rates change
+//! only at events), so lazily advancing all cores at each event timestamp
+//! is exact, not an approximation.
+//!
+//! One deliberate approximation: the observer-effect events injected by
+//! each sample are charged to the request's *counters* but do not consume
+//! wall-clock time (stretching time at every sample would break the exact
+//! linear advancement above). At the paper's sampling periods the residue
+//! after "do no harm" compensation is well under 1% of cycles; only
+//! pathological microsecond-scale sampling makes it visible (see
+//! `tests/stress.rs`).
+
+use std::collections::VecDeque;
+
+use rbv_core::predict::{Predictor, VaEwma};
+use rbv_core::series::{Metric, SamplePeriod, Timeline};
+use rbv_mem::{PerfEstimate, SegmentProfile};
+use rbv_sim::{Cycles, EventQueue, SimRng};
+use rbv_workloads::{Request, RequestFactory, Stage, SyscallName};
+
+use crate::config::{ArrivalProcess, SamplingPolicy, SchedulerPolicy, SimConfig};
+use crate::observer::{injected_cost, pollution_of, spin_baseline, SamplingContext};
+use crate::result::{
+    CompletedRequest, RunResult, RunStats, SyscallRecord, TransitionRecord,
+};
+
+/// Runs `n_requests` from `factory` under `cfg` and returns everything the
+/// modeling layer needs.
+///
+/// # Errors
+///
+/// Returns the configuration error description if `cfg` is invalid.
+pub fn run_simulation(
+    cfg: SimConfig,
+    factory: &mut dyn RequestFactory,
+    n_requests: usize,
+) -> Result<RunResult, String> {
+    cfg.validate()?;
+    let mut engine = Engine::new(cfg, n_requests);
+    Ok(engine.run(factory))
+}
+
+/// Sub-instruction tolerance when matching instruction boundaries.
+const INS_EPS: f64 = 0.5;
+
+/// Standard normal draw (Box–Muller) from the deterministic stream.
+fn gaussian(rng: &mut SimRng) -> f64 {
+    use rand::Rng;
+    let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.gen::<f64>();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+/// vaEWMA unit observation length t̂: 1 ms, as in §5.1.
+const PREDICTOR_UNIT: f64 = 1.0;
+
+#[derive(Debug, Clone, Copy)]
+enum Event {
+    /// The running task reaches its next instruction boundary (phase end,
+    /// syscall, or stage end).
+    Milestone { core: usize, epoch: u64 },
+    /// Scheduling quantum expiry.
+    Quantum { core: usize, epoch: u64 },
+    /// Periodic or backup sampling interrupt.
+    SampleTimer { core: usize, epoch: u64 },
+    /// Contention-easing re-scheduling opportunity.
+    Resched { core: usize, epoch: u64 },
+    /// Open-loop request arrival.
+    Arrival,
+    /// A request finishes its inter-machine network hop and becomes
+    /// runnable on the destination machine.
+    HopWakeup { rid: usize },
+}
+
+#[derive(Debug, Default)]
+struct Core {
+    running: Option<usize>,
+    milestone_epoch: u64,
+    quantum_epoch: u64,
+    sample_epoch: u64,
+    resched_epoch: u64,
+    last_sample: Cycles,
+}
+
+#[derive(Debug)]
+struct LiveRequest {
+    id: usize,
+    request: Request,
+    stage_idx: usize,
+    ins_in_stage: f64,
+    phase_idx: usize,
+    next_syscall: usize,
+    timeline: Timeline,
+    accum: SamplePeriod,
+    /// Sampling context whose observer events were injected into `accum`.
+    accum_injection: Option<SamplingContext>,
+    cum_cycles: f64,
+    cum_ins: f64,
+    syscalls: Vec<SyscallRecord>,
+    arrived_at: Cycles,
+    predictor: VaEwma,
+    pending_transition: Option<(Option<SyscallName>, SyscallName, f64)>,
+    last_syscall: Option<SyscallName>,
+    stage_marks: Vec<(f64, f64)>,
+    noise_rng: SimRng,
+}
+
+impl LiveRequest {
+    fn stage(&self) -> &Stage {
+        &self.request.stages[self.stage_idx]
+    }
+
+    fn profile(&self) -> SegmentProfile {
+        self.stage().phases[self.phase_idx].profile
+    }
+
+    /// Next instruction boundary within the current stage and whether it
+    /// is a syscall (syscalls win ties so transition records see the old
+    /// phase as "before").
+    fn next_boundary(&self) -> (f64, bool) {
+        let stage = self.stage();
+        let phase_end = stage.phases[self.phase_idx].end_ins.as_f64();
+        let syscall_at = stage
+            .syscalls
+            .get(self.next_syscall)
+            .map_or(f64::INFINITY, |s| s.at_ins.as_f64());
+        if syscall_at <= phase_end {
+            (syscall_at, true)
+        } else {
+            (phase_end, false)
+        }
+    }
+}
+
+struct Engine {
+    cfg: SimConfig,
+    queue: EventQueue<Event>,
+    cores: Vec<Core>,
+    runqueues: Vec<VecDeque<usize>>,
+    live: Vec<Option<LiveRequest>>,
+    rates: Vec<Option<PerfEstimate>>,
+    rates_dirty: bool,
+    last_advance: Cycles,
+    completed: Vec<CompletedRequest>,
+    transitions: Vec<TransitionRecord>,
+    stats: RunStats,
+    target: usize,
+    generated: usize,
+    rng: SimRng,
+}
+
+impl Engine {
+    fn new(cfg: SimConfig, target: usize) -> Engine {
+        let cores = cfg.machine.topology.cores;
+        let seed = cfg.seed;
+        Engine {
+            cfg,
+            queue: EventQueue::new(),
+            cores: (0..cores).map(|_| Core::default()).collect(),
+            runqueues: (0..cores).map(|_| VecDeque::new()).collect(),
+            live: Vec::new(),
+            rates: vec![None; cores],
+            rates_dirty: false,
+            last_advance: Cycles::ZERO,
+            completed: Vec::new(),
+            transitions: Vec::new(),
+            stats: RunStats {
+                high_usage_cycles: vec![0.0; cores + 1],
+                ..RunStats::default()
+            },
+            target,
+            generated: 0,
+            rng: SimRng::seed_from(seed ^ 0x0515_e0e0),
+        }
+    }
+
+    fn run(&mut self, factory: &mut dyn RequestFactory) -> RunResult {
+        match self.cfg.arrivals {
+            ArrivalProcess::ClosedLoop => {
+                let initial = self.cfg.concurrency.min(self.target);
+                for _ in 0..initial {
+                    self.spawn(factory);
+                }
+            }
+            ArrivalProcess::OpenPoisson { .. } => {
+                // First arrival at t = 0; subsequent ones self-schedule.
+                self.spawn(factory);
+                self.schedule_next_arrival();
+            }
+        }
+        self.flush_rates();
+
+        while self.completed.len() < self.target {
+            let Some((now, event)) = self.queue.pop() else {
+                break; // no runnable work left (target > generated would be a bug)
+            };
+            self.advance_all(now);
+            match event {
+                Event::Milestone { core, epoch } => {
+                    if self.cores[core].milestone_epoch == epoch {
+                        self.on_milestone(core, now, factory);
+                    }
+                }
+                Event::Quantum { core, epoch } => {
+                    if self.cores[core].quantum_epoch == epoch {
+                        self.on_quantum(core, now);
+                    }
+                }
+                Event::SampleTimer { core, epoch } => {
+                    if self.cores[core].sample_epoch == epoch {
+                        self.on_sample_timer(core, now);
+                    }
+                }
+                Event::Resched { core, epoch } => {
+                    if self.cores[core].resched_epoch == epoch {
+                        self.on_resched(core, now);
+                    }
+                }
+                Event::Arrival => {
+                    self.spawn(factory);
+                    self.schedule_next_arrival();
+                }
+                Event::HopWakeup { rid } => {
+                    self.enqueue_least_loaded(rid);
+                }
+            }
+            self.flush_rates();
+        }
+
+        RunResult {
+            completed: std::mem::take(&mut self.completed),
+            transitions: std::mem::take(&mut self.transitions),
+            stats: std::mem::replace(
+                &mut self.stats,
+                RunStats {
+                    high_usage_cycles: vec![],
+                    ..RunStats::default()
+                },
+            ),
+            total_time: self.queue.now(),
+        }
+    }
+
+    // ----- workload entry -------------------------------------------------
+
+    fn spawn(&mut self, factory: &mut dyn RequestFactory) {
+        if self.generated >= self.target {
+            return;
+        }
+        let request = factory.next_request();
+        debug_assert!(request.validate().is_ok());
+        let id = self.live.len();
+        self.generated += 1;
+        let alpha = match &self.cfg.scheduler {
+            SchedulerPolicy::ContentionEasing { alpha, .. } => *alpha,
+            SchedulerPolicy::Stock => 0.6,
+        };
+        self.live.push(Some(LiveRequest {
+            id,
+            request,
+            stage_idx: 0,
+            ins_in_stage: 0.0,
+            phase_idx: 0,
+            next_syscall: 0,
+            timeline: Timeline::new(),
+            accum: SamplePeriod::default(),
+            accum_injection: None,
+            cum_cycles: 0.0,
+            cum_ins: 0.0,
+            syscalls: Vec::new(),
+            arrived_at: self.queue.now(),
+            predictor: VaEwma::new(alpha, PREDICTOR_UNIT),
+            pending_transition: None,
+            last_syscall: None,
+            stage_marks: Vec::new(),
+            noise_rng: self.rng.fork_labeled(id as u64),
+        }));
+        self.enqueue_least_loaded(id);
+    }
+
+    /// Schedules the next open-loop arrival at an exponential gap.
+    fn schedule_next_arrival(&mut self) {
+        let ArrivalProcess::OpenPoisson { mean_interarrival } = self.cfg.arrivals else {
+            return;
+        };
+        if self.generated >= self.target {
+            return;
+        }
+        use rand::Rng;
+        let u: f64 = self.rng.gen_range(f64::MIN_POSITIVE..1.0);
+        let gap = (-(mean_interarrival.as_f64()) * u.ln()).max(1.0) as u64;
+        self.queue.schedule_after(Cycles::new(gap), Event::Arrival);
+    }
+
+    fn enqueue_least_loaded(&mut self, rid: usize) {
+        let candidates: Vec<usize> = if let Some(mm) = self.cfg.multi_machine {
+            // The request runs on the machine hosting its current
+            // component's tier.
+            let component = self.live[rid]
+                .as_ref()
+                .expect("enqueued request is live")
+                .stage()
+                .component;
+            let machine = mm.machine_of(component);
+            let per_machine = self.cores.len() / mm.machines;
+            (machine * per_machine..(machine + 1) * per_machine).collect()
+        } else if self.cfg.component_affinity {
+            self.affinity_cores(rid)
+        } else {
+            (0..self.cores.len()).collect()
+        };
+        let core = candidates
+            .into_iter()
+            .min_by_key(|&c| {
+                self.runqueues[c].len() + usize::from(self.cores[c].running.is_some())
+            })
+            .expect("at least one core");
+        self.runqueues[core].push_back(rid);
+        if self.cores[core].running.is_none() {
+            self.schedule_next_on(core);
+        }
+    }
+
+    /// Cores eligible for a request's current component under
+    /// [`SimConfig::component_affinity`]: web tier on core 0, application
+    /// tier on the middle cores, database on the last core; standalone
+    /// components may run anywhere.
+    fn affinity_cores(&self, rid: usize) -> Vec<usize> {
+        use rbv_workloads::Component;
+        let n = self.cores.len();
+        let component = self.live[rid]
+            .as_ref()
+            .expect("enqueued request is live")
+            .stage()
+            .component;
+        match component {
+            Component::WebTier => vec![0],
+            Component::AppTier => {
+                if n > 2 {
+                    (1..n - 1).collect()
+                } else {
+                    (0..n).collect()
+                }
+            }
+            Component::Database => vec![n - 1],
+            Component::Standalone => (0..n).collect(),
+        }
+    }
+
+    // ----- time advancement ----------------------------------------------
+
+    /// Advances every running core linearly from `last_advance` to `now`
+    /// under the current rates. Exact because rates only change at events.
+    fn advance_all(&mut self, now: Cycles) {
+        let elapsed = now.saturating_sub(self.last_advance);
+        self.last_advance = now;
+        if elapsed.is_zero() {
+            return;
+        }
+        let dt = elapsed.as_f64();
+        let mut running_count = 0usize;
+        let mut high_count = 0usize;
+        for c in 0..self.cores.len() {
+            let Some(rid) = self.cores[c].running else {
+                continue;
+            };
+            let rate = self.rates[c].expect("running core has a rate");
+            running_count += 1;
+            if let Some(threshold) = self.cfg.measure_threshold {
+                if rate.l2_misses_per_ins() >= threshold {
+                    high_count += 1;
+                }
+            }
+            let d_ins = dt / rate.cpi;
+            let d_refs = d_ins * rate.l2_refs_per_ins;
+            let d_misses = d_refs * rate.l2_miss_ratio;
+            let lr = self.live[rid].as_mut().expect("running request is live");
+            lr.ins_in_stage += d_ins;
+            lr.cum_cycles += dt;
+            lr.cum_ins += d_ins;
+            lr.accum.cycles += dt;
+            lr.accum.instructions += d_ins;
+            lr.accum.l2_refs += d_refs;
+            lr.accum.l2_misses += d_misses;
+        }
+        if running_count > 0 {
+            self.stats.busy_cycles += dt;
+            self.stats.high_usage_cycles[high_count.min(self.cores.len())] += dt;
+        }
+    }
+
+    // ----- rates and milestones -------------------------------------------
+
+    fn flush_rates(&mut self) {
+        if !self.rates_dirty {
+            return;
+        }
+        self.rates_dirty = false;
+        let profiles: Vec<Option<SegmentProfile>> = self
+            .cores
+            .iter()
+            .map(|core| {
+                core.running.map(|rid| {
+                    self.live[rid].as_ref().expect("running is live").profile()
+                })
+            })
+            .collect();
+        self.rates = if self.cfg.static_cache_partition {
+            // Equal page-coloring slices of each shared L2 among its
+            // occupied cores.
+            let topo = self.cfg.machine.topology;
+            let mut shares = vec![0.0; profiles.len()];
+            for cluster in 0..topo.clusters() {
+                let lo = cluster * topo.cores_per_cluster;
+                let hi = (lo + topo.cores_per_cluster).min(profiles.len());
+                let occupied = profiles[lo..hi].iter().filter(|p| p.is_some()).count();
+                if occupied > 0 {
+                    let slice = self.cfg.machine.l2_capacity_bytes / occupied as f64;
+                    for i in lo..hi {
+                        if profiles[i].is_some() {
+                            shares[i] = slice;
+                        }
+                    }
+                }
+            }
+            self.cfg.machine.evaluate_partitioned(&profiles, &shares)
+        } else {
+            self.cfg.machine.evaluate(&profiles)
+        };
+        for c in 0..self.cores.len() {
+            self.push_milestone(c);
+        }
+    }
+
+    fn push_milestone(&mut self, core: usize) {
+        self.cores[core].milestone_epoch += 1;
+        let epoch = self.cores[core].milestone_epoch;
+        let Some(rid) = self.cores[core].running else {
+            return;
+        };
+        let rate = self.rates[core].expect("running core has a rate");
+        let lr = self.live[rid].as_ref().expect("running is live");
+        let (boundary, _) = lr.next_boundary();
+        let d_ins = (boundary - lr.ins_in_stage).max(0.0);
+        let cycles = (d_ins * rate.cpi).ceil().max(1.0) as u64;
+        self.queue
+            .schedule_after(Cycles::new(cycles), Event::Milestone { core, epoch });
+    }
+
+    fn on_milestone(&mut self, core: usize, now: Cycles, factory: &mut dyn RequestFactory) {
+        let Some(rid) = self.cores[core].running else {
+            return;
+        };
+        loop {
+            let lr = self.live[rid].as_ref().expect("running is live");
+            let (boundary, is_syscall) = lr.next_boundary();
+            if lr.ins_in_stage + INS_EPS < boundary {
+                break;
+            }
+            if is_syscall {
+                self.handle_syscall(core, rid, now, boundary);
+                continue;
+            }
+            // Phase boundary: snap to it exactly.
+            let lr = self.live[rid].as_mut().expect("running is live");
+            lr.ins_in_stage = lr.ins_in_stage.max(boundary);
+            let last_phase = lr.phase_idx + 1 == lr.stage().phases.len();
+            if !last_phase {
+                lr.phase_idx += 1;
+                self.rates_dirty = true;
+                continue;
+            }
+            // Stage (possibly request) end.
+            self.on_stage_end(core, rid, now, factory);
+            return;
+        }
+        if !self.rates_dirty {
+            self.push_milestone(core);
+        }
+    }
+
+    fn handle_syscall(&mut self, core: usize, rid: usize, now: Cycles, boundary: f64) {
+        let lr = self.live[rid].as_mut().expect("running is live");
+        lr.ins_in_stage = lr.ins_in_stage.max(boundary);
+        let name = lr.stage().syscalls[lr.next_syscall].name;
+        lr.next_syscall += 1;
+        lr.syscalls.push(SyscallRecord {
+            at: now,
+            request_cycles: lr.cum_cycles,
+            request_ins: lr.cum_ins,
+            name,
+        });
+
+        let prev = self.live[rid]
+            .as_ref()
+            .expect("running is live")
+            .last_syscall;
+        let (trigger, t_min) = match &self.cfg.sampling {
+            SamplingPolicy::SyscallTriggered { t_syscall_min, .. } => (true, *t_syscall_min),
+            SamplingPolicy::TransitionSignals {
+                triggers,
+                t_syscall_min,
+                ..
+            } => (triggers.contains(&name), *t_syscall_min),
+            SamplingPolicy::TransitionSignalPairs {
+                triggers,
+                t_syscall_min,
+                ..
+            } => (
+                prev.is_some_and(|p| triggers.contains(&(p, name))),
+                *t_syscall_min,
+            ),
+            _ => (false, Cycles::ZERO),
+        };
+        if trigger && now.saturating_sub(self.cores[core].last_sample) >= t_min {
+            self.take_sample(core, rid, now, SamplingContext::InKernel, Some(name));
+            self.rearm_backup_timer(core, now);
+        }
+        self.live[rid].as_mut().expect("running is live").last_syscall = Some(name);
+    }
+
+    fn on_stage_end(
+        &mut self,
+        core: usize,
+        rid: usize,
+        now: Cycles,
+        factory: &mut dyn RequestFactory,
+    ) {
+        // Context-switch sample flushes the stage's final period.
+        self.take_sample(core, rid, now, SamplingContext::InKernel, None);
+        self.cores[core].running = None;
+        self.rates_dirty = true;
+
+        let lr = self.live[rid].as_mut().expect("running is live");
+        lr.stage_marks.push((lr.cum_ins, lr.cum_cycles));
+        if lr.stage_idx + 1 < lr.request.stages.len() {
+            // Propagate the request context to the next component (§2.1):
+            // the socket hop re-enters the scheduler on another runqueue —
+            // after a network delay when the next tier lives on another
+            // machine of a distributed deployment (§7).
+            let from = lr.stage().component;
+            lr.stage_idx += 1;
+            lr.phase_idx = 0;
+            lr.next_syscall = 0;
+            lr.ins_in_stage = 0.0;
+            let to = lr.stage().component;
+            let crosses_machines = self
+                .cfg
+                .multi_machine
+                .is_some_and(|mm| mm.machine_of(from) != mm.machine_of(to));
+            if crosses_machines {
+                let delay = self
+                    .cfg
+                    .multi_machine
+                    .expect("checked above")
+                    .network_hop_delay;
+                self.queue
+                    .schedule_after(delay, Event::HopWakeup { rid });
+            } else {
+                self.enqueue_least_loaded(rid);
+            }
+        } else {
+            let lr = self.live[rid].take().expect("request was live");
+            self.completed.push(CompletedRequest {
+                id: lr.id,
+                app: lr.request.app,
+                class: lr.request.class,
+                timeline: lr.timeline,
+                syscalls: lr.syscalls,
+                arrived_at: lr.arrived_at,
+                finished_at: now,
+                stage_marks: lr.stage_marks,
+            });
+            if self.cfg.arrivals == ArrivalProcess::ClosedLoop {
+                self.spawn(factory);
+            }
+        }
+        // The enqueue above may already have dispatched onto this core.
+        if self.cores[core].running.is_none() {
+            self.schedule_next_on(core);
+        }
+    }
+
+    // ----- sampling --------------------------------------------------------
+
+    /// Samples the counters on `core`: flushes the running request's
+    /// accumulated period into its timeline (with "do no harm"
+    /// compensation), updates its online predictor, records transition
+    /// training data, and injects the observer-effect events of this
+    /// sample into the next period.
+    fn take_sample(
+        &mut self,
+        core: usize,
+        rid: usize,
+        now: Cycles,
+        ctx: SamplingContext,
+        syscall: Option<SyscallName>,
+    ) {
+        match ctx {
+            SamplingContext::InKernel => self.stats.samples_inkernel += 1,
+            SamplingContext::Interrupt => self.stats.samples_interrupt += 1,
+        }
+        let lr = self.live[rid].as_mut().expect("sampled request is live");
+        let mut period = lr.accum;
+        lr.accum = SamplePeriod::default();
+        if self.cfg.compensate_observer_effect {
+            if let Some(injected_ctx) = lr.accum_injection {
+                let min_cost = spin_baseline(injected_ctx);
+                period.cycles = (period.cycles - min_cost.cycles).max(0.0);
+                period.instructions = (period.instructions - min_cost.instructions).max(0.0);
+                period.l2_refs = (period.l2_refs - min_cost.l2_refs).max(0.0);
+                period.l2_misses = (period.l2_misses - min_cost.l2_misses).max(0.0);
+            }
+        }
+        lr.accum_injection = None;
+        if self.cfg.counter_noise > 0.0 {
+            // Measurement noise on the cache event counters (see
+            // `SimConfig::counter_noise`). The relative noise shrinks with
+            // the square root of the sample duration — event-count jitter
+            // averages out over longer windows — with 1 ms as the
+            // reference duration. CPU cycles and instructions are
+            // architecturally exact and stay untouched.
+            let dur_ms = period.cycles / Cycles::from_millis(1).as_f64();
+            let sigma =
+                self.cfg.counter_noise * (1.0 / dur_ms.max(1e-3)).sqrt().min(4.0);
+            period.l2_refs *= (1.0 + sigma * 0.5 * gaussian(&mut lr.noise_rng)).max(0.0);
+            period.l2_misses *= (1.0 + sigma * gaussian(&mut lr.noise_rng)).max(0.0);
+            // Independent jitter must not break the counter invariant
+            // misses <= references.
+            period.l2_misses = period.l2_misses.min(period.l2_refs);
+        }
+
+        let period_cpi = period.value(Metric::Cpi);
+        if let (Some((prev, name, before)), Some(after)) =
+            (lr.pending_transition.take(), period_cpi)
+        {
+            self.transitions.push(TransitionRecord {
+                name,
+                prev_name: prev,
+                before_cpi: before,
+                after_cpi: after,
+            });
+        }
+        if let (Some(name), Some(before)) = (syscall, period_cpi) {
+            lr.pending_transition = Some((lr.last_syscall, name, before));
+        }
+
+        if let Some(mpi) = period.value(Metric::L2MissesPerIns) {
+            // Duration in vaEWMA units (t̂ = 1 ms).
+            let millis = period.cycles / Cycles::from_millis(1).as_f64();
+            lr.predictor.observe(mpi, millis.max(1e-9));
+        }
+        lr.timeline.push(period);
+
+        // The sampling operation itself perturbs the *next* period.
+        let pollution = pollution_of(&lr.profile());
+        let cost = injected_cost(ctx, pollution);
+        lr.accum.cycles += cost.cycles;
+        lr.accum.instructions += cost.instructions;
+        lr.accum.l2_refs += cost.l2_refs;
+        lr.accum.l2_misses += cost.l2_misses;
+        lr.accum_injection = Some(ctx);
+
+        self.cores[core].last_sample = now;
+    }
+
+    fn on_sample_timer(&mut self, core: usize, now: Cycles) {
+        let Some(rid) = self.cores[core].running else {
+            return;
+        };
+        match &self.cfg.sampling {
+            SamplingPolicy::Interrupt { period } => {
+                let period = *period;
+                self.take_sample(core, rid, now, SamplingContext::Interrupt, None);
+                self.cores[core].sample_epoch += 1;
+                let epoch = self.cores[core].sample_epoch;
+                self.queue
+                    .schedule_after(period, Event::SampleTimer { core, epoch });
+            }
+            SamplingPolicy::SyscallTriggered { .. }
+            | SamplingPolicy::TransitionSignals { .. }
+            | SamplingPolicy::TransitionSignalPairs { .. } => {
+                // Backup interrupt covering a syscall-free stretch.
+                self.take_sample(core, rid, now, SamplingContext::Interrupt, None);
+                self.rearm_backup_timer(core, now);
+            }
+            SamplingPolicy::ContextSwitchOnly => {}
+        }
+    }
+
+    fn rearm_backup_timer(&mut self, core: usize, _now: Cycles) {
+        let delay = match &self.cfg.sampling {
+            SamplingPolicy::SyscallTriggered { t_backup_int, .. }
+            | SamplingPolicy::TransitionSignals { t_backup_int, .. }
+            | SamplingPolicy::TransitionSignalPairs { t_backup_int, .. } => *t_backup_int,
+            _ => return,
+        };
+        self.cores[core].sample_epoch += 1;
+        let epoch = self.cores[core].sample_epoch;
+        self.queue
+            .schedule_after(delay, Event::SampleTimer { core, epoch });
+    }
+
+    // ----- scheduling -------------------------------------------------------
+
+    /// Picks and dispatches the next request on an idle `core`.
+    fn schedule_next_on(&mut self, core: usize) {
+        debug_assert!(self.cores[core].running.is_none());
+        if self.cfg.work_stealing && self.runqueues[core].is_empty() {
+            self.steal_into(core);
+        }
+        let Some(rid) = self.pick_next(core) else {
+            // Idle: cancel timers.
+            self.cores[core].quantum_epoch += 1;
+            self.cores[core].sample_epoch += 1;
+            self.cores[core].resched_epoch += 1;
+            self.cores[core].milestone_epoch += 1;
+            self.rates_dirty = true;
+            return;
+        };
+        self.dispatch(core, rid);
+    }
+
+    fn dispatch(&mut self, core: usize, rid: usize) {
+        self.cores[core].running = Some(rid);
+        self.cores[core].last_sample = self.queue.now();
+        self.rates_dirty = true;
+
+        self.cores[core].quantum_epoch += 1;
+        let qe = self.cores[core].quantum_epoch;
+        self.queue
+            .schedule_after(self.cfg.quantum, Event::Quantum { core, epoch: qe });
+
+        match &self.cfg.sampling {
+            SamplingPolicy::Interrupt { period } => {
+                let period = *period;
+                self.cores[core].sample_epoch += 1;
+                let epoch = self.cores[core].sample_epoch;
+                self.queue
+                    .schedule_after(period, Event::SampleTimer { core, epoch });
+            }
+            SamplingPolicy::SyscallTriggered { .. }
+            | SamplingPolicy::TransitionSignals { .. }
+            | SamplingPolicy::TransitionSignalPairs { .. } => {
+                self.rearm_backup_timer(core, self.queue.now());
+            }
+            SamplingPolicy::ContextSwitchOnly => {}
+        }
+
+        if let SchedulerPolicy::ContentionEasing {
+            resched_interval, ..
+        } = &self.cfg.scheduler
+        {
+            let interval = *resched_interval;
+            self.cores[core].resched_epoch += 1;
+            let epoch = self.cores[core].resched_epoch;
+            self.queue
+                .schedule_after(interval, Event::Resched { core, epoch });
+        }
+    }
+
+    /// Migrates the tail request of the longest runqueue into an idle
+    /// `core`'s (empty) queue. Stealing from the tail keeps each queue's
+    /// head position — which both schedulers treat as meaningful — intact.
+    fn steal_into(&mut self, core: usize) {
+        let victim = (0..self.runqueues.len())
+            .filter(|&c| c != core)
+            .max_by_key(|&c| self.runqueues[c].len())
+            .filter(|&c| self.runqueues[c].len() > 1);
+        if let Some(victim) = victim {
+            if let Some(rid) = self.runqueues[victim].pop_back() {
+                self.runqueues[core].push_back(rid);
+            }
+        }
+    }
+
+    /// The §5.2 selection policy.
+    fn pick_next(&mut self, core: usize) -> Option<usize> {
+        match self.cfg.scheduler.clone() {
+            SchedulerPolicy::Stock => self.runqueues[core].pop_front(),
+            SchedulerPolicy::ContentionEasing {
+                high_usage_threshold,
+                ..
+            } => {
+                if self.any_other_core_high(core, high_usage_threshold) {
+                    // Pick the non-high request closest to the head.
+                    let pos = self.runqueues[core]
+                        .iter()
+                        .position(|&rid| !self.is_high(rid, high_usage_threshold));
+                    match pos {
+                        Some(p) => self.runqueues[core].remove(p),
+                        // No suitable request: give up, schedule normally.
+                        None => self.runqueues[core].pop_front(),
+                    }
+                } else {
+                    self.runqueues[core].pop_front()
+                }
+            }
+        }
+    }
+
+    fn is_high(&self, rid: usize, threshold: f64) -> bool {
+        self.live[rid]
+            .as_ref()
+            .and_then(|lr| lr.predictor.predict())
+            .is_some_and(|p| p >= threshold)
+    }
+
+    fn any_other_core_high(&self, core: usize, threshold: f64) -> bool {
+        self.cores.iter().enumerate().any(|(c, state)| {
+            c != core
+                && state
+                    .running
+                    .is_some_and(|rid| self.is_high(rid, threshold))
+        })
+    }
+
+    fn on_quantum(&mut self, core: usize, now: Cycles) {
+        let Some(rid) = self.cores[core].running else {
+            return;
+        };
+        if self.runqueues[core].is_empty() {
+            // Nothing to rotate to: extend the quantum.
+            self.cores[core].quantum_epoch += 1;
+            let epoch = self.cores[core].quantum_epoch;
+            self.queue
+                .schedule_after(self.cfg.quantum, Event::Quantum { core, epoch });
+            return;
+        }
+        // Context switch: sample, rotate, dispatch.
+        self.take_sample(core, rid, now, SamplingContext::InKernel, None);
+        self.cores[core].running = None;
+        self.runqueues[core].push_back(rid);
+        self.schedule_next_on(core);
+    }
+
+    fn on_resched(&mut self, core: usize, now: Cycles) {
+        let SchedulerPolicy::ContentionEasing {
+            resched_interval,
+            high_usage_threshold,
+            ..
+        } = self.cfg.scheduler.clone()
+        else {
+            return;
+        };
+        // Always re-arm first.
+        self.cores[core].resched_epoch += 1;
+        let epoch = self.cores[core].resched_epoch;
+        self.queue
+            .schedule_after(resched_interval, Event::Resched { core, epoch });
+
+        let Some(rid) = self.cores[core].running else {
+            return;
+        };
+        // Avoid unnecessary re-scheduling: the current request stays unless
+        // it is in a high-usage period while another core is too.
+        if !self.is_high(rid, high_usage_threshold)
+            || !self.any_other_core_high(core, high_usage_threshold)
+        {
+            return;
+        }
+        let Some(pos) = self.runqueues[core]
+            .iter()
+            .position(|&r| !self.is_high(r, high_usage_threshold))
+        else {
+            return; // no contention-easing opportunity: current resumes
+        };
+        let next = self.runqueues[core].remove(pos).expect("position valid");
+        self.take_sample(core, rid, now, SamplingContext::InKernel, None);
+        self.cores[core].running = None;
+        // The paper keeps the displaced current request at the queue head.
+        self.runqueues[core].push_front(rid);
+        self.dispatch(core, next);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SimConfig;
+    use rbv_workloads::{factory_for, AppId, Mbench, Tpcc, TpccTxn, WebServer};
+
+    fn small_run(cfg: SimConfig, app: AppId, n: usize) -> RunResult {
+        let mut factory = factory_for(app, 7, 0.05);
+        run_simulation(cfg, factory.as_mut(), n).expect("valid config")
+    }
+
+    #[test]
+    fn completes_the_requested_number() {
+        let r = small_run(SimConfig::paper_default(), AppId::Tpcc, 20);
+        assert_eq!(r.completed.len(), 20);
+        assert!(r.total_time > Cycles::ZERO);
+    }
+
+    #[test]
+    fn counters_are_conserved() {
+        // Total instructions in timelines ~ total instructions generated
+        // (modulo observer-effect injection/compensation).
+        let mut factory = Tpcc::new(3, 0.05);
+        let mut factory2 = Tpcc::new(3, 0.05);
+        let expected: f64 = (0..10)
+            .map(|_| factory2.next_request().total_instructions().as_f64())
+            .sum();
+        let r = run_simulation(SimConfig::paper_default(), &mut factory, 10).unwrap();
+        let measured: f64 = r
+            .completed
+            .iter()
+            .map(|c| c.timeline.total_instructions())
+            .sum();
+        let rel = (measured - expected).abs() / expected;
+        assert!(rel < 0.02, "measured {measured} expected {expected}");
+    }
+
+    #[test]
+    fn request_cpi_reflects_profiles() {
+        let r = small_run(SimConfig::paper_default().serial(), AppId::Tpcc, 10);
+        for c in &r.completed {
+            let cpi = c.request_cpi().expect("has instructions");
+            assert!((0.8..6.0).contains(&cpi), "cpi {cpi}");
+        }
+    }
+
+    #[test]
+    fn serial_mode_runs_one_at_a_time() {
+        let r = small_run(SimConfig::paper_default().serial(), AppId::WebServer, 10);
+        // With concurrency 1, completions are strictly ordered by arrival.
+        for w in r.completed.windows(2) {
+            assert!(w[0].finished_at <= w[1].arrived_at);
+        }
+    }
+
+    #[test]
+    fn concurrent_execution_inflates_cpi() {
+        // Multicore obfuscation (Figure 1): the same workload seeded the
+        // same way gets worse tail CPI when run 8-way concurrent.
+        let mut f1 = Tpcc::new(11, 0.05);
+        let mut f2 = Tpcc::new(11, 0.05);
+        let serial =
+            run_simulation(SimConfig::paper_default().serial(), &mut f1, 30).unwrap();
+        let conc = run_simulation(SimConfig::paper_default(), &mut f2, 30).unwrap();
+        let p90 = |r: &RunResult| {
+            rbv_core::stats::percentile(&r.request_cpis(), 0.9).expect("cpis")
+        };
+        assert!(
+            p90(&conc) > p90(&serial),
+            "serial p90 {} vs concurrent p90 {}",
+            p90(&serial),
+            p90(&conc)
+        );
+    }
+
+    #[test]
+    fn syscalls_are_recorded_in_order() {
+        let r = small_run(SimConfig::paper_default().serial(), AppId::WebServer, 5);
+        for c in &r.completed {
+            assert!(!c.syscalls.is_empty());
+            for w in c.syscalls.windows(2) {
+                assert!(w[0].request_ins <= w[1].request_ins);
+            }
+        }
+    }
+
+    #[test]
+    fn interrupt_sampling_creates_fine_periods() {
+        let cfg = SimConfig::paper_default().serial().with_interrupt_sampling(10);
+        let mut f = WebServer::new(5, 1.0);
+        let r = run_simulation(cfg, &mut f, 5).unwrap();
+        assert!(r.stats.samples_interrupt > 0);
+        for c in &r.completed {
+            assert!(
+                c.timeline.len() >= 3,
+                "expected several periods, got {}",
+                c.timeline.len()
+            );
+        }
+    }
+
+    #[test]
+    fn syscall_sampling_prefers_inkernel_context() {
+        let cfg = SimConfig::paper_default()
+            .serial()
+            .with_syscall_sampling(10, 1_000);
+        let mut f = WebServer::new(5, 1.0);
+        let r = run_simulation(cfg, &mut f, 10).unwrap();
+        // The web server is syscall-dense: backup interrupts should be rare.
+        assert!(
+            r.stats.samples_inkernel > 10 * r.stats.samples_interrupt,
+            "inkernel {} interrupt {}",
+            r.stats.samples_inkernel,
+            r.stats.samples_interrupt
+        );
+    }
+
+    #[test]
+    fn backup_interrupt_covers_quiet_stretches() {
+        // Mbench-Spin makes no syscalls at all: every sample beyond context
+        // switches must come from the backup interrupt.
+        let cfg = SimConfig::paper_default()
+            .serial()
+            .with_syscall_sampling(10, 100);
+        let mut f = Mbench::spin(30_000_000);
+        let r = run_simulation(cfg, &mut f, 3).unwrap();
+        assert!(
+            r.stats.samples_interrupt > 50,
+            "interrupt samples {}",
+            r.stats.samples_interrupt
+        );
+    }
+
+    #[test]
+    fn transition_records_capture_writev_increase() {
+        let cfg = SimConfig::paper_default()
+            .serial()
+            .with_syscall_sampling(2, 1_000);
+        let mut f = WebServer::new(5, 1.0);
+        let r = run_simulation(cfg, &mut f, 60).unwrap();
+        let table = r.transition_table(5);
+        let writev = table
+            .iter()
+            .find(|(n, ..)| *n == SyscallName::Writev)
+            .expect("writev observed");
+        assert!(
+            writev.1 > 0.5,
+            "writev should signal a CPI increase, got {}",
+            writev.1
+        );
+    }
+
+    #[test]
+    fn multi_stage_requests_complete() {
+        let r = small_run(SimConfig::paper_default(), AppId::Rubis, 12);
+        assert_eq!(r.completed.len(), 12);
+        for c in &r.completed {
+            // All three stages' instructions are attributed.
+            assert!(c.timeline.total_instructions() > 0.0);
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let run = || {
+            let mut f = Tpcc::new(9, 0.05);
+            run_simulation(SimConfig::paper_default(), &mut f, 10).unwrap()
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.completed.len(), b.completed.len());
+        for (x, y) in a.completed.iter().zip(&b.completed) {
+            assert_eq!(x.class, y.class);
+            assert_eq!(x.finished_at, y.finished_at);
+            assert_eq!(x.timeline, y.timeline);
+        }
+    }
+
+    #[test]
+    fn high_usage_accounting_tracks_threshold() {
+        let mut cfg = SimConfig::paper_default();
+        cfg.measure_threshold = Some(0.0); // everything counts as high
+        let mut f = Tpcc::new(2, 0.05);
+        let r = run_simulation(cfg, &mut f, 10).unwrap();
+        assert!(r.stats.busy_cycles > 0.0);
+        assert!((r.stats.high_usage_fraction_at_least(1) - 1.0).abs() < 1e-9);
+
+        let mut cfg = SimConfig::paper_default();
+        cfg.measure_threshold = Some(f64::INFINITY); // nothing is high
+        let mut f = Tpcc::new(2, 0.05);
+        let r = run_simulation(cfg, &mut f, 10).unwrap();
+        assert_eq!(r.stats.high_usage_fraction_at_least(1), 0.0);
+    }
+
+    #[test]
+    fn contention_easing_config_runs() {
+        let mut cfg = SimConfig::paper_default();
+        cfg.scheduler = SchedulerPolicy::ContentionEasing {
+            resched_interval: Cycles::from_millis(5),
+            high_usage_threshold: 1e-4,
+            alpha: 0.6,
+        };
+        cfg.sampling = SamplingPolicy::Interrupt {
+            period: Cycles::from_micros(100),
+        };
+        let mut f = Tpcc::new(4, 0.05);
+        let r = run_simulation(cfg, &mut f, 15).unwrap();
+        assert_eq!(r.completed.len(), 15);
+    }
+
+    #[test]
+    fn invalid_config_is_rejected() {
+        let mut cfg = SimConfig::paper_default();
+        cfg.concurrency = 0;
+        let mut f = Tpcc::new(1, 0.05);
+        assert!(run_simulation(cfg, &mut f, 1).is_err());
+    }
+
+    #[test]
+    fn latency_and_cpu_time_are_consistent() {
+        let r = small_run(SimConfig::paper_default(), AppId::Tpcc, 10);
+        for c in &r.completed {
+            // CPU time cannot exceed wall latency.
+            assert!(
+                c.cpu_cycles() <= c.latency().as_f64() * 1.001,
+                "cpu {} latency {}",
+                c.cpu_cycles(),
+                c.latency()
+            );
+        }
+    }
+
+    #[test]
+    fn tpcc_txn_mix_survives_the_engine() {
+        let r = small_run(SimConfig::paper_default(), AppId::Tpcc, 120);
+        let new_orders = r
+            .of_class(rbv_workloads::RequestClass::TpccTxn(TpccTxn::NewOrder))
+            .len();
+        assert!((30..75).contains(&new_orders), "new orders {new_orders}");
+    }
+}
+
+#[cfg(test)]
+mod arrival_and_partition_tests {
+    use super::*;
+    use crate::config::{ArrivalProcess, SimConfig};
+    use rbv_workloads::Tpcc;
+
+    #[test]
+    fn open_loop_arrivals_complete_and_queue() {
+        let mut cfg = SimConfig::paper_default();
+        // Arrivals far faster than service: a queue must form, and
+        // latencies must exceed CPU times by the queueing delay.
+        cfg.arrivals = ArrivalProcess::OpenPoisson {
+            mean_interarrival: Cycles::from_micros(6),
+        };
+        let mut f = Tpcc::new(13, 0.05);
+        let r = run_simulation(cfg, &mut f, 30).expect("valid");
+        assert_eq!(r.completed.len(), 30);
+        let queued = r
+            .completed
+            .iter()
+            .filter(|c| c.latency().as_f64() > c.cpu_cycles() * 1.5)
+            .count();
+        assert!(queued > 5, "overloaded open loop should queue ({queued})");
+    }
+
+    #[test]
+    fn light_open_loop_rarely_queues() {
+        let mut cfg = SimConfig::paper_default();
+        cfg.arrivals = ArrivalProcess::OpenPoisson {
+            mean_interarrival: Cycles::from_millis(4),
+        };
+        let mut f = Tpcc::new(13, 0.05);
+        let r = run_simulation(cfg, &mut f, 30).expect("valid");
+        assert_eq!(r.completed.len(), 30);
+        let unqueued = r
+            .completed
+            .iter()
+            .filter(|c| c.latency().as_f64() < c.cpu_cycles() * 1.2)
+            .count();
+        assert!(unqueued > 20, "light load should mostly run directly ({unqueued})");
+    }
+
+    #[test]
+    fn open_loop_is_deterministic() {
+        let run = || {
+            let mut cfg = SimConfig::paper_default();
+            cfg.arrivals = ArrivalProcess::OpenPoisson {
+                mean_interarrival: Cycles::from_micros(200),
+            };
+            let mut f = Tpcc::new(14, 0.05);
+            run_simulation(cfg, &mut f, 12).expect("valid")
+        };
+        let (a, b) = (run(), run());
+        for (x, y) in a.completed.iter().zip(&b.completed) {
+            assert_eq!(x.arrived_at, y.arrived_at);
+            assert_eq!(x.finished_at, y.finished_at);
+        }
+    }
+
+    #[test]
+    fn static_partitioning_changes_contention_outcomes() {
+        let run = |partition: bool| {
+            let mut cfg = SimConfig::paper_default().with_interrupt_sampling(100);
+            cfg.static_cache_partition = partition;
+            let mut f = Tpcc::new(15, 0.1);
+            run_simulation(cfg, &mut f, 25).expect("valid")
+        };
+        let shared = run(false);
+        let partitioned = run(true);
+        assert_eq!(partitioned.completed.len(), 25);
+        // The policies must produce genuinely different performance.
+        let mean = |r: &RunResult| {
+            let c = r.request_cpis();
+            c.iter().sum::<f64>() / c.len() as f64
+        };
+        assert!((mean(&shared) - mean(&partitioned)).abs() > 1e-3);
+    }
+}
+
+#[cfg(test)]
+mod affinity_tests {
+    use super::*;
+    use crate::config::SimConfig;
+    use rbv_workloads::Rubis;
+
+    #[test]
+    fn affinity_pins_components_to_their_cores() {
+        let mut cfg = SimConfig::paper_default();
+        cfg.component_affinity = true;
+        let mut f = Rubis::new(21, 0.2);
+        let r = run_simulation(cfg, &mut f, 15).expect("valid");
+        assert_eq!(r.completed.len(), 15);
+        // All three tiers executed: every request carries the full socket
+        // hand-off chain despite the pinning.
+        for c in &r.completed {
+            assert!(c.timeline.total_instructions() > 0.0);
+        }
+    }
+
+    #[test]
+    fn affinity_changes_placement_outcomes() {
+        let run = |affinity: bool| {
+            let mut cfg = SimConfig::paper_default().with_interrupt_sampling(100);
+            cfg.component_affinity = affinity;
+            let mut f = Rubis::new(22, 0.2);
+            run_simulation(cfg, &mut f, 20).expect("valid")
+        };
+        let spread = run(false);
+        let pinned = run(true);
+        // Placement genuinely differs: completion times diverge.
+        assert_ne!(
+            spread.completed.last().unwrap().finished_at,
+            pinned.completed.last().unwrap().finished_at
+        );
+    }
+}
+
+#[cfg(test)]
+mod stealing_tests {
+    use super::*;
+    use crate::config::SimConfig;
+    use rbv_workloads::{Tpcc, TpccTxn};
+
+    /// A factory producing one giant request followed by many tiny ones:
+    /// without migration the tiny ones can starve behind the giant's core.
+    struct Skewed {
+        inner: Tpcc,
+        emitted: usize,
+    }
+
+    impl rbv_workloads::RequestFactory for Skewed {
+        fn app(&self) -> rbv_workloads::AppId {
+            rbv_workloads::AppId::Tpcc
+        }
+
+        fn next_request(&mut self) -> rbv_workloads::Request {
+            self.emitted += 1;
+            if self.emitted % 4 == 1 {
+                self.inner.request_of_txn(TpccTxn::Delivery) // ~10x longer
+            } else {
+                self.inner.request_of_txn(TpccTxn::OrderStatus)
+            }
+        }
+    }
+
+    #[test]
+    fn work_stealing_reduces_makespan_on_skewed_load() {
+        let run = |stealing: bool| {
+            let mut cfg = SimConfig::paper_default();
+            cfg.work_stealing = stealing;
+            cfg.concurrency = 12;
+            let mut f = Skewed {
+                inner: Tpcc::new(50, 0.2),
+                emitted: 0,
+            };
+            run_simulation(cfg, &mut f, 40).expect("valid")
+        };
+        let without = run(false);
+        let with = run(true);
+        assert_eq!(with.completed.len(), 40);
+        assert!(
+            with.total_time <= without.total_time,
+            "stealing should not lengthen the run: {} vs {}",
+            with.total_time,
+            without.total_time
+        );
+    }
+
+    #[test]
+    fn stealing_never_loses_requests() {
+        let mut cfg = SimConfig::paper_default();
+        cfg.work_stealing = true;
+        cfg.concurrency = 20;
+        let mut f = Tpcc::new(51, 0.05);
+        let r = run_simulation(cfg, &mut f, 60).expect("valid");
+        assert_eq!(r.completed.len(), 60);
+        let mut ids: Vec<usize> = r.completed.iter().map(|c| c.id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 60, "no duplicates or losses");
+    }
+}
+
+#[cfg(test)]
+mod bigram_policy_tests {
+    use super::*;
+    use crate::config::{SamplingPolicy, SimConfig};
+    use rbv_workloads::WebServer;
+    use std::collections::HashSet;
+
+    #[test]
+    fn pair_policy_samples_only_at_listed_bigrams() {
+        // The web request's phase chain guarantees a (stat -> writev)
+        // boundary; trigger exclusively on it.
+        let mut cfg = SimConfig::paper_default();
+        cfg.sampling = SamplingPolicy::TransitionSignalPairs {
+            triggers: HashSet::from([(SyscallName::Stat, SyscallName::Writev)]),
+            t_syscall_min: Cycles::new(1),
+            t_backup_int: Cycles::from_millis(50),
+        };
+        let mut f = WebServer::new(61, 1.0);
+        let r = run_simulation(cfg, &mut f, 40).expect("valid");
+        // Roughly one trigger per request (plus context switches); far
+        // fewer than the ~10 syscalls per request.
+        let per_request = r.stats.samples_inkernel as f64 / 40.0;
+        assert!(
+            (1.5..4.0).contains(&per_request),
+            "samples per request {per_request}"
+        );
+        // Transition records exist and carry the matching bigram.
+        assert!(r
+            .transitions
+            .iter()
+            .any(|t| t.prev_name == Some(SyscallName::Stat) && t.name == SyscallName::Writev));
+    }
+
+    #[test]
+    fn transition_records_carry_previous_names() {
+        let mut cfg = SimConfig::paper_default().with_syscall_sampling(2, 1_000);
+        let mut f = WebServer::new(62, 1.0);
+        let r = run_simulation(cfg.clone(), &mut f, 20).expect("valid");
+        cfg.seed = 1;
+        let with_prev = r
+            .transitions
+            .iter()
+            .filter(|t| t.prev_name.is_some())
+            .count();
+        assert!(
+            with_prev * 2 > r.transitions.len(),
+            "most transitions should know their predecessor ({with_prev}/{})",
+            r.transitions.len()
+        );
+    }
+}
+
+#[cfg(test)]
+mod multi_machine_tests {
+    use super::*;
+    use crate::config::{MultiMachine, SimConfig};
+    use rbv_mem::MachineSpec;
+    use rbv_workloads::{Rubis, Tpcc};
+
+    fn cluster_cfg(machines: usize, hop_micros: u64) -> SimConfig {
+        let mut cfg = SimConfig::paper_default();
+        cfg.machine = MachineSpec::xeon_5160_cluster(machines);
+        cfg.multi_machine = Some(MultiMachine {
+            machines,
+            network_hop_delay: Cycles::from_micros(hop_micros),
+        });
+        cfg.concurrency = machines * 6;
+        cfg
+    }
+
+    #[test]
+    fn three_tier_rubis_runs_across_three_machines() {
+        let mut f = Rubis::new(71, 0.2);
+        let r = run_simulation(cluster_cfg(3, 50), &mut f, 20).expect("valid");
+        assert_eq!(r.completed.len(), 20);
+        for c in &r.completed {
+            // Two inter-machine hops each way are pure latency: wall time
+            // must exceed CPU time by at least the two hop delays.
+            let slack = c.latency().as_f64() - c.cpu_cycles();
+            assert!(
+                slack >= 2.0 * Cycles::from_micros(50).as_f64() * 0.98,
+                "hop delay missing: slack {slack}"
+            );
+        }
+    }
+
+    #[test]
+    fn network_delay_lengthens_latency_not_cpu() {
+        let run = |hop: u64| {
+            let mut f = Rubis::new(72, 0.2);
+            run_simulation(cluster_cfg(3, hop), &mut f, 15).expect("valid")
+        };
+        let fast_net = run(10);
+        let slow_net = run(500);
+        let mean_latency = |r: &RunResult| {
+            r.completed.iter().map(|c| c.latency().as_f64()).sum::<f64>()
+                / r.completed.len() as f64
+        };
+        let mean_cpu = |r: &RunResult| {
+            r.completed.iter().map(|c| c.cpu_cycles()).sum::<f64>()
+                / r.completed.len() as f64
+        };
+        assert!(mean_latency(&slow_net) > mean_latency(&fast_net));
+        // CPU consumption is a property of the work, not the network.
+        let rel = (mean_cpu(&slow_net) / mean_cpu(&fast_net) - 1.0).abs();
+        assert!(rel < 0.1, "cpu drift {rel}");
+    }
+
+    #[test]
+    fn single_stage_apps_stay_on_machine_zero() {
+        let mut f = Tpcc::new(73, 0.05);
+        let cfg = cluster_cfg(2, 100);
+        let r = run_simulation(cfg, &mut f, 15).expect("valid");
+        assert_eq!(r.completed.len(), 15);
+        // No hops: latency ~ queueing only, no mandatory 2-hop slack on
+        // short requests (smoke check that nothing deadlocks).
+    }
+
+    #[test]
+    fn mismatched_domains_are_rejected() {
+        let mut cfg = SimConfig::paper_default(); // 1 memory domain
+        cfg.multi_machine = Some(MultiMachine {
+            machines: 2,
+            network_hop_delay: Cycles::from_micros(10),
+        });
+        let mut f = Tpcc::new(74, 0.05);
+        assert!(run_simulation(cfg, &mut f, 1).is_err());
+    }
+
+    #[test]
+    fn distributed_runs_are_deterministic() {
+        let run = || {
+            let mut f = Rubis::new(75, 0.1);
+            run_simulation(cluster_cfg(3, 80), &mut f, 10).expect("valid")
+        };
+        let (a, b) = (run(), run());
+        for (x, y) in a.completed.iter().zip(&b.completed) {
+            assert_eq!(x.finished_at, y.finished_at);
+            assert_eq!(x.timeline, y.timeline);
+        }
+    }
+}

@@ -1,0 +1,313 @@
+//! Sampling cost and observer-effect modeling (§3.1, Table 1).
+//!
+//! Reading counters and updating per-CPU/per-request statistics costs time
+//! and *produces additional processor events* that pollute the collected
+//! metrics — the observer effect. The paper measures this per-sample cost
+//! in two contexts (in-kernel, e.g. at a context switch or syscall, vs. at
+//! an APIC interrupt with its extra user/kernel domain switch) under two
+//! workloads bracketing the cache-pollution range (Mbench-Spin and
+//! Mbench-Data).
+//!
+//! We reproduce Table 1 by *measuring* the cache behavior of a modeled
+//! sampling handler against the trace-driven hierarchy: the handler
+//! executes a fixed instruction path and touches a fixed set of statistics
+//! cache lines; a polluting workload evicts those lines between samples,
+//! so each sample re-fetches them (the "+13 L2 references" row). Cycle
+//! costs combine the handler path, the measured memory behavior, and the
+//! domain-switch constants.
+//!
+//! The engine injects these costs into the counter stream at every sample
+//! and, per the paper's "do no harm" principle, compensation subtracts the
+//! *minimum* (Mbench-Spin) effect only.
+
+use rbv_mem::hierarchy::AccessLevel;
+use rbv_mem::trace::Access;
+use rbv_mem::MemoryHierarchy;
+
+/// Where a sample is taken (Table 1's two contexts).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SamplingContext {
+    /// Already in the kernel: context switch or system call entrance.
+    InKernel,
+    /// An APIC interrupt, paying an extra user/kernel domain switch.
+    Interrupt,
+}
+
+/// Per-sample cost: time plus the additional hardware events the sampling
+/// operation itself produces.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct SampleCost {
+    /// Additional CPU cycles.
+    pub cycles: f64,
+    /// Additional retired instructions.
+    pub instructions: f64,
+    /// Additional L2 references.
+    pub l2_refs: f64,
+    /// Additional L2 misses.
+    pub l2_misses: f64,
+}
+
+impl SampleCost {
+    /// Cost in microseconds on the 3 GHz platform.
+    pub fn micros(&self) -> f64 {
+        self.cycles / 3_000.0
+    }
+
+    /// Component-wise subtraction clamped at zero (used by "do no harm"
+    /// compensation, which must never over-compensate).
+    pub fn saturating_sub(&self, other: &SampleCost) -> SampleCost {
+        SampleCost {
+            cycles: (self.cycles - other.cycles).max(0.0),
+            instructions: (self.instructions - other.instructions).max(0.0),
+            l2_refs: (self.l2_refs - other.l2_refs).max(0.0),
+            l2_misses: (self.l2_misses - other.l2_misses).max(0.0),
+        }
+    }
+}
+
+/// Handler path constants, calibrated so the Mbench-Spin row of Table 1 is
+/// reproduced exactly: 649 instructions at ~1 cycle each plus the
+/// in-kernel entry overhead gives the 0.42 µs / 1,270-cycle in-kernel
+/// sample; the interrupt path executes 75 more instructions (IRQ entry /
+/// exit) and pays a ~1 µs domain switch.
+pub mod handler {
+    /// Instructions executed by the in-kernel sampling path.
+    pub const INKERNEL_INSTRUCTIONS: f64 = 649.0;
+    /// Instructions executed by the interrupt sampling path.
+    pub const INTERRUPT_INSTRUCTIONS: f64 = 724.0;
+    /// Base CPI of the handler's instruction path (cache-hot).
+    pub const PATH_CPI: f64 = 0.96;
+    /// Fixed in-kernel entry cost in cycles (register save, bookkeeping).
+    pub const INKERNEL_ENTRY_CYCLES: f64 = 647.0;
+    /// Fixed interrupt entry cost in cycles (domain switch, APIC EOI).
+    pub const INTERRUPT_ENTRY_CYCLES: f64 = 1_581.0;
+    /// Distinct statistics cache lines the handler touches (per-CPU and
+    /// per-request accumulators).
+    pub const STAT_LINES: usize = 13;
+    /// Byte address where the statistics lines live in the trace model.
+    pub const STAT_BASE_ADDR: u64 = 0x4000_0000;
+    /// L2 hit latency used to convert measured references into cycles.
+    pub const L2_HIT_CYCLES: f64 = 14.0;
+    /// Memory latency for measured misses.
+    pub const MEM_CYCLES: f64 = 250.0;
+}
+
+/// Measures the per-sample cost under a given workload by replaying
+/// `samples` sampling-handler executions against the trace-driven
+/// hierarchy, interleaved with `workload_accesses_per_sample` accesses of
+/// the workload trace (the cache pollution between samples).
+///
+/// Returns the average per-sample cost. This is the Table 1 measurement
+/// procedure.
+///
+/// # Panics
+///
+/// Panics if `samples` is zero or the workload trace ends prematurely.
+pub fn measure_sampling_cost(
+    workload: &mut dyn Iterator<Item = Access>,
+    context: SamplingContext,
+    samples: usize,
+    workload_accesses_per_sample: usize,
+) -> SampleCost {
+    assert!(samples > 0, "need at least one sample");
+    let mut machine = MemoryHierarchy::xeon_5160();
+    let core = 0usize;
+
+    // Warm the handler's statistics lines once (steady-state measurement).
+    for line in 0..handler::STAT_LINES {
+        machine.access(core, handler::STAT_BASE_ADDR + (line as u64) * 64, true);
+    }
+
+    let (path_ins, entry_cycles) = match context {
+        SamplingContext::InKernel => (
+            handler::INKERNEL_INSTRUCTIONS,
+            handler::INKERNEL_ENTRY_CYCLES,
+        ),
+        SamplingContext::Interrupt => (
+            handler::INTERRUPT_INSTRUCTIONS,
+            handler::INTERRUPT_ENTRY_CYCLES,
+        ),
+    };
+
+    let mut total = SampleCost::default();
+    for _ in 0..samples {
+        // Workload runs between samples, possibly evicting the stat lines.
+        for _ in 0..workload_accesses_per_sample {
+            let a = workload.next().expect("workload trace is infinite");
+            machine.access(core, a.addr, a.is_write);
+        }
+        // The handler reads counters and updates statistics in memory.
+        let mut refs = 0.0;
+        let mut misses = 0.0;
+        for line in 0..handler::STAT_LINES {
+            let addr = handler::STAT_BASE_ADDR + (line as u64) * 64;
+            match machine.access(core, addr, true) {
+                AccessLevel::L1 => {}
+                AccessLevel::L2 => refs += 1.0,
+                AccessLevel::Memory => {
+                    refs += 1.0;
+                    misses += 1.0;
+                }
+            }
+        }
+        let cycles = entry_cycles
+            + path_ins * handler::PATH_CPI
+            + refs * handler::L2_HIT_CYCLES
+            + misses * handler::MEM_CYCLES;
+        total.cycles += cycles;
+        total.instructions += path_ins;
+        total.l2_refs += refs;
+        total.l2_misses += misses;
+    }
+
+    SampleCost {
+        cycles: total.cycles / samples as f64,
+        instructions: total.instructions / samples as f64,
+        l2_refs: total.l2_refs / samples as f64,
+        l2_misses: total.l2_misses / samples as f64,
+    }
+}
+
+/// The calibrated per-sample costs the execution engine injects, matching
+/// the Mbench-Spin rows of Table 1 (the "do no harm" minimum):
+/// 1,270 cycles / 649 instructions in-kernel, 2,276 cycles / 724
+/// instructions at an interrupt, no measurable L2 events.
+pub fn spin_baseline(context: SamplingContext) -> SampleCost {
+    match context {
+        SamplingContext::InKernel => SampleCost {
+            cycles: handler::INKERNEL_ENTRY_CYCLES
+                + handler::INKERNEL_INSTRUCTIONS * handler::PATH_CPI,
+            instructions: handler::INKERNEL_INSTRUCTIONS,
+            l2_refs: 0.0,
+            l2_misses: 0.0,
+        },
+        SamplingContext::Interrupt => SampleCost {
+            cycles: handler::INTERRUPT_ENTRY_CYCLES
+                + handler::INTERRUPT_INSTRUCTIONS * handler::PATH_CPI,
+            instructions: handler::INTERRUPT_INSTRUCTIONS,
+            l2_refs: 0.0,
+            l2_misses: 0.0,
+        },
+    }
+}
+
+/// The workload-dependent cost the engine injects at a sample, given the
+/// running segment's cache-pollution intensity in `[0, 1]` (0 =
+/// Mbench-Spin-like, 1 = Mbench-Data-like). Interpolates between the spin
+/// baseline and the polluted cost (stat lines demoted to L2).
+pub fn injected_cost(context: SamplingContext, pollution: f64) -> SampleCost {
+    let p = pollution.clamp(0.0, 1.0);
+    let base = spin_baseline(context);
+    let extra_refs = handler::STAT_LINES as f64 * p;
+    SampleCost {
+        cycles: base.cycles + extra_refs * handler::L2_HIT_CYCLES * 0.57,
+        instructions: base.instructions,
+        l2_refs: extra_refs,
+        l2_misses: 0.0,
+    }
+}
+
+/// Cache-pollution intensity of a segment profile, mapping reference
+/// pressure and footprint onto `[0, 1]`. A segment streaming far beyond
+/// the L1 evicts the handler's statistics lines between samples.
+pub fn pollution_of(profile: &rbv_mem::SegmentProfile) -> f64 {
+    // L1 is 32 KB: footprints beyond it progressively evict stat lines;
+    // the reference rate scales how fast.
+    let footprint = (profile.working_set_bytes / (256.0 * 1024.0)).min(1.0);
+    let rate = (profile.l2_refs_per_ins / 0.02).min(1.0);
+    footprint * rate
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rbv_sim::SimRng;
+    use rbv_workloads::mbench::{mbench_data_trace, mbench_spin_trace};
+
+    #[test]
+    fn spin_baseline_matches_table1() {
+        let ik = spin_baseline(SamplingContext::InKernel);
+        assert!((ik.cycles - 1_270.0).abs() < 5.0, "in-kernel {}", ik.cycles);
+        assert_eq!(ik.instructions, 649.0);
+        assert!((ik.micros() - 0.42).abs() < 0.01);
+
+        let ir = spin_baseline(SamplingContext::Interrupt);
+        assert!((ir.cycles - 2_276.0).abs() < 5.0, "interrupt {}", ir.cycles);
+        assert_eq!(ir.instructions, 724.0);
+        assert!((ir.micros() - 0.76).abs() < 0.01);
+    }
+
+    #[test]
+    fn measured_spin_has_no_l2_events() {
+        let mut w = mbench_spin_trace();
+        let c = measure_sampling_cost(&mut w, SamplingContext::InKernel, 200, 500);
+        assert_eq!(c.l2_refs, 0.0, "spin must not evict stat lines");
+        assert_eq!(c.l2_misses, 0.0);
+        assert!((c.cycles - spin_baseline(SamplingContext::InKernel).cycles).abs() < 1.0);
+    }
+
+    #[test]
+    fn measured_data_evicts_stat_lines() {
+        // Mbench-Data pollutes the cache between samples: the handler
+        // re-fetches its statistics lines -> ~13 extra L2 references
+        // (Table 1's "+13 L2 ref" row).
+        let mut w = mbench_data_trace(SimRng::seed_from(1));
+        // 100k accesses between samples stream 400 KB >> 32 KB L1.
+        let c = measure_sampling_cost(&mut w, SamplingContext::InKernel, 50, 100_000);
+        assert!(
+            (c.l2_refs - handler::STAT_LINES as f64).abs() < 1.0,
+            "expected ~13 L2 refs, measured {}",
+            c.l2_refs
+        );
+        // Costlier than under spin.
+        assert!(c.cycles > spin_baseline(SamplingContext::InKernel).cycles + 50.0);
+    }
+
+    #[test]
+    fn interrupt_costs_more_than_inkernel() {
+        let mut w1 = mbench_spin_trace();
+        let mut w2 = mbench_spin_trace();
+        let ik = measure_sampling_cost(&mut w1, SamplingContext::InKernel, 50, 100);
+        let ir = measure_sampling_cost(&mut w2, SamplingContext::Interrupt, 50, 100);
+        assert!(ir.cycles > ik.cycles + 900.0, "domain switch must show");
+        assert!(ir.instructions > ik.instructions);
+    }
+
+    #[test]
+    fn injected_cost_interpolates_with_pollution() {
+        let clean = injected_cost(SamplingContext::InKernel, 0.0);
+        let dirty = injected_cost(SamplingContext::InKernel, 1.0);
+        assert_eq!(clean.l2_refs, 0.0);
+        assert!((dirty.l2_refs - 13.0).abs() < 1e-12);
+        assert!(dirty.cycles > clean.cycles);
+        // Out-of-range pollution is clamped.
+        assert_eq!(injected_cost(SamplingContext::InKernel, 7.0), dirty);
+    }
+
+    #[test]
+    fn pollution_extremes_match_microbenchmarks() {
+        use rbv_workloads::mbench::{data_profile, spin_profile};
+        assert_eq!(pollution_of(&spin_profile()), 0.0);
+        assert!(pollution_of(&data_profile()) > 0.99);
+    }
+
+    #[test]
+    fn saturating_sub_never_negative() {
+        let a = SampleCost {
+            cycles: 10.0,
+            instructions: 5.0,
+            l2_refs: 1.0,
+            l2_misses: 0.0,
+        };
+        let b = SampleCost {
+            cycles: 20.0,
+            instructions: 2.0,
+            l2_refs: 5.0,
+            l2_misses: 0.0,
+        };
+        let d = a.saturating_sub(&b);
+        assert_eq!(d.cycles, 0.0);
+        assert_eq!(d.instructions, 3.0);
+        assert_eq!(d.l2_refs, 0.0);
+    }
+}

@@ -1,0 +1,203 @@
+//! Cross-platform performance projection (§7, future work).
+//!
+//! "Our characterized request workload may serve as input to server system
+//! performance models to predict performance or its bounds under different
+//! system configurations. In particular, fine-grained behavior variation
+//! patterns can help project request resource consumption on a new
+//! hardware platform."
+//!
+//! A request timeline measured on a *source* machine decomposes each
+//! sample period into machine-independent parts — instructions, L2
+//! references per instruction, L2 miss ratio — plus the machine-dependent
+//! stall costs. Holding the cache-capacity-dependent miss ratio fixed
+//! (valid when the target keeps the source's cache capacity; callers can
+//! supply a miss-ratio transform otherwise), the period's cycle count on a
+//! target machine with different L2 hit and memory latencies is:
+//!
+//! ```text
+//! base     = cycles_src − refs · (hit_src · (1 − m) + mem_src · m)
+//! cycles'  = base + refs · (hit_tgt · (1 − m) + mem_tgt · m)
+//! ```
+//!
+//! where `base` — the core-local cycles — carries over unchanged. This is
+//! exactly the fine-grained projection the paper motivates: the per-period
+//! variation pattern determines *where* a request is memory-bound, so the
+//! speedup of a faster memory system is distributed correctly along the
+//! request instead of scaled uniformly.
+
+use rbv_core::series::{SamplePeriod, Timeline};
+use rbv_mem::MachineSpec;
+
+/// Projects request timelines measured on one machine onto another.
+#[derive(Debug, Clone, Copy)]
+pub struct PlatformProjection {
+    /// The machine the timeline was measured on.
+    pub source: MachineSpec,
+    /// The machine to predict for.
+    pub target: MachineSpec,
+}
+
+impl PlatformProjection {
+    /// Creates the projection.
+    pub fn new(source: MachineSpec, target: MachineSpec) -> PlatformProjection {
+        PlatformProjection { source, target }
+    }
+
+    /// Projects a single sample period, optionally transforming its miss
+    /// ratio (e.g. when the target's cache capacity differs, feed the
+    /// output of [`rbv_mem::model::miss_ratio`] at the new share).
+    ///
+    /// Periods with no instructions or no references pass through with
+    /// only their base cycles (nothing memory-bound to rescale).
+    pub fn project_period(
+        &self,
+        period: &SamplePeriod,
+        miss_transform: Option<&dyn Fn(f64) -> f64>,
+    ) -> SamplePeriod {
+        if period.instructions <= 0.0 || period.l2_refs <= 0.0 {
+            return *period;
+        }
+        let m_src = (period.l2_misses / period.l2_refs).clamp(0.0, 1.0);
+        let m_tgt = miss_transform.map_or(m_src, |f| f(m_src).clamp(0.0, 1.0));
+
+        let src_stall = period.l2_refs
+            * (self.source.l2_hit_cycles * (1.0 - m_src) + self.source.mem_base_cycles * m_src);
+        // The core-local portion cannot be negative: clamp against
+        // measurement noise on the counters.
+        let base = (period.cycles - src_stall).max(period.instructions * 0.1);
+        let tgt_stall = period.l2_refs
+            * (self.target.l2_hit_cycles * (1.0 - m_tgt) + self.target.mem_base_cycles * m_tgt);
+        SamplePeriod {
+            cycles: base + tgt_stall,
+            instructions: period.instructions,
+            l2_refs: period.l2_refs,
+            l2_misses: m_tgt * period.l2_refs,
+        }
+    }
+
+    /// Projects a whole request timeline.
+    pub fn project_timeline(&self, timeline: &Timeline) -> Timeline {
+        Timeline::from_periods(
+            timeline
+                .periods()
+                .iter()
+                .map(|p| self.project_period(p, None))
+                .collect(),
+        )
+    }
+
+    /// Predicted whole-request speedup: source CPU cycles over projected
+    /// target CPU cycles. Returns `None` for empty timelines.
+    pub fn speedup(&self, timeline: &Timeline) -> Option<f64> {
+        let src = timeline.total_cycles();
+        if src <= 0.0 {
+            return None;
+        }
+        let tgt = self.project_timeline(timeline).total_cycles();
+        (tgt > 0.0).then(|| src / tgt)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn machine(hit: f64, mem: f64) -> MachineSpec {
+        MachineSpec {
+            l2_hit_cycles: hit,
+            mem_base_cycles: mem,
+            ..MachineSpec::xeon_5160()
+        }
+    }
+
+    fn period(cycles: f64, ins: f64, refs: f64, misses: f64) -> SamplePeriod {
+        SamplePeriod {
+            cycles,
+            instructions: ins,
+            l2_refs: refs,
+            l2_misses: misses,
+        }
+    }
+
+    #[test]
+    fn identity_projection_is_a_noop() {
+        let m = machine(14.0, 250.0);
+        let proj = PlatformProjection::new(m, m);
+        let p = period(10_000.0, 5_000.0, 50.0, 25.0);
+        let out = proj.project_period(&p, None);
+        assert!((out.cycles - p.cycles).abs() < 1e-9);
+        assert_eq!(out.instructions, p.instructions);
+        assert_eq!(out.l2_misses, p.l2_misses);
+    }
+
+    #[test]
+    fn faster_memory_speeds_up_memory_bound_periods_only() {
+        let src = machine(14.0, 250.0);
+        let tgt = machine(14.0, 125.0); // 2x faster memory
+        let proj = PlatformProjection::new(src, tgt);
+
+        // Memory-bound: half the cycles are memory stalls.
+        let refs = 40.0;
+        let misses = 40.0;
+        let stalls = misses * 250.0;
+        let memory_bound = period(stalls * 2.0, 10_000.0, refs, misses);
+        let out = proj.project_period(&memory_bound, None);
+        // Stall half shrinks 2x: total = base + stall/2 = 0.75x.
+        assert!((out.cycles / memory_bound.cycles - 0.75).abs() < 1e-6);
+
+        // Compute-bound: no references at all — unchanged.
+        let compute_bound = period(10_000.0, 10_000.0, 0.0, 0.0);
+        let out = proj.project_period(&compute_bound, None);
+        assert_eq!(out.cycles, compute_bound.cycles);
+    }
+
+    #[test]
+    fn miss_transform_applies_target_cache_effect() {
+        let src = machine(14.0, 250.0);
+        let tgt = machine(14.0, 250.0);
+        let proj = PlatformProjection::new(src, tgt);
+        let p = period(30_000.0, 10_000.0, 100.0, 80.0);
+        // A bigger target cache halves the miss ratio.
+        let out = proj.project_period(&p, Some(&|m| m * 0.5));
+        assert!((out.l2_misses - 40.0).abs() < 1e-9);
+        assert!(out.cycles < p.cycles);
+    }
+
+    #[test]
+    fn timeline_projection_preserves_instruction_structure() {
+        let src = machine(14.0, 250.0);
+        let tgt = machine(10.0, 150.0);
+        let proj = PlatformProjection::new(src, tgt);
+        let t = Timeline::from_periods(vec![
+            period(20_000.0, 10_000.0, 60.0, 30.0),
+            period(15_000.0, 12_000.0, 10.0, 2.0),
+        ]);
+        let out = proj.project_timeline(&t);
+        assert_eq!(out.len(), t.len());
+        assert_eq!(out.total_instructions(), t.total_instructions());
+        assert!(out.total_cycles() < t.total_cycles());
+        let s = proj.speedup(&t).unwrap();
+        assert!(s > 1.0 && s < 2.0, "speedup {s}");
+    }
+
+    #[test]
+    fn base_cycles_never_go_negative() {
+        let src = machine(14.0, 250.0);
+        let tgt = machine(14.0, 500.0);
+        let proj = PlatformProjection::new(src, tgt);
+        // Inconsistent counters (noise): stalls exceed measured cycles.
+        let p = period(1_000.0, 1_000.0, 100.0, 100.0);
+        let out = proj.project_period(&p, None);
+        assert!(out.cycles.is_finite() && out.cycles > 0.0);
+    }
+
+    #[test]
+    fn degenerate_periods_pass_through() {
+        let proj = PlatformProjection::new(machine(14.0, 250.0), machine(7.0, 100.0));
+        let empty = period(0.0, 0.0, 0.0, 0.0);
+        assert_eq!(proj.project_period(&empty, None), empty);
+        let no_refs = period(500.0, 400.0, 0.0, 0.0);
+        assert_eq!(proj.project_period(&no_refs, None), no_refs);
+        assert_eq!(proj.speedup(&Timeline::new()), None);
+    }
+}

@@ -1,0 +1,524 @@
+//! Results of a simulation run: completed requests with their serialized
+//! counter timelines, sampling statistics, transition-signal training data,
+//! and contention accounting.
+
+use rbv_core::series::{Metric, MetricSeries, Timeline};
+use rbv_sim::Cycles;
+use rbv_workloads::{AppId, RequestClass, SyscallName};
+
+/// One system call occurrence on a request's execution timeline.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SyscallRecord {
+    /// Wall-clock simulation time of the call.
+    pub at: Cycles,
+    /// Request-local CPU cycles consumed before the call.
+    pub request_cycles: f64,
+    /// Request-local instructions retired before the call.
+    pub request_ins: f64,
+    /// Which call.
+    pub name: SyscallName,
+}
+
+/// A finished request with everything the modeling layer needs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompletedRequest {
+    /// Engine-assigned identifier (arrival order).
+    pub id: usize,
+    /// Application.
+    pub app: AppId,
+    /// Application-level class.
+    pub class: RequestClass,
+    /// Serialized per-request counter timeline (§2.1).
+    pub timeline: Timeline,
+    /// System calls in execution order.
+    pub syscalls: Vec<SyscallRecord>,
+    /// Arrival time.
+    pub arrived_at: Cycles,
+    /// Completion time.
+    pub finished_at: Cycles,
+    /// Cumulative `(instructions, cycles)` at the end of each stage, in
+    /// stage order — the per-component split a distributed deployment
+    /// exposes (§7 "local and inter-machine variations").
+    pub stage_marks: Vec<(f64, f64)>,
+}
+
+impl CompletedRequest {
+    /// Total CPU cycles consumed (the "request CPU time" of Figure 7A).
+    pub fn cpu_cycles(&self) -> f64 {
+        self.timeline.total_cycles()
+    }
+
+    /// Whole-request CPI (total cycles / total instructions, Figure 1).
+    pub fn request_cpi(&self) -> Option<f64> {
+        self.timeline.average(Metric::Cpi)
+    }
+
+    /// The 90-percentile CPI across the request's sample periods (the
+    /// "peak CPI" property of Figure 7B).
+    pub fn peak_cpi(&self) -> Option<f64> {
+        let (_, values) = self.timeline.weighted_values(Metric::Cpi);
+        rbv_core::stats::percentile(&values, 0.9)
+    }
+
+    /// Fixed-bucket variation pattern on `metric` (§4.1 signatures).
+    pub fn series(&self, metric: Metric, bucket_ins: f64) -> MetricSeries {
+        self.timeline.series(metric, bucket_ins)
+    }
+
+    /// The syscall name sequence (for Levenshtein differencing).
+    pub fn syscall_names(&self) -> Vec<SyscallName> {
+        self.syscalls.iter().map(|s| s.name).collect()
+    }
+
+    /// End-to-end latency including queueing, in cycles.
+    pub fn latency(&self) -> Cycles {
+        self.finished_at.saturating_sub(self.arrived_at)
+    }
+
+    /// Per-stage CPI values, split at the recorded stage marks.
+    /// Single-stage requests yield one value (the request CPI).
+    pub fn stage_cpis(&self) -> Vec<f64> {
+        let mut out = Vec::with_capacity(self.stage_marks.len());
+        let (mut prev_ins, mut prev_cycles) = (0.0, 0.0);
+        for &(ins, cycles) in &self.stage_marks {
+            let d_ins = ins - prev_ins;
+            let d_cycles = cycles - prev_cycles;
+            if d_ins > 0.0 {
+                out.push(d_cycles / d_ins);
+            }
+            prev_ins = ins;
+            prev_cycles = cycles;
+        }
+        out
+    }
+}
+
+/// A behavior-transition training record (§3.2, Table 2): the CPI of the
+/// sample periods immediately before and after one system call.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TransitionRecord {
+    /// The system call at the boundary.
+    pub name: SyscallName,
+    /// The request's previous system call, if any (for bigram signals).
+    pub prev_name: Option<SyscallName>,
+    /// CPI of the period ending at the call.
+    pub before_cpi: f64,
+    /// CPI of the period starting at the call.
+    pub after_cpi: f64,
+}
+
+impl TransitionRecord {
+    /// The CPI change the call signals.
+    pub fn change(&self) -> f64 {
+        self.after_cpi - self.before_cpi
+    }
+}
+
+/// Aggregate statistics of a run.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct RunStats {
+    /// Counter samples taken in an in-kernel context (context switches and
+    /// system call entrances).
+    pub samples_inkernel: u64,
+    /// Counter samples taken at (periodic or backup) interrupts.
+    pub samples_interrupt: u64,
+    /// Simulated cycles during which exactly `k` cores simultaneously ran
+    /// requests in high-resource-usage periods (index `k`; Figure 12).
+    pub high_usage_cycles: Vec<f64>,
+    /// Cycles during which at least one core was running.
+    pub busy_cycles: f64,
+}
+
+impl RunStats {
+    /// Fraction of (any-core-busy) execution time with at least `k` cores
+    /// simultaneously at high resource usage (Figure 12's y-axis).
+    pub fn high_usage_fraction_at_least(&self, k: usize) -> f64 {
+        if self.busy_cycles <= 0.0 {
+            return 0.0;
+        }
+        let sum: f64 = self
+            .high_usage_cycles
+            .iter()
+            .skip(k)
+            .sum();
+        sum / self.busy_cycles
+    }
+
+    /// Total sampling overhead in cycles, costing each sample at the
+    /// Mbench-Spin (minimum) rate per Figure 5's methodology.
+    pub fn sampling_overhead_cycles(&self) -> f64 {
+        use crate::observer::{spin_baseline, SamplingContext};
+        self.samples_inkernel as f64 * spin_baseline(SamplingContext::InKernel).cycles
+            + self.samples_interrupt as f64 * spin_baseline(SamplingContext::Interrupt).cycles
+    }
+}
+
+/// Everything a simulation run produces.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunResult {
+    /// Requests in completion order.
+    pub completed: Vec<CompletedRequest>,
+    /// Transition-signal training records.
+    pub transitions: Vec<TransitionRecord>,
+    /// Aggregate statistics.
+    pub stats: RunStats,
+    /// Total simulated time.
+    pub total_time: Cycles,
+}
+
+impl RunResult {
+    /// Per-request CPI values (skipping degenerate requests).
+    pub fn request_cpis(&self) -> Vec<f64> {
+        self.completed
+            .iter()
+            .filter_map(CompletedRequest::request_cpi)
+            .collect()
+    }
+
+    /// Requests of one class.
+    pub fn of_class(&self, class: RequestClass) -> Vec<&CompletedRequest> {
+        self.completed
+            .iter()
+            .filter(|r| r.class == class)
+            .collect()
+    }
+
+    /// Mean ± standard deviation of the CPI change signaled by each
+    /// syscall name, sorted by descending |mean| (Table 2). Names with
+    /// fewer than `min_count` occurrences are dropped.
+    pub fn transition_table(&self, min_count: usize) -> Vec<(SyscallName, f64, f64, usize)> {
+        use std::collections::HashMap;
+        let mut by_name: HashMap<SyscallName, Vec<f64>> = HashMap::new();
+        for t in &self.transitions {
+            by_name.entry(t.name).or_default().push(t.change());
+        }
+        let mut rows: Vec<(SyscallName, f64, f64, usize)> = by_name
+            .into_iter()
+            .filter(|(_, v)| v.len() >= min_count)
+            .map(|(name, v)| {
+                let n = v.len();
+                let mean = v.iter().sum::<f64>() / n as f64;
+                let var = v.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+                (name, mean, var.sqrt(), n)
+            })
+            .collect();
+        rows.sort_by(|a, b| {
+            b.1.abs()
+                .partial_cmp(&a.1.abs())
+                .expect("finite means")
+                .then_with(|| a.0.cmp(&b.0))
+        });
+        rows
+    }
+
+    /// Like [`RunResult::transition_table`] but keyed on `(previous,
+    /// current)` syscall-name bigrams — the paper's suggested refinement
+    /// for long requests whose individual names recur in many semantic
+    /// contexts.
+    #[allow(clippy::type_complexity)]
+    pub fn transition_table_bigrams(
+        &self,
+        min_count: usize,
+    ) -> Vec<((SyscallName, SyscallName), f64, f64, usize)> {
+        use std::collections::HashMap;
+        let mut by_pair: HashMap<(SyscallName, SyscallName), Vec<f64>> = HashMap::new();
+        for t in &self.transitions {
+            if let Some(prev) = t.prev_name {
+                by_pair.entry((prev, t.name)).or_default().push(t.change());
+            }
+        }
+        let mut rows: Vec<((SyscallName, SyscallName), f64, f64, usize)> = by_pair
+            .into_iter()
+            .filter(|(_, v)| v.len() >= min_count)
+            .map(|(pair, v)| {
+                let n = v.len();
+                let mean = v.iter().sum::<f64>() / n as f64;
+                let var = v.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+                (pair, mean, var.sqrt(), n)
+            })
+            .collect();
+        rows.sort_by(|a, b| {
+            b.1.abs()
+                .partial_cmp(&a.1.abs())
+                .expect("finite means")
+                .then_with(|| a.0.cmp(&b.0))
+        });
+        rows
+    }
+
+    /// Per-request "next syscall distance" samples, length-biased as in
+    /// Figure 4: from an arbitrary instant of request execution, how far
+    /// (in request CPU cycles or instructions) is the next system call?
+    /// Returns the gap list (each gap weighted by sampling within it is
+    /// handled by the CDF evaluation in the harness).
+    pub fn syscall_gaps(&self) -> Vec<SyscallGap> {
+        let mut gaps = Vec::new();
+        for r in &self.completed {
+            let mut prev_cycles = 0.0f64;
+            let mut prev_ins = 0.0f64;
+            for s in &r.syscalls {
+                let dc = s.request_cycles - prev_cycles;
+                let di = s.request_ins - prev_ins;
+                if dc > 0.0 || di > 0.0 {
+                    gaps.push(SyscallGap {
+                        cycles: dc.max(0.0),
+                        instructions: di.max(0.0),
+                    });
+                }
+                prev_cycles = s.request_cycles;
+                prev_ins = s.request_ins;
+            }
+        }
+        gaps
+    }
+}
+
+/// The execution distance between two consecutive system calls of one
+/// request.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SyscallGap {
+    /// Request CPU cycles between the calls.
+    pub cycles: f64,
+    /// Instructions between the calls.
+    pub instructions: f64,
+}
+
+/// Length-biased cumulative probability that the next syscall is within
+/// distance `d` from an arbitrary instant (Figure 4): instants fall into a
+/// gap with probability proportional to the gap's length, and within a gap
+/// of length `g` the next call is within `d` for the last `min(d, g)`
+/// portion.
+pub fn next_syscall_cumulative(gaps: &[f64], d: f64) -> f64 {
+    let total: f64 = gaps.iter().sum();
+    if total <= 0.0 {
+        return 0.0;
+    }
+    gaps.iter().map(|&g| g.min(d)).sum::<f64>() / total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rbv_core::series::SamplePeriod;
+
+    fn request_with_timeline(periods: Vec<(f64, f64)>) -> CompletedRequest {
+        let mut t = Timeline::new();
+        for (cycles, ins) in periods {
+            t.push(SamplePeriod {
+                cycles,
+                instructions: ins,
+                l2_refs: ins * 0.01,
+                l2_misses: ins * 0.001,
+            });
+        }
+        CompletedRequest {
+            id: 0,
+            app: AppId::Tpcc,
+            class: RequestClass::Mbench,
+            timeline: t,
+            syscalls: vec![],
+            arrived_at: Cycles::ZERO,
+            finished_at: Cycles::new(1000),
+            stage_marks: vec![],
+        }
+    }
+
+    #[test]
+    fn request_cpi_is_totals_ratio() {
+        let r = request_with_timeline(vec![(100.0, 100.0), (300.0, 100.0)]);
+        assert!((r.request_cpi().unwrap() - 2.0).abs() < 1e-12);
+        assert_eq!(r.cpu_cycles(), 400.0);
+        assert_eq!(r.latency(), Cycles::new(1000));
+    }
+
+    #[test]
+    fn peak_cpi_is_90th_percentile_of_periods() {
+        let r = request_with_timeline(vec![
+            (100.0, 100.0),
+            (100.0, 100.0),
+            (100.0, 100.0),
+            (500.0, 100.0),
+        ]);
+        let peak = r.peak_cpi().unwrap();
+        assert!(peak > 3.0, "peak {peak}");
+    }
+
+    #[test]
+    fn transition_table_aggregates_by_name() {
+        let result = RunResult {
+            completed: vec![],
+            transitions: vec![
+                TransitionRecord {
+                    name: SyscallName::Writev,
+                    prev_name: Some(SyscallName::Stat),
+                    before_cpi: 1.0,
+                    after_cpi: 4.0,
+                },
+                TransitionRecord {
+                    name: SyscallName::Writev,
+                    prev_name: Some(SyscallName::Stat),
+                    before_cpi: 1.0,
+                    after_cpi: 6.0,
+                },
+                TransitionRecord {
+                    name: SyscallName::Lseek,
+                    prev_name: Some(SyscallName::Writev),
+                    before_cpi: 4.0,
+                    after_cpi: 1.0,
+                },
+                TransitionRecord {
+                    name: SyscallName::Read,
+                    prev_name: None,
+                    before_cpi: 1.0,
+                    after_cpi: 1.0,
+                },
+            ],
+            stats: RunStats::default(),
+            total_time: Cycles::ZERO,
+        };
+        let table = result.transition_table(1);
+        // writev first (mean +4), then lseek (mean -3), then read (0).
+        assert_eq!(table[0].0, SyscallName::Writev);
+        assert!((table[0].1 - 4.0).abs() < 1e-12);
+        assert!((table[0].2 - 1.0).abs() < 1e-12); // std of {3, 5}
+        assert_eq!(table[0].3, 2);
+        assert_eq!(table[1].0, SyscallName::Lseek);
+        assert!((table[1].1 + 3.0).abs() < 1e-12);
+        // min_count filters singles.
+        let filtered = result.transition_table(2);
+        assert_eq!(filtered.len(), 1);
+    }
+
+    #[test]
+    fn high_usage_fractions() {
+        let stats = RunStats {
+            samples_inkernel: 0,
+            samples_interrupt: 0,
+            high_usage_cycles: vec![50.0, 20.0, 20.0, 5.0, 5.0],
+            busy_cycles: 100.0,
+        };
+        assert!((stats.high_usage_fraction_at_least(0) - 1.0).abs() < 1e-12);
+        assert!((stats.high_usage_fraction_at_least(2) - 0.3).abs() < 1e-12);
+        assert!((stats.high_usage_fraction_at_least(4) - 0.05).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sampling_overhead_prices_by_context() {
+        let a = RunStats {
+            samples_inkernel: 10,
+            samples_interrupt: 0,
+            ..Default::default()
+        };
+        let b = RunStats {
+            samples_inkernel: 0,
+            samples_interrupt: 10,
+            ..Default::default()
+        };
+        assert!(b.sampling_overhead_cycles() > a.sampling_overhead_cycles());
+    }
+
+    #[test]
+    fn next_syscall_cumulative_is_length_biased() {
+        // Gaps 1 and 9: from an arbitrary instant, P(next within 1) =
+        // (1 + 1)/10 = 0.2.
+        let gaps = [1.0, 9.0];
+        assert!((next_syscall_cumulative(&gaps, 1.0) - 0.2).abs() < 1e-12);
+        assert!((next_syscall_cumulative(&gaps, 9.0) - 1.0).abs() < 1e-12);
+        assert_eq!(next_syscall_cumulative(&[], 5.0), 0.0);
+    }
+
+    #[test]
+    fn syscall_gaps_computed_per_request() {
+        let mut r = request_with_timeline(vec![(100.0, 100.0)]);
+        r.syscalls = vec![
+            SyscallRecord {
+                at: Cycles::new(10),
+                request_cycles: 10.0,
+                request_ins: 5.0,
+                name: SyscallName::Read,
+            },
+            SyscallRecord {
+                at: Cycles::new(50),
+                request_cycles: 40.0,
+                request_ins: 25.0,
+                name: SyscallName::Write,
+            },
+        ];
+        let result = RunResult {
+            completed: vec![r],
+            transitions: vec![],
+            stats: RunStats::default(),
+            total_time: Cycles::ZERO,
+        };
+        let gaps = result.syscall_gaps();
+        assert_eq!(gaps.len(), 2);
+        assert_eq!(gaps[1].cycles, 30.0);
+        assert_eq!(gaps[1].instructions, 20.0);
+    }
+}
+
+#[cfg(test)]
+mod bigram_tests {
+    use super::*;
+
+    fn rec(prev: Option<SyscallName>, name: SyscallName, delta: f64) -> TransitionRecord {
+        TransitionRecord {
+            name,
+            prev_name: prev,
+            before_cpi: 1.0,
+            after_cpi: 1.0 + delta,
+        }
+    }
+
+    #[test]
+    fn bigram_table_disambiguates_contexts() {
+        // `sendto` after `futex` raises CPI; after `read` it lowers it.
+        // The name table averages them away; the bigram table separates.
+        let result = RunResult {
+            completed: vec![],
+            transitions: vec![
+                rec(Some(SyscallName::Futex), SyscallName::Sendto, 2.0),
+                rec(Some(SyscallName::Futex), SyscallName::Sendto, 2.2),
+                rec(Some(SyscallName::Read), SyscallName::Sendto, -2.0),
+                rec(Some(SyscallName::Read), SyscallName::Sendto, -2.2),
+                rec(None, SyscallName::Sendto, 0.0),
+            ],
+            stats: RunStats::default(),
+            total_time: Cycles::ZERO,
+        };
+        let names = result.transition_table(1);
+        let sendto = names.iter().find(|r| r.0 == SyscallName::Sendto).unwrap();
+        assert!(sendto.1.abs() < 0.1, "name mean washes out: {}", sendto.1);
+        assert!(sendto.2 > 1.5, "name std reveals mixed contexts");
+
+        let bigrams = result.transition_table_bigrams(1);
+        assert_eq!(bigrams.len(), 2, "the None-prev record is excluded");
+        let futex = bigrams
+            .iter()
+            .find(|r| r.0 == (SyscallName::Futex, SyscallName::Sendto))
+            .unwrap();
+        assert!((futex.1 - 2.1).abs() < 1e-9);
+        assert!(futex.2 < 0.2, "per-context std is tight");
+        let read = bigrams
+            .iter()
+            .find(|r| r.0 == (SyscallName::Read, SyscallName::Sendto))
+            .unwrap();
+        assert!((read.1 + 2.1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bigram_min_count_filters() {
+        let result = RunResult {
+            completed: vec![],
+            transitions: vec![
+                rec(Some(SyscallName::Stat), SyscallName::Writev, 3.0),
+                rec(Some(SyscallName::Stat), SyscallName::Writev, 3.5),
+                rec(Some(SyscallName::Open), SyscallName::Writev, 1.0),
+            ],
+            stats: RunStats::default(),
+            total_time: Cycles::ZERO,
+        };
+        assert_eq!(result.transition_table_bigrams(2).len(), 1);
+        assert_eq!(result.transition_table_bigrams(1).len(), 2);
+    }
+}

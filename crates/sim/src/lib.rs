@@ -1,0 +1,45 @@
+//! Discrete-event simulation substrate for the Request Behavior Variations
+//! reproduction.
+//!
+//! This crate provides the foundations every other crate in the workspace
+//! builds on:
+//!
+//! * [`time`] — strongly-typed simulated time ([`Cycles`], [`Nanos`]) and
+//!   instruction counts ([`Instructions`]), with conversions pinned to the
+//!   paper's 3.0 GHz Xeon 5160 clock.
+//! * [`rng`] — a small, fully deterministic random number generator
+//!   ([`SimRng`], xoshiro256\*\* seeded via SplitMix64) that implements
+//!   [`rand::RngCore`] so the whole `rand`/`rand_distr` ecosystem can be
+//!   used while keeping experiments bit-reproducible across platforms.
+//! * [`queue`] — a generic, stable discrete-event queue ([`EventQueue`])
+//!   ordered by simulated time with FIFO tie-breaking.
+//!
+//! # Example
+//!
+//! ```
+//! use rbv_sim::{Cycles, EventQueue, SimRng};
+//! use rand::Rng;
+//!
+//! let mut rng = SimRng::seed_from(42);
+//! let mut q = EventQueue::new();
+//! for i in 0..3 {
+//!     let at = Cycles::new(rng.gen_range(0..1_000));
+//!     q.schedule(at, i);
+//! }
+//! let mut order = Vec::new();
+//! while let Some((at, ev)) = q.pop() {
+//!     order.push((at, ev));
+//! }
+//! assert!(order.windows(2).all(|w| w[0].0 <= w[1].0));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod queue;
+pub mod rng;
+pub mod time;
+
+pub use queue::EventQueue;
+pub use rng::SimRng;
+pub use time::{Cycles, Instructions, Nanos, CLOCK_GHZ};

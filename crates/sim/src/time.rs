@@ -1,0 +1,328 @@
+//! Strongly-typed simulated time and instruction counts.
+//!
+//! The experimental platform of the paper is a 3.0 GHz Intel Xeon 5160
+//! ("Woodcrest"). All conversions between wall-clock time and CPU cycles in
+//! this workspace go through the [`CLOCK_GHZ`] constant so that, e.g., the
+//! "once per 10 microseconds" sampling period of the web server experiments
+//! translates to exactly 30,000 cycles.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+/// Simulated processor clock frequency in GHz (cycles per nanosecond).
+///
+/// Matches the paper's 3.0 GHz Xeon 5160.
+pub const CLOCK_GHZ: u64 = 3;
+
+macro_rules! counter_newtype {
+    ($(#[$doc:meta])* $name:ident) => {
+        $(#[$doc])*
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+        pub struct $name(u64);
+
+        impl $name {
+            /// The zero value.
+            pub const ZERO: $name = $name(0);
+
+            /// Wraps a raw count.
+            ///
+            /// ```
+            /// # use rbv_sim::time::*;
+            #[doc = concat!("let c = ", stringify!($name), "::new(10);")]
+            /// assert_eq!(c.get(), 10);
+            /// ```
+            pub const fn new(raw: u64) -> Self {
+                $name(raw)
+            }
+
+            /// Returns the raw count.
+            pub const fn get(self) -> u64 {
+                self.0
+            }
+
+            /// Returns the raw count as `f64`, for statistics.
+            pub const fn as_f64(self) -> f64 {
+                self.0 as f64
+            }
+
+            /// Saturating subtraction; clamps at zero instead of wrapping.
+            pub const fn saturating_sub(self, rhs: Self) -> Self {
+                $name(self.0.saturating_sub(rhs.0))
+            }
+
+            /// Checked subtraction.
+            pub const fn checked_sub(self, rhs: Self) -> Option<Self> {
+                match self.0.checked_sub(rhs.0) {
+                    Some(v) => Some($name(v)),
+                    None => None,
+                }
+            }
+
+            /// Returns the smaller of `self` and `other`.
+            pub fn min(self, other: Self) -> Self {
+                $name(self.0.min(other.0))
+            }
+
+            /// Returns the larger of `self` and `other`.
+            pub fn max(self, other: Self) -> Self {
+                $name(self.0.max(other.0))
+            }
+
+            /// True when the count is zero.
+            pub const fn is_zero(self) -> bool {
+                self.0 == 0
+            }
+        }
+
+        impl Add for $name {
+            type Output = $name;
+            fn add(self, rhs: $name) -> $name {
+                $name(self.0 + rhs.0)
+            }
+        }
+
+        impl AddAssign for $name {
+            fn add_assign(&mut self, rhs: $name) {
+                self.0 += rhs.0;
+            }
+        }
+
+        impl Sub for $name {
+            type Output = $name;
+            /// # Panics
+            ///
+            /// Panics on underflow in debug builds, like integer subtraction.
+            fn sub(self, rhs: $name) -> $name {
+                $name(self.0 - rhs.0)
+            }
+        }
+
+        impl SubAssign for $name {
+            fn sub_assign(&mut self, rhs: $name) {
+                self.0 -= rhs.0;
+            }
+        }
+
+        impl Mul<u64> for $name {
+            type Output = $name;
+            fn mul(self, rhs: u64) -> $name {
+                $name(self.0 * rhs)
+            }
+        }
+
+        impl Div<u64> for $name {
+            type Output = $name;
+            /// # Panics
+            ///
+            /// Panics when `rhs` is zero.
+            fn div(self, rhs: u64) -> $name {
+                $name(self.0 / rhs)
+            }
+        }
+
+        impl Sum for $name {
+            fn sum<I: Iterator<Item = $name>>(iter: I) -> $name {
+                $name(iter.map(|v| v.0).sum())
+            }
+        }
+
+        impl From<u64> for $name {
+            fn from(raw: u64) -> $name {
+                $name(raw)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "{}", self.0)
+            }
+        }
+    };
+}
+
+counter_newtype! {
+    /// A count of CPU cycles on the simulated 3.0 GHz processor.
+    ///
+    /// `Cycles` is the native unit of simulated time: every event in the
+    /// discrete-event kernel is stamped in cycles. Use [`Cycles::from_nanos`]
+    /// / [`Cycles::to_nanos`] to convert to wall-clock units.
+    Cycles
+}
+
+counter_newtype! {
+    /// A count of retired instructions.
+    Instructions
+}
+
+counter_newtype! {
+    /// A count of wall-clock nanoseconds of simulated time.
+    Nanos
+}
+
+impl Cycles {
+    /// Converts wall-clock nanoseconds to cycles at [`CLOCK_GHZ`].
+    ///
+    /// ```
+    /// # use rbv_sim::time::*;
+    /// assert_eq!(Cycles::from_nanos(Nanos::new(10)), Cycles::new(30));
+    /// ```
+    pub const fn from_nanos(nanos: Nanos) -> Cycles {
+        Cycles(nanos.get() * CLOCK_GHZ)
+    }
+
+    /// Converts microseconds of wall-clock time to cycles.
+    ///
+    /// ```
+    /// # use rbv_sim::time::*;
+    /// // the web server sampling period of the paper: 10 us
+    /// assert_eq!(Cycles::from_micros(10), Cycles::new(30_000));
+    /// ```
+    pub const fn from_micros(micros: u64) -> Cycles {
+        Cycles(micros * 1_000 * CLOCK_GHZ)
+    }
+
+    /// Converts milliseconds of wall-clock time to cycles.
+    pub const fn from_millis(millis: u64) -> Cycles {
+        Cycles(millis * 1_000_000 * CLOCK_GHZ)
+    }
+
+    /// Converts back to wall-clock nanoseconds (rounding down).
+    pub const fn to_nanos(self) -> Nanos {
+        Nanos::new(self.0 / CLOCK_GHZ)
+    }
+
+    /// Cycles expressed as (possibly fractional) microseconds.
+    pub fn as_micros_f64(self) -> f64 {
+        self.0 as f64 / (CLOCK_GHZ as f64 * 1_000.0)
+    }
+
+    /// Cycles expressed as (possibly fractional) seconds.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / (CLOCK_GHZ as f64 * 1e9)
+    }
+}
+
+impl Nanos {
+    /// Builds from microseconds.
+    pub const fn from_micros(micros: u64) -> Nanos {
+        Nanos(micros * 1_000)
+    }
+
+    /// Builds from milliseconds.
+    pub const fn from_millis(millis: u64) -> Nanos {
+        Nanos(millis * 1_000_000)
+    }
+
+    /// Nanoseconds as fractional microseconds.
+    pub fn as_micros_f64(self) -> f64 {
+        self.0 as f64 / 1_000.0
+    }
+}
+
+impl Instructions {
+    /// Builds from a count of millions of instructions, the unit used by the
+    /// paper's intra-request figures ("progress in millions of instructions").
+    pub const fn from_millions(m: u64) -> Instructions {
+        Instructions(m * 1_000_000)
+    }
+
+    /// Instructions as fractional millions.
+    pub fn as_millions_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+}
+
+/// Computes cycles-per-instruction from raw counter deltas.
+///
+/// Returns `None` when no instructions retired (CPI undefined), which the
+/// sampling machinery treats as a skipped sample.
+///
+/// ```
+/// # use rbv_sim::time::*;
+/// assert_eq!(cpi(Cycles::new(30), Instructions::new(10)), Some(3.0));
+/// assert_eq!(cpi(Cycles::new(30), Instructions::ZERO), None);
+/// ```
+pub fn cpi(cycles: Cycles, instructions: Instructions) -> Option<f64> {
+    if instructions.is_zero() {
+        None
+    } else {
+        Some(cycles.as_f64() / instructions.as_f64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nanos_cycles_roundtrip() {
+        for n in [0u64, 1, 7, 1_000, 123_456_789] {
+            let nanos = Nanos::new(n);
+            assert_eq!(Cycles::from_nanos(nanos).to_nanos(), nanos);
+        }
+    }
+
+    #[test]
+    fn micros_matches_paper_sampling_periods() {
+        // 10 us, 100 us, 1 ms sampling periods from Section 3.1.
+        assert_eq!(Cycles::from_micros(10).get(), 30_000);
+        assert_eq!(Cycles::from_micros(100).get(), 300_000);
+        assert_eq!(Cycles::from_millis(1).get(), 3_000_000);
+    }
+
+    #[test]
+    fn arithmetic_behaves_like_integers() {
+        let a = Cycles::new(100);
+        let b = Cycles::new(40);
+        assert_eq!(a + b, Cycles::new(140));
+        assert_eq!(a - b, Cycles::new(60));
+        assert_eq!(a * 3, Cycles::new(300));
+        assert_eq!(a / 3, Cycles::new(33));
+        assert_eq!(b.saturating_sub(a), Cycles::ZERO);
+        assert_eq!(a.checked_sub(b), Some(Cycles::new(60)));
+        assert_eq!(b.checked_sub(a), None);
+        let mut c = a;
+        c += b;
+        assert_eq!(c, Cycles::new(140));
+        c -= b;
+        assert_eq!(c, a);
+    }
+
+    #[test]
+    fn min_max_and_zero() {
+        let a = Instructions::new(5);
+        let b = Instructions::new(9);
+        assert_eq!(a.min(b), a);
+        assert_eq!(a.max(b), b);
+        assert!(Instructions::ZERO.is_zero());
+        assert!(!a.is_zero());
+    }
+
+    #[test]
+    fn sum_over_iterator() {
+        let total: Cycles = (1..=4).map(Cycles::new).sum();
+        assert_eq!(total, Cycles::new(10));
+    }
+
+    #[test]
+    fn cpi_computation() {
+        assert_eq!(cpi(Cycles::new(200), Instructions::new(100)), Some(2.0));
+        assert_eq!(cpi(Cycles::new(200), Instructions::ZERO), None);
+    }
+
+    #[test]
+    fn display_is_raw_value() {
+        assert_eq!(Cycles::new(42).to_string(), "42");
+        assert_eq!(Instructions::from_millions(2).to_string(), "2000000");
+    }
+
+    #[test]
+    fn unit_helpers() {
+        assert_eq!(Nanos::from_micros(2), Nanos::new(2_000));
+        assert_eq!(Nanos::from_millis(2), Nanos::new(2_000_000));
+        assert!((Cycles::from_micros(10).as_micros_f64() - 10.0).abs() < 1e-12);
+        assert!((Instructions::from_millions(3).as_millions_f64() - 3.0).abs() < 1e-12);
+        assert!((Cycles::from_millis(1_000).as_secs_f64() - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,262 @@
+//! Shared construction helpers for the application models.
+//!
+//! Each model builds requests from class *templates*: a deterministic phase
+//! skeleton per request class plus per-request multiplicative jitter, so
+//! requests of one class share a recognizable variation pattern (the basis
+//! of the classification and signature experiments, §4) while no two
+//! requests are identical.
+
+use rand::Rng;
+use rbv_mem::SegmentProfile;
+use rbv_sim::{Instructions, SimRng};
+
+use crate::request::{Component, Phase, Stage, SyscallEvent};
+use crate::syscalls::{GapProcess, SyscallMix, SyscallName};
+
+/// Multiplies `base` by a log-normal factor with the given relative sigma
+/// (sigma 0.1 ≈ ±10% typical deviation). Deterministic in `rng`.
+pub fn jittered(base: f64, rel_sigma: f64, rng: &mut SimRng) -> f64 {
+    if rel_sigma <= 0.0 {
+        return base;
+    }
+    // Box-Muller normal draw; exponentiate for a log-normal multiplier.
+    let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.gen::<f64>();
+    let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+    base * (rel_sigma * z).exp()
+}
+
+/// Like [`jittered`] but clamps the factor into `[lo, hi] * base`.
+pub fn jittered_clamped(base: f64, rel_sigma: f64, lo: f64, hi: f64, rng: &mut SimRng) -> f64 {
+    jittered(base, rel_sigma, rng).clamp(base * lo, base * hi)
+}
+
+/// Jitters an instruction count (at least 1).
+pub fn jittered_ins(base: u64, rel_sigma: f64, rng: &mut SimRng) -> u64 {
+    (jittered(base as f64, rel_sigma, rng) as u64).max(1)
+}
+
+/// Incrementally builds one [`Stage`], keeping the cumulative instruction
+/// cursor and laying background syscalls into each phase.
+#[derive(Debug)]
+pub struct StageBuilder {
+    component: Component,
+    phases: Vec<Phase>,
+    syscalls: Vec<SyscallEvent>,
+    cursor: Instructions,
+    /// Remaining instructions until the next background syscall, carried
+    /// across phase boundaries so the gap process is not restarted (and
+    /// its density inflated) at every phase.
+    gap_carry: u64,
+}
+
+impl StageBuilder {
+    /// Starts an empty stage for `component`.
+    pub fn new(component: Component) -> StageBuilder {
+        StageBuilder {
+            component,
+            phases: Vec::new(),
+            syscalls: Vec::new(),
+            cursor: Instructions::ZERO,
+            gap_carry: 0,
+        }
+    }
+
+    /// Current cumulative instruction offset.
+    pub fn cursor(&self) -> Instructions {
+        self.cursor
+    }
+
+    /// Appends a phase of `ins` instructions with the given inherent
+    /// profile. `entry` places a syscall exactly at the phase start (a
+    /// behavior transition signal, §3.2); `background` lays additional
+    /// calls through the phase body from a gap process and name mix.
+    ///
+    /// Zero-length phases are skipped silently (jitter can round down).
+    pub fn phase(
+        &mut self,
+        profile: SegmentProfile,
+        ins: u64,
+        entry: Option<SyscallName>,
+        background: Option<(&GapProcess, &SyscallMix)>,
+        rng: &mut SimRng,
+    ) -> &mut StageBuilder {
+        if ins == 0 {
+            return self;
+        }
+        if let Some(name) = entry {
+            self.syscalls.push(SyscallEvent {
+                at_ins: self.cursor,
+                name,
+            });
+        }
+        if let Some((gaps, mix)) = background {
+            let start = self.cursor;
+            let mut pos = self.gap_carry;
+            while pos < ins {
+                self.syscalls.push(SyscallEvent {
+                    at_ins: start + Instructions::new(pos),
+                    name: mix.draw(rng),
+                });
+                pos += gaps.draw(rng).get();
+            }
+            self.gap_carry = pos - ins;
+        }
+        self.cursor += Instructions::new(ins);
+        self.phases.push(Phase {
+            profile,
+            end_ins: self.cursor,
+        });
+        self
+    }
+
+    /// Finishes the stage.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no phase was added (a stage must execute something) or an
+    /// internal invariant broke — both programming errors in a model.
+    pub fn finish(self) -> Stage {
+        let stage = Stage {
+            component: self.component,
+            phases: self.phases,
+            syscalls: self.syscalls,
+        };
+        if let Err(e) = stage.validate() {
+            panic!("model produced an invalid stage: {e}");
+        }
+        stage
+    }
+}
+
+/// Shorthand for building a [`SegmentProfile`] with jitter applied to the
+/// base CPI and reference intensity (the two axes dynamic behavior shows up
+/// on), leaving working set and locality at their template values.
+pub fn profile(
+    base_cpi: f64,
+    l2_refs_per_ins: f64,
+    working_set_bytes: f64,
+    reuse_locality: f64,
+    jitter_sigma: f64,
+    rng: &mut SimRng,
+) -> SegmentProfile {
+    SegmentProfile {
+        base_cpi: jittered_clamped(base_cpi, jitter_sigma, 0.6, 1.8, rng).max(0.2),
+        l2_refs_per_ins: jittered_clamped(l2_refs_per_ins, jitter_sigma, 0.5, 2.0, rng).max(0.0),
+        working_set_bytes,
+        reuse_locality: reuse_locality.clamp(0.0, 1.0),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flat(cpi: f64) -> SegmentProfile {
+        SegmentProfile {
+            base_cpi: cpi,
+            l2_refs_per_ins: 0.001,
+            working_set_bytes: 1e5,
+            reuse_locality: 0.9,
+        }
+    }
+
+    #[test]
+    fn jitter_centers_on_base() {
+        let mut rng = SimRng::seed_from(1);
+        let n = 20_000;
+        let mean: f64 = (0..n).map(|_| jittered(10.0, 0.1, &mut rng)).sum::<f64>() / n as f64;
+        // Log-normal mean is base * exp(sigma^2/2) ≈ 10.05.
+        assert!((mean - 10.0).abs() < 0.2, "mean {mean}");
+    }
+
+    #[test]
+    fn zero_sigma_is_identity() {
+        let mut rng = SimRng::seed_from(2);
+        assert_eq!(jittered(7.5, 0.0, &mut rng), 7.5);
+    }
+
+    #[test]
+    fn clamped_jitter_stays_in_bounds() {
+        let mut rng = SimRng::seed_from(3);
+        for _ in 0..1_000 {
+            let v = jittered_clamped(10.0, 0.8, 0.5, 2.0, &mut rng);
+            assert!((5.0..=20.0).contains(&v), "{v}");
+        }
+    }
+
+    #[test]
+    fn jittered_ins_never_zero() {
+        let mut rng = SimRng::seed_from(4);
+        for _ in 0..1_000 {
+            assert!(jittered_ins(1, 1.0, &mut rng) >= 1);
+        }
+    }
+
+    #[test]
+    fn builder_accumulates_phases() {
+        let mut rng = SimRng::seed_from(5);
+        let mut b = StageBuilder::new(Component::Standalone);
+        b.phase(flat(1.0), 100, None, None, &mut rng);
+        b.phase(flat(2.0), 200, None, None, &mut rng);
+        assert_eq!(b.cursor(), Instructions::new(300));
+        let s = b.finish();
+        assert_eq!(s.phases.len(), 2);
+        assert_eq!(s.total_instructions(), Instructions::new(300));
+    }
+
+    #[test]
+    fn builder_places_entry_syscall_at_phase_start() {
+        let mut rng = SimRng::seed_from(6);
+        let mut b = StageBuilder::new(Component::Standalone);
+        b.phase(flat(1.0), 100, None, None, &mut rng);
+        b.phase(flat(3.0), 50, Some(SyscallName::Writev), None, &mut rng);
+        let s = b.finish();
+        assert_eq!(s.syscalls.len(), 1);
+        assert_eq!(s.syscalls[0].at_ins, Instructions::new(100));
+        assert_eq!(s.syscalls[0].name, SyscallName::Writev);
+    }
+
+    #[test]
+    fn builder_lays_background_syscalls_within_phase() {
+        let mut rng = SimRng::seed_from(7);
+        let gaps = GapProcess::exponential(1_000.0);
+        let mix = SyscallMix::new(&[(SyscallName::Pread, 1)]);
+        let mut b = StageBuilder::new(Component::Database);
+        b.phase(flat(1.0), 50_000, None, Some((&gaps, &mix)), &mut rng);
+        let s = b.finish();
+        assert!(s.syscalls.len() > 10);
+        assert!(s
+            .syscalls
+            .iter()
+            .all(|e| e.at_ins < Instructions::new(50_000)));
+        assert!(s.validate().is_ok());
+    }
+
+    #[test]
+    fn builder_skips_zero_length_phases() {
+        let mut rng = SimRng::seed_from(8);
+        let mut b = StageBuilder::new(Component::Standalone);
+        b.phase(flat(1.0), 0, Some(SyscallName::Read), None, &mut rng);
+        b.phase(flat(1.0), 10, None, None, &mut rng);
+        let s = b.finish();
+        assert_eq!(s.phases.len(), 1);
+        assert!(s.syscalls.is_empty(), "entry of skipped phase dropped");
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid stage")]
+    fn empty_stage_panics_on_finish() {
+        StageBuilder::new(Component::Standalone).finish();
+    }
+
+    #[test]
+    fn profile_helper_respects_ranges() {
+        let mut rng = SimRng::seed_from(9);
+        for _ in 0..500 {
+            let p = profile(1.5, 0.01, 1e6, 0.8, 0.3, &mut rng);
+            assert!(p.validate().is_ok());
+            assert!(p.base_cpi >= 1.5 * 0.6 && p.base_cpi <= 1.5 * 1.8);
+        }
+    }
+}

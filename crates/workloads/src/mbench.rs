@@ -1,0 +1,200 @@
+//! The two microbenchmarks of Table 1 (§3.1).
+//!
+//! * **Mbench-Spin** spins the CPU with almost no data access — it gives
+//!   the *minimum* sampling observer effect, which the "do no harm"
+//!   compensation subtracts.
+//! * **Mbench-Data** repeatedly scans 16 MB sequentially — it replaces the
+//!   entire cache state between samples, giving the *maximum* observer
+//!   effect (the sampling handler's own statistics lines must be re-fetched
+//!   on every sample).
+//!
+//! Both are exposed two ways: as [`Request`]s for the execution engine
+//! (request-level experiments) and as address-trace generators for the
+//! trace-driven cache hierarchy (the Table 1 cost measurements).
+
+use rbv_mem::trace::{Access, SequentialStream};
+use rbv_mem::SegmentProfile;
+use rbv_sim::SimRng;
+
+use crate::builder::StageBuilder;
+use crate::request::{AppId, Component, Request, RequestClass, RequestFactory};
+
+/// Bytes scanned per iteration by Mbench-Data (the paper's 16 MB).
+pub const MBENCH_DATA_BYTES: u64 = 16 << 20;
+
+/// Inherent profile of the spin loop: pure register arithmetic.
+pub fn spin_profile() -> SegmentProfile {
+    SegmentProfile {
+        base_cpi: 0.4,
+        l2_refs_per_ins: 0.0,
+        working_set_bytes: 4e3,
+        reuse_locality: 1.0,
+    }
+}
+
+/// Inherent profile of the sequential 16 MB scan.
+pub fn data_profile() -> SegmentProfile {
+    SegmentProfile {
+        base_cpi: 0.6,
+        // One 64 B line per 16 accesses of 4 B, ~2 instructions each.
+        l2_refs_per_ins: 0.03,
+        working_set_bytes: MBENCH_DATA_BYTES as f64,
+        reuse_locality: 0.05,
+    }
+}
+
+/// A factory producing fixed-length microbenchmark requests.
+#[derive(Debug)]
+pub struct Mbench {
+    app: AppId,
+    iteration_ins: u64,
+}
+
+impl Mbench {
+    /// Spin variant; each "request" is one timing iteration of
+    /// `iteration_ins` instructions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `iteration_ins` is zero.
+    pub fn spin(iteration_ins: u64) -> Mbench {
+        assert!(iteration_ins > 0, "iteration must be nonzero");
+        Mbench {
+            app: AppId::MbenchSpin,
+            iteration_ins,
+        }
+    }
+
+    /// Data-scan variant.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `iteration_ins` is zero.
+    pub fn data(iteration_ins: u64) -> Mbench {
+        assert!(iteration_ins > 0, "iteration must be nonzero");
+        Mbench {
+            app: AppId::MbenchData,
+            iteration_ins,
+        }
+    }
+}
+
+impl RequestFactory for Mbench {
+    fn app(&self) -> AppId {
+        self.app
+    }
+
+    fn next_request(&mut self) -> Request {
+        let profile = match self.app {
+            AppId::MbenchSpin => spin_profile(),
+            AppId::MbenchData => data_profile(),
+            _ => unreachable!("Mbench only builds microbenchmarks"),
+        };
+        let mut rng = SimRng::seed_from(0); // no stochastic content
+        let mut b = StageBuilder::new(Component::Standalone);
+        b.phase(profile, self.iteration_ins, None, None, &mut rng);
+        Request {
+            app: self.app,
+            class: RequestClass::Mbench,
+            stages: vec![b.finish()],
+        }
+    }
+}
+
+/// Address trace of Mbench-Data: sequential 4-byte strides over a 16 MB
+/// region, wrapping forever (each wrap "repeats the procedure").
+pub fn mbench_data_trace(rng: SimRng) -> impl Iterator<Item = Access> {
+    SequentialStream::new(0, 4, 0, rng).map(|a| Access {
+        addr: a.addr % MBENCH_DATA_BYTES,
+        is_write: false,
+    })
+}
+
+/// Address trace of Mbench-Spin: re-touches a single hot line (its loop
+/// counter spills), modeling "almost no data access".
+pub fn mbench_spin_trace() -> impl Iterator<Item = Access> {
+    std::iter::repeat(Access {
+        addr: 0x1000,
+        is_write: false,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rbv_mem::cache::{CacheConfig, SetAssocCache};
+
+    #[test]
+    fn profiles_are_valid() {
+        assert!(spin_profile().validate().is_ok());
+        assert!(data_profile().validate().is_ok());
+    }
+
+    #[test]
+    fn spin_touches_no_l2() {
+        assert_eq!(spin_profile().l2_refs_per_ins, 0.0);
+    }
+
+    #[test]
+    fn requests_have_single_flat_phase() {
+        let mut m = Mbench::spin(1_000_000);
+        let r = m.next_request();
+        assert!(r.validate().is_ok());
+        assert_eq!(r.stages[0].phases.len(), 1);
+        assert_eq!(r.total_instructions().get(), 1_000_000);
+        assert_eq!(r.app, AppId::MbenchSpin);
+
+        let mut d = Mbench::data(500_000);
+        assert_eq!(d.next_request().app, AppId::MbenchData);
+    }
+
+    #[test]
+    fn data_trace_wraps_at_16mb() {
+        let addrs: Vec<u64> = mbench_data_trace(SimRng::seed_from(1))
+            .take((MBENCH_DATA_BYTES / 4 + 2) as usize)
+            .map(|a| a.addr)
+            .collect();
+        assert_eq!(addrs[0], 0);
+        assert_eq!(addrs[(MBENCH_DATA_BYTES / 4) as usize], 0); // wrapped
+        assert!(addrs.iter().all(|&a| a < MBENCH_DATA_BYTES));
+    }
+
+    #[test]
+    fn data_trace_replaces_entire_cache_state() {
+        // The paper: Mbench-Data "very quickly replaces the entire cache
+        // state". One full scan through a 256 KB cache must evict any
+        // previously resident line.
+        let mut c = SetAssocCache::new(CacheConfig {
+            size_bytes: 256 << 10,
+            associativity: 8,
+            line_bytes: 64,
+        });
+        let marker = 0x2000_0000u64; // outside the scan region
+        c.access(marker, 0);
+        assert!(c.contains(marker));
+        for a in mbench_data_trace(SimRng::seed_from(2)).take((MBENCH_DATA_BYTES / 4) as usize)
+        {
+            c.access(a.addr, 0);
+        }
+        assert!(!c.contains(marker), "scan should have evicted the marker");
+    }
+
+    #[test]
+    fn spin_trace_stays_on_one_line() {
+        let mut c = SetAssocCache::new(CacheConfig {
+            size_bytes: 4 << 10,
+            associativity: 2,
+            line_bytes: 64,
+        });
+        for a in mbench_spin_trace().take(10_000) {
+            c.access(a.addr, 0);
+        }
+        assert_eq!(c.misses(), 1, "only the cold miss");
+    }
+
+    #[test]
+    #[should_panic(expected = "nonzero")]
+    fn zero_iteration_panics() {
+        Mbench::spin(0);
+    }
+}

@@ -1,0 +1,298 @@
+//! RUBiS three-tier online auction service (§2.1).
+//!
+//! RUBiS runs a front-end web server, nine EJB business-logic components on
+//! JBoss, and a MySQL back-end. A request *propagates across components*
+//! through socket IPC — the paper's request-context tracking follows it —
+//! so our requests have three [`Stage`]s joined by `sendto`/`recvfrom`
+//! pairs. The componentized EJB tier executes many fine-grained phases,
+//! which (with the frequent socket calls) makes RUBiS both syscall-dense
+//! (72% of instants see a call within 16 µs, Figure 4) and strongly
+//! variable within a request (Figure 3).
+//!
+//! [`Stage`]: crate::request::Stage
+
+use rand::Rng;
+use rbv_sim::SimRng;
+
+use crate::builder::{jittered_ins, profile, StageBuilder};
+use crate::request::{
+    AppId, Component, Request, RequestClass, RequestFactory, RubisInteraction,
+};
+use crate::syscalls::{GapProcess, SyscallMix, SyscallName};
+
+/// Per-interaction template: (EJB phase count, EJB phase mean instructions,
+/// DB phase count, DB phase mean instructions, has a scan-ish DB phase).
+fn template(i: RubisInteraction) -> (usize, f64, usize, f64, bool) {
+    use RubisInteraction::*;
+    match i {
+        BrowseCategories => (5, 110e3, 2, 120e3, false),
+        SearchItemsByCategory => (9, 140e3, 4, 260e3, true),
+        ViewItem => (7, 120e3, 3, 150e3, false),
+        ViewUserInfo => (6, 130e3, 3, 170e3, false),
+        PlaceBid => (8, 120e3, 4, 160e3, false),
+        PutComment => (7, 130e3, 3, 180e3, false),
+        RegisterItem => (9, 140e3, 4, 190e3, false),
+        AboutMe => (11, 140e3, 5, 200e3, true),
+    }
+}
+
+/// Request generator for the RUBiS model.
+#[derive(Debug)]
+pub struct Rubis {
+    rng: SimRng,
+    scale: f64,
+    web_mix: SyscallMix,
+    ejb_mix: SyscallMix,
+    db_mix: SyscallMix,
+}
+
+impl Rubis {
+    /// Creates the generator; `scale` multiplies instruction counts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scale` is not positive.
+    pub fn new(seed: u64, scale: f64) -> Rubis {
+        assert!(scale > 0.0, "scale must be positive");
+        Rubis {
+            rng: SimRng::seed_from(seed ^ 0x4b15),
+            scale,
+            web_mix: SyscallMix::new(&[
+                (SyscallName::Read, 4),
+                (SyscallName::Write, 3),
+                (SyscallName::Poll, 2),
+                (SyscallName::Gettimeofday, 1),
+            ]),
+            ejb_mix: SyscallMix::new(&[
+                (SyscallName::Futex, 5),
+                (SyscallName::Read, 2),
+                (SyscallName::Write, 2),
+                (SyscallName::Mmap, 1),
+                (SyscallName::Gettimeofday, 2),
+            ]),
+            db_mix: SyscallMix::new(&[
+                (SyscallName::Pread, 5),
+                (SyscallName::Futex, 2),
+                (SyscallName::Lseek, 1),
+                (SyscallName::Gettimeofday, 1),
+            ]),
+        }
+    }
+
+    fn draw_interaction(&mut self) -> RubisInteraction {
+        let mut pick = self.rng.gen_range(0..100u32);
+        for &(i, w) in &RubisInteraction::MIX {
+            if pick < w {
+                return i;
+            }
+            pick -= w;
+        }
+        unreachable!()
+    }
+
+    /// Builds a request for a specific interaction.
+    pub fn request_of_interaction(&mut self, interaction: RubisInteraction) -> Request {
+        let (ejb_n, ejb_len, db_n, db_len, has_scan) = template(interaction);
+        let s = self.scale;
+        let gaps = GapProcess::exponential(12_000.0 * s.max(0.02));
+        let (web_mix, ejb_mix, db_mix) =
+            (self.web_mix.clone(), self.ejb_mix.clone(), self.db_mix.clone());
+        let rng = &mut self.rng;
+
+        // Stage 1: Apache front end — parse, route, proxy to JBoss.
+        let mut web = StageBuilder::new(Component::WebTier);
+        web.phase(
+            profile(1.7, 0.004, 256e3, 0.88, 0.12, rng),
+            jittered_ins((90e3 * s) as u64 + 1, 0.15, rng),
+            Some(SyscallName::Accept),
+            Some((&gaps, &web_mix)),
+            rng,
+        );
+        web.phase(
+            profile(1.4, 0.005, 128e3, 0.88, 0.12, rng),
+            jittered_ins((60e3 * s) as u64 + 1, 0.15, rng),
+            Some(SyscallName::Sendto), // hands off to the EJB tier
+            Some((&gaps, &web_mix)),
+            rng,
+        );
+
+        // Stage 2: JBoss EJB container — many fine-grained component
+        // phases with Java-typical heap churn.
+        let mut ejb = StageBuilder::new(Component::AppTier);
+        let mut first = true;
+        for k in 0..ejb_n {
+            // Distinct per-component inherent behavior, deterministic in
+            // the interaction template position.
+            let mut crng = SimRng::seed_from(0x4b15_0000 + (interaction as u64) * 64 + k as u64);
+            let base = crng.gen_range(1.4..2.2);
+            let refs = crng.gen_range(0.004..0.009);
+            let ws = crng.gen_range(2e6..10e6);
+            let loc = crng.gen_range(0.70..0.85);
+            ejb.phase(
+                profile(base, refs, ws, loc, 0.12, rng),
+                jittered_ins((ejb_len * s * crng.gen_range(0.5..1.6)) as u64 + 1, 0.15, rng),
+                first.then_some(SyscallName::Recvfrom),
+                Some((&gaps, &ejb_mix)),
+                rng,
+            );
+            first = false;
+        }
+        ejb.phase(
+            profile(1.3, 0.005, 512e3, 0.9, 0.10, rng),
+            jittered_ins((40e3 * s) as u64 + 1, 0.15, rng),
+            Some(SyscallName::Sendto), // query the database
+            None,
+            rng,
+        );
+
+        // Stage 3: MySQL back end.
+        let mut db = StageBuilder::new(Component::Database);
+        let mut first = true;
+        for k in 0..db_n {
+            let scan_phase = has_scan && k == db_n - 1;
+            let (base, refs, ws, loc) = if scan_phase {
+                (1.4, 0.007, 40e6, 0.45)
+            } else {
+                (1.5, 0.006, 3e6, 0.80)
+            };
+            db.phase(
+                profile(base, refs, ws, loc, 0.14, rng),
+                jittered_ins((db_len * s) as u64 + 1, 0.18, rng),
+                first.then_some(SyscallName::Recvfrom),
+                Some((&gaps, &db_mix)),
+                rng,
+            );
+            first = false;
+        }
+        db.phase(
+            profile(1.2, 0.005, 256e3, 0.88, 0.10, rng),
+            jittered_ins((30e3 * s) as u64 + 1, 0.15, rng),
+            Some(SyscallName::Sendto), // result set back up the tiers
+            None,
+            rng,
+        );
+
+        Request {
+            app: AppId::Rubis,
+            class: RequestClass::Rubis(interaction),
+            stages: vec![web.finish(), ejb.finish(), db.finish()],
+        }
+    }
+}
+
+impl RequestFactory for Rubis {
+    fn app(&self) -> AppId {
+        AppId::Rubis
+    }
+
+    fn next_request(&mut self) -> Request {
+        let i = self.draw_interaction();
+        self.request_of_interaction(i)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn requests_are_valid_and_three_stage() {
+        let mut r = Rubis::new(1, 1.0);
+        for _ in 0..30 {
+            let req = r.next_request();
+            assert!(req.validate().is_ok());
+            assert_eq!(req.stages.len(), 3);
+            assert_eq!(req.stages[0].component, Component::WebTier);
+            assert_eq!(req.stages[1].component, Component::AppTier);
+            assert_eq!(req.stages[2].component, Component::Database);
+        }
+    }
+
+    #[test]
+    fn stage_hops_use_socket_ops() {
+        let mut r = Rubis::new(2, 1.0);
+        let req = r.request_of_interaction(RubisInteraction::ViewItem);
+        for stage in &req.stages {
+            let names: Vec<_> = stage.syscalls.iter().map(|e| e.name).collect();
+            assert!(
+                names.contains(&SyscallName::Sendto)
+                    || names.contains(&SyscallName::Recvfrom)
+                    || names.contains(&SyscallName::Accept),
+                "stage lacks socket ops: {names:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn request_length_is_millions_of_instructions() {
+        // Figure 2's SearchItemsByCategory example spans ~4-5 M instructions.
+        let mut r = Rubis::new(3, 1.0);
+        let mean = (0..30)
+            .map(|_| {
+                r.request_of_interaction(RubisInteraction::SearchItemsByCategory)
+                    .total_instructions()
+                    .get()
+            })
+            .sum::<u64>() as f64
+            / 30.0;
+        assert!(
+            (2_000_000.0..7_000_000.0).contains(&mean),
+            "mean length {mean}"
+        );
+    }
+
+    #[test]
+    fn ejb_tier_dominates_instruction_count() {
+        let mut r = Rubis::new(4, 1.0);
+        let req = r.request_of_interaction(RubisInteraction::ViewItem);
+        let ejb = req.stages[1].total_instructions().get();
+        let web = req.stages[0].total_instructions().get();
+        assert!(ejb > web * 2, "ejb {ejb} web {web}");
+    }
+
+    #[test]
+    fn ejb_phases_vary_in_inherent_behavior() {
+        // Componentized execution => strong intra-request variation.
+        let mut r = Rubis::new(5, 1.0);
+        let req = r.request_of_interaction(RubisInteraction::AboutMe);
+        let cpis: Vec<f64> = req.stages[1]
+            .phases
+            .iter()
+            .map(|p| p.profile.base_cpi)
+            .collect();
+        let min = cpis.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = cpis.iter().cloned().fold(0.0, f64::max);
+        assert!(max > min * 1.25, "phase CPIs too uniform: {cpis:?}");
+    }
+
+    #[test]
+    fn interaction_mix_favors_browsing() {
+        let mut r = Rubis::new(6, 0.05);
+        let mut search = 0;
+        let n = 2_000;
+        for _ in 0..n {
+            if let RequestClass::Rubis(RubisInteraction::SearchItemsByCategory) =
+                r.next_request().class
+            {
+                search += 1;
+            }
+        }
+        assert!((380..620).contains(&search), "search {search}");
+    }
+
+    #[test]
+    fn syscalls_are_frequent() {
+        let mut r = Rubis::new(7, 1.0);
+        let req = r.request_of_interaction(RubisInteraction::ViewItem);
+        let mean_gap =
+            req.total_instructions().get() / (req.syscall_names().len().max(1) as u64);
+        assert!(mean_gap < 35_000, "mean gap {mean_gap}");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = Rubis::new(8, 1.0);
+        let mut b = Rubis::new(8, 1.0);
+        assert_eq!(a.next_request(), b.next_request());
+    }
+}

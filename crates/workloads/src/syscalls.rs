@@ -1,0 +1,308 @@
+//! System call names, mixes, and gap processes.
+//!
+//! The paper exploits frequent system calls in server applications for
+//! low-cost in-kernel counter sampling (§3.2). What matters to that
+//! machinery is (a) *when* system calls occur — the next-syscall distance
+//! distributions of Figure 4 — and (b) *which* call occurs, since call
+//! names act as behavior transition signals (Table 2). This module provides
+//! the name vocabulary, weighted name mixes, and the gap-drawing helpers
+//! the application models use to lay syscalls into their stages.
+
+use rand::Rng;
+use rbv_sim::{Instructions, SimRng};
+
+/// The system call vocabulary used by the five applications.
+///
+/// The subset is taken from the calls the paper names (Table 2: `writev`,
+/// `lseek`, `stat`, `poll`, `shutdown`, `read`, `open`, `write`) plus the
+/// socket and synchronization calls a multi-tier server inevitably issues.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[allow(missing_docs)] // variant names are the syscall names themselves
+pub enum SyscallName {
+    Read,
+    Write,
+    Writev,
+    Open,
+    Close,
+    Stat,
+    Lseek,
+    Poll,
+    Select,
+    Shutdown,
+    Accept,
+    Sendto,
+    Recvfrom,
+    Pread,
+    Pwrite,
+    Fsync,
+    Mmap,
+    Brk,
+    Futex,
+    Gettimeofday,
+}
+
+impl SyscallName {
+    /// All names, for exhaustive iteration in tests and training tables.
+    pub const ALL: [SyscallName; 20] = [
+        SyscallName::Read,
+        SyscallName::Write,
+        SyscallName::Writev,
+        SyscallName::Open,
+        SyscallName::Close,
+        SyscallName::Stat,
+        SyscallName::Lseek,
+        SyscallName::Poll,
+        SyscallName::Select,
+        SyscallName::Shutdown,
+        SyscallName::Accept,
+        SyscallName::Sendto,
+        SyscallName::Recvfrom,
+        SyscallName::Pread,
+        SyscallName::Pwrite,
+        SyscallName::Fsync,
+        SyscallName::Mmap,
+        SyscallName::Brk,
+        SyscallName::Futex,
+        SyscallName::Gettimeofday,
+    ];
+
+    /// True for the socket operations that propagate a request context to
+    /// another component in a multi-stage server ([27 §4.1]).
+    pub fn is_socket_op(self) -> bool {
+        matches!(
+            self,
+            SyscallName::Sendto
+                | SyscallName::Recvfrom
+                | SyscallName::Accept
+                | SyscallName::Shutdown
+        )
+    }
+}
+
+impl std::fmt::Display for SyscallName {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let name = match self {
+            SyscallName::Read => "read",
+            SyscallName::Write => "write",
+            SyscallName::Writev => "writev",
+            SyscallName::Open => "open",
+            SyscallName::Close => "close",
+            SyscallName::Stat => "stat",
+            SyscallName::Lseek => "lseek",
+            SyscallName::Poll => "poll",
+            SyscallName::Select => "select",
+            SyscallName::Shutdown => "shutdown",
+            SyscallName::Accept => "accept",
+            SyscallName::Sendto => "sendto",
+            SyscallName::Recvfrom => "recvfrom",
+            SyscallName::Pread => "pread",
+            SyscallName::Pwrite => "pwrite",
+            SyscallName::Fsync => "fsync",
+            SyscallName::Mmap => "mmap",
+            SyscallName::Brk => "brk",
+            SyscallName::Futex => "futex",
+            SyscallName::Gettimeofday => "gettimeofday",
+        };
+        f.write_str(name)
+    }
+}
+
+/// A weighted mix of system call names for drawing background calls.
+#[derive(Debug, Clone)]
+pub struct SyscallMix {
+    entries: Vec<(SyscallName, u32)>,
+    total: u32,
+}
+
+impl SyscallMix {
+    /// Builds a mix from `(name, weight)` pairs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no entry has positive weight.
+    pub fn new(entries: &[(SyscallName, u32)]) -> SyscallMix {
+        let entries: Vec<_> = entries.iter().copied().filter(|&(_, w)| w > 0).collect();
+        let total = entries.iter().map(|&(_, w)| w).sum();
+        assert!(total > 0, "syscall mix needs positive total weight");
+        SyscallMix { entries, total }
+    }
+
+    /// Draws one name according to the weights.
+    pub fn draw(&self, rng: &mut SimRng) -> SyscallName {
+        let mut pick = rng.gen_range(0..self.total);
+        for &(name, w) in &self.entries {
+            if pick < w {
+                return name;
+            }
+            pick -= w;
+        }
+        unreachable!("weights exhausted")
+    }
+}
+
+/// Draws syscall gap lengths in instructions.
+///
+/// Server phases alternate between I/O-chatty stretches (short,
+/// exponential-ish gaps) and compute stretches (no calls at all); the
+/// mixture below covers both with two exponentials, which reproduces the
+/// knee shapes of Figure 4.
+#[derive(Debug, Clone, Copy)]
+pub struct GapProcess {
+    /// Mean gap of the frequent component, instructions.
+    pub short_mean_ins: f64,
+    /// Mean gap of the rare/long component, instructions.
+    pub long_mean_ins: f64,
+    /// Probability of drawing from the short component, in [0, 1].
+    pub short_weight: f64,
+}
+
+impl GapProcess {
+    /// A single-exponential process with the given mean gap.
+    pub fn exponential(mean_ins: f64) -> GapProcess {
+        GapProcess {
+            short_mean_ins: mean_ins,
+            long_mean_ins: mean_ins,
+            short_weight: 1.0,
+        }
+    }
+
+    /// Draws one gap (at least 1 instruction).
+    ///
+    /// # Panics
+    ///
+    /// Panics if means are not positive or the weight is out of range
+    /// (debug builds).
+    pub fn draw(&self, rng: &mut SimRng) -> Instructions {
+        debug_assert!(self.short_mean_ins > 0.0 && self.long_mean_ins > 0.0);
+        debug_assert!((0.0..=1.0).contains(&self.short_weight));
+        let mean = if rng.gen::<f64>() < self.short_weight {
+            self.short_mean_ins
+        } else {
+            self.long_mean_ins
+        };
+        // Inverse-CDF exponential draw.
+        let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+        let gap = -mean * u.ln();
+        Instructions::new(gap.max(1.0) as u64)
+    }
+
+    /// Lays out syscall offsets over `[0, total)` instructions.
+    pub fn lay_out(
+        &self,
+        total: Instructions,
+        mix: &SyscallMix,
+        rng: &mut SimRng,
+    ) -> Vec<(Instructions, SyscallName)> {
+        let mut out = Vec::new();
+        let mut at = Instructions::ZERO;
+        loop {
+            at += self.draw(rng);
+            if at >= total {
+                break;
+            }
+            out.push((at, mix.draw(rng)));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mix_draws_only_listed_names() {
+        let mix = SyscallMix::new(&[(SyscallName::Read, 3), (SyscallName::Write, 1)]);
+        let mut rng = SimRng::seed_from(1);
+        for _ in 0..100 {
+            let n = mix.draw(&mut rng);
+            assert!(n == SyscallName::Read || n == SyscallName::Write);
+        }
+    }
+
+    #[test]
+    fn mix_respects_weights() {
+        let mix = SyscallMix::new(&[(SyscallName::Read, 9), (SyscallName::Write, 1)]);
+        let mut rng = SimRng::seed_from(2);
+        let reads = (0..10_000)
+            .filter(|_| mix.draw(&mut rng) == SyscallName::Read)
+            .count();
+        assert!((8_700..9_300).contains(&reads), "reads {reads}");
+    }
+
+    #[test]
+    fn mix_skips_zero_weights() {
+        let mix = SyscallMix::new(&[
+            (SyscallName::Read, 0),
+            (SyscallName::Poll, 5),
+        ]);
+        let mut rng = SimRng::seed_from(3);
+        for _ in 0..50 {
+            assert_eq!(mix.draw(&mut rng), SyscallName::Poll);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "positive total weight")]
+    fn empty_mix_panics() {
+        SyscallMix::new(&[(SyscallName::Read, 0)]);
+    }
+
+    #[test]
+    fn exponential_gap_mean_is_right() {
+        let g = GapProcess::exponential(10_000.0);
+        let mut rng = SimRng::seed_from(4);
+        let n = 20_000;
+        let sum: u64 = (0..n).map(|_| g.draw(&mut rng).get()).sum();
+        let mean = sum as f64 / n as f64;
+        assert!((mean - 10_000.0).abs() < 300.0, "mean {mean}");
+    }
+
+    #[test]
+    fn mixture_produces_heavy_tail() {
+        let g = GapProcess {
+            short_mean_ins: 1_000.0,
+            long_mean_ins: 1_000_000.0,
+            short_weight: 0.9,
+        };
+        let mut rng = SimRng::seed_from(5);
+        let gaps: Vec<u64> = (0..10_000).map(|_| g.draw(&mut rng).get()).collect();
+        let long = gaps.iter().filter(|&&x| x > 100_000).count();
+        // ~10% of draws come from the long component.
+        assert!((500..2_000).contains(&long), "long gaps {long}");
+    }
+
+    #[test]
+    fn lay_out_is_sorted_and_in_bounds() {
+        let g = GapProcess::exponential(5_000.0);
+        let mix = SyscallMix::new(&[(SyscallName::Pread, 1)]);
+        let mut rng = SimRng::seed_from(6);
+        let total = Instructions::new(200_000);
+        let events = g.lay_out(total, &mix, &mut rng);
+        assert!(!events.is_empty());
+        assert!(events.windows(2).all(|w| w[0].0 <= w[1].0));
+        assert!(events.iter().all(|&(at, _)| at < total));
+    }
+
+    #[test]
+    fn socket_ops_classified() {
+        assert!(SyscallName::Sendto.is_socket_op());
+        assert!(SyscallName::Accept.is_socket_op());
+        assert!(!SyscallName::Writev.is_socket_op());
+        assert!(!SyscallName::Pread.is_socket_op());
+    }
+
+    #[test]
+    fn display_matches_linux_names() {
+        assert_eq!(SyscallName::Writev.to_string(), "writev");
+        assert_eq!(SyscallName::Gettimeofday.to_string(), "gettimeofday");
+    }
+
+    #[test]
+    fn all_covers_every_variant_once() {
+        let mut names: Vec<String> = SyscallName::ALL.iter().map(|n| n.to_string()).collect();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), SyscallName::ALL.len());
+    }
+}

@@ -1,0 +1,271 @@
+//! Apache web server serving the SPECweb99 static content mix (§2.1).
+//!
+//! SPECweb99's static portion has four file classes spanning 100 B to
+//! 900 KB; the class mix is strongly skewed toward small files. A request
+//! walks the classic accept → parse → stat/open → write headers → send
+//! loop → finish pipeline. Two calibration anchors from the paper:
+//!
+//! * requests execute "a few hundred thousand instructions" (Figure 2);
+//! * `writev` (header write) signals a *large CPI increase* while `lseek`
+//!   and `stat` signal decreases (Table 2) — the phase CPIs below are laid
+//!   out to reproduce those transition signs.
+
+use rand::Rng;
+use rbv_sim::SimRng;
+
+use crate::builder::{jittered_ins, profile, StageBuilder};
+use crate::request::{AppId, Component, Request, RequestClass, RequestFactory};
+use crate::syscalls::{GapProcess, SyscallMix, SyscallName};
+
+/// SPECweb99 static file class mix, percent: 35 / 50 / 14 / 1.
+const CLASS_MIX: [(u8, u32); 4] = [(0, 35), (1, 50), (2, 14), (3, 1)];
+
+/// Base file size per class, bytes (class files are `base * 1..=9`).
+const CLASS_BASE_BYTES: [u64; 4] = [100, 1_000, 10_000, 100_000];
+
+/// Request generator for the Apache/SPECweb99 model.
+#[derive(Debug)]
+pub struct WebServer {
+    rng: SimRng,
+    scale: f64,
+    parse_mix: SyscallMix,
+    send_mix: SyscallMix,
+}
+
+impl WebServer {
+    /// Creates the generator. `scale` multiplies instruction counts
+    /// (1.0 = paper scale); use small values for fast tests.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scale` is not positive.
+    pub fn new(seed: u64, scale: f64) -> WebServer {
+        assert!(scale > 0.0, "scale must be positive");
+        WebServer {
+            rng: SimRng::seed_from(seed ^ 0x8EB0),
+            scale,
+            parse_mix: SyscallMix::new(&[
+                (SyscallName::Read, 5),
+                (SyscallName::Gettimeofday, 3),
+                (SyscallName::Stat, 1),
+            ]),
+            send_mix: SyscallMix::new(&[
+                (SyscallName::Write, 6),
+                (SyscallName::Sendto, 2),
+                (SyscallName::Gettimeofday, 1),
+            ]),
+        }
+    }
+
+    /// Draws the file class according to the SPECweb99 mix.
+    fn draw_class(&mut self) -> u8 {
+        let mut pick = self.rng.gen_range(0..100u32);
+        for &(class, w) in &CLASS_MIX {
+            if pick < w {
+                return class;
+            }
+            pick -= w;
+        }
+        unreachable!()
+    }
+
+    /// Builds a request for a specific file class (for experiments that
+    /// need a fixed class).
+    pub fn request_of_class(&mut self, class: u8) -> Request {
+        assert!(class < 4, "SPECweb99 has classes 0..4");
+        let file_bytes = CLASS_BASE_BYTES[class as usize] * self.rng.gen_range(1..=9u64);
+        let s = self.scale;
+        let rng = &mut self.rng;
+
+        let fine_gaps = GapProcess::exponential(6_000.0 * s.max(0.05));
+        let mut b = StageBuilder::new(Component::Standalone);
+
+        // accept + parse: branchy string matching over the HTTP request.
+        b.phase(
+            profile(1.4, 0.005, 128e3, 0.80, 0.10, rng),
+            jittered_ins((18_000.0 * s) as u64 + 1, 0.15, rng),
+            Some(SyscallName::Accept),
+            Some((&fine_gaps, &self.parse_mix)),
+            rng,
+        );
+        // stat + open the target file: cheap metadata work (CPI drops).
+        b.phase(
+            profile(1.0, 0.003, 64e3, 0.85, 0.10, rng),
+            jittered_ins((6_000.0 * s) as u64 + 1, 0.15, rng),
+            Some(SyscallName::Stat),
+            None,
+            rng,
+        );
+        // writev: building + writing HTTP headers — fragmented piecemeal
+        // memory accesses, the paper's example of a high-CPI region.
+        b.phase(
+            profile(3.9, 0.008, 48e3, 0.60, 0.12, rng),
+            jittered_ins((9_000.0 * s) as u64 + 1, 0.15, rng),
+            Some(SyscallName::Writev),
+            None,
+            rng,
+        );
+        // send loop: streaming the file body (CPI drops back down).
+        let send_ins = ((600.0 * (file_bytes as f64 / 1024.0) + 4_000.0) * s) as u64 + 1;
+        b.phase(
+            profile(0.85, 0.005, file_bytes as f64, 0.50, 0.10, rng),
+            jittered_ins(send_ins, 0.10, rng),
+            Some(SyscallName::Lseek),
+            Some((&GapProcess::exponential(14_000.0 * s.max(0.05)), &self.send_mix)),
+            rng,
+        );
+        // poll for more pipelined requests / keepalive bookkeeping.
+        b.phase(
+            profile(1.9, 0.004, 64e3, 0.80, 0.10, rng),
+            jittered_ins((7_000.0 * s) as u64 + 1, 0.15, rng),
+            Some(SyscallName::Poll),
+            None,
+            rng,
+        );
+        // connection shutdown + access-log append.
+        b.phase(
+            profile(2.1, 0.004, 64e3, 0.80, 0.10, rng),
+            jittered_ins((3_000.0 * s) as u64 + 1, 0.15, rng),
+            Some(SyscallName::Shutdown),
+            None,
+            rng,
+        );
+
+        Request {
+            app: AppId::WebServer,
+            class: RequestClass::WebFile(class),
+            stages: vec![b.finish()],
+        }
+    }
+}
+
+impl RequestFactory for WebServer {
+    fn app(&self) -> AppId {
+        AppId::WebServer
+    }
+
+    fn next_request(&mut self) -> Request {
+        let class = self.draw_class();
+        self.request_of_class(class)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rbv_sim::Instructions;
+
+    #[test]
+    fn requests_are_valid() {
+        let mut w = WebServer::new(1, 1.0);
+        for _ in 0..50 {
+            let r = w.next_request();
+            assert!(r.validate().is_ok());
+            assert_eq!(r.app, AppId::WebServer);
+        }
+    }
+
+    #[test]
+    fn request_length_is_a_few_hundred_thousand_instructions() {
+        // Figure 2: "a web server request typically executes a few hundred
+        // thousand instructions".
+        let mut w = WebServer::new(2, 1.0);
+        let lens: Vec<u64> = (0..200)
+            .map(|_| w.next_request().total_instructions().get())
+            .collect();
+        let mean = lens.iter().sum::<u64>() as f64 / lens.len() as f64;
+        assert!(
+            (40_000.0..600_000.0).contains(&mean),
+            "mean length {mean}"
+        );
+    }
+
+    #[test]
+    fn class_mix_matches_specweb99() {
+        let mut w = WebServer::new(3, 0.1);
+        let mut counts = [0usize; 4];
+        for _ in 0..4_000 {
+            match w.next_request().class {
+                RequestClass::WebFile(c) => counts[c as usize] += 1,
+                other => panic!("unexpected class {other}"),
+            }
+        }
+        assert!((1_200..1_600).contains(&counts[0]), "{counts:?}");
+        assert!((1_800..2_200).contains(&counts[1]), "{counts:?}");
+        assert!((400..720).contains(&counts[2]), "{counts:?}");
+        assert!(counts[3] < 120, "{counts:?}");
+    }
+
+    #[test]
+    fn writev_phase_has_highest_base_cpi() {
+        let mut w = WebServer::new(4, 1.0);
+        let r = w.request_of_class(1);
+        let stage = &r.stages[0];
+        let writev_at = stage
+            .syscalls
+            .iter()
+            .find(|e| e.name == SyscallName::Writev)
+            .expect("writev present")
+            .at_ins;
+        let writev_phase = stage.phase_at(writev_at);
+        for p in &stage.phases {
+            assert!(writev_phase.profile.base_cpi >= p.profile.base_cpi - 1e-9);
+        }
+    }
+
+    #[test]
+    fn larger_class_means_longer_request() {
+        let mut w = WebServer::new(5, 1.0);
+        let avg = |w: &mut WebServer, c: u8| {
+            (0..30)
+                .map(|_| w.request_of_class(c).total_instructions().get())
+                .sum::<u64>() as f64
+                / 30.0
+        };
+        let small = avg(&mut w, 0);
+        let big = avg(&mut w, 3);
+        assert!(big > small * 2.0, "class3 {big} vs class0 {small}");
+    }
+
+    #[test]
+    fn scale_shrinks_requests() {
+        let mut full = WebServer::new(6, 1.0);
+        let mut tiny = WebServer::new(6, 0.05);
+        let f = full.next_request().total_instructions().get();
+        let t = tiny.next_request().total_instructions().get();
+        assert!(t < f / 5, "scaled {t} vs full {f}");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = WebServer::new(7, 1.0);
+        let mut b = WebServer::new(7, 1.0);
+        assert_eq!(a.next_request(), b.next_request());
+    }
+
+    #[test]
+    fn syscalls_are_frequent() {
+        // Figure 4: the web server is the most syscall-dense application.
+        let mut w = WebServer::new(8, 1.0);
+        let r = w.request_of_class(2);
+        let total = r.total_instructions().get();
+        let count = r.syscall_names().len() as u64;
+        let mean_gap = total / count.max(1);
+        assert!(mean_gap < 30_000, "mean syscall gap {mean_gap} ins");
+    }
+
+    #[test]
+    fn first_syscall_is_accept_at_zero() {
+        let mut w = WebServer::new(9, 1.0);
+        let r = w.next_request();
+        let first = r.stages[0].syscalls.first().unwrap();
+        assert_eq!(first.name, SyscallName::Accept);
+        assert_eq!(first.at_ins, Instructions::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "classes 0..4")]
+    fn bad_class_panics() {
+        WebServer::new(10, 1.0).request_of_class(4);
+    }
+}

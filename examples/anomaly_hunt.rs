@@ -1,0 +1,99 @@
+//! Anomaly detection on a live TPC-H workload (§4.3): find the request
+//! that deviates most from its semantic group, and hunt for multi-metric
+//! anomaly pairs — similar work, divergent performance — that point at
+//! multicore contention victims.
+//!
+//! ```text
+//! cargo run --release --example anomaly_hunt
+//! ```
+
+use request_behavior_variations::core::anomaly::{centroid_outliers, multi_metric_pairs};
+use request_behavior_variations::core::cluster::DistanceMatrix;
+use request_behavior_variations::core::distance::{dtw_distance_with_penalty, length_penalty};
+use request_behavior_variations::core::series::Metric;
+use request_behavior_variations::core::stats::percentile;
+use request_behavior_variations::os::{run_simulation, SimConfig};
+use request_behavior_variations::workloads::{RequestClass, Tpch};
+
+fn main() {
+    // TPC-H at half scale, concurrent, 1 ms counter sampling.
+    let mut factory = Tpch::new(7, 0.5);
+    let config = SimConfig::paper_default().with_interrupt_sampling(1_000);
+    let result = run_simulation(config, &mut factory, 102).expect("valid configuration");
+
+    // --- Within-group outliers: all Q20 executions share semantics and
+    // instruction streams; the one farthest from the group centroid is a
+    // suspected anomaly (Figure 8).
+    let group: Vec<_> = result
+        .completed
+        .iter()
+        .filter(|r| r.class == RequestClass::TpchQuery(20))
+        .collect();
+    let series: Vec<Vec<f64>> = group
+        .iter()
+        .map(|r| r.series(Metric::Cpi, 1.2e6).values().to_vec())
+        .collect();
+    let slices: Vec<&[f64]> = series.iter().map(|s| s.as_slice()).collect();
+    let penalty = length_penalty(&slices, 100_000);
+    let matrix = DistanceMatrix::compute(group.len(), |i, j| {
+        dtw_distance_with_penalty(&series[i], &series[j], penalty)
+    });
+    let (centroid, outliers) = centroid_outliers(&matrix).expect("several Q20 runs");
+    println!(
+        "Q20 group of {}: centroid request CPI {:.2}",
+        group.len(),
+        group[centroid].request_cpi().unwrap()
+    );
+    for o in outliers.iter().take(3) {
+        println!(
+            "  suspected anomaly: request {:3} at distance {:.1}, CPI {:.2}",
+            group[o.index].id,
+            o.distance,
+            group[o.index].request_cpi().unwrap()
+        );
+    }
+
+    // --- Multi-metric pairs across the whole workload: similar L2
+    // reference patterns (same work), divergent CPI (Figure 9).
+    let usage: Vec<Vec<f64>> = result
+        .completed
+        .iter()
+        .map(|r| r.series(Metric::L2RefsPerIns, 1.2e6).values().to_vec())
+        .collect();
+    let slices: Vec<&[f64]> = usage.iter().map(|s| s.as_slice()).collect();
+    let upenalty = length_penalty(&slices, 100_000);
+    let umatrix = DistanceMatrix::compute(usage.len(), |i, j| {
+        dtw_distance_with_penalty(&usage[i], &usage[j], upenalty)
+    });
+    let perf: Vec<f64> = result
+        .completed
+        .iter()
+        .map(|r| r.request_cpi().unwrap_or(0.0))
+        .collect();
+    let mut all = Vec::new();
+    for i in 0..usage.len() {
+        for j in (i + 1)..usage.len() {
+            all.push(umatrix.get(i, j));
+        }
+    }
+    let pairs = multi_metric_pairs(
+        &umatrix,
+        &perf,
+        percentile(&all, 0.15).unwrap(),
+        (percentile(&perf, 0.9).unwrap() - percentile(&perf, 0.1).unwrap()) * 0.5,
+    );
+    println!("\nmulti-metric anomaly pairs (similar usage, divergent CPI):");
+    for p in pairs.iter().take(3) {
+        println!(
+            "  {} (CPI {:.2}) vs reference {} (CPI {:.2}) — usage distance {:.2}",
+            result.completed[p.anomaly].class,
+            perf[p.anomaly],
+            result.completed[p.reference].class,
+            perf[p.reference],
+            p.usage_distance
+        );
+    }
+    if pairs.is_empty() {
+        println!("  none above thresholds in this run");
+    }
+}

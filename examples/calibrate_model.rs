@@ -1,0 +1,37 @@
+//! Anchoring the analytical contention model: replay synthetic traces
+//! through the trace-driven set-associative cache simulator and compare
+//! the measured steady-state miss ratios against the analytical curve the
+//! execution engine uses at every scheduling tick.
+//!
+//! ```text
+//! cargo run --release --example calibrate_model
+//! ```
+
+use request_behavior_variations::mem::calibrate::{fit_exponent, sweep_curve, TraceKind};
+use request_behavior_variations::mem::model::miss_ratio;
+
+fn main() {
+    for (kind, name) in [
+        (TraceKind::Uniform, "uniform reuse"),
+        (TraceKind::Zipf, "Zipf(1.0) reuse"),
+    ] {
+        let points = sweep_curve(kind, 1.0, 1.0, 2026);
+        let (fitted, err) = fit_exponent(&points, 1.0);
+        println!("{name} — miss ratio vs cache share (ws = 512 KB):");
+        println!("  share/ws   measured   fitted curve (exp {fitted:.2})");
+        for p in &points {
+            let refit = miss_ratio(p.share_bytes, p.ws_bytes, 1.0, fitted);
+            println!(
+                "  {:8.3}   {:8.3}   {:12.3}",
+                p.share_bytes / p.ws_bytes,
+                p.measured,
+                refit,
+            );
+        }
+        println!("  best-fit exponent: {fitted:.2} (mean |error| {err:.3})");
+        println!();
+    }
+    println!("uniform reuse lands on exponent ~1.0 and strong Zipf skew near ~0.3:");
+    println!("the Xeon 5160 model's exponent of 0.85 sits between those extremes,");
+    println!("matching the moderate skew of server data references.");
+}

@@ -1,0 +1,78 @@
+//! Online request identification and behavior prediction (§4.4, §5.1):
+//! build a signature bank from completed requests, identify new requests
+//! from partial executions, and run the vaEWMA filter over a live counter
+//! stream.
+//!
+//! ```text
+//! cargo run --release --example online_prediction
+//! ```
+
+use request_behavior_variations::core::predict::{
+    evaluate_rmse, LastValue, Predictor, RunningAverage, VaEwma,
+};
+use request_behavior_variations::core::series::Metric;
+use request_behavior_variations::core::signature::{BankEntry, SignatureBank};
+use request_behavior_variations::os::{run_simulation, SimConfig};
+use request_behavior_variations::workloads::Tpcc;
+
+fn main() {
+    let mut factory = Tpcc::new(3, 1.0);
+    let config = SimConfig::paper_default().with_interrupt_sampling(100);
+    let result = run_simulation(config, &mut factory, 260).expect("valid");
+
+    // --- Signature bank from the first 200 requests; evaluate on the rest.
+    let (bank_requests, eval_requests) = result.completed.split_at(200);
+    let signature = |r: &request_behavior_variations::os::CompletedRequest| {
+        r.series(Metric::L2RefsPerIns, 150_000.0)
+    };
+    let bank = SignatureBank::new(
+        bank_requests
+            .iter()
+            .map(|r| BankEntry {
+                series: signature(r),
+                cpu_cycles: r.cpu_cycles(),
+            })
+            .collect(),
+    );
+
+    let mut correct = 0;
+    for r in eval_requests {
+        let partial = signature(r).prefix(7); // ~1 M instructions seen
+        let predicted = bank.predict_above_median(&partial, false);
+        let actual = r.cpu_cycles() > bank.median_cpu();
+        if predicted == Some(actual) {
+            correct += 1;
+        }
+    }
+    println!(
+        "signature bank: {}/{} requests' CPU usage side predicted early in their execution",
+        correct,
+        eval_requests.len()
+    );
+
+    // --- Online prediction of L2 misses/instruction along one request.
+    let request = eval_requests
+        .iter()
+        .max_by_key(|r| r.timeline.len())
+        .expect("nonempty");
+    let periods = request.timeline.periods();
+    let durations: Vec<f64> = periods.iter().map(|p| p.cycles / 3.0e6).collect();
+    let values: Vec<f64> = periods
+        .iter()
+        .map(|p| p.value(Metric::L2MissesPerIns).unwrap_or(0.0))
+        .collect();
+    println!(
+        "\npredicting L2 misses/ins over one {} request ({} sample periods):",
+        request.class,
+        periods.len()
+    );
+    let mut predictors: Vec<(&str, Box<dyn Predictor>)> = vec![
+        ("last value", Box::new(LastValue::new())),
+        ("request average", Box::new(RunningAverage::new())),
+        ("vaEWMA alpha=0.6", Box::new(VaEwma::new(0.6, 1.0))),
+    ];
+    for (label, p) in &mut predictors {
+        let rmse = evaluate_rmse(p.as_mut(), &durations, &values);
+        println!("  {label:18} RMSE {:.3e}", rmse.unwrap_or(f64::NAN));
+    }
+}

@@ -1,0 +1,77 @@
+//! Projecting measured request behavior onto a new hardware platform —
+//! the paper's §7 future-work idea, built on fine-grained variation
+//! patterns: each sample period's memory-bound fraction is rescaled by the
+//! target machine's latencies, so speedups land exactly where a request is
+//! actually memory-bound.
+//!
+//! The projection is validated against ground truth: we re-run the same
+//! workload (same seeds) on a simulated machine with the target constants
+//! and compare predicted against actually-measured request CPI.
+//!
+//! ```text
+//! cargo run --release --example platform_projection
+//! ```
+
+use request_behavior_variations::core::stats::mean;
+use request_behavior_variations::mem::MachineSpec;
+use request_behavior_variations::os::{run_simulation, PlatformProjection, SimConfig};
+use request_behavior_variations::workloads::{factory_for, AppId};
+
+fn main() {
+    let source = MachineSpec::xeon_5160();
+    // A DDR3-generation upgrade: ~40% lower memory latency, faster L2.
+    let target = MachineSpec {
+        l2_hit_cycles: 11.0,
+        mem_base_cycles: 150.0,
+        peak_lines_per_cycle: source.peak_lines_per_cycle * 2.0,
+        ..source
+    };
+    let projection = PlatformProjection::new(source, target);
+
+    println!(
+        "{:12} {:>12} {:>14} {:>12} {:>10}",
+        "application", "source CPI", "projected CPI", "actual CPI", "error"
+    );
+    for app in AppId::SERVER_APPS {
+        let scale = match app {
+            AppId::Tpch => 0.25,
+            AppId::Webwork => 0.05,
+            _ => 0.5,
+        };
+        let n = 40;
+        // Serial runs isolate the latency effect from dynamic contention.
+        let run = |machine: MachineSpec| {
+            let mut cfg = SimConfig::paper_default()
+                .with_interrupt_sampling(app.sampling_period_micros())
+                .serial();
+            cfg.machine = machine;
+            let mut factory = factory_for(app, 99, scale);
+            run_simulation(cfg, factory.as_mut(), n).expect("valid")
+        };
+        let measured_src = run(source);
+        let measured_tgt = run(target);
+
+        let src_cpi = mean(&measured_src.request_cpis()).unwrap();
+        let actual_tgt_cpi = mean(&measured_tgt.request_cpis()).unwrap();
+        let projected: Vec<f64> = measured_src
+            .completed
+            .iter()
+            .filter_map(|r| {
+                let t = projection.project_timeline(&r.timeline);
+                t.average(request_behavior_variations::core::series::Metric::Cpi)
+            })
+            .collect();
+        let projected_cpi = mean(&projected).unwrap();
+        println!(
+            "{:12} {:>12.3} {:>14.3} {:>12.3} {:>9.1}%",
+            app.to_string(),
+            src_cpi,
+            projected_cpi,
+            actual_tgt_cpi,
+            (projected_cpi / actual_tgt_cpi - 1.0) * 100.0
+        );
+    }
+    println!();
+    println!("projection uses only source-platform measurements; 'actual' re-runs the");
+    println!("workload on the target machine as ground truth.");
+}

@@ -1,0 +1,71 @@
+//! Quickstart: simulate a TPC-C server on the 4-core machine, look at
+//! request behavior variations, and classify requests by their variation
+//! patterns — the paper's §2–§4 pipeline in fifty lines.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use request_behavior_variations::core::cluster::{k_medoids, DistanceMatrix};
+use request_behavior_variations::core::distance::{dtw_distance_with_penalty, length_penalty};
+use request_behavior_variations::core::series::Metric;
+use request_behavior_variations::core::stats::percentile;
+use request_behavior_variations::os::{run_simulation, SimConfig};
+use request_behavior_variations::workloads::Tpcc;
+
+fn main() {
+    // 1. Run 120 TPC-C transactions, 8-way concurrent, sampling hardware
+    //    counters every 100 us (the paper's TPCC setup).
+    let mut factory = Tpcc::new(42, 1.0);
+    let config = SimConfig::paper_default().with_interrupt_sampling(100);
+    let result = run_simulation(config, &mut factory, 120).expect("valid configuration");
+
+    // 2. Per-request CPI distribution (Figure 1 material).
+    let cpis = result.request_cpis();
+    println!(
+        "request CPI: median {:.2}, 90th percentile {:.2}",
+        percentile(&cpis, 0.5).unwrap(),
+        percentile(&cpis, 0.9).unwrap()
+    );
+
+    // 3. One request's intra-request variation pattern (Figure 2 material).
+    let request = &result.completed[0];
+    let series = request.series(Metric::Cpi, 60_000.0);
+    println!(
+        "first request ({}) varies between CPI {:.2} and {:.2} over {} buckets",
+        request.class,
+        series.values().iter().cloned().fold(f64::INFINITY, f64::min),
+        series.values().iter().cloned().fold(0.0, f64::max),
+        series.len()
+    );
+
+    // 4. Classify requests by DTW-with-asynchrony-penalty over their CPI
+    //    variation patterns (§4.1-§4.2).
+    let patterns: Vec<Vec<f64>> = result
+        .completed
+        .iter()
+        .map(|r| r.series(Metric::Cpi, 60_000.0).values().to_vec())
+        .collect();
+    let refs: Vec<&[f64]> = patterns.iter().map(|p| p.as_slice()).collect();
+    let penalty = length_penalty(&refs, 100_000);
+    let matrix = DistanceMatrix::compute(patterns.len(), |i, j| {
+        dtw_distance_with_penalty(&patterns[i], &patterns[j], penalty)
+    });
+    let clustering = k_medoids(&matrix, 5, 30);
+
+    println!("\n5 clusters by variation pattern:");
+    for c in 0..5 {
+        let members = clustering.members_of(c);
+        let mut classes: Vec<String> = members
+            .iter()
+            .map(|&i| result.completed[i].class.to_string())
+            .collect();
+        classes.sort();
+        classes.dedup();
+        println!(
+            "  cluster {c}: {:3} members, transaction types {:?}",
+            members.len(),
+            classes
+        );
+    }
+}

@@ -1,0 +1,85 @@
+//! Comparing the paper's counter sampling strategies on the web server
+//! (§3): periodic interrupts, system call-triggered sampling with a backup
+//! timer, and transition-signal sampling, measuring cost and captured
+//! variation for each.
+//!
+//! ```text
+//! cargo run --release --example sampling_strategies
+//! ```
+
+use std::collections::HashSet;
+
+use request_behavior_variations::core::series::Metric;
+use request_behavior_variations::core::stats::coefficient_of_variation;
+use request_behavior_variations::os::{run_simulation, RunResult, SamplingPolicy, SimConfig};
+use request_behavior_variations::sim::Cycles;
+use request_behavior_variations::workloads::{SyscallName, WebServer};
+
+fn captured_cov(result: &RunResult) -> f64 {
+    let mut lengths = Vec::new();
+    let mut values = Vec::new();
+    for r in &result.completed {
+        let (mut l, mut v) = r.timeline.weighted_values(Metric::Cpi);
+        lengths.append(&mut l);
+        values.append(&mut v);
+    }
+    coefficient_of_variation(&lengths, &values).unwrap_or(0.0)
+}
+
+fn main() {
+    let policies: Vec<(&str, SamplingPolicy)> = vec![
+        (
+            "context switches only",
+            SamplingPolicy::ContextSwitchOnly,
+        ),
+        (
+            "interrupts @ 10us",
+            SamplingPolicy::Interrupt {
+                period: Cycles::from_micros(10),
+            },
+        ),
+        (
+            "syscall-triggered (6us min, 40us backup)",
+            SamplingPolicy::SyscallTriggered {
+                t_syscall_min: Cycles::from_micros(6),
+                t_backup_int: Cycles::from_micros(40),
+            },
+        ),
+        (
+            "transition signals {writev,lseek,stat,poll}",
+            SamplingPolicy::TransitionSignals {
+                triggers: HashSet::from([
+                    SyscallName::Writev,
+                    SyscallName::Lseek,
+                    SyscallName::Stat,
+                    SyscallName::Poll,
+                ]),
+                t_syscall_min: Cycles::from_micros(2),
+                t_backup_int: Cycles::from_micros(150),
+            },
+        ),
+    ];
+
+    println!(
+        "{:45} {:>9} {:>9} {:>12} {:>9}",
+        "policy", "in-kernel", "interrupt", "overhead", "CPI CoV"
+    );
+    for (label, sampling) in policies {
+        let mut cfg = SimConfig::paper_default();
+        cfg.sampling = sampling;
+        let mut factory = WebServer::new(11, 1.0);
+        let result = run_simulation(cfg, &mut factory, 300).expect("valid");
+        let cpu: f64 = result.completed.iter().map(|r| r.cpu_cycles()).sum();
+        println!(
+            "{label:45} {:>9} {:>9} {:>11.3}% {:>9.3}",
+            result.stats.samples_inkernel,
+            result.stats.samples_interrupt,
+            result.stats.sampling_overhead_cycles() / cpu * 100.0,
+            captured_cov(&result)
+        );
+    }
+    println!();
+    println!("in-kernel samples cost 0.42 us; interrupt samples 0.76 us (Table 1):");
+    println!("syscall-triggered sampling buys the same variation capture cheaper, and");
+    println!("transition signals concentrate samples where behavior actually changes.");
+}

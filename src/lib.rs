@@ -1,0 +1,47 @@
+//! # Request Behavior Variations — reproduction
+//!
+//! A full Rust reproduction of *Request Behavior Variations* (Kai Shen,
+//! ASPLOS 2010): a simulated multicore server platform, OS-level online
+//! tracking of per-request hardware behavior variations, variation-driven
+//! request modeling (classification, anomaly analysis, online signatures,
+//! online prediction), and contention-easing CPU scheduling.
+//!
+//! This crate is a facade re-exporting the workspace layers:
+//!
+//! | Module | Crate | Contents |
+//! |---|---|---|
+//! | [`sim`] | `rbv-sim` | discrete-event substrate: time, RNG, event queue |
+//! | [`mem`] | `rbv-mem` | cache simulator + analytical contention model |
+//! | [`workloads`] | `rbv-workloads` | the five server application models |
+//! | [`os`] | `rbv-os` | simulated kernel: scheduling + counter sampling |
+//! | [`core`] | `rbv-core` | request modeling: distances, clustering, signatures, predictors |
+//!
+//! # Quickstart
+//!
+//! ```
+//! use request_behavior_variations::os::{run_simulation, SimConfig};
+//! use request_behavior_variations::workloads::Tpcc;
+//! use request_behavior_variations::core::series::Metric;
+//!
+//! // Run 10 TPC-C transactions on the simulated 4-core machine.
+//! let mut factory = Tpcc::new(1, 0.05);
+//! let result = run_simulation(SimConfig::paper_default(), &mut factory, 10)
+//!     .expect("valid configuration");
+//!
+//! // Per-request CPI distribution (Figure 1 material).
+//! let cpis = result.request_cpis();
+//! assert_eq!(cpis.len(), 10);
+//!
+//! // A request's CPI variation pattern (Figure 2 material).
+//! let series = result.completed[0].series(Metric::Cpi, 10_000.0);
+//! assert!(!series.is_empty());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use rbv_core as core;
+pub use rbv_mem as mem;
+pub use rbv_os as os;
+pub use rbv_sim as sim;
+pub use rbv_workloads as workloads;

@@ -1,0 +1,283 @@
+//! Cross-crate property-based tests (proptest) of the invariants DESIGN.md
+//! commits to.
+
+use proptest::prelude::*;
+
+use request_behavior_variations::core::distance::{
+    dtw_banded, dtw_distance, dtw_distance_with_penalty, l1_distance, levenshtein,
+};
+use request_behavior_variations::core::predict::{Ewma, Predictor, VaEwma};
+use request_behavior_variations::core::series::{Metric, SamplePeriod, Timeline};
+use request_behavior_variations::core::stats::{coefficient_of_variation, percentile};
+use request_behavior_variations::mem::model::{miss_ratio, proportional_fill};
+use request_behavior_variations::mem::{MachineSpec, SegmentProfile};
+
+fn series_strategy(max_len: usize) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(0.0f64..10.0, 0..max_len)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    // ---- distances -------------------------------------------------------
+
+    #[test]
+    fn distances_are_symmetric_with_zero_identity(
+        x in series_strategy(40),
+        y in series_strategy(40),
+        penalty in 0.0f64..20.0,
+    ) {
+        prop_assert!((l1_distance(&x, &y, penalty) - l1_distance(&y, &x, penalty)).abs() < 1e-9);
+        prop_assert!(l1_distance(&x, &x, penalty).abs() < 1e-9);
+        let d_xy = dtw_distance_with_penalty(&x, &y, penalty);
+        let d_yx = dtw_distance_with_penalty(&y, &x, penalty);
+        prop_assert!((d_xy - d_yx).abs() < 1e-9);
+        prop_assert!(dtw_distance_with_penalty(&x, &x, penalty).abs() < 1e-9);
+        prop_assert!(d_xy >= 0.0);
+    }
+
+    #[test]
+    fn dtw_never_exceeds_l1_on_equal_lengths(
+        pairs in prop::collection::vec((0.0f64..10.0, 0.0f64..10.0), 1..40),
+        penalty in 0.0f64..20.0,
+    ) {
+        let x: Vec<f64> = pairs.iter().map(|p| p.0).collect();
+        let y: Vec<f64> = pairs.iter().map(|p| p.1).collect();
+        // The synchronized path is one valid warp path.
+        prop_assert!(
+            dtw_distance_with_penalty(&x, &y, penalty) <= l1_distance(&x, &y, penalty) + 1e-9
+        );
+        // More penalty never decreases the distance.
+        prop_assert!(
+            dtw_distance_with_penalty(&x, &y, penalty)
+                >= dtw_distance(&x, &y) - 1e-9
+        );
+    }
+
+    #[test]
+    fn banded_dtw_upper_bounds_full_dtw(
+        x in series_strategy(30),
+        y in series_strategy(30),
+        penalty in 0.0f64..5.0,
+        band in 1usize..8,
+    ) {
+        prop_assume!(!x.is_empty() && !y.is_empty());
+        let full = dtw_distance_with_penalty(&x, &y, penalty);
+        let banded = dtw_banded(&x, &y, penalty, band);
+        prop_assert!(banded >= full - 1e-9, "banded {banded} < full {full}");
+        let wide = dtw_banded(&x, &y, penalty, x.len() + y.len());
+        prop_assert!((wide - full).abs() < 1e-9);
+    }
+
+    #[test]
+    fn levenshtein_is_a_metric(
+        a in prop::collection::vec(0u8..5, 0..24),
+        b in prop::collection::vec(0u8..5, 0..24),
+        c in prop::collection::vec(0u8..5, 0..24),
+    ) {
+        let dab = levenshtein(&a, &b);
+        prop_assert_eq!(dab, levenshtein(&b, &a));
+        prop_assert_eq!(levenshtein(&a, &a), 0);
+        prop_assert!(dab <= levenshtein(&a, &c) + levenshtein(&c, &b));
+        // Bounded by the longer length.
+        prop_assert!(dab <= a.len().max(b.len()));
+        prop_assert!(dab >= a.len().abs_diff(b.len()));
+    }
+
+    // ---- statistics --------------------------------------------------------
+
+    #[test]
+    fn cov_is_scale_invariant_and_nonnegative(
+        data in prop::collection::vec((0.1f64..100.0, 0.1f64..100.0), 1..30),
+        scale in 0.1f64..50.0,
+    ) {
+        let lengths: Vec<f64> = data.iter().map(|d| d.0).collect();
+        let values: Vec<f64> = data.iter().map(|d| d.1).collect();
+        let scaled: Vec<f64> = values.iter().map(|v| v * scale).collect();
+        let a = coefficient_of_variation(&lengths, &values).unwrap();
+        let b = coefficient_of_variation(&lengths, &scaled).unwrap();
+        prop_assert!(a >= 0.0);
+        prop_assert!((a - b).abs() < 1e-9 * (1.0 + a));
+    }
+
+    #[test]
+    fn percentiles_are_monotone(
+        mut values in prop::collection::vec(-1e6f64..1e6, 1..50),
+        q1 in 0.0f64..1.0,
+        q2 in 0.0f64..1.0,
+    ) {
+        let (lo, hi) = if q1 <= q2 { (q1, q2) } else { (q2, q1) };
+        let a = percentile(&values, lo).unwrap();
+        let b = percentile(&values, hi).unwrap();
+        prop_assert!(a <= b + 1e-9);
+        values.sort_by(|x, y| x.partial_cmp(y).unwrap());
+        prop_assert!(a >= values[0] - 1e-9 && b <= values[values.len() - 1] + 1e-9);
+    }
+
+    // ---- predictors ---------------------------------------------------------
+
+    #[test]
+    fn vaewma_equals_ewma_on_unit_durations(
+        values in prop::collection::vec(0.0f64..100.0, 1..40),
+        alpha in 0.0f64..1.0,
+    ) {
+        let mut va = VaEwma::new(alpha, 1.0);
+        let mut basic = Ewma::new(alpha);
+        for &v in &values {
+            va.observe(v, 1.0);
+            basic.observe(v, 1.0);
+            let (a, b) = (va.predict().unwrap(), basic.predict().unwrap());
+            prop_assert!((a - b).abs() < 1e-9 * (1.0 + a.abs()));
+        }
+    }
+
+    #[test]
+    fn predictors_stay_within_observed_range(
+        obs in prop::collection::vec((0.0f64..10.0, 0.1f64..20.0), 1..40),
+        alpha in 0.0f64..1.0,
+    ) {
+        let lo = obs.iter().map(|o| o.0).fold(f64::INFINITY, f64::min);
+        let hi = obs.iter().map(|o| o.0).fold(0.0, f64::max);
+        let mut va = VaEwma::new(alpha, 1.0);
+        for &(v, t) in &obs {
+            va.observe(v, t);
+        }
+        let p = va.predict().unwrap();
+        prop_assert!(p >= lo - 1e-9 && p <= hi + 1e-9, "{p} outside [{lo}, {hi}]");
+    }
+
+    // ---- timelines ------------------------------------------------------------
+
+    #[test]
+    fn resampled_buckets_are_convex_combinations_of_periods(
+        periods in prop::collection::vec(
+            (1.0f64..5000.0, 1.0f64..2000.0, 0.0f64..50.0, 0.0f64..10.0),
+            1..30,
+        ),
+        bucket in 10.0f64..500.0,
+    ) {
+        let timeline = Timeline::from_periods(
+            periods
+                .iter()
+                .map(|&(cycles, instructions, l2_refs, l2_misses)| SamplePeriod {
+                    cycles,
+                    instructions,
+                    l2_refs,
+                    l2_misses,
+                })
+                .collect(),
+        );
+        // Every bucket blends (instruction-weighted) the CPIs of the
+        // periods overlapping it, so all bucket values must lie within the
+        // global [min, max] period CPI envelope.
+        let cpis: Vec<f64> = timeline
+            .periods()
+            .iter()
+            .filter_map(|p| p.value(Metric::Cpi))
+            .collect();
+        prop_assume!(!cpis.is_empty());
+        let lo = cpis.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = cpis.iter().cloned().fold(0.0, f64::max);
+        let series = timeline.series(Metric::Cpi, bucket);
+        for (i, &v) in series.values().iter().enumerate() {
+            prop_assert!(
+                v >= lo - 1e-9 * hi && v <= hi + 1e-9 * hi,
+                "bucket {i} value {v} outside period envelope [{lo}, {hi}]"
+            );
+        }
+        // Bucket count is the floor of total instructions over the bucket
+        // size, plus at most one kept tail.
+        let n = series.len() as f64;
+        let expect = timeline.total_instructions() / bucket;
+        prop_assert!(n >= expect.floor() && n <= expect.floor() + 1.0);
+        // Uniform-CPI timelines resample exactly.
+        let flat = Timeline::from_periods(
+            periods
+                .iter()
+                .map(|&(_, instructions, ..)| SamplePeriod {
+                    cycles: instructions * 2.0,
+                    instructions,
+                    l2_refs: 0.0,
+                    l2_misses: 0.0,
+                })
+                .collect(),
+        );
+        for &v in flat.series(Metric::Cpi, bucket).values() {
+            prop_assert!((v - 2.0).abs() < 1e-9, "flat bucket {v}");
+        }
+    }
+
+    // ---- contention model -------------------------------------------------------
+
+    #[test]
+    fn miss_ratio_curve_is_well_behaved(
+        share in 0.0f64..1e7,
+        ws in 0.0f64..1e8,
+        locality in 0.0f64..1.0,
+        exponent in 0.2f64..1.5,
+    ) {
+        let m = miss_ratio(share, ws, locality, exponent);
+        prop_assert!((0.0..=1.0).contains(&m));
+        // Monotone nonincreasing in share.
+        let m2 = miss_ratio(share * 1.5 + 1.0, ws, locality, exponent);
+        prop_assert!(m2 <= m + 1e-12);
+        // Never misses less than the inherent streaming fraction.
+        prop_assert!(m >= 1.0 - locality - 1e-12);
+    }
+
+    #[test]
+    fn proportional_fill_respects_capacity_and_limits(
+        weights in prop::collection::vec(0.0f64..10.0, 1..8),
+        limits in prop::collection::vec(0.0f64..100.0, 1..8),
+        capacity in 1.0f64..200.0,
+    ) {
+        let n = weights.len().min(limits.len());
+        let weights = &weights[..n];
+        let limits = &limits[..n];
+        let shares = proportional_fill(capacity, weights, limits);
+        let total: f64 = shares.iter().sum();
+        prop_assert!(total <= capacity + 1e-6);
+        for i in 0..n {
+            prop_assert!(shares[i] >= -1e-12);
+            prop_assert!(shares[i] <= limits[i] + 1e-6);
+            if weights[i] == 0.0 {
+                prop_assert_eq!(shares[i], 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn contention_model_estimates_are_sane(
+        base_cpi in 0.3f64..3.0,
+        refs in 0.0f64..0.03,
+        ws in 0.0f64..400e6,
+        locality in 0.0f64..1.0,
+        occupancy in prop::collection::vec(prop::bool::ANY, 4),
+    ) {
+        let machine = MachineSpec::xeon_5160();
+        let profile = SegmentProfile {
+            base_cpi,
+            l2_refs_per_ins: refs,
+            working_set_bytes: ws,
+            reuse_locality: locality,
+        };
+        let running: Vec<Option<SegmentProfile>> = occupancy
+            .iter()
+            .map(|&b| b.then_some(profile))
+            .collect();
+        let out = machine.evaluate(&running);
+        let solo = machine.solo(profile);
+        prop_assert!(solo.cpi >= base_cpi - 1e-9);
+        for (slot, est) in running.iter().zip(&out) {
+            prop_assert_eq!(slot.is_some(), est.is_some());
+            if let Some(e) = est {
+                prop_assert!(e.cpi.is_finite() && e.cpi >= base_cpi - 1e-9);
+                prop_assert!((0.0..=1.0).contains(&e.l2_miss_ratio));
+                prop_assert!(e.l2_share_bytes >= -1e-9);
+                prop_assert!(e.l2_share_bytes <= machine.l2_capacity_bytes + 1e-6);
+                // Co-running can only hurt.
+                prop_assert!(e.cpi >= solo.cpi - 1e-6 * solo.cpi);
+            }
+        }
+    }
+}

@@ -1,0 +1,28 @@
+//! Smoke test of the full `repro` harness: every registered experiment's
+//! *printing* path (not just the compute path the shape tests use) must run
+//! to completion in fast mode.
+
+use rbv_bench::experiments::{dispatch, REGISTRY};
+
+#[test]
+fn every_registered_experiment_dispatches() {
+    for (id, _) in REGISTRY {
+        assert!(dispatch(id, true), "experiment `{id}` failed to dispatch");
+    }
+    assert!(!dispatch("no-such-experiment", true));
+}
+
+#[test]
+fn csv_dumps_run_for_every_application() {
+    use rbv_workloads::AppId;
+    for app in AppId::SERVER_APPS {
+        let mut timelines = Vec::new();
+        rbv_bench::experiments::dump::write_csv(app, true, &mut timelines)
+            .expect("timeline dump");
+        assert!(timelines.len() > 200, "{app}: timeline CSV too small");
+        let mut syscalls = Vec::new();
+        rbv_bench::experiments::dump::write_syscalls_csv(app, true, &mut syscalls)
+            .expect("syscall dump");
+        assert!(syscalls.len() > 200, "{app}: syscall CSV too small");
+    }
+}
