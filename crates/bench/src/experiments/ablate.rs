@@ -320,12 +320,8 @@ pub fn ablate_load(fast: bool) -> Vec<(f64, f64, f64, f64)> {
 
     // Calibrate the mean per-request CPU demand from a closed-loop run.
     let calib = standard_run(AppId::Tpcc, 0xAB6, 40, false);
-    let mean_cpu: f64 = calib
-        .completed
-        .iter()
-        .map(|r| r.cpu_cycles())
-        .sum::<f64>()
-        / calib.completed.len() as f64;
+    let mean_cpu: f64 =
+        calib.completed.iter().map(|r| r.cpu_cycles()).sum::<f64>() / calib.completed.len() as f64;
     let cores = 4.0;
 
     let mut rows = Vec::new();
@@ -376,8 +372,8 @@ pub fn ablate_partition(fast: bool) -> Vec<(String, bool, f64, f64)> {
     for app in [AppId::Tpcc, AppId::Tpch] {
         let n = requests_of(app, fast).min(if fast { 60 } else { 200 });
         for partition in [false, true] {
-            let mut cfg = SimConfig::paper_default()
-                .with_interrupt_sampling(app.sampling_period_micros());
+            let mut cfg =
+                SimConfig::paper_default().with_interrupt_sampling(app.sampling_period_micros());
             cfg.static_cache_partition = partition;
             cfg.seed = 0xAB7;
             let mut f = standard_factory(app, 0xAB7);
@@ -393,7 +389,11 @@ pub fn ablate_partition(fast: bool) -> Vec<(String, bool, f64, f64)> {
         .map(|(app, part, mean, p90)| {
             vec![
                 app.clone(),
-                if *part { "partitioned".into() } else { "LRU shared".into() },
+                if *part {
+                    "partitioned".into()
+                } else {
+                    "LRU shared".into()
+                },
                 format!("{mean:.2}"),
                 format!("{p90:.2}"),
             ]
@@ -462,7 +462,11 @@ pub fn ablate_stealing(fast: bool) -> Vec<(bool, f64, f64)> {
         .iter()
         .map(|&(st, mean_ms, p99_ms)| {
             vec![
-                if st { "with stealing".into() } else { "no migration (paper)".into() },
+                if st {
+                    "with stealing".into()
+                } else {
+                    "no migration (paper)".into()
+                },
                 format!("{mean_ms:.2} ms"),
                 format!("{p99_ms:.2} ms"),
             ]

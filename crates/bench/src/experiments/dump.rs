@@ -65,13 +65,21 @@ pub fn write_syscalls_csv(
     out: &mut dyn std::io::Write,
 ) -> std::io::Result<()> {
     let result = standard_run(app, 0xD0, requests_of(app, fast), false);
-    writeln!(out, "request_id,class,at_cycles,request_cycles,request_ins,name")?;
+    writeln!(
+        out,
+        "request_id,class,at_cycles,request_cycles,request_ins,name"
+    )?;
     for r in &result.completed {
         for sc in &r.syscalls {
             writeln!(
                 out,
                 "{},{},{},{:.0},{:.0},{}",
-                r.id, r.class, sc.at.get(), sc.request_cycles, sc.request_ins, sc.name
+                r.id,
+                r.class,
+                sc.at.get(),
+                sc.request_cycles,
+                sc.request_ins,
+                sc.name
             )?;
         }
     }

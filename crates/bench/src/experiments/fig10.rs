@@ -57,7 +57,9 @@ pub fn compute(fast: bool) -> Vec<PredictionCurves> {
         let unit_sim = unit_ins_paper(app) * scale_of(app);
         let series_of = |r: &rbv_os::CompletedRequest| r.series(Metric::L2RefsPerIns, unit_sim);
 
-        let (bank_reqs, eval_reqs) = result.completed.split_at(n_bank.min(result.completed.len()));
+        let (bank_reqs, eval_reqs) = result
+            .completed
+            .split_at(n_bank.min(result.completed.len()));
         let bank = SignatureBank::new(
             bank_reqs
                 .iter()
@@ -131,7 +133,12 @@ pub fn run(fast: bool) -> Vec<PredictionCurves> {
             ]);
         }
         print_table(
-            &["progress", "past-requests", "avg-metric sig", "variation sig"],
+            &[
+                "progress",
+                "past-requests",
+                "avg-metric sig",
+                "variation sig",
+            ],
             &rows,
         );
     }

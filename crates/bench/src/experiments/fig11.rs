@@ -101,9 +101,7 @@ pub fn run(fast: bool) -> Vec<PredictorScores> {
         let rows: Vec<Vec<String>> = s
             .scores
             .iter()
-            .map(|(label, v)| {
-                vec![label.clone(), format!("{v:.3e}"), bar(*v, max)]
-            })
+            .map(|(label, v)| vec![label.clone(), format!("{v:.3e}"), bar(*v, max)])
             .collect();
         print_table(&["predictor", "RMSE", ""], &rows);
     }

@@ -54,8 +54,7 @@ fn sched_scale(app: AppId) -> f64 {
 /// from a stock profiling run (§5.2).
 pub fn profile_threshold(app: AppId, fast: bool) -> f64 {
     let n = (requests_of(app, fast) / 2).max(20);
-    let mut cfg = SimConfig::paper_default()
-        .with_interrupt_sampling(app.sampling_period_micros());
+    let mut cfg = SimConfig::paper_default().with_interrupt_sampling(app.sampling_period_micros());
     cfg.seed = 0xB0;
     cfg.concurrency = 12;
     let mut factory = factory_for(app, 0xB0, sched_scale(app));
@@ -90,8 +89,8 @@ pub fn compute_app(app: AppId, fast: bool, seeds: &[u64]) -> Vec<SchedulerOutcom
         let mut eq4 = 0.0;
         let mut cpis = Vec::new();
         for &seed in seeds {
-            let mut cfg = SimConfig::paper_default()
-                .with_interrupt_sampling(app.sampling_period_micros());
+            let mut cfg =
+                SimConfig::paper_default().with_interrupt_sampling(app.sampling_period_micros());
             cfg.seed = seed;
             cfg.measure_threshold = Some(threshold);
             // Two runnable requests per core give the contention-easing
@@ -160,7 +159,13 @@ pub fn run(fast: bool) -> Vec<SchedulerOutcome> {
         })
         .collect();
     print_table(
-        &["application", "scheduler", ">=2 cores", ">=3 cores", "4 cores"],
+        &[
+            "application",
+            "scheduler",
+            ">=2 cores",
+            ">=3 cores",
+            "4 cores",
+        ],
         &rows,
     );
     println!("(paper: the 4-core simultaneous-high proportion drops ~25%)");

@@ -89,7 +89,10 @@ pub fn run(fast: bool) -> Vec<CovCell> {
                 ]
             })
             .collect();
-        print_table(&["application", "inter-request", "+intra-request", ""], &rows);
+        print_table(
+            &["application", "inter-request", "+intra-request", ""],
+            &rows,
+        );
     }
     cells
 }

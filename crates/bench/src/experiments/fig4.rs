@@ -30,9 +30,7 @@ impl SyscallDistance {
 
 /// Log-spaced distances matching the paper's x-axes.
 const US_POINTS: [f64; 8] = [4.0, 16.0, 64.0, 256.0, 1_000.0, 4_000.0, 16_000.0, 64_000.0];
-const INS_POINTS: [f64; 8] = [
-    4e3, 16e3, 64e3, 256e3, 1e6, 4e6, 16e6, 64e6,
-];
+const INS_POINTS: [f64; 8] = [4e3, 16e3, 64e3, 256e3, 1e6, 4e6, 16e6, 64e6];
 
 /// Runs the Figure 4 experiment.
 pub fn compute(fast: bool) -> Vec<SyscallDistance> {
@@ -74,7 +72,11 @@ pub fn run(fast: bool) -> Vec<SyscallDistance> {
     let mut rows = Vec::new();
     for c in &curves {
         let mut row = vec![c.app.to_string()];
-        row.extend(c.time_curve.iter().map(|&(_, p)| format!("{:.0}%", p * 100.0)));
+        row.extend(
+            c.time_curve
+                .iter()
+                .map(|&(_, p)| format!("{:.0}%", p * 100.0)),
+        );
         rows.push(row);
     }
     print_table(
@@ -97,7 +99,11 @@ pub fn run(fast: bool) -> Vec<SyscallDistance> {
     let mut rows = Vec::new();
     for c in &curves {
         let mut row = vec![c.app.to_string()];
-        row.extend(c.ins_curve.iter().map(|&(_, p)| format!("{:.0}%", p * 100.0)));
+        row.extend(
+            c.ins_curve
+                .iter()
+                .map(|&(_, p)| format!("{:.0}%", p * 100.0)),
+        );
         rows.push(row);
     }
     print_table(

@@ -76,8 +76,7 @@ pub fn compute(fast: bool) -> Vec<OverheadRow> {
         if !(0.9..=1.1).contains(&ratio) {
             t_min = ((t_min as f64 * ratio) as u64).clamp(1, t_backup - 1);
             let mut f = standard_factory(app, 0xF5);
-            let mut cfg =
-                SimConfig::paper_default().with_syscall_sampling(t_min, t_backup);
+            let mut cfg = SimConfig::paper_default().with_syscall_sampling(t_min, t_backup);
             cfg.seed = 0xF5;
             syscall = run_simulation(cfg, f.as_mut(), n).expect("valid");
         }

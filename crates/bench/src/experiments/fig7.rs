@@ -127,9 +127,9 @@ fn extract(app: AppId, fast: bool) -> Features {
 fn matrix_for(f: &Features, measure: MeasureKind) -> DistanceMatrix {
     let n = f.series.len();
     match measure {
-        MeasureKind::SyscallLevenshtein => DistanceMatrix::compute(n, |i, j| {
-            levenshtein(&f.tokens[i], &f.tokens[j]) as f64
-        }),
+        MeasureKind::SyscallLevenshtein => {
+            DistanceMatrix::compute(n, |i, j| levenshtein(&f.tokens[i], &f.tokens[j]) as f64)
+        }
         MeasureKind::AverageCpi => DistanceMatrix::compute(n, |i, j| {
             average_metric_distance(f.avg_cpi[i], f.avg_cpi[j])
         }),

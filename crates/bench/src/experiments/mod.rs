@@ -42,7 +42,10 @@ pub const REGISTRY: &[(&str, &str)] = &[
     ("ablate-threshold", "contention threshold percentile sweep"),
     ("ablate-signals", "name vs bigram transition signals"),
     ("ablate-load", "open-loop Poisson load sweep"),
-    ("ablate-partition", "LRU sharing vs static cache partitioning"),
+    (
+        "ablate-partition",
+        "LRU sharing vs static cache partitioning",
+    ),
     ("ablate-stealing", "request migration on skewed load"),
 ];
 

@@ -1,6 +1,8 @@
 //! Shared experiment plumbing: standard run configurations, per-app
 //! scales, and plain-text table/series rendering.
 
+use std::io::{self, Write};
+
 use rbv_core::series::Metric;
 use rbv_os::{run_simulation, RunResult, SimConfig};
 use rbv_workloads::{factory_for, AppId, RequestFactory};
@@ -47,8 +49,7 @@ pub fn standard_factory(app: AppId, seed: u64) -> Box<dyn RequestFactory + Send>
 /// Runs `app` with the paper's per-application interrupt sampling period
 /// (§3.1), either serial (1 request in flight) or 4-core concurrent.
 pub fn standard_run(app: AppId, seed: u64, n: usize, serial: bool) -> RunResult {
-    let mut cfg = SimConfig::paper_default()
-        .with_interrupt_sampling(app.sampling_period_micros());
+    let mut cfg = SimConfig::paper_default().with_interrupt_sampling(app.sampling_period_micros());
     cfg.seed = seed;
     if serial {
         cfg = cfg.serial();
@@ -71,17 +72,21 @@ pub fn bucket_ins(app: AppId) -> f64 {
 }
 
 /// All metrics the paper reports per sample period.
-pub const REPORT_METRICS: [Metric; 3] =
-    [Metric::Cpi, Metric::L2RefsPerIns, Metric::L2MissesPerRef];
+pub const REPORT_METRICS: [Metric; 3] = [Metric::Cpi, Metric::L2RefsPerIns, Metric::L2MissesPerRef];
 
 // ---------------------------------------------------------------------------
 // Plain-text rendering
 // ---------------------------------------------------------------------------
 
-/// Prints a section header.
+/// Writes a section header to `out`.
+pub fn section_to<W: Write>(out: &mut W, title: &str) -> io::Result<()> {
+    writeln!(out)?;
+    writeln!(out, "==== {title} ====")
+}
+
+/// Prints a section header to stdout.
 pub fn section(title: &str) {
-    println!();
-    println!("==== {title} ====");
+    section_to(&mut io::stdout().lock(), title).expect("stdout write");
 }
 
 /// Renders a horizontal bar of `value` relative to `max` (width 40).
@@ -93,8 +98,12 @@ pub fn bar(value: f64, max: f64) -> String {
     "#".repeat(width)
 }
 
-/// Formats a table: header row plus aligned data rows.
-pub fn print_table(headers: &[&str], rows: &[Vec<String>]) {
+/// Writes a table — header row plus aligned data rows — to `out`.
+pub fn print_table_to<W: Write>(
+    out: &mut W,
+    headers: &[&str],
+    rows: &[Vec<String>],
+) -> io::Result<()> {
     let cols = headers.len();
     let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
     for row in rows {
@@ -110,14 +119,25 @@ pub fn print_table(headers: &[&str], rows: &[Vec<String>]) {
             .collect::<Vec<_>>()
             .join("  ")
     };
-    println!(
+    writeln!(
+        out,
         "{}",
         render(headers.iter().map(|s| s.to_string()).collect())
-    );
-    println!("{}", "-".repeat(widths.iter().sum::<usize>() + 2 * (cols - 1)));
+    )?;
+    writeln!(
+        out,
+        "{}",
+        "-".repeat(widths.iter().sum::<usize>() + 2 * (cols - 1))
+    )?;
     for row in rows {
-        println!("{}", render(row.clone()));
+        writeln!(out, "{}", render(row.clone()))?;
     }
+    Ok(())
+}
+
+/// Prints a table to stdout.
+pub fn print_table(headers: &[&str], rows: &[Vec<String>]) {
+    print_table_to(&mut io::stdout().lock(), headers, rows).expect("stdout write");
 }
 
 #[cfg(test)]
@@ -141,6 +161,17 @@ mod tests {
         assert_eq!(bar(2.0, 1.0).len(), 40);
         assert_eq!(bar(0.5, 1.0).len(), 20);
         assert_eq!(bar(1.0, 0.0), "");
+    }
+
+    #[test]
+    fn table_renders_to_any_writer() {
+        let mut buf = Vec::new();
+        section_to(&mut buf, "title").unwrap();
+        print_table_to(&mut buf, &["a", "bb"], &[vec!["1".into(), "22".into()]]).unwrap();
+        let s = String::from_utf8(buf).unwrap();
+        assert!(s.contains("==== title ===="));
+        assert!(s.contains("a  bb"));
+        assert!(s.contains("1  22"));
     }
 
     #[test]

@@ -20,3 +20,4 @@
 
 pub mod experiments;
 pub mod harness;
+pub mod tracecmd;

@@ -5,33 +5,119 @@
 //! repro <experiment-id> [--fast]   # one artifact
 //! repro all [--fast]               # everything, in paper order
 //! repro list                       # available experiment ids
+//! repro trace <app> [--seed N] [--trace out.json] [--metrics out.json|out.csv]
 //! ```
 
+use std::path::PathBuf;
 use std::process::ExitCode;
 
 use rbv_bench::experiments::{dispatch, REGISTRY};
 
-fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let fast = args.iter().any(|a| a == "--fast");
-    let ids: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
+/// Parsed command line: boolean flags, valued options, positionals.
+struct Cli {
+    fast: bool,
+    syscalls: bool,
+    seed: Option<u64>,
+    trace: Option<PathBuf>,
+    metrics: Option<PathBuf>,
+    positionals: Vec<String>,
+}
 
-    let Some(first) = ids.first() else {
-        eprintln!("usage: repro <experiment-id>|all|list [--fast]");
-        eprintln!("run `repro list` for the available experiments");
+fn usage() {
+    eprintln!("usage: repro <experiment-id>|all|list [--fast] [--seed N]");
+    eprintln!("       repro trace <web|tpcc|tpch|rubis|webwork> \\");
+    eprintln!("             [--trace out.json] [--metrics out.json|out.csv]");
+    eprintln!("run `repro list` for the available experiments");
+}
+
+fn parse(args: Vec<String>) -> Result<Cli, String> {
+    let mut cli = Cli {
+        fast: false,
+        syscalls: false,
+        seed: None,
+        trace: None,
+        metrics: None,
+        positionals: Vec::new(),
+    };
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--fast" => cli.fast = true,
+            "--syscalls" => cli.syscalls = true,
+            "--seed" => {
+                let v = it.next().ok_or("--seed requires a value")?;
+                cli.seed = Some(v.parse().map_err(|_| format!("bad seed `{v}`"))?);
+            }
+            "--trace" => {
+                cli.trace = Some(PathBuf::from(it.next().ok_or("--trace requires a path")?));
+            }
+            "--metrics" => {
+                cli.metrics = Some(PathBuf::from(it.next().ok_or("--metrics requires a path")?));
+            }
+            other if other.starts_with("--") => {
+                return Err(format!("unknown flag `{other}`"));
+            }
+            _ => cli.positionals.push(arg),
+        }
+    }
+    Ok(cli)
+}
+
+fn main() -> ExitCode {
+    let cli = match parse(std::env::args().skip(1).collect()) {
+        Ok(cli) => cli,
+        Err(e) => {
+            eprintln!("error: {e}");
+            usage();
+            return ExitCode::FAILURE;
+        }
+    };
+    let fast = cli.fast;
+
+    let Some(first) = cli.positionals.first() else {
+        usage();
         return ExitCode::FAILURE;
     };
 
     match first.as_str() {
         "dump" => {
-            let Some(app) = ids.get(1).and_then(|a| rbv_bench::experiments::dump::parse_app(a))
+            let Some(app) = cli
+                .positionals
+                .get(1)
+                .and_then(|a| rbv_bench::experiments::dump::parse_app(a))
             else {
                 eprintln!("usage: repro dump <web|tpcc|tpch|rubis|webwork> [--syscalls] [--fast]");
                 return ExitCode::FAILURE;
             };
-            let syscalls = args.iter().any(|a| a == "--syscalls");
-            rbv_bench::experiments::dump::run(app, fast, syscalls);
+            rbv_bench::experiments::dump::run(app, fast, cli.syscalls);
             ExitCode::SUCCESS
+        }
+        "trace" => {
+            let Some(app) = cli
+                .positionals
+                .get(1)
+                .and_then(|a| rbv_bench::experiments::dump::parse_app(a))
+            else {
+                eprintln!("usage: repro trace <web|tpcc|tpch|rubis|webwork> \\");
+                eprintln!(
+                    "             [--seed N] [--trace out.json] [--metrics out.json|out.csv]"
+                );
+                return ExitCode::FAILURE;
+            };
+            let seed = cli.seed.unwrap_or(1);
+            match rbv_bench::tracecmd::run(
+                app,
+                fast,
+                seed,
+                cli.trace.as_deref(),
+                cli.metrics.as_deref(),
+            ) {
+                Ok(()) => ExitCode::SUCCESS,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    ExitCode::FAILURE
+                }
+            }
         }
         "list" => {
             for (id, desc) in REGISTRY {
@@ -52,7 +138,7 @@ fn main() -> ExitCode {
         }
         _ => {
             let mut ok = true;
-            for id in &ids {
+            for id in &cli.positionals {
                 if !dispatch(id, fast) {
                     eprintln!("unknown experiment `{id}`; run `repro list`");
                     ok = false;

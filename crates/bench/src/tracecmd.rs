@@ -1,0 +1,158 @@
+//! `repro trace <app>` — run one traced simulation on the standard
+//! 4-core configuration and export the Perfetto trace plus metrics
+//! sidecars.
+
+use std::io::{self, Write};
+use std::path::Path;
+
+use rbv_os::{run_simulation_traced, RunResult, SimConfig};
+use rbv_telemetry::{MemorySink, MetricsRegistry, PerfettoTrace, SelfProfiler, TraceEvent};
+use rbv_workloads::AppId;
+
+use crate::harness::{print_table_to, requests_of, section_to, standard_factory};
+
+/// Everything one traced run produces, kept for tests and exporters.
+pub struct TraceOutcome {
+    /// The simulated application.
+    pub app: AppId,
+    /// Effective RNG seed of the run.
+    pub seed: u64,
+    /// Cores of the simulated machine (Perfetto track count).
+    pub cores: usize,
+    /// The run itself, identical to an untraced run at the same seed.
+    pub result: RunResult,
+    /// Every trace event the engine emitted, in emission order.
+    pub events: Vec<TraceEvent>,
+    /// Run metrics plus simulator self-profile, ready to snapshot.
+    pub registry: MetricsRegistry,
+}
+
+/// Runs `app` traced under the standard 4-core configuration (same
+/// config as [`crate::harness::standard_run`] concurrent mode).
+pub fn run_traced(app: AppId, fast: bool, seed: u64) -> TraceOutcome {
+    let mut profiler = SelfProfiler::new();
+    let n = requests_of(app, fast);
+    let mut cfg = SimConfig::paper_default().with_interrupt_sampling(app.sampling_period_micros());
+    cfg.seed = seed;
+    let cores = cfg.machine.topology.cores;
+    let mut factory = profiler.time("build", || standard_factory(app, seed));
+    let mut sink = MemorySink::new();
+    let result = profiler
+        .time("simulate", || {
+            run_simulation_traced(cfg, factory.as_mut(), n, &mut sink)
+        })
+        .expect("standard config is valid");
+
+    let mut registry = MetricsRegistry::new();
+    registry.count("run.seed", seed);
+    result.fill_metrics(&mut registry);
+    registry.count("trace.events", sink.len() as u64);
+    profiler.report(
+        &mut registry,
+        Some(result.total_time.as_f64()),
+        Some(result.stats.engine_events),
+    );
+    TraceOutcome {
+        app,
+        seed,
+        cores,
+        result,
+        events: sink.into_events(),
+        registry,
+    }
+}
+
+/// Writes the Perfetto trace (`*.json`, Chrome trace-event format) for
+/// `outcome` to `path`.
+pub fn write_trace(outcome: &TraceOutcome, path: &Path) -> io::Result<()> {
+    PerfettoTrace::from_events(&outcome.events, outcome.cores).write_to(path)
+}
+
+/// Writes the metrics sidecar for `outcome` to `path` — CSV when the
+/// extension is `.csv`, compact JSON otherwise. The effective seed is
+/// always included as the `run.seed` counter.
+pub fn write_metrics(outcome: &TraceOutcome, path: &Path) -> io::Result<()> {
+    let snapshot = outcome.registry.snapshot();
+    let body = if path
+        .extension()
+        .is_some_and(|e| e.eq_ignore_ascii_case("csv"))
+    {
+        snapshot.to_csv()
+    } else {
+        snapshot.to_json().to_string_compact()
+    };
+    std::fs::write(path, body)
+}
+
+/// Writes the human summary of a traced run to `out`.
+pub fn summarize<W: Write>(outcome: &TraceOutcome, out: &mut W) -> io::Result<()> {
+    section_to(out, &format!("trace {}", outcome.app))?;
+    let stats = &outcome.result.stats;
+    let rows = vec![
+        vec!["seed".to_string(), outcome.seed.to_string()],
+        vec![
+            "requests completed".to_string(),
+            outcome.result.completed.len().to_string(),
+        ],
+        vec![
+            "simulated time (ms)".to_string(),
+            format!("{:.2}", outcome.result.total_time.as_micros_f64() / 1e3),
+        ],
+        vec!["engine events".to_string(), stats.engine_events.to_string()],
+        vec![
+            "context switches".to_string(),
+            stats.context_switches.to_string(),
+        ],
+        vec![
+            "samples (in-kernel / interrupt)".to_string(),
+            format!("{} / {}", stats.samples_inkernel, stats.samples_interrupt),
+        ],
+        vec!["trace events".to_string(), outcome.events.len().to_string()],
+    ];
+    print_table_to(out, &["quantity", "value"], &rows)
+}
+
+/// The `repro trace` entry point: run, export, summarize to stdout.
+pub fn run(
+    app: AppId,
+    fast: bool,
+    seed: u64,
+    trace_path: Option<&Path>,
+    metrics_path: Option<&Path>,
+) -> io::Result<()> {
+    let outcome = run_traced(app, fast, seed);
+    if let Some(path) = trace_path {
+        write_trace(&outcome, path)?;
+        eprintln!("[trace written to {}]", path.display());
+    }
+    if let Some(path) = metrics_path {
+        write_metrics(&outcome, path)?;
+        eprintln!("[metrics written to {}]", path.display());
+    }
+    summarize(&outcome, &mut io::stdout().lock())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn traced_run_matches_untraced() {
+        let outcome = run_traced(AppId::Tpcc, true, 9);
+        let untraced =
+            crate::harness::standard_run(AppId::Tpcc, 9, outcome.result.completed.len(), false);
+        assert_eq!(outcome.result.stats, untraced.stats);
+        assert_eq!(outcome.result.completed, untraced.completed);
+        assert!(!outcome.events.is_empty());
+        assert_eq!(outcome.registry.counter_value("run.seed"), Some(9));
+    }
+
+    #[test]
+    fn summary_renders() {
+        let outcome = run_traced(AppId::Tpcc, true, 1);
+        let mut buf = Vec::new();
+        summarize(&outcome, &mut buf).unwrap();
+        let s = String::from_utf8(buf).unwrap();
+        assert!(s.contains("trace events"));
+    }
+}

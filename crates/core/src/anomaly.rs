@@ -134,9 +134,7 @@ mod tests {
         assert_eq!(outliers[0].index, 4);
         assert!(outliers[0].distance > 7.0);
         // Ranked descending.
-        assert!(outliers
-            .windows(2)
-            .all(|w| w[0].distance >= w[1].distance));
+        assert!(outliers.windows(2).all(|w| w[0].distance >= w[1].distance));
         assert_eq!(outliers.len(), 4);
     }
 

@@ -93,8 +93,16 @@ pub fn dtw_distance_with_penalty(x: &[f64], y: &[f64], penalty: f64) -> f64 {
                 } else {
                     f64::INFINITY
                 };
-                let up = if i > 0 { cur[i - 1] + penalty } else { f64::INFINITY };
-                let left = if j > 0 { prev[i] + penalty } else { f64::INFINITY };
+                let up = if i > 0 {
+                    cur[i - 1] + penalty
+                } else {
+                    f64::INFINITY
+                };
+                let left = if j > 0 {
+                    prev[i] + penalty
+                } else {
+                    f64::INFINITY
+                };
                 diag.min(up).min(left)
             };
             cur[i] = best + local;
@@ -143,8 +151,16 @@ pub fn dtw_banded(x: &[f64], y: &[f64], penalty: f64, band: usize) -> f64 {
                 } else {
                     f64::INFINITY
                 };
-                let up = if i > 0 { cur[i - 1] + penalty } else { f64::INFINITY };
-                let left = if j > 0 { prev[i] + penalty } else { f64::INFINITY };
+                let up = if i > 0 {
+                    cur[i - 1] + penalty
+                } else {
+                    f64::INFINITY
+                };
+                let left = if j > 0 {
+                    prev[i] + penalty
+                } else {
+                    f64::INFINITY
+                };
                 diag.min(up).min(left)
             };
             cur[i] = best + local;

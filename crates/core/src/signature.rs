@@ -97,13 +97,11 @@ impl SignatureBank {
             return None;
         }
         let n = partial.len();
-        self.entries
-            .iter()
-            .min_by(|a, b| {
-                let da = l1_distance(partial.values(), a.series.prefix(n).values(), self.penalty);
-                let db = l1_distance(partial.values(), b.series.prefix(n).values(), self.penalty);
-                da.partial_cmp(&db).expect("finite distances")
-            })
+        self.entries.iter().min_by(|a, b| {
+            let da = l1_distance(partial.values(), a.series.prefix(n).values(), self.penalty);
+            let db = l1_distance(partial.values(), b.series.prefix(n).values(), self.penalty);
+            da.partial_cmp(&db).expect("finite distances")
+        })
     }
 
     /// The \[27\] baseline: match on the *average* metric value of the
@@ -114,13 +112,11 @@ impl SignatureBank {
         }
         let n = partial.len();
         let avg = mean_of(partial.values());
-        self.entries
-            .iter()
-            .min_by(|a, b| {
-                let da = (mean_of(a.series.prefix(n).values()) - avg).abs();
-                let db = (mean_of(b.series.prefix(n).values()) - avg).abs();
-                da.partial_cmp(&db).expect("finite distances")
-            })
+        self.entries.iter().min_by(|a, b| {
+            let da = (mean_of(a.series.prefix(n).values()) - avg).abs();
+            let db = (mean_of(b.series.prefix(n).values()) - avg).abs();
+            da.partial_cmp(&db).expect("finite distances")
+        })
     }
 
     /// Predicts whether the request's CPU usage will exceed the median,

@@ -187,11 +187,7 @@ impl Histogram {
         if self.total == 0 {
             return None;
         }
-        let (i, _) = self
-            .counts
-            .iter()
-            .enumerate()
-            .max_by_key(|&(_, &c)| c)?;
+        let (i, _) = self.counts.iter().enumerate().max_by_key(|&(_, &c)| c)?;
         Some(self.lo + (i as f64 + 0.5) * self.bin_width)
     }
 

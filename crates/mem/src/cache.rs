@@ -57,7 +57,11 @@ impl CacheConfig {
         if self.associativity == 0 {
             return Err(CacheGeometryError::ZeroAssociativity);
         }
-        if self.size_bytes == 0 || !self.size_bytes.is_multiple_of(self.line_bytes * self.associativity) {
+        if self.size_bytes == 0
+            || !self
+                .size_bytes
+                .is_multiple_of(self.line_bytes * self.associativity)
+        {
             return Err(CacheGeometryError::SizeNotDivisible {
                 size_bytes: self.size_bytes,
                 line_bytes: self.line_bytes,
@@ -243,9 +247,7 @@ impl SetAssocCache {
             .map(|(i, _)| i)
             .expect("associativity is nonzero");
         let victim = ways[victim_idx];
-        let evicted = victim
-            .valid
-            .then_some(victim.tag << self.line_shift);
+        let evicted = victim.valid.then_some(victim.tag << self.line_shift);
         ways[victim_idx] = Way {
             tag: line,
             owner: core,
@@ -393,7 +395,7 @@ mod tests {
     #[test]
     fn lru_evicts_least_recent() {
         let mut c = tiny(); // 4 sets; set = (addr/64) % 4
-        // Three lines mapping to set 0: lines 0, 4, 8 -> addrs 0, 256, 512.
+                            // Three lines mapping to set 0: lines 0, 4, 8 -> addrs 0, 256, 512.
         c.access(0, 0);
         c.access(256, 0);
         c.access(0, 0); // touch line 0 again; line 4 (addr 256) is now LRU

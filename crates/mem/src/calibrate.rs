@@ -89,12 +89,7 @@ pub fn measure_miss_ratio(
 /// Sweeps share/working-set ratios for `kind` and returns measured vs
 /// predicted points, using the analytical curve with the given `locality`
 /// and `exponent` parameters.
-pub fn sweep_curve(
-    kind: TraceKind,
-    locality: f64,
-    exponent: f64,
-    seed: u64,
-) -> Vec<CurvePoint> {
+pub fn sweep_curve(kind: TraceKind, locality: f64, exponent: f64, seed: u64) -> Vec<CurvePoint> {
     // Power-of-two shares from 1/8 of the working set up to 2x (fully
     // fitting); set counts must stay powers of two.
     const WS_BYTES: u64 = 512 << 10;
@@ -128,9 +123,7 @@ pub fn fit_exponent(points: &[CurvePoint], locality: f64) -> (f64, f64) {
     while gamma <= 1.5 {
         let err: f64 = points
             .iter()
-            .map(|p| {
-                (p.measured - miss_ratio(p.share_bytes, p.ws_bytes, locality, gamma)).abs()
-            })
+            .map(|p| (p.measured - miss_ratio(p.share_bytes, p.ws_bytes, locality, gamma)).abs())
             .sum::<f64>()
             / points.len() as f64;
         if err < best.1 {

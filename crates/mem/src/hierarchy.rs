@@ -119,7 +119,9 @@ impl MemoryHierarchy {
         );
         MemoryHierarchy {
             topology,
-            l1: (0..topology.cores).map(|_| SetAssocCache::new(l1)).collect(),
+            l1: (0..topology.cores)
+                .map(|_| SetAssocCache::new(l1))
+                .collect(),
             l2: (0..topology.clusters())
                 .map(|_| SetAssocCache::new(l2))
                 .collect(),
@@ -215,7 +217,6 @@ impl MemoryHierarchy {
     pub fn l2_miss_ratio(&self, cluster: usize) -> Option<f64> {
         self.l2[cluster].miss_ratio()
     }
-
 }
 
 /// Exhaustive inclusion check over a bounded address range, for tests.

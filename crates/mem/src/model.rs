@@ -154,7 +154,7 @@ impl MachineSpec {
     /// Panics if the domain count does not divide the core count.
     pub fn cores_per_domain(&self) -> usize {
         assert!(
-            self.memory_domains > 0 && self.topology.cores % self.memory_domains == 0,
+            self.memory_domains > 0 && self.topology.cores.is_multiple_of(self.memory_domains),
             "memory domains must evenly divide the cores"
         );
         self.topology.cores / self.memory_domains
@@ -244,8 +244,7 @@ impl MachineSpec {
                     .iter()
                     .map(|p| p.map_or(0.0, |p| p.working_set_bytes))
                     .collect();
-                let filled =
-                    proportional_fill(self.l2_capacity_bytes, &weight[lo..hi], &limits);
+                let filled = proportional_fill(self.l2_capacity_bytes, &weight[lo..hi], &limits);
                 target[lo..hi].copy_from_slice(&filled);
             }
 
@@ -322,8 +321,7 @@ impl MachineSpec {
             let (lo, hi) = self.cluster_range(cluster, running.len());
             let total: f64 = shares[lo..hi].iter().sum();
             assert!(
-                shares[lo..hi].iter().all(|&s| s >= 0.0)
-                    && total <= self.l2_capacity_bytes + 1.0,
+                shares[lo..hi].iter().all(|&s| s >= 0.0) && total <= self.l2_capacity_bytes + 1.0,
                 "cluster {cluster} shares exceed capacity"
             );
         }
@@ -652,9 +650,7 @@ mod tests {
         let cross_est = s.evaluate(&cross)[0].unwrap();
         // Cross-cluster: the cacheable segment keeps its full working set
         // resident, so its miss ratio stays at the solo level.
-        assert!(
-            (cross_est.l2_miss_ratio - s.solo(cacheable()).l2_miss_ratio).abs() < 1e-6
-        );
+        assert!((cross_est.l2_miss_ratio - s.solo(cacheable()).l2_miss_ratio).abs() < 1e-6);
         // ...so the same-cluster pairing hurts at least as much.
         assert!(same_est.cpi >= cross_est.cpi - 1e-9);
         // But bandwidth still bites: worse than solo.
@@ -739,9 +735,7 @@ mod tests {
     fn estimates_expose_derived_rates() {
         let est = spec().solo(streaming());
         assert!((est.ipc() - 1.0 / est.cpi).abs() < 1e-15);
-        assert!(
-            (est.l2_misses_per_ins() - est.l2_refs_per_ins * est.l2_miss_ratio).abs() < 1e-15
-        );
+        assert!((est.l2_misses_per_ins() - est.l2_refs_per_ins * est.l2_miss_ratio).abs() < 1e-15);
     }
 
     #[test]

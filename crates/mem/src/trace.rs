@@ -215,11 +215,7 @@ mod tests {
     use super::*;
     use crate::cache::{CacheConfig, SetAssocCache};
 
-    fn run_trace(
-        cache: &mut SetAssocCache,
-        trace: impl Iterator<Item = Access>,
-        n: usize,
-    ) -> f64 {
+    fn run_trace(cache: &mut SetAssocCache, trace: impl Iterator<Item = Access>, n: usize) -> f64 {
         for a in trace.take(n) {
             cache.access(a.addr, 0);
         }
@@ -321,14 +317,12 @@ mod tests {
 
     #[test]
     fn generators_are_deterministic() {
-        let a: Vec<Access> =
-            UniformWorkingSet::new(0, 1 << 16, 100, SimRng::seed_from(42))
-                .take(100)
-                .collect();
-        let b: Vec<Access> =
-            UniformWorkingSet::new(0, 1 << 16, 100, SimRng::seed_from(42))
-                .take(100)
-                .collect();
+        let a: Vec<Access> = UniformWorkingSet::new(0, 1 << 16, 100, SimRng::seed_from(42))
+            .take(100)
+            .collect();
+        let b: Vec<Access> = UniformWorkingSet::new(0, 1 << 16, 100, SimRng::seed_from(42))
+            .take(100)
+            .collect();
         assert_eq!(a, b);
     }
 

@@ -242,7 +242,7 @@ impl SimConfig {
             if mm.machines == 0 {
                 return Err("multi-machine deployment needs at least one machine".into());
             }
-            if self.machine.topology.cores % mm.machines != 0 {
+            if !self.machine.topology.cores.is_multiple_of(mm.machines) {
                 return Err(format!(
                     "{} machines must evenly divide {} cores",
                     mm.machines, self.machine.topology.cores
@@ -275,12 +275,11 @@ impl SimConfig {
                 t_syscall_min,
                 t_backup_int,
                 ..
-            }
-                if t_backup_int <= t_syscall_min => {
-                    return Err(format!(
+            } if t_backup_int <= t_syscall_min => {
+                return Err(format!(
                         "backup interrupt delay {t_backup_int} must exceed t_syscall_min {t_syscall_min}"
                     ));
-                }
+            }
             _ => {}
         }
         if !(self.counter_noise.is_finite() && (0.0..1.0).contains(&self.counter_noise)) {
@@ -330,7 +329,10 @@ mod tests {
             }
         );
         let c = SimConfig::paper_default().with_syscall_sampling(5, 200);
-        assert!(matches!(c.sampling, SamplingPolicy::SyscallTriggered { .. }));
+        assert!(matches!(
+            c.sampling,
+            SamplingPolicy::SyscallTriggered { .. }
+        ));
         assert!(c.validate().is_ok());
         let c = SimConfig::paper_default().serial();
         assert_eq!(c.concurrency, 1);

@@ -41,7 +41,7 @@ pub mod projection;
 pub mod result;
 
 pub use config::{SamplingPolicy, SchedulerPolicy, SimConfig};
-pub use machine::run_simulation;
+pub use machine::{run_simulation, run_simulation_traced};
 pub use observer::{measure_sampling_cost, SampleCost, SamplingContext};
 pub use projection::PlatformProjection;
 pub use result::{CompletedRequest, RunResult, RunStats, SyscallRecord, TransitionRecord};

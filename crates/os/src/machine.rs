@@ -37,13 +37,12 @@ use rbv_core::predict::{Predictor, VaEwma};
 use rbv_core::series::{Metric, SamplePeriod, Timeline};
 use rbv_mem::{PerfEstimate, SegmentProfile};
 use rbv_sim::{Cycles, EventQueue, SimRng};
+use rbv_telemetry::{SampleOrigin, SwitchReason, TraceEvent, TraceSink};
 use rbv_workloads::{Request, RequestFactory, Stage, SyscallName};
 
 use crate::config::{ArrivalProcess, SamplingPolicy, SchedulerPolicy, SimConfig};
 use crate::observer::{injected_cost, pollution_of, spin_baseline, SamplingContext};
-use crate::result::{
-    CompletedRequest, RunResult, RunStats, SyscallRecord, TransitionRecord,
-};
+use crate::result::{CompletedRequest, RunResult, RunStats, SyscallRecord, TransitionRecord};
 
 /// Runs `n_requests` from `factory` under `cfg` and returns everything the
 /// modeling layer needs.
@@ -57,8 +56,33 @@ pub fn run_simulation(
     n_requests: usize,
 ) -> Result<RunResult, String> {
     cfg.validate()?;
-    let mut engine = Engine::new(cfg, n_requests);
+    let mut engine = Engine::new(cfg, n_requests, None);
     Ok(engine.run(factory))
+}
+
+/// Like [`run_simulation`], but streams structured [`TraceEvent`]s into
+/// `sink` as the simulated kernel acts.
+///
+/// Tracing is observation-only: event emission reads engine state but
+/// never mutates it (and draws nothing from the random streams), so a
+/// traced run returns results bit-identical to an untraced one with the
+/// same configuration.
+///
+/// # Errors
+///
+/// Returns the configuration error description if `cfg` is invalid.
+pub fn run_simulation_traced(
+    cfg: SimConfig,
+    factory: &mut dyn RequestFactory,
+    n_requests: usize,
+    sink: &mut dyn TraceSink,
+) -> Result<RunResult, String> {
+    cfg.validate()?;
+    let mut engine = Engine::new(cfg, n_requests, Some(sink));
+    let result = engine.run(factory);
+    drop(engine);
+    sink.finish();
+    Ok(result)
 }
 
 /// Sub-instruction tolerance when matching instruction boundaries.
@@ -152,7 +176,7 @@ impl LiveRequest {
     }
 }
 
-struct Engine {
+struct Engine<'s> {
     cfg: SimConfig,
     queue: EventQueue<Event>,
     cores: Vec<Core>,
@@ -167,10 +191,14 @@ struct Engine {
     target: usize,
     generated: usize,
     rng: SimRng,
+    /// Structured-event sink; `None` costs one branch per emission point.
+    sink: Option<&'s mut dyn TraceSink>,
+    /// Simultaneous-high-usage core count last reported to the sink.
+    trace_high: usize,
 }
 
-impl Engine {
-    fn new(cfg: SimConfig, target: usize) -> Engine {
+impl<'s> Engine<'s> {
+    fn new(cfg: SimConfig, target: usize, sink: Option<&'s mut dyn TraceSink>) -> Engine<'s> {
         let cores = cfg.machine.topology.cores;
         let seed = cfg.seed;
         Engine {
@@ -191,6 +219,8 @@ impl Engine {
             target,
             generated: 0,
             rng: SimRng::seed_from(seed ^ 0x0515_e0e0),
+            sink,
+            trace_high: 0,
         }
     }
 
@@ -214,6 +244,7 @@ impl Engine {
             let Some((now, event)) = self.queue.pop() else {
                 break; // no runnable work left (target > generated would be a bug)
             };
+            self.stats.engine_events += 1;
             self.advance_all(now);
             match event {
                 Event::Milestone { core, epoch } => {
@@ -295,6 +326,19 @@ impl Engine {
             stage_marks: Vec::new(),
             noise_rng: self.rng.fork_labeled(id as u64),
         }));
+        if self.sink.is_some() {
+            let lr = self.live[id].as_ref().expect("just pushed");
+            let event = TraceEvent::RequestBegin {
+                ts: self.queue.now(),
+                rid: id as u64,
+                app: lr.request.app.to_string(),
+                class: lr.request.class.to_string(),
+            };
+            self.sink
+                .as_deref_mut()
+                .expect("checked above")
+                .record(event);
+        }
         self.enqueue_least_loaded(id);
     }
 
@@ -331,9 +375,7 @@ impl Engine {
         };
         let core = candidates
             .into_iter()
-            .min_by_key(|&c| {
-                self.runqueues[c].len() + usize::from(self.cores[c].running.is_some())
-            })
+            .min_by_key(|&c| self.runqueues[c].len() + usize::from(self.cores[c].running.is_some()))
             .expect("at least one core");
         self.runqueues[core].push_back(rid);
         if self.cores[core].running.is_none() {
@@ -372,7 +414,8 @@ impl Engine {
     /// Advances every running core linearly from `last_advance` to `now`
     /// under the current rates. Exact because rates only change at events.
     fn advance_all(&mut self, now: Cycles) {
-        let elapsed = now.saturating_sub(self.last_advance);
+        let interval_start = self.last_advance;
+        let elapsed = now.saturating_sub(interval_start);
         self.last_advance = now;
         if elapsed.is_zero() {
             return;
@@ -407,6 +450,27 @@ impl Engine {
             self.stats.busy_cycles += dt;
             self.stats.high_usage_cycles[high_count.min(self.cores.len())] += dt;
         }
+        // An L2-pressure episode boundary: the simultaneous-high count over
+        // [interval_start, now] differs from the previously reported one.
+        // The change took effect at the event that started the interval.
+        if self.sink.is_some() && self.cfg.measure_threshold.is_some() {
+            let high = if running_count > 0 {
+                high_count.min(self.cores.len())
+            } else {
+                0
+            };
+            if high != self.trace_high {
+                self.trace_high = high;
+                let event = TraceEvent::L2Pressure {
+                    ts: interval_start,
+                    high_cores: high as u32,
+                };
+                self.sink
+                    .as_deref_mut()
+                    .expect("checked above")
+                    .record(event);
+            }
+        }
     }
 
     // ----- rates and milestones -------------------------------------------
@@ -420,9 +484,8 @@ impl Engine {
             .cores
             .iter()
             .map(|core| {
-                core.running.map(|rid| {
-                    self.live[rid].as_ref().expect("running is live").profile()
-                })
+                core.running
+                    .map(|rid| self.live[rid].as_ref().expect("running is live").profile())
             })
             .collect();
         self.rates = if self.cfg.static_cache_partition {
@@ -510,6 +573,14 @@ impl Engine {
             request_ins: lr.cum_ins,
             name,
         });
+        if let Some(sink) = self.sink.as_deref_mut() {
+            sink.record(TraceEvent::SyscallEntry {
+                ts: now,
+                core: core as u32,
+                rid: rid as u64,
+                name: name.to_string(),
+            });
+        }
 
         let prev = self.live[rid]
             .as_ref()
@@ -536,7 +607,10 @@ impl Engine {
             self.take_sample(core, rid, now, SamplingContext::InKernel, Some(name));
             self.rearm_backup_timer(core, now);
         }
-        self.live[rid].as_mut().expect("running is live").last_syscall = Some(name);
+        self.live[rid]
+            .as_mut()
+            .expect("running is live")
+            .last_syscall = Some(name);
     }
 
     fn on_stage_end(
@@ -550,6 +624,20 @@ impl Engine {
         self.take_sample(core, rid, now, SamplingContext::InKernel, None);
         self.cores[core].running = None;
         self.rates_dirty = true;
+        self.stats.context_switches += 1;
+        if let Some(sink) = self.sink.as_deref_mut() {
+            sink.record(TraceEvent::SliceEnd {
+                ts: now,
+                core: core as u32,
+                rid: rid as u64,
+            });
+            sink.record(TraceEvent::ContextSwitch {
+                ts: now,
+                core: core as u32,
+                from: rid as u64,
+                reason: SwitchReason::StageEnd,
+            });
+        }
 
         let lr = self.live[rid].as_mut().expect("running is live");
         lr.stage_marks.push((lr.cum_ins, lr.cum_cycles));
@@ -574,8 +662,7 @@ impl Engine {
                     .multi_machine
                     .expect("checked above")
                     .network_hop_delay;
-                self.queue
-                    .schedule_after(delay, Event::HopWakeup { rid });
+                self.queue.schedule_after(delay, Event::HopWakeup { rid });
             } else {
                 self.enqueue_least_loaded(rid);
             }
@@ -591,6 +678,12 @@ impl Engine {
                 finished_at: now,
                 stage_marks: lr.stage_marks,
             });
+            if let Some(sink) = self.sink.as_deref_mut() {
+                sink.record(TraceEvent::RequestEnd {
+                    ts: now,
+                    rid: rid as u64,
+                });
+            }
             if self.cfg.arrivals == ArrivalProcess::ClosedLoop {
                 self.spawn(factory);
             }
@@ -641,13 +734,30 @@ impl Engine {
             // reference duration. CPU cycles and instructions are
             // architecturally exact and stay untouched.
             let dur_ms = period.cycles / Cycles::from_millis(1).as_f64();
-            let sigma =
-                self.cfg.counter_noise * (1.0 / dur_ms.max(1e-3)).sqrt().min(4.0);
+            let sigma = self.cfg.counter_noise * (1.0 / dur_ms.max(1e-3)).sqrt().min(4.0);
             period.l2_refs *= (1.0 + sigma * 0.5 * gaussian(&mut lr.noise_rng)).max(0.0);
             period.l2_misses *= (1.0 + sigma * gaussian(&mut lr.noise_rng)).max(0.0);
             // Independent jitter must not break the counter invariant
             // misses <= references.
             period.l2_misses = period.l2_misses.min(period.l2_refs);
+        }
+
+        if let Some(sink) = self.sink.as_deref_mut() {
+            let origin = match ctx {
+                SamplingContext::InKernel => SampleOrigin::InKernel,
+                SamplingContext::Interrupt => SampleOrigin::Interrupt,
+            };
+            sink.record(TraceEvent::SamplingInstant {
+                ts: now,
+                core: core as u32,
+                rid: rid as u64,
+                origin,
+                syscall: syscall.map(|s| s.to_string()),
+                cycles: period.cycles,
+                instructions: period.instructions,
+                l2_refs: period.l2_refs,
+                l2_misses: period.l2_misses,
+            });
         }
 
         let period_cpi = period.value(Metric::Cpi);
@@ -745,6 +855,20 @@ impl Engine {
         self.cores[core].running = Some(rid);
         self.cores[core].last_sample = self.queue.now();
         self.rates_dirty = true;
+        if self.sink.is_some() {
+            let lr = self.live[rid].as_ref().expect("dispatched request is live");
+            let event = TraceEvent::SliceBegin {
+                ts: self.queue.now(),
+                core: core as u32,
+                rid: rid as u64,
+                stage: lr.stage_idx as u32,
+                component: lr.stage().component.to_string(),
+            };
+            self.sink
+                .as_deref_mut()
+                .expect("checked above")
+                .record(event);
+        }
 
         self.cores[core].quantum_epoch += 1;
         let qe = self.cores[core].quantum_epoch;
@@ -790,6 +914,15 @@ impl Engine {
         if let Some(victim) = victim {
             if let Some(rid) = self.runqueues[victim].pop_back() {
                 self.runqueues[core].push_back(rid);
+                self.stats.migrations += 1;
+                if let Some(sink) = self.sink.as_deref_mut() {
+                    sink.record(TraceEvent::Migration {
+                        ts: self.queue.now(),
+                        rid: rid as u64,
+                        from_core: victim as u32,
+                        to_core: core as u32,
+                    });
+                }
             }
         }
     }
@@ -850,6 +983,20 @@ impl Engine {
         // Context switch: sample, rotate, dispatch.
         self.take_sample(core, rid, now, SamplingContext::InKernel, None);
         self.cores[core].running = None;
+        self.stats.context_switches += 1;
+        if let Some(sink) = self.sink.as_deref_mut() {
+            sink.record(TraceEvent::SliceEnd {
+                ts: now,
+                core: core as u32,
+                rid: rid as u64,
+            });
+            sink.record(TraceEvent::ContextSwitch {
+                ts: now,
+                core: core as u32,
+                from: rid as u64,
+                reason: SwitchReason::Quantum,
+            });
+        }
         self.runqueues[core].push_back(rid);
         self.schedule_next_on(core);
     }
@@ -888,6 +1035,27 @@ impl Engine {
         let next = self.runqueues[core].remove(pos).expect("position valid");
         self.take_sample(core, rid, now, SamplingContext::InKernel, None);
         self.cores[core].running = None;
+        self.stats.context_switches += 1;
+        self.stats.resched_decisions += 1;
+        if let Some(sink) = self.sink.as_deref_mut() {
+            sink.record(TraceEvent::SliceEnd {
+                ts: now,
+                core: core as u32,
+                rid: rid as u64,
+            });
+            sink.record(TraceEvent::ContextSwitch {
+                ts: now,
+                core: core as u32,
+                from: rid as u64,
+                reason: SwitchReason::Eased,
+            });
+            sink.record(TraceEvent::ContentionEasing {
+                ts: now,
+                core: core as u32,
+                displaced: rid as u64,
+                chosen: next as u64,
+            });
+        }
         // The paper keeps the displaced current request at the queue head.
         self.runqueues[core].push_front(rid);
         self.dispatch(core, next);
@@ -955,12 +1123,10 @@ mod tests {
         // same way gets worse tail CPI when run 8-way concurrent.
         let mut f1 = Tpcc::new(11, 0.05);
         let mut f2 = Tpcc::new(11, 0.05);
-        let serial =
-            run_simulation(SimConfig::paper_default().serial(), &mut f1, 30).unwrap();
+        let serial = run_simulation(SimConfig::paper_default().serial(), &mut f1, 30).unwrap();
         let conc = run_simulation(SimConfig::paper_default(), &mut f2, 30).unwrap();
-        let p90 = |r: &RunResult| {
-            rbv_core::stats::percentile(&r.request_cpis(), 0.9).expect("cpis")
-        };
+        let p90 =
+            |r: &RunResult| rbv_core::stats::percentile(&r.request_cpis(), 0.9).expect("cpis");
         assert!(
             p90(&conc) > p90(&serial),
             "serial p90 {} vs concurrent p90 {}",
@@ -982,7 +1148,9 @@ mod tests {
 
     #[test]
     fn interrupt_sampling_creates_fine_periods() {
-        let cfg = SimConfig::paper_default().serial().with_interrupt_sampling(10);
+        let cfg = SimConfig::paper_default()
+            .serial()
+            .with_interrupt_sampling(10);
         let mut f = WebServer::new(5, 1.0);
         let r = run_simulation(cfg, &mut f, 5).unwrap();
         assert!(r.stats.samples_interrupt > 0);
@@ -1175,7 +1343,10 @@ mod arrival_and_partition_tests {
             .iter()
             .filter(|c| c.latency().as_f64() < c.cpu_cycles() * 1.2)
             .count();
-        assert!(unqueued > 20, "light load should mostly run directly ({unqueued})");
+        assert!(
+            unqueued > 20,
+            "light load should mostly run directly ({unqueued})"
+        );
     }
 
     #[test]
@@ -1414,12 +1585,14 @@ mod multi_machine_tests {
         let fast_net = run(10);
         let slow_net = run(500);
         let mean_latency = |r: &RunResult| {
-            r.completed.iter().map(|c| c.latency().as_f64()).sum::<f64>()
+            r.completed
+                .iter()
+                .map(|c| c.latency().as_f64())
+                .sum::<f64>()
                 / r.completed.len() as f64
         };
         let mean_cpu = |r: &RunResult| {
-            r.completed.iter().map(|c| c.cpu_cycles()).sum::<f64>()
-                / r.completed.len() as f64
+            r.completed.iter().map(|c| c.cpu_cycles()).sum::<f64>() / r.completed.len() as f64
         };
         assert!(mean_latency(&slow_net) > mean_latency(&fast_net));
         // CPU consumption is a property of the work, not the network.

@@ -127,6 +127,16 @@ pub struct RunStats {
     pub high_usage_cycles: Vec<f64>,
     /// Cycles during which at least one core was running.
     pub busy_cycles: f64,
+    /// Involuntary context switches (quantum rotations, stage handoffs,
+    /// and contention-easing displacements).
+    pub context_switches: u64,
+    /// Cross-core runqueue migrations performed by work stealing.
+    pub migrations: u64,
+    /// Contention-easing displacement decisions actually taken (a subset
+    /// of `context_switches`).
+    pub resched_decisions: u64,
+    /// Discrete events the simulation engine processed.
+    pub engine_events: u64,
 }
 
 impl RunStats {
@@ -136,11 +146,7 @@ impl RunStats {
         if self.busy_cycles <= 0.0 {
             return 0.0;
         }
-        let sum: f64 = self
-            .high_usage_cycles
-            .iter()
-            .skip(k)
-            .sum();
+        let sum: f64 = self.high_usage_cycles.iter().skip(k).sum();
         sum / self.busy_cycles
     }
 
@@ -177,10 +183,7 @@ impl RunResult {
 
     /// Requests of one class.
     pub fn of_class(&self, class: RequestClass) -> Vec<&CompletedRequest> {
-        self.completed
-            .iter()
-            .filter(|r| r.class == class)
-            .collect()
+        self.completed.iter().filter(|r| r.class == class).collect()
     }
 
     /// Mean ± standard deviation of the CPI change signaled by each
@@ -270,6 +273,65 @@ impl RunResult {
             }
         }
         gaps
+    }
+
+    /// Populates `registry` with the run's aggregate metrics: run totals,
+    /// engine and scheduler counters, the sampling/observer-effect budget
+    /// (Figure 5's costing), and per-request latency/CPI histograms.
+    pub fn fill_metrics(&self, registry: &mut rbv_telemetry::MetricsRegistry) {
+        use crate::observer::{spin_baseline, SamplingContext};
+
+        let stats = &self.stats;
+        registry.count("run.requests_completed", self.completed.len() as u64);
+        registry.gauge("run.total_time_cycles", self.total_time.as_f64());
+        registry.count("run.transition_records", self.transitions.len() as u64);
+
+        registry.count("engine.events", stats.engine_events);
+        registry.count("scheduler.context_switches", stats.context_switches);
+        registry.count("scheduler.migrations", stats.migrations);
+        registry.count("scheduler.resched_decisions", stats.resched_decisions);
+        registry.gauge("scheduler.busy_cycles", stats.busy_cycles);
+        registry.gauge(
+            "scheduler.high_usage_frac_ge2",
+            stats.high_usage_fraction_at_least(2),
+        );
+        registry.gauge(
+            "scheduler.high_usage_frac_ge3",
+            stats.high_usage_fraction_at_least(3),
+        );
+
+        registry.count("sampling.inkernel", stats.samples_inkernel);
+        registry.count("sampling.interrupt", stats.samples_interrupt);
+
+        // Observer-effect budget: what the measurement apparatus itself
+        // cost, priced at the Mbench-Spin floor per sampling context.
+        let overhead = stats.sampling_overhead_cycles();
+        registry.gauge("observer.overhead_cycles", overhead);
+        if stats.busy_cycles > 0.0 {
+            registry.gauge(
+                "observer.overhead_frac_of_busy",
+                overhead / stats.busy_cycles,
+            );
+        }
+        registry.gauge(
+            "observer.cycles_per_inkernel_sample",
+            spin_baseline(SamplingContext::InKernel).cycles,
+        );
+        registry.gauge(
+            "observer.cycles_per_interrupt_sample",
+            spin_baseline(SamplingContext::Interrupt).cycles,
+        );
+
+        for r in &self.completed {
+            registry.observe("request.latency_cycles", r.latency().as_f64());
+            registry.observe("request.cpu_cycles", r.cpu_cycles());
+            registry.observe("request.syscalls", r.syscalls.len() as f64);
+            if let Some(cpi) = r.request_cpi() {
+                // Histogram buckets are log2; scale CPI (~0.5–10) so
+                // adjacent values land in distinct buckets.
+                registry.observe("request.cpi_x1000", cpi * 1000.0);
+            }
+        }
     }
 }
 
@@ -392,10 +454,9 @@ mod tests {
     #[test]
     fn high_usage_fractions() {
         let stats = RunStats {
-            samples_inkernel: 0,
-            samples_interrupt: 0,
             high_usage_cycles: vec![50.0, 20.0, 20.0, 5.0, 5.0],
             busy_cycles: 100.0,
+            ..RunStats::default()
         };
         assert!((stats.high_usage_fraction_at_least(0) - 1.0).abs() < 1e-12);
         assert!((stats.high_usage_fraction_at_least(2) - 0.3).abs() < 1e-12);

@@ -8,7 +8,7 @@ use rbv_core::series::Metric;
 use rbv_os::config::ArrivalProcess;
 use rbv_os::{run_simulation, SamplingPolicy, SchedulerPolicy, SimConfig};
 use rbv_sim::Cycles;
-use rbv_workloads::{factory_for, AppId, RequestFactory};
+use rbv_workloads::{factory_for, AppId};
 
 fn app_strategy() -> impl Strategy<Value = AppId> {
     prop::sample::select(vec![AppId::WebServer, AppId::Tpcc, AppId::Rubis])

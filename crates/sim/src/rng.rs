@@ -68,7 +68,8 @@ impl SimRng {
     /// consuming randomness. Two distinct labels give decorrelated streams.
     pub fn fork_labeled(&self, label: u64) -> SimRng {
         // Mix the current state with the label through SplitMix64.
-        let mut sm = self.s[0] ^ self.s[2].rotate_left(17) ^ label.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let mut sm =
+            self.s[0] ^ self.s[2].rotate_left(17) ^ label.wrapping_mul(0x9E37_79B9_7F4A_7C15);
         let s = [
             splitmix64(&mut sm),
             splitmix64(&mut sm),
@@ -79,10 +80,7 @@ impl SimRng {
     }
 
     fn next(&mut self) -> u64 {
-        let result = self.s[1]
-            .wrapping_mul(5)
-            .rotate_left(7)
-            .wrapping_mul(9);
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
         let t = self.s[1] << 17;
         self.s[2] ^= self.s[0];
         self.s[3] ^= self.s[1];

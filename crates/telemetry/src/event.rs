@@ -1,0 +1,291 @@
+//! Typed trace events emitted by the simulated kernel.
+//!
+//! Every event carries a simulated-clock timestamp ([`Cycles`]); the
+//! engine emits them at the instant the corresponding kernel action
+//! happens, so a sink sees the exact interleaving the simulation computed.
+//! Events are observation-only: recording them never changes engine state,
+//! which is what makes trace-on and trace-off runs bit-identical.
+
+use rbv_sim::Cycles;
+
+/// Why a core stopped executing its current request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SwitchReason {
+    /// Scheduling quantum expiry rotated the runqueue.
+    Quantum,
+    /// The request finished its stage on this component.
+    StageEnd,
+    /// The contention-easing scheduler displaced a high-usage request.
+    Eased,
+}
+
+impl SwitchReason {
+    /// Stable lower-case label used by exporters.
+    pub fn label(self) -> &'static str {
+        match self {
+            SwitchReason::Quantum => "quantum",
+            SwitchReason::StageEnd => "stage_end",
+            SwitchReason::Eased => "eased",
+        }
+    }
+}
+
+/// Where a counter sample was collected (mirrors
+/// `rbv_os::observer::SamplingContext` without the dependency).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SampleOrigin {
+    /// In-kernel sampling: context switch, syscall trigger, stage end.
+    InKernel,
+    /// Periodic or backup timer interrupt.
+    Interrupt,
+}
+
+impl SampleOrigin {
+    /// Stable lower-case label used by exporters.
+    pub fn label(self) -> &'static str {
+        match self {
+            SampleOrigin::InKernel => "inkernel",
+            SampleOrigin::Interrupt => "interrupt",
+        }
+    }
+}
+
+/// One structured event from the simulated kernel.
+///
+/// Identifiers are plain integers (`rid` = request id, `core` = core
+/// index) so sinks need no access to engine internals; human-readable
+/// names travel as strings on the events that introduce an entity.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceEvent {
+    /// A request entered the system (span begin on the request track).
+    RequestBegin {
+        /// Simulated arrival instant.
+        ts: Cycles,
+        /// Engine-assigned request id.
+        rid: u64,
+        /// Application name (e.g. `TPC-C`).
+        app: String,
+        /// Request class within the application.
+        class: String,
+    },
+    /// A request completed its final stage (span end).
+    RequestEnd {
+        /// Simulated completion instant.
+        ts: Cycles,
+        /// Engine-assigned request id.
+        rid: u64,
+    },
+    /// A core started executing a request (slice begin on the core track).
+    SliceBegin {
+        /// Dispatch instant.
+        ts: Cycles,
+        /// Executing core.
+        core: u32,
+        /// Request id.
+        rid: u64,
+        /// Zero-based stage index within the request.
+        stage: u32,
+        /// Server component hosting the stage (e.g. `app-tier`).
+        component: String,
+    },
+    /// The core stopped executing that request (slice end).
+    SliceEnd {
+        /// Instant execution stopped.
+        ts: Cycles,
+        /// Core that was executing.
+        core: u32,
+        /// Request id.
+        rid: u64,
+    },
+    /// A scheduler-initiated context switch away from a request.
+    ContextSwitch {
+        /// Switch instant.
+        ts: Cycles,
+        /// Core switching.
+        core: u32,
+        /// Request that was running.
+        from: u64,
+        /// What triggered the switch.
+        reason: SwitchReason,
+    },
+    /// A hardware-counter sample with the flushed period snapshot.
+    SamplingInstant {
+        /// Sample collection instant.
+        ts: Cycles,
+        /// Core sampled.
+        core: u32,
+        /// Request the period is attributed to.
+        rid: u64,
+        /// Collection mechanism.
+        origin: SampleOrigin,
+        /// Triggering syscall, when syscall-triggered.
+        syscall: Option<String>,
+        /// Period length in cycles (post-compensation).
+        cycles: f64,
+        /// Instructions retired in the period.
+        instructions: f64,
+        /// L2 references in the period.
+        l2_refs: f64,
+        /// L2 misses in the period.
+        l2_misses: f64,
+    },
+    /// A request entered a system call.
+    SyscallEntry {
+        /// Entry instant.
+        ts: Cycles,
+        /// Core executing the request.
+        core: u32,
+        /// Request id.
+        rid: u64,
+        /// Syscall name (e.g. `read`).
+        name: String,
+    },
+    /// The contention-easing scheduler (§5.2) displaced a high-usage
+    /// request in favor of a non-high one.
+    ContentionEasing {
+        /// Decision instant.
+        ts: Cycles,
+        /// Core re-scheduled.
+        core: u32,
+        /// High-usage request pushed back to the queue head.
+        displaced: u64,
+        /// Non-high request dispatched instead.
+        chosen: u64,
+    },
+    /// A queued request migrated between cores (work stealing).
+    Migration {
+        /// Migration instant.
+        ts: Cycles,
+        /// Request id.
+        rid: u64,
+        /// Core whose runqueue lost the request.
+        from_core: u32,
+        /// Core whose runqueue gained it.
+        to_core: u32,
+    },
+    /// The number of cores simultaneously in a high-L2-usage period
+    /// changed (an episode boundary of the Figure 12 measure).
+    L2Pressure {
+        /// Instant the count changed.
+        ts: Cycles,
+        /// Cores now simultaneously at high usage.
+        high_cores: u32,
+    },
+}
+
+impl TraceEvent {
+    /// The event's simulated timestamp.
+    pub fn ts(&self) -> Cycles {
+        match self {
+            TraceEvent::RequestBegin { ts, .. }
+            | TraceEvent::RequestEnd { ts, .. }
+            | TraceEvent::SliceBegin { ts, .. }
+            | TraceEvent::SliceEnd { ts, .. }
+            | TraceEvent::ContextSwitch { ts, .. }
+            | TraceEvent::SamplingInstant { ts, .. }
+            | TraceEvent::SyscallEntry { ts, .. }
+            | TraceEvent::ContentionEasing { ts, .. }
+            | TraceEvent::Migration { ts, .. }
+            | TraceEvent::L2Pressure { ts, .. } => *ts,
+        }
+    }
+
+    /// Short kind label (also the exporter's category string).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            TraceEvent::RequestBegin { .. } => "request_begin",
+            TraceEvent::RequestEnd { .. } => "request_end",
+            TraceEvent::SliceBegin { .. } => "slice_begin",
+            TraceEvent::SliceEnd { .. } => "slice_end",
+            TraceEvent::ContextSwitch { .. } => "context_switch",
+            TraceEvent::SamplingInstant { .. } => "sampling_instant",
+            TraceEvent::SyscallEntry { .. } => "syscall_entry",
+            TraceEvent::ContentionEasing { .. } => "contention_easing",
+            TraceEvent::Migration { .. } => "migration",
+            TraceEvent::L2Pressure { .. } => "l2_pressure",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ts_and_kind_cover_every_variant() {
+        let t = Cycles::new(42);
+        let events = vec![
+            TraceEvent::RequestBegin {
+                ts: t,
+                rid: 1,
+                app: "TPC-C".into(),
+                class: "NewOrder".into(),
+            },
+            TraceEvent::RequestEnd { ts: t, rid: 1 },
+            TraceEvent::SliceBegin {
+                ts: t,
+                core: 0,
+                rid: 1,
+                stage: 0,
+                component: "standalone".into(),
+            },
+            TraceEvent::SliceEnd {
+                ts: t,
+                core: 0,
+                rid: 1,
+            },
+            TraceEvent::ContextSwitch {
+                ts: t,
+                core: 0,
+                from: 1,
+                reason: SwitchReason::Quantum,
+            },
+            TraceEvent::SamplingInstant {
+                ts: t,
+                core: 0,
+                rid: 1,
+                origin: SampleOrigin::InKernel,
+                syscall: None,
+                cycles: 1.0,
+                instructions: 1.0,
+                l2_refs: 0.0,
+                l2_misses: 0.0,
+            },
+            TraceEvent::SyscallEntry {
+                ts: t,
+                core: 0,
+                rid: 1,
+                name: "read".into(),
+            },
+            TraceEvent::ContentionEasing {
+                ts: t,
+                core: 0,
+                displaced: 1,
+                chosen: 2,
+            },
+            TraceEvent::Migration {
+                ts: t,
+                rid: 1,
+                from_core: 0,
+                to_core: 1,
+            },
+            TraceEvent::L2Pressure {
+                ts: t,
+                high_cores: 2,
+            },
+        ];
+        let mut kinds: Vec<&str> = events.iter().map(|e| e.kind()).collect();
+        assert!(events.iter().all(|e| e.ts() == t));
+        kinds.dedup();
+        assert_eq!(kinds.len(), 10, "distinct kind per variant");
+    }
+
+    #[test]
+    fn labels_are_stable() {
+        assert_eq!(SwitchReason::Quantum.label(), "quantum");
+        assert_eq!(SwitchReason::StageEnd.label(), "stage_end");
+        assert_eq!(SwitchReason::Eased.label(), "eased");
+        assert_eq!(SampleOrigin::InKernel.label(), "inkernel");
+        assert_eq!(SampleOrigin::Interrupt.label(), "interrupt");
+    }
+}

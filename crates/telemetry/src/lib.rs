@@ -1,0 +1,16 @@
+//! Telemetry for the simulated RBV kernel: structured trace events, a
+//! metrics registry, simulator self-profiling, and exporters.
+
+pub mod event;
+pub mod json;
+pub mod metrics;
+pub mod perfetto;
+pub mod profile;
+pub mod sink;
+
+pub use event::{SampleOrigin, SwitchReason, TraceEvent};
+pub use json::Json;
+pub use metrics::{LogHistogram, MetricsRegistry, MetricsSnapshot};
+pub use perfetto::PerfettoTrace;
+pub use profile::SelfProfiler;
+pub use sink::{CountingSink, MemorySink, NullSink, TraceSink};

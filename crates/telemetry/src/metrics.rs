@@ -1,0 +1,320 @@
+//! A small metrics registry: named counters, gauges, and log-bucketed
+//! histograms, snapshotted per run into JSON or CSV sidecars.
+//!
+//! Names are dotted paths (`scheduler.context_switches`,
+//! `selfprofile.wall_ms.simulate`). The registry preserves first-set
+//! order so sidecar files diff cleanly between runs.
+
+use crate::json::Json;
+
+/// A histogram over power-of-two buckets: bucket `i` counts values `v`
+/// with `2^(i-1) <= v < 2^i` (bucket 0 counts `v < 1`).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct LogHistogram {
+    /// Count per bucket, highest occupied bucket last.
+    pub buckets: Vec<u64>,
+    /// Total observations.
+    pub count: u64,
+    /// Sum of observed values.
+    pub sum: f64,
+    /// Smallest observed value (meaningless when `count == 0`).
+    pub min: f64,
+    /// Largest observed value.
+    pub max: f64,
+}
+
+impl LogHistogram {
+    /// Records one observation. Negative and non-finite values clamp to 0.
+    pub fn observe(&mut self, value: f64) {
+        let v = if value.is_finite() {
+            value.max(0.0)
+        } else {
+            0.0
+        };
+        let bucket = if v < 1.0 {
+            0
+        } else {
+            (v.log2().floor() as usize) + 1
+        };
+        if self.buckets.len() <= bucket {
+            self.buckets.resize(bucket + 1, 0);
+        }
+        self.buckets[bucket] += 1;
+        if self.count == 0 {
+            self.min = v;
+            self.max = v;
+        } else {
+            self.min = self.min.min(v);
+            self.max = self.max.max(v);
+        }
+        self.count += 1;
+        self.sum += v;
+    }
+
+    /// Mean observation, when any.
+    pub fn mean(&self) -> Option<f64> {
+        if self.count == 0 {
+            None
+        } else {
+            Some(self.sum / self.count as f64)
+        }
+    }
+}
+
+/// One registered metric.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Metric {
+    /// Monotonic event count.
+    Counter(u64),
+    /// Point-in-time value.
+    Gauge(f64),
+    /// Distribution of observations.
+    Histogram(LogHistogram),
+}
+
+/// Named metrics for one run.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsRegistry {
+    entries: Vec<(String, Metric)>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> MetricsRegistry {
+        MetricsRegistry::default()
+    }
+
+    fn entry(&mut self, name: &str) -> Option<&mut Metric> {
+        self.entries
+            .iter_mut()
+            .find(|(n, _)| n == name)
+            .map(|(_, m)| m)
+    }
+
+    /// Adds `delta` to the counter `name`, creating it at zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `name` is registered as a different metric type.
+    pub fn count(&mut self, name: &str, delta: u64) {
+        match self.entry(name) {
+            Some(Metric::Counter(v)) => *v += delta,
+            Some(_) => panic!("{name} is not a counter"),
+            None => self.entries.push((name.into(), Metric::Counter(delta))),
+        }
+    }
+
+    /// Sets the gauge `name`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `name` is registered as a different metric type.
+    pub fn gauge(&mut self, name: &str, value: f64) {
+        match self.entry(name) {
+            Some(Metric::Gauge(v)) => *v = value,
+            Some(_) => panic!("{name} is not a gauge"),
+            None => self.entries.push((name.into(), Metric::Gauge(value))),
+        }
+    }
+
+    /// Records one observation into the histogram `name`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `name` is registered as a different metric type.
+    pub fn observe(&mut self, name: &str, value: f64) {
+        match self.entry(name) {
+            Some(Metric::Histogram(h)) => h.observe(value),
+            Some(_) => panic!("{name} is not a histogram"),
+            None => {
+                let mut h = LogHistogram::default();
+                h.observe(value);
+                self.entries.push((name.into(), Metric::Histogram(h)));
+            }
+        }
+    }
+
+    /// The counter's value, when present.
+    pub fn counter_value(&self, name: &str) -> Option<u64> {
+        self.entries
+            .iter()
+            .find(|(n, _)| n == name)
+            .and_then(|(_, m)| match m {
+                Metric::Counter(v) => Some(*v),
+                _ => None,
+            })
+    }
+
+    /// The gauge's value, when present.
+    pub fn gauge_value(&self, name: &str) -> Option<f64> {
+        self.entries
+            .iter()
+            .find(|(n, _)| n == name)
+            .and_then(|(_, m)| match m {
+                Metric::Gauge(v) => Some(*v),
+                _ => None,
+            })
+    }
+
+    /// The histogram, when present.
+    pub fn histogram(&self, name: &str) -> Option<&LogHistogram> {
+        self.entries
+            .iter()
+            .find(|(n, _)| n == name)
+            .and_then(|(_, m)| match m {
+                Metric::Histogram(h) => Some(h),
+                _ => None,
+            })
+    }
+
+    /// Freezes the registry into an exportable snapshot.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            entries: self.entries.clone(),
+        }
+    }
+}
+
+/// An immutable view of a registry, exportable as JSON or CSV.
+#[derive(Debug, Clone)]
+pub struct MetricsSnapshot {
+    entries: Vec<(String, Metric)>,
+}
+
+impl MetricsSnapshot {
+    /// `(name, metric)` pairs in registration order.
+    pub fn entries(&self) -> &[(String, Metric)] {
+        &self.entries
+    }
+
+    /// Serializes as a JSON object keyed by metric name.
+    ///
+    /// Counters and gauges become numbers; histograms become objects with
+    /// `count` / `sum` / `min` / `max` / `mean` / `buckets`.
+    pub fn to_json(&self) -> Json {
+        let members = self
+            .entries
+            .iter()
+            .map(|(name, metric)| {
+                let value = match metric {
+                    Metric::Counter(v) => Json::Num(*v as f64),
+                    Metric::Gauge(v) => Json::Num(*v),
+                    Metric::Histogram(h) => Json::Obj(vec![
+                        ("count".into(), Json::Num(h.count as f64)),
+                        ("sum".into(), Json::Num(h.sum)),
+                        (
+                            "min".into(),
+                            Json::Num(if h.count > 0 { h.min } else { 0.0 }),
+                        ),
+                        (
+                            "max".into(),
+                            Json::Num(if h.count > 0 { h.max } else { 0.0 }),
+                        ),
+                        ("mean".into(), Json::Num(h.mean().unwrap_or(0.0))),
+                        (
+                            "buckets".into(),
+                            Json::Arr(h.buckets.iter().map(|&c| Json::Num(c as f64)).collect()),
+                        ),
+                    ]),
+                };
+                (name.clone(), value)
+            })
+            .collect();
+        Json::Obj(members)
+    }
+
+    /// Serializes as `name,type,value` CSV rows (histograms flatten to
+    /// their count / sum / min / max / mean).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("name,type,value\n");
+        for (name, metric) in &self.entries {
+            match metric {
+                Metric::Counter(v) => out.push_str(&format!("{name},counter,{v}\n")),
+                Metric::Gauge(v) => out.push_str(&format!("{name},gauge,{v}\n")),
+                Metric::Histogram(h) => {
+                    out.push_str(&format!("{name}.count,histogram,{}\n", h.count));
+                    out.push_str(&format!("{name}.sum,histogram,{}\n", h.sum));
+                    if h.count > 0 {
+                        out.push_str(&format!("{name}.min,histogram,{}\n", h.min));
+                        out.push_str(&format!("{name}.max,histogram,{}\n", h.max));
+                        out.push_str(&format!(
+                            "{name}.mean,histogram,{}\n",
+                            h.mean().expect("count > 0")
+                        ));
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_gauges_overwrite() {
+        let mut reg = MetricsRegistry::new();
+        reg.count("events", 3);
+        reg.count("events", 4);
+        reg.gauge("rate", 1.5);
+        reg.gauge("rate", 2.5);
+        assert_eq!(reg.counter_value("events"), Some(7));
+        assert_eq!(reg.gauge_value("rate"), Some(2.5));
+        assert_eq!(reg.counter_value("missing"), None);
+    }
+
+    #[test]
+    fn histogram_buckets_are_log2() {
+        let mut h = LogHistogram::default();
+        for v in [0.0, 0.5, 1.0, 1.9, 2.0, 3.0, 4.0, 1000.0] {
+            h.observe(v);
+        }
+        // v < 1 -> bucket 0; [1,2) -> 1; [2,4) -> 2; [4,8) -> 3; 1000 -> 10.
+        assert_eq!(h.buckets[0], 2);
+        assert_eq!(h.buckets[1], 2);
+        assert_eq!(h.buckets[2], 2);
+        assert_eq!(h.buckets[3], 1);
+        assert_eq!(h.buckets[10], 1);
+        assert_eq!(h.count, 8);
+        assert_eq!(h.min, 0.0);
+        assert_eq!(h.max, 1000.0);
+    }
+
+    #[test]
+    fn snapshot_exports_json_and_csv() {
+        let mut reg = MetricsRegistry::new();
+        reg.count("a.events", 2);
+        reg.gauge("b.value", 0.25);
+        reg.observe("c.dist", 3.0);
+        reg.observe("c.dist", 5.0);
+        let snap = reg.snapshot();
+
+        let json = snap.to_json();
+        assert_eq!(json.get("a.events").unwrap().as_f64(), Some(2.0));
+        assert_eq!(json.get("b.value").unwrap().as_f64(), Some(0.25));
+        let dist = json.get("c.dist").unwrap();
+        assert_eq!(dist.get("count").unwrap().as_f64(), Some(2.0));
+        assert_eq!(dist.get("mean").unwrap().as_f64(), Some(4.0));
+
+        let csv = snap.to_csv();
+        assert!(csv.starts_with("name,type,value\n"));
+        assert!(csv.contains("a.events,counter,2\n"));
+        assert!(csv.contains("c.dist.mean,histogram,4\n"));
+    }
+
+    #[test]
+    #[should_panic(expected = "not a counter")]
+    fn type_confusion_panics() {
+        let mut reg = MetricsRegistry::new();
+        reg.gauge("x", 1.0);
+        reg.count("x", 1);
+    }
+
+    #[test]
+    fn empty_histogram_has_no_mean() {
+        let h = LogHistogram::default();
+        assert_eq!(h.mean(), None);
+    }
+}

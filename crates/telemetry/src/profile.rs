@@ -1,0 +1,148 @@
+//! Simulator self-profiling: wall-clock time per pipeline stage and
+//! simulation throughput, reported into the metrics registry.
+//!
+//! This measures the *simulator*, not the simulated machine — the
+//! "how fast does the experiment run" side of observability, next to the
+//! simulated kernel's own trace.
+
+use std::time::Instant;
+
+use crate::metrics::MetricsRegistry;
+
+/// Accumulates wall-clock time per named pipeline stage.
+#[derive(Debug, Default)]
+pub struct SelfProfiler {
+    stages: Vec<(String, f64)>,
+}
+
+/// Guard returned by [`SelfProfiler::stage`]; dropping it without
+/// [`StageTimer::stop`] discards the measurement.
+#[derive(Debug)]
+pub struct StageTimer {
+    name: String,
+    started: Instant,
+}
+
+impl SelfProfiler {
+    /// An empty profiler.
+    pub fn new() -> SelfProfiler {
+        SelfProfiler::default()
+    }
+
+    /// Starts timing one stage; pass the returned guard to
+    /// [`SelfProfiler::stop`].
+    pub fn stage(&self, name: impl Into<String>) -> StageTimer {
+        StageTimer {
+            name: name.into(),
+            started: Instant::now(),
+        }
+    }
+
+    /// Stops `timer`, accumulating its elapsed wall-clock time.
+    pub fn stop(&mut self, timer: StageTimer) {
+        let secs = timer.started.elapsed().as_secs_f64();
+        match self.stages.iter_mut().find(|(n, _)| *n == timer.name) {
+            Some((_, total)) => *total += secs,
+            None => self.stages.push((timer.name, secs)),
+        }
+    }
+
+    /// Times `f` as one run of stage `name`, returning its value.
+    pub fn time<T>(&mut self, name: &str, f: impl FnOnce() -> T) -> T {
+        let timer = self.stage(name);
+        let value = f();
+        self.stop(timer);
+        value
+    }
+
+    /// Accumulated seconds for `name`, when that stage ran.
+    pub fn seconds(&self, name: &str) -> Option<f64> {
+        self.stages.iter().find(|(n, _)| n == name).map(|(_, s)| *s)
+    }
+
+    /// Total seconds across all stages.
+    pub fn total_seconds(&self) -> f64 {
+        self.stages.iter().map(|(_, s)| s).sum()
+    }
+
+    /// Writes per-stage wall-clock gauges plus derived throughput into
+    /// `registry`:
+    ///
+    /// * `selfprofile.wall_ms.<stage>` — milliseconds per stage;
+    /// * `selfprofile.wall_ms.total` — sum over stages;
+    /// * `selfprofile.sim_cycles_per_sec` — simulated cycles advanced per
+    ///   wall-clock second of the `simulate` stage (when both known);
+    /// * `selfprofile.events_per_sec` — engine events per second of the
+    ///   `simulate` stage.
+    pub fn report(
+        &self,
+        registry: &mut MetricsRegistry,
+        simulated_cycles: Option<f64>,
+        engine_events: Option<u64>,
+    ) {
+        for (name, secs) in &self.stages {
+            registry.gauge(&format!("selfprofile.wall_ms.{name}"), secs * 1e3);
+        }
+        registry.gauge("selfprofile.wall_ms.total", self.total_seconds() * 1e3);
+        if let Some(sim_secs) = self.seconds("simulate") {
+            if sim_secs > 0.0 {
+                if let Some(cycles) = simulated_cycles {
+                    registry.gauge("selfprofile.sim_cycles_per_sec", cycles / sim_secs);
+                }
+                if let Some(events) = engine_events {
+                    registry.gauge("selfprofile.events_per_sec", events as f64 / sim_secs);
+                }
+            }
+        }
+        if let Some(events) = engine_events {
+            registry.count("selfprofile.engine_events", events);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accumulates_repeated_stages() {
+        let mut p = SelfProfiler::new();
+        for _ in 0..3 {
+            p.time("simulate", || std::hint::black_box(1 + 1));
+        }
+        p.time("export", || ());
+        assert!(p.seconds("simulate").unwrap() >= 0.0);
+        assert!(p.seconds("export").is_some());
+        assert!(p.seconds("absent").is_none());
+        assert!(p.total_seconds() >= p.seconds("simulate").unwrap());
+    }
+
+    #[test]
+    fn report_writes_gauges_and_throughput() {
+        let mut p = SelfProfiler::new();
+        // Make the simulate stage take measurable time.
+        p.time("simulate", || {
+            let mut x = 0u64;
+            for i in 0..200_000 {
+                x = x.wrapping_add(std::hint::black_box(i));
+            }
+            x
+        });
+        let mut reg = MetricsRegistry::new();
+        p.report(&mut reg, Some(3.0e9), Some(1_000));
+        assert!(reg.gauge_value("selfprofile.wall_ms.simulate").unwrap() > 0.0);
+        assert!(reg.gauge_value("selfprofile.wall_ms.total").unwrap() > 0.0);
+        assert!(reg.gauge_value("selfprofile.sim_cycles_per_sec").unwrap() > 0.0);
+        assert!(reg.gauge_value("selfprofile.events_per_sec").unwrap() > 0.0);
+        assert_eq!(reg.counter_value("selfprofile.engine_events"), Some(1_000));
+    }
+
+    #[test]
+    fn report_without_simulate_stage_skips_throughput() {
+        let p = SelfProfiler::new();
+        let mut reg = MetricsRegistry::new();
+        p.report(&mut reg, Some(1.0), None);
+        assert!(reg.gauge_value("selfprofile.sim_cycles_per_sec").is_none());
+        assert!(reg.gauge_value("selfprofile.wall_ms.total").is_some());
+    }
+}

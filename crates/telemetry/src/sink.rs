@@ -1,0 +1,144 @@
+//! Trace sinks: where the engine's [`TraceEvent`]s go.
+//!
+//! The engine holds an `Option<&mut dyn TraceSink>`; when it is `None`
+//! the per-event cost is a branch on a niche-optimized option, so runs
+//! without tracing pay nothing beyond that. Sinks must treat events as
+//! read-only observations — a sink that fails (e.g. a full disk buffer)
+//! must not panic into the engine.
+
+use crate::event::TraceEvent;
+
+/// Receives the engine's structured events in simulation order.
+pub trait TraceSink {
+    /// Records one event. Timestamps arrive non-decreasing.
+    fn record(&mut self, event: TraceEvent);
+
+    /// Flushes any buffering. Called once when the run finishes.
+    fn finish(&mut self) {}
+}
+
+/// Discards every event (useful to measure tracing's dispatch overhead).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullSink;
+
+impl TraceSink for NullSink {
+    fn record(&mut self, _event: TraceEvent) {}
+}
+
+/// Buffers every event in memory, preserving order.
+#[derive(Debug, Default)]
+pub struct MemorySink {
+    /// The recorded events in arrival order.
+    pub events: Vec<TraceEvent>,
+}
+
+impl MemorySink {
+    /// An empty sink.
+    pub fn new() -> MemorySink {
+        MemorySink::default()
+    }
+
+    /// Number of recorded events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Consumes the sink, returning the event buffer.
+    pub fn into_events(self) -> Vec<TraceEvent> {
+        self.events
+    }
+}
+
+impl TraceSink for MemorySink {
+    fn record(&mut self, event: TraceEvent) {
+        self.events.push(event);
+    }
+}
+
+/// Counts events by kind without storing them (cheap smoke statistics).
+#[derive(Debug, Default)]
+pub struct CountingSink {
+    /// `(kind label, count)` pairs in first-seen order.
+    pub counts: Vec<(&'static str, u64)>,
+}
+
+impl CountingSink {
+    /// The count recorded for `kind`, zero when unseen.
+    pub fn count(&self, kind: &str) -> u64 {
+        self.counts
+            .iter()
+            .find(|(k, _)| *k == kind)
+            .map_or(0, |(_, n)| *n)
+    }
+
+    /// Total events across all kinds.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().map(|(_, n)| n).sum()
+    }
+}
+
+impl TraceSink for CountingSink {
+    fn record(&mut self, event: TraceEvent) {
+        let kind = event.kind();
+        match self.counts.iter_mut().find(|(k, _)| *k == kind) {
+            Some((_, n)) => *n += 1,
+            None => self.counts.push((kind, 1)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rbv_sim::Cycles;
+
+    fn sample_event(rid: u64) -> TraceEvent {
+        TraceEvent::RequestEnd {
+            ts: Cycles::new(rid),
+            rid,
+        }
+    }
+
+    #[test]
+    fn memory_sink_preserves_order() {
+        let mut sink = MemorySink::new();
+        for rid in 0..10 {
+            sink.record(sample_event(rid));
+        }
+        assert_eq!(sink.len(), 10);
+        let events = sink.into_events();
+        for (i, e) in events.iter().enumerate() {
+            assert_eq!(e.ts(), Cycles::new(i as u64));
+        }
+    }
+
+    #[test]
+    fn counting_sink_tallies_kinds() {
+        let mut sink = CountingSink::default();
+        for rid in 0..4 {
+            sink.record(sample_event(rid));
+        }
+        sink.record(TraceEvent::L2Pressure {
+            ts: Cycles::ZERO,
+            high_cores: 1,
+        });
+        assert_eq!(sink.count("request_end"), 4);
+        assert_eq!(sink.count("l2_pressure"), 1);
+        assert_eq!(sink.count("migration"), 0);
+        assert_eq!(sink.total(), 5);
+    }
+
+    #[test]
+    fn null_sink_accepts_everything() {
+        let mut sink = NullSink;
+        for rid in 0..100 {
+            sink.record(sample_event(rid));
+        }
+        sink.finish();
+    }
+}

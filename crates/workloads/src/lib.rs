@@ -60,11 +60,7 @@ pub use rbv_mem::SegmentProfile;
 /// Builds the standard factory for an application at a given seed/scale.
 ///
 /// Microbenchmark iterations default to 1 M instructions.
-pub fn factory_for(
-    app: AppId,
-    seed: u64,
-    scale: f64,
-) -> Box<dyn RequestFactory + Send> {
+pub fn factory_for(app: AppId, seed: u64, scale: f64) -> Box<dyn RequestFactory + Send> {
     match app {
         AppId::WebServer => Box::new(WebServer::new(seed, scale)),
         AppId::Tpcc => Box::new(Tpcc::new(seed, scale)),

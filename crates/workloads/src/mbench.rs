@@ -172,8 +172,7 @@ mod tests {
         let marker = 0x2000_0000u64; // outside the scan region
         c.access(marker, 0);
         assert!(c.contains(marker));
-        for a in mbench_data_trace(SimRng::seed_from(2)).take((MBENCH_DATA_BYTES / 4) as usize)
-        {
+        for a in mbench_data_trace(SimRng::seed_from(2)).take((MBENCH_DATA_BYTES / 4) as usize) {
             c.access(a.addr, 0);
         }
         assert!(!c.contains(marker), "scan should have evicted the marker");

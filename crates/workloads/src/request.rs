@@ -273,15 +273,13 @@ impl Stage {
     /// The phase active at instruction offset `ins` (clamped to the last
     /// phase at or beyond the end).
     pub fn phase_at(&self, ins: Instructions) -> &Phase {
-        match self
-            .phases
-            .binary_search_by(|p| p.end_ins.cmp(&ins))
-        {
+        match self.phases.binary_search_by(|p| p.end_ins.cmp(&ins)) {
             // ins == some end boundary: that phase is over; next one active.
             Ok(i) => self.phases.get(i + 1).unwrap_or(&self.phases[i]),
-            Err(i) => self.phases.get(i).unwrap_or_else(|| {
-                self.phases.last().expect("stage has phases")
-            }),
+            Err(i) => self
+                .phases
+                .get(i)
+                .unwrap_or_else(|| self.phases.last().expect("stage has phases")),
         }
     }
 
@@ -310,7 +308,10 @@ impl Stage {
                 return Err(format!("syscall {i} at {} out of order", sc.at_ins));
             }
             if sc.at_ins > total {
-                return Err(format!("syscall {i} at {} beyond stage end {total}", sc.at_ins));
+                return Err(format!(
+                    "syscall {i} at {} beyond stage end {total}",
+                    sc.at_ins
+                ));
             }
             prev_sc = sc.at_ins;
         }

@@ -15,9 +15,7 @@ use rand::Rng;
 use rbv_sim::SimRng;
 
 use crate::builder::{jittered_ins, profile, StageBuilder};
-use crate::request::{
-    AppId, Component, Request, RequestClass, RequestFactory, RubisInteraction,
-};
+use crate::request::{AppId, Component, Request, RequestClass, RequestFactory, RubisInteraction};
 use crate::syscalls::{GapProcess, SyscallMix, SyscallName};
 
 /// Per-interaction template: (EJB phase count, EJB phase mean instructions,
@@ -95,8 +93,11 @@ impl Rubis {
         let (ejb_n, ejb_len, db_n, db_len, has_scan) = template(interaction);
         let s = self.scale;
         let gaps = GapProcess::exponential(12_000.0 * s.max(0.02));
-        let (web_mix, ejb_mix, db_mix) =
-            (self.web_mix.clone(), self.ejb_mix.clone(), self.db_mix.clone());
+        let (web_mix, ejb_mix, db_mix) = (
+            self.web_mix.clone(),
+            self.ejb_mix.clone(),
+            self.db_mix.clone(),
+        );
         let rng = &mut self.rng;
 
         // Stage 1: Apache front end — parse, route, proxy to JBoss.
@@ -130,7 +131,11 @@ impl Rubis {
             let loc = crng.gen_range(0.70..0.85);
             ejb.phase(
                 profile(base, refs, ws, loc, 0.12, rng),
-                jittered_ins((ejb_len * s * crng.gen_range(0.5..1.6)) as u64 + 1, 0.15, rng),
+                jittered_ins(
+                    (ejb_len * s * crng.gen_range(0.5..1.6)) as u64 + 1,
+                    0.15,
+                    rng,
+                ),
                 first.then_some(SyscallName::Recvfrom),
                 Some((&gaps, &ejb_mix)),
                 rng,
@@ -284,8 +289,7 @@ mod tests {
     fn syscalls_are_frequent() {
         let mut r = Rubis::new(7, 1.0);
         let req = r.request_of_interaction(RubisInteraction::ViewItem);
-        let mean_gap =
-            req.total_instructions().get() / (req.syscall_names().len().max(1) as u64);
+        let mean_gap = req.total_instructions().get() / (req.syscall_names().len().max(1) as u64);
         assert!(mean_gap < 35_000, "mean gap {mean_gap}");
     }
 

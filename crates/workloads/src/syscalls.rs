@@ -232,10 +232,7 @@ mod tests {
 
     #[test]
     fn mix_skips_zero_weights() {
-        let mix = SyscallMix::new(&[
-            (SyscallName::Read, 0),
-            (SyscallName::Poll, 5),
-        ]);
+        let mix = SyscallMix::new(&[(SyscallName::Read, 0), (SyscallName::Poll, 5)]);
         let mut rng = SimRng::seed_from(3);
         for _ in 0..50 {
             assert_eq!(mix.draw(&mut rng), SyscallName::Poll);

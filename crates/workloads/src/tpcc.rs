@@ -233,7 +233,11 @@ mod tests {
     fn new_order_length_near_1_4m() {
         let mut t = Tpcc::new(2, 1.0);
         let mean = (0..50)
-            .map(|_| t.request_of_txn(TpccTxn::NewOrder).total_instructions().get())
+            .map(|_| {
+                t.request_of_txn(TpccTxn::NewOrder)
+                    .total_instructions()
+                    .get()
+            })
             .sum::<u64>() as f64
             / 50.0;
         assert!(
@@ -246,7 +250,11 @@ mod tests {
     fn delivery_length_near_4m() {
         let mut t = Tpcc::new(3, 1.0);
         let mean = (0..30)
-            .map(|_| t.request_of_txn(TpccTxn::Delivery).total_instructions().get())
+            .map(|_| {
+                t.request_of_txn(TpccTxn::Delivery)
+                    .total_instructions()
+                    .get()
+            })
             .sum::<u64>() as f64
             / 30.0;
         assert!(

@@ -205,10 +205,7 @@ mod tests {
         // Figure 2's TPCH example is Q20 at ~80 M instructions.
         let mut t = Tpch::new(2, 1.0);
         let len = t.request_of_query(20).total_instructions().get();
-        assert!(
-            (65_000_000..95_000_000).contains(&len),
-            "Q20 length {len}"
-        );
+        assert!((65_000_000..95_000_000).contains(&len), "Q20 length {len}");
     }
 
     #[test]
@@ -251,7 +248,10 @@ mod tests {
             b.total_instructions().get() as f64,
         );
         assert!((la / lb - 1.0).abs() < 0.3, "lengths {la} vs {lb}");
-        let (pa, pb) = (a.stages[0].phases.len() as f64, b.stages[0].phases.len() as f64);
+        let (pa, pb) = (
+            a.stages[0].phases.len() as f64,
+            b.stages[0].phases.len() as f64,
+        );
         assert!((pa / pb - 1.0).abs() < 0.2, "phase counts {pa} vs {pb}");
     }
 
@@ -277,9 +277,7 @@ mod tests {
         let phases = &r.stages[0].phases;
         let close = phases
             .windows(2)
-            .filter(|w| {
-                (w[1].profile.base_cpi / w[0].profile.base_cpi - 1.0).abs() < 0.35
-            })
+            .filter(|w| (w[1].profile.base_cpi / w[0].profile.base_cpi - 1.0).abs() < 0.35)
             .count();
         // Nearly all adjacent pairs are within-operator (similar behavior).
         assert!(
@@ -295,8 +293,7 @@ mod tests {
     fn syscalls_are_frequent() {
         let mut t = Tpch::new(9, 1.0);
         let r = t.request_of_query(6);
-        let mean_gap =
-            r.total_instructions().get() / (r.syscall_names().len().max(1) as u64);
+        let mean_gap = r.total_instructions().get() / (r.syscall_names().len().max(1) as u64);
         assert!(mean_gap < 25_000, "mean gap {mean_gap}");
     }
 

@@ -111,7 +111,10 @@ impl WebServer {
             profile(0.85, 0.005, file_bytes as f64, 0.50, 0.10, rng),
             jittered_ins(send_ins, 0.10, rng),
             Some(SyscallName::Lseek),
-            Some((&GapProcess::exponential(14_000.0 * s.max(0.05)), &self.send_mix)),
+            Some((
+                &GapProcess::exponential(14_000.0 * s.max(0.05)),
+                &self.send_mix,
+            )),
             rng,
         );
         // poll for more pipelined requests / keepalive bookkeeping.
@@ -174,10 +177,7 @@ mod tests {
             .map(|_| w.next_request().total_instructions().get())
             .collect();
         let mean = lens.iter().sum::<u64>() as f64 / lens.len() as f64;
-        assert!(
-            (40_000.0..600_000.0).contains(&mean),
-            "mean length {mean}"
-        );
+        assert!((40_000.0..600_000.0).contains(&mean), "mean length {mean}");
     }
 
     #[test]

@@ -281,9 +281,11 @@ mod tests {
         };
         let third = n / 3;
         let early: f64 = (1..third).map(len_of).sum::<f64>() / (third - 1) as f64;
-        let late: f64 =
-            ((2 * third)..n - 1).map(len_of).sum::<f64>() / (n - 1 - 2 * third) as f64;
-        assert!(late < early, "late {late} should be finer than early {early}");
+        let late: f64 = ((2 * third)..n - 1).map(len_of).sum::<f64>() / (n - 1 - 2 * third) as f64;
+        assert!(
+            late < early,
+            "late {late} should be finer than early {early}"
+        );
     }
 
     #[test]

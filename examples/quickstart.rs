@@ -34,7 +34,11 @@ fn main() {
     println!(
         "first request ({}) varies between CPI {:.2} and {:.2} over {} buckets",
         request.class,
-        series.values().iter().cloned().fold(f64::INFINITY, f64::min),
+        series
+            .values()
+            .iter()
+            .cloned()
+            .fold(f64::INFINITY, f64::min),
         series.values().iter().cloned().fold(0.0, f64::max),
         series.len()
     );

@@ -28,10 +28,7 @@ fn captured_cov(result: &RunResult) -> f64 {
 
 fn main() {
     let policies: Vec<(&str, SamplingPolicy)> = vec![
-        (
-            "context switches only",
-            SamplingPolicy::ContextSwitchOnly,
-        ),
+        ("context switches only", SamplingPolicy::ContextSwitchOnly),
         (
             "interrupts @ 10us",
             SamplingPolicy::Interrupt {

@@ -1,0 +1,39 @@
+//! Trace one simulated TPC-C run and export a Perfetto trace plus a
+//! metrics sidecar:
+//!
+//! ```text
+//! cargo run --release --example trace_a_run
+//! ```
+//!
+//! Open the trace at <https://ui.perfetto.dev> ("Open trace file") to see
+//! per-core execution tracks, nested request spans, sampling instants,
+//! and context-switch markers on the simulated clock.
+
+use request_behavior_variations::os::{run_simulation_traced, SimConfig};
+use request_behavior_variations::telemetry::{MemorySink, PerfettoTrace};
+use request_behavior_variations::workloads::Tpcc;
+
+fn main() -> std::io::Result<()> {
+    // 50 closed-loop TPC-C transactions on the paper's 4-core machine.
+    let cfg = SimConfig::paper_default();
+    let cores = cfg.machine.topology.cores;
+    let mut factory = Tpcc::new(1, 0.05);
+    let mut sink = MemorySink::new();
+    let result =
+        run_simulation_traced(cfg, &mut factory, 50, &mut sink).expect("valid configuration");
+
+    println!(
+        "simulated {} requests in {:.2} ms; {} trace events",
+        result.completed.len(),
+        result.total_time.as_micros_f64() / 1e3,
+        sink.len()
+    );
+
+    let out = std::env::temp_dir().join("rbv_trace_a_run.json");
+    PerfettoTrace::from_events(&sink.events, cores).write_to(&out)?;
+    println!(
+        "wrote {} — open it at https://ui.perfetto.dev",
+        out.display()
+    );
+    Ok(())
+}

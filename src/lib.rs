@@ -15,6 +15,7 @@
 //! | [`workloads`] | `rbv-workloads` | the five server application models |
 //! | [`os`] | `rbv-os` | simulated kernel: scheduling + counter sampling |
 //! | [`core`] | `rbv-core` | request modeling: distances, clustering, signatures, predictors |
+//! | [`telemetry`] | `rbv-telemetry` | trace events, metrics registry, Perfetto export |
 //!
 //! # Quickstart
 //!
@@ -44,4 +45,5 @@ pub use rbv_core as core;
 pub use rbv_mem as mem;
 pub use rbv_os as os;
 pub use rbv_sim as sim;
+pub use rbv_telemetry as telemetry;
 pub use rbv_workloads as workloads;

@@ -12,8 +12,7 @@ fn run(app: AppId, seed: u64, n: usize, serial: bool) -> RunResult {
         AppId::Webwork => 0.02,
         _ => 0.3,
     };
-    let mut cfg = SimConfig::paper_default()
-        .with_interrupt_sampling(app.sampling_period_micros());
+    let mut cfg = SimConfig::paper_default().with_interrupt_sampling(app.sampling_period_micros());
     cfg.seed = seed;
     if serial {
         cfg = cfg.serial();
@@ -62,7 +61,10 @@ fn instructions_are_conserved_through_the_engine() {
             .sum();
         let rel = (measured - expected).abs() / expected;
         // Observer-effect injection/compensation allows a small residue.
-        assert!(rel < 0.03, "{app}: measured {measured} vs expected {expected}");
+        assert!(
+            rel < 0.03,
+            "{app}: measured {measured} vs expected {expected}"
+        );
     }
 }
 

@@ -17,8 +17,7 @@ fn csv_dumps_run_for_every_application() {
     use rbv_workloads::AppId;
     for app in AppId::SERVER_APPS {
         let mut timelines = Vec::new();
-        rbv_bench::experiments::dump::write_csv(app, true, &mut timelines)
-            .expect("timeline dump");
+        rbv_bench::experiments::dump::write_csv(app, true, &mut timelines).expect("timeline dump");
         assert!(timelines.len() > 200, "{app}: timeline CSV too small");
         let mut syscalls = Vec::new();
         rbv_bench::experiments::dump::write_syscalls_csv(app, true, &mut syscalls)

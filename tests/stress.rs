@@ -42,7 +42,11 @@ fn tiny_quantum_forces_constant_context_switching() {
     let r = run_simulation(cfg, &mut f, 30).expect("valid");
     sane(&r, 30);
     // Many in-kernel (context switch) samples occurred.
-    assert!(r.stats.samples_inkernel > 100, "{}", r.stats.samples_inkernel);
+    assert!(
+        r.stats.samples_inkernel > 100,
+        "{}",
+        r.stats.samples_inkernel
+    );
 }
 
 #[test]
@@ -159,8 +163,7 @@ fn maximum_noise_stays_nonnegative() {
 #[test]
 fn every_app_survives_tiny_scale_and_tiny_quantum_together() {
     for app in AppId::SERVER_APPS {
-        let mut cfg = SimConfig::paper_default()
-            .with_interrupt_sampling(5);
+        let mut cfg = SimConfig::paper_default().with_interrupt_sampling(5);
         cfg.quantum = Cycles::from_micros(50);
         let scale = match app {
             AppId::Tpch => 0.02,

@@ -1,0 +1,116 @@
+//! End-to-end telemetry checks: a traced TPC-C run exports valid
+//! Perfetto (Chrome trace-event) JSON, and tracing is observation-only —
+//! the run's results are bit-identical with the sink on or off.
+
+use std::collections::HashMap;
+
+use rbv_bench::tracecmd;
+use request_behavior_variations::os::{run_simulation, SimConfig};
+use request_behavior_variations::telemetry::{Json, PerfettoTrace};
+use request_behavior_variations::workloads::AppId;
+
+fn traced_tpcc() -> (tracecmd::TraceOutcome, Json) {
+    let outcome = tracecmd::run_traced(AppId::Tpcc, true, 1);
+    let trace = PerfettoTrace::from_events(&outcome.events, outcome.cores);
+    let parsed = Json::parse(&trace.to_json_string()).expect("exported JSON parses back");
+    (outcome, parsed)
+}
+
+fn trace_events(parsed: &Json) -> &[Json] {
+    parsed
+        .get("traceEvents")
+        .and_then(Json::as_array)
+        .expect("traceEvents array")
+}
+
+#[test]
+fn perfetto_export_is_valid_and_balanced() {
+    let (outcome, parsed) = traced_tpcc();
+    let events = trace_events(&parsed);
+    assert!(!events.is_empty());
+
+    // Duration slices balance: globally and per track (depth never
+    // negative in emission order).
+    let mut depth: HashMap<i64, i64> = HashMap::new();
+    let (mut b, mut e) = (0u64, 0u64);
+    for ev in events {
+        let ph = ev.get("ph").and_then(Json::as_str).expect("ph");
+        let tid = ev.get("tid").and_then(Json::as_f64).expect("tid") as i64;
+        match ph {
+            "B" => {
+                b += 1;
+                *depth.entry(tid).or_insert(0) += 1;
+            }
+            "E" => {
+                e += 1;
+                let d = depth.entry(tid).or_insert(0);
+                *d -= 1;
+                assert!(*d >= 0, "unbalanced E on tid {tid}");
+            }
+            _ => {}
+        }
+    }
+    assert_eq!(b, e, "B/E slice counts must balance");
+    assert!(depth.values().all(|&d| d == 0), "open slices at end");
+
+    // One async request span per *completed* request, opened and closed.
+    let spans = |ph: &str| {
+        events
+            .iter()
+            .filter(|ev| {
+                ev.get("ph").and_then(Json::as_str) == Some(ph)
+                    && ev.get("cat").and_then(Json::as_str) == Some("request")
+            })
+            .count()
+    };
+    assert_eq!(spans("b"), outcome.result.completed.len());
+    assert_eq!(spans("e"), outcome.result.completed.len());
+
+    // Timestamps are monotone per track in array order.
+    let mut last_ts: HashMap<i64, f64> = HashMap::new();
+    for ev in events {
+        let Some(ts) = ev.get("ts").and_then(Json::as_f64) else {
+            continue;
+        };
+        let tid = ev.get("tid").and_then(Json::as_f64).expect("tid") as i64;
+        let prev = last_ts.entry(tid).or_insert(f64::NEG_INFINITY);
+        assert!(ts >= *prev, "ts regressed on tid {tid}: {ts} < {prev}");
+        *prev = ts;
+    }
+}
+
+#[test]
+fn tracing_is_observation_only() {
+    // The traced run and a plain `run_simulation` at the same seed and
+    // configuration must produce identical results: the sink must not
+    // perturb scheduling, sampling, or any RNG stream.
+    let outcome = tracecmd::run_traced(AppId::Tpcc, true, 5);
+    let mut cfg =
+        SimConfig::paper_default().with_interrupt_sampling(AppId::Tpcc.sampling_period_micros());
+    cfg.seed = 5;
+    let mut factory = rbv_bench::harness::standard_factory(AppId::Tpcc, 5);
+    let untraced = run_simulation(cfg, factory.as_mut(), outcome.result.completed.len())
+        .expect("valid config");
+    assert_eq!(outcome.result.stats, untraced.stats);
+    assert_eq!(outcome.result.completed, untraced.completed);
+    assert_eq!(outcome.result.transitions, untraced.transitions);
+    assert_eq!(outcome.result.total_time, untraced.total_time);
+}
+
+#[test]
+fn metrics_sidecars_carry_the_seed() {
+    let outcome = tracecmd::run_traced(AppId::Tpcc, true, 42);
+    let dir = std::env::temp_dir();
+    let json_path = dir.join("rbv_metrics_test.json");
+    let csv_path = dir.join("rbv_metrics_test.csv");
+    tracecmd::write_metrics(&outcome, &json_path).expect("write json");
+    tracecmd::write_metrics(&outcome, &csv_path).expect("write csv");
+
+    let parsed = Json::parse(&std::fs::read_to_string(&json_path).unwrap()).unwrap();
+    assert_eq!(parsed.get("run.seed").and_then(Json::as_f64), Some(42.0));
+    assert!(parsed.get("selfprofile.wall_ms.total").is_some());
+
+    let csv = std::fs::read_to_string(&csv_path).unwrap();
+    assert!(csv.lines().next().unwrap().starts_with("name,"));
+    assert!(csv.lines().any(|l| l.starts_with("run.seed,")));
+}

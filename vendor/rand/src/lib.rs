@@ -1,0 +1,350 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment has no network access and no crates.io mirror, so
+//! the workspace vendors the small slice of the `rand` 0.8 API it actually
+//! uses: the [`RngCore`] / [`Rng`] traits, uniform range sampling over the
+//! primitive numeric types, and the [`Error`] type. All generators in this
+//! workspace are deterministic ([`rbv_sim::SimRng`]); nothing here needs
+//! OS entropy, `thread_rng`, or the distribution zoo.
+//!
+//! Algorithms are *not* bit-compatible with upstream `rand` — the
+//! workspace pins its own xoshiro256\*\* stream and only relies on
+//! uniformity, which the implementations below provide (53-bit mantissa
+//! floats, Lemire-style widening-multiply integers with rejection).
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+use std::ops::{Range, RangeInclusive};
+
+/// Error type of fallible RNG operations (never produced by the
+/// deterministic generators in this workspace).
+#[derive(Debug)]
+pub struct Error {
+    msg: &'static str,
+}
+
+impl Error {
+    /// Wraps a static message.
+    pub fn new(msg: &'static str) -> Error {
+        Error { msg }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// The core of a random number generator, as in `rand` 0.8.
+pub trait RngCore {
+    /// Returns the next 32 random bits.
+    fn next_u32(&mut self) -> u32;
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]);
+    /// Fallible variant of [`RngCore::fill_bytes`].
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), Error> {
+        self.fill_bytes(dest);
+        Ok(())
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+}
+
+/// Types that [`Rng::gen`] can produce.
+pub trait Standard: Sized {
+    /// Draws one uniformly distributed value.
+    fn draw<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for u32 {
+    fn draw<R: RngCore + ?Sized>(rng: &mut R) -> u32 {
+        rng.next_u32()
+    }
+}
+
+impl Standard for u64 {
+    fn draw<R: RngCore + ?Sized>(rng: &mut R) -> u64 {
+        rng.next_u64()
+    }
+}
+
+impl Standard for usize {
+    fn draw<R: RngCore + ?Sized>(rng: &mut R) -> usize {
+        rng.next_u64() as usize
+    }
+}
+
+impl Standard for bool {
+    fn draw<R: RngCore + ?Sized>(rng: &mut R) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Standard for f64 {
+    /// Uniform in `[0, 1)` with 53 bits of precision, as upstream.
+    fn draw<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for f32 {
+    fn draw<R: RngCore + ?Sized>(rng: &mut R) -> f32 {
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+/// Ranges that [`Rng::gen_range`] accepts.
+pub trait SampleRange<T> {
+    /// Draws one value uniformly from the range.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the range is empty.
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+/// Types [`Rng::gen_range`] can sample uniformly.
+///
+/// A single generic [`SampleRange`] impl per range shape (mirroring
+/// upstream `rand`) keeps type inference working for unsuffixed literals
+/// like `gen_range(0..1000) < some_u32`.
+pub trait SampleUniform: Sized + PartialOrd {
+    /// Uniform over `[lo, hi]` when `inclusive`, else `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the range is empty.
+    fn sample_uniform<R: RngCore + ?Sized>(
+        rng: &mut R,
+        lo: Self,
+        hi: Self,
+        inclusive: bool,
+    ) -> Self;
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_uniform(rng, self.start, self.end, false)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        let (lo, hi) = self.into_inner();
+        T::sample_uniform(rng, lo, hi, true)
+    }
+}
+
+macro_rules! int_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_uniform<R: RngCore + ?Sized>(
+                rng: &mut R,
+                lo: $t,
+                hi: $t,
+                inclusive: bool,
+            ) -> $t {
+                let span = (hi as u128).wrapping_sub(lo as u128) as u64;
+                if inclusive {
+                    assert!(lo <= hi, "cannot sample empty range");
+                    if span == u64::MAX {
+                        return lo.wrapping_add(rng.next_u64() as $t);
+                    }
+                    lo.wrapping_add(uniform_u64(rng, span + 1) as $t)
+                } else {
+                    assert!(lo < hi, "cannot sample empty range");
+                    lo.wrapping_add(uniform_u64(rng, span) as $t)
+                }
+            }
+        }
+    )*};
+}
+
+int_uniform!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Uniform integer in `[0, span)` by widening multiply with rejection
+/// (Lemire's method); `span` must be nonzero.
+fn uniform_u64<R: RngCore + ?Sized>(rng: &mut R, span: u64) -> u64 {
+    debug_assert!(span > 0);
+    let threshold = span.wrapping_neg() % span;
+    loop {
+        let x = rng.next_u64();
+        let m = (x as u128) * (span as u128);
+        if (m as u64) >= threshold {
+            return (m >> 64) as u64;
+        }
+    }
+}
+
+macro_rules! float_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_uniform<R: RngCore + ?Sized>(
+                rng: &mut R,
+                lo: $t,
+                hi: $t,
+                inclusive: bool,
+            ) -> $t {
+                let u = <$t as Standard>::draw(rng);
+                if inclusive {
+                    assert!(lo <= hi, "cannot sample empty range");
+                    lo + (hi - lo) * u
+                } else {
+                    assert!(lo < hi, "cannot sample empty range");
+                    let v = lo + (hi - lo) * u;
+                    // Floating rounding can land exactly on `hi`; clamp open.
+                    if v >= hi {
+                        <$t>::max(lo, prev_down(hi))
+                    } else {
+                        v
+                    }
+                }
+            }
+        }
+    )*};
+}
+
+float_uniform!(f64);
+float_uniform!(f32);
+
+/// The largest float strictly below `x` (for open upper bounds).
+fn prev_down<T: FloatBits>(x: T) -> T {
+    T::prev_down(x)
+}
+
+/// Bit-level helper so the float range code stays generic.
+pub trait FloatBits: Copy {
+    /// Next representable value toward negative infinity.
+    fn prev_down(self) -> Self;
+}
+
+impl FloatBits for f64 {
+    fn prev_down(self) -> f64 {
+        if self <= 0.0 {
+            return self; // sufficient for this workspace's positive ranges
+        }
+        f64::from_bits(self.to_bits() - 1)
+    }
+}
+
+impl FloatBits for f32 {
+    fn prev_down(self) -> f32 {
+        if self <= 0.0 {
+            return self;
+        }
+        f32::from_bits(self.to_bits() - 1)
+    }
+}
+
+/// User-facing random value methods, as in `rand` 0.8.
+pub trait Rng: RngCore {
+    /// Draws a uniformly distributed value of type `T`.
+    fn gen<T: Standard>(&mut self) -> T {
+        T::draw(self)
+    }
+
+    /// Draws a value uniformly from `range`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the range is empty.
+    fn gen_range<T, S: SampleRange<T>>(&mut self, range: S) -> T {
+        range.sample_from(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0.0 <= p <= 1.0`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "p={p} out of range");
+        <f64 as Standard>::draw(self) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct SplitMix(u64);
+
+    impl RngCore for SplitMix {
+        fn next_u32(&mut self) -> u32 {
+            (self.next_u64() >> 32) as u32
+        }
+        fn next_u64(&mut self) -> u64 {
+            self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.0;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+        fn fill_bytes(&mut self, dest: &mut [u8]) {
+            for chunk in dest.chunks_mut(8) {
+                let b = self.next_u64().to_le_bytes();
+                chunk.copy_from_slice(&b[..chunk.len()]);
+            }
+        }
+    }
+
+    #[test]
+    fn float_ranges_stay_in_bounds() {
+        let mut rng = SplitMix(1);
+        for _ in 0..10_000 {
+            let x: f64 = rng.gen_range(0.0..1.0);
+            assert!((0.0..1.0).contains(&x));
+            let y: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+            assert!(y > 0.0 && y < 1.0);
+            let z: f64 = rng.gen_range(-1.0..1.0f64);
+            assert!((-1.0..1.0).contains(&z));
+        }
+    }
+
+    #[test]
+    fn int_ranges_stay_in_bounds_and_cover() {
+        let mut rng = SplitMix(2);
+        let mut seen = [false; 10];
+        for _ in 0..1_000 {
+            let v: usize = rng.gen_range(0..10);
+            seen[v] = true;
+            let w: u64 = rng.gen_range(1..=9u64);
+            assert!((1..=9).contains(&w));
+            let q: i32 = rng.gen_range(-5..5);
+            assert!((-5..5).contains(&q));
+        }
+        assert!(seen.iter().all(|&s| s), "all values reachable");
+    }
+
+    #[test]
+    fn gen_f64_is_roughly_uniform() {
+        let mut rng = SplitMix(3);
+        let mean: f64 = (0..20_000).map(|_| rng.gen::<f64>()).sum::<f64>() / 20_000.0;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut rng = SplitMix(4);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.25)).count();
+        assert!((2_200..2_800).contains(&hits), "hits {hits}");
+    }
+}

@@ -1,0 +1,210 @@
+//! Offline stand-in for the `rand_distr` crate: the [`Distribution`] trait
+//! and the [`Zipf`] distribution, which are the only pieces this workspace
+//! uses (Zipf-popular working sets in `rbv-mem::trace` and Zipf problem
+//! popularity in the WeBWorK workload model).
+//!
+//! [`Zipf`] uses the rejection-inversion sampler of Hörmann & Derflinger
+//! ("Rejection-inversion to generate variates from monotone discrete
+//! distributions", 1996) — the same algorithm upstream `rand_distr` uses —
+//! so sampling cost is O(1) regardless of the element count.
+
+#![forbid(unsafe_code)]
+
+use rand::{Rng, RngCore};
+
+/// Types that produce values of `T` from a generator.
+pub trait Distribution<T> {
+    /// Draws one value.
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// Error constructing a [`Zipf`] distribution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ZipfError {
+    /// The element count must be at least one.
+    NTooSmall,
+    /// The exponent must be nonnegative and finite.
+    STooSmall,
+}
+
+impl std::fmt::Display for ZipfError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ZipfError::NTooSmall => f.write_str("Zipf needs at least one element"),
+            ZipfError::STooSmall => f.write_str("Zipf exponent must be finite and >= 0"),
+        }
+    }
+}
+
+impl std::error::Error for ZipfError {}
+
+/// The Zipf distribution over ranks `1..=n` with weight `rank^-s`.
+///
+/// Samples are returned as `f64` holding an exact integer rank, matching
+/// the upstream `rand_distr::Zipf<f64>` convention.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Zipf<F> {
+    n: F,
+    s: F,
+    /// `H(1.5) - h(1)`, the left edge of the inversion domain.
+    h_x1: F,
+    /// `H(n + 0.5)`, the right edge.
+    h_n: F,
+    /// Acceptance shortcut threshold `2 - H_inv(H(2.5) - h(2))`.
+    shortcut: F,
+}
+
+impl Zipf<f64> {
+    /// Creates a Zipf distribution over `n` elements with exponent `s`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when `n == 0` or `s` is negative or non-finite.
+    pub fn new(n: u64, s: f64) -> Result<Zipf<f64>, ZipfError> {
+        if n == 0 {
+            return Err(ZipfError::NTooSmall);
+        }
+        if !s.is_finite() || s < 0.0 {
+            return Err(ZipfError::STooSmall);
+        }
+        let nf = n as f64;
+        let h_x1 = h_integral(1.5, s) - 1.0;
+        let h_n = h_integral(nf + 0.5, s);
+        let shortcut = 2.0 - h_integral_inv(h_integral(2.5, s) - h(2.0, s), s);
+        Ok(Zipf {
+            n: nf,
+            s,
+            h_x1,
+            h_n,
+            shortcut,
+        })
+    }
+}
+
+/// `H(x) = ∫ t^-s dt`, i.e. `(x^(1-s) - 1) / (1-s)`, continued as `ln x`
+/// at `s = 1`.
+fn h_integral(x: f64, s: f64) -> f64 {
+    let log_x = x.ln();
+    if (1.0 - s).abs() < 1e-12 {
+        log_x
+    } else {
+        ((1.0 - s) * log_x).exp_m1() / (1.0 - s)
+    }
+}
+
+/// Inverse of [`h_integral`].
+fn h_integral_inv(v: f64, s: f64) -> f64 {
+    if (1.0 - s).abs() < 1e-12 {
+        v.exp()
+    } else {
+        let t = (v * (1.0 - s)).max(-1.0 + 1e-15);
+        (t.ln_1p() / (1.0 - s)).exp()
+    }
+}
+
+/// The weight function `h(x) = x^-s`.
+fn h(x: f64, s: f64) -> f64 {
+    (-s * x.ln()).exp()
+}
+
+impl Distribution<f64> for Zipf<f64> {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        if self.n <= 1.0 {
+            return 1.0;
+        }
+        loop {
+            // Uniform over (H(1.5) - h(1), H(n + 0.5)].
+            let u = self.h_n + rng.gen::<f64>() * (self.h_x1 - self.h_n);
+            let x = h_integral_inv(u, self.s);
+            let k = (x + 0.5).floor().clamp(1.0, self.n);
+            if k - x <= self.shortcut || u >= h_integral(k + 0.5, self.s) - h(k, self.s) {
+                return k;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct SplitMix(u64);
+
+    impl RngCore for SplitMix {
+        fn next_u32(&mut self) -> u32 {
+            (self.next_u64() >> 32) as u32
+        }
+        fn next_u64(&mut self) -> u64 {
+            self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.0;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+        fn fill_bytes(&mut self, dest: &mut [u8]) {
+            for chunk in dest.chunks_mut(8) {
+                let b = self.next_u64().to_le_bytes();
+                chunk.copy_from_slice(&b[..chunk.len()]);
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_bad_parameters() {
+        assert!(Zipf::new(0, 1.0).is_err());
+        assert!(Zipf::new(10, -1.0).is_err());
+        assert!(Zipf::new(10, f64::NAN).is_err());
+        assert!(Zipf::new(10, 0.9).is_ok());
+    }
+
+    #[test]
+    fn samples_are_integer_ranks_in_range() {
+        let mut rng = SplitMix(7);
+        for s in [0.0, 0.5, 0.9, 1.0, 1.3] {
+            let z = Zipf::new(100, s).unwrap();
+            for _ in 0..2_000 {
+                let v = z.sample(&mut rng);
+                assert_eq!(v, v.floor(), "integer rank");
+                assert!((1.0..=100.0).contains(&v), "v={v} s={s}");
+            }
+        }
+    }
+
+    #[test]
+    fn rank_frequencies_follow_power_law() {
+        // With s = 1, P(1)/P(2) = 2; check the empirical ratio roughly.
+        let z = Zipf::new(50, 1.0).unwrap();
+        let mut rng = SplitMix(11);
+        let mut counts = [0usize; 51];
+        for _ in 0..200_000 {
+            counts[z.sample(&mut rng) as usize] += 1;
+        }
+        let ratio = counts[1] as f64 / counts[2] as f64;
+        assert!((1.7..2.3).contains(&ratio), "P(1)/P(2) = {ratio}");
+        let ratio4 = counts[1] as f64 / counts[4] as f64;
+        assert!((3.3..4.7).contains(&ratio4), "P(1)/P(4) = {ratio4}");
+    }
+
+    #[test]
+    fn exponent_zero_is_uniform() {
+        let z = Zipf::new(10, 0.0).unwrap();
+        let mut rng = SplitMix(13);
+        let mut counts = [0usize; 11];
+        for _ in 0..100_000 {
+            counts[z.sample(&mut rng) as usize] += 1;
+        }
+        for &c in &counts[1..=10] {
+            let p = c as f64 / 100_000.0;
+            assert!((0.08..0.12).contains(&p), "p={p}");
+        }
+    }
+
+    #[test]
+    fn single_element_always_one() {
+        let z = Zipf::new(1, 0.9).unwrap();
+        let mut rng = SplitMix(17);
+        for _ in 0..100 {
+            assert_eq!(z.sample(&mut rng), 1.0);
+        }
+    }
+}
