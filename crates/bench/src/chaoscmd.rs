@@ -1,0 +1,65 @@
+//! `repro chaos <app>` — run the deterministic fault matrix and emit
+//! the precision/recall + degradation report, optionally gating on a
+//! minimum anomaly-detection recall (the CI smoke check).
+
+use std::io;
+
+use rbv_faults::chaos::{run_matrix, summarize, ChaosReport};
+use rbv_os::RbvError;
+use rbv_workloads::AppId;
+
+/// Runs the chaos matrix for `app` and prints the report to stdout.
+///
+/// Returns the report plus whether the recall gate passed (always true
+/// when `min_recall` is `None`).
+///
+/// # Errors
+///
+/// Returns [`RbvError`] on configuration or output failures.
+pub fn run(
+    app: AppId,
+    seed: u64,
+    fast: bool,
+    min_recall: Option<f64>,
+) -> Result<(ChaosReport, bool), RbvError> {
+    let report = run_matrix(app, seed, fast)?;
+    summarize(&report, &mut io::stdout().lock())?;
+    let mut pass = true;
+    if let Some(min) = min_recall {
+        let recall = report.anomaly.score.recall();
+        if recall < min {
+            eprintln!("[FAIL recall {recall:.3} below required {min:.3}]");
+            pass = false;
+        } else {
+            eprintln!("[recall {recall:.3} meets required {min:.3}]");
+        }
+    }
+    Ok((report, pass))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn web_chaos_meets_the_ci_recall_gate() {
+        // The exact invocation the CI smoke step runs (fast mode).
+        let (report, pass) = run(AppId::WebServer, 42, true, Some(0.8)).expect("chaos runs");
+        assert!(
+            pass,
+            "recall {:.3} under the 0.8 gate",
+            report.anomaly.score.recall()
+        );
+        assert!(report.anomaly.injected > 0);
+        assert_eq!(
+            report.overload.offered,
+            report.overload.completed + report.overload.failed
+        );
+    }
+
+    #[test]
+    fn impossible_gate_fails_without_erroring() {
+        let (_, pass) = run(AppId::WebServer, 7, true, Some(1.01)).expect("chaos runs");
+        assert!(!pass);
+    }
+}

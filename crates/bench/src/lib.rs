@@ -18,6 +18,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod chaoscmd;
 pub mod experiments;
 pub mod harness;
 pub mod tracecmd;

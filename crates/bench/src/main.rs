@@ -6,12 +6,18 @@
 //! repro all [--fast]               # everything, in paper order
 //! repro list                       # available experiment ids
 //! repro trace <app> [--seed N] [--trace out.json] [--metrics out.json|out.csv]
+//! repro chaos <app> [--seed N] [--fast] [--min-recall X]
 //! ```
+//!
+//! Exit codes follow [`RbvError::exit_code`]: 2 for usage errors, 1 for
+//! configuration/IO failures and failed `--min-recall` gates, 0 on
+//! success.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
 use rbv_bench::experiments::{dispatch, REGISTRY};
+use rbv_os::RbvError;
 
 /// Parsed command line: boolean flags, valued options, positionals.
 struct Cli {
@@ -20,6 +26,7 @@ struct Cli {
     seed: Option<u64>,
     trace: Option<PathBuf>,
     metrics: Option<PathBuf>,
+    min_recall: Option<f64>,
     positionals: Vec<String>,
 }
 
@@ -27,35 +34,59 @@ fn usage() {
     eprintln!("usage: repro <experiment-id>|all|list [--fast] [--seed N]");
     eprintln!("       repro trace <web|tpcc|tpch|rubis|webwork> \\");
     eprintln!("             [--trace out.json] [--metrics out.json|out.csv]");
+    eprintln!("       repro chaos <web|tpcc|tpch|rubis|webwork> \\");
+    eprintln!("             [--seed N] [--fast] [--min-recall X]");
     eprintln!("run `repro list` for the available experiments");
 }
 
-fn parse(args: Vec<String>) -> Result<Cli, String> {
+fn parse(args: Vec<String>) -> Result<Cli, RbvError> {
     let mut cli = Cli {
         fast: false,
         syscalls: false,
         seed: None,
         trace: None,
         metrics: None,
+        min_recall: None,
         positionals: Vec::new(),
     };
+    let cli_err = |msg: String| RbvError::Cli(msg);
     let mut it = args.into_iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--fast" => cli.fast = true,
             "--syscalls" => cli.syscalls = true,
             "--seed" => {
-                let v = it.next().ok_or("--seed requires a value")?;
-                cli.seed = Some(v.parse().map_err(|_| format!("bad seed `{v}`"))?);
+                let v = it
+                    .next()
+                    .ok_or_else(|| cli_err("--seed requires a value".into()))?;
+                cli.seed = Some(v.parse().map_err(|_| cli_err(format!("bad seed `{v}`")))?);
+            }
+            "--min-recall" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| cli_err("--min-recall requires a value".into()))?;
+                let r: f64 = v
+                    .parse()
+                    .map_err(|_| cli_err(format!("bad recall `{v}`")))?;
+                if !(0.0..=1.0).contains(&r) {
+                    return Err(cli_err(format!("recall {r} must be in [0, 1]")));
+                }
+                cli.min_recall = Some(r);
             }
             "--trace" => {
-                cli.trace = Some(PathBuf::from(it.next().ok_or("--trace requires a path")?));
+                cli.trace = Some(PathBuf::from(
+                    it.next()
+                        .ok_or_else(|| cli_err("--trace requires a path".into()))?,
+                ));
             }
             "--metrics" => {
-                cli.metrics = Some(PathBuf::from(it.next().ok_or("--metrics requires a path")?));
+                cli.metrics =
+                    Some(PathBuf::from(it.next().ok_or_else(|| {
+                        cli_err("--metrics requires a path".into())
+                    })?));
             }
             other if other.starts_with("--") => {
-                return Err(format!("unknown flag `{other}`"));
+                return Err(cli_err(format!("unknown flag `{other}`")));
             }
             _ => cli.positionals.push(arg),
         }
@@ -63,20 +94,26 @@ fn parse(args: Vec<String>) -> Result<Cli, String> {
     Ok(cli)
 }
 
+/// Prints `e` and converts it to its process exit code.
+fn fail(e: &RbvError) -> ExitCode {
+    eprintln!("error: {e}");
+    ExitCode::from(e.exit_code())
+}
+
 fn main() -> ExitCode {
     let cli = match parse(std::env::args().skip(1).collect()) {
         Ok(cli) => cli,
         Err(e) => {
-            eprintln!("error: {e}");
+            let code = fail(&e);
             usage();
-            return ExitCode::FAILURE;
+            return code;
         }
     };
     let fast = cli.fast;
 
     let Some(first) = cli.positionals.first() else {
         usage();
-        return ExitCode::FAILURE;
+        return ExitCode::from(2);
     };
 
     match first.as_str() {
@@ -87,7 +124,7 @@ fn main() -> ExitCode {
                 .and_then(|a| rbv_bench::experiments::dump::parse_app(a))
             else {
                 eprintln!("usage: repro dump <web|tpcc|tpch|rubis|webwork> [--syscalls] [--fast]");
-                return ExitCode::FAILURE;
+                return ExitCode::from(2);
             };
             rbv_bench::experiments::dump::run(app, fast, cli.syscalls);
             ExitCode::SUCCESS
@@ -102,7 +139,7 @@ fn main() -> ExitCode {
                 eprintln!(
                     "             [--seed N] [--trace out.json] [--metrics out.json|out.csv]"
                 );
-                return ExitCode::FAILURE;
+                return ExitCode::from(2);
             };
             let seed = cli.seed.unwrap_or(1);
             match rbv_bench::tracecmd::run(
@@ -113,10 +150,24 @@ fn main() -> ExitCode {
                 cli.metrics.as_deref(),
             ) {
                 Ok(()) => ExitCode::SUCCESS,
-                Err(e) => {
-                    eprintln!("error: {e}");
-                    ExitCode::FAILURE
-                }
+                Err(e) => fail(&e),
+            }
+        }
+        "chaos" => {
+            let Some(app) = cli
+                .positionals
+                .get(1)
+                .and_then(|a| rbv_bench::experiments::dump::parse_app(a))
+            else {
+                eprintln!("usage: repro chaos <web|tpcc|tpch|rubis|webwork> \\");
+                eprintln!("             [--seed N] [--fast] [--min-recall X]");
+                return ExitCode::from(2);
+            };
+            let seed = cli.seed.unwrap_or(42);
+            match rbv_bench::chaoscmd::run(app, seed, fast, cli.min_recall) {
+                Ok((_, true)) => ExitCode::SUCCESS,
+                Ok((_, false)) => ExitCode::FAILURE,
+                Err(e) => fail(&e),
             }
         }
         "list" => {

@@ -5,7 +5,7 @@
 use std::io::{self, Write};
 use std::path::Path;
 
-use rbv_os::{run_simulation_traced, RunResult, SimConfig};
+use rbv_os::{run_simulation_traced, RbvError, RunResult, SimConfig};
 use rbv_telemetry::{MemorySink, MetricsRegistry, PerfettoTrace, SelfProfiler, TraceEvent};
 use rbv_workloads::AppId;
 
@@ -29,7 +29,12 @@ pub struct TraceOutcome {
 
 /// Runs `app` traced under the standard 4-core configuration (same
 /// config as [`crate::harness::standard_run`] concurrent mode).
-pub fn run_traced(app: AppId, fast: bool, seed: u64) -> TraceOutcome {
+///
+/// # Errors
+///
+/// Propagates [`RbvError::Config`] if the standard configuration is ever
+/// invalidated (e.g. by a bad sampling period).
+pub fn run_traced(app: AppId, fast: bool, seed: u64) -> Result<TraceOutcome, RbvError> {
     let mut profiler = SelfProfiler::new();
     let n = requests_of(app, fast);
     let mut cfg = SimConfig::paper_default().with_interrupt_sampling(app.sampling_period_micros());
@@ -37,11 +42,9 @@ pub fn run_traced(app: AppId, fast: bool, seed: u64) -> TraceOutcome {
     let cores = cfg.machine.topology.cores;
     let mut factory = profiler.time("build", || standard_factory(app, seed));
     let mut sink = MemorySink::new();
-    let result = profiler
-        .time("simulate", || {
-            run_simulation_traced(cfg, factory.as_mut(), n, &mut sink)
-        })
-        .expect("standard config is valid");
+    let result = profiler.time("simulate", || {
+        run_simulation_traced(cfg, factory.as_mut(), n, &mut sink)
+    })?;
 
     let mut registry = MetricsRegistry::new();
     registry.count("run.seed", seed);
@@ -52,14 +55,14 @@ pub fn run_traced(app: AppId, fast: bool, seed: u64) -> TraceOutcome {
         Some(result.total_time.as_f64()),
         Some(result.stats.engine_events),
     );
-    TraceOutcome {
+    Ok(TraceOutcome {
         app,
         seed,
         cores,
         result,
         events: sink.into_events(),
         registry,
-    }
+    })
 }
 
 /// Writes the Perfetto trace (`*.json`, Chrome trace-event format) for
@@ -113,14 +116,18 @@ pub fn summarize<W: Write>(outcome: &TraceOutcome, out: &mut W) -> io::Result<()
 }
 
 /// The `repro trace` entry point: run, export, summarize to stdout.
+///
+/// # Errors
+///
+/// Returns [`RbvError`] on configuration or export failures.
 pub fn run(
     app: AppId,
     fast: bool,
     seed: u64,
     trace_path: Option<&Path>,
     metrics_path: Option<&Path>,
-) -> io::Result<()> {
-    let outcome = run_traced(app, fast, seed);
+) -> Result<(), RbvError> {
+    let outcome = run_traced(app, fast, seed)?;
     if let Some(path) = trace_path {
         write_trace(&outcome, path)?;
         eprintln!("[trace written to {}]", path.display());
@@ -129,7 +136,8 @@ pub fn run(
         write_metrics(&outcome, path)?;
         eprintln!("[metrics written to {}]", path.display());
     }
-    summarize(&outcome, &mut io::stdout().lock())
+    summarize(&outcome, &mut io::stdout().lock())?;
+    Ok(())
 }
 
 #[cfg(test)]
@@ -138,7 +146,7 @@ mod tests {
 
     #[test]
     fn traced_run_matches_untraced() {
-        let outcome = run_traced(AppId::Tpcc, true, 9);
+        let outcome = run_traced(AppId::Tpcc, true, 9).expect("standard config is valid");
         let untraced =
             crate::harness::standard_run(AppId::Tpcc, 9, outcome.result.completed.len(), false);
         assert_eq!(outcome.result.stats, untraced.stats);
@@ -149,7 +157,7 @@ mod tests {
 
     #[test]
     fn summary_renders() {
-        let outcome = run_traced(AppId::Tpcc, true, 1);
+        let outcome = run_traced(AppId::Tpcc, true, 1).expect("standard config is valid");
         let mut buf = Vec::new();
         summarize(&outcome, &mut buf).unwrap();
         let s = String::from_utf8(buf).unwrap();

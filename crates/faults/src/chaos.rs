@@ -1,0 +1,402 @@
+//! The chaos matrix: one run per fault level plus the easing fault
+//! storm, folded into a single [`ChaosReport`] for `repro chaos <app>`.
+//!
+//! Four scenarios, all deterministic in `(app, seed)`:
+//!
+//! 1. **Anomaly injection** — a workload-fault storm over a clean
+//!    engine; the §4.3 detector is scored precision/recall against the
+//!    injected ground truth.
+//! 2. **Degradation** — a measurement-fault storm over syscall-triggered
+//!    sampling; the engine must degrade to the backup interrupt timer
+//!    and flag low-confidence samples while every request still
+//!    completes.
+//! 3. **Overload** — open-loop arrivals at twice the measured service
+//!    capacity against bounded runqueues, deadlines, and client retry;
+//!    every offered request is accounted for as completed or failed.
+//! 4. **Easing storm** — the contention-easing scheduler with its
+//!    prediction-confidence gate under the same measurement storm,
+//!    compared against stock scheduling at p99 request CPI.
+
+use std::io::{self, Write};
+
+use rbv_core::stats::percentile;
+use rbv_os::{
+    config::ArrivalProcess, run_simulation, MeasurementFaults, OverloadPolicy, RbvError, RunResult,
+    SchedulerPolicy, SimConfig,
+};
+use rbv_sim::Cycles;
+use rbv_workloads::{factory_for, AppId};
+
+use crate::detect::{detect_anomalies, score, DetectorConfig, PrecisionRecall};
+use crate::inject::FaultyFactory;
+use crate::plan::{FaultPlan, WorkloadFaultKind, WorkloadFaults};
+
+/// Outcome of the anomaly-injection scenario.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AnomalyOutcome {
+    /// Injected anomalies that completed (the scoring ground truth).
+    pub injected: usize,
+    /// Injected count per fault kind, aligned with
+    /// [`WorkloadFaultKind::ALL`].
+    pub injected_by_kind: [usize; 3],
+    /// Requests the detector flagged.
+    pub flagged: usize,
+    /// Detection quality.
+    pub score: PrecisionRecall,
+}
+
+/// Outcome of the measurement-degradation scenario.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DegradationOutcome {
+    /// Requests that completed despite the storm.
+    pub completed: usize,
+    /// Samples taken in syscall/context-switch contexts.
+    pub samples_inkernel: u64,
+    /// Samples the (backup) interrupt path collected.
+    pub samples_interrupt: u64,
+    /// Sampling interrupts lost to injected faults.
+    pub samples_lost: u64,
+    /// Samples flagged low-confidence instead of corrupting series.
+    pub low_confidence: u64,
+    /// Counter overflows detected and zeroed.
+    pub counter_overflows: u64,
+    /// Syscall-sampling starvation windows the backup timer covered.
+    pub starvation_windows: u64,
+}
+
+/// Outcome of the overload scenario.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OverloadOutcome {
+    /// Requests offered to the system.
+    pub offered: usize,
+    /// Requests that completed.
+    pub completed: usize,
+    /// Requests shed or aborted.
+    pub failed: usize,
+    /// Admission-control bounces (one request may bounce repeatedly).
+    pub admission_rejections: u64,
+    /// Client retries scheduled with backoff + jitter.
+    pub admission_retries: u64,
+    /// Requests shed for good after exhausting retries.
+    pub load_shed: u64,
+    /// Requests aborted at their deadline.
+    pub deadline_aborts: u64,
+    /// 99th-percentile latency of the completed requests, microseconds.
+    pub p99_latency_micros: f64,
+}
+
+/// Outcome of the easing-under-fault-storm comparison.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EasingStormOutcome {
+    /// p99 request CPI under the stock scheduler.
+    pub stock_p99_cpi: f64,
+    /// p99 request CPI under gated contention easing, same storm.
+    pub eased_p99_cpi: f64,
+    /// Scheduling decisions the confidence gate sent back to stock.
+    pub gate_fallbacks: u64,
+}
+
+/// Everything `repro chaos <app>` reports.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChaosReport {
+    /// Application under test.
+    pub app: AppId,
+    /// Seed of the whole matrix.
+    pub seed: u64,
+    /// Scenario 1.
+    pub anomaly: AnomalyOutcome,
+    /// Scenario 2.
+    pub degradation: DegradationOutcome,
+    /// Scenario 3.
+    pub overload: OverloadOutcome,
+    /// Scenario 4.
+    pub easing: EasingStormOutcome,
+}
+
+/// Harness scale for the long-request applications (mirrors the bench
+/// harness so chaos runs finish in seconds).
+fn scale_of(app: AppId) -> f64 {
+    match app {
+        AppId::Tpch => 0.5,
+        AppId::Webwork => 0.1,
+        _ => 1.0,
+    }
+}
+
+/// Requests per scenario.
+fn requests_of(app: AppId, fast: bool) -> usize {
+    let full = match app {
+        AppId::WebServer => 320,
+        AppId::Tpcc => 240,
+        AppId::Rubis => 200,
+        AppId::Tpch => 120,
+        AppId::Webwork | AppId::MbenchSpin | AppId::MbenchData => 60,
+    };
+    if fast {
+        (full / 4).max(40)
+    } else {
+        full
+    }
+}
+
+/// The measurement-fault storm shared by scenarios 2 and 4.
+fn measurement_storm(app: AppId) -> MeasurementFaults {
+    MeasurementFaults {
+        lost_interrupt_prob: 0.25,
+        counter_overflow_prob: 0.05,
+        counter_skid_sigma: 0.05,
+        syscall_starvation_prob: 0.3,
+        syscall_starvation_window: Cycles::from_micros(app.sampling_period_micros() * 20),
+    }
+}
+
+/// The standard interrupt-sampled config for `app`.
+fn base_config(app: AppId, seed: u64) -> SimConfig {
+    let mut cfg = SimConfig::paper_default().with_interrupt_sampling(app.sampling_period_micros());
+    cfg.seed = seed;
+    cfg
+}
+
+/// Mean per-request CPU cycles from a small clean serial probe — the
+/// yardstick the overload scenario sizes its arrival rate, deadline, and
+/// backoff against.
+fn probe_mean_service(app: AppId, seed: u64) -> Result<f64, RbvError> {
+    let cfg = base_config(app, seed ^ 0x9B0E).serial();
+    let mut factory = factory_for(app, seed ^ 0x9B0E, scale_of(app));
+    let result = run_simulation(cfg, factory.as_mut(), 8)?;
+    let total: f64 = result.completed.iter().map(|r| r.cpu_cycles()).sum();
+    Ok((total / result.completed.len() as f64).max(1.0))
+}
+
+/// Runs the full chaos matrix for `app` at `seed`.
+///
+/// # Errors
+///
+/// Propagates [`RbvError`] from configuration validation (none of the
+/// built-in scenarios should trigger it; custom plans might).
+pub fn run_matrix(app: AppId, seed: u64, fast: bool) -> Result<ChaosReport, RbvError> {
+    let n = requests_of(app, fast);
+
+    // Scenario 1: anomaly injection and detection.
+    let plan = FaultPlan {
+        workload: Some(WorkloadFaults::storm()),
+        ..FaultPlan::none(seed)
+    };
+    plan.validate()?;
+    let mut factory = FaultyFactory::new(factory_for(app, seed, scale_of(app)), plan);
+    let result = run_simulation(base_config(app, seed), &mut factory, n)?;
+    let completed_ids: std::collections::BTreeSet<usize> =
+        result.completed.iter().map(|r| r.id).collect();
+    let mut injected_by_kind = [0usize; 3];
+    let truth: Vec<usize> = factory
+        .injected()
+        .iter()
+        .filter(|f| completed_ids.contains(&f.index))
+        .map(|f| {
+            let slot = WorkloadFaultKind::ALL
+                .iter()
+                .position(|&k| k == f.kind)
+                .expect("kind is in ALL");
+            injected_by_kind[slot] += 1;
+            f.index
+        })
+        .collect();
+    let flagged = detect_anomalies(&result.completed, &DetectorConfig::default());
+    let anomaly = AnomalyOutcome {
+        injected: truth.len(),
+        injected_by_kind,
+        flagged: flagged.len(),
+        score: score(&flagged, &truth),
+    };
+
+    // Scenario 2: measurement storm over syscall-triggered sampling.
+    let period = app.sampling_period_micros();
+    let mut cfg = base_config(app, seed ^ 0xDE6).with_syscall_sampling(period / 2, period * 5);
+    cfg.faults = measurement_storm(app);
+    let mut factory = factory_for(app, seed ^ 0xDE6, scale_of(app));
+    let r = run_simulation(cfg, factory.as_mut(), n / 2)?;
+    let degradation = DegradationOutcome {
+        completed: r.completed.len(),
+        samples_inkernel: r.stats.samples_inkernel,
+        samples_interrupt: r.stats.samples_interrupt,
+        samples_lost: r.stats.samples_lost,
+        low_confidence: r.stats.samples_low_confidence,
+        counter_overflows: r.stats.counter_overflows,
+        starvation_windows: r.stats.starvation_windows,
+    };
+
+    // Scenario 3: open-loop overdrive against overload protection.
+    let mean_service = probe_mean_service(app, seed)?;
+    let cores = SimConfig::paper_default().machine.topology.cores as f64;
+    let mut cfg = base_config(app, seed ^ 0x0F7);
+    cfg.arrivals = ArrivalProcess::OpenPoisson {
+        mean_interarrival: Cycles::new((mean_service / (cores * 2.0)).max(1.0) as u64),
+    };
+    cfg.overload = Some(OverloadPolicy {
+        max_runqueue: 4,
+        deadline: Some(Cycles::new((mean_service * 8.0) as u64)),
+        max_retries: 3,
+        retry_backoff: Cycles::new((mean_service / 4.0).max(1.0) as u64),
+    });
+    let mut factory = factory_for(app, seed ^ 0x0F7, scale_of(app));
+    let r = run_simulation(cfg, factory.as_mut(), n)?;
+    let latencies: Vec<f64> = r
+        .completed
+        .iter()
+        .map(|c| c.latency().as_micros_f64())
+        .collect();
+    let overload = OverloadOutcome {
+        offered: r.completed.len() + r.failed.len(),
+        completed: r.completed.len(),
+        failed: r.failed.len(),
+        admission_rejections: r.stats.admission_rejections,
+        admission_retries: r.stats.admission_retries,
+        load_shed: r.stats.load_shed,
+        deadline_aborts: r.stats.deadline_aborts,
+        p99_latency_micros: percentile(&latencies, 0.99).unwrap_or(0.0),
+    };
+
+    // Scenario 4: easing vs stock under the same measurement storm.
+    let easing = easing_storm(app, seed, n)?;
+
+    Ok(ChaosReport {
+        app,
+        seed,
+        anomaly,
+        degradation,
+        overload,
+        easing,
+    })
+}
+
+/// Runs the stock-vs-gated-easing comparison under the measurement
+/// storm; also used directly by the acceptance test.
+pub fn easing_storm(app: AppId, seed: u64, n: usize) -> Result<EasingStormOutcome, RbvError> {
+    // The per-application high-usage threshold from a clean stock
+    // profiling run (§5.2's 80th percentile).
+    let mut cfg = base_config(app, seed ^ 0xB0);
+    cfg.concurrency = 12;
+    let mut factory = factory_for(app, seed ^ 0xB0, scale_of(app));
+    let profile = run_simulation(cfg, factory.as_mut(), (n / 2).max(20))?;
+    let mut mpi = Vec::new();
+    for r in &profile.completed {
+        let (_, mut v) = r
+            .timeline
+            .weighted_values(rbv_core::series::Metric::L2MissesPerIns);
+        mpi.append(&mut v);
+    }
+    let threshold = percentile(&mpi, 0.8).unwrap_or(0.0);
+
+    let storm_run = |easing: bool| -> Result<RunResult, RbvError> {
+        let mut cfg = base_config(app, seed ^ 0x57);
+        cfg.concurrency = 12;
+        cfg.faults = measurement_storm(app);
+        if easing {
+            cfg.scheduler = SchedulerPolicy::ContentionEasing {
+                resched_interval: Cycles::from_millis(5),
+                high_usage_threshold: threshold,
+                alpha: 0.6,
+            };
+            cfg.easing_error_gate = Some(0.35);
+        }
+        let mut factory = factory_for(app, seed ^ 0x57, scale_of(app));
+        run_simulation(cfg, factory.as_mut(), n)
+    };
+    let stock = storm_run(false)?;
+    let eased = storm_run(true)?;
+    Ok(EasingStormOutcome {
+        stock_p99_cpi: percentile(&stock.request_cpis(), 0.99).unwrap_or(f64::NAN),
+        eased_p99_cpi: percentile(&eased.request_cpis(), 0.99).unwrap_or(f64::NAN),
+        gate_fallbacks: eased.stats.easing_gate_fallbacks,
+    })
+}
+
+/// Writes the human-readable chaos report.
+pub fn summarize<W: Write>(report: &ChaosReport, out: &mut W) -> io::Result<()> {
+    writeln!(out)?;
+    writeln!(out, "==== chaos {} (seed {}) ====", report.app, report.seed)?;
+
+    let a = &report.anomaly;
+    writeln!(out)?;
+    writeln!(out, "anomaly injection:")?;
+    for (slot, kind) in WorkloadFaultKind::ALL.iter().enumerate() {
+        writeln!(
+            out,
+            "  injected {:22} {}",
+            kind.label(),
+            a.injected_by_kind[slot]
+        )?;
+    }
+    writeln!(out, "  injected total           {}", a.injected)?;
+    writeln!(out, "  flagged                  {}", a.flagged)?;
+    writeln!(out, "  precision                {:.3}", a.score.precision())?;
+    writeln!(out, "  recall                   {:.3}", a.score.recall())?;
+
+    let d = &report.degradation;
+    writeln!(out)?;
+    writeln!(out, "measurement-storm degradation:")?;
+    writeln!(out, "  requests completed       {}", d.completed)?;
+    writeln!(
+        out,
+        "  samples in-kernel/intr   {} / {}",
+        d.samples_inkernel, d.samples_interrupt
+    )?;
+    writeln!(out, "  interrupts lost          {}", d.samples_lost)?;
+    writeln!(out, "  low-confidence samples   {}", d.low_confidence)?;
+    writeln!(out, "  counter overflows        {}", d.counter_overflows)?;
+    writeln!(out, "  starvation windows       {}", d.starvation_windows)?;
+
+    let o = &report.overload;
+    writeln!(out)?;
+    writeln!(out, "overload protection (2x overdrive):")?;
+    writeln!(
+        out,
+        "  offered / completed / failed  {} / {} / {}",
+        o.offered, o.completed, o.failed
+    )?;
+    writeln!(out, "  admission rejections     {}", o.admission_rejections)?;
+    writeln!(out, "  admission retries        {}", o.admission_retries)?;
+    writeln!(out, "  load shed                {}", o.load_shed)?;
+    writeln!(out, "  deadline aborts          {}", o.deadline_aborts)?;
+    writeln!(
+        out,
+        "  p99 latency (us)         {:.1}",
+        o.p99_latency_micros
+    )?;
+
+    let e = &report.easing;
+    writeln!(out)?;
+    writeln!(out, "easing under fault storm:")?;
+    writeln!(out, "  stock p99 CPI            {:.3}", e.stock_p99_cpi)?;
+    writeln!(out, "  gated easing p99 CPI     {:.3}", e.eased_p99_cpi)?;
+    writeln!(out, "  gate fallbacks           {}", e.gate_fallbacks)?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matrix_is_deterministic_and_accounts_for_every_request() {
+        let a = run_matrix(AppId::WebServer, 7, true).expect("matrix runs");
+        let b = run_matrix(AppId::WebServer, 7, true).expect("matrix runs");
+        assert_eq!(a, b);
+        assert_eq!(a.overload.offered, a.overload.completed + a.overload.failed);
+        assert!(a.degradation.completed > 0);
+        assert!(a.degradation.samples_lost > 0);
+        assert!(a.degradation.low_confidence > 0);
+        assert!(a.anomaly.injected > 0);
+    }
+
+    #[test]
+    fn report_renders() {
+        let report = run_matrix(AppId::WebServer, 3, true).expect("matrix runs");
+        let mut buf = Vec::new();
+        summarize(&report, &mut buf).unwrap();
+        let s = String::from_utf8(buf).unwrap();
+        assert!(s.contains("precision"));
+        assert!(s.contains("recall"));
+        assert!(s.contains("gated easing p99 CPI"));
+    }
+}

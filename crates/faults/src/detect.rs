@@ -1,0 +1,241 @@
+//! Anomaly detection over completed requests, scored against injected
+//! ground truth.
+//!
+//! The detector is the paper's §4.3 recipe: group requests sharing
+//! application-level semantics (the [`rbv_workloads::RequestClass`]),
+//! then within each group rank members by distance from the group
+//! centroid ([`rbv_core::anomaly::centroid_outliers`]) and flag the far
+//! tail. Features are the request's (log) instruction total and its
+//! whole-request CPI — the two axes the workload fault kinds disturb —
+//! robustly normalized per group (median/MAD) so the flagging threshold
+//! is scale-free.
+
+use std::collections::BTreeMap;
+
+use rbv_core::anomaly::centroid_outliers;
+use rbv_core::cluster::DistanceMatrix;
+use rbv_core::stats::percentile;
+use rbv_os::CompletedRequest;
+use rbv_workloads::RequestClass;
+
+/// Tuning of the [`detect_anomalies`] flagging rule.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DetectorConfig {
+    /// Smallest semantic group the detector will judge on its own;
+    /// members of smaller groups are pooled into one application-level
+    /// fallback group instead.
+    pub min_group: usize,
+    /// A member is flagged when its centroid distance exceeds this
+    /// multiple of the group's median centroid distance...
+    pub median_multiple: f64,
+    /// ...and also exceeds this absolute floor in MAD-normalized units
+    /// (guards tight groups whose median distance is nearly zero).
+    pub min_distance: f64,
+}
+
+impl Default for DetectorConfig {
+    fn default() -> DetectorConfig {
+        DetectorConfig {
+            min_group: 4,
+            median_multiple: 3.0,
+            min_distance: 2.5,
+        }
+    }
+}
+
+/// Detection quality against known ground truth.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PrecisionRecall {
+    /// Flagged requests that really were injected.
+    pub true_positives: usize,
+    /// Flagged requests that were clean.
+    pub false_positives: usize,
+    /// Injected requests the detector missed.
+    pub false_negatives: usize,
+}
+
+impl PrecisionRecall {
+    /// Fraction of flags that were right (1 when nothing was flagged).
+    pub fn precision(&self) -> f64 {
+        let denom = self.true_positives + self.false_positives;
+        if denom == 0 {
+            1.0
+        } else {
+            self.true_positives as f64 / denom as f64
+        }
+    }
+
+    /// Fraction of injected anomalies found (1 when none were injected).
+    pub fn recall(&self) -> f64 {
+        let denom = self.true_positives + self.false_negatives;
+        if denom == 0 {
+            1.0
+        } else {
+            self.true_positives as f64 / denom as f64
+        }
+    }
+}
+
+/// Flags suspected anomalies among `completed`; returns their request
+/// ids, ascending.
+pub fn detect_anomalies(completed: &[CompletedRequest], det: &DetectorConfig) -> Vec<usize> {
+    let mut groups: BTreeMap<RequestClass, Vec<usize>> = BTreeMap::new();
+    for (pos, r) in completed.iter().enumerate() {
+        groups.entry(r.class).or_default().push(pos);
+    }
+
+    let mut flagged = Vec::new();
+    // Requests whose semantic group is too small for a meaningful
+    // centroid (e.g. WeBWorK's ~3000 Zipf-drawn problems yield mostly
+    // singleton classes) fall back to one pooled application-level
+    // group: weaker (cross-class spread widens the normal band) but
+    // strictly better than leaving them unjudged.
+    let mut residual: Vec<usize> = Vec::new();
+    for members in groups.values() {
+        if members.len() < det.min_group {
+            residual.extend_from_slice(members);
+            continue;
+        }
+        flag_group(completed, members, det, &mut flagged);
+    }
+    if residual.len() >= det.min_group {
+        flag_group(completed, &residual, det, &mut flagged);
+    }
+    flagged.sort_unstable();
+    flagged
+}
+
+/// Runs the centroid-outlier rule over one group of `completed`
+/// positions, appending the ids of members past the cut to `flagged`.
+fn flag_group(
+    completed: &[CompletedRequest],
+    members: &[usize],
+    det: &DetectorConfig,
+    flagged: &mut Vec<usize>,
+) {
+    let features: Vec<[f64; 2]> = members
+        .iter()
+        .map(|&pos| {
+            let r = &completed[pos];
+            let ins = r.timeline.total_instructions().max(1.0);
+            let cpi = r.request_cpi().unwrap_or(0.0);
+            [ins.ln(), cpi]
+        })
+        .collect();
+    let scales = [mad_scale(&features, 0), mad_scale(&features, 1)];
+    let dm = DistanceMatrix::compute(features.len(), |i, j| {
+        let dx = (features[i][0] - features[j][0]) / scales[0];
+        let dy = (features[i][1] - features[j][1]) / scales[1];
+        (dx * dx + dy * dy).sqrt()
+    });
+    let Some((_, outliers)) = centroid_outliers(&dm) else {
+        return;
+    };
+    let distances: Vec<f64> = outliers.iter().map(|o| o.distance).collect();
+    let median = percentile(&distances, 0.5).unwrap_or(0.0);
+    let cut = (det.median_multiple * median).max(det.min_distance);
+    for o in outliers {
+        if o.distance > cut {
+            flagged.push(completed[members[o.index]].id);
+        }
+    }
+}
+
+/// Robust scale of one feature dimension: the median absolute deviation
+/// scaled to Gaussian sigma, floored so a constant dimension does not
+/// blow up the normalized distances.
+fn mad_scale(features: &[[f64; 2]], dim: usize) -> f64 {
+    let values: Vec<f64> = features.iter().map(|f| f[dim]).collect();
+    let med = percentile(&values, 0.5).unwrap_or(0.0);
+    let dev: Vec<f64> = values.iter().map(|v| (v - med).abs()).collect();
+    let mad = percentile(&dev, 0.5).unwrap_or(0.0);
+    (mad * 1.4826).max(1e-3)
+}
+
+/// Scores `flagged` (request ids) against `truth` (injected request ids
+/// that actually completed). Both may be in any order.
+pub fn score(flagged: &[usize], truth: &[usize]) -> PrecisionRecall {
+    let truth_set: std::collections::BTreeSet<usize> = truth.iter().copied().collect();
+    let flagged_set: std::collections::BTreeSet<usize> = flagged.iter().copied().collect();
+    let true_positives = flagged_set.intersection(&truth_set).count();
+    PrecisionRecall {
+        true_positives,
+        false_positives: flagged_set.len() - true_positives,
+        false_negatives: truth_set.len() - true_positives,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use rbv_os::{run_simulation, SimConfig};
+    use rbv_workloads::{factory_for, AppId};
+
+    use super::*;
+    use crate::inject::FaultyFactory;
+    use crate::plan::{FaultPlan, WorkloadFaults};
+
+    #[test]
+    fn precision_recall_arithmetic() {
+        let pr = score(&[1, 2, 3], &[2, 3, 4, 5]);
+        assert_eq!(pr.true_positives, 2);
+        assert_eq!(pr.false_positives, 1);
+        assert_eq!(pr.false_negatives, 2);
+        assert!((pr.precision() - 2.0 / 3.0).abs() < 1e-12);
+        assert!((pr.recall() - 0.5).abs() < 1e-12);
+
+        let empty = score(&[], &[]);
+        assert_eq!(empty.precision(), 1.0);
+        assert_eq!(empty.recall(), 1.0);
+    }
+
+    #[test]
+    fn clean_runs_raise_few_flags() {
+        let mut factory = factory_for(AppId::WebServer, 17, 1.0);
+        let cfg = SimConfig::paper_default().with_interrupt_sampling(10);
+        let result = run_simulation(cfg, factory.as_mut(), 80).expect("valid");
+        let flagged = detect_anomalies(&result.completed, &DetectorConfig::default());
+        assert!(
+            flagged.len() <= result.completed.len() / 10,
+            "{} of {} clean requests flagged",
+            flagged.len(),
+            result.completed.len()
+        );
+    }
+
+    #[test]
+    fn injected_anomalies_are_found() {
+        let plan = FaultPlan {
+            workload: Some(WorkloadFaults::storm()),
+            ..FaultPlan::none(42)
+        };
+        let mut factory = FaultyFactory::new(factory_for(AppId::WebServer, 17, 1.0), plan);
+        let mut cfg = SimConfig::paper_default().with_interrupt_sampling(10);
+        cfg.seed = 17;
+        let result = run_simulation(cfg, &mut factory, 120).expect("valid");
+        let completed_ids: std::collections::BTreeSet<usize> =
+            result.completed.iter().map(|r| r.id).collect();
+        let truth: Vec<usize> = factory
+            .injected_ids()
+            .into_iter()
+            .filter(|id| completed_ids.contains(id))
+            .collect();
+        assert!(!truth.is_empty());
+
+        let flagged = detect_anomalies(&result.completed, &DetectorConfig::default());
+        let pr = score(&flagged, &truth);
+        assert!(
+            pr.recall() >= 0.8,
+            "recall {:.2} (tp {} fn {})",
+            pr.recall(),
+            pr.true_positives,
+            pr.false_negatives
+        );
+        assert!(
+            pr.precision() >= 0.5,
+            "precision {:.2} (tp {} fp {})",
+            pr.precision(),
+            pr.true_positives,
+            pr.false_positives
+        );
+    }
+}

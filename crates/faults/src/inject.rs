@@ -1,0 +1,229 @@
+//! Workload-level fault injection: a [`RequestFactory`] wrapper that
+//! mutates the requests a [`FaultPlan`] marks anomalous and keeps the
+//! ground-truth log the detector is scored against.
+//!
+//! The wrapper counts emissions; the execution engine assigns request
+//! ids in spawn order, which is exactly factory emission order, so the
+//! recorded indices are directly comparable to
+//! [`rbv_os::CompletedRequest::id`].
+
+use rbv_mem::SegmentProfile;
+use rbv_sim::Instructions;
+use rbv_workloads::{AppId, Phase, Request, RequestFactory, SyscallEvent, SyscallName};
+
+use crate::plan::{FaultPlan, WorkloadFaultKind, WorkloadFaults};
+
+/// Ground truth: one fault the injector actually applied.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InjectedFault {
+    /// Emission index of the mutated request (== engine request id).
+    pub index: usize,
+    /// What was done to it.
+    pub kind: WorkloadFaultKind,
+}
+
+/// A request factory that passes its inner factory's stream through the
+/// plan's workload-fault channel.
+pub struct FaultyFactory {
+    inner: Box<dyn RequestFactory + Send>,
+    plan: FaultPlan,
+    emitted: usize,
+    injected: Vec<InjectedFault>,
+}
+
+impl FaultyFactory {
+    /// Wraps `inner` under `plan`.
+    pub fn new(inner: Box<dyn RequestFactory + Send>, plan: FaultPlan) -> FaultyFactory {
+        FaultyFactory {
+            inner,
+            plan,
+            emitted: 0,
+            injected: Vec::new(),
+        }
+    }
+
+    /// Faults applied so far, in emission order.
+    pub fn injected(&self) -> &[InjectedFault] {
+        &self.injected
+    }
+
+    /// Emission indices of the faults applied so far.
+    pub fn injected_ids(&self) -> Vec<usize> {
+        self.injected.iter().map(|f| f.index).collect()
+    }
+
+    /// Requests emitted so far.
+    pub fn emitted(&self) -> usize {
+        self.emitted
+    }
+}
+
+impl RequestFactory for FaultyFactory {
+    fn app(&self) -> AppId {
+        self.inner.app()
+    }
+
+    fn next_request(&mut self) -> Request {
+        let index = self.emitted;
+        self.emitted += 1;
+        let mut request = self.inner.next_request();
+        if let Some(kind) = self.plan.workload_fault_for(index) {
+            let wf = self
+                .plan
+                .workload
+                .expect("workload_fault_for fired, so the channel is set");
+            apply_fault(&mut request, kind, &wf);
+            self.injected.push(InjectedFault { index, kind });
+        }
+        request
+    }
+}
+
+/// Mutates `request` in place according to `kind`. Every mutation
+/// preserves the structural invariants `Request::validate` checks.
+fn apply_fault(request: &mut Request, kind: WorkloadFaultKind, wf: &WorkloadFaults) {
+    match kind {
+        WorkloadFaultKind::InflatedWorkingSet => {
+            // A leaked/cold data structure: the same instruction stream
+            // drags a far larger working set through the cache (×m),
+            // re-references it heavily (×4), and loses half its reuse
+            // locality — cache behavior degrades while the instruction
+            // total stays exactly in-class.
+            for stage in &mut request.stages {
+                for phase in &mut stage.phases {
+                    phase.profile.working_set_bytes *= wf.working_set_multiplier;
+                    phase.profile.l2_refs_per_ins *= 4.0;
+                    phase.profile.reuse_locality *= 0.5;
+                }
+            }
+        }
+        WorkloadFaultKind::RunawaySegmentLoop => {
+            // The final stage's segments re-execute `loop_factor` times
+            // (the Figure 8 runaway-loop shape): every phase stretches
+            // proportionally, so pre-drawn syscall offsets stay valid
+            // and the instruction total balloons.
+            let stage = request.stages.last_mut().expect("requests have stages");
+            for phase in &mut stage.phases {
+                phase.end_ins =
+                    Instructions::new(phase.end_ins.get().saturating_mul(wf.loop_factor.into()));
+            }
+        }
+        WorkloadFaultKind::StuckSyscall => {
+            let stage = request.stages.last_mut().expect("requests have stages");
+            let total = stage.phases.last().expect("stages have phases").end_ins;
+            let spin = ((total.get() as f64 * wf.stuck_ins_fraction) as u64).max(1);
+            // The wedged call itself, then the in-kernel spin burning
+            // cycles with no data access at all.
+            stage.syscalls.push(SyscallEvent {
+                at_ins: total,
+                name: SyscallName::Futex,
+            });
+            stage.phases.push(Phase {
+                profile: SegmentProfile {
+                    base_cpi: wf.stuck_cpi,
+                    l2_refs_per_ins: 0.0,
+                    working_set_bytes: 0.0,
+                    reuse_locality: 0.0,
+                },
+                end_ins: Instructions::new(total.get() + spin),
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use rbv_workloads::{factory_for, WebServer};
+
+    use super::*;
+    use crate::plan::WorkloadFaults;
+
+    fn storm_plan(seed: u64) -> FaultPlan {
+        FaultPlan {
+            workload: Some(WorkloadFaults::storm()),
+            ..FaultPlan::none(seed)
+        }
+    }
+
+    #[test]
+    fn clean_plan_is_a_passthrough() {
+        let mut plain = WebServer::new(5, 1.0);
+        let mut wrapped = FaultyFactory::new(Box::new(WebServer::new(5, 1.0)), FaultPlan::none(9));
+        for _ in 0..20 {
+            assert_eq!(plain.next_request(), wrapped.next_request());
+        }
+        assert!(wrapped.injected().is_empty());
+        assert_eq!(wrapped.emitted(), 20);
+    }
+
+    #[test]
+    fn injected_requests_stay_valid_and_match_the_plan() {
+        let plan = storm_plan(42);
+        for app in AppId::SERVER_APPS {
+            let mut f = FaultyFactory::new(factory_for(app, 1, 0.05), plan.clone());
+            for i in 0..60 {
+                let r = f.next_request();
+                assert!(
+                    r.validate().is_ok(),
+                    "{app} request {i}: {:?}",
+                    r.validate()
+                );
+            }
+            let expected: Vec<InjectedFault> = (0..60)
+                .filter_map(|i| {
+                    plan.workload_fault_for(i)
+                        .map(|kind| InjectedFault { index: i, kind })
+                })
+                .collect();
+            assert_eq!(f.injected(), expected.as_slice(), "{app}");
+            assert!(!expected.is_empty(), "{app}: storm plan injected nothing");
+        }
+    }
+
+    #[test]
+    fn mutations_change_what_they_claim() {
+        let wf = WorkloadFaults::storm();
+        let mut base = WebServer::new(3, 1.0);
+        let clean = base.next_request();
+
+        let mut inflated = clean.clone();
+        apply_fault(&mut inflated, WorkloadFaultKind::InflatedWorkingSet, &wf);
+        assert_eq!(inflated.total_instructions(), clean.total_instructions());
+        let (c, i) = (
+            clean.stages[0].phases[0].profile,
+            inflated.stages[0].phases[0].profile,
+        );
+        assert!(i.working_set_bytes > c.working_set_bytes * 15.0);
+        assert!(i.l2_refs_per_ins > c.l2_refs_per_ins * 3.9);
+        assert!(i.reuse_locality < c.reuse_locality);
+
+        let mut runaway = clean.clone();
+        apply_fault(&mut runaway, WorkloadFaultKind::RunawaySegmentLoop, &wf);
+        assert_eq!(
+            runaway.total_instructions().get(),
+            clean.total_instructions().get() * u64::from(wf.loop_factor)
+        );
+        assert!(runaway.validate().is_ok());
+
+        let mut stuck = clean.clone();
+        apply_fault(&mut stuck, WorkloadFaultKind::StuckSyscall, &wf);
+        assert!(stuck.total_instructions() > clean.total_instructions());
+        assert_eq!(stuck.syscall_names().len(), clean.syscall_names().len() + 1);
+        assert!(stuck.validate().is_ok());
+        let spin = stuck.stages.last().unwrap().phases.last().unwrap();
+        assert_eq!(spin.profile.base_cpi, wf.stuck_cpi);
+    }
+
+    #[test]
+    fn same_plan_reproduces_the_same_stream() {
+        let make = || {
+            let mut f = FaultyFactory::new(factory_for(AppId::Tpcc, 7, 0.05), storm_plan(13));
+            let reqs: Vec<Request> = (0..40).map(|_| f.next_request()).collect();
+            (reqs, f.injected().to_vec())
+        };
+        let (a, fa) = make();
+        let (b, fb) = make();
+        assert_eq!(a, b);
+        assert_eq!(fa, fb);
+    }
+}

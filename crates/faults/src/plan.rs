@@ -1,0 +1,319 @@
+//! Seedable deterministic fault plans.
+//!
+//! A [`FaultPlan`] fixes, before a run starts, everything that will go
+//! wrong during it: which requests of the workload stream arrive
+//! anomalous (and how), which measurement-level faults the sampling
+//! apparatus suffers, and which overload-protection policy the kernel
+//! runs with. The plan is pure data — the same seed always produces the
+//! same fault schedule, independent of execution order, so fault runs
+//! are exactly as reproducible as clean ones.
+//!
+//! Workload-fault assignment is *stateless*: whether request `i` is
+//! anomalous is a hash of `(seed, i)`, not a draw from a shared stream.
+//! Consumers can therefore ask about any request index in any order
+//! (the injector asks in emission order; tests and the scorer ask again
+//! afterwards) and always get the same answer.
+
+use rbv_os::{MeasurementFaults, OverloadPolicy, RbvError, SimConfig};
+
+/// The ways an injected request deviates from its class (§4.3's
+/// "anomalous requests" made concrete).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum WorkloadFaultKind {
+    /// The request touches a working set many times its class's normal
+    /// size (a leaked cache, an unexpectedly cold data structure): same
+    /// instruction stream, much worse cache behavior.
+    InflatedWorkingSet,
+    /// A segment loops far past its normal trip count (the paper's
+    /// Figure 8 WeBWorK anomaly): the instruction total balloons.
+    RunawaySegmentLoop,
+    /// A system call wedges and the request spins in kernel context at
+    /// high CPI before continuing (stuck/slow syscall).
+    StuckSyscall,
+}
+
+impl WorkloadFaultKind {
+    /// All kinds, in the order the plan's hash selects them.
+    pub const ALL: [WorkloadFaultKind; 3] = [
+        WorkloadFaultKind::InflatedWorkingSet,
+        WorkloadFaultKind::RunawaySegmentLoop,
+        WorkloadFaultKind::StuckSyscall,
+    ];
+
+    /// Stable lower-case label used in reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            WorkloadFaultKind::InflatedWorkingSet => "inflated-working-set",
+            WorkloadFaultKind::RunawaySegmentLoop => "runaway-segment-loop",
+            WorkloadFaultKind::StuckSyscall => "stuck-syscall",
+        }
+    }
+}
+
+/// Parameters of the workload-level fault channel.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WorkloadFaults {
+    /// Per-request probability of arriving anomalous.
+    pub anomaly_prob: f64,
+    /// Working-set multiplier for [`WorkloadFaultKind::InflatedWorkingSet`]
+    /// (the L2 reference rate also quadruples and reuse locality halves:
+    /// thrashing code re-touches what it leaked).
+    pub working_set_multiplier: f64,
+    /// Trip-count multiplier applied to the final stage's segments for
+    /// [`WorkloadFaultKind::RunawaySegmentLoop`].
+    pub loop_factor: u32,
+    /// CPI of the in-kernel spin for [`WorkloadFaultKind::StuckSyscall`].
+    pub stuck_cpi: f64,
+    /// Length of the stuck-syscall spin as a fraction of the request's
+    /// normal instruction total.
+    pub stuck_ins_fraction: f64,
+}
+
+impl WorkloadFaults {
+    /// The standard anomaly storm: ~12% of requests anomalous, each
+    /// deviation strong enough that a sound detector should find it.
+    pub fn storm() -> WorkloadFaults {
+        WorkloadFaults {
+            anomaly_prob: 0.12,
+            working_set_multiplier: 16.0,
+            loop_factor: 8,
+            stuck_cpi: 12.0,
+            stuck_ins_fraction: 3.0,
+        }
+    }
+
+    /// Checks field sanity.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RbvError::Config`] naming the first out-of-range field.
+    pub fn validate(&self) -> Result<(), RbvError> {
+        if !(self.anomaly_prob.is_finite() && (0.0..=1.0).contains(&self.anomaly_prob)) {
+            return Err(RbvError::Config(format!(
+                "anomaly_prob {} must be in [0, 1]",
+                self.anomaly_prob
+            )));
+        }
+        if !(self.working_set_multiplier.is_finite() && self.working_set_multiplier >= 1.0) {
+            return Err(RbvError::Config(format!(
+                "working_set_multiplier {} must be at least 1",
+                self.working_set_multiplier
+            )));
+        }
+        if self.loop_factor < 2 {
+            return Err(RbvError::Config(format!(
+                "loop_factor {} must be at least 2 to change behavior",
+                self.loop_factor
+            )));
+        }
+        if !(self.stuck_cpi.is_finite() && self.stuck_cpi > 0.0) {
+            return Err(RbvError::Config(format!(
+                "stuck_cpi {} must be positive",
+                self.stuck_cpi
+            )));
+        }
+        if !(self.stuck_ins_fraction.is_finite() && self.stuck_ins_fraction > 0.0) {
+            return Err(RbvError::Config(format!(
+                "stuck_ins_fraction {} must be positive",
+                self.stuck_ins_fraction
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// A complete, deterministic fault schedule for one run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    /// Seed of the fault schedule (independent of the engine seed).
+    pub seed: u64,
+    /// Workload-level faults; `None` leaves the request stream untouched.
+    pub workload: Option<WorkloadFaults>,
+    /// Measurement-level faults (applied to [`SimConfig::faults`]).
+    pub measurement: MeasurementFaults,
+    /// Overload protection (applied to [`SimConfig::overload`]).
+    pub overload: Option<OverloadPolicy>,
+}
+
+impl FaultPlan {
+    /// The empty plan: nothing injected, no overload policy. Runs under
+    /// this plan are bit-identical to runs without any plan at all.
+    pub fn none(seed: u64) -> FaultPlan {
+        FaultPlan {
+            seed,
+            workload: None,
+            measurement: MeasurementFaults::none(),
+            overload: None,
+        }
+    }
+
+    /// Checks every configured channel.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RbvError::Config`] from the first invalid channel.
+    pub fn validate(&self) -> Result<(), RbvError> {
+        if let Some(wf) = &self.workload {
+            wf.validate()?;
+        }
+        self.measurement.validate()?;
+        if let Some(overload) = &self.overload {
+            overload.validate()?;
+        }
+        Ok(())
+    }
+
+    /// Writes the measurement and overload channels into `cfg`. The
+    /// workload channel is applied separately by wrapping the request
+    /// factory in a [`crate::FaultyFactory`].
+    pub fn apply_to(&self, cfg: &mut SimConfig) {
+        cfg.faults = self.measurement;
+        cfg.overload = self.overload;
+    }
+
+    /// The workload fault assigned to the `index`-th emitted request, if
+    /// any. Stateless: any caller asking about any index gets the same
+    /// answer in any order.
+    pub fn workload_fault_for(&self, index: usize) -> Option<WorkloadFaultKind> {
+        let wf = self.workload.as_ref()?;
+        if wf.anomaly_prob <= 0.0 {
+            return None;
+        }
+        let h = mix(self.seed, index as u64);
+        if unit(h) >= wf.anomaly_prob {
+            return None;
+        }
+        let kind = WorkloadFaultKind::ALL[(splitmix64(h) % 3) as usize];
+        Some(kind)
+    }
+}
+
+/// SplitMix64: the standard 64-bit finalizing mixer (Steele et al.),
+/// strong enough to decorrelate consecutive indices and seeds.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// Hash of one `(seed, index)` cell of the schedule.
+fn mix(seed: u64, index: u64) -> u64 {
+    splitmix64(seed ^ splitmix64(index.wrapping_add(0x5151_5151)))
+}
+
+/// Maps a hash to `[0, 1)` with 53 bits of precision.
+fn unit(h: u64) -> f64 {
+    (h >> 11) as f64 / (1u64 << 53) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_plan_never_assigns_faults() {
+        let plan = FaultPlan::none(7);
+        assert!(plan.validate().is_ok());
+        assert!((0..10_000).all(|i| plan.workload_fault_for(i).is_none()));
+    }
+
+    #[test]
+    fn assignment_is_stateless_and_deterministic() {
+        let plan = FaultPlan {
+            workload: Some(WorkloadFaults::storm()),
+            ..FaultPlan::none(42)
+        };
+        let forward: Vec<_> = (0..500).map(|i| plan.workload_fault_for(i)).collect();
+        let mut backward: Vec<_> = (0..500).rev().map(|i| plan.workload_fault_for(i)).collect();
+        backward.reverse();
+        assert_eq!(forward, backward);
+    }
+
+    #[test]
+    fn rate_tracks_anomaly_prob() {
+        let plan = FaultPlan {
+            workload: Some(WorkloadFaults::storm()),
+            ..FaultPlan::none(3)
+        };
+        let hits = (0..10_000)
+            .filter(|&i| plan.workload_fault_for(i).is_some())
+            .count();
+        // 12% ± generous sampling slack.
+        assert!((800..1_600).contains(&hits), "{hits}");
+    }
+
+    #[test]
+    fn all_kinds_occur() {
+        let plan = FaultPlan {
+            workload: Some(WorkloadFaults::storm()),
+            ..FaultPlan::none(11)
+        };
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..2_000 {
+            if let Some(k) = plan.workload_fault_for(i) {
+                seen.insert(k);
+            }
+        }
+        assert_eq!(seen.len(), WorkloadFaultKind::ALL.len());
+    }
+
+    #[test]
+    fn distinct_seeds_give_distinct_schedules() {
+        let a = FaultPlan {
+            workload: Some(WorkloadFaults::storm()),
+            ..FaultPlan::none(1)
+        };
+        let b = FaultPlan {
+            workload: Some(WorkloadFaults::storm()),
+            ..FaultPlan::none(2)
+        };
+        let sa: Vec<_> = (0..200).map(|i| a.workload_fault_for(i)).collect();
+        let sb: Vec<_> = (0..200).map(|i| b.workload_fault_for(i)).collect();
+        assert_ne!(sa, sb);
+    }
+
+    #[test]
+    fn bad_channels_are_rejected() {
+        let mut wf = WorkloadFaults::storm();
+        wf.anomaly_prob = 1.5;
+        assert!(wf.validate().is_err());
+
+        let mut wf = WorkloadFaults::storm();
+        wf.loop_factor = 1;
+        assert!(wf.validate().is_err());
+
+        let mut wf = WorkloadFaults::storm();
+        wf.working_set_multiplier = 0.5;
+        assert!(wf.validate().is_err());
+
+        let mut plan = FaultPlan::none(0);
+        plan.measurement.lost_interrupt_prob = 2.0;
+        assert!(plan.validate().is_err());
+    }
+
+    #[test]
+    fn apply_to_writes_both_engine_channels() {
+        let mut plan = FaultPlan::none(0);
+        plan.measurement.lost_interrupt_prob = 0.1;
+        plan.overload = Some(OverloadPolicy::bounded_queues());
+        let mut cfg = SimConfig::paper_default();
+        plan.apply_to(&mut cfg);
+        assert_eq!(cfg.faults, plan.measurement);
+        assert_eq!(cfg.overload, plan.overload);
+        assert!(cfg.validate().is_ok());
+    }
+
+    #[test]
+    fn labels_are_stable() {
+        assert_eq!(
+            WorkloadFaultKind::InflatedWorkingSet.label(),
+            "inflated-working-set"
+        );
+        assert_eq!(
+            WorkloadFaultKind::RunawaySegmentLoop.label(),
+            "runaway-segment-loop"
+        );
+        assert_eq!(WorkloadFaultKind::StuckSyscall.label(), "stuck-syscall");
+    }
+}

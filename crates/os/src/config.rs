@@ -1,10 +1,13 @@
-//! Configuration of the simulated machine, sampling, and scheduling.
+//! Configuration of the simulated machine, sampling, scheduling, fault
+//! injection, and overload protection.
 
 use std::collections::HashSet;
 
 use rbv_mem::MachineSpec;
 use rbv_sim::Cycles;
 use rbv_workloads::SyscallName;
+
+use crate::error::RbvError;
 
 /// How the OS samples hardware counters beyond the always-on request
 /// context switch sampling (§3).
@@ -122,6 +125,147 @@ impl MultiMachine {
     }
 }
 
+/// Deterministic measurement-level fault injection (§"do no harm"
+/// validation): the sampling apparatus itself misbehaves and the engine
+/// must degrade gracefully — fall back to the backup interrupt timer and
+/// flag low-confidence samples — instead of silently corrupting the
+/// collected counter series.
+///
+/// All-zero ([`MeasurementFaults::none`], the default) disables every
+/// fault and draws nothing from any random stream, so fault-free runs are
+/// bit-identical to runs of builds that predate fault injection.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MeasurementFaults {
+    /// Probability that a (periodic or backup) sampling interrupt is lost
+    /// before the handler runs. The period it would have closed extends
+    /// into the next sample, which is flagged low-confidence.
+    pub lost_interrupt_prob: f64,
+    /// Probability that a collected sample's cache event counters
+    /// overflowed/wrapped since the last read. The kernel detects the wrap,
+    /// zeroes the affected counters, and flags the sample low-confidence
+    /// rather than reporting wrapped garbage.
+    pub counter_overflow_prob: f64,
+    /// Relative sigma of counter *skid*: interrupt-based attribution lands
+    /// a few events early or late, jittering the cache counters of each
+    /// sample multiplicatively (on top of [`SimConfig::counter_noise`]).
+    pub counter_skid_sigma: f64,
+    /// Probability, evaluated at each would-be syscall-triggered sample,
+    /// that the syscall sampling path starves for
+    /// [`MeasurementFaults::syscall_starvation_window`] (models priority
+    /// inversion or a wedged per-CPU sampling slot). During a starvation
+    /// window only the backup interrupt timer collects samples.
+    pub syscall_starvation_prob: f64,
+    /// Length of one syscall-sampling starvation window.
+    pub syscall_starvation_window: Cycles,
+}
+
+impl MeasurementFaults {
+    /// No measurement faults (the default).
+    pub fn none() -> MeasurementFaults {
+        MeasurementFaults {
+            lost_interrupt_prob: 0.0,
+            counter_overflow_prob: 0.0,
+            counter_skid_sigma: 0.0,
+            syscall_starvation_prob: 0.0,
+            syscall_starvation_window: Cycles::ZERO,
+        }
+    }
+
+    /// True when any fault channel is active.
+    pub fn enabled(&self) -> bool {
+        self.lost_interrupt_prob > 0.0
+            || self.counter_overflow_prob > 0.0
+            || self.counter_skid_sigma > 0.0
+            || self.syscall_starvation_prob > 0.0
+    }
+
+    /// Checks field sanity.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RbvError::Config`] naming the first out-of-range field.
+    pub fn validate(&self) -> Result<(), RbvError> {
+        for (name, p) in [
+            ("lost_interrupt_prob", self.lost_interrupt_prob),
+            ("counter_overflow_prob", self.counter_overflow_prob),
+            ("syscall_starvation_prob", self.syscall_starvation_prob),
+        ] {
+            if !(p.is_finite() && (0.0..=1.0).contains(&p)) {
+                return Err(RbvError::Config(format!("{name} {p} must be in [0, 1]")));
+            }
+        }
+        if !(self.counter_skid_sigma.is_finite() && (0.0..1.0).contains(&self.counter_skid_sigma)) {
+            return Err(RbvError::Config(format!(
+                "counter_skid_sigma {} must be in [0, 1)",
+                self.counter_skid_sigma
+            )));
+        }
+        if self.syscall_starvation_prob > 0.0 && self.syscall_starvation_window.is_zero() {
+            return Err(RbvError::Config(
+                "syscall starvation needs a nonzero window".into(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Overload protection: per-core admission control with bounded runqueues,
+/// request deadlines with timeout abort, and client retry with exponential
+/// backoff plus jitter. `None` in [`SimConfig::overload`] reproduces the
+/// unprotected engine exactly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OverloadPolicy {
+    /// Maximum requests a core may hold (queued + running) for a *new*
+    /// request to be admitted there. Mid-request stage hops and quantum
+    /// requeues are exempt — once admitted, a request always finishes its
+    /// journey (or hits its deadline).
+    pub max_runqueue: usize,
+    /// End-to-end deadline from arrival; a request still incomplete when it
+    /// expires is aborted (timeout abort). `None` disables deadlines.
+    pub deadline: Option<Cycles>,
+    /// Admission retries the (closed-loop) client attempts before the
+    /// request is shed for good.
+    pub max_retries: u32,
+    /// Base client backoff before the first retry; attempt `k` waits
+    /// `retry_backoff * 2^k` plus up to 50% deterministic jitter.
+    pub retry_backoff: Cycles,
+}
+
+impl OverloadPolicy {
+    /// A reasonable default: queues bounded at 8 per core, no deadline,
+    /// 5 retries starting at 100 µs.
+    pub fn bounded_queues() -> OverloadPolicy {
+        OverloadPolicy {
+            max_runqueue: 8,
+            deadline: None,
+            max_retries: 5,
+            retry_backoff: Cycles::from_micros(100),
+        }
+    }
+
+    /// Checks field sanity.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RbvError::Config`] naming the first inconsistent field.
+    pub fn validate(&self) -> Result<(), RbvError> {
+        if self.max_runqueue == 0 {
+            return Err(RbvError::Config(
+                "overload max_runqueue must admit at least one request".into(),
+            ));
+        }
+        if self.deadline.is_some_and(|d| d.is_zero()) {
+            return Err(RbvError::Config("overload deadline must be nonzero".into()));
+        }
+        if self.max_retries > 0 && self.retry_backoff.is_zero() {
+            return Err(RbvError::Config(
+                "retrying admission needs a nonzero backoff".into(),
+            ));
+        }
+        Ok(())
+    }
+}
+
 /// Full simulation configuration.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SimConfig {
@@ -170,6 +314,19 @@ pub struct SimConfig {
     /// simultaneously run at L2-misses-per-instruction at or above this
     /// level (the Figure 12 measurement), independent of the scheduler.
     pub measure_threshold: Option<f64>,
+    /// Measurement-level fault injection; [`MeasurementFaults::none`]
+    /// (the default) leaves every random stream and event schedule
+    /// untouched.
+    pub faults: MeasurementFaults,
+    /// Overload protection; `None` (the default) reproduces the
+    /// unprotected engine exactly.
+    pub overload: Option<OverloadPolicy>,
+    /// Prediction-confidence gate for the contention-easing scheduler:
+    /// when the running mean relative error of the vaEWMA predictions
+    /// exceeds this threshold, easing decisions fall back to stock
+    /// scheduling until confidence recovers. `None` (the default) never
+    /// gates.
+    pub easing_error_gate: Option<f64>,
     /// Engine RNG seed (placement decisions only; workload randomness
     /// lives in the factories).
     pub seed: u64,
@@ -193,6 +350,9 @@ impl SimConfig {
             compensate_observer_effect: true,
             counter_noise: 0.08,
             measure_threshold: None,
+            faults: MeasurementFaults::none(),
+            overload: None,
+            easing_error_gate: None,
             seed: 0,
         }
     }
@@ -228,39 +388,41 @@ impl SimConfig {
     ///
     /// # Errors
     ///
-    /// Returns a description of the first inconsistent field.
-    pub fn validate(&self) -> Result<(), String> {
+    /// Returns [`RbvError::Config`] describing the first inconsistent
+    /// field.
+    pub fn validate(&self) -> Result<(), RbvError> {
+        let config_err = |msg: String| Err(RbvError::Config(msg));
         if self.concurrency == 0 {
-            return Err("concurrency must be at least 1".into());
+            return config_err("concurrency must be at least 1".into());
         }
         if let ArrivalProcess::OpenPoisson { mean_interarrival } = self.arrivals {
             if mean_interarrival.is_zero() {
-                return Err("mean interarrival must be nonzero".into());
+                return config_err("mean interarrival must be nonzero".into());
             }
         }
         if let Some(mm) = &self.multi_machine {
             if mm.machines == 0 {
-                return Err("multi-machine deployment needs at least one machine".into());
+                return config_err("multi-machine deployment needs at least one machine".into());
             }
             if !self.machine.topology.cores.is_multiple_of(mm.machines) {
-                return Err(format!(
+                return config_err(format!(
                     "{} machines must evenly divide {} cores",
                     mm.machines, self.machine.topology.cores
                 ));
             }
             if self.machine.memory_domains != mm.machines {
-                return Err(format!(
+                return config_err(format!(
                     "machine spec has {} memory domains but the deployment has {} machines",
                     self.machine.memory_domains, mm.machines
                 ));
             }
         }
         if self.quantum.is_zero() {
-            return Err("quantum must be nonzero".into());
+            return config_err("quantum must be nonzero".into());
         }
         match &self.sampling {
             SamplingPolicy::Interrupt { period } if period.is_zero() => {
-                return Err("interrupt period must be nonzero".into());
+                return config_err("interrupt period must be nonzero".into());
             }
             SamplingPolicy::SyscallTriggered {
                 t_syscall_min,
@@ -275,15 +437,24 @@ impl SimConfig {
                 t_syscall_min,
                 t_backup_int,
                 ..
-            } if t_backup_int <= t_syscall_min => {
-                return Err(format!(
+            } => {
+                // A zero backup delay would rearm the backup timer at the
+                // current instant forever (the engine's `rearm_backup_timer`
+                // relies on this config-time guarantee instead of checking
+                // at every rearm).
+                if t_backup_int.is_zero() {
+                    return config_err("backup interrupt delay must be nonzero".into());
+                }
+                if t_backup_int <= t_syscall_min {
+                    return config_err(format!(
                         "backup interrupt delay {t_backup_int} must exceed t_syscall_min {t_syscall_min}"
                     ));
+                }
             }
             _ => {}
         }
         if !(self.counter_noise.is_finite() && (0.0..1.0).contains(&self.counter_noise)) {
-            return Err(format!(
+            return config_err(format!(
                 "counter_noise {} must be in [0, 1)",
                 self.counter_noise
             ));
@@ -295,16 +466,25 @@ impl SimConfig {
         } = &self.scheduler
         {
             if resched_interval.is_zero() {
-                return Err("resched interval must be nonzero".into());
+                return config_err("resched interval must be nonzero".into());
             }
             if !(0.0..=1.0).contains(alpha) {
-                return Err(format!("alpha {alpha} must be in [0, 1]"));
+                return config_err(format!("alpha {alpha} must be in [0, 1]"));
             }
             if !high_usage_threshold.is_finite() || *high_usage_threshold < 0.0 {
-                return Err(format!(
+                return config_err(format!(
                     "high usage threshold {high_usage_threshold} must be nonnegative"
                 ));
             }
+        }
+        if let Some(gate) = self.easing_error_gate {
+            if !(gate.is_finite() && gate > 0.0) {
+                return config_err(format!("easing error gate {gate} must be positive"));
+            }
+        }
+        self.faults.validate()?;
+        if let Some(overload) = &self.overload {
+            overload.validate()?;
         }
         Ok(())
     }
@@ -370,5 +550,78 @@ mod tests {
     fn quantum_default_is_100ms() {
         let c = SimConfig::paper_default();
         assert_eq!(c.quantum, Cycles::from_millis(100));
+    }
+
+    #[test]
+    fn zero_backup_delay_is_rejected_at_build_time() {
+        // The engine's `rearm_backup_timer` relies on this: a zero backup
+        // delay would self-schedule at the same instant forever.
+        let mut c = SimConfig::paper_default();
+        c.sampling = SamplingPolicy::SyscallTriggered {
+            t_syscall_min: Cycles::ZERO,
+            t_backup_int: Cycles::ZERO,
+        };
+        let err = c.validate().unwrap_err();
+        assert!(err.to_string().contains("backup interrupt delay"));
+    }
+
+    #[test]
+    fn measurement_fault_ranges_are_validated() {
+        assert!(MeasurementFaults::none().validate().is_ok());
+        assert!(!MeasurementFaults::none().enabled());
+
+        let mut f = MeasurementFaults::none();
+        f.lost_interrupt_prob = 1.5;
+        assert!(f.validate().is_err());
+
+        let mut f = MeasurementFaults::none();
+        f.counter_skid_sigma = 1.0;
+        assert!(f.validate().is_err());
+
+        let mut f = MeasurementFaults::none();
+        f.syscall_starvation_prob = 0.5; // but zero window
+        assert!(f.validate().is_err());
+        f.syscall_starvation_window = Cycles::from_millis(1);
+        assert!(f.validate().is_ok());
+        assert!(f.enabled());
+
+        let mut c = SimConfig::paper_default();
+        c.faults.counter_overflow_prob = -0.1;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn overload_policy_is_validated() {
+        assert!(OverloadPolicy::bounded_queues().validate().is_ok());
+
+        let mut p = OverloadPolicy::bounded_queues();
+        p.max_runqueue = 0;
+        assert!(p.validate().is_err());
+
+        let mut p = OverloadPolicy::bounded_queues();
+        p.deadline = Some(Cycles::ZERO);
+        assert!(p.validate().is_err());
+
+        let mut p = OverloadPolicy::bounded_queues();
+        p.retry_backoff = Cycles::ZERO;
+        assert!(p.validate().is_err());
+        p.max_retries = 0;
+        assert!(p.validate().is_ok());
+
+        let mut c = SimConfig::paper_default();
+        c.overload = Some(OverloadPolicy {
+            max_runqueue: 0,
+            ..OverloadPolicy::bounded_queues()
+        });
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn easing_gate_must_be_positive() {
+        let mut c = SimConfig::paper_default();
+        c.easing_error_gate = Some(0.0);
+        assert!(c.validate().is_err());
+        c.easing_error_gate = Some(0.4);
+        assert!(c.validate().is_ok());
     }
 }

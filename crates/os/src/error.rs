@@ -1,0 +1,82 @@
+//! The workspace error type.
+//!
+//! The simulated kernel and the `repro` CLI used to panic (`unwrap` /
+//! `expect`) or pass bare `String`s on failure paths. [`RbvError`] replaces
+//! both: configuration validation, fault-plan construction, and CLI
+//! plumbing all return `Result<_, RbvError>` and the binary maps each
+//! variant to a non-zero exit code.
+
+use std::fmt;
+use std::io;
+
+/// Everything that can go wrong between a command line and a finished
+/// simulation run.
+#[derive(Debug)]
+pub enum RbvError {
+    /// An invalid [`crate::SimConfig`] (or fault plan) field combination.
+    /// The message names the first inconsistent field.
+    Config(String),
+    /// A malformed command line: unknown flag, missing value, bad number.
+    Cli(String),
+    /// An I/O failure writing traces, metrics, or reports.
+    Io(io::Error),
+}
+
+impl RbvError {
+    /// The process exit code the `repro` binary maps this error to:
+    /// usage errors exit 2 (the Unix convention), everything else 1.
+    pub fn exit_code(&self) -> u8 {
+        match self {
+            RbvError::Cli(_) => 2,
+            RbvError::Config(_) | RbvError::Io(_) => 1,
+        }
+    }
+}
+
+impl fmt::Display for RbvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RbvError::Config(msg) => write!(f, "invalid configuration: {msg}"),
+            RbvError::Cli(msg) => write!(f, "{msg}"),
+            RbvError::Io(e) => write!(f, "i/o error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RbvError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RbvError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for RbvError {
+    fn from(e: io::Error) -> RbvError {
+        RbvError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exit_codes_distinguish_usage_errors() {
+        assert_eq!(RbvError::Cli("bad flag".into()).exit_code(), 2);
+        assert_eq!(RbvError::Config("bad field".into()).exit_code(), 1);
+        assert_eq!(
+            RbvError::from(io::Error::other("disk")).exit_code(),
+            1
+        );
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let e = RbvError::Config("quantum must be nonzero".into());
+        assert!(e.to_string().contains("quantum"));
+        let e = RbvError::Io(io::Error::new(io::ErrorKind::NotFound, "gone"));
+        assert!(e.to_string().contains("gone"));
+    }
+}

@@ -2,7 +2,10 @@
 //! reproduction: the multicore machine, schedulers, request context
 //! tracking, and the hardware-counter sampling machinery of §3.
 //!
-//! * [`config`] — machine / sampling / scheduling configuration;
+//! * [`config`] — machine / sampling / scheduling / fault-injection /
+//!   overload-protection configuration;
+//! * [`error`] — the [`RbvError`] type shared by configuration validation
+//!   and the `repro` CLI;
 //! * [`machine`] — the event-driven execution engine
 //!   ([`run_simulation`]): per-core runqueues, quantum scheduling, the
 //!   contention-easing policy of §5.2, request context propagation across
@@ -35,13 +38,18 @@
 #![warn(missing_docs)]
 
 pub mod config;
+pub mod error;
 pub mod machine;
 pub mod observer;
 pub mod projection;
 pub mod result;
 
-pub use config::{SamplingPolicy, SchedulerPolicy, SimConfig};
+pub use config::{MeasurementFaults, OverloadPolicy, SamplingPolicy, SchedulerPolicy, SimConfig};
+pub use error::RbvError;
 pub use machine::{run_simulation, run_simulation_traced};
 pub use observer::{measure_sampling_cost, SampleCost, SamplingContext};
 pub use projection::PlatformProjection;
-pub use result::{CompletedRequest, RunResult, RunStats, SyscallRecord, TransitionRecord};
+pub use result::{
+    CompletedRequest, FailReason, FailedRequest, RunResult, RunStats, SyscallRecord,
+    TransitionRecord,
+};

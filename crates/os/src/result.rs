@@ -93,6 +93,42 @@ impl CompletedRequest {
     }
 }
 
+/// Why a request failed instead of completing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FailReason {
+    /// Admission control rejected the request on every retry (load shed).
+    AdmissionShed,
+    /// The request exceeded its deadline and was aborted mid-execution.
+    DeadlineAbort,
+}
+
+impl FailReason {
+    /// Stable lower-case label used in traces and reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            FailReason::AdmissionShed => "shed",
+            FailReason::DeadlineAbort => "deadline",
+        }
+    }
+}
+
+/// A request the overload-protection machinery turned away or aborted.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FailedRequest {
+    /// Engine-assigned identifier (arrival order).
+    pub id: usize,
+    /// Application.
+    pub app: AppId,
+    /// Application-level class.
+    pub class: RequestClass,
+    /// Arrival time.
+    pub arrived_at: Cycles,
+    /// Shed or abort time.
+    pub failed_at: Cycles,
+    /// What happened.
+    pub reason: FailReason,
+}
+
 /// A behavior-transition training record (§3.2, Table 2): the CPI of the
 /// sample periods immediately before and after one system call.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -137,6 +173,31 @@ pub struct RunStats {
     pub resched_decisions: u64,
     /// Discrete events the simulation engine processed.
     pub engine_events: u64,
+    /// Sampling interrupts dropped by injected measurement faults.
+    pub samples_lost: u64,
+    /// Samples collected but flagged low-confidence (lost-interrupt
+    /// stretch or detected counter overflow) and excluded from predictor
+    /// training and transition records.
+    pub samples_low_confidence: u64,
+    /// Detected counter overflows (the L2 counters were zeroed for the
+    /// affected period instead of reporting wrapped values).
+    pub counter_overflows: u64,
+    /// Injected syscall-sampling starvation windows the backup interrupt
+    /// timer had to cover.
+    pub starvation_windows: u64,
+    /// Admission-control rejections (a request bounced off a full
+    /// runqueue; one request may be rejected several times).
+    pub admission_rejections: u64,
+    /// Admission retries the closed-loop client scheduled (with
+    /// exponential backoff plus jitter).
+    pub admission_retries: u64,
+    /// Requests permanently shed after exhausting admission retries.
+    pub load_shed: u64,
+    /// Requests aborted at their deadline.
+    pub deadline_aborts: u64,
+    /// Scheduling decisions where the prediction-confidence gate held
+    /// contention easing back and stock scheduling ran instead.
+    pub easing_gate_fallbacks: u64,
 }
 
 impl RunStats {
@@ -164,6 +225,9 @@ impl RunStats {
 pub struct RunResult {
     /// Requests in completion order.
     pub completed: Vec<CompletedRequest>,
+    /// Requests shed or aborted by overload protection, in failure order.
+    /// Empty unless an [`crate::OverloadPolicy`] is configured.
+    pub failed: Vec<FailedRequest>,
     /// Transition-signal training records.
     pub transitions: Vec<TransitionRecord>,
     /// Aggregate statistics.
@@ -302,6 +366,20 @@ impl RunResult {
 
         registry.count("sampling.inkernel", stats.samples_inkernel);
         registry.count("sampling.interrupt", stats.samples_interrupt);
+        registry.count("sampling.lost", stats.samples_lost);
+        registry.count("sampling.low_confidence", stats.samples_low_confidence);
+        registry.count("sampling.counter_overflows", stats.counter_overflows);
+        registry.count("sampling.starvation_windows", stats.starvation_windows);
+
+        registry.count("overload.requests_failed", self.failed.len() as u64);
+        registry.count("overload.admission_rejections", stats.admission_rejections);
+        registry.count("overload.admission_retries", stats.admission_retries);
+        registry.count("overload.load_shed", stats.load_shed);
+        registry.count("overload.deadline_aborts", stats.deadline_aborts);
+        registry.count(
+            "scheduler.easing_gate_fallbacks",
+            stats.easing_gate_fallbacks,
+        );
 
         // Observer-effect budget: what the measurement apparatus itself
         // cost, priced at the Mbench-Spin floor per sampling context.
@@ -409,6 +487,7 @@ mod tests {
     fn transition_table_aggregates_by_name() {
         let result = RunResult {
             completed: vec![],
+            failed: vec![],
             transitions: vec![
                 TransitionRecord {
                     name: SyscallName::Writev,
@@ -507,6 +586,7 @@ mod tests {
         ];
         let result = RunResult {
             completed: vec![r],
+            failed: vec![],
             transitions: vec![],
             stats: RunStats::default(),
             total_time: Cycles::ZERO,
@@ -537,6 +617,7 @@ mod bigram_tests {
         // The name table averages them away; the bigram table separates.
         let result = RunResult {
             completed: vec![],
+            failed: vec![],
             transitions: vec![
                 rec(Some(SyscallName::Futex), SyscallName::Sendto, 2.0),
                 rec(Some(SyscallName::Futex), SyscallName::Sendto, 2.2),
@@ -571,6 +652,7 @@ mod bigram_tests {
     fn bigram_min_count_filters() {
         let result = RunResult {
             completed: vec![],
+            failed: vec![],
             transitions: vec![
                 rec(Some(SyscallName::Stat), SyscallName::Writev, 3.0),
                 rec(Some(SyscallName::Stat), SyscallName::Writev, 3.5),

@@ -171,6 +171,84 @@ pub enum TraceEvent {
         /// Cores now simultaneously at high usage.
         high_cores: u32,
     },
+    /// An injected measurement fault lost a sampling interrupt before its
+    /// handler ran; the open period extends into the next sample.
+    SampleLost {
+        /// Instant the interrupt would have fired.
+        ts: Cycles,
+        /// Core whose sample was lost.
+        core: u32,
+    },
+    /// A collected sample is flagged low-confidence (lost-interrupt
+    /// stretch, detected counter overflow) instead of silently feeding
+    /// corrupted counters into the series and predictors.
+    LowConfidenceSample {
+        /// Collection instant.
+        ts: Cycles,
+        /// Core sampled.
+        core: u32,
+        /// Request the period is attributed to.
+        rid: u64,
+        /// Why confidence is low (e.g. `lost_interrupt`,
+        /// `counter_overflow`).
+        reason: String,
+    },
+    /// The syscall sampling path entered an injected starvation window;
+    /// until it ends only the backup interrupt timer collects samples.
+    SamplingStarved {
+        /// Window start.
+        ts: Cycles,
+        /// Core affected.
+        core: u32,
+        /// Window end.
+        until: Cycles,
+    },
+    /// Per-core admission control rejected a new request (bounded
+    /// runqueues under overload).
+    AdmissionRejected {
+        /// Rejection instant.
+        ts: Cycles,
+        /// Request id.
+        rid: u64,
+        /// The least-loaded core that was still over the bound.
+        core: u32,
+        /// Admission attempts so far (0 = first try).
+        attempt: u32,
+    },
+    /// The closed-loop client scheduled an admission retry with
+    /// exponential backoff plus jitter.
+    RetryScheduled {
+        /// Scheduling instant.
+        ts: Cycles,
+        /// Request id.
+        rid: u64,
+        /// The upcoming attempt number.
+        attempt: u32,
+        /// Backoff delay before the retry.
+        backoff: Cycles,
+    },
+    /// A request failed: shed after exhausting admission retries, or
+    /// aborted at its deadline.
+    RequestFailed {
+        /// Failure instant.
+        ts: Cycles,
+        /// Request id.
+        rid: u64,
+        /// Failure kind (`shed` or `deadline`).
+        reason: String,
+    },
+    /// The contention-easing prediction-confidence gate changed state:
+    /// `engaged = true` means easing decisions are suspended and the
+    /// scheduler behaves like stock until prediction error recovers.
+    EasingGate {
+        /// Transition instant.
+        ts: Cycles,
+        /// Whether the gate is now holding easing back.
+        engaged: bool,
+        /// Running mean relative vaEWMA prediction error at the
+        /// transition.
+        error: f64,
+    },
 }
 
 impl TraceEvent {
@@ -186,7 +264,14 @@ impl TraceEvent {
             | TraceEvent::SyscallEntry { ts, .. }
             | TraceEvent::ContentionEasing { ts, .. }
             | TraceEvent::Migration { ts, .. }
-            | TraceEvent::L2Pressure { ts, .. } => *ts,
+            | TraceEvent::L2Pressure { ts, .. }
+            | TraceEvent::SampleLost { ts, .. }
+            | TraceEvent::LowConfidenceSample { ts, .. }
+            | TraceEvent::SamplingStarved { ts, .. }
+            | TraceEvent::AdmissionRejected { ts, .. }
+            | TraceEvent::RetryScheduled { ts, .. }
+            | TraceEvent::RequestFailed { ts, .. }
+            | TraceEvent::EasingGate { ts, .. } => *ts,
         }
     }
 
@@ -203,6 +288,13 @@ impl TraceEvent {
             TraceEvent::ContentionEasing { .. } => "contention_easing",
             TraceEvent::Migration { .. } => "migration",
             TraceEvent::L2Pressure { .. } => "l2_pressure",
+            TraceEvent::SampleLost { .. } => "sample_lost",
+            TraceEvent::LowConfidenceSample { .. } => "low_confidence_sample",
+            TraceEvent::SamplingStarved { .. } => "sampling_starved",
+            TraceEvent::AdmissionRejected { .. } => "admission_rejected",
+            TraceEvent::RetryScheduled { .. } => "retry_scheduled",
+            TraceEvent::RequestFailed { .. } => "request_failed",
+            TraceEvent::EasingGate { .. } => "easing_gate",
         }
     }
 }
@@ -273,11 +365,45 @@ mod tests {
                 ts: t,
                 high_cores: 2,
             },
+            TraceEvent::SampleLost { ts: t, core: 0 },
+            TraceEvent::LowConfidenceSample {
+                ts: t,
+                core: 0,
+                rid: 1,
+                reason: "lost_interrupt".into(),
+            },
+            TraceEvent::SamplingStarved {
+                ts: t,
+                core: 0,
+                until: Cycles::new(99),
+            },
+            TraceEvent::AdmissionRejected {
+                ts: t,
+                rid: 1,
+                core: 0,
+                attempt: 0,
+            },
+            TraceEvent::RetryScheduled {
+                ts: t,
+                rid: 1,
+                attempt: 1,
+                backoff: Cycles::new(7),
+            },
+            TraceEvent::RequestFailed {
+                ts: t,
+                rid: 1,
+                reason: "shed".into(),
+            },
+            TraceEvent::EasingGate {
+                ts: t,
+                engaged: true,
+                error: 0.4,
+            },
         ];
         let mut kinds: Vec<&str> = events.iter().map(|e| e.kind()).collect();
         assert!(events.iter().all(|e| e.ts() == t));
         kinds.dedup();
-        assert_eq!(kinds.len(), 10, "distinct kind per variant");
+        assert_eq!(kinds.len(), 17, "distinct kind per variant");
     }
 
     #[test]

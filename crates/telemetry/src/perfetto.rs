@@ -247,6 +247,73 @@ impl PerfettoTrace {
                         vec![("cores".into(), Json::Num(f64::from(*high_cores)))],
                     ));
                 }
+                TraceEvent::SampleLost { core, .. } => {
+                    out.push(with_args(
+                        base("sample_lost", "fault", "i", ts, tid_of(*core)),
+                        vec![],
+                    ));
+                }
+                TraceEvent::LowConfidenceSample {
+                    core, rid, reason, ..
+                } => {
+                    out.push(with_args(
+                        base("low_confidence_sample", "fault", "i", ts, tid_of(*core)),
+                        vec![
+                            ("rid".into(), Json::Num(*rid as f64)),
+                            ("reason".into(), Json::str(reason.clone())),
+                        ],
+                    ));
+                }
+                TraceEvent::SamplingStarved { core, until, .. } => {
+                    out.push(with_args(
+                        base("sampling_starved", "fault", "i", ts, tid_of(*core)),
+                        vec![("until_us".into(), Json::Num(until.as_micros_f64()))],
+                    ));
+                }
+                TraceEvent::AdmissionRejected {
+                    rid, core, attempt, ..
+                } => {
+                    out.push(with_args(
+                        base("admission_rejected", "overload", "i", ts, tid_of(*core)),
+                        vec![
+                            ("rid".into(), Json::Num(*rid as f64)),
+                            ("attempt".into(), Json::Num(f64::from(*attempt))),
+                        ],
+                    ));
+                }
+                TraceEvent::RetryScheduled {
+                    rid,
+                    attempt,
+                    backoff,
+                    ..
+                } => {
+                    out.push(with_args(
+                        base("retry_scheduled", "overload", "i", ts, tid_of(0)),
+                        vec![
+                            ("rid".into(), Json::Num(*rid as f64)),
+                            ("attempt".into(), Json::Num(f64::from(*attempt))),
+                            ("backoff_us".into(), Json::Num(backoff.as_micros_f64())),
+                        ],
+                    ));
+                }
+                TraceEvent::RequestFailed { rid, reason, .. } => {
+                    out.push(with_args(
+                        base("request_failed", "overload", "i", ts, tid_of(0)),
+                        vec![
+                            ("rid".into(), Json::Num(*rid as f64)),
+                            ("reason".into(), Json::str(reason.clone())),
+                        ],
+                    ));
+                }
+                TraceEvent::EasingGate { engaged, error, .. } => {
+                    out.push(with_args(
+                        base("easing_gate", "sched", "i", ts, tid_of(0)),
+                        vec![
+                            ("engaged".into(), Json::Bool(*engaged)),
+                            ("error".into(), Json::Num(*error)),
+                        ],
+                    ));
+                }
             }
         }
 

@@ -10,7 +10,7 @@ use request_behavior_variations::telemetry::{Json, PerfettoTrace};
 use request_behavior_variations::workloads::AppId;
 
 fn traced_tpcc() -> (tracecmd::TraceOutcome, Json) {
-    let outcome = tracecmd::run_traced(AppId::Tpcc, true, 1);
+    let outcome = tracecmd::run_traced(AppId::Tpcc, true, 1).expect("standard config is valid");
     let trace = PerfettoTrace::from_events(&outcome.events, outcome.cores);
     let parsed = Json::parse(&trace.to_json_string()).expect("exported JSON parses back");
     (outcome, parsed)
@@ -84,7 +84,7 @@ fn tracing_is_observation_only() {
     // The traced run and a plain `run_simulation` at the same seed and
     // configuration must produce identical results: the sink must not
     // perturb scheduling, sampling, or any RNG stream.
-    let outcome = tracecmd::run_traced(AppId::Tpcc, true, 5);
+    let outcome = tracecmd::run_traced(AppId::Tpcc, true, 5).expect("standard config is valid");
     let mut cfg =
         SimConfig::paper_default().with_interrupt_sampling(AppId::Tpcc.sampling_period_micros());
     cfg.seed = 5;
@@ -99,7 +99,7 @@ fn tracing_is_observation_only() {
 
 #[test]
 fn metrics_sidecars_carry_the_seed() {
-    let outcome = tracecmd::run_traced(AppId::Tpcc, true, 42);
+    let outcome = tracecmd::run_traced(AppId::Tpcc, true, 42).expect("standard config is valid");
     let dir = std::env::temp_dir();
     let json_path = dir.join("rbv_metrics_test.json");
     let csv_path = dir.join("rbv_metrics_test.csv");
