@@ -1,0 +1,71 @@
+//! `repro bench [<app>|--all]` — collect the run ledger (latency/CPI/L2
+//! sketches, observer-effect accounting, stock-vs-easing tail deltas,
+//! chaos precision/recall) and emit one self-describing JSON document.
+//!
+//! The document is deterministic in `(label, seed, fast)`: running the
+//! same binary twice at the same seed produces byte-identical output,
+//! which is what lets `repro diff` act as a regression gate. Wall-clock
+//! self-profiling is opt-in (`--wallclock`) and never diffed.
+
+use std::path::Path;
+
+use rbv_ledger::{collect, RunLedger};
+use rbv_os::RbvError;
+use rbv_telemetry::SelfProfiler;
+use rbv_workloads::AppId;
+
+/// The `repro bench` entry point: collect the ledger for `apps` and write
+/// it to `out` (or stdout when `out` is `None`).
+///
+/// # Errors
+///
+/// Returns [`RbvError`] on configuration or output failures.
+pub fn run(
+    apps: &[AppId],
+    label: &str,
+    seed: u64,
+    fast: bool,
+    wallclock: bool,
+    out: Option<&Path>,
+) -> Result<RunLedger, RbvError> {
+    let mut profiler = SelfProfiler::new();
+    let ledger = collect(apps, label, seed, fast, wallclock, &mut profiler)?;
+    let text = ledger.to_string_compact();
+    match out {
+        Some(path) => {
+            std::fs::write(path, &text)?;
+            eprintln!("[ledger written to {}]", path.display());
+        }
+        None => println!("{text}"),
+    }
+    for (stage, secs) in profiler.stages() {
+        eprintln!("[bench {stage} {secs:.2}s wall]");
+    }
+    eprintln!(
+        "[bench {} app(s) in {:.1}s wall]",
+        apps.len(),
+        profiler.total_seconds()
+    );
+    Ok(ledger)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_writes_a_parseable_document() {
+        let dir = std::env::temp_dir().join("rbv-benchcmd-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("BENCH_test.json");
+        let ledger =
+            run(&[AppId::Webwork], "webwork", 7, true, false, Some(&path)).expect("bench runs");
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text, ledger.to_string_compact());
+        let json = rbv_telemetry::Json::parse(&text).unwrap();
+        let back = RunLedger::from_json(&json).unwrap();
+        assert_eq!(back, ledger);
+        assert_eq!(back.apps[0].app, "webwork");
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -6,9 +6,12 @@ use std::io;
 
 use rbv_faults::chaos::{run_matrix, summarize, ChaosReport};
 use rbv_os::RbvError;
+use rbv_telemetry::SelfProfiler;
 use rbv_workloads::AppId;
 
-/// Runs the chaos matrix for `app` and prints the report to stdout.
+/// Runs the chaos matrix for `app` and prints the report to stdout —
+/// the human table by default, the machine-readable ledger JSON with
+/// `json` (the table then goes to stderr so pipelines stay parseable).
 ///
 /// Returns the report plus whether the recall gate passed (always true
 /// when `min_recall` is `None`).
@@ -21,9 +24,20 @@ pub fn run(
     seed: u64,
     fast: bool,
     min_recall: Option<f64>,
+    json: bool,
 ) -> Result<(ChaosReport, bool), RbvError> {
-    let report = run_matrix(app, seed, fast)?;
-    summarize(&report, &mut io::stdout().lock())?;
+    let mut profiler = SelfProfiler::new();
+    let report = profiler.time("matrix", || run_matrix(app, seed, fast))?;
+    if json {
+        summarize(&report, &mut io::stderr().lock())?;
+        println!("{}", report.to_json().to_string_compact());
+    } else {
+        summarize(&report, &mut io::stdout().lock())?;
+    }
+    eprintln!(
+        "[chaos matrix wall-clock {:.2}s]",
+        profiler.seconds("matrix").unwrap_or(0.0)
+    );
     let mut pass = true;
     if let Some(min) = min_recall {
         let recall = report.anomaly.score.recall();
@@ -44,7 +58,7 @@ mod tests {
     #[test]
     fn web_chaos_meets_the_ci_recall_gate() {
         // The exact invocation the CI smoke step runs (fast mode).
-        let (report, pass) = run(AppId::WebServer, 42, true, Some(0.8)).expect("chaos runs");
+        let (report, pass) = run(AppId::WebServer, 42, true, Some(0.8), false).expect("chaos runs");
         assert!(
             pass,
             "recall {:.3} under the 0.8 gate",
@@ -59,7 +73,22 @@ mod tests {
 
     #[test]
     fn impossible_gate_fails_without_erroring() {
-        let (_, pass) = run(AppId::WebServer, 7, true, Some(1.01)).expect("chaos runs");
+        let (_, pass) = run(AppId::WebServer, 7, true, Some(1.01), false).expect("chaos runs");
         assert!(!pass);
+    }
+
+    #[test]
+    fn json_mode_matches_the_report() {
+        // stdout JSON equals report.to_json() — assert on the value the
+        // function returns rather than capturing the stream.
+        let (report, pass) = run(AppId::WebServer, 42, true, None, true).expect("chaos runs");
+        assert!(pass);
+        let text = report.to_json().to_string_compact();
+        let parsed = rbv_telemetry::Json::parse(&text).expect("chaos JSON parses");
+        assert_eq!(
+            parsed.get("seed").and_then(rbv_telemetry::Json::as_f64),
+            Some(42.0)
+        );
+        assert!(parsed.get("anomaly").is_some());
     }
 }

@@ -1,0 +1,119 @@
+//! `repro diff <baseline.json> <candidate.json>` — the cross-run
+//! regression gate: flatten both ledgers into named metrics, apply
+//! per-metric tolerance bands, and fail (exit nonzero) on any
+//! out-of-band deviation, naming each offending metric with both values.
+
+use std::io::{self, Write};
+use std::path::Path;
+
+use rbv_ledger::{diff_documents, DiffReport};
+use rbv_os::RbvError;
+use rbv_telemetry::Json;
+
+/// Loads and parses one ledger document.
+fn load(path: &Path) -> Result<Json, RbvError> {
+    let text = std::fs::read_to_string(path)?;
+    Json::parse(&text).map_err(|e| RbvError::Cli(format!("{}: {e}", path.display())))
+}
+
+/// Writes the human-readable verdict for `report` to `out`.
+///
+/// # Errors
+///
+/// Propagates I/O errors from `out`.
+pub fn render<W: Write>(report: &DiffReport, out: &mut W) -> io::Result<()> {
+    if report.passed() {
+        writeln!(out, "diff OK: {} metrics within tolerance", report.compared)?;
+        return Ok(());
+    }
+    for v in &report.violations {
+        let direction = if v.candidate.is_nan() {
+            "missing from candidate"
+        } else if v.baseline.is_nan() {
+            "new in candidate"
+        } else if v.increased() {
+            "regressed up"
+        } else {
+            "moved down"
+        };
+        writeln!(
+            out,
+            "REGRESSION {}: baseline {:.6} -> candidate {:.6} ({direction}, \
+             deviation {:.4} > tolerance {:.4})",
+            v.metric, v.baseline, v.candidate, v.deviation, v.tolerance
+        )?;
+    }
+    writeln!(
+        out,
+        "diff FAILED: {} of {} metrics out of tolerance",
+        report.violations.len(),
+        report.compared
+    )?;
+    Ok(())
+}
+
+/// The `repro diff` entry point. Returns whether the gate passed.
+///
+/// # Errors
+///
+/// Returns [`RbvError::Cli`] on unreadable/unparseable documents or a
+/// schema mismatch, [`RbvError::Io`] on output failures.
+pub fn run(baseline: &Path, candidate: &Path, tolerance: Option<f64>) -> Result<bool, RbvError> {
+    let base = load(baseline)?;
+    let cand = load(candidate)?;
+    let report = diff_documents(&base, &cand, tolerance).map_err(RbvError::Cli)?;
+    render(&report, &mut io::stdout().lock())?;
+    Ok(report.passed())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rbv_ledger::Violation;
+
+    #[test]
+    fn render_names_the_metric_and_both_values() {
+        let report = DiffReport {
+            compared: 12,
+            violations: vec![Violation {
+                metric: "web.cpi.p99".into(),
+                baseline: 2.0,
+                candidate: 2.2,
+                deviation: 0.1,
+                tolerance: 0.022,
+            }],
+        };
+        let mut buf = Vec::new();
+        render(&report, &mut buf).unwrap();
+        let s = String::from_utf8(buf).unwrap();
+        assert!(s.contains("web.cpi.p99"));
+        assert!(s.contains("2.0"));
+        assert!(s.contains("2.2"));
+        assert!(s.contains("regressed up"));
+        assert!(s.contains("FAILED"));
+    }
+
+    #[test]
+    fn clean_report_renders_ok_line() {
+        let report = DiffReport {
+            compared: 40,
+            violations: vec![],
+        };
+        let mut buf = Vec::new();
+        render(&report, &mut buf).unwrap();
+        let s = String::from_utf8(buf).unwrap();
+        assert!(s.contains("diff OK"));
+        assert!(s.contains("40"));
+    }
+
+    #[test]
+    fn unreadable_document_is_a_cli_error() {
+        let err = run(
+            Path::new("/nonexistent/base.json"),
+            Path::new("/nonexistent/cand.json"),
+            None,
+        )
+        .unwrap_err();
+        assert_ne!(err.exit_code(), 0);
+    }
+}

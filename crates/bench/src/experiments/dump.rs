@@ -87,15 +87,23 @@ pub fn write_syscalls_csv(
 }
 
 /// Runs the dump to stdout; `syscalls` selects the syscall stream instead
-/// of the counter timelines.
+/// of the counter timelines. Wall-clock goes to stderr so the CSV stream
+/// stays clean.
 pub fn run(app: AppId, fast: bool, syscalls: bool) {
+    let mut profiler = rbv_telemetry::SelfProfiler::new();
     let stdout = std::io::stdout();
     let mut lock = stdout.lock();
-    if syscalls {
-        write_syscalls_csv(app, fast, &mut lock).expect("writing to stdout");
-    } else {
-        write_csv(app, fast, &mut lock).expect("writing to stdout");
-    }
+    profiler.time("dump", || {
+        if syscalls {
+            write_syscalls_csv(app, fast, &mut lock).expect("writing to stdout");
+        } else {
+            write_csv(app, fast, &mut lock).expect("writing to stdout");
+        }
+    });
+    eprintln!(
+        "[dump wall-clock {:.2}s]",
+        profiler.seconds("dump").unwrap_or(0.0)
+    );
 }
 
 #[cfg(test)]

@@ -18,7 +18,9 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod benchcmd;
 pub mod chaoscmd;
+pub mod diffcmd;
 pub mod experiments;
 pub mod harness;
 pub mod tracecmd;

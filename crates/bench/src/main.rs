@@ -6,7 +6,9 @@
 //! repro all [--fast]               # everything, in paper order
 //! repro list                       # available experiment ids
 //! repro trace <app> [--seed N] [--trace out.json] [--metrics out.json|out.csv]
-//! repro chaos <app> [--seed N] [--fast] [--min-recall X]
+//! repro chaos <app> [--seed N] [--fast] [--min-recall X] [--json]
+//! repro bench [<app>|--all] [--seed N] [--fast] [--out BENCH.json] [--wallclock]
+//! repro diff <baseline.json> <candidate.json> [--tolerance pct]
 //! ```
 //!
 //! Exit codes follow [`RbvError::exit_code`]: 2 for usage errors, 1 for
@@ -23,10 +25,15 @@ use rbv_os::RbvError;
 struct Cli {
     fast: bool,
     syscalls: bool,
+    all: bool,
+    json: bool,
+    wallclock: bool,
     seed: Option<u64>,
     trace: Option<PathBuf>,
     metrics: Option<PathBuf>,
+    out: Option<PathBuf>,
     min_recall: Option<f64>,
+    tolerance: Option<f64>,
     positionals: Vec<String>,
 }
 
@@ -35,7 +42,10 @@ fn usage() {
     eprintln!("       repro trace <web|tpcc|tpch|rubis|webwork> \\");
     eprintln!("             [--trace out.json] [--metrics out.json|out.csv]");
     eprintln!("       repro chaos <web|tpcc|tpch|rubis|webwork> \\");
-    eprintln!("             [--seed N] [--fast] [--min-recall X]");
+    eprintln!("             [--seed N] [--fast] [--min-recall X] [--json]");
+    eprintln!("       repro bench [<app>|--all] [--seed N] [--fast] \\");
+    eprintln!("             [--out BENCH.json] [--wallclock]");
+    eprintln!("       repro diff <baseline.json> <candidate.json> [--tolerance pct]");
     eprintln!("run `repro list` for the available experiments");
 }
 
@@ -43,10 +53,15 @@ fn parse(args: Vec<String>) -> Result<Cli, RbvError> {
     let mut cli = Cli {
         fast: false,
         syscalls: false,
+        all: false,
+        json: false,
+        wallclock: false,
         seed: None,
         trace: None,
         metrics: None,
+        out: None,
         min_recall: None,
+        tolerance: None,
         positionals: Vec::new(),
     };
     let cli_err = |msg: String| RbvError::Cli(msg);
@@ -55,6 +70,9 @@ fn parse(args: Vec<String>) -> Result<Cli, RbvError> {
         match arg.as_str() {
             "--fast" => cli.fast = true,
             "--syscalls" => cli.syscalls = true,
+            "--all" => cli.all = true,
+            "--json" => cli.json = true,
+            "--wallclock" => cli.wallclock = true,
             "--seed" => {
                 let v = it
                     .next()
@@ -84,6 +102,24 @@ fn parse(args: Vec<String>) -> Result<Cli, RbvError> {
                     Some(PathBuf::from(it.next().ok_or_else(|| {
                         cli_err("--metrics requires a path".into())
                     })?));
+            }
+            "--out" => {
+                cli.out = Some(PathBuf::from(
+                    it.next()
+                        .ok_or_else(|| cli_err("--out requires a path".into()))?,
+                ));
+            }
+            "--tolerance" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| cli_err("--tolerance requires a value".into()))?;
+                let pct: f64 = v
+                    .parse()
+                    .map_err(|_| cli_err(format!("bad tolerance `{v}`")))?;
+                if pct.is_nan() || pct < 0.0 {
+                    return Err(cli_err(format!("tolerance {pct} must be >= 0")));
+                }
+                cli.tolerance = Some(pct / 100.0);
             }
             other if other.starts_with("--") => {
                 return Err(cli_err(format!("unknown flag `{other}`")));
@@ -160,13 +196,62 @@ fn main() -> ExitCode {
                 .and_then(|a| rbv_bench::experiments::dump::parse_app(a))
             else {
                 eprintln!("usage: repro chaos <web|tpcc|tpch|rubis|webwork> \\");
-                eprintln!("             [--seed N] [--fast] [--min-recall X]");
+                eprintln!("             [--seed N] [--fast] [--min-recall X] [--json]");
                 return ExitCode::from(2);
             };
             let seed = cli.seed.unwrap_or(42);
-            match rbv_bench::chaoscmd::run(app, seed, fast, cli.min_recall) {
+            match rbv_bench::chaoscmd::run(app, seed, fast, cli.min_recall, cli.json) {
                 Ok((_, true)) => ExitCode::SUCCESS,
                 Ok((_, false)) => ExitCode::FAILURE,
+                Err(e) => fail(&e),
+            }
+        }
+        "bench" => {
+            let (apps, label): (Vec<_>, String) = if cli.all {
+                (rbv_ledger::BENCH_APPS.to_vec(), "all".to_string())
+            } else {
+                match cli
+                    .positionals
+                    .get(1)
+                    .and_then(|a| rbv_bench::experiments::dump::parse_app(a))
+                {
+                    Some(app) => (vec![app], rbv_ledger::short_label(app).to_string()),
+                    None => {
+                        eprintln!("usage: repro bench [<web|tpcc|tpch|rubis|webwork>|--all] \\");
+                        eprintln!(
+                            "             [--seed N] [--fast] [--out BENCH.json] [--wallclock]"
+                        );
+                        return ExitCode::from(2);
+                    }
+                }
+            };
+            let seed = cli.seed.unwrap_or(42);
+            match rbv_bench::benchcmd::run(
+                &apps,
+                &label,
+                seed,
+                fast,
+                cli.wallclock,
+                cli.out.as_deref(),
+            ) {
+                Ok(_) => ExitCode::SUCCESS,
+                Err(e) => fail(&e),
+            }
+        }
+        "diff" => {
+            let (Some(baseline), Some(candidate)) =
+                (cli.positionals.get(1), cli.positionals.get(2))
+            else {
+                eprintln!("usage: repro diff <baseline.json> <candidate.json> [--tolerance pct]");
+                return ExitCode::from(2);
+            };
+            match rbv_bench::diffcmd::run(
+                std::path::Path::new(baseline),
+                std::path::Path::new(candidate),
+                cli.tolerance,
+            ) {
+                Ok(true) => ExitCode::SUCCESS,
+                Ok(false) => ExitCode::FAILURE,
                 Err(e) => fail(&e),
             }
         }

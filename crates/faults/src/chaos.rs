@@ -25,6 +25,7 @@ use rbv_os::{
     SchedulerPolicy, SimConfig,
 };
 use rbv_sim::Cycles;
+use rbv_telemetry::Json;
 use rbv_workloads::{factory_for, AppId};
 
 use crate::detect::{detect_anomalies, score, DetectorConfig, PrecisionRecall};
@@ -111,6 +112,86 @@ pub struct ChaosReport {
     pub overload: OverloadOutcome,
     /// Scenario 4.
     pub easing: EasingStormOutcome,
+}
+
+impl ChaosReport {
+    /// Serializes the whole matrix outcome as a self-describing JSON
+    /// object — the shape `repro chaos --json` prints and the run ledger
+    /// embeds per app.
+    pub fn to_json(&self) -> Json {
+        let num = Json::Num;
+        let a = &self.anomaly;
+        let d = &self.degradation;
+        let o = &self.overload;
+        let e = &self.easing;
+        Json::Obj(vec![
+            ("app".into(), Json::str(self.app.to_string())),
+            ("seed".into(), num(self.seed as f64)),
+            (
+                "anomaly".into(),
+                Json::Obj(vec![
+                    ("injected".into(), num(a.injected as f64)),
+                    (
+                        "injected_by_kind".into(),
+                        Json::Obj(
+                            WorkloadFaultKind::ALL
+                                .iter()
+                                .enumerate()
+                                .map(|(slot, kind)| {
+                                    (
+                                        kind.label().to_string(),
+                                        num(a.injected_by_kind[slot] as f64),
+                                    )
+                                })
+                                .collect(),
+                        ),
+                    ),
+                    ("flagged".into(), num(a.flagged as f64)),
+                    ("precision".into(), num(a.score.precision())),
+                    ("recall".into(), num(a.score.recall())),
+                ]),
+            ),
+            (
+                "degradation".into(),
+                Json::Obj(vec![
+                    ("completed".into(), num(d.completed as f64)),
+                    ("samples_inkernel".into(), num(d.samples_inkernel as f64)),
+                    ("samples_interrupt".into(), num(d.samples_interrupt as f64)),
+                    ("samples_lost".into(), num(d.samples_lost as f64)),
+                    ("low_confidence".into(), num(d.low_confidence as f64)),
+                    ("counter_overflows".into(), num(d.counter_overflows as f64)),
+                    (
+                        "starvation_windows".into(),
+                        num(d.starvation_windows as f64),
+                    ),
+                ]),
+            ),
+            (
+                "overload".into(),
+                Json::Obj(vec![
+                    ("offered".into(), num(o.offered as f64)),
+                    ("completed".into(), num(o.completed as f64)),
+                    ("failed".into(), num(o.failed as f64)),
+                    (
+                        "admission_rejections".into(),
+                        num(o.admission_rejections as f64),
+                    ),
+                    ("admission_retries".into(), num(o.admission_retries as f64)),
+                    ("load_shed".into(), num(o.load_shed as f64)),
+                    ("deadline_aborts".into(), num(o.deadline_aborts as f64)),
+                    ("p99_latency_micros".into(), num(o.p99_latency_micros)),
+                ]),
+            ),
+            (
+                "easing".into(),
+                Json::Obj(vec![
+                    ("stock_p99_cpi".into(), num(e.stock_p99_cpi)),
+                    ("eased_p99_cpi".into(), num(e.eased_p99_cpi)),
+                    ("gate_fallbacks".into(), num(e.gate_fallbacks as f64)),
+                ]),
+            ),
+        ])
+    }
 }
 
 /// Harness scale for the long-request applications (mirrors the bench
@@ -240,11 +321,6 @@ pub fn run_matrix(app: AppId, seed: u64, fast: bool) -> Result<ChaosReport, RbvE
     });
     let mut factory = factory_for(app, seed ^ 0x0F7, scale_of(app));
     let r = run_simulation(cfg, factory.as_mut(), n)?;
-    let latencies: Vec<f64> = r
-        .completed
-        .iter()
-        .map(|c| c.latency().as_micros_f64())
-        .collect();
     let overload = OverloadOutcome {
         offered: r.completed.len() + r.failed.len(),
         completed: r.completed.len(),
@@ -253,7 +329,7 @@ pub fn run_matrix(app: AppId, seed: u64, fast: bool) -> Result<ChaosReport, RbvE
         admission_retries: r.stats.admission_retries,
         load_shed: r.stats.load_shed,
         deadline_aborts: r.stats.deadline_aborts,
-        p99_latency_micros: percentile(&latencies, 0.99).unwrap_or(0.0),
+        p99_latency_micros: r.latency_sketch().p99().unwrap_or(0.0),
     };
 
     // Scenario 4: easing vs stock under the same measurement storm.
@@ -285,6 +361,9 @@ pub fn easing_storm(app: AppId, seed: u64, n: usize) -> Result<EasingStormOutcom
             .weighted_values(rbv_core::series::Metric::L2MissesPerIns);
         mpi.append(&mut v);
     }
+    // Exact percentile, not a sketch: the threshold is a *scheduler
+    // input*, and moving it even within sketch resolution would change
+    // which requests easing displaces.
     let threshold = percentile(&mpi, 0.8).unwrap_or(0.0);
 
     let storm_run = |easing: bool| -> Result<RunResult, RbvError> {
@@ -305,8 +384,8 @@ pub fn easing_storm(app: AppId, seed: u64, n: usize) -> Result<EasingStormOutcom
     let stock = storm_run(false)?;
     let eased = storm_run(true)?;
     Ok(EasingStormOutcome {
-        stock_p99_cpi: percentile(&stock.request_cpis(), 0.99).unwrap_or(f64::NAN),
-        eased_p99_cpi: percentile(&eased.request_cpis(), 0.99).unwrap_or(f64::NAN),
+        stock_p99_cpi: stock.cpi_sketch().p99().unwrap_or(f64::NAN),
+        eased_p99_cpi: eased.cpi_sketch().p99().unwrap_or(f64::NAN),
         gate_fallbacks: eased.stats.easing_gate_fallbacks,
     })
 }
@@ -398,5 +477,27 @@ mod tests {
         assert!(s.contains("precision"));
         assert!(s.contains("recall"));
         assert!(s.contains("gated easing p99 CPI"));
+
+        // The JSON view carries the same numbers and parses back.
+        let text = report.to_json().to_string_compact();
+        let parsed = Json::parse(&text).expect("valid json");
+        assert_eq!(
+            parsed.get("app").and_then(Json::as_str),
+            Some(report.app.to_string().as_str())
+        );
+        assert_eq!(
+            parsed
+                .get("anomaly")
+                .and_then(|a| a.get("recall"))
+                .and_then(Json::as_f64),
+            Some(report.anomaly.score.recall())
+        );
+        assert_eq!(
+            parsed
+                .get("easing")
+                .and_then(|e| e.get("stock_p99_cpi"))
+                .and_then(Json::as_f64),
+            Some(report.easing.stock_p99_cpi)
+        );
     }
 }

@@ -1,0 +1,188 @@
+//! Building a [`RunLedger`] by running the benchmark matrix.
+//!
+//! Per application, the collector runs:
+//!
+//! 1. the **standard** interrupt-sampled concurrent run — request
+//!    latency/CPI/L2 sketches plus the observer-effect accounting of the
+//!    APIC + context-switch sampling modes;
+//! 2. a **syscall-sampled** run — accounting for the syscall-entry and
+//!    backup-timer modes;
+//! 3. a **contention-easing** run against the standard run's stock
+//!    baseline — the stock-vs-easing p99 CPI tail delta (§5.2);
+//! 4. the **chaos matrix** (`rbv_faults::run_matrix`) — anomaly
+//!    precision/recall, degradation, overload, and easing-under-storm.
+//!
+//! Everything is deterministic in `(app, seed, fast)`; wall-clock stage
+//! timings go to the caller's [`SelfProfiler`] and never into the
+//! deterministic part of the document.
+
+use rbv_core::stats::percentile;
+use rbv_faults::chaos::run_matrix;
+use rbv_os::{run_simulation, ObserverReport, RbvError, RunResult, SchedulerPolicy, SimConfig};
+use rbv_sim::Cycles;
+use rbv_telemetry::{Json, SelfProfiler};
+use rbv_workloads::{factory_for, AppId};
+
+use crate::document::{AppLedger, EasingDelta, RunLedger};
+
+/// The applications `repro bench --all` covers (the paper's five server
+/// applications).
+pub const BENCH_APPS: [AppId; 5] = AppId::SERVER_APPS;
+
+/// Stable short label for an application (matches the CLI spelling).
+pub fn short_label(app: AppId) -> &'static str {
+    match app {
+        AppId::WebServer => "web",
+        AppId::Tpcc => "tpcc",
+        AppId::Tpch => "tpch",
+        AppId::Rubis => "rubis",
+        AppId::Webwork => "webwork",
+        AppId::MbenchSpin => "mbench-spin",
+        AppId::MbenchData => "mbench-data",
+    }
+}
+
+/// Per-application instruction scale (mirrors the chaos harness, keeping
+/// the two long-request applications affordable).
+fn scale_of(app: AppId) -> f64 {
+    match app {
+        AppId::Tpch => 0.5,
+        AppId::Webwork => 0.1,
+        _ => 1.0,
+    }
+}
+
+/// Requests for the standard run (mirrors the chaos harness sizes).
+fn requests_of(app: AppId, fast: bool) -> usize {
+    let full = match app {
+        AppId::WebServer => 320,
+        AppId::Tpcc => 240,
+        AppId::Rubis => 200,
+        AppId::Tpch => 120,
+        AppId::Webwork | AppId::MbenchSpin | AppId::MbenchData => 60,
+    };
+    if fast {
+        (full / 4).max(40)
+    } else {
+        full
+    }
+}
+
+/// The standard interrupt-sampled configuration.
+fn base_config(app: AppId, seed: u64) -> SimConfig {
+    let mut cfg = SimConfig::paper_default().with_interrupt_sampling(app.sampling_period_micros());
+    cfg.seed = seed;
+    cfg
+}
+
+fn run(cfg: SimConfig, app: AppId, seed: u64, n: usize) -> Result<RunResult, RbvError> {
+    let mut factory = factory_for(app, seed, scale_of(app));
+    run_simulation(cfg, factory.as_mut(), n)
+}
+
+/// Collects the full ledger record for one application.
+///
+/// # Errors
+///
+/// Propagates [`RbvError`] from configuration validation.
+pub fn collect_app(
+    app: AppId,
+    seed: u64,
+    fast: bool,
+    profiler: &mut SelfProfiler,
+) -> Result<AppLedger, RbvError> {
+    let label = short_label(app);
+    let n = requests_of(app, fast);
+
+    // 1. Standard run: sketches + APIC/context-switch accounting.
+    let timer = profiler.stage(format!("{label}.standard"));
+    let standard = run(base_config(app, seed), app, seed, n)?;
+    profiler.stop(timer);
+
+    // 2. Syscall-sampled run: syscall-entry/backup-timer accounting.
+    let timer = profiler.stage(format!("{label}.syscall"));
+    let period = app.sampling_period_micros();
+    let cfg = base_config(app, seed ^ 0x5C).with_syscall_sampling(period / 2, period * 5);
+    let syscall = run(cfg, app, seed ^ 0x5C, n / 2)?;
+    profiler.stop(timer);
+
+    // 3. Contention easing against the standard run as stock baseline.
+    // The high-usage threshold is the 80th percentile of the standard
+    // run's per-period L2 miss rates — an exact percentile, because it is
+    // a scheduler input, not a reported statistic.
+    let timer = profiler.stage(format!("{label}.easing"));
+    let mut mpi = Vec::new();
+    for r in &standard.completed {
+        let (_, mut v) = r
+            .timeline
+            .weighted_values(rbv_core::series::Metric::L2MissesPerIns);
+        mpi.append(&mut v);
+    }
+    let threshold = percentile(&mpi, 0.8).unwrap_or(0.0);
+    let mut cfg = base_config(app, seed);
+    cfg.scheduler = SchedulerPolicy::ContentionEasing {
+        resched_interval: Cycles::from_millis(5),
+        high_usage_threshold: threshold,
+        alpha: 0.6,
+    };
+    cfg.easing_error_gate = Some(0.35);
+    let eased = run(cfg, app, seed, n)?;
+    profiler.stop(timer);
+
+    // 4. Chaos matrix.
+    let timer = profiler.stage(format!("{label}.chaos"));
+    let chaos = run_matrix(app, seed, fast)?;
+    profiler.stop(timer);
+
+    Ok(AppLedger {
+        app: label.to_string(),
+        requests: standard.completed.len() as u64,
+        latency_us: standard.latency_sketch(),
+        cpi: standard.cpi_sketch(),
+        l2_mpki: standard.l2_mpki_sketch(),
+        observer: ObserverReport::account(&standard.stats).to_json(),
+        syscall_observer: ObserverReport::account(&syscall.stats).to_json(),
+        easing: EasingDelta {
+            stock_p99_cpi: standard.cpi_sketch().p99().unwrap_or(f64::NAN),
+            eased_p99_cpi: eased.cpi_sketch().p99().unwrap_or(f64::NAN),
+        },
+        chaos: chaos.to_json(),
+    })
+}
+
+/// Collects a full run ledger over `apps`. Wall-clock stage timings land
+/// in `profiler`; they are embedded in the document only when
+/// `include_wallclock` is set (and are then ignored by the differ).
+///
+/// # Errors
+///
+/// Propagates [`RbvError`] from configuration validation.
+pub fn collect(
+    apps: &[AppId],
+    label: &str,
+    seed: u64,
+    fast: bool,
+    include_wallclock: bool,
+    profiler: &mut SelfProfiler,
+) -> Result<RunLedger, RbvError> {
+    let mut records = Vec::with_capacity(apps.len());
+    for &app in apps {
+        records.push(collect_app(app, seed, fast, profiler)?);
+    }
+    let profile = include_wallclock.then(|| {
+        Json::Obj(
+            profiler
+                .stages()
+                .iter()
+                .map(|(name, secs)| (format!("wall_s.{name}"), Json::Num(*secs)))
+                .collect(),
+        )
+    });
+    Ok(RunLedger {
+        label: label.to_string(),
+        seed,
+        fast,
+        apps: records,
+        profile,
+    })
+}

@@ -1,0 +1,297 @@
+//! The ledger document: a self-describing JSON record of one benchmark
+//! run, built from mergeable sketches and the observer-effect accounting.
+//!
+//! Key order and number formatting are fixed, so the same binary run
+//! twice at the same seed serializes byte-identically — the property the
+//! regression gate relies on (two equal documents diff clean by
+//! construction). Wall-clock self-profiling is *excluded* by default for
+//! exactly this reason; [`RunLedger::profile`] is opt-in and ignored by
+//! the differ.
+
+use rbv_telemetry::{Json, QuantileSketch};
+
+/// Schema tag embedded in every document; the differ refuses to compare
+/// documents with different tags.
+pub const SCHEMA: &str = "rbv-ledger/v1";
+
+/// Stock-vs-easing tail comparison for one application.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EasingDelta {
+    /// p99 request CPI under the stock scheduler.
+    pub stock_p99_cpi: f64,
+    /// p99 request CPI under gated contention easing, same workload.
+    pub eased_p99_cpi: f64,
+}
+
+impl EasingDelta {
+    /// Relative tail change: negative when easing improved the p99 CPI.
+    pub fn tail_delta_frac(&self) -> f64 {
+        if self.stock_p99_cpi > 0.0 {
+            (self.eased_p99_cpi - self.stock_p99_cpi) / self.stock_p99_cpi
+        } else {
+            0.0
+        }
+    }
+
+    /// Serializes the comparison.
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("stock_p99_cpi".into(), Json::Num(self.stock_p99_cpi)),
+            ("eased_p99_cpi".into(), Json::Num(self.eased_p99_cpi)),
+            ("tail_delta_frac".into(), Json::Num(self.tail_delta_frac())),
+        ])
+    }
+
+    /// Parses a comparison serialized by [`EasingDelta::to_json`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the missing member.
+    pub fn from_json(json: &Json) -> Result<EasingDelta, String> {
+        let num = |key: &str| {
+            json.get(key)
+                .and_then(Json::as_f64)
+                .ok_or_else(|| format!("easing: missing number {key:?}"))
+        };
+        Ok(EasingDelta {
+            stock_p99_cpi: num("stock_p99_cpi")?,
+            eased_p99_cpi: num("eased_p99_cpi")?,
+        })
+    }
+}
+
+/// Everything the ledger records about one application's runs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AppLedger {
+    /// Application short label (`web`, `tpcc`, ...).
+    pub app: String,
+    /// Requests completed by the standard interrupt-sampled run.
+    pub requests: u64,
+    /// End-to-end request latency digest, microseconds.
+    pub latency_us: QuantileSketch,
+    /// Whole-request CPI digest.
+    pub cpi: QuantileSketch,
+    /// Per-request L2 misses per kilo-instruction digest.
+    pub l2_mpki: QuantileSketch,
+    /// Observer-effect accounting of the standard (interrupt-sampled)
+    /// run, as serialized by `rbv_os::ObserverReport::to_json`.
+    pub observer: Json,
+    /// Observer-effect accounting of the syscall-sampled run (exercises
+    /// the syscall-entry and backup-timer modes).
+    pub syscall_observer: Json,
+    /// Stock-vs-easing p99 CPI comparison.
+    pub easing: EasingDelta,
+    /// The chaos matrix outcome, as serialized by
+    /// `rbv_faults::ChaosReport::to_json`.
+    pub chaos: Json,
+}
+
+impl AppLedger {
+    /// Serializes the per-app record.
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("app".into(), Json::str(self.app.clone())),
+            ("requests".into(), Json::Num(self.requests as f64)),
+            ("latency_us".into(), self.latency_us.to_json()),
+            ("cpi".into(), self.cpi.to_json()),
+            ("l2_mpki".into(), self.l2_mpki.to_json()),
+            ("observer".into(), self.observer.clone()),
+            ("syscall_observer".into(), self.syscall_observer.clone()),
+            ("easing".into(), self.easing.to_json()),
+            ("chaos".into(), self.chaos.clone()),
+        ])
+    }
+
+    /// Parses a record serialized by [`AppLedger::to_json`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the missing or malformed member.
+    pub fn from_json(json: &Json) -> Result<AppLedger, String> {
+        let member = |key: &str| {
+            json.get(key)
+                .ok_or_else(|| format!("app ledger: missing {key:?}"))
+        };
+        let sketch = |key: &str| QuantileSketch::from_json(member(key)?);
+        Ok(AppLedger {
+            app: member("app")?
+                .as_str()
+                .ok_or("app ledger: app is not a string")?
+                .to_string(),
+            requests: member("requests")?
+                .as_f64()
+                .ok_or("app ledger: requests is not a number")? as u64,
+            latency_us: sketch("latency_us")?,
+            cpi: sketch("cpi")?,
+            l2_mpki: sketch("l2_mpki")?,
+            observer: member("observer")?.clone(),
+            syscall_observer: member("syscall_observer")?.clone(),
+            easing: EasingDelta::from_json(member("easing")?)?,
+            chaos: member("chaos")?.clone(),
+        })
+    }
+}
+
+/// One benchmark run, ready to serialize or diff.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunLedger {
+    /// Free-form run label (the bench target, e.g. `all` or `web`).
+    pub label: String,
+    /// Seed every simulation in the run derived from.
+    pub seed: u64,
+    /// Whether the run used the reduced `--fast` request counts.
+    pub fast: bool,
+    /// Per-application records, in collection order.
+    pub apps: Vec<AppLedger>,
+    /// Optional wall-clock self-profile (`SelfProfiler` stage seconds).
+    /// Non-deterministic by nature: excluded unless explicitly requested,
+    /// and never compared by the differ.
+    pub profile: Option<Json>,
+}
+
+impl RunLedger {
+    /// Serializes the whole run. With `profile == None` the output is a
+    /// pure function of (code, label, seed, fast) — byte-identical across
+    /// repeat runs.
+    pub fn to_json(&self) -> Json {
+        let mut members = vec![
+            ("schema".into(), Json::str(SCHEMA)),
+            ("label".into(), Json::str(self.label.clone())),
+            ("seed".into(), Json::Num(self.seed as f64)),
+            ("fast".into(), Json::Bool(self.fast)),
+            (
+                "apps".into(),
+                Json::Arr(self.apps.iter().map(AppLedger::to_json).collect()),
+            ),
+        ];
+        if let Some(profile) = &self.profile {
+            members.push(("profile".into(), profile.clone()));
+        }
+        Json::Obj(members)
+    }
+
+    /// The serialized document text (compact, stable member order).
+    pub fn to_string_compact(&self) -> String {
+        self.to_json().to_string_compact()
+    }
+
+    /// Parses a run serialized by [`RunLedger::to_json`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the missing or malformed member, or a
+    /// schema mismatch.
+    pub fn from_json(json: &Json) -> Result<RunLedger, String> {
+        let schema = json
+            .get("schema")
+            .and_then(Json::as_str)
+            .ok_or("ledger: missing schema")?;
+        if schema != SCHEMA {
+            return Err(format!("ledger: schema {schema:?} != {SCHEMA:?}"));
+        }
+        Ok(RunLedger {
+            label: json
+                .get("label")
+                .and_then(Json::as_str)
+                .ok_or("ledger: missing label")?
+                .to_string(),
+            seed: json
+                .get("seed")
+                .and_then(Json::as_f64)
+                .ok_or("ledger: missing seed")? as u64,
+            fast: match json.get("fast") {
+                Some(Json::Bool(b)) => *b,
+                _ => return Err("ledger: missing fast".into()),
+            },
+            apps: json
+                .get("apps")
+                .and_then(Json::as_array)
+                .ok_or("ledger: missing apps")?
+                .iter()
+                .map(AppLedger::from_json)
+                .collect::<Result<_, _>>()?,
+            profile: json.get("profile").cloned(),
+        })
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod tests {
+    use super::*;
+
+    pub(crate) fn sample_app(app: &str, scale: f64) -> AppLedger {
+        AppLedger {
+            app: app.to_string(),
+            requests: 40,
+            latency_us: QuantileSketch::of((1..=40).map(|i| i as f64 * 12.5 * scale)),
+            cpi: QuantileSketch::of((1..=40).map(|i| 0.8 + (i % 7) as f64 * 0.3 * scale)),
+            l2_mpki: QuantileSketch::of((1..=40).map(|i| (i % 5) as f64 * 0.7 * scale)),
+            observer: Json::Obj(vec![("overhead_frac".into(), Json::Num(0.004 * scale))]),
+            syscall_observer: Json::Obj(vec![("overhead_frac".into(), Json::Num(0.006 * scale))]),
+            easing: EasingDelta {
+                stock_p99_cpi: 2.5 * scale,
+                eased_p99_cpi: 2.3 * scale,
+            },
+            chaos: Json::Obj(vec![(
+                "anomaly".into(),
+                Json::Obj(vec![
+                    ("precision".into(), Json::Num(0.9)),
+                    ("recall".into(), Json::Num(0.85)),
+                ]),
+            )]),
+        }
+    }
+
+    pub(crate) fn sample_ledger() -> RunLedger {
+        RunLedger {
+            label: "test".into(),
+            seed: 42,
+            fast: true,
+            apps: vec![sample_app("web", 1.0), sample_app("tpcc", 1.4)],
+            profile: None,
+        }
+    }
+
+    #[test]
+    fn round_trips_byte_for_byte() {
+        let ledger = sample_ledger();
+        let text = ledger.to_string_compact();
+        let back = RunLedger::from_json(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back, ledger);
+        assert_eq!(back.to_string_compact(), text);
+    }
+
+    #[test]
+    fn profile_is_optional_and_preserved() {
+        let mut ledger = sample_ledger();
+        assert!(!ledger.to_string_compact().contains("profile"));
+        ledger.profile = Some(Json::Obj(vec![("wall_s.collect".into(), Json::Num(1.25))]));
+        let text = ledger.to_string_compact();
+        assert!(text.contains("profile"));
+        let back = RunLedger::from_json(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back, ledger);
+    }
+
+    #[test]
+    fn schema_mismatch_is_rejected() {
+        let mut json = sample_ledger().to_json();
+        if let Json::Obj(members) = &mut json {
+            members[0].1 = Json::str("rbv-ledger/v0");
+        }
+        assert!(RunLedger::from_json(&json).is_err());
+    }
+
+    #[test]
+    fn tail_delta_is_relative_to_stock() {
+        let d = EasingDelta {
+            stock_p99_cpi: 2.0,
+            eased_p99_cpi: 1.9,
+        };
+        assert!((d.tail_delta_frac() + 0.05).abs() < 1e-12);
+        let zero = EasingDelta {
+            stock_p99_cpi: 0.0,
+            eased_p99_cpi: 1.0,
+        };
+        assert_eq!(zero.tail_delta_frac(), 0.0);
+    }
+}

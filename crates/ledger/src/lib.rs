@@ -1,0 +1,26 @@
+//! # rbv-ledger
+//!
+//! The run ledger: one self-describing JSON document per benchmark run,
+//! plus cross-run regression diffing with per-metric tolerance bands.
+//!
+//! * [`collect`] runs the benchmark matrix (standard, syscall-sampled,
+//!   easing, and chaos runs per application) and builds a [`RunLedger`]
+//!   of mergeable quantile sketches, observer-effect accounting, and
+//!   chaos precision/recall.
+//! * [`RunLedger::to_string_compact`] serializes the document with fixed
+//!   member order; with the wall-clock profile excluded, repeat runs at
+//!   the same seed produce byte-identical text.
+//! * [`diff_documents`] compares a candidate document against a baseline
+//!   metric-by-metric, applying sketch-width-aware tolerance bands, and
+//!   reports named violations — the CI regression gate.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod collect;
+pub mod diff;
+pub mod document;
+
+pub use collect::{collect, collect_app, short_label, BENCH_APPS};
+pub use diff::{diff_documents, metrics_of, DiffReport, Violation};
+pub use document::{AppLedger, EasingDelta, RunLedger, SCHEMA};

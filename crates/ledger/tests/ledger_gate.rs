@@ -1,0 +1,82 @@
+//! End-to-end checks of the ledger pipeline: collection is deterministic
+//! byte-for-byte, a document diffs clean against itself, and a perturbed
+//! tail quantile is flagged by name with a nonempty explanation.
+
+use rbv_ledger::{collect, diff_documents, RunLedger};
+use rbv_telemetry::{Json, QuantileSketch, SelfProfiler};
+use rbv_workloads::AppId;
+
+fn collect_once(wallclock: bool) -> RunLedger {
+    let mut profiler = SelfProfiler::new();
+    collect(
+        &[AppId::Webwork],
+        "gate-test",
+        42,
+        true,
+        wallclock,
+        &mut profiler,
+    )
+    .expect("collection succeeds")
+}
+
+#[test]
+fn repeat_collection_is_byte_identical_and_diffs_clean() {
+    let a = collect_once(false);
+    let b = collect_once(false);
+    let text_a = a.to_string_compact();
+    let text_b = b.to_string_compact();
+    assert_eq!(text_a, text_b, "same seed must serialize byte-identically");
+
+    let parsed = Json::parse(&text_a).expect("document parses");
+    let report = diff_documents(&parsed, &parsed, None).expect("diff runs");
+    assert!(report.passed(), "self-diff must be clean: {report:?}");
+    assert!(report.compared > 20, "expected a rich metric set");
+}
+
+#[test]
+fn wallclock_profile_is_present_only_on_request_and_never_diffed() {
+    let with = collect_once(true);
+    let without = collect_once(false);
+    assert!(with.profile.is_some());
+    assert!(without.profile.is_none());
+
+    // The deterministic parts still diff clean against each other even
+    // though one document carries wall-clock timings.
+    let a = Json::parse(&with.to_string_compact()).unwrap();
+    let b = Json::parse(&without.to_string_compact()).unwrap();
+    let report = diff_documents(&a, &b, None).expect("diff runs");
+    assert!(report.passed(), "profile must be ignored: {report:?}");
+}
+
+#[test]
+fn perturbed_tail_cpi_fails_the_gate_with_a_named_violation() {
+    let baseline = collect_once(false);
+    let mut candidate = baseline.clone();
+    // Regress the candidate's CPI tail by 5% — outside the sketch band.
+    let shifted: Vec<f64> = {
+        let sketch = &candidate.apps[0].cpi;
+        let p50 = sketch.p50().unwrap();
+        (0..sketch.count())
+            .map(|i| p50 * 1.05 * (1.0 + i as f64 * 1e-6))
+            .collect()
+    };
+    candidate.apps[0].cpi = QuantileSketch::of(shifted.iter().copied());
+
+    let base = Json::parse(&baseline.to_string_compact()).unwrap();
+    let cand = Json::parse(&candidate.to_string_compact()).unwrap();
+    let report = diff_documents(&base, &cand, None).expect("diff runs");
+    assert!(!report.passed(), "a 5% tail shift must fail the gate");
+    let named: Vec<&str> = report
+        .violations
+        .iter()
+        .map(|v| v.metric.as_str())
+        .collect();
+    assert!(
+        named.iter().any(|m| m.starts_with("webwork.cpi.")),
+        "violations must name the regressed metric, got {named:?}"
+    );
+    for v in &report.violations {
+        assert!(v.baseline.is_finite() && v.candidate.is_finite());
+        assert!(v.tolerance >= 0.0);
+    }
+}

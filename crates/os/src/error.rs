@@ -66,10 +66,7 @@ mod tests {
     fn exit_codes_distinguish_usage_errors() {
         assert_eq!(RbvError::Cli("bad flag".into()).exit_code(), 2);
         assert_eq!(RbvError::Config("bad field".into()).exit_code(), 1);
-        assert_eq!(
-            RbvError::from(io::Error::other("disk")).exit_code(),
-            1
-        );
+        assert_eq!(RbvError::from(io::Error::other("disk")).exit_code(), 1);
     }
 
     #[test]

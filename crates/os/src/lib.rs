@@ -14,6 +14,8 @@
 //! * [`observer`] — sampling costs and the observer effect (Table 1),
 //!   both as calibrated constants and as measurements against the
 //!   trace-driven cache hierarchy;
+//! * [`accountant`] — the observer-effect cost accountant: per-mode
+//!   sampling cost attribution against the "do no harm" budget (§3.4);
 //! * [`result`] — completed-request timelines, transition-signal training
 //!   records (Table 2), sampling statistics (Figure 5), and contention
 //!   accounting (Figure 12);
@@ -37,6 +39,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod accountant;
 pub mod config;
 pub mod error;
 pub mod machine;
@@ -44,10 +47,11 @@ pub mod observer;
 pub mod projection;
 pub mod result;
 
+pub use accountant::{ModeCost, ObserverReport, DO_NO_HARM_BUDGET};
 pub use config::{MeasurementFaults, OverloadPolicy, SamplingPolicy, SchedulerPolicy, SimConfig};
 pub use error::RbvError;
 pub use machine::{run_simulation, run_simulation_traced};
-pub use observer::{measure_sampling_cost, SampleCost, SamplingContext};
+pub use observer::{measure_sampling_cost, SampleCost, SampleMode, SamplingContext};
 pub use projection::PlatformProjection;
 pub use result::{
     CompletedRequest, FailReason, FailedRequest, RunResult, RunStats, SyscallRecord,

@@ -42,7 +42,7 @@ use rbv_workloads::{Request, RequestFactory, Stage, SyscallName};
 
 use crate::config::{ArrivalProcess, SamplingPolicy, SchedulerPolicy, SimConfig};
 use crate::error::RbvError;
-use crate::observer::{injected_cost, pollution_of, spin_baseline, SamplingContext};
+use crate::observer::{injected_cost, pollution_of, spin_baseline, SampleMode, SamplingContext};
 use crate::result::{
     CompletedRequest, FailReason, FailedRequest, RunResult, RunStats, SyscallRecord,
     TransitionRecord,
@@ -783,7 +783,7 @@ impl<'s> Engine<'s> {
                 // starved, so this trigger collects nothing and the
                 // already-armed backup interrupt timer covers the stretch.
             } else {
-                self.take_sample(core, rid, now, SamplingContext::InKernel, Some(name));
+                self.take_sample(core, rid, now, SampleMode::SyscallEntry, Some(name));
                 self.rearm_backup_timer(core, now);
             }
         }
@@ -801,7 +801,7 @@ impl<'s> Engine<'s> {
         factory: &mut dyn RequestFactory,
     ) {
         // Context-switch sample flushes the stage's final period.
-        self.take_sample(core, rid, now, SamplingContext::InKernel, None);
+        self.take_sample(core, rid, now, SampleMode::ContextSwitch, None);
         self.cores[core].running = None;
         self.rates_dirty = true;
         self.stats.context_switches += 1;
@@ -919,9 +919,11 @@ impl<'s> Engine<'s> {
         core: usize,
         rid: usize,
         now: Cycles,
-        ctx: SamplingContext,
+        mode: SampleMode,
         syscall: Option<SyscallName>,
     ) {
+        let ctx = mode.context();
+        self.stats.samples_by_mode[mode.index()] += 1;
         match ctx {
             SamplingContext::InKernel => self.stats.samples_inkernel += 1,
             SamplingContext::Interrupt => self.stats.samples_interrupt += 1,
@@ -1092,7 +1094,7 @@ impl<'s> Engine<'s> {
             SamplingPolicy::Interrupt { period } => {
                 let period = *period;
                 if !lost {
-                    self.take_sample(core, rid, now, SamplingContext::Interrupt, None);
+                    self.take_sample(core, rid, now, SampleMode::Apic, None);
                 }
                 self.cores[core].sample_epoch += 1;
                 let epoch = self.cores[core].sample_epoch;
@@ -1104,7 +1106,7 @@ impl<'s> Engine<'s> {
             | SamplingPolicy::TransitionSignalPairs { .. } => {
                 // Backup interrupt covering a syscall-free stretch.
                 if !lost {
-                    self.take_sample(core, rid, now, SamplingContext::Interrupt, None);
+                    self.take_sample(core, rid, now, SampleMode::BackupTimer, None);
                 }
                 self.rearm_backup_timer(core, now);
             }
@@ -1287,7 +1289,7 @@ impl<'s> Engine<'s> {
             return;
         }
         // Context switch: sample, rotate, dispatch.
-        self.take_sample(core, rid, now, SamplingContext::InKernel, None);
+        self.take_sample(core, rid, now, SampleMode::ContextSwitch, None);
         self.cores[core].running = None;
         self.stats.context_switches += 1;
         if let Some(sink) = self.sink.as_deref_mut() {
@@ -1345,7 +1347,7 @@ impl<'s> Engine<'s> {
             return; // no contention-easing opportunity: current resumes
         };
         let next = self.runqueues[core].remove(pos).expect("position valid");
-        self.take_sample(core, rid, now, SamplingContext::InKernel, None);
+        self.take_sample(core, rid, now, SampleMode::ContextSwitch, None);
         self.cores[core].running = None;
         self.stats.context_switches += 1;
         self.stats.resched_decisions += 1;

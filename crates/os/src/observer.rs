@@ -33,6 +33,60 @@ pub enum SamplingContext {
     Interrupt,
 }
 
+/// Which sampling hook took a sample — the attribution axis of the
+/// observer-effect cost accountant. Each mode maps onto one of Table 1's
+/// two cost contexts via [`SampleMode::context`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SampleMode {
+    /// Context-switch flush: quantum rotation, stage handoff, or a
+    /// contention-easing displacement.
+    ContextSwitch,
+    /// A system-call entrance trigger (transition-signal sampling).
+    SyscallEntry,
+    /// The periodic APIC sampling interrupt.
+    Apic,
+    /// The backup interrupt timer covering a syscall-free stretch.
+    BackupTimer,
+}
+
+impl SampleMode {
+    /// Every mode, in the fixed reporting order used by ledgers.
+    pub const ALL: [SampleMode; 4] = [
+        SampleMode::ContextSwitch,
+        SampleMode::SyscallEntry,
+        SampleMode::Apic,
+        SampleMode::BackupTimer,
+    ];
+
+    /// The Table 1 cost context this mode samples in.
+    pub fn context(self) -> SamplingContext {
+        match self {
+            SampleMode::ContextSwitch | SampleMode::SyscallEntry => SamplingContext::InKernel,
+            SampleMode::Apic | SampleMode::BackupTimer => SamplingContext::Interrupt,
+        }
+    }
+
+    /// Stable snake_case label used in metrics and ledger documents.
+    pub fn label(self) -> &'static str {
+        match self {
+            SampleMode::ContextSwitch => "context_switch",
+            SampleMode::SyscallEntry => "syscall_entry",
+            SampleMode::Apic => "apic",
+            SampleMode::BackupTimer => "backup_timer",
+        }
+    }
+
+    /// Position in [`SampleMode::ALL`] (indexes per-mode counters).
+    pub fn index(self) -> usize {
+        match self {
+            SampleMode::ContextSwitch => 0,
+            SampleMode::SyscallEntry => 1,
+            SampleMode::Apic => 2,
+            SampleMode::BackupTimer => 3,
+        }
+    }
+}
+
 /// Per-sample cost: time plus the additional hardware events the sampling
 /// operation itself produces.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
@@ -289,6 +343,30 @@ mod tests {
         use rbv_workloads::mbench::{data_profile, spin_profile};
         assert_eq!(pollution_of(&spin_profile()), 0.0);
         assert!(pollution_of(&data_profile()) > 0.99);
+    }
+
+    #[test]
+    fn sample_modes_partition_the_table1_contexts() {
+        for (i, mode) in SampleMode::ALL.iter().enumerate() {
+            assert_eq!(mode.index(), i);
+        }
+        assert_eq!(
+            SampleMode::ContextSwitch.context(),
+            SamplingContext::InKernel
+        );
+        assert_eq!(
+            SampleMode::SyscallEntry.context(),
+            SamplingContext::InKernel
+        );
+        assert_eq!(SampleMode::Apic.context(), SamplingContext::Interrupt);
+        assert_eq!(
+            SampleMode::BackupTimer.context(),
+            SamplingContext::Interrupt
+        );
+        // Labels are distinct (they key metrics and ledger entries).
+        let labels: std::collections::BTreeSet<_> =
+            SampleMode::ALL.iter().map(|m| m.label()).collect();
+        assert_eq!(labels.len(), 4);
     }
 
     #[test]

@@ -54,10 +54,11 @@ impl CompletedRequest {
     }
 
     /// The 90-percentile CPI across the request's sample periods (the
-    /// "peak CPI" property of Figure 7B).
+    /// "peak CPI" property of Figure 7B), answered from the same
+    /// mergeable sketch the run ledger records.
     pub fn peak_cpi(&self) -> Option<f64> {
         let (_, values) = self.timeline.weighted_values(Metric::Cpi);
-        rbv_core::stats::percentile(&values, 0.9)
+        rbv_telemetry::QuantileSketch::of(values).quantile(0.9)
     }
 
     /// Fixed-bucket variation pattern on `metric` (§4.1 signatures).
@@ -158,6 +159,11 @@ pub struct RunStats {
     pub samples_inkernel: u64,
     /// Counter samples taken at (periodic or backup) interrupts.
     pub samples_interrupt: u64,
+    /// Counter samples by sampling hook, indexed by
+    /// [`crate::observer::SampleMode::index`] — the fine-grained split the
+    /// observer-effect accountant prices (sums to `samples_inkernel +
+    /// samples_interrupt`).
+    pub samples_by_mode: [u64; 4],
     /// Simulated cycles during which exactly `k` cores simultaneously ran
     /// requests in high-resource-usage periods (index `k`; Figure 12).
     pub high_usage_cycles: Vec<f64>,
@@ -248,6 +254,29 @@ impl RunResult {
     /// Requests of one class.
     pub fn of_class(&self, class: RequestClass) -> Vec<&CompletedRequest> {
         self.completed.iter().filter(|r| r.class == class).collect()
+    }
+
+    /// Mergeable digest of end-to-end request latencies, in microseconds
+    /// on the 3 GHz platform.
+    pub fn latency_sketch(&self) -> rbv_telemetry::QuantileSketch {
+        rbv_telemetry::QuantileSketch::of(
+            self.completed
+                .iter()
+                .map(|r| r.latency().as_f64() / 3_000.0),
+        )
+    }
+
+    /// Mergeable digest of whole-request CPIs.
+    pub fn cpi_sketch(&self) -> rbv_telemetry::QuantileSketch {
+        rbv_telemetry::QuantileSketch::of(self.request_cpis())
+    }
+
+    /// Mergeable digest of per-request L2 misses per kilo-instruction.
+    pub fn l2_mpki_sketch(&self) -> rbv_telemetry::QuantileSketch {
+        rbv_telemetry::QuantileSketch::of(self.completed.iter().filter_map(|r| {
+            let totals = r.timeline.totals();
+            (totals.instructions > 0.0).then(|| totals.l2_misses / totals.instructions * 1_000.0)
+        }))
     }
 
     /// Mean ± standard deviation of the CPI change signaled by each
@@ -366,6 +395,12 @@ impl RunResult {
 
         registry.count("sampling.inkernel", stats.samples_inkernel);
         registry.count("sampling.interrupt", stats.samples_interrupt);
+        for mode in crate::observer::SampleMode::ALL {
+            registry.count(
+                &format!("sampling.mode.{}", mode.label()),
+                stats.samples_by_mode[mode.index()],
+            );
+        }
         registry.count("sampling.lost", stats.samples_lost);
         registry.count("sampling.low_confidence", stats.samples_low_confidence);
         registry.count("sampling.counter_overflows", stats.counter_overflows);
@@ -383,13 +418,15 @@ impl RunResult {
 
         // Observer-effect budget: what the measurement apparatus itself
         // cost, priced at the Mbench-Spin floor per sampling context.
-        let overhead = stats.sampling_overhead_cycles();
-        registry.gauge("observer.overhead_cycles", overhead);
+        let report = crate::accountant::ObserverReport::account(stats);
+        registry.gauge("observer.overhead_cycles", report.total_cycles);
         if stats.busy_cycles > 0.0 {
-            registry.gauge(
-                "observer.overhead_frac_of_busy",
-                overhead / stats.busy_cycles,
-            );
+            registry.gauge("observer.overhead_frac_of_busy", report.overhead_frac());
+        }
+        registry.gauge("observer.budget_frac", report.budget_frac);
+        registry.gauge("observer.slack_frac", report.slack_frac());
+        for m in &report.per_mode {
+            registry.gauge(&format!("observer.cycles.{}", m.mode.label()), m.cycles);
         }
         registry.gauge(
             "observer.cycles_per_inkernel_sample",

@@ -7,6 +7,7 @@ pub mod metrics;
 pub mod perfetto;
 pub mod profile;
 pub mod sink;
+pub mod sketch;
 
 pub use event::{SampleOrigin, SwitchReason, TraceEvent};
 pub use json::Json;
@@ -14,3 +15,4 @@ pub use metrics::{LogHistogram, MetricsRegistry, MetricsSnapshot};
 pub use perfetto::PerfettoTrace;
 pub use profile::SelfProfiler;
 pub use sink::{CountingSink, MemorySink, NullSink, TraceSink};
+pub use sketch::QuantileSketch;

@@ -8,7 +8,9 @@
 use crate::json::Json;
 
 /// A histogram over power-of-two buckets: bucket `i` counts values `v`
-/// with `2^(i-1) <= v < 2^i` (bucket 0 counts `v < 1`).
+/// with `2^(i-1) <= v < 2^i` (bucket 0 counts `v < 1`). Bucket
+/// [`LogHistogram::OVERFLOW_BUCKET`] is the shared overflow bucket for
+/// everything at or beyond `2^63`.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct LogHistogram {
     /// Count per bucket, highest occupied bucket last.
@@ -24,6 +26,11 @@ pub struct LogHistogram {
 }
 
 impl LogHistogram {
+    /// Index of the overflow bucket; values `>= 2^63` land here so
+    /// bucket upper bounds stay representable (`2^64` is finite, so
+    /// quantile interpolation never touches infinity).
+    pub const OVERFLOW_BUCKET: usize = 64;
+
     /// Records one observation. Negative and non-finite values clamp to 0.
     pub fn observe(&mut self, value: f64) {
         let v = if value.is_finite() {
@@ -34,7 +41,7 @@ impl LogHistogram {
         let bucket = if v < 1.0 {
             0
         } else {
-            (v.log2().floor() as usize) + 1
+            ((v.log2().floor() as usize) + 1).min(Self::OVERFLOW_BUCKET)
         };
         if self.buckets.len() <= bucket {
             self.buckets.resize(bucket + 1, 0);
@@ -58,6 +65,47 @@ impl LogHistogram {
         } else {
             Some(self.sum / self.count as f64)
         }
+    }
+
+    /// The `q`-quantile (`0 <= q <= 1`, clamped) by rank-walking the
+    /// buckets and interpolating inside the covering bucket, clamped to
+    /// the exact observed `[min, max]`.
+    ///
+    /// Edge cases, all well-defined:
+    /// * empty histogram → `None` (never NaN);
+    /// * a single observation (`min == max`) → exactly that value at
+    ///   every `q`, thanks to the min/max clamp;
+    /// * ranks landing in the overflow bucket → the clamped `max`, never
+    ///   an interpolation toward a non-representable bound.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.count == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let pos = q * (self.count - 1) as f64;
+        let mut start = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            let end = start + c;
+            if pos < end as f64 || end == self.count {
+                if i == Self::OVERFLOW_BUCKET {
+                    return Some(self.max);
+                }
+                let lo = if i == 0 {
+                    0.0
+                } else {
+                    (2.0f64).powi(i as i32 - 1)
+                };
+                let hi = (2.0f64).powi(i as i32);
+                let inside = (pos - start as f64).max(0.0);
+                let frac = ((inside + 0.5) / c as f64).min(1.0);
+                return Some((lo + (hi - lo) * frac).clamp(self.min, self.max));
+            }
+            start = end;
+        }
+        Some(self.max)
     }
 }
 
@@ -316,5 +364,54 @@ mod tests {
     fn empty_histogram_has_no_mean() {
         let h = LogHistogram::default();
         assert_eq!(h.mean(), None);
+    }
+
+    #[test]
+    fn quantile_on_empty_histogram_is_none() {
+        let h = LogHistogram::default();
+        for q in [0.0, 0.5, 1.0] {
+            assert_eq!(h.quantile(q), None, "q={q}");
+        }
+    }
+
+    #[test]
+    fn quantile_of_single_observation_is_exact() {
+        let mut h = LogHistogram::default();
+        h.observe(37.5);
+        assert_eq!(h.min, h.max);
+        for q in [0.0, 0.25, 0.5, 0.99, 1.0] {
+            assert_eq!(h.quantile(q), Some(37.5), "q={q}");
+        }
+    }
+
+    #[test]
+    fn quantile_in_overflow_bucket_returns_clamped_max() {
+        let mut h = LogHistogram::default();
+        h.observe(1.0);
+        h.observe(1e300); // far beyond 2^63: lands in the overflow bucket
+        assert_eq!(h.buckets.len(), LogHistogram::OVERFLOW_BUCKET + 1);
+        assert_eq!(h.buckets[LogHistogram::OVERFLOW_BUCKET], 1);
+        let q = h.quantile(1.0).unwrap();
+        assert_eq!(q, 1e300, "overflow tail must clamp to max, got {q}");
+        assert!(q.is_finite(), "never NaN/inf");
+        // All-overflow histogram: every quantile is the clamped max.
+        let mut all = LogHistogram::default();
+        all.observe(2e300);
+        all.observe(3e300);
+        assert_eq!(all.quantile(0.5), Some(3e300));
+    }
+
+    #[test]
+    fn quantile_tracks_bucket_resolution() {
+        let mut h = LogHistogram::default();
+        for i in 1..=1000 {
+            h.observe(i as f64);
+        }
+        let p50 = h.quantile(0.5).unwrap();
+        let p99 = h.quantile(0.99).unwrap();
+        // Log2 buckets are coarse: within a factor of 2 of the truth.
+        assert!((250.0..=1000.0).contains(&p50), "p50 {p50}");
+        assert!((495.0..=1000.0).contains(&p99), "p99 {p99}");
+        assert!(p50 <= p99, "monotone");
     }
 }

@@ -60,6 +60,12 @@ impl SelfProfiler {
         self.stages.iter().find(|(n, _)| n == name).map(|(_, s)| *s)
     }
 
+    /// Every recorded stage with its accumulated seconds, in first-start
+    /// order (consumed by the run ledger's opt-in wall-clock section).
+    pub fn stages(&self) -> &[(String, f64)] {
+        &self.stages
+    }
+
     /// Total seconds across all stages.
     pub fn total_seconds(&self) -> f64 {
         self.stages.iter().map(|(_, s)| s).sum()

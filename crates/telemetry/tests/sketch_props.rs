@@ -1,0 +1,141 @@
+//! Property tests for the mergeable quantile sketch.
+//!
+//! The central contract: merging two sketches is *bit-for-bit* equivalent to
+//! sketching the concatenated sample stream, at every quantile. A weaker but
+//! equally important contract bounds the sketch against sorted-vector ground
+//! truth by the layout's relative-error guarantee.
+
+use proptest::prelude::*;
+use rbv_telemetry::QuantileSketch;
+
+/// One sub-bucket of the `log2x32` layout spans a factor of 2^(1/32), so
+/// the sketch answer is within this factor of the covering order statistic.
+const BUCKET_RATIO: f64 = 1.0220;
+
+/// Strategy for a positive sample value spanning many octaves, derived from
+/// integers so the vendored stub's minimal strategy surface suffices.
+fn sample_value() -> impl Strategy<Value = f64> {
+    // mantissa in [1, 10_000), scale in 10^[-3, 6): values from 1e-3 to 1e10.
+    (1u64..10_000u64, 0u32..9u32).prop_map(|(m, s)| m as f64 * 10f64.powi(s as i32 - 3))
+}
+
+fn samples() -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(sample_value(), 0..200)
+}
+
+/// The order statistic at rank `ceil(q * (len - 1))` — the value whose
+/// bucket the sketch interpolates inside (upper nearest-rank convention),
+/// and therefore the reference its relative-error bound is stated against.
+fn covering_order_statistic(values: &[f64], q: f64) -> Option<f64> {
+    if values.is_empty() {
+        return None;
+    }
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let pos = q * (sorted.len() - 1) as f64;
+    let rank = if q == 0.0 {
+        0
+    } else if q == 1.0 {
+        sorted.len() - 1
+    } else {
+        pos.ceil() as usize
+    };
+    Some(sorted[rank])
+}
+
+const QS: [f64; 7] = [0.0, 0.25, 0.5, 0.9, 0.99, 0.999, 1.0];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// merge(a, b) answers every quantile with the exact same bits as a
+    /// sketch built over the concatenation of both streams.
+    #[test]
+    fn merge_equals_sketch_of_concatenated_stream(
+        a in samples(),
+        b in samples(),
+    ) {
+        let sa = QuantileSketch::of(a.iter().copied());
+        let sb = QuantileSketch::of(b.iter().copied());
+        let mut merged = sa.clone();
+        merged.merge(&sb);
+
+        let concat = QuantileSketch::of(a.iter().chain(b.iter()).copied());
+
+        prop_assert_eq!(merged.count(), concat.count());
+        for &q in &QS {
+            let m = merged.quantile(q);
+            let c = concat.quantile(q);
+            prop_assert_eq!(
+                m.map(f64::to_bits),
+                c.map(f64::to_bits),
+                "quantile {} diverged: merged={:?} concat={:?}",
+                q, m, c
+            );
+        }
+    }
+
+    /// Merge is commutative at the quantile level.
+    #[test]
+    fn merge_is_commutative(a in samples(), b in samples()) {
+        let sa = QuantileSketch::of(a.iter().copied());
+        let sb = QuantileSketch::of(b.iter().copied());
+        let mut ab = sa.clone();
+        ab.merge(&sb);
+        let mut ba = sb.clone();
+        ba.merge(&sa);
+        for &q in &QS {
+            prop_assert_eq!(
+                ab.quantile(q).map(f64::to_bits),
+                ba.quantile(q).map(f64::to_bits)
+            );
+        }
+    }
+
+    /// Every quantile stays within one bucket width of the sorted-vector
+    /// order statistic it covers, and the extremes are exact.
+    #[test]
+    fn quantiles_track_sorted_ground_truth(v in samples()) {
+        let sk = QuantileSketch::of(v.iter().copied());
+        for &q in &QS {
+            match (sk.quantile(q), covering_order_statistic(&v, q)) {
+                (None, None) => {}
+                (Some(est), Some(exact)) => {
+                    prop_assert!(
+                        est >= exact / BUCKET_RATIO && est <= exact * BUCKET_RATIO,
+                        "q={} est={} outside one bucket of exact={}",
+                        q, est, exact
+                    );
+                }
+                (est, exact) => {
+                    prop_assert!(false, "emptiness mismatch: {:?} vs {:?}", est, exact);
+                }
+            }
+        }
+        if !v.is_empty() {
+            let lo = v.iter().copied().fold(f64::INFINITY, f64::min);
+            let hi = v.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+            prop_assert_eq!(sk.quantile(0.0), Some(lo));
+            prop_assert_eq!(sk.quantile(1.0), Some(hi));
+        }
+    }
+
+    /// JSON serialisation round-trips the sketch losslessly: the decoded
+    /// sketch answers every quantile bit-for-bit like the original.
+    #[test]
+    fn json_round_trip_is_lossless(v in samples()) {
+        let sk = QuantileSketch::of(v.iter().copied());
+        let encoded = sk.to_json().to_string_compact();
+        let parsed = rbv_telemetry::Json::parse(&encoded).expect("valid json");
+        let back = QuantileSketch::from_json(&parsed).expect("valid sketch");
+        prop_assert_eq!(back.count(), sk.count());
+        prop_assert_eq!(back.min().map(f64::to_bits), sk.min().map(f64::to_bits));
+        prop_assert_eq!(back.max().map(f64::to_bits), sk.max().map(f64::to_bits));
+        for &q in &QS {
+            prop_assert_eq!(
+                back.quantile(q).map(f64::to_bits),
+                sk.quantile(q).map(f64::to_bits)
+            );
+        }
+    }
+}
