@@ -33,7 +33,7 @@ pub fn run(
     let text = ledger.to_string_compact();
     match out {
         Some(path) => {
-            std::fs::write(path, &text)?;
+            rbv_guard::write_atomic(path, text.as_bytes())?;
             eprintln!("[ledger written to {}]", path.display());
         }
         None => println!("{text}"),

@@ -4,7 +4,7 @@
 
 use std::io;
 
-use rbv_faults::chaos::{run_matrix, summarize, ChaosReport};
+use rbv_faults::chaos::{run_matrix_with, summarize, ChaosReport};
 use rbv_os::RbvError;
 use rbv_telemetry::SelfProfiler;
 use rbv_workloads::AppId;
@@ -12,6 +12,9 @@ use rbv_workloads::AppId;
 /// Runs the chaos matrix for `app` and prints the report to stdout —
 /// the human table by default, the machine-readable ledger JSON with
 /// `json` (the table then goes to stderr so pipelines stay parseable).
+/// With `governor` the matrix also runs the governed measurement storm
+/// (sampling governor + health ladder + invariant monitor) and reports
+/// its do-no-harm outcome.
 ///
 /// Returns the report plus whether the recall gate passed (always true
 /// when `min_recall` is `None`).
@@ -25,9 +28,10 @@ pub fn run(
     fast: bool,
     min_recall: Option<f64>,
     json: bool,
+    governor: bool,
 ) -> Result<(ChaosReport, bool), RbvError> {
     let mut profiler = SelfProfiler::new();
-    let report = profiler.time("matrix", || run_matrix(app, seed, fast))?;
+    let report = profiler.time("matrix", || run_matrix_with(app, seed, fast, governor))?;
     if json {
         summarize(&report, &mut io::stderr().lock())?;
         println!("{}", report.to_json().to_string_compact());
@@ -58,7 +62,8 @@ mod tests {
     #[test]
     fn web_chaos_meets_the_ci_recall_gate() {
         // The exact invocation the CI smoke step runs (fast mode).
-        let (report, pass) = run(AppId::WebServer, 42, true, Some(0.8), false).expect("chaos runs");
+        let (report, pass) =
+            run(AppId::WebServer, 42, true, Some(0.8), false, false).expect("chaos runs");
         assert!(
             pass,
             "recall {:.3} under the 0.8 gate",
@@ -69,11 +74,16 @@ mod tests {
             report.overload.offered,
             report.overload.completed + report.overload.failed
         );
+        assert!(
+            report.governor.is_none(),
+            "ungoverned matrix has no guard section"
+        );
     }
 
     #[test]
     fn impossible_gate_fails_without_erroring() {
-        let (_, pass) = run(AppId::WebServer, 7, true, Some(1.01), false).expect("chaos runs");
+        let (_, pass) =
+            run(AppId::WebServer, 7, true, Some(1.01), false, false).expect("chaos runs");
         assert!(!pass);
     }
 
@@ -81,7 +91,8 @@ mod tests {
     fn json_mode_matches_the_report() {
         // stdout JSON equals report.to_json() — assert on the value the
         // function returns rather than capturing the stream.
-        let (report, pass) = run(AppId::WebServer, 42, true, None, true).expect("chaos runs");
+        let (report, pass) =
+            run(AppId::WebServer, 42, true, None, true, false).expect("chaos runs");
         assert!(pass);
         let text = report.to_json().to_string_compact();
         let parsed = rbv_telemetry::Json::parse(&text).expect("chaos JSON parses");
@@ -90,5 +101,19 @@ mod tests {
             Some(42.0)
         );
         assert!(parsed.get("anomaly").is_some());
+    }
+
+    #[test]
+    fn governor_mode_adds_the_guard_section() {
+        // The CI governor smoke invocation: the matrix plus the governed
+        // storm, reported under the `governor` member.
+        let (report, pass) =
+            run(AppId::WebServer, 42, true, Some(0.8), false, true).expect("chaos runs");
+        assert!(pass);
+        let governor = report.governor.as_ref().expect("guard section present");
+        assert!(governor.to_json().get("max_breach_streak").is_some());
+        let text = report.to_json().to_string_compact();
+        let parsed = rbv_telemetry::Json::parse(&text).expect("chaos JSON parses");
+        assert!(parsed.get("governor").is_some());
     }
 }

@@ -6,14 +6,23 @@
 use std::io::{self, Write};
 use std::path::Path;
 
+use rbv_guard::DocumentError;
 use rbv_ledger::{diff_documents, DiffReport};
 use rbv_os::RbvError;
 use rbv_telemetry::Json;
 
-/// Loads and parses one ledger document.
+/// Loads and parses one ledger document, distinguishing a file that
+/// cannot be read ([`RbvError::Io`]) from one whose bytes are not a
+/// complete JSON document — a corrupt (typically byte-truncated partial
+/// write) ledger, reported as a usage error (exit code 2) naming the
+/// offending path.
 fn load(path: &Path) -> Result<Json, RbvError> {
-    let text = std::fs::read_to_string(path)?;
-    Json::parse(&text).map_err(|e| RbvError::Cli(format!("{}: {e}", path.display())))
+    rbv_guard::read_document(path).map_err(|e| match e {
+        DocumentError::Io(io) => RbvError::Io(io),
+        corrupt @ DocumentError::Corrupt(_) => {
+            RbvError::Cli(format!("{}: {corrupt}", path.display()))
+        }
+    })
 }
 
 /// Writes the human-readable verdict for `report` to `out`.
@@ -56,8 +65,9 @@ pub fn render<W: Write>(report: &DiffReport, out: &mut W) -> io::Result<()> {
 ///
 /// # Errors
 ///
-/// Returns [`RbvError::Cli`] on unreadable/unparseable documents or a
-/// schema mismatch, [`RbvError::Io`] on output failures.
+/// Returns [`RbvError::Cli`] on corrupt (unparseable, e.g. truncated)
+/// documents or a schema mismatch, [`RbvError::Io`] on unreadable files
+/// or output failures.
 pub fn run(baseline: &Path, candidate: &Path, tolerance: Option<f64>) -> Result<bool, RbvError> {
     let base = load(baseline)?;
     let cand = load(candidate)?;
@@ -115,5 +125,29 @@ mod tests {
         )
         .unwrap_err();
         assert_ne!(err.exit_code(), 0);
+    }
+
+    #[test]
+    fn byte_truncated_document_is_a_corrupt_document_usage_error() {
+        // A crash mid-write (without `write_atomic`) leaves a prefix of
+        // the ledger on disk; `repro diff` must name the corruption and
+        // exit 2 rather than diffing garbage.
+        let dir = std::env::temp_dir().join(format!("rbv-diffcmd-trunc-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let full = r#"{"schema":"rbv-ledger/v2","label":"t","seed":1,"fast":true,"apps":[]}"#;
+        let whole = dir.join("base.json");
+        let truncated = dir.join("cand.json");
+        std::fs::write(&whole, full).unwrap();
+        std::fs::write(&truncated, &full[..full.len() / 2]).unwrap();
+        let err = run(&whole, &truncated, None).unwrap_err();
+        assert_eq!(
+            err.exit_code(),
+            2,
+            "corrupt ledger must be a usage error: {err}"
+        );
+        let msg = err.to_string();
+        assert!(msg.contains("corrupt document"), "{msg}");
+        assert!(msg.contains("cand.json"), "{msg}");
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -1,6 +1,11 @@
 //! Shared experiment plumbing: standard run configurations, per-app
 //! scales, and plain-text table/series rendering.
 
+// Same exemption as `experiments`: the standard-run configs are valid by
+// construction and the stdout convenience printers abort on a broken
+// pipe, which is the conventional CLI behavior.
+#![allow(clippy::expect_used)]
+
 use std::io::{self, Write};
 
 use rbv_core::series::Metric;

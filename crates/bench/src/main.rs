@@ -6,7 +6,7 @@
 //! repro all [--fast]               # everything, in paper order
 //! repro list                       # available experiment ids
 //! repro trace <app> [--seed N] [--trace out.json] [--metrics out.json|out.csv]
-//! repro chaos <app> [--seed N] [--fast] [--min-recall X] [--json]
+//! repro chaos <app> [--seed N] [--fast] [--min-recall X] [--json] [--governor]
 //! repro bench [<app>|--all] [--seed N] [--fast] [--out BENCH.json] [--wallclock]
 //! repro diff <baseline.json> <candidate.json> [--tolerance pct]
 //! ```
@@ -27,6 +27,7 @@ struct Cli {
     syscalls: bool,
     all: bool,
     json: bool,
+    governor: bool,
     wallclock: bool,
     seed: Option<u64>,
     trace: Option<PathBuf>,
@@ -42,7 +43,7 @@ fn usage() {
     eprintln!("       repro trace <web|tpcc|tpch|rubis|webwork> \\");
     eprintln!("             [--trace out.json] [--metrics out.json|out.csv]");
     eprintln!("       repro chaos <web|tpcc|tpch|rubis|webwork> \\");
-    eprintln!("             [--seed N] [--fast] [--min-recall X] [--json]");
+    eprintln!("             [--seed N] [--fast] [--min-recall X] [--json] [--governor]");
     eprintln!("       repro bench [<app>|--all] [--seed N] [--fast] \\");
     eprintln!("             [--out BENCH.json] [--wallclock]");
     eprintln!("       repro diff <baseline.json> <candidate.json> [--tolerance pct]");
@@ -55,6 +56,7 @@ fn parse(args: Vec<String>) -> Result<Cli, RbvError> {
         syscalls: false,
         all: false,
         json: false,
+        governor: false,
         wallclock: false,
         seed: None,
         trace: None,
@@ -72,6 +74,7 @@ fn parse(args: Vec<String>) -> Result<Cli, RbvError> {
             "--syscalls" => cli.syscalls = true,
             "--all" => cli.all = true,
             "--json" => cli.json = true,
+            "--governor" => cli.governor = true,
             "--wallclock" => cli.wallclock = true,
             "--seed" => {
                 let v = it
@@ -196,11 +199,14 @@ fn main() -> ExitCode {
                 .and_then(|a| rbv_bench::experiments::dump::parse_app(a))
             else {
                 eprintln!("usage: repro chaos <web|tpcc|tpch|rubis|webwork> \\");
-                eprintln!("             [--seed N] [--fast] [--min-recall X] [--json]");
+                eprintln!(
+                    "             [--seed N] [--fast] [--min-recall X] [--json] [--governor]"
+                );
                 return ExitCode::from(2);
             };
             let seed = cli.seed.unwrap_or(42);
-            match rbv_bench::chaoscmd::run(app, seed, fast, cli.min_recall, cli.json) {
+            match rbv_bench::chaoscmd::run(app, seed, fast, cli.min_recall, cli.json, cli.governor)
+            {
                 Ok((_, true)) => ExitCode::SUCCESS,
                 Ok((_, false)) => ExitCode::FAILURE,
                 Err(e) => fail(&e),

@@ -66,14 +66,16 @@ pub fn run_traced(app: AppId, fast: bool, seed: u64) -> Result<TraceOutcome, Rbv
 }
 
 /// Writes the Perfetto trace (`*.json`, Chrome trace-event format) for
-/// `outcome` to `path`.
+/// `outcome` to `path` atomically (stage + rename, never a prefix).
 pub fn write_trace(outcome: &TraceOutcome, path: &Path) -> io::Result<()> {
-    PerfettoTrace::from_events(&outcome.events, outcome.cores).write_to(path)
+    let body = PerfettoTrace::from_events(&outcome.events, outcome.cores).to_json_string();
+    rbv_guard::write_atomic(path, body.as_bytes())
 }
 
 /// Writes the metrics sidecar for `outcome` to `path` — CSV when the
-/// extension is `.csv`, compact JSON otherwise. The effective seed is
-/// always included as the `run.seed` counter.
+/// extension is `.csv`, compact JSON otherwise — atomically (stage +
+/// rename). The effective seed is always included as the `run.seed`
+/// counter.
 pub fn write_metrics(outcome: &TraceOutcome, path: &Path) -> io::Result<()> {
     let snapshot = outcome.registry.snapshot();
     let body = if path
@@ -84,7 +86,7 @@ pub fn write_metrics(outcome: &TraceOutcome, path: &Path) -> io::Result<()> {
     } else {
         snapshot.to_json().to_string_compact()
     };
-    std::fs::write(path, body)
+    rbv_guard::write_atomic(path, body.as_bytes())
 }
 
 /// Writes the human summary of a traced run to `out`.

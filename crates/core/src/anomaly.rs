@@ -43,7 +43,7 @@ pub fn centroid_outliers(dm: &DistanceMatrix) -> Option<(usize, Vec<Outlier>)> {
             distance: dm.get(i, centroid),
         })
         .collect();
-    outliers.sort_by(|a, b| b.distance.partial_cmp(&a.distance).expect("finite"));
+    outliers.sort_by(|a, b| b.distance.total_cmp(&a.distance));
     Some((centroid, outliers))
 }
 
@@ -113,7 +113,7 @@ pub fn multi_metric_pairs(
             }
         }
     }
-    pairs.sort_by(|a, b| b.score().partial_cmp(&a.score()).expect("finite scores"));
+    pairs.sort_by(|a, b| b.score().total_cmp(&a.score()));
     pairs
 }
 

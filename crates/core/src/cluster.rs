@@ -64,7 +64,7 @@ impl DistanceMatrix {
                 let cost: f64 = members.iter().map(|&m| self.get(c, m)).sum();
                 (c, cost)
             })
-            .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite distances"))
+            .min_by(|a, b| a.1.total_cmp(&b.1))
             .map(|(c, _)| c)
     }
 }
@@ -121,7 +121,7 @@ pub fn k_medoids(dm: &DistanceMatrix, k: usize, max_iters: usize) -> Clustering 
     // = the point farthest from its nearest existing medoid.
     let first = dm
         .medoid_of(&(0..n).collect::<Vec<_>>())
-        .expect("nonempty matrix");
+        .unwrap_or_else(|| unreachable!("matrix validated nonempty above"));
     let mut medoids = vec![first];
     while medoids.len() < k {
         let next = (0..n)
@@ -129,9 +129,9 @@ pub fn k_medoids(dm: &DistanceMatrix, k: usize, max_iters: usize) -> Clustering 
             .max_by(|&a, &b| {
                 let da = nearest(dm, a, &medoids).1;
                 let db = nearest(dm, b, &medoids).1;
-                da.partial_cmp(&db).expect("finite distances")
+                da.total_cmp(&db)
             })
-            .expect("k < n leaves candidates");
+            .unwrap_or_else(|| unreachable!("k < n leaves candidates"));
         medoids.push(next);
     }
 
@@ -179,8 +179,8 @@ fn nearest(dm: &DistanceMatrix, i: usize, medoids: &[usize]) -> (usize, f64) {
     medoids
         .iter()
         .map(|&m| (m, dm.get(i, m)))
-        .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite distances"))
-        .expect("at least one medoid")
+        .min_by(|a, b| a.1.total_cmp(&b.1))
+        .unwrap_or_else(|| unreachable!("at least one medoid"))
 }
 
 fn nearest_cluster(dm: &DistanceMatrix, i: usize, medoids: &[usize]) -> (usize, f64) {
@@ -188,8 +188,8 @@ fn nearest_cluster(dm: &DistanceMatrix, i: usize, medoids: &[usize]) -> (usize, 
         .iter()
         .enumerate()
         .map(|(c, &m)| (c, dm.get(i, m)))
-        .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite distances"))
-        .expect("at least one medoid")
+        .min_by(|a, b| a.1.total_cmp(&b.1))
+        .unwrap_or_else(|| unreachable!("at least one medoid"))
 }
 
 /// The Figure 7 classification quality metric: each request's divergence

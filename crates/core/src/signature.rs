@@ -49,7 +49,8 @@ impl SignatureBank {
     pub fn new(entries: Vec<BankEntry>) -> SignatureBank {
         assert!(!entries.is_empty(), "bank needs at least one signature");
         let cpus: Vec<f64> = entries.iter().map(|e| e.cpu_cycles).collect();
-        let median_cpu = percentile(&cpus, 0.5).expect("nonempty bank");
+        let median_cpu =
+            percentile(&cpus, 0.5).unwrap_or_else(|| unreachable!("bank asserted nonempty above"));
         // Unequal-length penalty (§4.1): without it, signatures shorter
         // than the partial execution would win matches spuriously (fewer
         // compared elements = smaller L1 sum).
@@ -100,7 +101,7 @@ impl SignatureBank {
         self.entries.iter().min_by(|a, b| {
             let da = l1_distance(partial.values(), a.series.prefix(n).values(), self.penalty);
             let db = l1_distance(partial.values(), b.series.prefix(n).values(), self.penalty);
-            da.partial_cmp(&db).expect("finite distances")
+            da.total_cmp(&db)
         })
     }
 
@@ -115,7 +116,7 @@ impl SignatureBank {
         self.entries.iter().min_by(|a, b| {
             let da = (mean_of(a.series.prefix(n).values()) - avg).abs();
             let db = (mean_of(b.series.prefix(n).values()) - avg).abs();
-            da.partial_cmp(&db).expect("finite distances")
+            da.total_cmp(&db)
         })
     }
 

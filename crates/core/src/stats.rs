@@ -90,7 +90,7 @@ pub fn percentile(values: &[f64], q: f64) -> Option<f64> {
         return None;
     }
     let mut sorted: Vec<f64> = values.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in percentile input"));
+    sorted.sort_by(f64::total_cmp);
     let pos = q * (sorted.len() - 1) as f64;
     let lo = pos.floor() as usize;
     let hi = pos.ceil() as usize;
@@ -221,7 +221,7 @@ impl Cdf {
     ///
     /// Panics if any sample is NaN.
     pub fn new(mut samples: Vec<f64>) -> Cdf {
-        samples.sort_by(|a, b| a.partial_cmp(b).expect("NaN in CDF input"));
+        samples.sort_by(f64::total_cmp);
         Cdf { sorted: samples }
     }
 

@@ -21,8 +21,8 @@ use std::io::{self, Write};
 
 use rbv_core::stats::percentile;
 use rbv_os::{
-    config::ArrivalProcess, run_simulation, MeasurementFaults, OverloadPolicy, RbvError, RunResult,
-    SchedulerPolicy, SimConfig,
+    config::ArrivalProcess, run_simulation, GovernorPolicy, LadderRung, MeasurementFaults,
+    OverloadPolicy, RbvError, RunResult, SchedulerPolicy, SimConfig,
 };
 use rbv_sim::Cycles;
 use rbv_telemetry::Json;
@@ -97,6 +97,85 @@ pub struct EasingStormOutcome {
     pub gate_fallbacks: u64,
 }
 
+/// Outcome of the governed-storm scenario: the adaptive sampling
+/// governor, health ladder, and invariant monitor riding the same
+/// measurement storm as scenario 4.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GovernorOutcome {
+    /// Requests that completed under the governed storm.
+    pub completed: usize,
+    /// Accounting windows the governor closed.
+    pub windows: u64,
+    /// Multiplicative interval backoffs applied.
+    pub backoffs: u64,
+    /// Additive interval recoveries applied.
+    pub recoveries: u64,
+    /// Windows whose compensated observer overhead breached the budget.
+    pub budget_breaches: u64,
+    /// Longest run of consecutive over-budget windows (do-no-harm allows
+    /// at most one: the AIMD correction lag).
+    pub max_breach_streak: u64,
+    /// Sampling-interval scale at run end (1 = configured baseline).
+    pub final_scale: f64,
+    /// Cumulative priced observer overhead across governed windows as a
+    /// fraction of busy cycles.
+    pub overhead_frac: f64,
+    /// One-window slack: the costliest single window's sampling cycles
+    /// as a fraction of all busy cycles (the overshoot allowance the
+    /// AIMD correction lag is permitted).
+    pub slack_frac: f64,
+    /// The do-no-harm budget the governor enforced.
+    pub budget_frac: f64,
+    /// Measurement-health ladder transitions taken.
+    pub health_transitions: u64,
+    /// Ladder rung at run end ("easing" / "frozen_predictions" /
+    /// "stock").
+    pub final_rung: String,
+    /// Runtime invariant checks performed.
+    pub invariant_checks: u64,
+    /// Runtime invariant violations (must be zero on a healthy engine).
+    pub invariant_violations: u64,
+    /// p99 request CPI under the stock scheduler, same storm.
+    pub stock_p99_cpi: f64,
+    /// p99 request CPI under governed contention easing, same storm.
+    pub governed_p99_cpi: f64,
+}
+
+impl GovernorOutcome {
+    /// Serializes the governed-storm outcome (the `governor` member of
+    /// the chaos report and the run ledger's guard section).
+    pub fn to_json(&self) -> Json {
+        let num = Json::Num;
+        Json::Obj(vec![
+            ("completed".into(), num(self.completed as f64)),
+            ("windows".into(), num(self.windows as f64)),
+            ("backoffs".into(), num(self.backoffs as f64)),
+            ("recoveries".into(), num(self.recoveries as f64)),
+            ("budget_breaches".into(), num(self.budget_breaches as f64)),
+            (
+                "max_breach_streak".into(),
+                num(self.max_breach_streak as f64),
+            ),
+            ("final_scale".into(), num(self.final_scale)),
+            ("overhead_frac".into(), num(self.overhead_frac)),
+            ("slack_frac".into(), num(self.slack_frac)),
+            ("budget_frac".into(), num(self.budget_frac)),
+            (
+                "health_transitions".into(),
+                num(self.health_transitions as f64),
+            ),
+            ("final_rung".into(), Json::str(self.final_rung.clone())),
+            ("invariant_checks".into(), num(self.invariant_checks as f64)),
+            (
+                "invariant_violations".into(),
+                num(self.invariant_violations as f64),
+            ),
+            ("stock_p99_cpi".into(), num(self.stock_p99_cpi)),
+            ("governed_p99_cpi".into(), num(self.governed_p99_cpi)),
+        ])
+    }
+}
+
 /// Everything `repro chaos <app>` reports.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ChaosReport {
@@ -112,6 +191,9 @@ pub struct ChaosReport {
     pub overload: OverloadOutcome,
     /// Scenario 4.
     pub easing: EasingStormOutcome,
+    /// Scenario 5 (opt-in via `repro chaos --governor`): the sampling
+    /// governor under the storm.
+    pub governor: Option<GovernorOutcome>,
 }
 
 impl ChaosReport {
@@ -124,73 +206,82 @@ impl ChaosReport {
         let d = &self.degradation;
         let o = &self.overload;
         let e = &self.easing;
-        Json::Obj(vec![
-            ("app".into(), Json::str(self.app.to_string())),
-            ("seed".into(), num(self.seed as f64)),
-            (
-                "anomaly".into(),
-                Json::Obj(vec![
-                    ("injected".into(), num(a.injected as f64)),
-                    (
-                        "injected_by_kind".into(),
-                        Json::Obj(
-                            WorkloadFaultKind::ALL
-                                .iter()
-                                .enumerate()
-                                .map(|(slot, kind)| {
-                                    (
-                                        kind.label().to_string(),
-                                        num(a.injected_by_kind[slot] as f64),
-                                    )
-                                })
-                                .collect(),
+        Json::Obj(
+            vec![
+                ("app".into(), Json::str(self.app.to_string())),
+                ("seed".into(), num(self.seed as f64)),
+                (
+                    "anomaly".into(),
+                    Json::Obj(vec![
+                        ("injected".into(), num(a.injected as f64)),
+                        (
+                            "injected_by_kind".into(),
+                            Json::Obj(
+                                WorkloadFaultKind::ALL
+                                    .iter()
+                                    .enumerate()
+                                    .map(|(slot, kind)| {
+                                        (
+                                            kind.label().to_string(),
+                                            num(a.injected_by_kind[slot] as f64),
+                                        )
+                                    })
+                                    .collect(),
+                            ),
                         ),
-                    ),
-                    ("flagged".into(), num(a.flagged as f64)),
-                    ("precision".into(), num(a.score.precision())),
-                    ("recall".into(), num(a.score.recall())),
-                ]),
-            ),
-            (
-                "degradation".into(),
-                Json::Obj(vec![
-                    ("completed".into(), num(d.completed as f64)),
-                    ("samples_inkernel".into(), num(d.samples_inkernel as f64)),
-                    ("samples_interrupt".into(), num(d.samples_interrupt as f64)),
-                    ("samples_lost".into(), num(d.samples_lost as f64)),
-                    ("low_confidence".into(), num(d.low_confidence as f64)),
-                    ("counter_overflows".into(), num(d.counter_overflows as f64)),
-                    (
-                        "starvation_windows".into(),
-                        num(d.starvation_windows as f64),
-                    ),
-                ]),
-            ),
-            (
-                "overload".into(),
-                Json::Obj(vec![
-                    ("offered".into(), num(o.offered as f64)),
-                    ("completed".into(), num(o.completed as f64)),
-                    ("failed".into(), num(o.failed as f64)),
-                    (
-                        "admission_rejections".into(),
-                        num(o.admission_rejections as f64),
-                    ),
-                    ("admission_retries".into(), num(o.admission_retries as f64)),
-                    ("load_shed".into(), num(o.load_shed as f64)),
-                    ("deadline_aborts".into(), num(o.deadline_aborts as f64)),
-                    ("p99_latency_micros".into(), num(o.p99_latency_micros)),
-                ]),
-            ),
-            (
-                "easing".into(),
-                Json::Obj(vec![
-                    ("stock_p99_cpi".into(), num(e.stock_p99_cpi)),
-                    ("eased_p99_cpi".into(), num(e.eased_p99_cpi)),
-                    ("gate_fallbacks".into(), num(e.gate_fallbacks as f64)),
-                ]),
-            ),
-        ])
+                        ("flagged".into(), num(a.flagged as f64)),
+                        ("precision".into(), num(a.score.precision())),
+                        ("recall".into(), num(a.score.recall())),
+                    ]),
+                ),
+                (
+                    "degradation".into(),
+                    Json::Obj(vec![
+                        ("completed".into(), num(d.completed as f64)),
+                        ("samples_inkernel".into(), num(d.samples_inkernel as f64)),
+                        ("samples_interrupt".into(), num(d.samples_interrupt as f64)),
+                        ("samples_lost".into(), num(d.samples_lost as f64)),
+                        ("low_confidence".into(), num(d.low_confidence as f64)),
+                        ("counter_overflows".into(), num(d.counter_overflows as f64)),
+                        (
+                            "starvation_windows".into(),
+                            num(d.starvation_windows as f64),
+                        ),
+                    ]),
+                ),
+                (
+                    "overload".into(),
+                    Json::Obj(vec![
+                        ("offered".into(), num(o.offered as f64)),
+                        ("completed".into(), num(o.completed as f64)),
+                        ("failed".into(), num(o.failed as f64)),
+                        (
+                            "admission_rejections".into(),
+                            num(o.admission_rejections as f64),
+                        ),
+                        ("admission_retries".into(), num(o.admission_retries as f64)),
+                        ("load_shed".into(), num(o.load_shed as f64)),
+                        ("deadline_aborts".into(), num(o.deadline_aborts as f64)),
+                        ("p99_latency_micros".into(), num(o.p99_latency_micros)),
+                    ]),
+                ),
+                (
+                    "easing".into(),
+                    Json::Obj(vec![
+                        ("stock_p99_cpi".into(), num(e.stock_p99_cpi)),
+                        ("eased_p99_cpi".into(), num(e.eased_p99_cpi)),
+                        ("gate_fallbacks".into(), num(e.gate_fallbacks as f64)),
+                    ]),
+                ),
+            ]
+            .into_iter()
+            .chain(
+                self.governor
+                    .as_ref()
+                    .map(|g| ("governor".into(), g.to_json())),
+            )
+            .collect(),
+        )
     }
 }
 
@@ -256,6 +347,22 @@ fn probe_mean_service(app: AppId, seed: u64) -> Result<f64, RbvError> {
 /// Propagates [`RbvError`] from configuration validation (none of the
 /// built-in scenarios should trigger it; custom plans might).
 pub fn run_matrix(app: AppId, seed: u64, fast: bool) -> Result<ChaosReport, RbvError> {
+    run_matrix_with(app, seed, fast, false)
+}
+
+/// Runs the chaos matrix, optionally adding scenario 5: the adaptive
+/// sampling governor (with health ladder and invariant monitor) under
+/// the measurement storm.
+///
+/// # Errors
+///
+/// Propagates [`RbvError`] from configuration validation.
+pub fn run_matrix_with(
+    app: AppId,
+    seed: u64,
+    fast: bool,
+    governor: bool,
+) -> Result<ChaosReport, RbvError> {
     let n = requests_of(app, fast);
 
     // Scenario 1: anomaly injection and detection.
@@ -277,7 +384,7 @@ pub fn run_matrix(app: AppId, seed: u64, fast: bool) -> Result<ChaosReport, RbvE
             let slot = WorkloadFaultKind::ALL
                 .iter()
                 .position(|&k| k == f.kind)
-                .expect("kind is in ALL");
+                .unwrap_or_else(|| unreachable!("every kind is in ALL"));
             injected_by_kind[slot] += 1;
             f.index
         })
@@ -335,6 +442,13 @@ pub fn run_matrix(app: AppId, seed: u64, fast: bool) -> Result<ChaosReport, RbvE
     // Scenario 4: easing vs stock under the same measurement storm.
     let easing = easing_storm(app, seed, n)?;
 
+    // Scenario 5 (opt-in): the sampling governor under the storm.
+    let governor = if governor {
+        Some(governor_storm(app, seed, n)?)
+    } else {
+        None
+    };
+
     Ok(ChaosReport {
         app,
         seed,
@@ -342,6 +456,7 @@ pub fn run_matrix(app: AppId, seed: u64, fast: bool) -> Result<ChaosReport, RbvE
         degradation,
         overload,
         easing,
+        governor,
     })
 }
 
@@ -387,6 +502,73 @@ pub fn easing_storm(app: AppId, seed: u64, n: usize) -> Result<EasingStormOutcom
         stock_p99_cpi: stock.cpi_sketch().p99().unwrap_or(f64::NAN),
         eased_p99_cpi: eased.cpi_sketch().p99().unwrap_or(f64::NAN),
         gate_fallbacks: eased.stats.easing_gate_fallbacks,
+    })
+}
+
+/// Runs the governed storm: contention easing under the measurement
+/// storm with the adaptive sampling governor, measurement-health ladder
+/// (superseding the one-shot confidence gate), and invariant monitor
+/// enabled — compared against stock scheduling under the same storm.
+/// Also used directly by the run ledger and the guard acceptance test.
+///
+/// # Errors
+///
+/// Propagates [`RbvError`] from configuration validation.
+pub fn governor_storm(app: AppId, seed: u64, n: usize) -> Result<GovernorOutcome, RbvError> {
+    // Same clean profiling run as the easing storm: the high-usage
+    // threshold is a scheduler input shared by both contenders.
+    let mut cfg = base_config(app, seed ^ 0xB0);
+    cfg.concurrency = 12;
+    let mut factory = factory_for(app, seed ^ 0xB0, scale_of(app));
+    let profile = run_simulation(cfg, factory.as_mut(), (n / 2).max(20))?;
+    let mut mpi = Vec::new();
+    for r in &profile.completed {
+        let (_, mut v) = r
+            .timeline
+            .weighted_values(rbv_core::series::Metric::L2MissesPerIns);
+        mpi.append(&mut v);
+    }
+    let threshold = percentile(&mpi, 0.8).unwrap_or(0.0);
+
+    let storm_run = |governed: bool| -> Result<RunResult, RbvError> {
+        let mut cfg = base_config(app, seed ^ 0x57);
+        cfg.concurrency = 12;
+        cfg.faults = measurement_storm(app);
+        if governed {
+            cfg.scheduler = SchedulerPolicy::ContentionEasing {
+                resched_interval: Cycles::from_millis(5),
+                high_usage_threshold: threshold,
+                alpha: 0.6,
+            };
+            // The ladder replaces the one-shot confidence gate.
+            cfg.easing_error_gate = None;
+            cfg.governor = Some(GovernorPolicy::default());
+        }
+        let mut factory = factory_for(app, seed ^ 0x57, scale_of(app));
+        run_simulation(cfg, factory.as_mut(), n)
+    };
+    let stock = storm_run(false)?;
+    let governed = storm_run(true)?;
+    let stats = &governed.stats;
+    Ok(GovernorOutcome {
+        completed: governed.completed.len(),
+        windows: stats.governor_windows,
+        backoffs: stats.governor_backoffs,
+        recoveries: stats.governor_recoveries,
+        budget_breaches: stats.governor_budget_breaches,
+        max_breach_streak: stats.governor_max_breach_streak,
+        final_scale: stats.governor_final_scale,
+        overhead_frac: stats.governor_overhead_frac,
+        slack_frac: stats.governor_slack_frac,
+        budget_frac: GovernorPolicy::default().budget_frac,
+        health_transitions: stats.health_transitions,
+        final_rung: LadderRung::ALL[stats.health_final_rung as usize]
+            .label()
+            .to_string(),
+        invariant_checks: stats.invariant_checks,
+        invariant_violations: stats.invariant_violations.iter().sum(),
+        stock_p99_cpi: stock.cpi_sketch().p99().unwrap_or(f64::NAN),
+        governed_p99_cpi: governed.cpi_sketch().p99().unwrap_or(f64::NAN),
     })
 }
 
@@ -449,6 +631,41 @@ pub fn summarize<W: Write>(report: &ChaosReport, out: &mut W) -> io::Result<()> 
     writeln!(out, "  stock p99 CPI            {:.3}", e.stock_p99_cpi)?;
     writeln!(out, "  gated easing p99 CPI     {:.3}", e.eased_p99_cpi)?;
     writeln!(out, "  gate fallbacks           {}", e.gate_fallbacks)?;
+
+    if let Some(g) = &report.governor {
+        writeln!(out)?;
+        writeln!(out, "sampling governor under storm:")?;
+        writeln!(out, "  requests completed       {}", g.completed)?;
+        writeln!(out, "  accounting windows       {}", g.windows)?;
+        writeln!(
+            out,
+            "  backoffs / recoveries    {} / {}",
+            g.backoffs, g.recoveries
+        )?;
+        writeln!(
+            out,
+            "  budget breaches          {} (max streak {})",
+            g.budget_breaches, g.max_breach_streak
+        )?;
+        writeln!(
+            out,
+            "  overhead vs budget       {:.4} / {:.4} of busy cycles",
+            g.overhead_frac, g.budget_frac
+        )?;
+        writeln!(out, "  final interval scale     {:.2}x", g.final_scale)?;
+        writeln!(
+            out,
+            "  ladder transitions       {} (final rung {})",
+            g.health_transitions, g.final_rung
+        )?;
+        writeln!(
+            out,
+            "  invariants checked       {} ({} violations)",
+            g.invariant_checks, g.invariant_violations
+        )?;
+        writeln!(out, "  stock p99 CPI            {:.3}", g.stock_p99_cpi)?;
+        writeln!(out, "  governed p99 CPI         {:.3}", g.governed_p99_cpi)?;
+    }
     Ok(())
 }
 
@@ -466,6 +683,27 @@ mod tests {
         assert!(a.degradation.samples_lost > 0);
         assert!(a.degradation.low_confidence > 0);
         assert!(a.anomaly.injected > 0);
+    }
+
+    #[test]
+    fn governor_storm_holds_do_no_harm_and_invariants() {
+        let g = governor_storm(AppId::WebServer, 7, 60).expect("governed storm runs");
+        assert_eq!(g.completed, 60);
+        assert!(g.windows > 0, "governor closed no accounting window");
+        assert!(
+            g.max_breach_streak <= 1,
+            "overhead exceeded budget beyond the one-window AIMD lag: streak {}",
+            g.max_breach_streak
+        );
+        assert_eq!(g.invariant_violations, 0, "engine invariant violated");
+        assert!(g.invariant_checks > 0);
+        // The governed report serializes under the `governor` member.
+        let json = g.to_json().to_string_compact();
+        let parsed = Json::parse(&json).expect("valid json");
+        assert_eq!(
+            parsed.get("windows").and_then(Json::as_f64),
+            Some(g.windows as f64)
+        );
     }
 
     #[test]

@@ -68,10 +68,9 @@ impl RequestFactory for FaultyFactory {
         self.emitted += 1;
         let mut request = self.inner.next_request();
         if let Some(kind) = self.plan.workload_fault_for(index) {
-            let wf = self
-                .plan
-                .workload
-                .expect("workload_fault_for fired, so the channel is set");
+            let Some(wf) = self.plan.workload else {
+                unreachable!("workload_fault_for fired, so the channel is set");
+            };
             apply_fault(&mut request, kind, &wf);
             self.injected.push(InjectedFault { index, kind });
         }
@@ -102,15 +101,19 @@ fn apply_fault(request: &mut Request, kind: WorkloadFaultKind, wf: &WorkloadFaul
             // (the Figure 8 runaway-loop shape): every phase stretches
             // proportionally, so pre-drawn syscall offsets stay valid
             // and the instruction total balloons.
-            let stage = request.stages.last_mut().expect("requests have stages");
+            let Some(stage) = request.stages.last_mut() else {
+                unreachable!("requests have stages");
+            };
             for phase in &mut stage.phases {
                 phase.end_ins =
                     Instructions::new(phase.end_ins.get().saturating_mul(wf.loop_factor.into()));
             }
         }
         WorkloadFaultKind::StuckSyscall => {
-            let stage = request.stages.last_mut().expect("requests have stages");
-            let total = stage.phases.last().expect("stages have phases").end_ins;
+            let Some(stage) = request.stages.last_mut() else {
+                unreachable!("requests have stages");
+            };
+            let total = stage.total_instructions();
             let spin = ((total.get() as f64 * wf.stuck_ins_fraction) as u64).max(1);
             // The wedged call itself, then the in-kernel spin burning
             // cycles with no data access at all.

@@ -1,0 +1,173 @@
+//! Crash-safe output files: tempfile + atomic-rename writes and
+//! corrupt-document detection on read.
+//!
+//! Every artifact the `repro` CLI persists — ledgers, baselines, traces,
+//! metric dumps — used to be written with a bare `fs::write`, so a crash
+//! mid-write left a truncated file that a later `repro diff` would try to
+//! parse. [`write_atomic`] closes that hole: content lands in a sibling
+//! temporary file, is flushed to disk, and only then renamed over the
+//! destination, so readers observe either the old complete document or
+//! the new complete document, never a prefix. [`read_document`] is the
+//! matching read side: it distinguishes I/O failures from a file whose
+//! bytes do not parse — a *corrupt document*, most likely a partial write
+//! from a tool that did not use [`write_atomic`].
+
+use std::fmt;
+use std::fs;
+use std::io::{self, Write as _};
+use std::path::{Path, PathBuf};
+
+use rbv_telemetry::Json;
+
+/// Why a persisted document could not be loaded.
+#[derive(Debug)]
+pub enum DocumentError {
+    /// The file could not be read at all.
+    Io(io::Error),
+    /// The file was read but its bytes are not a complete JSON document
+    /// (typically a truncated partial write). The message carries the
+    /// parser's position detail.
+    Corrupt(String),
+}
+
+impl fmt::Display for DocumentError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DocumentError::Io(e) => write!(f, "{e}"),
+            DocumentError::Corrupt(detail) => write!(f, "corrupt document: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for DocumentError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DocumentError::Io(e) => Some(e),
+            DocumentError::Corrupt(_) => None,
+        }
+    }
+}
+
+/// The sibling temporary path `write_atomic` stages content in: the
+/// destination's file name wrapped as `.<name>.tmp~` in the same
+/// directory (same filesystem, so the rename is atomic).
+fn staging_path(path: &Path) -> PathBuf {
+    let name = path
+        .file_name()
+        .map(|n| n.to_string_lossy())
+        .unwrap_or_default();
+    path.with_file_name(format!(".{name}.tmp~"))
+}
+
+/// Writes `contents` to `path` atomically: stage in a sibling temp file,
+/// flush to disk, then rename over the destination.
+///
+/// # Errors
+///
+/// Propagates I/O errors; on failure the staging file is removed and the
+/// destination is left untouched.
+pub fn write_atomic(path: &Path, contents: &[u8]) -> io::Result<()> {
+    let staging = staging_path(path);
+    let stage = || -> io::Result<()> {
+        let mut file = fs::File::create(&staging)?;
+        file.write_all(contents)?;
+        file.sync_all()?;
+        Ok(())
+    };
+    let result = stage().and_then(|()| fs::rename(&staging, path));
+    if result.is_err() {
+        let _ = fs::remove_file(&staging);
+    }
+    result
+}
+
+/// Reads and parses a persisted JSON document, distinguishing I/O
+/// failures from corrupt (e.g. byte-truncated) content.
+///
+/// # Errors
+///
+/// [`DocumentError::Io`] when the file cannot be read;
+/// [`DocumentError::Corrupt`] when its bytes are not one complete JSON
+/// document.
+pub fn read_document(path: &Path) -> Result<Json, DocumentError> {
+    let text = fs::read_to_string(path).map_err(DocumentError::Io)?;
+    Json::parse(&text).map_err(DocumentError::Corrupt)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_dir(label: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("rbv-guard-fsx-{label}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn atomic_write_round_trips() {
+        let dir = temp_dir("round-trip");
+        let path = dir.join("doc.json");
+        write_atomic(&path, b"{\"k\":1}").unwrap();
+        assert_eq!(fs::read_to_string(&path).unwrap(), "{\"k\":1}");
+        let doc = read_document(&path).unwrap();
+        assert_eq!(doc.get("k").and_then(Json::as_f64), Some(1.0));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn atomic_write_replaces_and_leaves_no_staging_file() {
+        let dir = temp_dir("replace");
+        let path = dir.join("doc.json");
+        write_atomic(&path, b"old").unwrap();
+        write_atomic(&path, b"new").unwrap();
+        assert_eq!(fs::read_to_string(&path).unwrap(), "new");
+        let leftovers: Vec<_> = fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+            .filter(|n| n != "doc.json")
+            .collect();
+        assert!(leftovers.is_empty(), "staging files left: {leftovers:?}");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn failed_write_leaves_destination_untouched() {
+        let dir = temp_dir("failed");
+        let path = dir.join("doc.json");
+        write_atomic(&path, b"intact").unwrap();
+        // Writing into a missing directory fails before the rename.
+        let bad = dir.join("missing").join("doc.json");
+        assert!(write_atomic(&bad, b"x").is_err());
+        assert_eq!(fs::read_to_string(&path).unwrap(), "intact");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn truncated_document_reads_as_corrupt() {
+        let dir = temp_dir("truncated");
+        let path = dir.join("doc.json");
+        let full = "{\"schema\":\"rbv-ledger/v2\",\"apps\":[1,2,3]}";
+        fs::write(&path, &full[..full.len() / 2]).unwrap();
+        match read_document(&path) {
+            Err(DocumentError::Corrupt(detail)) => {
+                let msg = DocumentError::Corrupt(detail).to_string();
+                assert!(msg.contains("corrupt document"), "{msg}");
+            }
+            other => panic!("expected corrupt, got {other:?}"),
+        }
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn missing_file_reads_as_io_error() {
+        let dir = temp_dir("missing");
+        match read_document(&dir.join("absent.json")) {
+            Err(DocumentError::Io(e)) => assert_eq!(e.kind(), io::ErrorKind::NotFound),
+            other => panic!("expected io error, got {other:?}"),
+        }
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

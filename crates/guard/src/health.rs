@@ -1,0 +1,432 @@
+//! Measurement-health scoring and the scheduling degradation ladder.
+//!
+//! The contention-easing scheduler consumes per-request behavior
+//! predictions whose inputs — hardware-counter samples — can go bad under
+//! measurement faults (lost interrupts, counter noise, syscall-sampling
+//! starvation). The one-shot confidence gate the engine used before this
+//! module fell back to stock scheduling once and never recovered; this
+//! ladder replaces it with three explicit rungs:
+//!
+//! 1. [`LadderRung::Easing`] — full contention easing, predictions update;
+//! 2. [`LadderRung::FrozenPredictions`] — easing still schedules, but on
+//!    the last trusted predictions (new samples stop feeding the
+//!    predictor);
+//! 3. [`LadderRung::Stock`] — plain FIFO dispatch, no easing decisions.
+//!
+//! A health score in [0, 1] — fed by the lost-interrupt rate, the
+//! counter-noise variance proxy, syscall-sampling starvation, and sample
+//! staleness — moves the ladder one rung per observation: down when the
+//! smoothed score falls below [`HealthPolicy::degrade_below`], up when it
+//! rises above [`HealthPolicy::recover_above`]. The gap between the two
+//! thresholds is the hysteresis band, and [`HealthPolicy::dwell`] imposes
+//! a minimum simulated time between any two transitions, so the ladder
+//! cannot flap even when the score oscillates around a threshold.
+
+use crate::governor::WindowSample;
+use rbv_sim::Cycles;
+use rbv_telemetry::Json;
+
+/// A rung of the scheduling degradation ladder, healthiest first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum LadderRung {
+    /// Full contention easing with live prediction updates.
+    Easing,
+    /// Easing on frozen (last trusted) predictions.
+    FrozenPredictions,
+    /// Stock FIFO scheduling; no easing decisions at all.
+    Stock,
+}
+
+impl LadderRung {
+    /// Every rung, healthiest first.
+    pub const ALL: [LadderRung; 3] = [
+        LadderRung::Easing,
+        LadderRung::FrozenPredictions,
+        LadderRung::Stock,
+    ];
+
+    /// Stable lowercase label for telemetry and the ledger.
+    pub fn label(&self) -> &'static str {
+        match self {
+            LadderRung::Easing => "easing",
+            LadderRung::FrozenPredictions => "frozen_predictions",
+            LadderRung::Stock => "stock",
+        }
+    }
+
+    /// Position in [`LadderRung::ALL`] (0 = healthiest).
+    pub fn index(&self) -> usize {
+        *self as usize
+    }
+
+    fn degraded(self) -> LadderRung {
+        match self {
+            LadderRung::Easing => LadderRung::FrozenPredictions,
+            _ => LadderRung::Stock,
+        }
+    }
+
+    fn recovered(self) -> LadderRung {
+        match self {
+            LadderRung::Stock => LadderRung::FrozenPredictions,
+            _ => LadderRung::Easing,
+        }
+    }
+}
+
+/// Health scoring weights and ladder bands.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HealthPolicy {
+    /// Degrade one rung when the smoothed score falls below this.
+    pub degrade_below: f64,
+    /// Recover one rung when the smoothed score rises above this; must
+    /// exceed `degrade_below` (the gap is the hysteresis band).
+    pub recover_above: f64,
+    /// Minimum simulated time between two ladder transitions.
+    pub dwell: Cycles,
+    /// Penalty weight of the lost-interrupt rate.
+    pub w_lost: f64,
+    /// Penalty weight of counter noise (prediction-error EWMA or the
+    /// low-confidence sample rate, whichever indicts the counters more).
+    pub w_noise: f64,
+    /// Penalty weight of syscall-sampling starvation.
+    pub w_starved: f64,
+    /// Penalty weight of sample staleness.
+    pub w_stale: f64,
+    /// Prediction error treated as total noise (normalization reference
+    /// for the noise term; matches the chaos easing gate's 0.35).
+    pub noise_ref: f64,
+    /// Smoothing factor for the score EWMA (weight of the new window).
+    pub alpha: f64,
+}
+
+impl Default for HealthPolicy {
+    fn default() -> HealthPolicy {
+        HealthPolicy {
+            degrade_below: 0.6,
+            recover_above: 0.8,
+            dwell: Cycles::from_millis(2),
+            w_lost: 0.35,
+            w_noise: 0.25,
+            w_starved: 0.2,
+            w_stale: 0.2,
+            noise_ref: 0.35,
+            alpha: 0.5,
+        }
+    }
+}
+
+impl HealthPolicy {
+    /// Validates field ranges.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the first out-of-range field.
+    // Negated comparisons are deliberate throughout: `!(x > 0.0)`
+    // rejects NaN along with out-of-range values, which `x <= 0.0`
+    // would silently admit.
+    #[allow(clippy::neg_cmp_op_on_partial_ord)]
+    pub fn validate(&self) -> Result<(), String> {
+        if !(self.degrade_below > 0.0 && self.degrade_below < 1.0) {
+            return Err(format!(
+                "health degrade_below must be in (0, 1), got {}",
+                self.degrade_below
+            ));
+        }
+        if !(self.recover_above > self.degrade_below && self.recover_above <= 1.0) {
+            return Err(format!(
+                "health recover_above must be in (degrade_below, 1], got {}",
+                self.recover_above
+            ));
+        }
+        if self.dwell.is_zero() {
+            return Err("health dwell must be nonzero".into());
+        }
+        for (name, w) in [
+            ("w_lost", self.w_lost),
+            ("w_noise", self.w_noise),
+            ("w_starved", self.w_starved),
+            ("w_stale", self.w_stale),
+        ] {
+            if !(0.0..=1.0).contains(&w) {
+                return Err(format!("health {name} must be in [0, 1], got {w}"));
+            }
+        }
+        if !(self.noise_ref > 0.0) {
+            return Err(format!(
+                "health noise_ref must be positive, got {}",
+                self.noise_ref
+            ));
+        }
+        if !(self.alpha > 0.0 && self.alpha <= 1.0) {
+            return Err(format!(
+                "health alpha must be in (0, 1], got {}",
+                self.alpha
+            ));
+        }
+        Ok(())
+    }
+
+    /// Scores one window's measurement health in [0, 1] (1 = healthy).
+    pub fn score(&self, window: &WindowSample) -> f64 {
+        let taken = window.samples + window.samples_lost;
+        let lost_rate = if taken > 0 {
+            window.samples_lost as f64 / taken as f64
+        } else {
+            0.0
+        };
+        let lowconf_rate = if window.samples > 0 {
+            window.samples_low_confidence as f64 / window.samples as f64
+        } else {
+            0.0
+        };
+        let noise = (window.noise_ewma / self.noise_ref)
+            .max(lowconf_rate)
+            .clamp(0.0, 1.0);
+        let starved = (window.starvation_windows as f64 / 2.0).clamp(0.0, 1.0);
+        let stale = window.staleness_frac.clamp(0.0, 1.0);
+        let penalty = self.w_lost * lost_rate
+            + self.w_noise * noise
+            + self.w_starved * starved
+            + self.w_stale * stale;
+        (1.0 - penalty).clamp(0.0, 1.0)
+    }
+}
+
+/// A ladder transition, as reported to telemetry.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LadderTransition {
+    /// The rung the ladder left.
+    pub from: LadderRung,
+    /// The rung the ladder entered.
+    pub to: LadderRung,
+    /// The smoothed health score that triggered the move.
+    pub score: f64,
+}
+
+/// The degradation-ladder state machine.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HealthLadder {
+    policy: HealthPolicy,
+    rung: LadderRung,
+    smoothed: f64,
+    primed: bool,
+    last_transition: Option<Cycles>,
+    transitions: u64,
+}
+
+impl HealthLadder {
+    /// Builds a ladder starting on the healthiest rung.
+    pub fn new(policy: HealthPolicy) -> HealthLadder {
+        HealthLadder {
+            policy,
+            rung: LadderRung::Easing,
+            smoothed: 1.0,
+            primed: false,
+            last_transition: None,
+            transitions: 0,
+        }
+    }
+
+    /// The current rung.
+    pub fn rung(&self) -> LadderRung {
+        self.rung
+    }
+
+    /// The smoothed health score (1 before any observation).
+    pub fn score(&self) -> f64 {
+        self.smoothed
+    }
+
+    /// Transitions taken so far.
+    pub fn transitions(&self) -> u64 {
+        self.transitions
+    }
+
+    /// Scores one window, updates the smoothed score, and moves at most
+    /// one rung — but never within [`HealthPolicy::dwell`] of the
+    /// previous transition.
+    pub fn observe(&mut self, window: &WindowSample, now: Cycles) -> Option<LadderTransition> {
+        let score = self.policy.score(window);
+        self.smoothed = if self.primed {
+            (1.0 - self.policy.alpha) * self.smoothed + self.policy.alpha * score
+        } else {
+            self.primed = true;
+            score
+        };
+        if let Some(last) = self.last_transition {
+            if now.saturating_sub(last) < self.policy.dwell {
+                return None;
+            }
+        }
+        let next = if self.smoothed < self.policy.degrade_below {
+            self.rung.degraded()
+        } else if self.smoothed > self.policy.recover_above {
+            self.rung.recovered()
+        } else {
+            self.rung
+        };
+        if next == self.rung {
+            return None;
+        }
+        let transition = LadderTransition {
+            from: self.rung,
+            to: next,
+            score: self.smoothed,
+        };
+        self.rung = next;
+        self.last_transition = Some(now);
+        self.transitions += 1;
+        Some(transition)
+    }
+
+    /// Serializes the ladder state for reports.
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("rung".into(), Json::str(self.rung.label())),
+            ("score".into(), Json::Num(self.smoothed)),
+            ("transitions".into(), Json::Num(self.transitions as f64)),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sick() -> WindowSample {
+        WindowSample {
+            busy_cycles: 1e6,
+            sampling_cycles: 1e3,
+            samples: 10,
+            samples_lost: 30,
+            samples_low_confidence: 8,
+            starvation_windows: 3,
+            staleness_frac: 1.0,
+            noise_ewma: 1.0,
+        }
+    }
+
+    fn healthy() -> WindowSample {
+        WindowSample {
+            busy_cycles: 1e6,
+            sampling_cycles: 1e3,
+            samples: 50,
+            ..WindowSample::default()
+        }
+    }
+
+    #[test]
+    fn default_policy_validates() {
+        HealthPolicy::default().validate().unwrap();
+    }
+
+    #[test]
+    fn inverted_bands_are_rejected() {
+        let bad = HealthPolicy {
+            degrade_below: 0.8,
+            recover_above: 0.6,
+            ..HealthPolicy::default()
+        };
+        assert!(bad.validate().is_err());
+    }
+
+    #[test]
+    fn score_is_one_when_clean_and_low_when_stormy() {
+        let p = HealthPolicy::default();
+        assert_eq!(p.score(&healthy()), 1.0);
+        assert!(p.score(&sick()) < 0.3, "score {}", p.score(&sick()));
+    }
+
+    #[test]
+    fn ladder_degrades_one_rung_at_a_time() {
+        let mut ladder = HealthLadder::new(HealthPolicy::default());
+        let dwell = HealthPolicy::default().dwell;
+        let t1 = ladder.observe(&sick(), Cycles::new(1)).unwrap();
+        assert_eq!(t1.from, LadderRung::Easing);
+        assert_eq!(t1.to, LadderRung::FrozenPredictions);
+        let t2 = ladder.observe(&sick(), Cycles::new(1) + dwell).unwrap();
+        assert_eq!(t2.to, LadderRung::Stock);
+        // Already at the bottom: stays put.
+        assert!(ladder
+            .observe(&sick(), Cycles::new(1) + dwell * 2)
+            .is_none());
+        assert_eq!(ladder.rung(), LadderRung::Stock);
+    }
+
+    #[test]
+    fn ladder_recovers_when_health_returns() {
+        let mut ladder = HealthLadder::new(HealthPolicy::default());
+        let dwell = HealthPolicy::default().dwell;
+        ladder.observe(&sick(), Cycles::new(1));
+        ladder.observe(&sick(), Cycles::new(1) + dwell);
+        assert_eq!(ladder.rung(), LadderRung::Stock);
+        let mut now = Cycles::new(1) + dwell * 2;
+        let mut rungs = vec![];
+        for _ in 0..8 {
+            if let Some(t) = ladder.observe(&healthy(), now) {
+                rungs.push(t.to);
+            }
+            now += dwell;
+        }
+        assert_eq!(
+            rungs,
+            vec![LadderRung::FrozenPredictions, LadderRung::Easing],
+            "recovers one rung at a time"
+        );
+    }
+
+    #[test]
+    fn dwell_blocks_back_to_back_transitions() {
+        let mut ladder = HealthLadder::new(HealthPolicy::default());
+        let dwell = HealthPolicy::default().dwell;
+        assert!(ladder.observe(&sick(), Cycles::new(1)).is_some());
+        // Inside the dwell window nothing moves, however sick.
+        assert!(ladder
+            .observe(
+                &sick(),
+                Cycles::new(1) + dwell.saturating_sub(Cycles::new(1))
+            )
+            .is_none());
+        assert_eq!(ladder.rung(), LadderRung::FrozenPredictions);
+    }
+
+    #[test]
+    fn hysteresis_band_holds_between_thresholds() {
+        // Score landing between the bands moves nothing in either direction.
+        let mut ladder = HealthLadder::new(HealthPolicy::default());
+        let in_band = WindowSample {
+            samples: 10,
+            samples_lost: 14,
+            staleness_frac: 0.5,
+            ..healthy()
+        };
+        let score = HealthPolicy::default().score(&in_band);
+        assert!(
+            score > 0.6 && score < 0.8,
+            "fixture must land in the band, got {score}"
+        );
+        for i in 0..20 {
+            assert!(ladder
+                .observe(&in_band, Cycles::from_millis(8 * (i + 1)))
+                .is_none());
+        }
+        assert_eq!(ladder.rung(), LadderRung::Easing);
+    }
+
+    #[test]
+    fn json_reports_rung_and_score() {
+        let ladder = HealthLadder::new(HealthPolicy::default());
+        let json = ladder.to_json();
+        assert_eq!(json.get("rung").and_then(Json::as_str), Some("easing"));
+        assert_eq!(json.get("transitions").and_then(Json::as_f64), Some(0.0));
+    }
+
+    #[test]
+    fn rung_labels_and_indices_are_stable() {
+        for (i, rung) in LadderRung::ALL.iter().enumerate() {
+            assert_eq!(rung.index(), i);
+        }
+        assert_eq!(LadderRung::FrozenPredictions.label(), "frozen_predictions");
+    }
+}

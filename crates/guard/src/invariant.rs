@@ -1,0 +1,254 @@
+//! Runtime invariant monitor for the simulated kernel.
+//!
+//! The simulator's correctness rests on a handful of conservation laws
+//! that no unit test can check *during* a chaos run: requests are neither
+//! created nor destroyed by scheduling, the simulated clock and the
+//! cumulative counters never run backwards, a window cannot account more
+//! busy cycles than its cores had, and the governed observer overhead
+//! keeps non-negative slack (up to the one-window correction lag). This
+//! monitor checks them online — every accounting window in governed and
+//! debug runs — and counts violations per kind instead of panicking, so a
+//! broken invariant surfaces as a `guard.*` metric and a failed gate
+//! rather than a lost run.
+
+use rbv_telemetry::Json;
+
+/// The invariant families the monitor checks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum InvariantKind {
+    /// Generated requests = live + completed + failed + not yet admitted.
+    RequestConservation,
+    /// The simulated clock never moves backwards.
+    ClockMonotonic,
+    /// Cumulative counters never decrease and stay finite.
+    CounterMonotonic,
+    /// A window accounts at most `cores * elapsed` busy cycles.
+    QuantumAccounting,
+    /// Governed overhead keeps non-negative slack, with at most one
+    /// consecutive over-budget window (the AIMD correction lag).
+    NonNegativeSlack,
+}
+
+impl InvariantKind {
+    /// Every kind, in metric order.
+    pub const ALL: [InvariantKind; 5] = [
+        InvariantKind::RequestConservation,
+        InvariantKind::ClockMonotonic,
+        InvariantKind::CounterMonotonic,
+        InvariantKind::QuantumAccounting,
+        InvariantKind::NonNegativeSlack,
+    ];
+
+    /// Stable snake_case label for metrics and the ledger.
+    pub fn label(&self) -> &'static str {
+        match self {
+            InvariantKind::RequestConservation => "request_conservation",
+            InvariantKind::ClockMonotonic => "clock_monotonic",
+            InvariantKind::CounterMonotonic => "counter_monotonic",
+            InvariantKind::QuantumAccounting => "quantum_accounting",
+            InvariantKind::NonNegativeSlack => "non_negative_slack",
+        }
+    }
+
+    /// Position in [`InvariantKind::ALL`].
+    pub fn index(&self) -> usize {
+        *self as usize
+    }
+}
+
+/// Online invariant checker: counts checks and violations per kind and
+/// keeps the first violation's detail for diagnostics.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct InvariantMonitor {
+    checks: u64,
+    violations: [u64; 5],
+    first_violation: Option<String>,
+    last_violation: Option<(InvariantKind, String)>,
+}
+
+impl InvariantMonitor {
+    /// A fresh monitor with no checks recorded.
+    pub fn new() -> InvariantMonitor {
+        InvariantMonitor::default()
+    }
+
+    fn record(&mut self, kind: InvariantKind, ok: bool, detail: impl FnOnce() -> String) -> bool {
+        self.checks += 1;
+        if !ok {
+            self.violations[kind.index()] += 1;
+            let detail = detail();
+            if self.first_violation.is_none() {
+                self.first_violation = Some(format!("{}: {}", kind.label(), detail));
+            }
+            self.last_violation = Some((kind, detail));
+        }
+        ok
+    }
+
+    /// Checks request conservation: every generated request is live,
+    /// completed, failed, or not yet admitted.
+    pub fn check_request_conservation(
+        &mut self,
+        generated: u64,
+        live: u64,
+        completed: u64,
+        failed: u64,
+        pending: u64,
+    ) -> bool {
+        let accounted = live + completed + failed + pending;
+        self.record(
+            InvariantKind::RequestConservation,
+            generated == accounted,
+            || format!("generated {generated} != live {live} + completed {completed} + failed {failed} + pending {pending}"),
+        )
+    }
+
+    /// Checks the simulated clock only moves forward.
+    pub fn check_clock_monotonic(&mut self, prev_cycles: u64, now_cycles: u64) -> bool {
+        self.record(
+            InvariantKind::ClockMonotonic,
+            now_cycles >= prev_cycles,
+            || format!("clock went backwards: {prev_cycles} -> {now_cycles}"),
+        )
+    }
+
+    /// Checks a cumulative counter never decreased and stayed finite.
+    pub fn check_counter_monotonic(&mut self, label: &str, prev: f64, now: f64) -> bool {
+        self.record(
+            InvariantKind::CounterMonotonic,
+            now.is_finite() && now + 1e-9 >= prev,
+            || format!("counter {label} went backwards: {prev} -> {now}"),
+        )
+    }
+
+    /// Checks a window accounted at most `cores * elapsed` busy cycles.
+    pub fn check_quantum_accounting(
+        &mut self,
+        busy_delta: f64,
+        elapsed_cycles: u64,
+        cores: u64,
+    ) -> bool {
+        let capacity = elapsed_cycles as f64 * cores as f64;
+        self.record(
+            InvariantKind::QuantumAccounting,
+            busy_delta <= capacity * (1.0 + 1e-9) + 1.0,
+            || format!("window accounted {busy_delta} busy cycles > capacity {capacity}"),
+        )
+    }
+
+    /// Checks the governed overhead held non-negative slack up to the
+    /// one-window AIMD correction lag (no two consecutive breach windows).
+    pub fn check_non_negative_slack(&mut self, max_breach_streak: u64) -> bool {
+        self.record(
+            InvariantKind::NonNegativeSlack,
+            max_breach_streak <= 1,
+            || format!("{max_breach_streak} consecutive over-budget windows"),
+        )
+    }
+
+    /// Total checks performed.
+    pub fn checks(&self) -> u64 {
+        self.checks
+    }
+
+    /// Violations per kind, in [`InvariantKind::ALL`] order.
+    pub fn violations(&self) -> [u64; 5] {
+        self.violations
+    }
+
+    /// Total violations across every kind.
+    pub fn violations_total(&self) -> u64 {
+        self.violations.iter().sum()
+    }
+
+    /// The first violation's labeled detail, if any.
+    pub fn first_violation(&self) -> Option<&str> {
+        self.first_violation.as_deref()
+    }
+
+    /// The most recent violation's kind and detail, if any.
+    pub fn last_violation(&self) -> Option<(InvariantKind, &str)> {
+        self.last_violation.as_ref().map(|(k, d)| (*k, d.as_str()))
+    }
+
+    /// Serializes the monitor for reports: totals plus per-kind counts.
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("checks".into(), Json::Num(self.checks as f64)),
+            (
+                "violations".into(),
+                Json::Num(self.violations_total() as f64),
+            ),
+            (
+                "by_kind".into(),
+                Json::Obj(
+                    InvariantKind::ALL
+                        .iter()
+                        .map(|k| {
+                            (
+                                k.label().to_string(),
+                                Json::Num(self.violations[k.index()] as f64),
+                            )
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_checks_count_without_violations() {
+        let mut m = InvariantMonitor::new();
+        assert!(m.check_request_conservation(10, 2, 5, 1, 2));
+        assert!(m.check_clock_monotonic(5, 5));
+        assert!(m.check_counter_monotonic("busy", 1.0, 2.0));
+        assert!(m.check_quantum_accounting(100.0, 50, 4));
+        assert!(m.check_non_negative_slack(1));
+        assert_eq!(m.checks(), 5);
+        assert_eq!(m.violations_total(), 0);
+        assert!(m.first_violation().is_none());
+    }
+
+    #[test]
+    fn each_kind_counts_its_own_violations() {
+        let mut m = InvariantMonitor::new();
+        assert!(!m.check_request_conservation(10, 1, 1, 1, 1));
+        assert!(!m.check_clock_monotonic(7, 3));
+        assert!(!m.check_counter_monotonic("busy", 5.0, 4.0));
+        assert!(!m.check_counter_monotonic("cpi", 0.0, f64::NAN));
+        assert!(!m.check_quantum_accounting(1e9, 10, 4));
+        assert!(!m.check_non_negative_slack(3));
+        assert_eq!(m.violations(), [1, 1, 2, 1, 1]);
+        let first = m.first_violation().unwrap();
+        assert!(first.starts_with("request_conservation:"), "{first}");
+    }
+
+    #[test]
+    fn slack_tolerates_exactly_one_window() {
+        let mut m = InvariantMonitor::new();
+        assert!(m.check_non_negative_slack(0));
+        assert!(m.check_non_negative_slack(1));
+        assert!(!m.check_non_negative_slack(2));
+    }
+
+    #[test]
+    fn json_lists_every_kind_by_label() {
+        let mut m = InvariantMonitor::new();
+        m.check_clock_monotonic(9, 1);
+        let json = m.to_json();
+        assert_eq!(json.get("violations").and_then(Json::as_f64), Some(1.0));
+        let by_kind = json.get("by_kind").unwrap();
+        for kind in InvariantKind::ALL {
+            assert!(by_kind.get(kind.label()).is_some(), "{}", kind.label());
+        }
+        assert_eq!(
+            by_kind.get("clock_monotonic").and_then(Json::as_f64),
+            Some(1.0)
+        );
+    }
+}

@@ -1,0 +1,81 @@
+//! Guard acceptance: the governed measurement storm (the chaos matrix's
+//! `--governor` scenario) holds the do-no-harm contract on every server
+//! application.
+//!
+//! Contract, per `ISSUE` and the module docs:
+//!
+//! - compensated observer overhead stays within the budget with one
+//!   accounting window of slack — the longest run of consecutive
+//!   over-budget windows never exceeds 1 (the AIMD correction lag), and
+//!   cumulative overhead stays under budget plus at most one window's
+//!   worth of overshoot;
+//! - the runtime invariant monitor reports zero violations;
+//! - governed easing under the storm never loses to stock scheduling at
+//!   p99 request CPI.
+
+use rbv_faults::chaos::governor_storm;
+use rbv_workloads::AppId;
+
+/// Fast-mode request counts, mirroring the chaos matrix sizes.
+fn requests_of(app: AppId) -> usize {
+    let full = match app {
+        AppId::WebServer => 320,
+        AppId::Tpcc => 240,
+        AppId::Rubis => 200,
+        AppId::Tpch => 120,
+        _ => 60,
+    };
+    (full / 4).max(40)
+}
+
+#[test]
+fn governed_storm_holds_do_no_harm_across_the_matrix() {
+    for app in AppId::SERVER_APPS {
+        let n = requests_of(app);
+        let o = governor_storm(app, 42, n).expect("governed storm runs");
+        println!(
+            "{app:?}: windows {} backoffs {} breaches {} streak {} scale {:.2} \
+             overhead {:.5} stock_p99 {:.4} governed_p99 {:.4} rung {} transitions {}",
+            o.windows,
+            o.backoffs,
+            o.budget_breaches,
+            o.max_breach_streak,
+            o.final_scale,
+            o.overhead_frac,
+            o.stock_p99_cpi,
+            o.governed_p99_cpi,
+            o.final_rung,
+            o.health_transitions
+        );
+        assert_eq!(o.completed, n, "{app:?}: storm must complete every request");
+        assert!(o.windows > 0, "{app:?}: governor accounted no windows");
+        assert!(
+            o.max_breach_streak <= 1,
+            "{app:?}: breach streak {} exceeds the one-window slack",
+            o.max_breach_streak
+        );
+        assert!(
+            o.overhead_frac <= o.budget_frac + o.slack_frac + 1e-9,
+            "{app:?}: cumulative overhead {:.5} above the {:.3} budget plus \
+             one-window slack {:.5}",
+            o.overhead_frac,
+            o.budget_frac,
+            o.slack_frac
+        );
+        assert!(o.invariant_checks > 0, "{app:?}: no invariant checks ran");
+        assert_eq!(
+            o.invariant_violations, 0,
+            "{app:?}: runtime invariants violated"
+        );
+        assert!(
+            o.stock_p99_cpi.is_finite() && o.governed_p99_cpi.is_finite(),
+            "{app:?}: degenerate CPI tails"
+        );
+        assert!(
+            o.governed_p99_cpi <= o.stock_p99_cpi * 1.05,
+            "{app:?}: governed easing p99 CPI {:.3} worse than stock {:.3}",
+            o.governed_p99_cpi,
+            o.stock_p99_cpi
+        );
+    }
+}

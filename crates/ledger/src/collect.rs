@@ -10,14 +10,17 @@
 //! 3. a **contention-easing** run against the standard run's stock
 //!    baseline — the stock-vs-easing p99 CPI tail delta (§5.2);
 //! 4. the **chaos matrix** (`rbv_faults::run_matrix`) — anomaly
-//!    precision/recall, degradation, overload, and easing-under-storm.
+//!    precision/recall, degradation, overload, and easing-under-storm;
+//! 5. the **governed storm** (`rbv_faults::chaos::governor_storm`) — the
+//!    adaptive sampling governor, health ladder, and invariant monitor
+//!    under the measurement storm (the ledger's `guard` section).
 //!
 //! Everything is deterministic in `(app, seed, fast)`; wall-clock stage
 //! timings go to the caller's [`SelfProfiler`] and never into the
 //! deterministic part of the document.
 
 use rbv_core::stats::percentile;
-use rbv_faults::chaos::run_matrix;
+use rbv_faults::chaos::{governor_storm, run_matrix};
 use rbv_os::{run_simulation, ObserverReport, RbvError, RunResult, SchedulerPolicy, SimConfig};
 use rbv_sim::Cycles;
 use rbv_telemetry::{Json, SelfProfiler};
@@ -134,6 +137,11 @@ pub fn collect_app(
     let chaos = run_matrix(app, seed, fast)?;
     profiler.stop(timer);
 
+    // 5. Governed storm: the guard section the regression gate watches.
+    let timer = profiler.stage(format!("{label}.guard"));
+    let guard = governor_storm(app, seed, requests_of(app, fast))?;
+    profiler.stop(timer);
+
     Ok(AppLedger {
         app: label.to_string(),
         requests: standard.completed.len() as u64,
@@ -147,6 +155,7 @@ pub fn collect_app(
             eased_p99_cpi: eased.cpi_sketch().p99().unwrap_or(f64::NAN),
         },
         chaos: chaos.to_json(),
+        guard: guard.to_json(),
     })
 }
 

@@ -98,6 +98,16 @@ fn band_for(metric: &str, override_tol: Option<f64>) -> Band {
         "flagged",
         "injected",
         "gate_fallbacks",
+        // Guard counters: governor windows/decisions, ladder moves, and
+        // invariant verdicts are discrete events.
+        "windows",
+        "backoffs",
+        "recoveries",
+        "budget_breaches",
+        "max_breach_streak",
+        "health_transitions",
+        "invariant_checks",
+        "invariant_violations",
     ];
     if county.contains(&leaf) || metric.contains(".samples.") {
         return Band::Relative(TOL_COUNT);
@@ -183,7 +193,7 @@ pub fn metrics_of(doc: &Json) -> Result<Vec<(String, f64)>, String> {
                 .ok_or_else(|| format!("ledger: {name} missing {key}"))?;
             sketch_metrics(&format!("{name}.{key}"), sub, &mut out)?;
         }
-        for key in ["observer", "syscall_observer", "easing", "chaos"] {
+        for key in ["observer", "syscall_observer", "easing", "chaos", "guard"] {
             let sub = app
                 .get(key)
                 .ok_or_else(|| format!("ledger: {name} missing {key}"))?;

@@ -11,8 +11,9 @@
 use rbv_telemetry::{Json, QuantileSketch};
 
 /// Schema tag embedded in every document; the differ refuses to compare
-/// documents with different tags.
-pub const SCHEMA: &str = "rbv-ledger/v1";
+/// documents with different tags. v2 added the per-app `guard` member
+/// (governed-storm outcome).
+pub const SCHEMA: &str = "rbv-ledger/v2";
 
 /// Stock-vs-easing tail comparison for one application.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -84,6 +85,10 @@ pub struct AppLedger {
     /// The chaos matrix outcome, as serialized by
     /// `rbv_faults::ChaosReport::to_json`.
     pub chaos: Json,
+    /// The governed-storm outcome (sampling governor, health ladder, and
+    /// invariant monitor under the measurement storm), as serialized by
+    /// `rbv_faults::GovernorOutcome::to_json`.
+    pub guard: Json,
 }
 
 impl AppLedger {
@@ -99,6 +104,7 @@ impl AppLedger {
             ("syscall_observer".into(), self.syscall_observer.clone()),
             ("easing".into(), self.easing.to_json()),
             ("chaos".into(), self.chaos.clone()),
+            ("guard".into(), self.guard.clone()),
         ])
     }
 
@@ -128,6 +134,7 @@ impl AppLedger {
             syscall_observer: member("syscall_observer")?.clone(),
             easing: EasingDelta::from_json(member("easing")?)?,
             chaos: member("chaos")?.clone(),
+            guard: member("guard")?.clone(),
         })
     }
 }
@@ -239,6 +246,13 @@ pub(crate) mod tests {
                     ("recall".into(), Json::Num(0.85)),
                 ]),
             )]),
+            guard: Json::Obj(vec![
+                ("windows".into(), Json::Num(24.0 * scale)),
+                ("budget_breaches".into(), Json::Num(1.0)),
+                ("max_breach_streak".into(), Json::Num(1.0)),
+                ("overhead_frac".into(), Json::Num(0.004 * scale)),
+                ("invariant_violations".into(), Json::Num(0.0)),
+            ]),
         }
     }
 

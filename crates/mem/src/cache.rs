@@ -40,7 +40,9 @@ impl CacheConfig {
     ///
     /// Panics if the geometry is inconsistent (see [`CacheConfig::validate`]).
     pub fn num_sets(&self) -> usize {
-        self.validate().expect("invalid cache geometry");
+        if let Err(e) = self.validate() {
+            panic!("invalid cache geometry: {e}");
+        }
         self.size_bytes / (self.line_bytes * self.associativity)
     }
 
@@ -195,7 +197,9 @@ impl SetAssocCache {
     ///
     /// Panics if `config` fails [`CacheConfig::validate`].
     pub fn new(config: CacheConfig) -> SetAssocCache {
-        config.validate().expect("invalid cache geometry");
+        if let Err(e) = config.validate() {
+            panic!("invalid cache geometry: {e}");
+        }
         let num_sets = config.num_sets();
         SetAssocCache {
             config,
@@ -245,7 +249,7 @@ impl SetAssocCache {
             .enumerate()
             .min_by_key(|(_, w)| (w.valid, w.lru_stamp))
             .map(|(i, _)| i)
-            .expect("associativity is nonzero");
+            .unwrap_or_else(|| unreachable!("associativity is nonzero"));
         let victim = ways[victim_idx];
         let evicted = victim.valid.then_some(victim.tag << self.line_shift);
         ways[victim_idx] = Way {

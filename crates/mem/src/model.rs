@@ -387,7 +387,7 @@ impl MachineSpec {
     pub fn solo(&self, profile: SegmentProfile) -> PerfEstimate {
         let mut running = vec![None; self.topology.cores];
         running[0] = Some(profile);
-        self.evaluate(&running)[0].expect("core 0 is occupied")
+        self.evaluate(&running)[0].unwrap_or_else(|| unreachable!("core 0 is occupied"))
     }
 
     fn cluster_range(&self, cluster: usize, n: usize) -> (usize, usize) {

@@ -146,7 +146,8 @@ impl ZipfWorkingSet {
         ZipfWorkingSet {
             base,
             lines,
-            dist: Zipf::new(lines, s).expect("valid zipf parameters"),
+            dist: Zipf::new(lines, s)
+                .unwrap_or_else(|_| unreachable!("zipf parameters validated above")),
             write_permille,
             rng,
         }

@@ -3,6 +3,7 @@
 
 use std::collections::HashSet;
 
+use rbv_guard::GovernorPolicy;
 use rbv_mem::MachineSpec;
 use rbv_sim::Cycles;
 use rbv_workloads::SyscallName;
@@ -327,6 +328,13 @@ pub struct SimConfig {
     /// scheduling until confidence recovers. `None` (the default) never
     /// gates.
     pub easing_error_gate: Option<f64>,
+    /// Runtime guardrails (`rbv-guard`): the adaptive do-no-harm sampling
+    /// governor, the measurement-health degradation ladder (which
+    /// supersedes [`SimConfig::easing_error_gate`] while enabled), and
+    /// the online invariant monitor. `None` (the default) schedules no
+    /// governor ticks and leaves the engine's event stream bit-identical
+    /// to an ungoverned build.
+    pub governor: Option<GovernorPolicy>,
     /// Engine RNG seed (placement decisions only; workload randomness
     /// lives in the factories).
     pub seed: u64,
@@ -353,6 +361,7 @@ impl SimConfig {
             faults: MeasurementFaults::none(),
             overload: None,
             easing_error_gate: None,
+            governor: None,
             seed: 0,
         }
     }
@@ -485,6 +494,9 @@ impl SimConfig {
         self.faults.validate()?;
         if let Some(overload) = &self.overload {
             overload.validate()?;
+        }
+        if let Some(governor) = &self.governor {
+            governor.validate().map_err(RbvError::Config)?;
         }
         Ok(())
     }

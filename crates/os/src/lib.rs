@@ -38,6 +38,7 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod accountant;
 pub mod config;
@@ -49,10 +50,13 @@ pub mod result;
 
 pub use accountant::{ModeCost, ObserverReport, DO_NO_HARM_BUDGET};
 pub use config::{MeasurementFaults, OverloadPolicy, SamplingPolicy, SchedulerPolicy, SimConfig};
+// Guard re-exports so callers configuring `SimConfig::governor` need not
+// depend on `rbv-guard` directly.
 pub use error::RbvError;
 pub use machine::{run_simulation, run_simulation_traced};
 pub use observer::{measure_sampling_cost, SampleCost, SampleMode, SamplingContext};
 pub use projection::PlatformProjection;
+pub use rbv_guard::{GovernorPolicy, HealthPolicy, InvariantKind, LadderRung};
 pub use result::{
     CompletedRequest, FailReason, FailedRequest, RunResult, RunStats, SyscallRecord,
     TransitionRecord,

@@ -31,10 +31,22 @@
 //! pathological microsecond-scale sampling makes it visible (see
 //! `tests/stress.rs`).
 
+// The engine's `expect`s assert cross-structure scheduling invariants
+// (a running rid always indexes a live request, a checked Option is
+// re-read one line later, and so on). A violated invariant is a
+// simulator bug where continuing would silently corrupt results;
+// panicking with the invariant named is the designed failure mode, so
+// these sites are exempt from the crate-wide `expect_used` ban.
+#![allow(clippy::expect_used)]
+
 use std::collections::VecDeque;
 
 use rbv_core::predict::{Predictor, VaEwma};
 use rbv_core::series::{Metric, SamplePeriod, Timeline};
+use rbv_guard::{
+    Governor, GovernorAction, GovernorPolicy, HealthLadder, InvariantMonitor, LadderRung,
+    WindowSample,
+};
 use rbv_mem::{PerfEstimate, SegmentProfile};
 use rbv_sim::{Cycles, EventQueue, SimRng};
 use rbv_telemetry::{SampleOrigin, SwitchReason, TraceEvent, TraceSink};
@@ -123,6 +135,11 @@ enum Event {
     Retry { rid: usize, attempt: u32 },
     /// End-to-end deadline expiry check for a request.
     DeadlineCheck { rid: usize },
+    /// Guard accounting-window boundary: the governor reads the window's
+    /// observer costs, the health ladder rescores, and the invariant
+    /// monitor runs its checks. Never scheduled when
+    /// [`SimConfig::governor`] is `None`.
+    GuardTick,
 }
 
 #[derive(Debug, Default)]
@@ -185,6 +202,43 @@ impl LiveRequest {
     }
 }
 
+/// Snapshot of the observer-cost counters at the start of the current
+/// guard accounting window, plus the guard components themselves. Lives
+/// in its own struct so `on_guard_tick` can `take()` it while borrowing
+/// the rest of the engine.
+struct GuardState {
+    policy: GovernorPolicy,
+    governor: Governor,
+    ladder: HealthLadder,
+    monitor: InvariantMonitor,
+    /// Start instant of the current accounting window.
+    win_start: Cycles,
+    base_busy: f64,
+    base_sampling: f64,
+    base_samples: u64,
+    base_lost: u64,
+    base_low_conf: u64,
+    base_starved: u64,
+}
+
+impl GuardState {
+    fn new(policy: GovernorPolicy) -> GuardState {
+        GuardState {
+            governor: Governor::new(&policy),
+            ladder: HealthLadder::new(policy.health.clone()),
+            monitor: InvariantMonitor::new(),
+            policy,
+            win_start: Cycles::ZERO,
+            base_busy: 0.0,
+            base_sampling: 0.0,
+            base_samples: 0,
+            base_lost: 0,
+            base_low_conf: 0,
+            base_starved: 0,
+        }
+    }
+}
+
 struct Engine<'s> {
     cfg: SimConfig,
     queue: EventQueue<Event>,
@@ -221,12 +275,26 @@ struct Engine<'s> {
     sink: Option<&'s mut dyn TraceSink>,
     /// Simultaneous-high-usage core count last reported to the sink.
     trace_high: usize,
+    /// Adaptive sampling governor, health ladder, and invariant monitor.
+    /// `None` (the default) schedules no guard events and leaves every
+    /// sampling interval untouched, keeping ungoverned runs bit-identical
+    /// to builds that predate the guard.
+    guard: Option<GuardState>,
+    /// Sampling-interval multiplier the governor currently commands.
+    /// Exactly 1.0 for ungoverned runs; the interval helpers return their
+    /// input unchanged in that case.
+    sample_scale: f64,
+    /// Context switches since the last context-switch sample, for the
+    /// governor's per-mode decimation (always 0 while `sample_scale` is
+    /// 1.0, so ungoverned runs sample every switch).
+    cs_skip: u64,
 }
 
 impl<'s> Engine<'s> {
     fn new(cfg: SimConfig, target: usize, sink: Option<&'s mut dyn TraceSink>) -> Engine<'s> {
         let cores = cfg.machine.topology.cores;
         let seed = cfg.seed;
+        let guard = cfg.governor.clone().map(GuardState::new);
         Engine {
             cfg,
             queue: EventQueue::new(),
@@ -254,6 +322,9 @@ impl<'s> Engine<'s> {
             gate_engaged: false,
             sink,
             trace_high: 0,
+            guard,
+            sample_scale: 1.0,
+            cs_skip: 0,
         }
     }
 
@@ -272,6 +343,10 @@ impl<'s> Engine<'s> {
             }
         }
         self.flush_rates();
+        if let Some(guard) = &self.guard {
+            self.queue
+                .schedule_after(guard.policy.window, Event::GuardTick);
+        }
 
         while self.completed.len() + self.failed.len() < self.target {
             let Some((now, event)) = self.queue.pop() else {
@@ -320,8 +395,19 @@ impl<'s> Engine<'s> {
                         self.fail_request(rid, now, FailReason::DeadlineAbort, factory);
                     }
                 }
+                Event::GuardTick => self.on_guard_tick(now, true),
             }
             self.flush_rates();
+        }
+
+        // Close the final (partial) guard window so short runs still get
+        // at least one governed observation, then fold the guard verdicts
+        // into the run statistics.
+        if self.guard.is_some() {
+            self.on_guard_tick(self.queue.now(), false);
+            self.finalize_guard_stats();
+        } else if cfg!(debug_assertions) {
+            self.debug_invariant_sweep();
         }
 
         RunResult {
@@ -777,7 +863,9 @@ impl<'s> Engine<'s> {
             ),
             _ => (false, Cycles::ZERO),
         };
-        if trigger && now.saturating_sub(self.cores[core].last_sample) >= t_min {
+        if trigger
+            && now.saturating_sub(self.cores[core].last_sample) >= self.scaled_interval(t_min)
+        {
             if self.sampling_starved(core, now) {
                 // Graceful degradation: the syscall sampling path is
                 // starved, so this trigger collects nothing and the
@@ -800,8 +888,9 @@ impl<'s> Engine<'s> {
         now: Cycles,
         factory: &mut dyn RequestFactory,
     ) {
-        // Context-switch sample flushes the stage's final period.
-        self.take_sample(core, rid, now, SampleMode::ContextSwitch, None);
+        // Context-switch sample flushes the stage's final period (unless
+        // the governor is decimating: then it extends into the next one).
+        let flushed = self.cs_sample(core, rid, now);
         self.cores[core].running = None;
         self.rates_dirty = true;
         self.stats.context_switches += 1;
@@ -847,6 +936,9 @@ impl<'s> Engine<'s> {
                 self.enqueue_least_loaded(rid);
             }
         } else {
+            if !flushed {
+                self.teardown_flush(rid);
+            }
             let lr = self.live[rid].take().expect("request was live");
             self.completed.push(CompletedRequest {
                 id: lr.id,
@@ -923,6 +1015,19 @@ impl<'s> Engine<'s> {
         syscall: Option<SyscallName>,
     ) {
         let ctx = mode.context();
+        // Guard coupling, resolved before the live-request borrow below:
+        // an active health ladder supersedes the one-shot error gate, and
+        // its lower rungs freeze predictor training. A governed run
+        // tracks prediction error even without a configured gate — it is
+        // the ladder's counter-noise input.
+        let ladder_active = self.guard.as_ref().is_some_and(|g| g.policy.ladder);
+        let gate_cfg = if ladder_active {
+            None
+        } else {
+            self.cfg.easing_error_gate
+        };
+        let track_err = self.cfg.easing_error_gate.is_some() || self.guard.is_some();
+        let frozen = self.predictions_frozen();
         self.stats.samples_by_mode[mode.index()] += 1;
         match ctx {
             SamplingContext::InKernel => self.stats.samples_inkernel += 1,
@@ -1028,7 +1133,7 @@ impl<'s> Engine<'s> {
             }
 
             if let Some(mpi) = period.value(Metric::L2MissesPerIns) {
-                if let Some(gate) = self.cfg.easing_error_gate {
+                if track_err {
                     if let Some(pred) = lr.predictor.predict() {
                         if mpi > 1e-12 {
                             let rel = ((pred - mpi) / mpi).abs().min(10.0);
@@ -1038,23 +1143,27 @@ impl<'s> Engine<'s> {
                                 rel
                             };
                             self.pred_err_primed = true;
-                            let engaged = self.pred_err > gate;
-                            if engaged != self.gate_engaged {
-                                self.gate_engaged = engaged;
-                                if let Some(sink) = self.sink.as_deref_mut() {
-                                    sink.record(TraceEvent::EasingGate {
-                                        ts: now,
-                                        engaged,
-                                        error: self.pred_err,
-                                    });
+                            if let Some(gate) = gate_cfg {
+                                let engaged = self.pred_err > gate;
+                                if engaged != self.gate_engaged {
+                                    self.gate_engaged = engaged;
+                                    if let Some(sink) = self.sink.as_deref_mut() {
+                                        sink.record(TraceEvent::EasingGate {
+                                            ts: now,
+                                            engaged,
+                                            error: self.pred_err,
+                                        });
+                                    }
                                 }
                             }
                         }
                     }
                 }
-                // Duration in vaEWMA units (t̂ = 1 ms).
-                let millis = period.cycles / Cycles::from_millis(1).as_f64();
-                lr.predictor.observe(mpi, millis.max(1e-9));
+                if !frozen {
+                    // Duration in vaEWMA units (t̂ = 1 ms).
+                    let millis = period.cycles / Cycles::from_millis(1).as_f64();
+                    lr.predictor.observe(mpi, millis.max(1e-9));
+                }
             }
         }
         lr.timeline.push(period);
@@ -1092,7 +1201,7 @@ impl<'s> Engine<'s> {
         }
         match &self.cfg.sampling {
             SamplingPolicy::Interrupt { period } => {
-                let period = *period;
+                let period = self.scaled_interval(*period);
                 if !lost {
                     self.take_sample(core, rid, now, SampleMode::Apic, None);
                 }
@@ -1121,10 +1230,294 @@ impl<'s> Engine<'s> {
             | SamplingPolicy::TransitionSignalPairs { t_backup_int, .. } => *t_backup_int,
             _ => return,
         };
+        let delay = self.scaled_interval(delay);
         self.cores[core].sample_epoch += 1;
         let epoch = self.cores[core].sample_epoch;
         self.queue
             .schedule_after(delay, Event::SampleTimer { core, epoch });
+    }
+
+    // ----- guard ------------------------------------------------------------
+
+    /// Applies the governor's interval scale to a sampling interval.
+    /// Exact identity at scale 1.0 — the only value an ungoverned run can
+    /// hold — so the guard's mere presence cannot perturb event timing.
+    fn scaled_interval(&self, t: Cycles) -> Cycles {
+        if self.sample_scale <= 1.0 {
+            return t;
+        }
+        Cycles::new((t.as_f64() * self.sample_scale).round() as u64)
+    }
+
+    /// Re-arms every busy core's sampling timer at the freshly scaled
+    /// interval, invalidating in-flight timers armed at the pre-back-off
+    /// cadence (idle cores re-arm on their next dispatch).
+    fn rearm_sampling_timers(&mut self) {
+        for core in 0..self.cores.len() {
+            if self.cores[core].running.is_none() {
+                continue;
+            }
+            match &self.cfg.sampling {
+                SamplingPolicy::Interrupt { period } => {
+                    let period = self.scaled_interval(*period);
+                    self.cores[core].sample_epoch += 1;
+                    let epoch = self.cores[core].sample_epoch;
+                    self.queue
+                        .schedule_after(period, Event::SampleTimer { core, epoch });
+                }
+                SamplingPolicy::SyscallTriggered { .. }
+                | SamplingPolicy::TransitionSignals { .. }
+                | SamplingPolicy::TransitionSignalPairs { .. } => {
+                    self.rearm_backup_timer(core, self.queue.now());
+                }
+                SamplingPolicy::ContextSwitchOnly => {}
+            }
+        }
+    }
+
+    /// Context-switch sampling under the governor's per-mode decimation:
+    /// at interval scale `s` only every `ceil(s)`-th switch is sampled.
+    /// A skipped switch takes no sample at all — it injects no observer
+    /// cost, and the running period simply keeps accumulating into the
+    /// request's next sample (the same graceful extension a lost
+    /// interrupt causes). At scale 1.0 — the only value an ungoverned
+    /// run can hold — every switch is sampled, bit-identically to builds
+    /// that predate the guard. Returns whether a sample was taken, so a
+    /// completing request can still close its timeline (see
+    /// [`Self::teardown_flush`]).
+    fn cs_sample(&mut self, core: usize, rid: usize, now: Cycles) -> bool {
+        if self.sample_scale > 1.0 {
+            self.cs_skip += 1;
+            if self.cs_skip < self.sample_scale.ceil() as u64 {
+                return false;
+            }
+            self.cs_skip = 0;
+        }
+        self.take_sample(core, rid, now, SampleMode::ContextSwitch, None);
+        true
+    }
+
+    /// Closes a completing request's timeline when the governor's
+    /// decimation elided its final context-switch sample. Dropping the
+    /// residual period would bias the measured request totals toward
+    /// whichever phases happened to be sampled — exactly the kind of
+    /// observer-induced distortion the guard exists to prevent. Modeled
+    /// as a free counter read at teardown: the scheduler is already in
+    /// the kernel retiring the request and no sampling path runs, so no
+    /// observer cost is injected and no sample is counted; the usual
+    /// observer-effect compensation still applies to any injection
+    /// carried over from the last real sample. Never reached at scale
+    /// 1.0, so ungoverned runs are untouched.
+    fn teardown_flush(&mut self, rid: usize) {
+        let compensate = self.cfg.compensate_observer_effect;
+        let lr = self.live[rid].as_mut().expect("completing request is live");
+        let mut period = lr.accum;
+        lr.accum = SamplePeriod::default();
+        if compensate {
+            if let Some(injected_ctx) = lr.accum_injection {
+                let min_cost = spin_baseline(injected_ctx);
+                period.cycles = (period.cycles - min_cost.cycles).max(0.0);
+                period.instructions = (period.instructions - min_cost.instructions).max(0.0);
+                period.l2_refs = (period.l2_refs - min_cost.l2_refs).max(0.0);
+                period.l2_misses = (period.l2_misses - min_cost.l2_misses).max(0.0);
+            }
+        }
+        lr.accum_injection = None;
+        lr.pending_transition = None;
+        if period.cycles > 0.0 {
+            lr.timeline.push(period);
+        }
+    }
+
+    /// Cumulative priced observer cost: every sample taken so far, costed
+    /// at the Mbench-Spin floor of the hook that took it (the same
+    /// pricing the post-run [`crate::accountant::ObserverReport`] uses).
+    fn priced_sampling_cycles(&self) -> f64 {
+        SampleMode::ALL
+            .iter()
+            .map(|m| {
+                self.stats.samples_by_mode[m.index()] as f64 * spin_baseline(m.context()).cycles
+            })
+            .sum()
+    }
+
+    /// Closes one guard accounting window: feeds the window's counter
+    /// deltas to the governor (adapting the sampling scale), the health
+    /// ladder, and the invariant monitor, then opens the next window.
+    fn on_guard_tick(&mut self, now: Cycles, reschedule: bool) {
+        let Some(mut guard) = self.guard.take() else {
+            return;
+        };
+        let priced = self.priced_sampling_cycles();
+        let samples: u64 = self.stats.samples_by_mode.iter().sum();
+        // Sample staleness: age of the newest sample on any busy core,
+        // as a fraction of the window. Idle machines have nothing to
+        // sample and score fresh.
+        let staleness = match self
+            .cores
+            .iter()
+            .filter(|c| c.running.is_some())
+            .map(|c| c.last_sample)
+            .max()
+        {
+            Some(last) => {
+                (now.saturating_sub(last).as_f64() / guard.policy.window.as_f64()).clamp(0.0, 1.0)
+            }
+            None => 0.0,
+        };
+        let window = WindowSample {
+            busy_cycles: self.stats.busy_cycles - guard.base_busy,
+            sampling_cycles: priced - guard.base_sampling,
+            samples: samples - guard.base_samples,
+            samples_lost: self.stats.samples_lost - guard.base_lost,
+            samples_low_confidence: self.stats.samples_low_confidence - guard.base_low_conf,
+            starvation_windows: self.stats.starvation_windows - guard.base_starved,
+            staleness_frac: staleness,
+            noise_ewma: if self.pred_err_primed {
+                self.pred_err
+            } else {
+                0.0
+            },
+        };
+
+        let decision = guard.governor.observe(&window);
+        if decision.action != GovernorAction::Hold {
+            self.sample_scale = decision.scale;
+            if decision.action == GovernorAction::Backoff {
+                // In-flight timers armed before this back-off would keep
+                // firing at the old cadence for one more period, pushing
+                // the correction lag past the one-window slack.
+                self.rearm_sampling_timers();
+            }
+            if let Some(sink) = self.sink.as_deref_mut() {
+                sink.record(TraceEvent::GovernorAdjust {
+                    ts: now,
+                    action: decision.action.label().to_string(),
+                    scale: decision.scale,
+                    overhead_frac: decision.overhead_frac,
+                    budget_frac: guard.governor.budget_frac(),
+                });
+            }
+        }
+
+        if guard.policy.ladder {
+            if let Some(t) = guard.ladder.observe(&window, now) {
+                if let Some(sink) = self.sink.as_deref_mut() {
+                    sink.record(TraceEvent::HealthTransition {
+                        ts: now,
+                        from: t.from.label().to_string(),
+                        to: t.to.label().to_string(),
+                        score: t.score,
+                    });
+                }
+            }
+        }
+
+        if guard.policy.invariants {
+            let live = self.live.iter().filter(|l| l.is_some()).count() as u64;
+            let before = guard.monitor.violations_total();
+            guard.monitor.check_request_conservation(
+                self.generated as u64,
+                live,
+                self.completed.len() as u64,
+                self.failed.len() as u64,
+                0,
+            );
+            guard
+                .monitor
+                .check_clock_monotonic(guard.win_start.get(), now.get());
+            guard.monitor.check_counter_monotonic(
+                "busy_cycles",
+                guard.base_busy,
+                self.stats.busy_cycles,
+            );
+            guard
+                .monitor
+                .check_counter_monotonic("sampling_cycles", guard.base_sampling, priced);
+            guard.monitor.check_quantum_accounting(
+                window.busy_cycles,
+                now.saturating_sub(guard.win_start).get(),
+                self.cores.len() as u64,
+            );
+            guard
+                .monitor
+                .check_non_negative_slack(guard.governor.max_breach_streak());
+            if guard.monitor.violations_total() > before {
+                if let Some((kind, detail)) = guard.monitor.last_violation() {
+                    if let Some(sink) = self.sink.as_deref_mut() {
+                        sink.record(TraceEvent::InvariantViolation {
+                            ts: now,
+                            invariant: kind.label().to_string(),
+                            detail: detail.to_string(),
+                        });
+                    }
+                }
+            }
+        }
+
+        guard.win_start = now;
+        guard.base_busy = self.stats.busy_cycles;
+        guard.base_sampling = priced;
+        guard.base_samples = samples;
+        guard.base_lost = self.stats.samples_lost;
+        guard.base_low_conf = self.stats.samples_low_confidence;
+        guard.base_starved = self.stats.starvation_windows;
+
+        if reschedule {
+            self.queue
+                .schedule_after(guard.policy.window, Event::GuardTick);
+        }
+        self.guard = Some(guard);
+    }
+
+    /// Folds the guard components' verdicts into the run statistics (so
+    /// they reach the ledger's `guard.*` metric family).
+    fn finalize_guard_stats(&mut self) {
+        let Some(guard) = &self.guard else {
+            return;
+        };
+        self.stats.governor_windows = guard.governor.windows();
+        self.stats.governor_backoffs = guard.governor.backoffs();
+        self.stats.governor_recoveries = guard.governor.recoveries();
+        self.stats.governor_budget_breaches = guard.governor.breaches();
+        self.stats.governor_max_breach_streak = guard.governor.max_breach_streak();
+        self.stats.governor_final_scale = guard.governor.scale();
+        self.stats.governor_overhead_frac = guard.governor.cumulative_overhead_frac();
+        self.stats.governor_slack_frac = guard.governor.slack_frac();
+        self.stats.health_transitions = guard.ladder.transitions();
+        self.stats.health_final_rung = guard.ladder.rung().index() as u64;
+        self.stats.invariant_checks = guard.monitor.checks();
+        self.stats.invariant_violations = guard.monitor.violations();
+    }
+
+    /// End-of-run invariant sweep for ungoverned debug runs: the same
+    /// conservation laws the governed monitor checks every window, run
+    /// once over the whole run. Emits no events and draws nothing, so it
+    /// cannot perturb the simulation it checks.
+    fn debug_invariant_sweep(&mut self) {
+        let mut monitor = InvariantMonitor::new();
+        let live = self.live.iter().filter(|l| l.is_some()).count() as u64;
+        monitor.check_request_conservation(
+            self.generated as u64,
+            live,
+            self.completed.len() as u64,
+            self.failed.len() as u64,
+            0,
+        );
+        monitor.check_clock_monotonic(0, self.queue.now().get());
+        monitor.check_counter_monotonic("busy_cycles", 0.0, self.stats.busy_cycles);
+        monitor.check_quantum_accounting(
+            self.stats.busy_cycles,
+            self.queue.now().get(),
+            self.cores.len() as u64,
+        );
+        self.stats.invariant_checks = monitor.checks();
+        self.stats.invariant_violations = monitor.violations();
+        debug_assert!(
+            monitor.violations_total() == 0,
+            "engine invariant violated: {}",
+            monitor.first_violation().unwrap_or("unknown")
+        );
     }
 
     // ----- scheduling -------------------------------------------------------
@@ -1173,7 +1566,7 @@ impl<'s> Engine<'s> {
 
         match &self.cfg.sampling {
             SamplingPolicy::Interrupt { period } => {
-                let period = *period;
+                let period = self.scaled_interval(*period);
                 self.cores[core].sample_epoch += 1;
                 let epoch = self.cores[core].sample_epoch;
                 self.queue
@@ -1223,10 +1616,33 @@ impl<'s> Engine<'s> {
         }
     }
 
-    /// Whether the prediction-confidence gate currently forces the
-    /// contention-easing scheduler back to stock behavior.
+    /// Whether contention easing is currently suspended. With an active
+    /// guard ladder, the bottom rung (stock) suspends it outright; on the
+    /// upper rungs each displacement decision still defers to the live
+    /// prediction-error signal (the ladder's own counter-noise input), so
+    /// storm-garbage predictions cannot displace requests during the
+    /// window-plus-dwell lag before the ladder reacts. Unlike the
+    /// one-shot gate this clears as soon as the error subsides. Without a
+    /// ladder the one-shot prediction-confidence gate decides.
     fn easing_gated(&self) -> bool {
+        if let Some(guard) = &self.guard {
+            if guard.policy.ladder {
+                return match guard.ladder.rung() {
+                    LadderRung::Stock => true,
+                    _ => self.pred_err_primed && self.pred_err > guard.policy.health.noise_ref,
+                };
+            }
+        }
         self.cfg.easing_error_gate.is_some() && self.gate_engaged
+    }
+
+    /// Whether the health ladder currently freezes predictor training
+    /// (the middle and bottom rungs: measurements are too unhealthy to
+    /// learn from).
+    fn predictions_frozen(&self) -> bool {
+        self.guard
+            .as_ref()
+            .is_some_and(|g| g.policy.ladder && g.ladder.rung() != LadderRung::Easing)
     }
 
     /// The §5.2 selection policy.
@@ -1289,7 +1705,7 @@ impl<'s> Engine<'s> {
             return;
         }
         // Context switch: sample, rotate, dispatch.
-        self.take_sample(core, rid, now, SampleMode::ContextSwitch, None);
+        self.cs_sample(core, rid, now);
         self.cores[core].running = None;
         self.stats.context_switches += 1;
         if let Some(sink) = self.sink.as_deref_mut() {
@@ -1347,7 +1763,7 @@ impl<'s> Engine<'s> {
             return; // no contention-easing opportunity: current resumes
         };
         let next = self.runqueues[core].remove(pos).expect("position valid");
-        self.take_sample(core, rid, now, SampleMode::ContextSwitch, None);
+        self.cs_sample(core, rid, now);
         self.cores[core].running = None;
         self.stats.context_switches += 1;
         self.stats.resched_decisions += 1;

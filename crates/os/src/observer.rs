@@ -187,7 +187,9 @@ pub fn measure_sampling_cost(
     for _ in 0..samples {
         // Workload runs between samples, possibly evicting the stat lines.
         for _ in 0..workload_accesses_per_sample {
-            let a = workload.next().expect("workload trace is infinite");
+            let Some(a) = workload.next() else {
+                unreachable!("workload trace is infinite");
+            };
             machine.access(core, a.addr, a.is_write);
         }
         // The handler reads counters and updates statistics in memory.

@@ -204,6 +204,39 @@ pub struct RunStats {
     /// Scheduling decisions where the prediction-confidence gate held
     /// contention easing back and stock scheduling ran instead.
     pub easing_gate_fallbacks: u64,
+    /// Guard accounting windows the sampling governor closed (0 when the
+    /// run was ungoverned).
+    pub governor_windows: u64,
+    /// Multiplicative backoffs the governor applied on budget breaches.
+    pub governor_backoffs: u64,
+    /// Additive recovery steps the governor applied under budget.
+    pub governor_recoveries: u64,
+    /// Accounting windows whose compensated observer overhead exceeded
+    /// the do-no-harm budget.
+    pub governor_budget_breaches: u64,
+    /// Longest run of consecutive over-budget windows (the do-no-harm
+    /// guarantee allows at most one: the AIMD correction lag).
+    pub governor_max_breach_streak: u64,
+    /// Sampling-interval scale in effect when the run ended (1.0 = full
+    /// rate; 0.0 = ungoverned run).
+    pub governor_final_scale: f64,
+    /// Cumulative priced observer overhead across governed windows as a
+    /// fraction of their busy cycles (0.0 when ungoverned).
+    pub governor_overhead_frac: f64,
+    /// One-window slack: the costliest single window's sampling cycles
+    /// as a fraction of all busy cycles. The do-no-harm contract is
+    /// `governor_overhead_frac <= budget + governor_slack_frac`.
+    pub governor_slack_frac: f64,
+    /// Measurement-health ladder transitions (degradations + recoveries).
+    pub health_transitions: u64,
+    /// Ladder rung in effect when the run ended, as
+    /// [`rbv_guard::LadderRung::index`] (0 = easing, 2 = stock).
+    pub health_final_rung: u64,
+    /// Runtime invariant checks performed.
+    pub invariant_checks: u64,
+    /// Runtime invariant violations, indexed by
+    /// [`rbv_guard::InvariantKind::index`].
+    pub invariant_violations: [u64; 5],
 }
 
 impl RunStats {
@@ -298,12 +331,7 @@ impl RunResult {
                 (name, mean, var.sqrt(), n)
             })
             .collect();
-        rows.sort_by(|a, b| {
-            b.1.abs()
-                .partial_cmp(&a.1.abs())
-                .expect("finite means")
-                .then_with(|| a.0.cmp(&b.0))
-        });
+        rows.sort_by(|a, b| b.1.abs().total_cmp(&a.1.abs()).then_with(|| a.0.cmp(&b.0)));
         rows
     }
 
@@ -333,12 +361,7 @@ impl RunResult {
                 (pair, mean, var.sqrt(), n)
             })
             .collect();
-        rows.sort_by(|a, b| {
-            b.1.abs()
-                .partial_cmp(&a.1.abs())
-                .expect("finite means")
-                .then_with(|| a.0.cmp(&b.0))
-        });
+        rows.sort_by(|a, b| b.1.abs().total_cmp(&a.1.abs()).then_with(|| a.0.cmp(&b.0)));
         rows
     }
 
@@ -436,6 +459,34 @@ impl RunResult {
             "observer.cycles_per_interrupt_sample",
             spin_baseline(SamplingContext::Interrupt).cycles,
         );
+
+        // Guard family: governor control-loop activity, health-ladder
+        // movement, and invariant-monitor verdicts. Emitted (as zeros)
+        // even for ungoverned runs so ledger diffs see a stable key set.
+        registry.count("guard.governor_windows", stats.governor_windows);
+        registry.count("guard.governor_backoffs", stats.governor_backoffs);
+        registry.count("guard.governor_recoveries", stats.governor_recoveries);
+        registry.count("guard.budget_breaches", stats.governor_budget_breaches);
+        registry.gauge(
+            "guard.max_breach_streak",
+            stats.governor_max_breach_streak as f64,
+        );
+        registry.gauge("guard.final_scale", stats.governor_final_scale);
+        registry.gauge("guard.overhead_frac", stats.governor_overhead_frac);
+        registry.gauge("guard.slack_frac", stats.governor_slack_frac);
+        registry.count("guard.health_transitions", stats.health_transitions);
+        registry.gauge("guard.final_rung", stats.health_final_rung as f64);
+        registry.count("guard.invariant_checks", stats.invariant_checks);
+        registry.count(
+            "guard.invariant_violations",
+            stats.invariant_violations.iter().sum(),
+        );
+        for kind in rbv_guard::InvariantKind::ALL {
+            registry.count(
+                &format!("guard.invariant.{}", kind.label()),
+                stats.invariant_violations[kind.index()],
+            );
+        }
 
         for r in &self.completed {
             registry.observe("request.latency_cycles", r.latency().as_f64());

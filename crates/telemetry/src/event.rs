@@ -249,6 +249,43 @@ pub enum TraceEvent {
         /// transition.
         error: f64,
     },
+    /// The sampling governor changed its interval scale: a multiplicative
+    /// back-off on a do-no-harm budget breach, or an additive recovery
+    /// step while comfortably under budget.
+    GovernorAdjust {
+        /// Decision instant (an accounting-window boundary).
+        ts: Cycles,
+        /// What the controller did (`backoff` or `recover`).
+        action: String,
+        /// The interval scale now in effect (1 = configured baseline).
+        scale: f64,
+        /// The window's measured overhead fraction.
+        overhead_frac: f64,
+        /// The budget the window was judged against.
+        budget_frac: f64,
+    },
+    /// The measurement-health ladder moved the easing scheduler one rung
+    /// (`easing`, `frozen_predictions`, or `stock`).
+    HealthTransition {
+        /// Transition instant (an accounting-window boundary).
+        ts: Cycles,
+        /// Rung the ladder left.
+        from: String,
+        /// Rung the ladder entered.
+        to: String,
+        /// The smoothed health score that triggered the move.
+        score: f64,
+    },
+    /// The runtime invariant monitor observed a violated conservation
+    /// law; the run continues and the violation is counted.
+    InvariantViolation {
+        /// Detection instant.
+        ts: Cycles,
+        /// Which invariant family (e.g. `request_conservation`).
+        invariant: String,
+        /// Human-readable detail of the violated relation.
+        detail: String,
+    },
 }
 
 impl TraceEvent {
@@ -271,7 +308,10 @@ impl TraceEvent {
             | TraceEvent::AdmissionRejected { ts, .. }
             | TraceEvent::RetryScheduled { ts, .. }
             | TraceEvent::RequestFailed { ts, .. }
-            | TraceEvent::EasingGate { ts, .. } => *ts,
+            | TraceEvent::EasingGate { ts, .. }
+            | TraceEvent::GovernorAdjust { ts, .. }
+            | TraceEvent::HealthTransition { ts, .. }
+            | TraceEvent::InvariantViolation { ts, .. } => *ts,
         }
     }
 
@@ -295,6 +335,9 @@ impl TraceEvent {
             TraceEvent::RetryScheduled { .. } => "retry_scheduled",
             TraceEvent::RequestFailed { .. } => "request_failed",
             TraceEvent::EasingGate { .. } => "easing_gate",
+            TraceEvent::GovernorAdjust { .. } => "governor_adjust",
+            TraceEvent::HealthTransition { .. } => "health_transition",
+            TraceEvent::InvariantViolation { .. } => "invariant_violation",
         }
     }
 }
@@ -399,11 +442,29 @@ mod tests {
                 engaged: true,
                 error: 0.4,
             },
+            TraceEvent::GovernorAdjust {
+                ts: t,
+                action: "backoff".into(),
+                scale: 2.0,
+                overhead_frac: 0.03,
+                budget_frac: 0.01,
+            },
+            TraceEvent::HealthTransition {
+                ts: t,
+                from: "easing".into(),
+                to: "frozen_predictions".into(),
+                score: 0.5,
+            },
+            TraceEvent::InvariantViolation {
+                ts: t,
+                invariant: "clock_monotonic".into(),
+                detail: "clock went backwards: 7 -> 3".into(),
+            },
         ];
         let mut kinds: Vec<&str> = events.iter().map(|e| e.kind()).collect();
         assert!(events.iter().all(|e| e.ts() == t));
         kinds.dedup();
-        assert_eq!(kinds.len(), 17, "distinct kind per variant");
+        assert_eq!(kinds.len(), 20, "distinct kind per variant");
     }
 
     #[test]

@@ -205,7 +205,8 @@ fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
     ) {
         *pos += 1;
     }
-    let text = std::str::from_utf8(&bytes[start..*pos]).expect("ascii digits");
+    let text = std::str::from_utf8(&bytes[start..*pos])
+        .unwrap_or_else(|_| unreachable!("scanned bytes are ascii digits"));
     text.parse::<f64>()
         .map(Json::Num)
         .map_err(|_| format!("invalid number {text:?} at byte {start}"))
@@ -251,7 +252,9 @@ fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
             Some(_) => {
                 // Advance over one UTF-8 scalar (input is a valid &str).
                 let rest = std::str::from_utf8(&bytes[*pos..]).map_err(|_| "invalid utf-8")?;
-                let c = rest.chars().next().expect("nonempty");
+                let Some(c) = rest.chars().next() else {
+                    return Err("unterminated string".into());
+                };
                 out.push(c);
                 *pos += c.len_utf8();
             }

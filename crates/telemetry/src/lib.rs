@@ -1,6 +1,10 @@
 //! Telemetry for the simulated RBV kernel: structured trace events, a
 //! metrics registry, simulator self-profiling, and exporters.
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod event;
 pub mod json;
 pub mod metrics;

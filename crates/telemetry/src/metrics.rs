@@ -287,7 +287,7 @@ impl MetricsSnapshot {
                         out.push_str(&format!("{name}.max,histogram,{}\n", h.max));
                         out.push_str(&format!(
                             "{name}.mean,histogram,{}\n",
-                            h.mean().expect("count > 0")
+                            h.mean().unwrap_or_else(|| unreachable!("count > 0"))
                         ));
                     }
                 }

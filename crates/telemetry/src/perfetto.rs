@@ -314,6 +314,46 @@ impl PerfettoTrace {
                         ],
                     ));
                 }
+                TraceEvent::GovernorAdjust {
+                    action,
+                    scale,
+                    overhead_frac,
+                    budget_frac,
+                    ..
+                } => {
+                    out.push(with_args(
+                        base("governor_adjust", "guard", "i", ts, tid_of(0)),
+                        vec![
+                            ("action".into(), Json::str(action.clone())),
+                            ("scale".into(), Json::Num(*scale)),
+                            ("overhead_frac".into(), Json::Num(*overhead_frac)),
+                            ("budget_frac".into(), Json::Num(*budget_frac)),
+                        ],
+                    ));
+                }
+                TraceEvent::HealthTransition {
+                    from, to, score, ..
+                } => {
+                    out.push(with_args(
+                        base("health_transition", "guard", "i", ts, tid_of(0)),
+                        vec![
+                            ("from".into(), Json::str(from.clone())),
+                            ("to".into(), Json::str(to.clone())),
+                            ("score".into(), Json::Num(*score)),
+                        ],
+                    ));
+                }
+                TraceEvent::InvariantViolation {
+                    invariant, detail, ..
+                } => {
+                    out.push(with_args(
+                        base("invariant_violation", "guard", "i", ts, tid_of(0)),
+                        vec![
+                            ("invariant".into(), Json::str(invariant.clone())),
+                            ("detail".into(), Json::str(detail.clone())),
+                        ],
+                    ));
+                }
             }
         }
 

@@ -267,7 +267,10 @@ impl Stage {
     ///
     /// Panics if the stage has no phases (invalid by construction).
     pub fn total_instructions(&self) -> Instructions {
-        self.phases.last().expect("stage has phases").end_ins
+        let Some(last) = self.phases.last() else {
+            panic!("stage has no phases");
+        };
+        last.end_ins
     }
 
     /// The phase active at instruction offset `ins` (clamped to the last
@@ -279,7 +282,8 @@ impl Stage {
             Err(i) => self
                 .phases
                 .get(i)
-                .unwrap_or_else(|| self.phases.last().expect("stage has phases")),
+                .or_else(|| self.phases.last())
+                .unwrap_or_else(|| panic!("stage has no phases")),
         }
     }
 

@@ -51,7 +51,8 @@ impl Webwork {
         Webwork {
             rng: SimRng::seed_from(seed ^ 0x3e88),
             scale,
-            popularity: Zipf::new(PROBLEM_COUNT as u64, 0.9).expect("valid zipf"),
+            popularity: Zipf::new(PROBLEM_COUNT as u64, 0.9)
+                .unwrap_or_else(|_| unreachable!("constant zipf parameters are valid")),
             quiet_mix: SyscallMix::new(&[
                 (SyscallName::Read, 3),
                 (SyscallName::Brk, 2),
