@@ -7,7 +7,9 @@ use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criteri
 use rand::Rng;
 
 use rbv_core::cluster::{k_medoids, DistanceMatrix};
-use rbv_core::distance::{dtw_banded, dtw_distance_with_penalty, l1_distance, levenshtein};
+use rbv_core::distance::{
+    dtw_banded, dtw_distance_with_penalty, l1_distance, levenshtein, nearest_series,
+};
 use rbv_core::predict::{Predictor, VaEwma};
 use rbv_mem::cache::CacheConfig;
 use rbv_mem::{MachineSpec, MemoryHierarchy, SegmentProfile};
@@ -52,6 +54,55 @@ fn bench_kmedoids(c: &mut Criterion) {
     c.bench_function("k_medoids_200x10", |b| {
         b.iter(|| k_medoids(black_box(&dm), 10, 40))
     });
+}
+
+/// The DTW distance matrix Figure 7 builds, serial vs pooled at several
+/// thread counts (outputs are bit-identical; only wall-clock differs).
+fn bench_distance_matrix_par(c: &mut Criterion) {
+    let series: Vec<Vec<f64>> = (0..48).map(|i| random_series(64, 10 + i)).collect();
+    let mut group = c.benchmark_group("distance_matrix_dtw_48x64");
+    group.bench_function("serial", |b| {
+        b.iter(|| {
+            DistanceMatrix::compute(series.len(), |i, j| {
+                dtw_distance_with_penalty(black_box(&series[i]), black_box(&series[j]), 2.0)
+            })
+        })
+    });
+    for threads in [2usize, 4, 8] {
+        let pool = rbv_par::Pool::new(threads);
+        group.bench_with_input(BenchmarkId::new("pooled", threads), &threads, |b, _| {
+            b.iter(|| {
+                DistanceMatrix::compute_par(series.len(), &pool, |i, j| {
+                    dtw_distance_with_penalty(black_box(&series[i]), black_box(&series[j]), 2.0)
+                })
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Running-best nearest-neighbor scan: naive full DTW per candidate vs
+/// the lower-bound + early-abandon fast path.
+fn bench_nearest_series(c: &mut Criterion) {
+    let query = random_series(96, 20);
+    let candidates: Vec<Vec<f64>> = (0..64).map(|i| random_series(96, 30 + i)).collect();
+    let mut group = c.benchmark_group("nearest_series_64x96");
+    group.bench_function("naive_full_dtw", |b| {
+        b.iter(|| {
+            candidates
+                .iter()
+                .map(|cand| dtw_distance_with_penalty(black_box(&query), cand, 2.0))
+                .enumerate()
+                .fold(None::<(usize, f64)>, |acc, (i, d)| match acc {
+                    Some((_, best)) if d >= best => acc,
+                    _ => Some((i, d)),
+                })
+        })
+    });
+    group.bench_function("pruned", |b| {
+        b.iter(|| nearest_series(black_box(&query), black_box(&candidates), 2.0))
+    });
+    group.finish();
 }
 
 fn bench_contention_model(c: &mut Criterion) {
@@ -115,6 +166,8 @@ criterion_group!(
     bench_distances,
     bench_levenshtein,
     bench_kmedoids,
+    bench_distance_matrix_par,
+    bench_nearest_series,
     bench_contention_model,
     bench_cache_simulator,
     bench_vaewma,

@@ -3,13 +3,14 @@
 //! chaos precision/recall) and emit one self-describing JSON document.
 //!
 //! The document is deterministic in `(label, seed, fast)`: running the
-//! same binary twice at the same seed produces byte-identical output,
-//! which is what lets `repro diff` act as a regression gate. Wall-clock
-//! self-profiling is opt-in (`--wallclock`) and never diffed.
+//! same binary twice at the same seed — at *any* `--threads` setting —
+//! produces byte-identical output, which is what lets `repro diff` act
+//! as a regression gate. Wall-clock self-profiling is opt-in
+//! (`--wallclock`) and never diffed.
 
 use std::path::Path;
 
-use rbv_ledger::{collect, RunLedger};
+use rbv_ledger::{collect_pooled, RunLedger};
 use rbv_os::RbvError;
 use rbv_telemetry::SelfProfiler;
 use rbv_workloads::AppId;
@@ -29,7 +30,8 @@ pub fn run(
     out: Option<&Path>,
 ) -> Result<RunLedger, RbvError> {
     let mut profiler = SelfProfiler::new();
-    let ledger = collect(apps, label, seed, fast, wallclock, &mut profiler)?;
+    let pool = rbv_par::Pool::global();
+    let ledger = collect_pooled(apps, label, seed, fast, wallclock, &mut profiler, &pool)?;
     let text = ledger.to_string_compact();
     match out {
         Some(path) => {

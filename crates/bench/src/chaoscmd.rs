@@ -4,7 +4,7 @@
 
 use std::io;
 
-use rbv_faults::chaos::{run_matrix_with, summarize, ChaosReport};
+use rbv_faults::chaos::{run_matrix_pooled, summarize, ChaosReport};
 use rbv_os::RbvError;
 use rbv_telemetry::SelfProfiler;
 use rbv_workloads::AppId;
@@ -31,7 +31,12 @@ pub fn run(
     governor: bool,
 ) -> Result<(ChaosReport, bool), RbvError> {
     let mut profiler = SelfProfiler::new();
-    let report = profiler.time("matrix", || run_matrix_with(app, seed, fast, governor))?;
+    // Scenarios fan over the global pool; the report is identical at any
+    // thread count (ordered collect), only wall-clock changes.
+    let pool = rbv_par::Pool::global();
+    let report = profiler.time("matrix", || {
+        run_matrix_pooled(app, seed, fast, governor, &pool)
+    })?;
     if json {
         summarize(&report, &mut io::stderr().lock())?;
         println!("{}", report.to_json().to_string_compact());

@@ -9,7 +9,7 @@
 //! * `ablate-threshold` — sweep the contention-easing high-usage
 //!   percentile, measuring worst-case CPI.
 
-use rbv_core::cluster::{divergence_from_centroid, k_medoids, DistanceMatrix};
+use rbv_core::cluster::{divergence_from_centroid, k_medoids_par, DistanceMatrix};
 use rbv_core::distance::{dtw_banded, dtw_distance_with_penalty, l1_distance, length_penalty};
 use rbv_core::predict::{evaluate_rmse, Ewma, VaEwma};
 use rbv_core::series::Metric;
@@ -45,12 +45,13 @@ pub fn ablate_dtw(fast: bool) -> Vec<DtwAblationRow> {
     let refs: Vec<&[f64]> = series.iter().map(|s| s.as_slice()).collect();
     let p = length_penalty(&refs, 100_000);
 
+    let pool = rbv_par::Pool::global();
     let mut rows = Vec::new();
-    let mut eval = |variant: String, dist: &mut dyn FnMut(usize, usize) -> f64| {
+    let mut eval = |variant: String, dist: &(dyn Fn(usize, usize) -> f64 + Sync)| {
         let t = std::time::Instant::now();
-        let dm = DistanceMatrix::compute(series.len(), dist);
+        let dm = DistanceMatrix::compute_par(series.len(), &pool, dist);
         let wall_ms = t.elapsed().as_secs_f64() * 1e3;
-        let clustering = k_medoids(&dm, 10, 40);
+        let clustering = k_medoids_par(&dm, 10, 40, &pool);
         rows.push(DtwAblationRow {
             variant,
             divergence: divergence_from_centroid(&clustering, &cpu).unwrap_or(f64::NAN),
@@ -60,18 +61,16 @@ pub fn ablate_dtw(fast: bool) -> Vec<DtwAblationRow> {
 
     for factor in [0.0, 0.25, 1.0, 4.0] {
         let pen = p * factor;
-        eval(format!("DTW penalty {factor}p"), &mut |i, j| {
+        eval(format!("DTW penalty {factor}p"), &|i, j| {
             dtw_distance_with_penalty(&series[i], &series[j], pen)
         });
     }
     for band in [2usize, 8, 32] {
-        eval(format!("banded DTW (p, band {band})"), &mut |i, j| {
+        eval(format!("banded DTW (p, band {band})"), &|i, j| {
             dtw_banded(&series[i], &series[j], p, band)
         });
     }
-    eval("L1".into(), &mut |i, j| {
-        l1_distance(&series[i], &series[j], p)
-    });
+    eval("L1".into(), &|i, j| l1_distance(&series[i], &series[j], p));
 
     let table: Vec<Vec<String>> = rows
         .iter()

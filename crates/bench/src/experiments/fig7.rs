@@ -3,7 +3,7 @@
 //! from their centroids on (A) request CPU time and (B) request peak
 //! (90-percentile) CPI.
 
-use rbv_core::cluster::{divergence_from_centroid, k_medoids, DistanceMatrix};
+use rbv_core::cluster::{divergence_from_centroid, k_medoids_par, DistanceMatrix};
 use rbv_core::distance::{
     average_metric_distance, dtw_distance, dtw_distance_with_penalty, l1_distance, length_penalty,
     levenshtein,
@@ -124,35 +124,41 @@ fn extract(app: AppId, fast: bool) -> Features {
     }
 }
 
-fn matrix_for(f: &Features, measure: MeasureKind) -> DistanceMatrix {
+fn matrix_for(f: &Features, measure: MeasureKind, pool: &rbv_par::Pool) -> DistanceMatrix {
     let n = f.series.len();
     match measure {
-        MeasureKind::SyscallLevenshtein => {
-            DistanceMatrix::compute(n, |i, j| levenshtein(&f.tokens[i], &f.tokens[j]) as f64)
-        }
-        MeasureKind::AverageCpi => DistanceMatrix::compute(n, |i, j| {
+        MeasureKind::SyscallLevenshtein => DistanceMatrix::compute_par(n, pool, |i, j| {
+            levenshtein(&f.tokens[i], &f.tokens[j]) as f64
+        }),
+        MeasureKind::AverageCpi => DistanceMatrix::compute_par(n, pool, |i, j| {
             average_metric_distance(f.avg_cpi[i], f.avg_cpi[j])
         }),
-        MeasureKind::L1 => {
-            DistanceMatrix::compute(n, |i, j| l1_distance(&f.series[i], &f.series[j], f.penalty))
-        }
+        MeasureKind::L1 => DistanceMatrix::compute_par(n, pool, |i, j| {
+            l1_distance(&f.series[i], &f.series[j], f.penalty)
+        }),
         MeasureKind::Dtw => {
-            DistanceMatrix::compute(n, |i, j| dtw_distance(&f.series[i], &f.series[j]))
+            DistanceMatrix::compute_par(n, pool, |i, j| dtw_distance(&f.series[i], &f.series[j]))
         }
-        MeasureKind::DtwWithPenalty => DistanceMatrix::compute(n, |i, j| {
+        MeasureKind::DtwWithPenalty => DistanceMatrix::compute_par(n, pool, |i, j| {
             dtw_distance_with_penalty(&f.series[i], &f.series[j], f.penalty)
         }),
     }
 }
 
 /// Runs the Figure 7 experiment with the paper's k = 10 clusters.
+///
+/// Feature extraction (one full simulation per application) fans over the
+/// global pool; each distance matrix and clustering then parallelizes
+/// internally. Cells come out bit-identical at any thread count.
 pub fn compute(fast: bool) -> Vec<ClassificationCell> {
+    let pool = rbv_par::Pool::global();
+    let apps: Vec<AppId> = AppId::SERVER_APPS.to_vec();
+    let features = pool.ordered_map(&apps, |&app| extract(app, fast));
     let mut out = Vec::new();
-    for app in AppId::SERVER_APPS {
-        let f = extract(app, fast);
+    for (&app, f) in apps.iter().zip(&features) {
         for measure in MeasureKind::ALL {
-            let dm = matrix_for(&f, measure);
-            let clustering = k_medoids(&dm, 10, 40);
+            let dm = matrix_for(f, measure, &pool);
+            let clustering = k_medoids_par(&dm, 10, 40, &pool);
             out.push(ClassificationCell {
                 app,
                 measure,

@@ -52,7 +52,7 @@ pub fn compute(fast: bool) -> AnomalyTraces {
         .collect();
     let refs: Vec<&[f64]> = series.iter().map(|s| s.as_slice()).collect();
     let penalty = length_penalty(&refs, 100_000);
-    let dm = DistanceMatrix::compute(group.len(), |i, j| {
+    let dm = DistanceMatrix::compute_par(group.len(), &rbv_par::Pool::global(), |i, j| {
         dtw_distance_with_penalty(&series[i], &series[j], penalty)
     });
     let (centroid, outliers) = centroid_outliers(&dm).expect("group size >= 2");

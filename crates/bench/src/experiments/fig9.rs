@@ -26,7 +26,7 @@ pub fn compute(fast: bool) -> AnomalyTraces {
         .collect();
     let refs: Vec<&[f64]> = usage.iter().map(|s| s.as_slice()).collect();
     let penalty = length_penalty(&refs, 100_000);
-    let dm = DistanceMatrix::compute(usage.len(), |i, j| {
+    let dm = DistanceMatrix::compute_par(usage.len(), &rbv_par::Pool::global(), |i, j| {
         dtw_distance_with_penalty(&usage[i], &usage[j], penalty)
     });
 

@@ -11,6 +11,11 @@
 //! repro diff <baseline.json> <candidate.json> [--tolerance pct]
 //! ```
 //!
+//! Every subcommand also accepts the global `--threads N` flag (default:
+//! available parallelism) sizing the deterministic work pool that fans
+//! out independent simulations. Output is byte-identical at any `N`
+//! (see `rbv_par`'s ordered-collect contract).
+//!
 //! Exit codes follow [`RbvError::exit_code`]: 2 for usage errors, 1 for
 //! configuration/IO failures and failed `--min-recall` gates, 0 on
 //! success.
@@ -30,6 +35,7 @@ struct Cli {
     governor: bool,
     wallclock: bool,
     seed: Option<u64>,
+    threads: Option<usize>,
     trace: Option<PathBuf>,
     metrics: Option<PathBuf>,
     out: Option<PathBuf>,
@@ -40,6 +46,8 @@ struct Cli {
 
 fn usage() {
     eprintln!("usage: repro <experiment-id>|all|list [--fast] [--seed N]");
+    eprintln!("       (any subcommand) [--threads N]   # work-pool size; output is");
+    eprintln!("                                        # byte-identical at any N");
     eprintln!("       repro trace <web|tpcc|tpch|rubis|webwork> \\");
     eprintln!("             [--trace out.json] [--metrics out.json|out.csv]");
     eprintln!("       repro chaos <web|tpcc|tpch|rubis|webwork> \\");
@@ -59,6 +67,7 @@ fn parse(args: Vec<String>) -> Result<Cli, RbvError> {
         governor: false,
         wallclock: false,
         seed: None,
+        threads: None,
         trace: None,
         metrics: None,
         out: None,
@@ -81,6 +90,18 @@ fn parse(args: Vec<String>) -> Result<Cli, RbvError> {
                     .next()
                     .ok_or_else(|| cli_err("--seed requires a value".into()))?;
                 cli.seed = Some(v.parse().map_err(|_| cli_err(format!("bad seed `{v}`")))?);
+            }
+            "--threads" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| cli_err("--threads requires a value".into()))?;
+                let n: usize = v
+                    .parse()
+                    .map_err(|_| cli_err(format!("bad thread count `{v}`")))?;
+                if n == 0 {
+                    return Err(cli_err("--threads must be at least 1".into()));
+                }
+                cli.threads = Some(n);
             }
             "--min-recall" => {
                 let v = it
@@ -149,6 +170,10 @@ fn main() -> ExitCode {
         }
     };
     let fast = cli.fast;
+    // Size the global deterministic work pool for every downstream
+    // harness; results do not depend on this (ordered collect), only
+    // wall-clock time does.
+    rbv_par::set_threads(cli.threads.unwrap_or_else(rbv_par::available_parallelism));
 
     let Some(first) = cli.positionals.first() else {
         usage();

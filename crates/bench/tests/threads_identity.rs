@@ -1,0 +1,25 @@
+//! End-to-end check of the `--threads` reproducibility guarantee: the
+//! ledger `repro bench` emits must be byte-identical at every thread
+//! count. CI additionally runs the release binary with `--all --threads 4`
+//! and `cmp`s it against the single-threaded ledger; this test keeps the
+//! guarantee enforced by `cargo test` alone, on a two-application subset
+//! that still exercises the multi-app fan-out.
+
+use rbv_workloads::AppId;
+
+#[test]
+fn bench_ledger_bytes_do_not_depend_on_thread_count() {
+    let apps = [AppId::Tpcc, AppId::Webwork];
+    let mut outputs = Vec::new();
+    for threads in [1usize, 4] {
+        rbv_par::set_threads(threads);
+        let ledger = rbv_bench::benchcmd::run(&apps, "threads-test", 42, true, false, None)
+            .expect("bench runs");
+        outputs.push(ledger.to_string_compact());
+    }
+    rbv_par::set_threads(rbv_par::available_parallelism());
+    assert_eq!(
+        outputs[0], outputs[1],
+        "ledger bytes diverged between --threads 1 and --threads 4"
+    );
+}

@@ -16,12 +16,21 @@ pub struct DistanceMatrix {
 }
 
 impl DistanceMatrix {
-    /// Computes all pairwise distances via `dist` (assumed symmetric, with
-    /// `dist(i, i) == 0`; only `i < j` pairs are evaluated).
+    /// Computes all pairwise distances via `dist`.
+    ///
+    /// # Contract
+    ///
+    /// `dist` must be a **pure, symmetric** function of `(i, j)` with an
+    /// implicit zero diagonal: only `i < j` pairs are evaluated and the
+    /// value is mirrored to `(j, i)`, so an asymmetric closure would be
+    /// silently half-discarded. Debug builds verify symmetry on a few
+    /// sampled pairs (which calls `dist` with `i > j` — a stateful
+    /// closure counting invocations would observe the extra calls).
     ///
     /// # Panics
     ///
-    /// Panics if `dist` returns a negative or NaN value.
+    /// Panics if `dist` returns a negative or NaN value, or (debug builds
+    /// only) if a sampled pair reveals `dist(i, j) != dist(j, i)`.
     pub fn compute(n: usize, mut dist: impl FnMut(usize, usize) -> f64) -> DistanceMatrix {
         let mut data = vec![0.0; n * n];
         for i in 0..n {
@@ -32,6 +41,52 @@ impl DistanceMatrix {
                 data[j * n + i] = d;
             }
         }
+        #[cfg(debug_assertions)]
+        debug_check_symmetry(n, &data, dist);
+        DistanceMatrix { n, data }
+    }
+
+    /// [`DistanceMatrix::compute`] with the `i < j` pair evaluations
+    /// fanned across `pool` — one upper-triangle row tile per task,
+    /// claimed dynamically so the shrinking rows balance out.
+    ///
+    /// Bit-identical to the serial path for any thread count: exactly the
+    /// same `(i, j)` pairs are evaluated and each value lands in the same
+    /// cell, so `compute_par(n, &Pool::new(8), d)` equals
+    /// `compute(n, d)` cell for cell (property-tested). The same purity /
+    /// symmetry contract applies, and `dist` must additionally be `Sync`
+    /// (it is shared by the workers).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dist` returns a negative or NaN value (the worker's
+    /// panic is propagated), or (debug builds only) on a sampled
+    /// asymmetric pair.
+    pub fn compute_par(
+        n: usize,
+        pool: &rbv_par::Pool,
+        dist: impl Fn(usize, usize) -> f64 + Sync,
+    ) -> DistanceMatrix {
+        // Each task computes one row tile of the upper triangle.
+        let rows: Vec<Vec<f64>> = pool.ordered_tasks(n, |i| {
+            ((i + 1)..n)
+                .map(|j| {
+                    let d = dist(i, j);
+                    assert!(d >= 0.0, "distance({i},{j}) = {d} must be nonnegative");
+                    d
+                })
+                .collect()
+        });
+        let mut data = vec![0.0; n * n];
+        for (i, row) in rows.iter().enumerate() {
+            for (off, &d) in row.iter().enumerate() {
+                let j = i + 1 + off;
+                data[i * n + j] = d;
+                data[j * n + i] = d;
+            }
+        }
+        #[cfg(debug_assertions)]
+        debug_check_symmetry(n, &data, dist);
         DistanceMatrix { n, data }
     }
 
@@ -56,16 +111,48 @@ impl DistanceMatrix {
     }
 
     /// The medoid of `members`: the member minimizing summed distance to
-    /// the other members. Returns `None` on an empty slice.
+    /// the other members. Returns `None` on an empty slice. Ties resolve
+    /// to the earliest member in slice order.
     pub fn medoid_of(&self, members: &[usize]) -> Option<usize> {
+        self.medoid_of_pooled(members, &rbv_par::Pool::serial())
+    }
+
+    /// [`DistanceMatrix::medoid_of`] with the per-candidate cost sums
+    /// fanned across `pool`. Each candidate's sum is accumulated in
+    /// member order and the minimum is taken in candidate order, so the
+    /// result is identical to the serial path for any thread count.
+    pub fn medoid_of_pooled(&self, members: &[usize], pool: &rbv_par::Pool) -> Option<usize> {
+        let costs: Vec<f64> =
+            pool.ordered_map(members, |&c| members.iter().map(|&m| self.get(c, m)).sum());
         members
             .iter()
-            .map(|&c| {
-                let cost: f64 = members.iter().map(|&m| self.get(c, m)).sum();
-                (c, cost)
-            })
+            .zip(costs)
             .min_by(|a, b| a.1.total_cmp(&b.1))
-            .map(|(c, _)| c)
+            .map(|(&c, _)| c)
+    }
+}
+
+/// Debug-only spot check of the symmetry contract: compares a handful of
+/// deterministically sampled mirrored pairs within a small relative
+/// tolerance (a symmetric measure computed by two code paths may differ
+/// in final-ulp rounding).
+#[cfg(debug_assertions)]
+fn debug_check_symmetry(n: usize, data: &[f64], mut dist: impl FnMut(usize, usize) -> f64) {
+    if n < 2 {
+        return;
+    }
+    // A few spread-out pairs (deduplicated by the i < j filter).
+    for (i, j) in [(0, n - 1), (n / 4, n / 2), (n / 3, n - 2)] {
+        if i >= j {
+            continue;
+        }
+        let forward = data[i * n + j];
+        let backward = dist(j, i);
+        let scale = forward.abs().max(backward.abs()).max(1.0);
+        debug_assert!(
+            (forward - backward).abs() <= 1e-9 * scale,
+            "dist must be symmetric: dist({i},{j}) = {forward} but dist({j},{i}) = {backward}"
+        );
     }
 }
 
@@ -104,7 +191,56 @@ impl Clustering {
 /// # Panics
 ///
 /// Panics if `k == 0` or the matrix is empty.
+///
+/// # Examples
+///
+/// ```
+/// use rbv_core::cluster::{k_medoids, DistanceMatrix};
+///
+/// // Two well-separated groups of points on a line.
+/// let points = [0.0_f64, 0.5, 1.0, 100.0, 100.5, 101.0];
+/// let dm = DistanceMatrix::compute(points.len(), |i, j| (points[i] - points[j]).abs());
+/// let clustering = k_medoids(&dm, 2, 50);
+///
+/// // Each group shares a cluster; the medoids are the group centers.
+/// assert_eq!(clustering.assignments[0], clustering.assignments[2]);
+/// assert_ne!(clustering.assignments[0], clustering.assignments[3]);
+/// let mut medoids = clustering.medoids.clone();
+/// medoids.sort();
+/// assert_eq!(medoids, vec![1, 4]);
+/// ```
 pub fn k_medoids(dm: &DistanceMatrix, k: usize, max_iters: usize) -> Clustering {
+    k_medoids_impl(dm, k, max_iters, &rbv_par::Pool::serial())
+}
+
+/// [`k_medoids`] with the `O(n·k)` assignment sweeps and `O(|cluster|²)`
+/// medoid updates fanned across `pool`.
+///
+/// The result is **bit-identical** to the serial [`k_medoids`] for any
+/// thread count (property-tested): every per-point nearest-medoid
+/// decision is a pure function of the matrix and the current medoids,
+/// results are collected in point order, and the cost sum is reduced in
+/// that same order on the calling thread — so even the floating-point
+/// rounding matches the serial path.
+///
+/// # Panics
+///
+/// Panics if `k == 0` or the matrix is empty.
+pub fn k_medoids_par(
+    dm: &DistanceMatrix,
+    k: usize,
+    max_iters: usize,
+    pool: &rbv_par::Pool,
+) -> Clustering {
+    k_medoids_impl(dm, k, max_iters, pool)
+}
+
+fn k_medoids_impl(
+    dm: &DistanceMatrix,
+    k: usize,
+    max_iters: usize,
+    pool: &rbv_par::Pool,
+) -> Clustering {
     let n = dm.len();
     assert!(k > 0, "need at least one cluster");
     assert!(n > 0, "cannot cluster zero points");
@@ -120,7 +256,7 @@ pub fn k_medoids(dm: &DistanceMatrix, k: usize, max_iters: usize) -> Clustering 
     // Seeding: first medoid = the most central point; each further medoid
     // = the point farthest from its nearest existing medoid.
     let first = dm
-        .medoid_of(&(0..n).collect::<Vec<_>>())
+        .medoid_of_pooled(&(0..n).collect::<Vec<_>>(), pool)
         .unwrap_or_else(|| unreachable!("matrix validated nonempty above"));
     let mut medoids = vec![first];
     while medoids.len() < k {
@@ -138,18 +274,24 @@ pub fn k_medoids(dm: &DistanceMatrix, k: usize, max_iters: usize) -> Clustering 
     let mut assignments = vec![0usize; n];
     let mut prev_cost = f64::INFINITY;
     for _ in 0..max_iters {
-        // Assignment step.
+        // Assignment sweep, fanned across the pool; the cost reduction
+        // happens in point order here so it is bit-identical serial/par.
+        let sweep = pool.ordered_tasks(n, |i| nearest_cluster(dm, i, &medoids));
         let mut new_cost = 0.0;
-        for (i, slot) in assignments.iter_mut().enumerate() {
-            let (c, d) = nearest_cluster(dm, i, &medoids);
-            *slot = c;
+        for (slot, (c, d)) in assignments.iter_mut().zip(&sweep) {
+            *slot = *c;
             new_cost += d;
         }
-        // Medoid update step.
+        // Medoid update step: membership lists serially (cheap), the
+        // O(|cluster|²) medoid searches across the pool.
+        let mut members: Vec<Vec<usize>> = vec![Vec::new(); medoids.len()];
+        for (i, &c) in assignments.iter().enumerate() {
+            members[c].push(i);
+        }
+        let updates = pool.ordered_map(&members, |m| dm.medoid_of(m));
         let mut changed = false;
-        for (c, medoid) in medoids.iter_mut().enumerate() {
-            let members: Vec<usize> = (0..n).filter(|&i| assignments[i] == c).collect();
-            if let Some(m) = dm.medoid_of(&members) {
+        for (medoid, update) in medoids.iter_mut().zip(updates) {
+            if let Some(m) = update {
                 if m != *medoid {
                     *medoid = m;
                     changed = true;
@@ -162,10 +304,10 @@ pub fn k_medoids(dm: &DistanceMatrix, k: usize, max_iters: usize) -> Clustering 
         prev_cost = new_cost;
     }
     // Final assignment against the settled medoids.
+    let sweep = pool.ordered_tasks(n, |i| nearest_cluster(dm, i, &medoids));
     let mut final_cost = 0.0;
-    for (i, slot) in assignments.iter_mut().enumerate() {
-        let (c, d) = nearest_cluster(dm, i, &medoids);
-        *slot = c;
+    for (slot, (c, d)) in assignments.iter_mut().zip(&sweep) {
+        *slot = *c;
         final_cost += d;
     }
     Clustering {

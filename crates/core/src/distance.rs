@@ -19,6 +19,18 @@
 //!   the software-metric-only Magpie-style baseline;
 //! * [`average_metric_distance`] — the average-value signature baseline
 //!   of the authors' earlier work \[27\].
+//!
+//! §4.2 flags the full-DTW cost as the obstacle to online use. For
+//! running-best searches (nearest signature, nearest medoid) this module
+//! adds exact fast paths in the classic LB_Keogh tradition:
+//!
+//! * [`dtw_distance_with_penalty_pruned`] — DTW that gives up early once
+//!   the distance provably exceeds a cutoff: an envelope lower-bound
+//!   prefilter, then the full DP with per-column early abandoning.
+//!   Whenever the bound cannot prune, the full DP runs unchanged, so a
+//!   returned distance is bit-identical to [`dtw_distance_with_penalty`];
+//! * [`nearest_series`] — running-best nearest-neighbor scan over
+//!   candidate series, property-tested equal to the naive full scan.
 
 /// L1 distance with unequal-length penalty (Equation 2).
 ///
@@ -68,6 +80,20 @@ pub fn dtw_distance(x: &[f64], y: &[f64]) -> f64 {
 /// # Panics
 ///
 /// Panics if `penalty` is negative.
+///
+/// # Examples
+///
+/// ```
+/// use rbv_core::distance::{dtw_distance, dtw_distance_with_penalty};
+///
+/// // Identical peaks shifted by one position: free DTW aligns them for
+/// // nothing, the penalty charges the two asynchronous steps.
+/// let x = [1.0, 1.0, 9.0, 1.0, 1.0, 1.0];
+/// let y = [1.0, 1.0, 1.0, 9.0, 1.0, 1.0];
+/// assert_eq!(dtw_distance(&x, &y), 0.0);
+/// let d = dtw_distance_with_penalty(&x, &y, 2.0);
+/// assert!((d - 4.0).abs() < 1e-12);
+/// ```
 pub fn dtw_distance_with_penalty(x: &[f64], y: &[f64], penalty: f64) -> f64 {
     assert!(penalty >= 0.0, "penalty must be nonnegative");
     if x.is_empty() || y.is_empty() {
@@ -121,6 +147,20 @@ pub fn dtw_distance_with_penalty(x: &[f64], y: &[f64], penalty: f64) -> f64 {
 /// # Panics
 ///
 /// Panics if `penalty` is negative or `band` is zero.
+///
+/// # Examples
+///
+/// ```
+/// use rbv_core::distance::{dtw_banded, dtw_distance_with_penalty};
+///
+/// let x = [1.0, 5.0, 2.0, 8.0, 3.0, 3.0];
+/// let y = [2.0, 4.0, 4.0, 7.0, 2.0];
+/// // A band at least as wide as the series equals unconstrained DTW;
+/// // a narrow band can only forbid warps, never undercut it.
+/// let full = dtw_distance_with_penalty(&x, &y, 1.0);
+/// assert_eq!(dtw_banded(&x, &y, 1.0, 16), full);
+/// assert!(dtw_banded(&x, &y, 1.0, 1) >= full);
+/// ```
 pub fn dtw_banded(x: &[f64], y: &[f64], penalty: f64, band: usize) -> f64 {
     assert!(penalty >= 0.0, "penalty must be nonnegative");
     assert!(band > 0, "band must be at least 1");
@@ -533,5 +573,331 @@ mod alignment_tests {
         let (d, path) = dtw_alignment(&[], &[], 3.0);
         assert_eq!(d, 0.0);
         assert!(path.is_empty());
+    }
+}
+
+/// Min/max envelope of `y` over a sliding window of half-width `band`,
+/// evaluated at positions `0..m` (LB_Keogh). Slot `i` covers the `y`
+/// indices `[i - band, i + band] ∩ [0, y.len())`; callers guarantee the
+/// window is never empty (`m - y.len() <= band` when `m` is larger).
+/// Monotonic-deque sweep, `O(m + n)`.
+fn band_envelope(y: &[f64], m: usize, band: usize) -> (Vec<f64>, Vec<f64>) {
+    let n = y.len();
+    let mut lo = vec![0.0; m];
+    let mut hi = vec![0.0; m];
+    let mut minq: std::collections::VecDeque<usize> = std::collections::VecDeque::new();
+    let mut maxq: std::collections::VecDeque<usize> = std::collections::VecDeque::new();
+    let mut pushed = 0usize;
+    for i in 0..m {
+        let end = (i + band).min(n - 1);
+        while pushed <= end {
+            while minq.back().is_some_and(|&b| y[b] >= y[pushed]) {
+                minq.pop_back();
+            }
+            minq.push_back(pushed);
+            while maxq.back().is_some_and(|&b| y[b] <= y[pushed]) {
+                maxq.pop_back();
+            }
+            maxq.push_back(pushed);
+            pushed += 1;
+        }
+        let start = i.saturating_sub(band);
+        while minq.front().is_some_and(|&f| f < start) {
+            minq.pop_front();
+        }
+        while maxq.front().is_some_and(|&f| f < start) {
+            maxq.pop_front();
+        }
+        lo[i] = minq.front().map_or(f64::INFINITY, |&f| y[f]);
+        hi[i] = maxq.front().map_or(f64::NEG_INFINITY, |&f| y[f]);
+    }
+    (lo, hi)
+}
+
+/// Certified pruning bound for [`dtw_distance_with_penalty`] against a
+/// running-best `cutoff`: if the returned value exceeds `cutoff`, the true
+/// distance provably exceeds `cutoff`.
+///
+/// Note this is *not* an unconditional lower bound. The LB_Keogh term only
+/// bounds warp paths that stay within `band = floor(cutoff / penalty)` of
+/// the synchronized diagonal — but any path deviating further contains
+/// more than `band` asynchronous steps and therefore already costs more
+/// than `cutoff`, so the pruning decision stays exact. The unconditional
+/// part (LB_Kim endpoints + length-difference penalty) needs no such
+/// argument.
+fn pruning_lower_bound(x: &[f64], y: &[f64], penalty: f64, cutoff: f64) -> f64 {
+    let (m, n) = (x.len(), y.len());
+    let lendiff = m.abs_diff(n) as f64 * penalty;
+    // LB_Kim: the cells (0, 0) and (m-1, n-1) lie on every warp path.
+    let kim = if m == 1 && n == 1 {
+        (x[0] - y[0]).abs()
+    } else {
+        (x[0] - y[0]).abs() + (x[m - 1] - y[n - 1]).abs()
+    };
+    let mut lb = lendiff + kim;
+    // LB_Keogh within the deviation band implied by the cutoff.
+    if penalty > 0.0 && cutoff >= 0.0 {
+        let ratio = cutoff / penalty;
+        if ratio < (m + n) as f64 {
+            let band = ratio as usize;
+            if m.abs_diff(n) <= band {
+                let (lo, hi) = band_envelope(y, m, band);
+                let keogh: f64 = x
+                    .iter()
+                    .zip(lo.iter().zip(&hi))
+                    .map(|(&v, (&l, &h))| {
+                        if v > h {
+                            v - h
+                        } else if v < l {
+                            l - v
+                        } else {
+                            0.0
+                        }
+                    })
+                    .sum();
+                lb = lb.max(keogh + lendiff);
+            }
+        }
+    }
+    lb
+}
+
+/// [`dtw_distance_with_penalty`] with exact early abandoning against a
+/// running-best `cutoff` (§4.2 cost note; LB_Keogh / UCR-suite style).
+///
+/// Returns `None` only when the true distance provably exceeds `cutoff`
+/// (established by a cheap lower-bound prefilter or by abandoning the DP
+/// once a whole column exceeds `cutoff`). Otherwise returns
+/// `Some(distance)` where `distance` is **bit-identical** to
+/// [`dtw_distance_with_penalty`]: whenever the bound cannot prune, the
+/// full-width DP runs unchanged — pruning never alters computed values,
+/// only skips computations whose outcome is already decided.
+///
+/// A returned `Some(d)` may still have `d > cutoff` (abandoning is
+/// best-effort); callers compare against their running best as usual.
+///
+/// # Panics
+///
+/// Panics if `penalty` is negative or `cutoff` is NaN.
+///
+/// # Examples
+///
+/// ```
+/// use rbv_core::distance::{dtw_distance_with_penalty, dtw_distance_with_penalty_pruned};
+///
+/// let x = [1.0, 5.0, 2.0, 8.0, 3.0];
+/// let y = [2.0, 4.0, 4.0, 7.0];
+/// let full = dtw_distance_with_penalty(&x, &y, 1.0);
+/// // Generous cutoff: completes, bit-identical to the full DP.
+/// assert_eq!(dtw_distance_with_penalty_pruned(&x, &y, 1.0, full + 1.0), Some(full));
+/// // Hopeless cutoff: pruned.
+/// assert_eq!(dtw_distance_with_penalty_pruned(&x, &y, 1.0, 0.1), None);
+/// ```
+pub fn dtw_distance_with_penalty_pruned(
+    x: &[f64],
+    y: &[f64],
+    penalty: f64,
+    cutoff: f64,
+) -> Option<f64> {
+    assert!(penalty >= 0.0, "penalty must be nonnegative");
+    assert!(!cutoff.is_nan(), "cutoff must not be NaN");
+    if x.is_empty() || y.is_empty() {
+        let d = (x.len() + y.len()) as f64 * penalty;
+        return if d > cutoff { None } else { Some(d) };
+    }
+    if pruning_lower_bound(x, y, penalty, cutoff) > cutoff {
+        return None;
+    }
+    // Full-width DP, mirroring dtw_distance_with_penalty cell for cell so a
+    // completed run returns the exact same bits.
+    let (rows, cols) = if x.len() <= y.len() { (x, y) } else { (y, x) };
+    let m = rows.len();
+    let mut prev = vec![f64::INFINITY; m];
+    let mut cur = vec![f64::INFINITY; m];
+
+    for (j, &cv) in cols.iter().enumerate() {
+        std::mem::swap(&mut prev, &mut cur);
+        let mut colmin = f64::INFINITY;
+        for (i, &rv) in rows.iter().enumerate() {
+            let local = (cv - rv).abs();
+            let best = if i == 0 && j == 0 {
+                0.0
+            } else {
+                let diag = if i > 0 && j > 0 {
+                    prev[i - 1]
+                } else {
+                    f64::INFINITY
+                };
+                let up = if i > 0 {
+                    cur[i - 1] + penalty
+                } else {
+                    f64::INFINITY
+                };
+                let left = if j > 0 {
+                    prev[i] + penalty
+                } else {
+                    f64::INFINITY
+                };
+                diag.min(up).min(left)
+            };
+            cur[i] = best + local;
+            colmin = colmin.min(cur[i]);
+        }
+        // Every warp path to the final cell crosses column j, and all later
+        // additions (locals, penalties) are nonnegative, so once the whole
+        // column exceeds the cutoff the final distance must too.
+        if colmin > cutoff {
+            return None;
+        }
+    }
+    Some(cur[m - 1])
+}
+
+/// Running-best nearest-neighbor search over candidate series using the
+/// penalty-DTW measure, accelerated by [`dtw_distance_with_penalty_pruned`].
+///
+/// Returns `Some((index, distance))` of the closest candidate, or `None`
+/// when `candidates` is empty. Ties keep the earliest candidate, and the
+/// result is **bit-identical** to the naive scan that computes
+/// [`dtw_distance_with_penalty`] for every candidate and takes the first
+/// minimum — pruning only skips candidates that provably cannot improve
+/// the running best.
+///
+/// # Panics
+///
+/// Panics if `penalty` is negative.
+///
+/// # Examples
+///
+/// ```
+/// use rbv_core::distance::nearest_series;
+///
+/// let query = [1.0, 2.0, 3.0];
+/// let candidates = vec![vec![9.0, 9.0, 9.0], vec![1.0, 2.0, 3.5], vec![0.0; 3]];
+/// let (idx, d) = nearest_series(&query, &candidates, 1.0).unwrap();
+/// assert_eq!(idx, 1);
+/// assert!((d - 0.5).abs() < 1e-12);
+/// ```
+pub fn nearest_series<S: AsRef<[f64]>>(
+    query: &[f64],
+    candidates: &[S],
+    penalty: f64,
+) -> Option<(usize, f64)> {
+    assert!(penalty >= 0.0, "penalty must be nonnegative");
+    let mut best: Option<(usize, f64)> = None;
+    for (i, cand) in candidates.iter().enumerate() {
+        match best {
+            None => best = Some((i, dtw_distance_with_penalty(query, cand.as_ref(), penalty))),
+            Some((_, b)) => {
+                if let Some(d) = dtw_distance_with_penalty_pruned(query, cand.as_ref(), penalty, b)
+                {
+                    if d < b {
+                        best = Some((i, d));
+                    }
+                }
+            }
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod fastpath_tests {
+    use super::*;
+
+    /// Deterministic pseudo-random series (splitmix64 bits -> [0, 10)).
+    fn series(seed: u64, len: usize) -> Vec<f64> {
+        let mut state = seed;
+        (0..len)
+            .map(|_| {
+                state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = state;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^= z >> 31;
+                (z >> 11) as f64 / (1u64 << 53) as f64 * 10.0
+            })
+            .collect()
+    }
+
+    #[test]
+    fn pruned_matches_full_bitwise_or_proves_cutoff_exceeded() {
+        for (sx, sy, lx, ly) in [
+            (1, 2, 40, 40),
+            (3, 4, 25, 60),
+            (5, 6, 1, 30),
+            (7, 8, 17, 16),
+        ] {
+            let x = series(sx, lx);
+            let y = series(sy, ly);
+            for penalty in [0.0, 0.5, 2.0] {
+                let full = dtw_distance_with_penalty(&x, &y, penalty);
+                for cutoff in [0.0, full * 0.5, full, full * 1.5, f64::INFINITY] {
+                    match dtw_distance_with_penalty_pruned(&x, &y, penalty, cutoff) {
+                        Some(d) => assert_eq!(d.to_bits(), full.to_bits()),
+                        None => assert!(full > cutoff, "pruned {full} at cutoff {cutoff}"),
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pruned_at_exact_cutoff_is_not_pruned() {
+        let x = series(11, 30);
+        let y = series(12, 30);
+        let full = dtw_distance_with_penalty(&x, &y, 1.0);
+        // cutoff == distance: "provably exceeds" is strict, must complete.
+        assert_eq!(
+            dtw_distance_with_penalty_pruned(&x, &y, 1.0, full),
+            Some(full)
+        );
+    }
+
+    #[test]
+    fn nearest_matches_naive_scan_bitwise() {
+        let query = series(100, 35);
+        let candidates: Vec<Vec<f64>> = (0..12)
+            .map(|i| series(200 + i, 20 + (i as usize) * 3))
+            .collect();
+        for penalty in [0.0, 0.7, 3.0] {
+            let naive = candidates
+                .iter()
+                .map(|c| dtw_distance_with_penalty(&query, c, penalty))
+                .enumerate()
+                .fold(None::<(usize, f64)>, |acc, (i, d)| match acc {
+                    Some((_, b)) if d >= b => acc,
+                    _ => Some((i, d)),
+                });
+            let fast = nearest_series(&query, &candidates, penalty);
+            assert_eq!(
+                fast.map(|(i, d)| (i, d.to_bits())),
+                naive.map(|(i, d)| (i, d.to_bits()))
+            );
+        }
+    }
+
+    #[test]
+    fn nearest_handles_edge_cases() {
+        assert_eq!(nearest_series::<Vec<f64>>(&[1.0], &[], 1.0), None);
+        let cands = vec![vec![], vec![1.0]];
+        let (idx, d) = nearest_series(&[1.0], &cands, 2.0).unwrap();
+        assert_eq!((idx, d), (1, 0.0));
+    }
+
+    #[test]
+    fn envelope_brackets_every_windowed_value() {
+        let y = series(42, 50);
+        for band in [0, 1, 3, 10, 60] {
+            let (lo, hi) = band_envelope(&y, y.len(), band);
+            for i in 0..y.len() {
+                let start = i.saturating_sub(band);
+                let end = (i + band).min(y.len() - 1);
+                for &v in &y[start..=end] {
+                    assert!(lo[i] <= v && v <= hi[i]);
+                }
+                assert!(lo[i] <= y[i] && y[i] <= hi[i]);
+            }
+        }
     }
 }

@@ -11,9 +11,13 @@
 //!   variation) and Equation 7 (weighted RMSE), plus histograms and CDFs;
 //! * [`distance`] — request differencing (§4.1): L1 with length penalty,
 //!   dynamic time warping, DTW with the paper's asynchrony penalty,
-//!   banded DTW, Levenshtein over syscall sequences;
+//!   banded DTW, Levenshtein over syscall sequences, plus exact
+//!   early-abandoning fast paths for running-best searches;
 //! * [`cluster`] — k-medoids classification and the Figure 7 quality
-//!   metric (§4.2);
+//!   metric (§4.2), with deterministic parallel variants
+//!   ([`cluster::DistanceMatrix::compute_par`], [`cluster::k_medoids_par`])
+//!   driven by an [`rbv_par::Pool`] — bit-identical to the serial paths
+//!   at any thread count;
 //! * [`anomaly`] — centroid-outlier and multi-metric anomaly detection
 //!   (§4.3);
 //! * [`signature`] — online request signature identification and CPU
@@ -39,7 +43,7 @@
 //! [`MetricSeries`]: series::MetricSeries
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod anomaly;
@@ -50,7 +54,8 @@ pub mod series;
 pub mod signature;
 pub mod stats;
 
-pub use cluster::{k_medoids, Clustering, DistanceMatrix};
+pub use cluster::{k_medoids, k_medoids_par, Clustering, DistanceMatrix};
+pub use distance::{dtw_distance_with_penalty_pruned, nearest_series};
 pub use predict::{Ewma, LastValue, Predictor, RunningAverage, VaEwma};
 pub use series::{Metric, MetricSeries, SamplePeriod, Timeline};
 pub use signature::{BankEntry, RecentPastPredictor, SignatureBank};

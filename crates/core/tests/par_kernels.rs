@@ -1,0 +1,138 @@
+//! Determinism suite: the parallel and early-abandoning fast paths must be
+//! **bit-identical** to their serial/naive counterparts — not merely close.
+//!
+//! This is the property that lets `repro bench --all --threads N` emit a
+//! byte-identical ledger for every `N`: parallelism only reassigns *who*
+//! computes each independent task, never the order in which floating-point
+//! reductions are folded (see `rbv_par`'s ordered-collect contract).
+
+use proptest::prelude::*;
+
+use rbv_core::cluster::{k_medoids, k_medoids_par, DistanceMatrix};
+use rbv_core::distance::{
+    dtw_distance_with_penalty, dtw_distance_with_penalty_pruned, nearest_series,
+};
+use rbv_par::Pool;
+
+/// Deterministic pseudo-random series (splitmix64 bits mapped to [0, 10)).
+fn series(seed: u64, len: usize) -> Vec<f64> {
+    let mut state = seed;
+    (0..len)
+        .map(|_| {
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^= z >> 31;
+            (z >> 11) as f64 / (1u64 << 53) as f64 * 10.0
+        })
+        .collect()
+}
+
+/// A DTW distance matrix over pseudo-random series, as Figure 7 builds.
+fn dtw_matrix(seed: u64, n: usize, serial: bool, threads: usize) -> DistanceMatrix {
+    let data: Vec<Vec<f64>> = (0..n)
+        .map(|i| series(seed.wrapping_add(i as u64), 8 + (i % 7) * 4))
+        .collect();
+    let dist = |i: usize, j: usize| dtw_distance_with_penalty(&data[i], &data[j], 1.5);
+    if serial {
+        DistanceMatrix::compute(n, dist)
+    } else {
+        DistanceMatrix::compute_par(n, &Pool::new(threads), dist)
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// `DistanceMatrix::compute_par` scatters row tiles back in submission
+    /// order, so every thread count reproduces the serial matrix exactly.
+    #[test]
+    fn distance_matrix_par_is_bit_identical_to_serial(
+        seed in 0u64..1_000,
+        n in 1usize..24,
+        threads in 1usize..8,
+    ) {
+        let serial = dtw_matrix(seed, n, true, 1);
+        let par = dtw_matrix(seed, n, false, threads);
+        prop_assert_eq!(serial.len(), par.len());
+        for i in 0..n {
+            for j in 0..n {
+                prop_assert_eq!(
+                    serial.get(i, j).to_bits(),
+                    par.get(i, j).to_bits(),
+                    "cell ({}, {}) diverged at {} threads", i, j, threads
+                );
+            }
+        }
+    }
+
+    /// Parallel k-medoids (assignment sweeps and medoid updates fanned over
+    /// the pool) converges to the identical clustering: same medoids, same
+    /// assignments, bit-identical cost.
+    #[test]
+    fn k_medoids_par_is_bit_identical_to_serial(
+        seed in 0u64..1_000,
+        n in 2usize..24,
+        threads in 1usize..8,
+        k in 1usize..5,
+    ) {
+        let k = k.min(n);
+        let dm = dtw_matrix(seed, n, true, 1);
+        let serial = k_medoids(&dm, k, 30);
+        let par = k_medoids_par(&dm, k, 30, &Pool::new(threads));
+        prop_assert_eq!(&serial.medoids, &par.medoids);
+        prop_assert_eq!(&serial.assignments, &par.assignments);
+        prop_assert_eq!(serial.cost.to_bits(), par.cost.to_bits());
+    }
+
+    /// The early-abandoning DTW either completes with the exact bits of the
+    /// full DP or proves the distance exceeds the cutoff.
+    #[test]
+    fn pruned_dtw_is_exact(
+        sx in 0u64..500,
+        sy in 500u64..1_000,
+        lx in 1usize..50,
+        ly in 1usize..50,
+        penalty in prop::sample::select(vec![0.0, 0.25, 1.0, 4.0]),
+        frac in prop::sample::select(vec![0.0, 0.5, 0.9, 1.0, 1.1, 2.0]),
+    ) {
+        let x = series(sx, lx);
+        let y = series(sy, ly);
+        let full = dtw_distance_with_penalty(&x, &y, penalty);
+        let cutoff = full * frac;
+        match dtw_distance_with_penalty_pruned(&x, &y, penalty, cutoff) {
+            Some(d) => prop_assert_eq!(d.to_bits(), full.to_bits()),
+            None => prop_assert!(full > cutoff, "pruned {} at cutoff {}", full, cutoff),
+        }
+    }
+
+    /// The running-best nearest-neighbor scan returns exactly what the
+    /// naive full scan returns, including first-wins tie-breaking.
+    #[test]
+    fn nearest_series_matches_naive_scan(
+        qseed in 0u64..500,
+        cseed in 500u64..1_000,
+        qlen in 1usize..40,
+        count in 1usize..16,
+        penalty in prop::sample::select(vec![0.0, 0.5, 2.0]),
+    ) {
+        let query = series(qseed, qlen);
+        let candidates: Vec<Vec<f64>> = (0..count)
+            .map(|i| series(cseed.wrapping_add(i as u64), 1 + (i * 5) % 45))
+            .collect();
+        let naive = candidates
+            .iter()
+            .map(|c| dtw_distance_with_penalty(&query, c, penalty))
+            .enumerate()
+            .fold(None::<(usize, f64)>, |acc, (i, d)| match acc {
+                Some((_, b)) if d >= b => acc,
+                _ => Some((i, d)),
+            });
+        let fast = nearest_series(&query, &candidates, penalty);
+        prop_assert_eq!(
+            fast.map(|(i, d)| (i, d.to_bits())),
+            naive.map(|(i, d)| (i, d.to_bits()))
+        );
+    }
+}

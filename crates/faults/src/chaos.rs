@@ -363,9 +363,79 @@ pub fn run_matrix_with(
     fast: bool,
     governor: bool,
 ) -> Result<ChaosReport, RbvError> {
-    let n = requests_of(app, fast);
+    run_matrix_pooled(app, seed, fast, governor, &rbv_par::Pool::serial())
+}
 
-    // Scenario 1: anomaly injection and detection.
+/// One scenario's outcome, tagged for ordered collection by
+/// [`run_matrix_pooled`].
+enum ScenarioResult {
+    Anomaly(AnomalyOutcome),
+    Degradation(DegradationOutcome),
+    Overload(OverloadOutcome),
+    Easing(EasingStormOutcome),
+    Governor(GovernorOutcome),
+}
+
+/// Runs the chaos matrix with its scenarios fanned over `pool`.
+///
+/// Every scenario is an independent simulation deterministic in
+/// `(app, seed, fast)`, so distributing them over worker threads and
+/// collecting in scenario order produces a report **bit-identical** to
+/// the serial matrix at any thread count ([`rbv_par`]'s ordered-collect
+/// contract). `run_matrix` / [`run_matrix_with`] are the serial-pool
+/// special case.
+///
+/// # Errors
+///
+/// Propagates the first scenario's [`RbvError`] in scenario order
+/// (deterministic regardless of which worker hit it first).
+pub fn run_matrix_pooled(
+    app: AppId,
+    seed: u64,
+    fast: bool,
+    governor: bool,
+    pool: &rbv_par::Pool,
+) -> Result<ChaosReport, RbvError> {
+    let n = requests_of(app, fast);
+    let scenarios: &[u8] = if governor {
+        &[0, 1, 2, 3, 4]
+    } else {
+        &[0, 1, 2, 3]
+    };
+    let results = pool.ordered_map(scenarios, |&which| match which {
+        0 => scenario_anomaly(app, seed, n).map(ScenarioResult::Anomaly),
+        1 => scenario_degradation(app, seed, n).map(ScenarioResult::Degradation),
+        2 => scenario_overload(app, seed, n).map(ScenarioResult::Overload),
+        3 => easing_storm(app, seed, n).map(ScenarioResult::Easing),
+        _ => governor_storm(app, seed, n).map(ScenarioResult::Governor),
+    });
+    let mut anomaly = None;
+    let mut degradation = None;
+    let mut overload = None;
+    let mut easing = None;
+    let mut governor_outcome = None;
+    for result in results {
+        match result? {
+            ScenarioResult::Anomaly(o) => anomaly = Some(o),
+            ScenarioResult::Degradation(o) => degradation = Some(o),
+            ScenarioResult::Overload(o) => overload = Some(o),
+            ScenarioResult::Easing(o) => easing = Some(o),
+            ScenarioResult::Governor(o) => governor_outcome = Some(o),
+        }
+    }
+    Ok(ChaosReport {
+        app,
+        seed,
+        anomaly: anomaly.unwrap_or_else(|| unreachable!("scenario 1 always runs")),
+        degradation: degradation.unwrap_or_else(|| unreachable!("scenario 2 always runs")),
+        overload: overload.unwrap_or_else(|| unreachable!("scenario 3 always runs")),
+        easing: easing.unwrap_or_else(|| unreachable!("scenario 4 always runs")),
+        governor: governor_outcome,
+    })
+}
+
+/// Scenario 1: anomaly injection and detection.
+fn scenario_anomaly(app: AppId, seed: u64, n: usize) -> Result<AnomalyOutcome, RbvError> {
     let plan = FaultPlan {
         workload: Some(WorkloadFaults::storm()),
         ..FaultPlan::none(seed)
@@ -390,20 +460,22 @@ pub fn run_matrix_with(
         })
         .collect();
     let flagged = detect_anomalies(&result.completed, &DetectorConfig::default());
-    let anomaly = AnomalyOutcome {
+    Ok(AnomalyOutcome {
         injected: truth.len(),
         injected_by_kind,
         flagged: flagged.len(),
         score: score(&flagged, &truth),
-    };
+    })
+}
 
-    // Scenario 2: measurement storm over syscall-triggered sampling.
+/// Scenario 2: measurement storm over syscall-triggered sampling.
+fn scenario_degradation(app: AppId, seed: u64, n: usize) -> Result<DegradationOutcome, RbvError> {
     let period = app.sampling_period_micros();
     let mut cfg = base_config(app, seed ^ 0xDE6).with_syscall_sampling(period / 2, period * 5);
     cfg.faults = measurement_storm(app);
     let mut factory = factory_for(app, seed ^ 0xDE6, scale_of(app));
     let r = run_simulation(cfg, factory.as_mut(), n / 2)?;
-    let degradation = DegradationOutcome {
+    Ok(DegradationOutcome {
         completed: r.completed.len(),
         samples_inkernel: r.stats.samples_inkernel,
         samples_interrupt: r.stats.samples_interrupt,
@@ -411,9 +483,11 @@ pub fn run_matrix_with(
         low_confidence: r.stats.samples_low_confidence,
         counter_overflows: r.stats.counter_overflows,
         starvation_windows: r.stats.starvation_windows,
-    };
+    })
+}
 
-    // Scenario 3: open-loop overdrive against overload protection.
+/// Scenario 3: open-loop overdrive against overload protection.
+fn scenario_overload(app: AppId, seed: u64, n: usize) -> Result<OverloadOutcome, RbvError> {
     let mean_service = probe_mean_service(app, seed)?;
     let cores = SimConfig::paper_default().machine.topology.cores as f64;
     let mut cfg = base_config(app, seed ^ 0x0F7);
@@ -428,7 +502,7 @@ pub fn run_matrix_with(
     });
     let mut factory = factory_for(app, seed ^ 0x0F7, scale_of(app));
     let r = run_simulation(cfg, factory.as_mut(), n)?;
-    let overload = OverloadOutcome {
+    Ok(OverloadOutcome {
         offered: r.completed.len() + r.failed.len(),
         completed: r.completed.len(),
         failed: r.failed.len(),
@@ -437,26 +511,6 @@ pub fn run_matrix_with(
         load_shed: r.stats.load_shed,
         deadline_aborts: r.stats.deadline_aborts,
         p99_latency_micros: r.latency_sketch().p99().unwrap_or(0.0),
-    };
-
-    // Scenario 4: easing vs stock under the same measurement storm.
-    let easing = easing_storm(app, seed, n)?;
-
-    // Scenario 5 (opt-in): the sampling governor under the storm.
-    let governor = if governor {
-        Some(governor_storm(app, seed, n)?)
-    } else {
-        None
-    };
-
-    Ok(ChaosReport {
-        app,
-        seed,
-        anomaly,
-        degradation,
-        overload,
-        easing,
-        governor,
     })
 }
 

@@ -51,7 +51,7 @@ pub mod detect;
 pub mod inject;
 pub mod plan;
 
-pub use chaos::{run_matrix, ChaosReport};
+pub use chaos::{run_matrix, run_matrix_pooled, ChaosReport};
 pub use detect::{detect_anomalies, score, DetectorConfig, PrecisionRecall};
 pub use inject::{FaultyFactory, InjectedFault};
 pub use plan::{FaultPlan, WorkloadFaultKind, WorkloadFaults};

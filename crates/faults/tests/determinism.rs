@@ -112,3 +112,19 @@ fn easing_fault_storm_is_no_worse_than_stock_at_p99_cpi() {
         outcome.stock_p99_cpi
     );
 }
+
+/// The pooled chaos matrix collects its scenarios in submission order, so
+/// the report is identical (PartialEq over every outcome, including exact
+/// floats) at any thread count — this is what lets `repro chaos --threads N`
+/// reproduce the serial report byte for byte.
+#[test]
+fn chaos_matrix_is_identical_across_thread_counts() {
+    let app = AppId::WebServer;
+    let serial = rbv_faults::run_matrix(app, 42, true).expect("serial matrix");
+    for threads in [2, 5] {
+        let pooled =
+            rbv_faults::run_matrix_pooled(app, 42, true, false, &rbv_par::Pool::new(threads))
+                .expect("pooled matrix");
+        assert_eq!(serial, pooled, "chaos report diverged at {threads} threads");
+    }
+}

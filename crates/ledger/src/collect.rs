@@ -20,7 +20,7 @@
 //! deterministic part of the document.
 
 use rbv_core::stats::percentile;
-use rbv_faults::chaos::{governor_storm, run_matrix};
+use rbv_faults::chaos::{governor_storm, run_matrix, ChaosReport, GovernorOutcome};
 use rbv_os::{run_simulation, ObserverReport, RbvError, RunResult, SchedulerPolicy, SimConfig};
 use rbv_sim::Cycles;
 use rbv_telemetry::{Json, SelfProfiler};
@@ -83,36 +83,49 @@ fn run(cfg: SimConfig, app: AppId, seed: u64, n: usize) -> Result<RunResult, Rbv
     run_simulation(cfg, factory.as_mut(), n)
 }
 
-/// Collects the full ledger record for one application.
-///
-/// # Errors
-///
-/// Propagates [`RbvError`] from configuration validation.
-pub fn collect_app(
+/// Stage 1: the standard interrupt-sampled run.
+fn stage_standard(
     app: AppId,
     seed: u64,
-    fast: bool,
+    n: usize,
     profiler: &mut SelfProfiler,
-) -> Result<AppLedger, RbvError> {
+) -> Result<RunResult, RbvError> {
     let label = short_label(app);
-    let n = requests_of(app, fast);
-
-    // 1. Standard run: sketches + APIC/context-switch accounting.
     let timer = profiler.stage(format!("{label}.standard"));
     let standard = run(base_config(app, seed), app, seed, n)?;
     profiler.stop(timer);
+    Ok(standard)
+}
 
-    // 2. Syscall-sampled run: syscall-entry/backup-timer accounting.
+/// Stage 2: the syscall-sampled run.
+fn stage_syscall(
+    app: AppId,
+    seed: u64,
+    n: usize,
+    profiler: &mut SelfProfiler,
+) -> Result<RunResult, RbvError> {
+    let label = short_label(app);
     let timer = profiler.stage(format!("{label}.syscall"));
     let period = app.sampling_period_micros();
     let cfg = base_config(app, seed ^ 0x5C).with_syscall_sampling(period / 2, period * 5);
     let syscall = run(cfg, app, seed ^ 0x5C, n / 2)?;
     profiler.stop(timer);
+    Ok(syscall)
+}
 
-    // 3. Contention easing against the standard run as stock baseline.
-    // The high-usage threshold is the 80th percentile of the standard
-    // run's per-period L2 miss rates — an exact percentile, because it is
-    // a scheduler input, not a reported statistic.
+/// Stage 3: contention easing against `standard` as the stock baseline.
+/// The high-usage threshold is the 80th percentile of the standard run's
+/// per-period L2 miss rates — an exact percentile, because it is a
+/// scheduler input, not a reported statistic. This data dependency is why
+/// the pooled collector chains stages 1 and 3 into one task.
+fn stage_easing(
+    app: AppId,
+    seed: u64,
+    n: usize,
+    standard: &RunResult,
+    profiler: &mut SelfProfiler,
+) -> Result<RunResult, RbvError> {
+    let label = short_label(app);
     let timer = profiler.stage(format!("{label}.easing"));
     let mut mpi = Vec::new();
     for r in &standard.completed {
@@ -131,19 +144,48 @@ pub fn collect_app(
     cfg.easing_error_gate = Some(0.35);
     let eased = run(cfg, app, seed, n)?;
     profiler.stop(timer);
+    Ok(eased)
+}
 
-    // 4. Chaos matrix.
+/// Stage 4: the chaos matrix.
+fn stage_chaos(
+    app: AppId,
+    seed: u64,
+    fast: bool,
+    profiler: &mut SelfProfiler,
+) -> Result<ChaosReport, RbvError> {
+    let label = short_label(app);
     let timer = profiler.stage(format!("{label}.chaos"));
     let chaos = run_matrix(app, seed, fast)?;
     profiler.stop(timer);
+    Ok(chaos)
+}
 
-    // 5. Governed storm: the guard section the regression gate watches.
+/// Stage 5: the governed storm — the guard section the gate watches.
+fn stage_guard(
+    app: AppId,
+    seed: u64,
+    fast: bool,
+    profiler: &mut SelfProfiler,
+) -> Result<GovernorOutcome, RbvError> {
+    let label = short_label(app);
     let timer = profiler.stage(format!("{label}.guard"));
     let guard = governor_storm(app, seed, requests_of(app, fast))?;
     profiler.stop(timer);
+    Ok(guard)
+}
 
-    Ok(AppLedger {
-        app: label.to_string(),
+/// Folds the five stage outcomes into one [`AppLedger`] record.
+fn assemble(
+    app: AppId,
+    standard: &RunResult,
+    syscall: &RunResult,
+    eased: &RunResult,
+    chaos: ChaosReport,
+    guard: GovernorOutcome,
+) -> AppLedger {
+    AppLedger {
+        app: short_label(app).to_string(),
         requests: standard.completed.len() as u64,
         latency_us: standard.latency_sketch(),
         cpi: standard.cpi_sketch(),
@@ -156,7 +198,27 @@ pub fn collect_app(
         },
         chaos: chaos.to_json(),
         guard: guard.to_json(),
-    })
+    }
+}
+
+/// Collects the full ledger record for one application.
+///
+/// # Errors
+///
+/// Propagates [`RbvError`] from configuration validation.
+pub fn collect_app(
+    app: AppId,
+    seed: u64,
+    fast: bool,
+    profiler: &mut SelfProfiler,
+) -> Result<AppLedger, RbvError> {
+    let n = requests_of(app, fast);
+    let standard = stage_standard(app, seed, n, profiler)?;
+    let syscall = stage_syscall(app, seed, n, profiler)?;
+    let eased = stage_easing(app, seed, n, &standard, profiler)?;
+    let chaos = stage_chaos(app, seed, fast, profiler)?;
+    let guard = stage_guard(app, seed, fast, profiler)?;
+    Ok(assemble(app, &standard, &syscall, &eased, chaos, guard))
 }
 
 /// Collects a full run ledger over `apps`. Wall-clock stage timings land
@@ -174,9 +236,100 @@ pub fn collect(
     include_wallclock: bool,
     profiler: &mut SelfProfiler,
 ) -> Result<RunLedger, RbvError> {
-    let mut records = Vec::with_capacity(apps.len());
+    collect_pooled(
+        apps,
+        label,
+        seed,
+        fast,
+        include_wallclock,
+        profiler,
+        &rbv_par::Pool::serial(),
+    )
+}
+
+/// Collects a full run ledger with the independent per-application stages
+/// fanned over `pool`.
+///
+/// Each application contributes four independent tasks — {standard run +
+/// easing run} (chained: easing's scheduler threshold derives from the
+/// standard run), syscall run, chaos matrix, governed storm — every one a
+/// deterministic simulation in `(app, seed, fast)`. Results are collected
+/// in submission order and assembled in application order, so the
+/// resulting document serializes **byte-identically** at any thread count
+/// ([`rbv_par`]'s ordered-collect contract). Worker stage timings are
+/// absorbed into `profiler` in the same fixed order; wall-clock values
+/// are the only thread-count-dependent output and are embedded only when
+/// `include_wallclock` is set (and are then ignored by the differ).
+///
+/// # Errors
+///
+/// Propagates the first [`RbvError`] in task-submission order
+/// (deterministic regardless of which worker hit it first).
+pub fn collect_pooled(
+    apps: &[AppId],
+    label: &str,
+    seed: u64,
+    fast: bool,
+    include_wallclock: bool,
+    profiler: &mut SelfProfiler,
+    pool: &rbv_par::Pool,
+) -> Result<RunLedger, RbvError> {
+    /// One task's payload, tagged for in-order reassembly.
+    enum Payload {
+        StandardEasing(Box<(RunResult, RunResult)>),
+        Syscall(Box<RunResult>),
+        Chaos(Box<ChaosReport>),
+        Guard(Box<GovernorOutcome>),
+    }
+    const TASKS_PER_APP: usize = 4;
+
+    let mut tasks = Vec::with_capacity(apps.len() * TASKS_PER_APP);
     for &app in apps {
-        records.push(collect_app(app, seed, fast, profiler)?);
+        for kind in 0..TASKS_PER_APP {
+            tasks.push((app, kind));
+        }
+    }
+    let results = pool.ordered_map(&tasks, |&(app, kind)| {
+        let mut worker = SelfProfiler::new();
+        let n = requests_of(app, fast);
+        let payload = match kind {
+            0 => stage_standard(app, seed, n, &mut worker).and_then(|standard| {
+                stage_easing(app, seed, n, &standard, &mut worker)
+                    .map(|eased| Payload::StandardEasing(Box::new((standard, eased))))
+            }),
+            1 => stage_syscall(app, seed, n, &mut worker).map(|r| Payload::Syscall(Box::new(r))),
+            2 => stage_chaos(app, seed, fast, &mut worker).map(|c| Payload::Chaos(Box::new(c))),
+            _ => stage_guard(app, seed, fast, &mut worker).map(|g| Payload::Guard(Box::new(g))),
+        };
+        (worker, payload)
+    });
+
+    // Absorb worker profilers and reassemble records in submission order.
+    let mut records = Vec::with_capacity(apps.len());
+    let mut results = results.into_iter();
+    for &app in apps {
+        let mut standard_easing = None;
+        let mut syscall = None;
+        let mut chaos = None;
+        let mut guard = None;
+        for _ in 0..TASKS_PER_APP {
+            let (worker, payload) = results
+                .next()
+                .unwrap_or_else(|| unreachable!("one result per submitted task"));
+            profiler.absorb(worker);
+            match payload? {
+                Payload::StandardEasing(b) => standard_easing = Some(*b),
+                Payload::Syscall(b) => syscall = Some(*b),
+                Payload::Chaos(b) => chaos = Some(*b),
+                Payload::Guard(b) => guard = Some(*b),
+            }
+        }
+        let (standard, eased) = standard_easing
+            .unwrap_or_else(|| unreachable!("standard+easing task always submitted"));
+        let syscall = syscall.unwrap_or_else(|| unreachable!("syscall task always submitted"));
+        let chaos = chaos.unwrap_or_else(|| unreachable!("chaos task always submitted"));
+        let guard = guard.unwrap_or_else(|| unreachable!("guard task always submitted"));
+        records.push(assemble(app, &standard, &syscall, &eased, chaos, guard));
     }
     let profile = include_wallclock.then(|| {
         Json::Obj(

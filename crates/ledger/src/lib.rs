@@ -3,10 +3,12 @@
 //! The run ledger: one self-describing JSON document per benchmark run,
 //! plus cross-run regression diffing with per-metric tolerance bands.
 //!
-//! * [`collect`] runs the benchmark matrix (standard, syscall-sampled,
+//! * [`collect()`] runs the benchmark matrix (standard, syscall-sampled,
 //!   easing, and chaos runs per application) and builds a [`RunLedger`]
 //!   of mergeable quantile sketches, observer-effect accounting, and
-//!   chaos precision/recall.
+//!   chaos precision/recall; [`collect_pooled()`] fans the independent
+//!   per-application stages over an `rbv_par::Pool` with byte-identical
+//!   output at any thread count.
 //! * [`RunLedger::to_string_compact`] serializes the document with fixed
 //!   member order; with the wall-clock profile excluded, repeat runs at
 //!   the same seed produce byte-identical text.
@@ -22,6 +24,6 @@ pub mod collect;
 pub mod diff;
 pub mod document;
 
-pub use collect::{collect, collect_app, short_label, BENCH_APPS};
+pub use collect::{collect, collect_app, collect_pooled, short_label, BENCH_APPS};
 pub use diff::{diff_documents, metrics_of, DiffReport, Violation};
 pub use document::{AppLedger, EasingDelta, RunLedger, SCHEMA};

@@ -80,3 +80,23 @@ fn perturbed_tail_cpi_fails_the_gate_with_a_named_violation() {
         assert!(v.tolerance >= 0.0);
     }
 }
+
+#[test]
+fn pooled_collection_is_byte_identical_to_serial() {
+    let serial = collect_once(false).to_string_compact();
+    for threads in [2, 4] {
+        let mut profiler = SelfProfiler::new();
+        let pooled = rbv_ledger::collect_pooled(
+            &[AppId::Webwork],
+            "gate-test",
+            42,
+            true,
+            false,
+            &mut profiler,
+            &rbv_par::Pool::new(threads),
+        )
+        .expect("pooled collection succeeds")
+        .to_string_compact();
+        assert_eq!(serial, pooled, "ledger diverged at {threads} threads");
+    }
+}

@@ -14,7 +14,7 @@
 //!   high-L2-usage periods (the Figure 12 measure).
 //!
 //! Timestamps are simulated microseconds (fractional), converted from
-//! [`Cycles`] at the machine's clock rate. Slices still open when the
+//! [`Cycles`](rbv_sim::Cycles) at the machine's clock rate. Slices still open when the
 //! trace ends are closed at the final timestamp, so `B`/`E` events are
 //! balanced per track by construction; requests that never completed get
 //! no request span (the acceptance check counts request spans against

@@ -16,7 +16,7 @@ pub struct SelfProfiler {
 }
 
 /// Guard returned by [`SelfProfiler::stage`]; dropping it without
-/// [`StageTimer::stop`] discards the measurement.
+/// [`SelfProfiler::stop`] discards the measurement.
 #[derive(Debug)]
 pub struct StageTimer {
     name: String,
@@ -53,6 +53,22 @@ impl SelfProfiler {
         let value = f();
         self.stop(timer);
         value
+    }
+
+    /// Folds another profiler's stages into this one, accumulating
+    /// matching stage names and appending new ones in `other`'s order.
+    ///
+    /// This is how parallel harness runs keep deterministic profiles:
+    /// each worker times its own stages into a private profiler, and the
+    /// caller absorbs the workers in submission order, so the merged
+    /// stage list is independent of which thread finished first.
+    pub fn absorb(&mut self, other: SelfProfiler) {
+        for (name, secs) in other.stages {
+            match self.stages.iter_mut().find(|(n, _)| *n == name) {
+                Some((_, total)) => *total += secs,
+                None => self.stages.push((name, secs)),
+            }
+        }
     }
 
     /// Accumulated seconds for `name`, when that stage ran.
@@ -121,6 +137,22 @@ mod tests {
         assert!(p.seconds("export").is_some());
         assert!(p.seconds("absent").is_none());
         assert!(p.total_seconds() >= p.seconds("simulate").unwrap());
+    }
+
+    #[test]
+    fn absorb_merges_matching_stages_and_appends_new_ones() {
+        let mut a = SelfProfiler::new();
+        a.time("simulate", || ());
+        a.time("export", || ());
+        let before = a.seconds("simulate").unwrap();
+        let mut b = SelfProfiler::new();
+        b.time("simulate", || ());
+        b.time("cluster", || ());
+        a.absorb(b);
+        assert!(a.seconds("simulate").unwrap() >= before);
+        assert!(a.seconds("cluster").is_some());
+        let names: Vec<&str> = a.stages().iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, ["simulate", "export", "cluster"]);
     }
 
     #[test]

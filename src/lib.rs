@@ -15,6 +15,7 @@
 //! | [`workloads`] | `rbv-workloads` | the five server application models |
 //! | [`os`] | `rbv-os` | simulated kernel: scheduling + counter sampling |
 //! | [`core`] | `rbv-core` | request modeling: distances, clustering, signatures, predictors |
+//! | [`par`] | `rbv-par` | deterministic scoped-thread work pool (ordered collect) |
 //! | [`telemetry`] | `rbv-telemetry` | trace events, metrics registry, Perfetto export |
 //!
 //! # Quickstart
@@ -44,6 +45,7 @@
 pub use rbv_core as core;
 pub use rbv_mem as mem;
 pub use rbv_os as os;
+pub use rbv_par as par;
 pub use rbv_sim as sim;
 pub use rbv_telemetry as telemetry;
 pub use rbv_workloads as workloads;

@@ -4,7 +4,7 @@
 //! the workspace vendors the small slice of the `rand` 0.8 API it actually
 //! uses: the [`RngCore`] / [`Rng`] traits, uniform range sampling over the
 //! primitive numeric types, and the [`Error`] type. All generators in this
-//! workspace are deterministic ([`rbv_sim::SimRng`]); nothing here needs
+//! workspace are deterministic (`rbv_sim::SimRng`); nothing here needs
 //! OS entropy, `thread_rng`, or the distribution zoo.
 //!
 //! Algorithms are *not* bit-compatible with upstream `rand` — the
