@@ -15,12 +15,32 @@ use rbv_os::RbvError;
 use rbv_telemetry::SelfProfiler;
 use rbv_workloads::AppId;
 
+/// Fails fast — with a clear [`RbvError::Config`] naming the directory —
+/// when `path`'s parent does not exist, so a mistyped `--out` is reported
+/// before minutes of collection instead of as a cryptic I/O error after.
+///
+/// # Errors
+///
+/// [`RbvError::Config`] when the parent directory is missing.
+pub fn check_parent_dir(path: &Path) -> Result<(), RbvError> {
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() && !parent.is_dir() {
+            return Err(RbvError::Config(format!(
+                "output directory `{}` does not exist; create it first or point --out elsewhere",
+                parent.display()
+            )));
+        }
+    }
+    Ok(())
+}
+
 /// The `repro bench` entry point: collect the ledger for `apps` and write
 /// it to `out` (or stdout when `out` is `None`).
 ///
 /// # Errors
 ///
-/// Returns [`RbvError`] on configuration or output failures.
+/// Returns [`RbvError`] on configuration or output failures (a missing
+/// `--out` parent directory is rejected before collection starts).
 pub fn run(
     apps: &[AppId],
     label: &str,
@@ -29,6 +49,9 @@ pub fn run(
     wallclock: bool,
     out: Option<&Path>,
 ) -> Result<RunLedger, RbvError> {
+    if let Some(path) = out {
+        check_parent_dir(path)?;
+    }
     let mut profiler = SelfProfiler::new();
     let pool = rbv_par::Pool::global();
     let ledger = collect_pooled(apps, label, seed, fast, wallclock, &mut profiler, &pool)?;
@@ -69,5 +92,32 @@ mod tests {
         assert_eq!(back, ledger);
         assert_eq!(back.apps[0].app, "webwork");
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn missing_out_parent_dir_is_a_clear_config_error() {
+        let missing = std::env::temp_dir()
+            .join(format!("rbv-benchcmd-absent-{}", std::process::id()))
+            .join("nested")
+            .join("BENCH.json");
+        let err = run(&[AppId::Webwork], "webwork", 7, true, false, Some(&missing))
+            .expect_err("missing parent dir must be rejected");
+        match &err {
+            RbvError::Config(msg) => {
+                assert!(msg.contains("does not exist"), "unhelpful message: {msg}");
+                assert!(
+                    msg.contains("nested") || msg.contains("rbv-benchcmd-absent"),
+                    "message should name the directory: {msg}"
+                );
+            }
+            other => panic!("expected Config error, got {other:?}"),
+        }
+        assert_eq!(err.exit_code(), 1, "config errors exit 1");
+    }
+
+    #[test]
+    fn bare_filename_outputs_pass_the_parent_check() {
+        check_parent_dir(Path::new("BENCH.json")).expect("cwd-relative paths are fine");
+        check_parent_dir(&std::env::temp_dir().join("x.json")).expect("existing dir is fine");
     }
 }

@@ -1,0 +1,201 @@
+//! `repro campaign` — run a long-horizon campaign grid (seeds × apps ×
+//! workload mixes × scheduler variants × day/night epochs) into an
+//! `rbv-warehouse/v1` document, and/or analyze one with the drift /
+//! variance / regression-mining report.
+//!
+//! The warehouse is deterministic in the campaign spec: the same seed and
+//! grid produce byte-identical documents at any `--threads` setting and
+//! across repeated runs (`rbv_par` ordered collect + canonical-order
+//! fold). Wall-clock shard timings are opt-in (`--wallclock`) non-diffed
+//! metadata.
+//!
+//! `--report` runs the three warehouse analyses; a mined regression or a
+//! merge-invariant violation makes the command exit 1 (drift flags on a
+//! `--drift` campaign are the expected outcome, not a failure).
+
+use std::path::Path;
+
+use rbv_os::RbvError;
+use rbv_telemetry::SelfProfiler;
+use rbv_warehouse::{analyze, run_campaign, CampaignSpec, Warehouse};
+
+use crate::benchcmd::check_parent_dir;
+
+/// Builds the campaign spec from the CLI surface.
+fn spec_of(seed: u64, fast: bool, drift: bool, epochs: Option<u32>) -> CampaignSpec {
+    let mut spec = if fast {
+        CampaignSpec::fast(seed)
+    } else {
+        CampaignSpec::full(seed)
+    };
+    if let Some(epochs) = epochs {
+        spec.epochs = epochs;
+    }
+    if drift {
+        spec = spec.with_drift();
+    }
+    spec
+}
+
+/// Loads a warehouse document previously written by this command.
+fn load_warehouse(path: &Path) -> Result<Warehouse, RbvError> {
+    let json = rbv_guard::read_document(path).map_err(|e| match e {
+        rbv_guard::DocumentError::Io(io) => RbvError::Io(io),
+        rbv_guard::DocumentError::Corrupt(detail) => {
+            RbvError::Config(format!("{}: {detail}", path.display()))
+        }
+    })?;
+    Warehouse::from_json(&json)
+        .map_err(|e| RbvError::Config(format!("{}: not a warehouse: {e}", path.display())))
+}
+
+/// The `repro campaign` entry point.
+///
+/// With `load` set, analyzes an existing warehouse file instead of
+/// running the grid (`--report` implied). Otherwise runs the campaign,
+/// writes the document to `out` (or stdout), and — when `report` is set —
+/// analyzes it in the same invocation.
+///
+/// Returns whether the campaign is clean; the caller maps `false` to
+/// exit 1.
+///
+/// # Errors
+///
+/// Returns [`RbvError`] on configuration or output failures (a missing
+/// `--out` parent directory is rejected before any shard runs; a merge
+/// invariant violation is an error even without `--report`).
+#[allow(clippy::too_many_arguments, clippy::fn_params_excessive_bools)]
+pub fn run(
+    load: Option<&Path>,
+    seed: u64,
+    fast: bool,
+    drift: bool,
+    epochs: Option<u32>,
+    wallclock: bool,
+    out: Option<&Path>,
+    report: bool,
+    json: bool,
+) -> Result<bool, RbvError> {
+    let warehouse = match load {
+        Some(path) => load_warehouse(path)?,
+        None => {
+            if let Some(path) = out {
+                check_parent_dir(path)?;
+            }
+            let spec = spec_of(seed, fast, drift, epochs);
+            let shard_count = spec.shards().len();
+            let mut profiler = SelfProfiler::new();
+            let pool = rbv_par::Pool::global();
+            let warehouse = run_campaign(&spec, &pool, wallclock, &mut profiler, None)?;
+            eprintln!(
+                "[campaign {}: {} shards over {} thread(s) in {:.1}s wall]",
+                spec.label,
+                shard_count,
+                pool.threads(),
+                profiler.total_seconds()
+            );
+            let text = warehouse.to_json().to_string_compact();
+            match out {
+                Some(path) => {
+                    rbv_guard::write_atomic(path, text.as_bytes())?;
+                    eprintln!("[warehouse written to {}]", path.display());
+                }
+                None if !report => println!("{text}"),
+                None => {}
+            }
+            warehouse
+        }
+    };
+
+    if warehouse.invariant_violations() > 0 {
+        return Err(RbvError::Config(format!(
+            "warehouse merge recorded {} invariant violation(s)",
+            warehouse.invariant_violations()
+        )));
+    }
+    if !report && load.is_none() {
+        return Ok(true);
+    }
+
+    let analysis = analyze(&warehouse);
+    if json {
+        println!("{}", analysis.to_json().to_string_compact());
+    } else {
+        print!("{}", analysis.render());
+    }
+    Ok(analysis.clean())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_path(label: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("rbv-campaigncmd-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(format!("{label}.json"))
+    }
+
+    /// One tiny end-to-end pass: run → write → load → report clean.
+    #[test]
+    fn campaign_writes_and_reanalyzes_a_warehouse() {
+        let path = temp_path("tiny");
+        // A reduced grid via --epochs on the fast spec keeps this test
+        // affordable; exercised fully by crates/warehouse tests and CI.
+        let clean = run(
+            None,
+            7,
+            true,
+            false,
+            Some(2),
+            true,
+            Some(&path),
+            false,
+            false,
+        )
+        .expect("campaign runs");
+        assert!(clean);
+        let reloaded = run(Some(&path), 0, false, false, None, false, None, true, true)
+            .expect("report on existing warehouse");
+        assert!(reloaded, "epoch-0/1-only grid has nothing to mine");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn missing_out_parent_fails_before_any_shard_runs() {
+        let missing = std::env::temp_dir()
+            .join(format!("rbv-campaigncmd-absent-{}", std::process::id()))
+            .join("w.json");
+        let start = std::time::Instant::now();
+        let err = run(
+            None,
+            7,
+            true,
+            false,
+            None,
+            false,
+            Some(&missing),
+            false,
+            false,
+        )
+        .expect_err("missing parent must be rejected");
+        assert!(matches!(err, RbvError::Config(_)), "{err:?}");
+        assert!(
+            start.elapsed() < std::time::Duration::from_secs(5),
+            "must fail before running the grid"
+        );
+    }
+
+    #[test]
+    fn loading_garbage_is_a_clear_config_error() {
+        let path = temp_path("garbage");
+        std::fs::write(&path, b"{\"schema\":\"other/v9\"}").unwrap();
+        let err = run(Some(&path), 0, false, false, None, false, None, true, false)
+            .expect_err("wrong schema must be rejected");
+        match err {
+            RbvError::Config(msg) => assert!(msg.contains("not a warehouse"), "{msg}"),
+            other => panic!("expected Config, got {other:?}"),
+        }
+        std::fs::remove_file(&path).ok();
+    }
+}

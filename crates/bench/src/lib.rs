@@ -20,6 +20,7 @@
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod benchcmd;
+pub mod campaigncmd;
 pub mod chaoscmd;
 pub mod diffcmd;
 pub mod experiments;

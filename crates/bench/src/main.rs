@@ -9,6 +9,9 @@
 //! repro chaos <app> [--seed N] [--fast] [--min-recall X] [--json] [--governor]
 //! repro bench [<app>|--all] [--seed N] [--fast] [--out BENCH.json] [--wallclock]
 //! repro diff <baseline.json> <candidate.json> [--tolerance pct]
+//! repro campaign [--fast] [--seed N] [--drift] [--epochs N] \
+//!       [--out WAREHOUSE.json] [--wallclock] [--report] [--json]
+//! repro campaign --report <warehouse.json> [--json]
 //! ```
 //!
 //! Every subcommand also accepts the global `--threads N` flag (default:
@@ -34,6 +37,9 @@ struct Cli {
     json: bool,
     governor: bool,
     wallclock: bool,
+    drift: bool,
+    report: bool,
+    epochs: Option<u32>,
     seed: Option<u64>,
     threads: Option<usize>,
     trace: Option<PathBuf>,
@@ -55,6 +61,9 @@ fn usage() {
     eprintln!("       repro bench [<app>|--all] [--seed N] [--fast] \\");
     eprintln!("             [--out BENCH.json] [--wallclock]");
     eprintln!("       repro diff <baseline.json> <candidate.json> [--tolerance pct]");
+    eprintln!("       repro campaign [--fast] [--seed N] [--drift] [--epochs N] \\");
+    eprintln!("             [--out WAREHOUSE.json] [--wallclock] [--report] [--json]");
+    eprintln!("       repro campaign --report <warehouse.json> [--json]");
     eprintln!("run `repro list` for the available experiments");
 }
 
@@ -66,6 +75,9 @@ fn parse(args: Vec<String>) -> Result<Cli, RbvError> {
         json: false,
         governor: false,
         wallclock: false,
+        drift: false,
+        report: false,
+        epochs: None,
         seed: None,
         threads: None,
         trace: None,
@@ -85,6 +97,22 @@ fn parse(args: Vec<String>) -> Result<Cli, RbvError> {
             "--json" => cli.json = true,
             "--governor" => cli.governor = true,
             "--wallclock" => cli.wallclock = true,
+            "--drift" => cli.drift = true,
+            "--report" => cli.report = true,
+            "--epochs" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| cli_err("--epochs requires a value".into()))?;
+                let n: u32 = v
+                    .parse()
+                    .map_err(|_| cli_err(format!("bad epoch count `{v}`")))?;
+                if n < 2 {
+                    return Err(cli_err(
+                        "--epochs must be at least 2 (day + night reference epochs)".into(),
+                    ));
+                }
+                cli.epochs = Some(n);
+            }
             "--seed" => {
                 let v = it
                     .next()
@@ -280,6 +308,30 @@ fn main() -> ExitCode {
                 std::path::Path::new(baseline),
                 std::path::Path::new(candidate),
                 cli.tolerance,
+            ) {
+                Ok(true) => ExitCode::SUCCESS,
+                Ok(false) => ExitCode::FAILURE,
+                Err(e) => fail(&e),
+            }
+        }
+        "campaign" => {
+            let load = cli.positionals.get(1).map(std::path::Path::new);
+            if load.is_some() && !cli.report {
+                eprintln!("a warehouse path is only meaningful with --report");
+                eprintln!("usage: repro campaign --report <warehouse.json> [--json]");
+                return ExitCode::from(2);
+            }
+            let seed = cli.seed.unwrap_or(42);
+            match rbv_bench::campaigncmd::run(
+                load,
+                seed,
+                fast,
+                cli.drift,
+                cli.epochs,
+                cli.wallclock,
+                cli.out.as_deref(),
+                cli.report,
+                cli.json,
             ) {
                 Ok(true) => ExitCode::SUCCESS,
                 Ok(false) => ExitCode::FAILURE,

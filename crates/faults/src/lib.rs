@@ -14,7 +14,11 @@
 //!   requests, scored precision/recall against that ground truth;
 //! * [`chaos`] — the full fault matrix behind `repro chaos <app>`:
 //!   anomaly scoring, measurement-storm degradation, overload
-//!   protection, and the easing-vs-stock fault-storm comparison.
+//!   protection, and the easing-vs-stock fault-storm comparison;
+//! * [`drift`] — campaign-level [`DriftScenario`]: deterministic
+//!   assignment of sustained workload drift to `(app, epoch)` cells of a
+//!   long-horizon campaign, the ground truth the warehouse drift
+//!   detector is scored against.
 //!
 //! Fault injection is strictly opt-in: [`FaultPlan::none`] leaves every
 //! random stream, request, and event schedule untouched, so clean runs
@@ -48,10 +52,12 @@
 
 pub mod chaos;
 pub mod detect;
+pub mod drift;
 pub mod inject;
 pub mod plan;
 
 pub use chaos::{run_matrix, run_matrix_pooled, ChaosReport};
 pub use detect::{detect_anomalies, score, DetectorConfig, PrecisionRecall};
+pub use drift::{DriftScenario, FIRST_DRIFT_EPOCH};
 pub use inject::{FaultyFactory, InjectedFault};
 pub use plan::{FaultPlan, WorkloadFaultKind, WorkloadFaults};

@@ -82,6 +82,24 @@ impl WorkloadFaults {
         }
     }
 
+    /// The sustained behavior-drift profile: not a rare acute anomaly but
+    /// a pervasive mild shift — most requests in a drifted campaign epoch
+    /// carry moderately inflated working sets, extra loop trips, or slow
+    /// syscalls. Individually each request looks ordinary; collectively
+    /// the epoch's CPI *distribution* moves (the prevalence is kept above
+    /// one half precisely so the median shifts with it), which is exactly
+    /// the signal the warehouse drift detector watches for (and the
+    /// single-run §4.3 anomaly detector does not).
+    pub fn drift() -> WorkloadFaults {
+        WorkloadFaults {
+            anomaly_prob: 0.65,
+            working_set_multiplier: 8.0,
+            loop_factor: 3,
+            stuck_cpi: 8.0,
+            stuck_ins_fraction: 1.5,
+        }
+    }
+
     /// Checks field sanity.
     ///
     /// # Errors
@@ -190,7 +208,7 @@ impl FaultPlan {
 
 /// SplitMix64: the standard 64-bit finalizing mixer (Steele et al.),
 /// strong enough to decorrelate consecutive indices and seeds.
-fn splitmix64(mut x: u64) -> u64 {
+pub(crate) fn splitmix64(mut x: u64) -> u64 {
     x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
     x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
     x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
@@ -198,12 +216,12 @@ fn splitmix64(mut x: u64) -> u64 {
 }
 
 /// Hash of one `(seed, index)` cell of the schedule.
-fn mix(seed: u64, index: u64) -> u64 {
+pub(crate) fn mix(seed: u64, index: u64) -> u64 {
     splitmix64(seed ^ splitmix64(index.wrapping_add(0x5151_5151)))
 }
 
 /// Maps a hash to `[0, 1)` with 53 bits of precision.
-fn unit(h: u64) -> f64 {
+pub(crate) fn unit(h: u64) -> f64 {
     (h >> 11) as f64 / (1u64 << 53) as f64
 }
 

@@ -197,6 +197,103 @@ impl InvariantMonitor {
     }
 }
 
+/// Campaign-level invariant checker for the cross-run warehouse.
+///
+/// Where [`InvariantMonitor`] guards one simulation while it runs, this
+/// checker guards the *merge step* that folds many shard digests into a
+/// warehouse: counts must be conserved (a merged cell holds exactly the
+/// sum of its shards' observations), merged extrema must bracket every
+/// shard's extrema, and the grid must be fully covered (every expected
+/// shard present exactly once). A violated merge invariant means the
+/// warehouse is lying about the campaign, so violations surface in the
+/// campaign report and fail its gate rather than panicking mid-merge.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct CampaignInvariants {
+    checks: u64,
+    violations: u64,
+    first_violation: Option<String>,
+}
+
+impl CampaignInvariants {
+    /// A fresh checker with no checks recorded.
+    pub fn new() -> CampaignInvariants {
+        CampaignInvariants::default()
+    }
+
+    fn record(&mut self, ok: bool, detail: impl FnOnce() -> String) -> bool {
+        self.checks += 1;
+        if !ok {
+            self.violations += 1;
+            if self.first_violation.is_none() {
+                self.first_violation = Some(detail());
+            }
+        }
+        ok
+    }
+
+    /// Checks observation-count conservation across a merge: the merged
+    /// cell must hold exactly the sum of its shards' counts.
+    pub fn check_count_conservation(
+        &mut self,
+        label: &str,
+        shard_sum: u64,
+        merged_count: u64,
+    ) -> bool {
+        self.record(shard_sum == merged_count, || {
+            format!("{label}: merged count {merged_count} != shard sum {shard_sum}")
+        })
+    }
+
+    /// Checks the merged extrema bracket the shard extrema exactly: the
+    /// merged minimum is the smallest shard minimum and the merged
+    /// maximum the largest shard maximum.
+    pub fn check_merged_extrema(
+        &mut self,
+        label: &str,
+        shard_min: Option<f64>,
+        shard_max: Option<f64>,
+        merged_min: Option<f64>,
+        merged_max: Option<f64>,
+    ) -> bool {
+        self.record(shard_min == merged_min && shard_max == merged_max, || {
+            format!(
+                "{label}: merged extrema ({merged_min:?}, {merged_max:?}) != \
+                 shard extrema ({shard_min:?}, {shard_max:?})"
+            )
+        })
+    }
+
+    /// Checks grid coverage: every expected shard arrived exactly once.
+    pub fn check_grid_coverage(&mut self, expected_shards: u64, seen_shards: u64) -> bool {
+        self.record(expected_shards == seen_shards, || {
+            format!("grid coverage: expected {expected_shards} shards, merged {seen_shards}")
+        })
+    }
+
+    /// Total checks performed.
+    pub fn checks(&self) -> u64 {
+        self.checks
+    }
+
+    /// Total violations.
+    pub fn violations(&self) -> u64 {
+        self.violations
+    }
+
+    /// The first violation's detail, if any.
+    pub fn first_violation(&self) -> Option<&str> {
+        self.first_violation.as_deref()
+    }
+
+    /// Serializes the checker for the campaign report.
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("checks".into(), Json::Num(self.checks as f64)),
+            ("violations".into(), Json::Num(self.violations as f64)),
+        ])
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -234,6 +331,31 @@ mod tests {
         assert!(m.check_non_negative_slack(0));
         assert!(m.check_non_negative_slack(1));
         assert!(!m.check_non_negative_slack(2));
+    }
+
+    #[test]
+    fn campaign_checker_flags_merge_lies() {
+        let mut c = CampaignInvariants::new();
+        assert!(c.check_count_conservation("web.cpi", 120, 120));
+        assert!(c.check_merged_extrema("web.cpi", Some(0.5), Some(9.0), Some(0.5), Some(9.0)));
+        assert!(c.check_grid_coverage(48, 48));
+        assert_eq!(c.checks(), 3);
+        assert_eq!(c.violations(), 0);
+        assert!(c.first_violation().is_none());
+
+        assert!(!c.check_count_conservation("web.cpi", 120, 119));
+        assert!(!c.check_merged_extrema("web.cpi", Some(0.5), Some(9.0), Some(0.6), Some(9.0)));
+        assert!(!c.check_grid_coverage(48, 47));
+        assert_eq!(c.violations(), 3);
+        let first = c.first_violation().unwrap();
+        assert!(
+            first.contains("web.cpi") && first.contains("119"),
+            "{first}"
+        );
+        assert_eq!(
+            c.to_json().get("violations").and_then(Json::as_f64),
+            Some(3.0)
+        );
     }
 
     #[test]

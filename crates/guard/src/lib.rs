@@ -39,4 +39,4 @@ pub mod invariant;
 pub use fsx::{read_document, write_atomic, DocumentError};
 pub use governor::{Governor, GovernorAction, GovernorDecision, GovernorPolicy, WindowSample};
 pub use health::{HealthLadder, HealthPolicy, LadderRung, LadderTransition};
-pub use invariant::{InvariantKind, InvariantMonitor};
+pub use invariant::{CampaignInvariants, InvariantKind, InvariantMonitor};

@@ -65,14 +65,45 @@ impl DiffReport {
 }
 
 /// How a metric's tolerance band is interpreted.
+///
+/// Public so downstream consumers — the campaign warehouse's regression
+/// miner foremost — apply the *same* per-metric bands the `repro diff`
+/// gate enforces, instead of inventing a second tolerance vocabulary.
 #[derive(Debug, Clone, Copy, PartialEq)]
-enum Band {
+pub enum Band {
     /// `|c - b| / max(|b|, eps) <= tol`.
     Relative(f64),
     /// `|c - b| <= tol` (scores already live in `[0, 1]`).
     Absolute(f64),
     /// Values must be equal (run identity: seed, fast).
     Exact,
+}
+
+impl Band {
+    /// The measured `(deviation, tolerance)` pair for a baseline/candidate
+    /// value pair, in the units the band is expressed in.
+    pub fn deviation(&self, baseline: f64, candidate: f64) -> (f64, f64) {
+        match *self {
+            Band::Exact => ((candidate - baseline).abs(), 0.0),
+            Band::Absolute(tol) => ((candidate - baseline).abs(), tol),
+            Band::Relative(tol) => ((candidate - baseline).abs() / baseline.abs().max(1e-9), tol),
+        }
+    }
+
+    /// Whether `candidate` falls outside the band around `baseline`. A
+    /// sub-epsilon absolute difference never breaches a band: near-zero
+    /// baselines would otherwise amplify float dust.
+    pub fn breached(&self, baseline: f64, candidate: f64) -> bool {
+        let (deviation, tolerance) = self.deviation(baseline, candidate);
+        deviation > tolerance && (candidate - baseline).abs() > 1e-12
+    }
+}
+
+/// The tolerance band the regression gate applies to `metric`, selected
+/// by metric kind from the leaf name (the band vocabulary shared by
+/// `repro diff` and the campaign warehouse's regression miner).
+pub fn tolerance_band(metric: &str) -> Band {
+    band_for(metric, None)
 }
 
 /// The tolerance band for `metric`, honoring a global `--tolerance`
@@ -237,14 +268,9 @@ pub fn diff_documents(
             continue;
         };
         compared += 1;
-        let (deviation, tolerance) = match band_for(name, override_tol) {
-            Band::Exact => ((c - b).abs(), 0.0),
-            Band::Absolute(tol) => ((c - b).abs(), tol),
-            Band::Relative(tol) => ((c - b).abs() / b.abs().max(1e-9), tol),
-        };
-        // A sub-epsilon absolute difference never fails a relative band:
-        // near-zero baselines would otherwise amplify float dust.
-        if deviation > tolerance && (c - b).abs() > 1e-12 {
+        let band = band_for(name, override_tol);
+        let (deviation, tolerance) = band.deviation(*b, c);
+        if band.breached(*b, c) {
             violations.push(Violation {
                 metric: name.clone(),
                 baseline: *b,
@@ -384,6 +410,30 @@ mod tests {
         )]));
         let report = diff_documents(&base.to_json(), &cand.to_json(), None).unwrap();
         assert!(report.passed(), "violations: {:?}", report.violations);
+    }
+
+    #[test]
+    fn public_band_api_matches_gate_behavior() {
+        // Quantiles: relative 2.2% band.
+        assert_eq!(tolerance_band("web.cpi.p99"), Band::Relative(TOL_QUANTILE));
+        assert!(tolerance_band("web.cpi.p99").breached(2.0, 2.1));
+        assert!(!tolerance_band("web.cpi.p99").breached(2.0, 2.02));
+        // Counts: relative 1% band.
+        assert_eq!(
+            tolerance_band("tpcc.latency_us.count"),
+            Band::Relative(TOL_COUNT)
+        );
+        // Scores: absolute 0.05 band.
+        assert_eq!(
+            tolerance_band("web.chaos.anomaly.recall"),
+            Band::Absolute(TOL_SCORE)
+        );
+        assert!(!tolerance_band("web.chaos.anomaly.recall").breached(0.85, 0.88));
+        // Identity fields must match exactly.
+        assert_eq!(tolerance_band("seed"), Band::Exact);
+        assert!(tolerance_band("seed").breached(42.0, 43.0));
+        // Float dust near zero never breaches.
+        assert!(!tolerance_band("x.p99").breached(0.0, 1e-13));
     }
 
     #[test]

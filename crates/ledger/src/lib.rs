@@ -25,5 +25,5 @@ pub mod diff;
 pub mod document;
 
 pub use collect::{collect, collect_app, collect_pooled, short_label, BENCH_APPS};
-pub use diff::{diff_documents, metrics_of, DiffReport, Violation};
+pub use diff::{diff_documents, metrics_of, tolerance_band, Band, DiffReport, Violation};
 pub use document::{AppLedger, EasingDelta, RunLedger, SCHEMA};

@@ -286,6 +286,32 @@ pub enum TraceEvent {
         /// Human-readable detail of the violated relation.
         detail: String,
     },
+    /// One campaign shard finished its simulation (campaign runs only;
+    /// `ts` is the shard's final simulated instant).
+    CampaignShard {
+        /// The shard's final simulated instant.
+        ts: Cycles,
+        /// Canonical shard key, e.g. `web/s42/nominal/stock/e3`.
+        shard: String,
+        /// Campaign epoch the shard belongs to.
+        epoch: u32,
+        /// Requests the shard completed.
+        requests: u64,
+        /// Whether the shard ran under the drift-injection scenario.
+        drifted: bool,
+    },
+    /// Campaign shards were folded into the warehouse (one event per
+    /// merged `(app, epoch)` cell, emitted at merge time).
+    CampaignMerge {
+        /// The cell's largest shard end instant.
+        ts: Cycles,
+        /// Application short label of the merged cell.
+        app: String,
+        /// Campaign epoch of the merged cell.
+        epoch: u32,
+        /// Shards folded into the cell.
+        shards: u64,
+    },
 }
 
 impl TraceEvent {
@@ -311,7 +337,9 @@ impl TraceEvent {
             | TraceEvent::EasingGate { ts, .. }
             | TraceEvent::GovernorAdjust { ts, .. }
             | TraceEvent::HealthTransition { ts, .. }
-            | TraceEvent::InvariantViolation { ts, .. } => *ts,
+            | TraceEvent::InvariantViolation { ts, .. }
+            | TraceEvent::CampaignShard { ts, .. }
+            | TraceEvent::CampaignMerge { ts, .. } => *ts,
         }
     }
 
@@ -338,6 +366,8 @@ impl TraceEvent {
             TraceEvent::GovernorAdjust { .. } => "governor_adjust",
             TraceEvent::HealthTransition { .. } => "health_transition",
             TraceEvent::InvariantViolation { .. } => "invariant_violation",
+            TraceEvent::CampaignShard { .. } => "campaign_shard",
+            TraceEvent::CampaignMerge { .. } => "campaign_merge",
         }
     }
 }
@@ -460,11 +490,24 @@ mod tests {
                 invariant: "clock_monotonic".into(),
                 detail: "clock went backwards: 7 -> 3".into(),
             },
+            TraceEvent::CampaignShard {
+                ts: t,
+                shard: "web/s42/nominal/stock/e3".into(),
+                epoch: 3,
+                requests: 40,
+                drifted: false,
+            },
+            TraceEvent::CampaignMerge {
+                ts: t,
+                app: "web".into(),
+                epoch: 3,
+                shards: 12,
+            },
         ];
         let mut kinds: Vec<&str> = events.iter().map(|e| e.kind()).collect();
         assert!(events.iter().all(|e| e.ts() == t));
         kinds.dedup();
-        assert_eq!(kinds.len(), 20, "distinct kind per variant");
+        assert_eq!(kinds.len(), 22, "distinct kind per variant");
     }
 
     #[test]

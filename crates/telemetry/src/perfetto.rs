@@ -354,6 +354,35 @@ impl PerfettoTrace {
                         ],
                     ));
                 }
+                TraceEvent::CampaignShard {
+                    shard,
+                    epoch,
+                    requests,
+                    drifted,
+                    ..
+                } => {
+                    out.push(with_args(
+                        base("campaign_shard", "campaign", "i", ts, tid_of(0)),
+                        vec![
+                            ("shard".into(), Json::str(shard.clone())),
+                            ("epoch".into(), Json::Num(f64::from(*epoch))),
+                            ("requests".into(), Json::Num(*requests as f64)),
+                            ("drifted".into(), Json::Bool(*drifted)),
+                        ],
+                    ));
+                }
+                TraceEvent::CampaignMerge {
+                    app, epoch, shards, ..
+                } => {
+                    out.push(with_args(
+                        base("campaign_merge", "campaign", "i", ts, tid_of(0)),
+                        vec![
+                            ("app".into(), Json::str(app.clone())),
+                            ("epoch".into(), Json::Num(f64::from(*epoch))),
+                            ("shards".into(), Json::Num(*shards as f64)),
+                        ],
+                    ));
+                }
             }
         }
 

@@ -204,6 +204,33 @@ impl QuantileSketch {
         self.sum += other.sum;
     }
 
+    /// A new sketch holding the merge of `self` and `other`, leaving both
+    /// inputs untouched (the non-mutating sibling of
+    /// [`QuantileSketch::merge`]).
+    pub fn merged(&self, other: &QuantileSketch) -> QuantileSketch {
+        let mut out = self.clone();
+        out.merge(other);
+        out
+    }
+
+    /// Folds every sketch in `shards` into one digest, **in iteration
+    /// order**.
+    ///
+    /// Bucket counts, `count`, `min`, and `max` are exactly associative
+    /// and commutative, so every fold order yields the same quantiles.
+    /// The running `sum` is a floating-point accumulation whose last ulp
+    /// can depend on fold order; callers that need *byte-identical*
+    /// serialized output across arbitrary shard arrival orders (the
+    /// campaign warehouse) must therefore pass shards in a canonical
+    /// order — sort by shard key first, then call this.
+    pub fn merge_all<'a>(shards: impl IntoIterator<Item = &'a QuantileSketch>) -> QuantileSketch {
+        let mut out = QuantileSketch::new();
+        for s in shards {
+            out.merge(s);
+        }
+        out
+    }
+
     /// Total observations.
     pub fn count(&self) -> u64 {
         self.count
@@ -454,6 +481,20 @@ mod tests {
         for q in [0.0, 0.1, 0.5, 0.9, 0.99, 0.999, 1.0] {
             assert_eq!(merged.quantile(q), concat.quantile(q), "q={q}");
         }
+    }
+
+    #[test]
+    fn merged_and_merge_all_agree_with_merge() {
+        let a = QuantileSketch::of((1..50).map(|i| i as f64 * 0.7));
+        let b = QuantileSketch::of((1..80).map(|i| (i * i) as f64 * 0.01));
+        let c = QuantileSketch::of([1e6, 2e6, 3.5]);
+        let mut reference = a.clone();
+        reference.merge(&b);
+        reference.merge(&c);
+        assert_eq!(a.merged(&b).merged(&c), reference);
+        assert_eq!(QuantileSketch::merge_all([&a, &b, &c]), reference);
+        // Inputs are untouched by the non-mutating forms.
+        assert_eq!(a, QuantileSketch::of((1..50).map(|i| i as f64 * 0.7)));
     }
 
     #[test]

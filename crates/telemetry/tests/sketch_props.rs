@@ -23,6 +23,29 @@ fn samples() -> impl Strategy<Value = Vec<f64>> {
     proptest::collection::vec(sample_value(), 0..200)
 }
 
+/// A campaign-shaped batch of shard streams (a few shards, each with its
+/// own sample stream, possibly empty).
+fn shard_streams() -> impl Strategy<Value = Vec<Vec<f64>>> {
+    proptest::collection::vec(proptest::collection::vec(sample_value(), 0..60), 1..8)
+}
+
+/// Deterministic in-place Fisher–Yates shuffle driven by a SplitMix64
+/// stream (the vendored proptest stub has no shuffle strategy).
+fn fisher_yates<T>(items: &mut [T], seed: u64) {
+    let mut state = seed;
+    let mut next = || {
+        state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    };
+    for i in (1..items.len()).rev() {
+        let j = (next() % (i as u64 + 1)) as usize;
+        items.swap(i, j);
+    }
+}
+
 /// The order statistic at rank `ceil(q * (len - 1))` — the value whose
 /// bucket the sketch interpolates inside (upper nearest-rank convention),
 /// and therefore the reference its relative-error bound is stated against.
@@ -90,6 +113,85 @@ proptest! {
                 ba.quantile(q).map(f64::to_bits)
             );
         }
+    }
+
+    /// Folding many shard sketches is associative: left fold, right fold,
+    /// and balanced pairing answer every quantile with the same bits and
+    /// agree exactly on count/min/max. (The floating `sum` is the one
+    /// field outside this guarantee; the warehouse folds in canonical
+    /// shard order to keep serialized bytes stable.)
+    #[test]
+    fn shard_merge_is_associative(shards in shard_streams()) {
+        let sketches: Vec<QuantileSketch> =
+            shards.iter().map(|s| QuantileSketch::of(s.iter().copied())).collect();
+        let left = QuantileSketch::merge_all(sketches.iter());
+        let mut right = QuantileSketch::new();
+        for s in sketches.iter().rev() {
+            right = s.merged(&right);
+        }
+        // Balanced pairwise reduction, the shape a tree merge would use.
+        let mut level = sketches.clone();
+        while level.len() > 1 {
+            level = level
+                .chunks(2)
+                .map(|c| if c.len() == 2 { c[0].merged(&c[1]) } else { c[0].clone() })
+                .collect();
+        }
+        let tree = level.pop().unwrap_or_default();
+        for other in [&right, &tree] {
+            prop_assert_eq!(left.count(), other.count());
+            prop_assert_eq!(left.min().map(f64::to_bits), other.min().map(f64::to_bits));
+            prop_assert_eq!(left.max().map(f64::to_bits), other.max().map(f64::to_bits));
+            for &q in &QS {
+                prop_assert_eq!(
+                    left.quantile(q).map(f64::to_bits),
+                    other.quantile(q).map(f64::to_bits)
+                );
+            }
+        }
+    }
+
+    /// Folding shard sketches is commutative across *arbitrary permuted
+    /// arrival orders* — the property the campaign warehouse relies on
+    /// when shards finish in any order: every permutation answers every
+    /// quantile bit-for-bit identically, and re-merging the same
+    /// permutation twice is byte-identical end to end.
+    #[test]
+    fn shard_merge_is_commutative_across_permutations(
+        shards in shard_streams(),
+        perm_seed in 0u64..1_000_000_000u64,
+    ) {
+        let sketches: Vec<QuantileSketch> =
+            shards.iter().map(|s| QuantileSketch::of(s.iter().copied())).collect();
+        let canonical = QuantileSketch::merge_all(sketches.iter());
+
+        let mut permuted: Vec<&QuantileSketch> = sketches.iter().collect();
+        fisher_yates(&mut permuted, perm_seed);
+        let shuffled = QuantileSketch::merge_all(permuted.iter().copied());
+
+        prop_assert_eq!(canonical.count(), shuffled.count());
+        prop_assert_eq!(
+            canonical.min().map(f64::to_bits),
+            shuffled.min().map(f64::to_bits)
+        );
+        prop_assert_eq!(
+            canonical.max().map(f64::to_bits),
+            shuffled.max().map(f64::to_bits)
+        );
+        for &q in &QS {
+            prop_assert_eq!(
+                canonical.quantile(q).map(f64::to_bits),
+                shuffled.quantile(q).map(f64::to_bits),
+                "quantile {} depends on shard arrival order", q
+            );
+        }
+        // Same fold order twice => byte-identical serialization (what the
+        // warehouse's canonical-order fold leans on for `cmp` equality).
+        let again = QuantileSketch::merge_all(permuted.iter().copied());
+        prop_assert_eq!(
+            shuffled.to_json().to_string_compact(),
+            again.to_json().to_string_compact()
+        );
     }
 
     /// Every quantile stays within one bucket width of the sorted-vector

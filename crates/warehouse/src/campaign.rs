@@ -1,0 +1,161 @@
+//! Running a whole campaign: the grid fanned over [`rbv_par::Pool`],
+//! digests folded into a [`Warehouse`].
+//!
+//! The fan-out obeys the determinism contract end to end: shards are
+//! submitted in canonical grid order, `rbv-par` collects results back in
+//! submission order regardless of which worker finished first, and the
+//! fold itself re-sorts defensively — so the serialized warehouse is
+//! byte-identical at any `--threads` value. Wall-clock stage timings are
+//! the only schedule-dependent output; they are absorbed into the
+//! caller's profiler in canonical order and embedded only behind
+//! `--wallclock` (as non-diffed metadata).
+
+use rbv_os::RbvError;
+use rbv_par::Pool;
+use rbv_telemetry::{Json, SelfProfiler, TraceEvent, TraceSink};
+
+use crate::shard::{run_shard, ShardOutput};
+use crate::spec::CampaignSpec;
+use crate::store::{build_warehouse, Warehouse};
+
+/// Runs the full campaign grid of `spec` over `pool`.
+///
+/// When `sink` is given, one `campaign_shard` instant event is emitted
+/// per shard (in canonical order) and one `campaign_merge` event per
+/// `(app, epoch)` cell after the fold.
+///
+/// # Errors
+///
+/// Propagates the first [`RbvError`] in canonical shard order
+/// (deterministic regardless of which worker hit it first).
+pub fn run_campaign(
+    spec: &CampaignSpec,
+    pool: &Pool,
+    include_wallclock: bool,
+    profiler: &mut SelfProfiler,
+    mut sink: Option<&mut dyn TraceSink>,
+) -> Result<Warehouse, RbvError> {
+    spec.validate()?;
+    let keys = spec.shards();
+    let results = pool.ordered_map(&keys, |key| {
+        let mut worker = SelfProfiler::new();
+        let shard = run_shard(spec, key, &mut worker);
+        (worker, shard)
+    });
+
+    let mut shards: Vec<ShardOutput> = Vec::with_capacity(keys.len());
+    for (worker, shard) in results {
+        profiler.absorb(worker);
+        shards.push(shard?);
+    }
+
+    if let Some(sink) = sink.as_deref_mut() {
+        for s in &shards {
+            sink.record(TraceEvent::CampaignShard {
+                ts: s.sim_end,
+                shard: s.label.clone(),
+                epoch: s.key.epoch,
+                requests: s.requests,
+                drifted: s.drifted,
+            });
+        }
+    }
+
+    let profile = include_wallclock.then(|| {
+        Json::Obj(
+            profiler
+                .stages()
+                .iter()
+                .filter(|(name, _)| name.starts_with("campaign."))
+                .map(|(name, secs)| (format!("wall_s.{name}"), Json::Num(*secs)))
+                .collect(),
+        )
+    });
+
+    // Cell-level merge timestamps (latest simulated time in the cell)
+    // must be captured before the fold consumes the shards.
+    let cell_ends: Vec<(usize, u32, rbv_sim::Cycles)> = (0..spec.apps.len())
+        .flat_map(|app_index| (0..spec.epochs).map(move |epoch| (app_index, epoch)))
+        .map(|(app_index, epoch)| {
+            let end = shards
+                .iter()
+                .filter(|s| s.key.app_index == app_index && s.key.epoch == epoch)
+                .map(|s| s.sim_end)
+                .max()
+                .unwrap_or(rbv_sim::Cycles::new(0));
+            (app_index, epoch, end)
+        })
+        .collect();
+
+    let (warehouse, _auditor) = build_warehouse(spec, shards, profile)?;
+
+    if let Some(sink) = sink {
+        for (app_index, epoch, ts) in cell_ends {
+            sink.record(TraceEvent::CampaignMerge {
+                ts,
+                app: warehouse.apps[app_index].clone(),
+                epoch,
+                shards: spec.shards_per_cell() as u64,
+            });
+        }
+    }
+    Ok(warehouse)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rbv_telemetry::MemorySink;
+
+    fn tiny_spec() -> CampaignSpec {
+        let mut spec = CampaignSpec::fast(42);
+        spec.apps.truncate(1);
+        spec.seeds = 1;
+        spec.mixes.truncate(1);
+        spec.scheds.truncate(1);
+        spec.day_requests = 12;
+        spec
+    }
+
+    #[test]
+    fn campaign_emits_shard_and_merge_events() {
+        let spec = tiny_spec();
+        let mut profiler = SelfProfiler::new();
+        let mut sink = MemorySink::new();
+        let wh = run_campaign(
+            &spec,
+            &Pool::serial(),
+            false,
+            &mut profiler,
+            Some(&mut sink),
+        )
+        .expect("campaign runs");
+        let events = sink.into_events();
+        let shard_events = events
+            .iter()
+            .filter(|e| e.kind() == "campaign_shard")
+            .count();
+        let merge_events = events
+            .iter()
+            .filter(|e| e.kind() == "campaign_merge")
+            .count();
+        assert_eq!(shard_events, 4, "one per shard (1x1x1x1x4 grid)");
+        assert_eq!(merge_events, 4, "one per (app, epoch) cell");
+        assert_eq!(wh.cells.len(), 4);
+        assert!(wh.profile.is_none());
+    }
+
+    #[test]
+    fn wallclock_profile_is_embedded_only_on_request() {
+        let spec = tiny_spec();
+        let mut profiler = SelfProfiler::new();
+        let wh =
+            run_campaign(&spec, &Pool::serial(), true, &mut profiler, None).expect("campaign runs");
+        let profile = wh.profile.as_ref().expect("wallclock profile requested");
+        let stages = profile.as_object().expect("profile is an object");
+        assert_eq!(stages.len(), 4, "one wall_s entry per shard");
+        assert!(stages
+            .iter()
+            .all(|(k, _)| k.starts_with("wall_s.campaign.")));
+    }
+}

@@ -1,0 +1,173 @@
+//! Behavior-drift detection over a warehouse: per-app CPI distribution
+//! shift between an epoch and its same-phase reference epoch.
+//!
+//! Epochs 0 (day) and 1 (night) are reference baselines — the drift
+//! scenario never faults them ([`rbv_faults::FIRST_DRIFT_EPOCH`]) — so
+//! every later epoch is compared against the reference of its own
+//! day/night phase. Comparing within a phase keeps the load curve out of
+//! the signal: a night epoch's lower concurrency legitimately shifts CPI
+//! relative to a day epoch, but not relative to the night reference.
+//!
+//! The distance is the worst relative shift across the body of the CPI
+//! distribution (quartiles, p90, mean). Tails beyond p90 are left to the
+//! regression miner: at campaign cell sizes they carry more sampling
+//! noise than signal. When the warehouse records injected ground truth,
+//! verdicts are scored with the same [`PrecisionRecall`] type the anomaly
+//! detector uses.
+
+use rbv_faults::PrecisionRecall;
+use rbv_telemetry::{Json, QuantileSketch};
+
+use crate::spec::LoadPhase;
+use crate::store::Warehouse;
+
+/// Default flag threshold: worst relative CPI shift above 12% is drift.
+/// Clean same-phase epochs differ only by engine seeds; at campaign cell
+/// sizes their body quantiles stay within a few percent, while the drift
+/// preset shifts the median by tens of percent.
+pub const DRIFT_THRESHOLD: f64 = 0.12;
+
+/// The detector's verdict on one `(app, epoch)` cell.
+#[derive(Debug, Clone)]
+pub struct DriftVerdict {
+    /// Application short label.
+    pub app: String,
+    /// The epoch under test (≥ 2).
+    pub epoch: u32,
+    /// The same-phase reference epoch it was compared against.
+    pub reference_epoch: u32,
+    /// Worst relative shift across the CPI body statistics.
+    pub distance: f64,
+    /// Whether `distance` exceeds the threshold.
+    pub flagged: bool,
+    /// Ground truth recorded at injection time.
+    pub truth: bool,
+}
+
+/// The full drift report.
+#[derive(Debug, Clone)]
+pub struct DriftReport {
+    /// The flag threshold used.
+    pub threshold: f64,
+    /// One verdict per eligible `(app, epoch ≥ 2)` cell, canonical order.
+    pub verdicts: Vec<DriftVerdict>,
+    /// Detection quality versus injected ground truth (trivially perfect
+    /// when the campaign was unfaulted and nothing is flagged).
+    pub score: PrecisionRecall,
+}
+
+/// The body statistics the distance ranges over.
+fn body_stats(sketch: &QuantileSketch) -> Vec<f64> {
+    [
+        sketch.quantile(0.25),
+        sketch.quantile(0.5),
+        sketch.quantile(0.75),
+        sketch.quantile(0.9),
+        sketch.mean(),
+    ]
+    .into_iter()
+    .flatten()
+    .collect()
+}
+
+/// Worst relative shift between two CPI digests' body statistics.
+pub fn drift_distance(reference: &QuantileSketch, candidate: &QuantileSketch) -> f64 {
+    let r = body_stats(reference);
+    let c = body_stats(candidate);
+    if r.len() != c.len() || r.is_empty() {
+        return f64::INFINITY; // Incomparable digests are loud, not silent.
+    }
+    r.iter()
+        .zip(&c)
+        .map(|(a, b)| (b - a).abs() / a.abs().max(1e-9))
+        .fold(0.0, f64::max)
+}
+
+/// Runs the detector over every eligible cell of `warehouse`.
+pub fn detect_drift(warehouse: &Warehouse, threshold: f64) -> DriftReport {
+    let mut verdicts = Vec::new();
+    let mut score = PrecisionRecall::default();
+    for app in &warehouse.apps {
+        for epoch in rbv_faults::FIRST_DRIFT_EPOCH..warehouse.epochs {
+            let reference_epoch = LoadPhase::of_epoch(epoch).reference_epoch();
+            let (Some(cell), Some(reference)) = (
+                warehouse.cell(app, epoch),
+                warehouse.cell(app, reference_epoch),
+            ) else {
+                continue;
+            };
+            let distance = drift_distance(&reference.cpi, &cell.cpi);
+            let flagged = distance > threshold;
+            match (flagged, cell.drift_truth) {
+                (true, true) => score.true_positives += 1,
+                (true, false) => score.false_positives += 1,
+                (false, true) => score.false_negatives += 1,
+                (false, false) => {}
+            }
+            verdicts.push(DriftVerdict {
+                app: app.clone(),
+                epoch,
+                reference_epoch,
+                distance,
+                flagged,
+                truth: cell.drift_truth,
+            });
+        }
+    }
+    DriftReport {
+        threshold,
+        verdicts,
+        score,
+    }
+}
+
+impl DriftReport {
+    /// Cells the detector flagged.
+    pub fn flagged(&self) -> usize {
+        self.verdicts.iter().filter(|v| v.flagged).count()
+    }
+
+    /// Serializes for the campaign report.
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("threshold".into(), Json::Num(self.threshold)),
+            (
+                "verdicts".into(),
+                Json::Arr(
+                    self.verdicts
+                        .iter()
+                        .map(|v| {
+                            Json::Obj(vec![
+                                ("app".into(), Json::str(v.app.clone())),
+                                ("epoch".into(), Json::Num(f64::from(v.epoch))),
+                                (
+                                    "reference_epoch".into(),
+                                    Json::Num(f64::from(v.reference_epoch)),
+                                ),
+                                ("distance".into(), Json::Num(v.distance)),
+                                ("flagged".into(), Json::Bool(v.flagged)),
+                                ("truth".into(), Json::Bool(v.truth)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            ("precision".into(), Json::Num(self.score.precision())),
+            ("recall".into(), Json::Num(self.score.recall())),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distance_is_zero_for_identical_and_large_for_shifted() {
+        let a = QuantileSketch::of((0..200).map(|i| 1.0 + (i % 10) as f64 * 0.01));
+        let shifted = QuantileSketch::of((0..200).map(|i| 1.5 + (i % 10) as f64 * 0.01));
+        assert_eq!(drift_distance(&a, &a), 0.0);
+        assert!(drift_distance(&a, &shifted) > 0.3);
+        assert!(drift_distance(&a, &QuantileSketch::new()).is_infinite());
+    }
+}

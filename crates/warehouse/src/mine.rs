@@ -1,0 +1,225 @@
+//! Regression mining: epoch-over-epoch trend breaches against the
+//! ledger's per-metric tolerance bands.
+//!
+//! Each `(app, epoch ≥ 2)` cell is compared against the previous epoch of
+//! the **same phase** (`epoch − 2`), so the day/night load curve never
+//! reads as a regression. Per-metric tolerances come from
+//! [`rbv_ledger::tolerance_band`] — the same classification the CI ledger
+//! gate uses — scaled by [`TREND_BAND_SCALE`]: the ledger differ compares
+//! two runs of the *same* seed (zero legitimate noise), while consecutive
+//! campaign epochs are disjoint seed populations, so the trend band must
+//! admit sampling noise that the diff band rightly rejects.
+
+use rbv_ledger::tolerance_band;
+use rbv_telemetry::Json;
+
+use crate::store::{Warehouse, WarehouseCell};
+
+/// Trend tolerance multiplier over the ledger diff bands.
+pub const TREND_BAND_SCALE: f64 = 5.0;
+
+/// One mined trend breach.
+#[derive(Debug, Clone)]
+pub struct Regression {
+    /// Dotted metric path, e.g. `campaign.web.cpi.p50`.
+    pub metric: String,
+    /// The epoch that broke the trend.
+    pub epoch: u32,
+    /// The same-phase epoch it was compared against.
+    pub baseline_epoch: u32,
+    /// Metric value at the baseline epoch.
+    pub baseline: f64,
+    /// Metric value at the breaching epoch.
+    pub candidate: f64,
+    /// Deviation in the band's own units (relative or absolute).
+    pub deviation: f64,
+    /// The scaled tolerance that was exceeded.
+    pub tolerance: f64,
+}
+
+/// The metrics mined per cell: the *behavior* body (CPI, cache
+/// intensity) plus request counts. Two deliberate exclusions, both
+/// because their sampling noise across disjoint-seed epochs exceeds any
+/// honest trend band at campaign cell sizes: tail quantiles (p99+, owned
+/// by the drift detector's distribution-shift distance) and latency
+/// (a queueing outcome of the arrival process, not a request-behavior
+/// signature — its median legitimately swings tens of percent between
+/// seed populations).
+fn cell_metrics(cell: &WarehouseCell) -> Vec<(&'static str, Option<f64>)> {
+    vec![
+        ("cpi.p50", cell.cpi.p50()),
+        ("cpi.mean", cell.cpi.mean()),
+        ("l2_mpki.p50", cell.l2_mpki.p50()),
+        ("requests", Some(cell.requests as f64)),
+    ]
+}
+
+/// Mines every same-phase epoch pair of `warehouse` for trend breaches,
+/// with tolerances scaled by `band_scale` (pass [`TREND_BAND_SCALE`]).
+pub fn mine_regressions(warehouse: &Warehouse, band_scale: f64) -> Vec<Regression> {
+    let mut out = Vec::new();
+    for app in &warehouse.apps {
+        for epoch in 2..warehouse.epochs {
+            let baseline_epoch = epoch - 2;
+            let (Some(cell), Some(base)) = (
+                warehouse.cell(app, epoch),
+                warehouse.cell(app, baseline_epoch),
+            ) else {
+                continue;
+            };
+            for ((name, candidate), (_, baseline)) in
+                cell_metrics(cell).into_iter().zip(cell_metrics(base))
+            {
+                let (Some(candidate), Some(baseline)) = (candidate, baseline) else {
+                    continue;
+                };
+                let metric = format!("campaign.{app}.{name}");
+                let band = tolerance_band(&metric);
+                let (deviation, tolerance) = band.deviation(baseline, candidate);
+                let tolerance = tolerance * band_scale;
+                if deviation > tolerance && (candidate - baseline).abs() > 1e-12 {
+                    out.push(Regression {
+                        metric,
+                        epoch,
+                        baseline_epoch,
+                        baseline,
+                        candidate,
+                        deviation,
+                        tolerance,
+                    });
+                }
+            }
+        }
+    }
+    out
+}
+
+impl Regression {
+    /// Serializes for the campaign report.
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("metric".into(), Json::str(self.metric.clone())),
+            ("epoch".into(), Json::Num(f64::from(self.epoch))),
+            (
+                "baseline_epoch".into(),
+                Json::Num(f64::from(self.baseline_epoch)),
+            ),
+            ("baseline".into(), Json::Num(self.baseline)),
+            ("candidate".into(), Json::Num(self.candidate)),
+            ("deviation".into(), Json::Num(self.deviation)),
+            ("tolerance".into(), Json::Num(self.tolerance)),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rbv_telemetry::QuantileSketch;
+
+    fn cell(app: &str, epoch: u32, center: f64, requests: u64) -> WarehouseCell {
+        let values: Vec<f64> = (0..requests)
+            .map(|i| center + (i % 7) as f64 * 0.01)
+            .collect();
+        WarehouseCell {
+            app: app.into(),
+            epoch,
+            phase: if epoch.is_multiple_of(2) {
+                "day"
+            } else {
+                "night"
+            }
+            .into(),
+            shards: 1,
+            requests,
+            injected: 0,
+            drift_truth: false,
+            latency_us: QuantileSketch::of(values.iter().map(|v| v * 100.0)),
+            cpi: QuantileSketch::of(values.iter().copied()),
+            l2_mpki: QuantileSketch::of(values.iter().map(|v| v * 2.0)),
+        }
+    }
+
+    fn warehouse(cells: Vec<WarehouseCell>, epochs: u32) -> Warehouse {
+        Warehouse {
+            label: "test".into(),
+            seed: 0,
+            apps: vec!["web".into()],
+            seeds: 1,
+            mixes: vec!["nominal".into()],
+            scheds: vec!["stock".into()],
+            epochs,
+            day_requests: 64,
+            drift_injected: false,
+            cells,
+            groups: Vec::new(),
+            invariants: Json::Obj(vec![]),
+            profile: None,
+        }
+    }
+
+    #[test]
+    fn steady_epochs_mine_nothing() {
+        let wh = warehouse(
+            vec![
+                cell("web", 0, 1.0, 64),
+                cell("web", 1, 0.9, 32),
+                cell("web", 2, 1.0, 64),
+                cell("web", 3, 0.9, 32),
+            ],
+            4,
+        );
+        assert!(mine_regressions(&wh, TREND_BAND_SCALE).is_empty());
+    }
+
+    #[test]
+    fn a_shifted_epoch_is_mined_and_attributed() {
+        let wh = warehouse(
+            vec![
+                cell("web", 0, 1.0, 64),
+                cell("web", 1, 0.9, 32),
+                cell("web", 2, 2.0, 64), // CPI doubles epoch-over-epoch
+                cell("web", 3, 0.9, 32),
+            ],
+            4,
+        );
+        let mined = mine_regressions(&wh, TREND_BAND_SCALE);
+        assert!(!mined.is_empty());
+        assert!(mined.iter().all(|r| r.epoch == 2 && r.baseline_epoch == 0));
+        assert!(mined.iter().any(|r| r.metric == "campaign.web.cpi.p50"));
+        for r in &mined {
+            assert!(r.deviation > r.tolerance);
+        }
+    }
+
+    #[test]
+    fn day_night_load_difference_is_not_a_regression() {
+        // Night cells (epochs 1, 3) run at a very different level than day
+        // cells; only same-phase pairs are compared, so nothing fires.
+        let wh = warehouse(
+            vec![
+                cell("web", 0, 1.0, 64),
+                cell("web", 1, 5.0, 32),
+                cell("web", 2, 1.0, 64),
+                cell("web", 3, 5.0, 32),
+            ],
+            4,
+        );
+        assert!(mine_regressions(&wh, TREND_BAND_SCALE).is_empty());
+    }
+
+    #[test]
+    fn request_count_loss_is_mined_exactly() {
+        let wh = warehouse(
+            vec![
+                cell("web", 0, 1.0, 64),
+                cell("web", 1, 1.0, 32),
+                cell("web", 2, 1.0, 32), // half the requests vanished
+                cell("web", 3, 1.0, 32),
+            ],
+            4,
+        );
+        let mined = mine_regressions(&wh, TREND_BAND_SCALE);
+        assert!(mined.iter().any(|r| r.metric == "campaign.web.requests"));
+    }
+}

@@ -1,0 +1,165 @@
+//! The campaign report: the three warehouse analyses plus the merge
+//! auditor's verdict, with a stable JSON form and a human rendering.
+
+use rbv_telemetry::Json;
+
+use crate::detector::{detect_drift, DriftReport, DRIFT_THRESHOLD};
+use crate::mine::{mine_regressions, Regression, TREND_BAND_SCALE};
+use crate::store::Warehouse;
+use crate::variance::{decompose_variance, VarianceDecomposition};
+
+/// Everything `repro campaign --report` computes from a warehouse.
+#[derive(Debug, Clone)]
+pub struct CampaignReport {
+    /// Behavior-drift verdicts and their precision/recall score.
+    pub drift: DriftReport,
+    /// Per-app variance attribution across the grid axes.
+    pub variance: Vec<VarianceDecomposition>,
+    /// Mined epoch-over-epoch trend breaches.
+    pub regressions: Vec<Regression>,
+    /// Merge-invariant violations recorded in the warehouse.
+    pub invariant_violations: u64,
+    /// Whether the warehouse was built with drift injection (controls how
+    /// the drift score is interpreted).
+    pub drift_injected: bool,
+}
+
+/// Runs all three analyses over `warehouse`.
+pub fn analyze(warehouse: &Warehouse) -> CampaignReport {
+    CampaignReport {
+        drift: detect_drift(warehouse, DRIFT_THRESHOLD),
+        variance: decompose_variance(warehouse),
+        regressions: mine_regressions(warehouse, TREND_BAND_SCALE),
+        invariant_violations: warehouse.invariant_violations(),
+        drift_injected: warehouse.drift_injected,
+    }
+}
+
+impl CampaignReport {
+    /// Whether the campaign is clean: no mined regression and no merge
+    /// invariant violation. (Drift flags on a drift-injected campaign are
+    /// the expected outcome, not a failure.)
+    pub fn clean(&self) -> bool {
+        self.regressions.is_empty() && self.invariant_violations == 0
+    }
+
+    /// Serializes the full report.
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("drift".into(), self.drift.to_json()),
+            (
+                "variance".into(),
+                Json::Arr(self.variance.iter().map(|v| v.to_json()).collect()),
+            ),
+            (
+                "regressions".into(),
+                Json::Arr(self.regressions.iter().map(|r| r.to_json()).collect()),
+            ),
+            (
+                "invariant_violations".into(),
+                Json::Num(self.invariant_violations as f64),
+            ),
+            ("drift_injected".into(), Json::Bool(self.drift_injected)),
+            ("clean".into(), Json::Bool(self.clean())),
+        ])
+    }
+
+    /// Renders the human-readable report.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str("campaign report\n===============\n\n");
+
+        out.push_str(&format!(
+            "drift (threshold {:.3}): {} of {} cells flagged",
+            self.drift.threshold,
+            self.drift.flagged(),
+            self.drift.verdicts.len()
+        ));
+        if self.drift_injected {
+            out.push_str(&format!(
+                "  precision {:.3}  recall {:.3}",
+                self.drift.score.precision(),
+                self.drift.score.recall()
+            ));
+        }
+        out.push('\n');
+        for v in self.drift.verdicts.iter().filter(|v| v.flagged || v.truth) {
+            out.push_str(&format!(
+                "  {}/e{} vs e{}: distance {:.3} flagged={} truth={}\n",
+                v.app, v.epoch, v.reference_epoch, v.distance, v.flagged, v.truth
+            ));
+        }
+
+        out.push_str("\nvariance decomposition (fraction of group-mean CPI spread)\n");
+        for v in &self.variance {
+            out.push_str(&format!(
+                "  {:<10} seed {:.3}  mix {:.3}  sched {:.3}  residual {:.3}  (n={})\n",
+                v.app, v.seed_frac, v.mix_frac, v.sched_frac, v.residual_frac, v.observations
+            ));
+        }
+
+        out.push_str(&format!(
+            "\nmined regressions: {}\n",
+            self.regressions.len()
+        ));
+        for r in &self.regressions {
+            out.push_str(&format!(
+                "  {} e{} vs e{}: {} -> {} (deviation {:.4} > tolerance {:.4})\n",
+                r.metric,
+                r.epoch,
+                r.baseline_epoch,
+                r.baseline,
+                r.candidate,
+                r.deviation,
+                r.tolerance
+            ));
+        }
+
+        out.push_str(&format!(
+            "\nmerge invariants: {} violation(s)\n",
+            self.invariant_violations
+        ));
+        out.push_str(if self.clean() {
+            "\ncampaign OK\n"
+        } else {
+            "\ncampaign FAILED\n"
+        });
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rbv_faults::PrecisionRecall;
+
+    fn empty_report(clean: bool) -> CampaignReport {
+        CampaignReport {
+            drift: DriftReport {
+                threshold: DRIFT_THRESHOLD,
+                verdicts: Vec::new(),
+                score: PrecisionRecall::default(),
+            },
+            variance: Vec::new(),
+            regressions: Vec::new(),
+            invariant_violations: u64::from(!clean),
+            drift_injected: false,
+        }
+    }
+
+    #[test]
+    fn clean_report_renders_ok_and_serializes() {
+        let report = empty_report(true);
+        assert!(report.clean());
+        assert!(report.render().contains("campaign OK"));
+        let json = report.to_json();
+        assert_eq!(json.get("clean"), Some(&Json::Bool(true)));
+    }
+
+    #[test]
+    fn invariant_violations_fail_the_report() {
+        let report = empty_report(false);
+        assert!(!report.clean());
+        assert!(report.render().contains("campaign FAILED"));
+    }
+}

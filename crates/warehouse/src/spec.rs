@@ -1,0 +1,363 @@
+//! The campaign grid: which shards a long-horizon campaign runs.
+//!
+//! A campaign is a Cartesian grid of **applications × seeds × workload
+//! mixes × scheduler variants × epochs**, where consecutive epochs follow
+//! a day/night load curve (even epochs run at full daytime load and
+//! concurrency, odd epochs at reduced nighttime load). Every cell of the
+//! grid is one *shard*: an independent deterministic simulation that
+//! digests its requests into mergeable sketches. The grid enumeration
+//! order defined here is the **canonical shard order** — the warehouse
+//! folds shard digests in exactly this order no matter which worker
+//! finished first, which is what makes the merged document byte-identical
+//! at any `--threads` value and any shard arrival order.
+
+use rbv_faults::DriftScenario;
+use rbv_os::RbvError;
+use rbv_workloads::AppId;
+
+/// A workload-mix variant: a deterministic scale applied on top of the
+/// application's base instruction scale, modeling fleets where the same
+/// application serves lighter or heavier request populations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MixId {
+    /// The paper-calibrated baseline mix.
+    Nominal,
+    /// A heavier mix: requests carry 30% more work.
+    Heavy,
+    /// A lighter mix: requests carry 30% less work.
+    Light,
+}
+
+impl MixId {
+    /// All mixes, in canonical grid order.
+    pub const ALL: [MixId; 3] = [MixId::Nominal, MixId::Heavy, MixId::Light];
+
+    /// Stable lower-case label used in documents and shard keys.
+    pub fn label(self) -> &'static str {
+        match self {
+            MixId::Nominal => "nominal",
+            MixId::Heavy => "heavy",
+            MixId::Light => "light",
+        }
+    }
+
+    /// The instruction-scale multiplier this mix applies.
+    pub fn scale(self) -> f64 {
+        match self {
+            MixId::Nominal => 1.0,
+            MixId::Heavy => 1.3,
+            MixId::Light => 0.7,
+        }
+    }
+
+    /// Parses a label written by [`MixId::label`].
+    pub fn parse(label: &str) -> Option<MixId> {
+        MixId::ALL.into_iter().find(|m| m.label() == label)
+    }
+}
+
+/// A scheduler-configuration variant (the third axis the variance
+/// decomposition attributes to).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SchedVariant {
+    /// The stock scheduler.
+    Stock,
+    /// Gated contention easing, thresholded on the shard's own stock run
+    /// (each easing shard runs stock first to derive its 80th-percentile
+    /// L2 threshold, exactly like the ledger's easing stage).
+    Easing,
+}
+
+impl SchedVariant {
+    /// All variants, in canonical grid order.
+    pub const ALL: [SchedVariant; 2] = [SchedVariant::Stock, SchedVariant::Easing];
+
+    /// Stable lower-case label used in documents and shard keys.
+    pub fn label(self) -> &'static str {
+        match self {
+            SchedVariant::Stock => "stock",
+            SchedVariant::Easing => "easing",
+        }
+    }
+
+    /// Parses a label written by [`SchedVariant::label`].
+    pub fn parse(label: &str) -> Option<SchedVariant> {
+        SchedVariant::ALL.into_iter().find(|s| s.label() == label)
+    }
+}
+
+/// The day/night phase of an epoch (even epochs are day, odd are night).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LoadPhase {
+    /// Full daytime load: full request count at full concurrency.
+    Day,
+    /// Nighttime trough: half the requests at half the concurrency.
+    Night,
+}
+
+impl LoadPhase {
+    /// The phase of `epoch` under the alternating day/night curve.
+    pub fn of_epoch(epoch: u32) -> LoadPhase {
+        if epoch.is_multiple_of(2) {
+            LoadPhase::Day
+        } else {
+            LoadPhase::Night
+        }
+    }
+
+    /// Stable lower-case label used in documents.
+    pub fn label(self) -> &'static str {
+        match self {
+            LoadPhase::Day => "day",
+            LoadPhase::Night => "night",
+        }
+    }
+
+    /// The reference epoch every later epoch of this phase is compared
+    /// against (epoch 0 for day, epoch 1 for night — never drifted by
+    /// construction).
+    pub fn reference_epoch(self) -> u32 {
+        match self {
+            LoadPhase::Day => 0,
+            LoadPhase::Night => 1,
+        }
+    }
+}
+
+/// One cell of the campaign grid: the identity of one shard.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardKey {
+    /// The application under test.
+    pub app: AppId,
+    /// Position of `app` in the spec's app list (stable across runs).
+    pub app_index: usize,
+    /// Seed-axis level (`0..spec.seeds`).
+    pub seed_index: usize,
+    /// Workload-mix axis level.
+    pub mix: MixId,
+    /// Scheduler-configuration axis level.
+    pub sched: SchedVariant,
+    /// Campaign epoch (`0..spec.epochs`).
+    pub epoch: u32,
+}
+
+impl ShardKey {
+    /// The canonical shard label, e.g. `web/s0/nominal/stock/e3`.
+    pub fn label(&self, app_label: &str) -> String {
+        format!(
+            "{app_label}/s{}/{}/{}/e{}",
+            self.seed_index,
+            self.mix.label(),
+            self.sched.label(),
+            self.epoch
+        )
+    }
+
+    /// The epoch's day/night phase.
+    pub fn phase(&self) -> LoadPhase {
+        LoadPhase::of_epoch(self.epoch)
+    }
+}
+
+/// The full description of a campaign grid.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CampaignSpec {
+    /// Free-form campaign label.
+    pub label: String,
+    /// Base seed; seed-axis level `i` simulates at a seed derived from
+    /// `seed` and `i`.
+    pub seed: u64,
+    /// Applications, in canonical order.
+    pub apps: Vec<AppId>,
+    /// Number of seed-axis levels.
+    pub seeds: usize,
+    /// Workload mixes, in canonical order.
+    pub mixes: Vec<MixId>,
+    /// Scheduler variants, in canonical order.
+    pub scheds: Vec<SchedVariant>,
+    /// Total epochs (≥ 2; epochs 0/1 are the day/night references).
+    pub epochs: u32,
+    /// Requests per daytime shard (night shards run half, floor 10).
+    pub day_requests: usize,
+    /// The drift-injection scenario, when this campaign is faulted.
+    pub drift: Option<DriftScenario>,
+}
+
+impl CampaignSpec {
+    /// The small fast grid CI smokes: 2 apps × 2 seeds × 2 mixes ×
+    /// 2 scheduler variants × 4 epochs = 64 shards of 20–40 requests.
+    pub fn fast(seed: u64) -> CampaignSpec {
+        CampaignSpec {
+            label: "fast".into(),
+            seed,
+            apps: vec![AppId::WebServer, AppId::Tpcc],
+            seeds: 2,
+            mixes: vec![MixId::Nominal, MixId::Heavy],
+            scheds: vec![SchedVariant::Stock, SchedVariant::Easing],
+            epochs: 4,
+            day_requests: 40,
+            drift: None,
+        }
+    }
+
+    /// The full grid: all five server applications × 3 seeds × 3 mixes ×
+    /// 2 scheduler variants × 6 epochs = 540 shards.
+    pub fn full(seed: u64) -> CampaignSpec {
+        CampaignSpec {
+            label: "full".into(),
+            seed,
+            apps: AppId::SERVER_APPS.to_vec(),
+            seeds: 3,
+            mixes: MixId::ALL.to_vec(),
+            scheds: SchedVariant::ALL.to_vec(),
+            epochs: 6,
+            day_requests: 120,
+            drift: None,
+        }
+    }
+
+    /// Enables the standard drift-injection scenario, seeded from the
+    /// campaign seed.
+    pub fn with_drift(mut self) -> CampaignSpec {
+        self.drift = Some(DriftScenario::standard(self.seed ^ 0xD81F));
+        self
+    }
+
+    /// Checks grid sanity.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RbvError::Config`] naming the first inconsistent field.
+    pub fn validate(&self) -> Result<(), RbvError> {
+        let config = |msg: String| Err(RbvError::Config(msg));
+        if self.apps.is_empty() || self.mixes.is_empty() || self.scheds.is_empty() {
+            return config("campaign grid needs at least one app, mix, and sched".into());
+        }
+        if self.seeds == 0 {
+            return config("campaign needs at least one seed-axis level".into());
+        }
+        if self.epochs < 2 {
+            return config(format!(
+                "campaign needs >= 2 epochs (day + night references), got {}",
+                self.epochs
+            ));
+        }
+        if self.day_requests < 10 {
+            return config(format!(
+                "day_requests {} too small to fill a sketch",
+                self.day_requests
+            ));
+        }
+        if let Some(ds) = &self.drift {
+            ds.validate()?;
+        }
+        Ok(())
+    }
+
+    /// Requests a shard of `epoch` runs (day/night load curve).
+    pub fn requests_of(&self, epoch: u32) -> usize {
+        match LoadPhase::of_epoch(epoch) {
+            LoadPhase::Day => self.day_requests,
+            LoadPhase::Night => (self.day_requests / 2).max(10),
+        }
+    }
+
+    /// The grid, in canonical shard order (apps → seeds → mixes → scheds
+    /// → epochs). This order is the merge order of the warehouse.
+    pub fn shards(&self) -> Vec<ShardKey> {
+        let mut out =
+            Vec::with_capacity(self.apps.len() * self.seeds * self.mixes.len() * self.scheds.len());
+        for (app_index, &app) in self.apps.iter().enumerate() {
+            for seed_index in 0..self.seeds {
+                for &mix in &self.mixes {
+                    for &sched in &self.scheds {
+                        for epoch in 0..self.epochs {
+                            out.push(ShardKey {
+                                app,
+                                app_index,
+                                seed_index,
+                                mix,
+                                sched,
+                                epoch,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Shards per `(app, epoch)` warehouse cell.
+    pub fn shards_per_cell(&self) -> usize {
+        self.seeds * self.mixes.len() * self.scheds.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canonical_order_is_stable_and_covers_the_grid() {
+        let spec = CampaignSpec::fast(42);
+        let shards = spec.shards();
+        assert_eq!(shards.len(), 2 * 2 * 2 * 2 * 4);
+        assert_eq!(shards, spec.shards(), "enumeration must be deterministic");
+        // First block iterates epochs fastest.
+        assert_eq!(shards[0].epoch, 0);
+        assert_eq!(shards[1].epoch, 1);
+        assert_eq!(shards[0].app, AppId::WebServer);
+        assert_eq!(shards.last().unwrap().app, AppId::Tpcc);
+        assert_eq!(spec.shards_per_cell(), 8);
+    }
+
+    #[test]
+    fn day_night_curve_halves_night_load() {
+        let spec = CampaignSpec::fast(1);
+        assert_eq!(spec.requests_of(0), 40);
+        assert_eq!(spec.requests_of(1), 20);
+        assert_eq!(spec.requests_of(2), 40);
+        assert_eq!(LoadPhase::of_epoch(5), LoadPhase::Night);
+        assert_eq!(LoadPhase::Day.reference_epoch(), 0);
+        assert_eq!(LoadPhase::Night.reference_epoch(), 1);
+    }
+
+    #[test]
+    fn labels_round_trip() {
+        for m in MixId::ALL {
+            assert_eq!(MixId::parse(m.label()), Some(m));
+        }
+        for s in SchedVariant::ALL {
+            assert_eq!(SchedVariant::parse(s.label()), Some(s));
+        }
+        assert_eq!(MixId::parse("bogus"), None);
+        let key = ShardKey {
+            app: AppId::WebServer,
+            app_index: 0,
+            seed_index: 1,
+            mix: MixId::Heavy,
+            sched: SchedVariant::Easing,
+            epoch: 3,
+        };
+        assert_eq!(key.label("web"), "web/s1/heavy/easing/e3");
+    }
+
+    #[test]
+    fn invalid_grids_are_rejected() {
+        let mut spec = CampaignSpec::fast(0);
+        spec.epochs = 1;
+        assert!(spec.validate().is_err());
+        let mut spec = CampaignSpec::fast(0);
+        spec.apps.clear();
+        assert!(spec.validate().is_err());
+        let mut spec = CampaignSpec::fast(0);
+        spec.seeds = 0;
+        assert!(spec.validate().is_err());
+        let mut spec = CampaignSpec::fast(0);
+        spec.day_requests = 4;
+        assert!(spec.validate().is_err());
+        assert!(CampaignSpec::fast(0).with_drift().validate().is_ok());
+        assert!(CampaignSpec::full(0).validate().is_ok());
+    }
+}

@@ -1,0 +1,195 @@
+//! Variance decomposition: how much of the campaign's CPI spread each
+//! grid axis explains.
+//!
+//! The observation unit is the warehouse group — one `(seed, mix, sched)`
+//! grid line per application, summarized by its mean CPI over all epochs.
+//! For each axis the decomposition computes the classical between-level
+//! sum of squares (`Σ nₗ (x̄ₗ − x̄)²`) as a fraction of the total sum of
+//! squares. One-way fractions over a crossed grid do not sum to one —
+//! the remainder is interaction plus residual, reported as such rather
+//! than hidden.
+
+use rbv_telemetry::Json;
+
+use crate::store::Warehouse;
+
+/// One application's variance attribution.
+#[derive(Debug, Clone)]
+pub struct VarianceDecomposition {
+    /// Application short label.
+    pub app: String,
+    /// Observations (grid lines) the decomposition saw.
+    pub observations: usize,
+    /// Total sum of squares of group mean CPI.
+    pub total_ss: f64,
+    /// Fraction explained by the seed axis.
+    pub seed_frac: f64,
+    /// Fraction explained by the workload-mix axis.
+    pub mix_frac: f64,
+    /// Fraction explained by the scheduler-config axis.
+    pub sched_frac: f64,
+    /// Interaction + residual remainder (clamped at 0).
+    pub residual_frac: f64,
+}
+
+/// Between-level sum of squares for one axis, with observations grouped
+/// by `level_of`.
+fn axis_ss(values: &[(usize, f64)], levels: usize, grand_mean: f64) -> f64 {
+    let mut sums = vec![(0usize, 0.0f64); levels];
+    for &(level, x) in values {
+        if let Some(slot) = sums.get_mut(level) {
+            slot.0 += 1;
+            slot.1 += x;
+        }
+    }
+    sums.iter()
+        .filter(|(n, _)| *n > 0)
+        .map(|&(n, sum)| {
+            let level_mean = sum / n as f64;
+            n as f64 * (level_mean - grand_mean) * (level_mean - grand_mean)
+        })
+        .sum()
+}
+
+/// Decomposes per-app CPI variance across the seed, mix, and scheduler
+/// axes of `warehouse`.
+pub fn decompose_variance(warehouse: &Warehouse) -> Vec<VarianceDecomposition> {
+    let mut out = Vec::with_capacity(warehouse.apps.len());
+    for app in &warehouse.apps {
+        let groups: Vec<_> = warehouse
+            .groups
+            .iter()
+            .filter(|g| g.app == *app && g.mean_cpi.is_finite())
+            .collect();
+        let n = groups.len();
+        if n < 2 {
+            out.push(VarianceDecomposition {
+                app: app.clone(),
+                observations: n,
+                total_ss: 0.0,
+                seed_frac: 0.0,
+                mix_frac: 0.0,
+                sched_frac: 0.0,
+                residual_frac: 0.0,
+            });
+            continue;
+        }
+        let grand_mean = groups.iter().map(|g| g.mean_cpi).sum::<f64>() / n as f64;
+        let total_ss: f64 = groups
+            .iter()
+            .map(|g| (g.mean_cpi - grand_mean) * (g.mean_cpi - grand_mean))
+            .sum();
+
+        let level_of = |labels: &[String], label: &str| -> usize {
+            labels.iter().position(|l| l == label).unwrap_or(0)
+        };
+        let seed_obs: Vec<(usize, f64)> = groups
+            .iter()
+            .map(|g| (g.seed_index as usize, g.mean_cpi))
+            .collect();
+        let mix_obs: Vec<(usize, f64)> = groups
+            .iter()
+            .map(|g| (level_of(&warehouse.mixes, &g.mix), g.mean_cpi))
+            .collect();
+        let sched_obs: Vec<(usize, f64)> = groups
+            .iter()
+            .map(|g| (level_of(&warehouse.scheds, &g.sched), g.mean_cpi))
+            .collect();
+
+        let frac = |ss: f64| if total_ss > 0.0 { ss / total_ss } else { 0.0 };
+        let seed_frac = frac(axis_ss(&seed_obs, warehouse.seeds as usize, grand_mean));
+        let mix_frac = frac(axis_ss(&mix_obs, warehouse.mixes.len(), grand_mean));
+        let sched_frac = frac(axis_ss(&sched_obs, warehouse.scheds.len(), grand_mean));
+        out.push(VarianceDecomposition {
+            app: app.clone(),
+            observations: n,
+            total_ss,
+            seed_frac,
+            mix_frac,
+            sched_frac,
+            residual_frac: (1.0 - seed_frac - mix_frac - sched_frac).max(0.0),
+        });
+    }
+    out
+}
+
+impl VarianceDecomposition {
+    /// Serializes for the campaign report.
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("app".into(), Json::str(self.app.clone())),
+            ("observations".into(), Json::Num(self.observations as f64)),
+            ("total_ss".into(), Json::Num(self.total_ss)),
+            ("seed_frac".into(), Json::Num(self.seed_frac)),
+            ("mix_frac".into(), Json::Num(self.mix_frac)),
+            ("sched_frac".into(), Json::Num(self.sched_frac)),
+            ("residual_frac".into(), Json::Num(self.residual_frac)),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::GroupStat;
+
+    fn synthetic_warehouse(groups: Vec<GroupStat>) -> Warehouse {
+        Warehouse {
+            label: "test".into(),
+            seed: 0,
+            apps: vec!["web".into()],
+            seeds: 2,
+            mixes: vec!["nominal".into(), "heavy".into()],
+            scheds: vec!["stock".into(), "easing".into()],
+            epochs: 2,
+            day_requests: 10,
+            drift_injected: false,
+            cells: Vec::new(),
+            groups,
+            invariants: Json::Obj(vec![]),
+            profile: None,
+        }
+    }
+
+    fn group(seed: u64, mix: &str, sched: &str, cpi: f64) -> GroupStat {
+        GroupStat {
+            app: "web".into(),
+            seed_index: seed,
+            mix: mix.into(),
+            sched: sched.into(),
+            mean_cpi: cpi,
+            requests: 10,
+        }
+    }
+
+    #[test]
+    fn a_pure_mix_effect_lands_on_the_mix_axis() {
+        // CPI depends only on mix: heavy = 2.0, nominal = 1.0.
+        let mut groups = Vec::new();
+        for seed in 0..2 {
+            for mix in ["nominal", "heavy"] {
+                for sched in ["stock", "easing"] {
+                    let cpi = if mix == "heavy" { 2.0 } else { 1.0 };
+                    groups.push(group(seed, mix, sched, cpi));
+                }
+            }
+        }
+        let v = decompose_variance(&synthetic_warehouse(groups));
+        assert_eq!(v.len(), 1);
+        assert!(v[0].mix_frac > 0.99, "mix_frac = {}", v[0].mix_frac);
+        assert!(v[0].seed_frac < 0.01);
+        assert!(v[0].sched_frac < 0.01);
+        assert!(v[0].residual_frac < 0.01);
+        assert_eq!(v[0].observations, 8);
+    }
+
+    #[test]
+    fn degenerate_inputs_do_not_panic() {
+        let v = decompose_variance(&synthetic_warehouse(vec![group(
+            0, "nominal", "stock", 1.0,
+        )]));
+        assert_eq!(v[0].total_ss, 0.0);
+        let empty = decompose_variance(&synthetic_warehouse(Vec::new()));
+        assert_eq!(empty[0].observations, 0);
+    }
+}

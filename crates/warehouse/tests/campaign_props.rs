@@ -1,0 +1,130 @@
+//! End-to-end campaign properties: byte-identity of the warehouse across
+//! thread counts, clean-grid cleanliness, and drift-detector quality
+//! against injected ground truth (the acceptance gates of the campaign
+//! subsystem).
+
+use rbv_par::Pool;
+use rbv_telemetry::SelfProfiler;
+use rbv_warehouse::{
+    analyze, detect_drift, run_campaign, CampaignSpec, MixId, SchedVariant, Warehouse,
+    DRIFT_THRESHOLD,
+};
+use rbv_workloads::AppId;
+
+/// A grid small enough for debug-build CI but wide enough that every
+/// warehouse cell merges several shards.
+fn test_spec(seed: u64) -> CampaignSpec {
+    CampaignSpec {
+        label: "test".into(),
+        seed,
+        apps: vec![AppId::WebServer, AppId::Tpcc],
+        seeds: 2,
+        mixes: vec![MixId::Nominal, MixId::Heavy],
+        scheds: vec![SchedVariant::Stock],
+        epochs: 6,
+        day_requests: 40,
+        drift: None,
+    }
+}
+
+fn run(spec: &CampaignSpec, threads: usize) -> Warehouse {
+    let mut profiler = SelfProfiler::new();
+    run_campaign(spec, &Pool::new(threads), false, &mut profiler, None).expect("campaign runs")
+}
+
+#[test]
+fn clean_campaign_is_byte_identical_and_clean() {
+    let spec = test_spec(42);
+    let serial = run(&spec, 1);
+    let wide = run(&spec, 4);
+    let serial_bytes = serial.to_json().to_string_compact();
+    assert_eq!(
+        serial_bytes,
+        wide.to_json().to_string_compact(),
+        "warehouse must be byte-identical across --threads"
+    );
+    // Repeat run: byte-identical again (pure function of the spec).
+    assert_eq!(serial_bytes, run(&spec, 2).to_json().to_string_compact());
+
+    // JSON round trip is the identity on documents.
+    let parsed = Warehouse::from_json(&serial.to_json()).expect("parse");
+    assert_eq!(parsed.to_json().to_string_compact(), serial_bytes);
+
+    // An unfaulted grid is clean: no drift flags, no mined regressions,
+    // no invariant violations.
+    let report = analyze(&serial);
+    assert_eq!(
+        report.drift.flagged(),
+        0,
+        "clean grid must not flag drift: {:?}",
+        report
+            .drift
+            .verdicts
+            .iter()
+            .map(|v| (v.app.clone(), v.epoch, v.distance))
+            .collect::<Vec<_>>()
+    );
+    assert!(
+        report.regressions.is_empty(),
+        "clean grid must not mine regressions: {:?}",
+        report
+            .regressions
+            .iter()
+            .map(|r| (r.metric.clone(), r.deviation, r.tolerance))
+            .collect::<Vec<_>>()
+    );
+    assert_eq!(report.invariant_violations, 0);
+    assert!(report.clean());
+}
+
+#[test]
+fn drift_detector_scores_well_on_injected_ground_truth() {
+    let spec = test_spec(42).with_drift();
+    let warehouse = run(&spec, 4);
+    assert!(warehouse.drift_injected);
+    // At least one eligible cell must actually be drifted at this seed,
+    // or the scenario seed needs changing — surface that loudly.
+    let drifted_cells = warehouse.cells.iter().filter(|c| c.drift_truth).count();
+    assert!(drifted_cells > 0, "scenario drifted no cell at seed 42");
+    assert!(
+        warehouse
+            .cells
+            .iter()
+            .all(|c| c.epoch >= 2 || !c.drift_truth),
+        "reference epochs must never be drifted"
+    );
+
+    let report = detect_drift(&warehouse, DRIFT_THRESHOLD);
+    let detail: Vec<_> = report
+        .verdicts
+        .iter()
+        .map(|v| {
+            (
+                v.app.clone(),
+                v.epoch,
+                format!("{:.3}", v.distance),
+                v.flagged,
+                v.truth,
+            )
+        })
+        .collect();
+    assert!(
+        report.score.precision() >= 0.9,
+        "precision {:.3} < 0.9: {detail:?}",
+        report.score.precision()
+    );
+    assert!(
+        report.score.recall() >= 0.9,
+        "recall {:.3} < 0.9: {detail:?}",
+        report.score.recall()
+    );
+
+    // Sustained drift breaks epoch-over-epoch trends: the miner must
+    // find at least one breach, and the full report must not be clean.
+    let full = analyze(&warehouse);
+    assert!(
+        !full.regressions.is_empty(),
+        "drifted grid should mine at least one trend breach"
+    );
+    assert!(!full.clean());
+}
