@@ -119,6 +119,10 @@ pub fn run(
 
     let analysis = analyze(&warehouse);
     if json {
+        // Machine-readable JSON on stdout; the human table still renders
+        // on stderr so pipelines stay parseable without losing the
+        // at-a-glance summary (same split as `repro chaos --json`).
+        eprint!("{}", analysis.render());
         println!("{}", analysis.to_json().to_string_compact());
     } else {
         print!("{}", analysis.render());

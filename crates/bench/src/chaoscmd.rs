@@ -14,14 +14,18 @@ use rbv_workloads::AppId;
 /// `json` (the table then goes to stderr so pipelines stay parseable).
 /// With `governor` the matrix also runs the governed measurement storm
 /// (sampling governor + health ladder + invariant monitor) and reports
-/// its do-no-harm outcome.
+/// its do-no-harm outcome. With `retry_storm` it also runs the
+/// defended-vs-ablated metastable retry storm; the returned pass flag
+/// then additionally requires the defended run to beat the ablation on
+/// goodput and to end on a recovered ladder rung.
 ///
-/// Returns the report plus whether the recall gate passed (always true
-/// when `min_recall` is `None`).
+/// Returns the report plus whether the gates passed (always true
+/// when `min_recall` is `None` and `retry_storm` is off).
 ///
 /// # Errors
 ///
 /// Returns [`RbvError`] on configuration or output failures.
+#[allow(clippy::fn_params_excessive_bools)]
 pub fn run(
     app: AppId,
     seed: u64,
@@ -29,13 +33,14 @@ pub fn run(
     min_recall: Option<f64>,
     json: bool,
     governor: bool,
+    retry_storm: bool,
 ) -> Result<(ChaosReport, bool), RbvError> {
     let mut profiler = SelfProfiler::new();
     // Scenarios fan over the global pool; the report is identical at any
     // thread count (ordered collect), only wall-clock changes.
     let pool = rbv_par::Pool::global();
     let report = profiler.time("matrix", || {
-        run_matrix_pooled(app, seed, fast, governor, &pool)
+        run_matrix_pooled(app, seed, fast, governor, retry_storm, &pool)
     })?;
     if json {
         summarize(&report, &mut io::stderr().lock())?;
@@ -57,6 +62,31 @@ pub fn run(
             eprintln!("[recall {recall:.3} meets required {min:.3}]");
         }
     }
+    if let Some(storm) = &report.retry_storm {
+        if storm.defended_goodput() <= storm.undefended_goodput() {
+            eprintln!(
+                "[FAIL retry-storm defenses lost goodput: {:.3} <= {:.3}]",
+                storm.defended_goodput(),
+                storm.undefended_goodput()
+            );
+            pass = false;
+        }
+        if !storm.recovered {
+            eprintln!(
+                "[FAIL retry-storm ladder stuck on overload rung {}]",
+                storm.final_rung
+            );
+            pass = false;
+        }
+        if pass {
+            eprintln!(
+                "[retry-storm goodput {:.3} > ablated {:.3}, ladder recovered ({})]",
+                storm.defended_goodput(),
+                storm.undefended_goodput(),
+                storm.final_rung
+            );
+        }
+    }
     Ok((report, pass))
 }
 
@@ -68,7 +98,7 @@ mod tests {
     fn web_chaos_meets_the_ci_recall_gate() {
         // The exact invocation the CI smoke step runs (fast mode).
         let (report, pass) =
-            run(AppId::WebServer, 42, true, Some(0.8), false, false).expect("chaos runs");
+            run(AppId::WebServer, 42, true, Some(0.8), false, false, false).expect("chaos runs");
         assert!(
             pass,
             "recall {:.3} under the 0.8 gate",
@@ -88,7 +118,7 @@ mod tests {
     #[test]
     fn impossible_gate_fails_without_erroring() {
         let (_, pass) =
-            run(AppId::WebServer, 7, true, Some(1.01), false, false).expect("chaos runs");
+            run(AppId::WebServer, 7, true, Some(1.01), false, false, false).expect("chaos runs");
         assert!(!pass);
     }
 
@@ -97,7 +127,7 @@ mod tests {
         // stdout JSON equals report.to_json() — assert on the value the
         // function returns rather than capturing the stream.
         let (report, pass) =
-            run(AppId::WebServer, 42, true, None, true, false).expect("chaos runs");
+            run(AppId::WebServer, 42, true, None, true, false, false).expect("chaos runs");
         assert!(pass);
         let text = report.to_json().to_string_compact();
         let parsed = rbv_telemetry::Json::parse(&text).expect("chaos JSON parses");
@@ -113,7 +143,7 @@ mod tests {
         // The CI governor smoke invocation: the matrix plus the governed
         // storm, reported under the `governor` member.
         let (report, pass) =
-            run(AppId::WebServer, 42, true, Some(0.8), false, true).expect("chaos runs");
+            run(AppId::WebServer, 42, true, Some(0.8), false, true, false).expect("chaos runs");
         assert!(pass);
         let governor = report.governor.as_ref().expect("guard section present");
         assert!(governor.to_json().get("max_breach_streak").is_some());

@@ -25,4 +25,5 @@ pub mod chaoscmd;
 pub mod diffcmd;
 pub mod experiments;
 pub mod harness;
+pub mod servecmd;
 pub mod tracecmd;

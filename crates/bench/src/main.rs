@@ -6,7 +6,11 @@
 //! repro all [--fast]               # everything, in paper order
 //! repro list                       # available experiment ids
 //! repro trace <app> [--seed N] [--trace out.json] [--metrics out.json|out.csv]
-//! repro chaos <app> [--seed N] [--fast] [--min-recall X] [--json] [--governor]
+//! repro chaos <app> [--seed N] [--fast] [--min-recall X] [--json] [--governor] \
+//!       [--retry-storm]
+//! repro serve <app> [--requests N] [--overload X] [--seed N] [--mmpp] [--guard] \
+//!       [--discipline none|dfcfs|cfcfs] [--admission on|off] [--shed on|off] \
+//!       [--retries on|off] [--out SERVE.json] [--json] [--wallclock]
 //! repro bench [<app>|--all] [--seed N] [--fast] [--out BENCH.json] [--wallclock]
 //! repro diff <baseline.json> <candidate.json> [--tolerance pct]
 //! repro campaign [--fast] [--seed N] [--drift] [--epochs N] \
@@ -36,12 +40,21 @@ struct Cli {
     all: bool,
     json: bool,
     governor: bool,
+    retry_storm: bool,
     wallclock: bool,
     drift: bool,
     report: bool,
+    mmpp: bool,
+    guard: bool,
     epochs: Option<u32>,
     seed: Option<u64>,
     threads: Option<usize>,
+    requests: Option<usize>,
+    overload: Option<f64>,
+    discipline: Option<Option<rbv_os::QueueDiscipline>>,
+    admission: Option<bool>,
+    shed: Option<bool>,
+    retries: Option<bool>,
     trace: Option<PathBuf>,
     metrics: Option<PathBuf>,
     out: Option<PathBuf>,
@@ -58,6 +71,12 @@ fn usage() {
     eprintln!("             [--trace out.json] [--metrics out.json|out.csv]");
     eprintln!("       repro chaos <web|tpcc|tpch|rubis|webwork> \\");
     eprintln!("             [--seed N] [--fast] [--min-recall X] [--json] [--governor]");
+    eprintln!("             [--retry-storm]");
+    eprintln!("       repro serve <web|tpcc|tpch|rubis|webwork> \\");
+    eprintln!("             [--requests N] [--overload X] [--seed N] [--mmpp] [--guard]");
+    eprintln!("             [--discipline none|dfcfs|cfcfs] [--admission on|off]");
+    eprintln!("             [--shed on|off] [--retries on|off]");
+    eprintln!("             [--out SERVE.json] [--json] [--wallclock]");
     eprintln!("       repro bench [<app>|--all] [--seed N] [--fast] \\");
     eprintln!("             [--out BENCH.json] [--wallclock]");
     eprintln!("       repro diff <baseline.json> <candidate.json> [--tolerance pct]");
@@ -67,6 +86,18 @@ fn usage() {
     eprintln!("run `repro list` for the available experiments");
 }
 
+/// Parses the `on`/`off` value of a defense ablation flag.
+fn parse_on_off(it: &mut impl Iterator<Item = String>, flag: &str) -> Result<bool, RbvError> {
+    let v = it
+        .next()
+        .ok_or_else(|| RbvError::Cli(format!("{flag} requires on|off")))?;
+    match v.as_str() {
+        "on" => Ok(true),
+        "off" => Ok(false),
+        other => Err(RbvError::Cli(format!("{flag} takes on|off, got `{other}`"))),
+    }
+}
+
 fn parse(args: Vec<String>) -> Result<Cli, RbvError> {
     let mut cli = Cli {
         fast: false,
@@ -74,12 +105,21 @@ fn parse(args: Vec<String>) -> Result<Cli, RbvError> {
         all: false,
         json: false,
         governor: false,
+        retry_storm: false,
         wallclock: false,
         drift: false,
         report: false,
+        mmpp: false,
+        guard: false,
         epochs: None,
         seed: None,
         threads: None,
+        requests: None,
+        overload: None,
+        discipline: None,
+        admission: None,
+        shed: None,
+        retries: None,
         trace: None,
         metrics: None,
         out: None,
@@ -96,6 +136,9 @@ fn parse(args: Vec<String>) -> Result<Cli, RbvError> {
             "--all" => cli.all = true,
             "--json" => cli.json = true,
             "--governor" => cli.governor = true,
+            "--retry-storm" => cli.retry_storm = true,
+            "--mmpp" => cli.mmpp = true,
+            "--guard" => cli.guard = true,
             "--wallclock" => cli.wallclock = true,
             "--drift" => cli.drift = true,
             "--report" => cli.report = true,
@@ -143,6 +186,50 @@ fn parse(args: Vec<String>) -> Result<Cli, RbvError> {
                 }
                 cli.min_recall = Some(r);
             }
+            "--requests" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| cli_err("--requests requires a value".into()))?;
+                let n: usize = v
+                    .parse()
+                    .map_err(|_| cli_err(format!("bad request count `{v}`")))?;
+                if n == 0 {
+                    return Err(cli_err("--requests must be at least 1".into()));
+                }
+                cli.requests = Some(n);
+            }
+            "--overload" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| cli_err("--overload requires a value".into()))?;
+                let x: f64 = v
+                    .parse()
+                    .map_err(|_| cli_err(format!("bad overload factor `{v}`")))?;
+                if !x.is_finite() || x <= 0.0 {
+                    return Err(cli_err(format!(
+                        "overload factor {x} must be finite and positive"
+                    )));
+                }
+                cli.overload = Some(x);
+            }
+            "--discipline" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| cli_err("--discipline requires a value".into()))?;
+                cli.discipline = Some(match v.as_str() {
+                    "none" => None,
+                    "dfcfs" => Some(rbv_os::QueueDiscipline::Dfcfs),
+                    "cfcfs" => Some(rbv_os::QueueDiscipline::Cfcfs),
+                    other => {
+                        return Err(cli_err(format!(
+                            "bad discipline `{other}` (none|dfcfs|cfcfs)"
+                        )));
+                    }
+                });
+            }
+            "--admission" => cli.admission = Some(parse_on_off(&mut it, "--admission")?),
+            "--shed" => cli.shed = Some(parse_on_off(&mut it, "--shed")?),
+            "--retries" => cli.retries = Some(parse_on_off(&mut it, "--retries")?),
             "--trace" => {
                 cli.trace = Some(PathBuf::from(
                     it.next()
@@ -168,8 +255,8 @@ fn parse(args: Vec<String>) -> Result<Cli, RbvError> {
                 let pct: f64 = v
                     .parse()
                     .map_err(|_| cli_err(format!("bad tolerance `{v}`")))?;
-                if pct.is_nan() || pct < 0.0 {
-                    return Err(cli_err(format!("tolerance {pct} must be >= 0")));
+                if !pct.is_finite() || pct < 0.0 {
+                    return Err(cli_err(format!("tolerance {pct} must be finite and >= 0")));
                 }
                 cli.tolerance = Some(pct / 100.0);
             }
@@ -258,10 +345,57 @@ fn main() -> ExitCode {
                 return ExitCode::from(2);
             };
             let seed = cli.seed.unwrap_or(42);
-            match rbv_bench::chaoscmd::run(app, seed, fast, cli.min_recall, cli.json, cli.governor)
-            {
+            match rbv_bench::chaoscmd::run(
+                app,
+                seed,
+                fast,
+                cli.min_recall,
+                cli.json,
+                cli.governor,
+                cli.retry_storm,
+            ) {
                 Ok((_, true)) => ExitCode::SUCCESS,
                 Ok((_, false)) => ExitCode::FAILURE,
+                Err(e) => fail(&e),
+            }
+        }
+        "serve" => {
+            let Some(app) = cli
+                .positionals
+                .get(1)
+                .and_then(|a| rbv_bench::experiments::dump::parse_app(a))
+            else {
+                eprintln!("usage: repro serve <web|tpcc|tpch|rubis|webwork> \\");
+                eprintln!("             [--requests N] [--overload X] [--seed N] [--mmpp]");
+                eprintln!("             [--discipline none|dfcfs|cfcfs] [--admission on|off]");
+                eprintln!("             [--shed on|off] [--retries on|off] [--guard]");
+                eprintln!("             [--out SERVE.json] [--json] [--wallclock]");
+                return ExitCode::from(2);
+            };
+            let mut spec = rbv_openloop::ServeSpec::new(
+                app,
+                cli.requests.unwrap_or(10_000),
+                cli.seed.unwrap_or(42),
+            );
+            if let Some(x) = cli.overload {
+                spec.overload = x;
+            }
+            if let Some(d) = cli.discipline {
+                spec.discipline = d;
+            }
+            if let Some(on) = cli.admission {
+                spec.admission = on;
+            }
+            if let Some(on) = cli.shed {
+                spec.shed = on;
+            }
+            if let Some(on) = cli.retries {
+                spec.retries = on;
+            }
+            spec.guard = cli.guard;
+            spec.mmpp = cli.mmpp;
+            match rbv_bench::servecmd::run(&spec, cli.wallclock, cli.out.as_deref(), cli.json) {
+                Ok(_) => ExitCode::SUCCESS,
                 Err(e) => fail(&e),
             }
         }

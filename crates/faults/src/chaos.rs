@@ -141,6 +141,100 @@ pub struct GovernorOutcome {
     pub governed_p99_cpi: f64,
 }
 
+/// Outcome of the retry-storm scenario (opt-in via `repro chaos
+/// --retry-storm`): sustained open-loop overdrive with impatient
+/// clients, run twice — once with the overload defenses (admission,
+/// CoDel shedding, guard ladder) armed and once with them ablated — so
+/// the metastable retry amplification and the goodput the defenses
+/// preserve are both on the record.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RetryStormOutcome {
+    /// Requests offered to each contender.
+    pub offered: usize,
+    /// Completions with the defenses armed.
+    pub defended_completed: u64,
+    /// Completions with admission and shedding ablated.
+    pub undefended_completed: u64,
+    /// Client timeout firings in the undefended storm.
+    pub undefended_timeouts: u64,
+    /// Client resubmissions in the undefended storm.
+    pub undefended_retries: u64,
+    /// Service cycles the undefended storm burned on attempts that were
+    /// later abandoned.
+    pub undefended_wasted_cycles: f64,
+    /// Wasted cycles with the defenses armed (should be far smaller).
+    pub defended_wasted_cycles: f64,
+    /// Requests the armed defenses turned away (admission + CoDel +
+    /// brownout).
+    pub defended_shed: u64,
+    /// Brownout-rung rejections among the defended sheds.
+    pub brownout_rejections: u64,
+    /// Health-ladder transitions the defended run took.
+    pub health_transitions: u64,
+    /// Defended run's final ladder rung; must not be an overload rung.
+    pub final_rung: String,
+    /// Whether the defended ladder ended at or above normal operation.
+    pub recovered: bool,
+}
+
+impl RetryStormOutcome {
+    /// Fraction of offered requests the defended run completed.
+    pub fn defended_goodput(&self) -> f64 {
+        self.defended_completed as f64 / self.offered as f64
+    }
+
+    /// Fraction of offered requests the undefended run completed.
+    pub fn undefended_goodput(&self) -> f64 {
+        self.undefended_completed as f64 / self.offered as f64
+    }
+
+    /// Serializes the retry-storm outcome (the `retry_storm` member of
+    /// the chaos report).
+    pub fn to_json(&self) -> Json {
+        let num = Json::Num;
+        Json::Obj(vec![
+            ("offered".into(), num(self.offered as f64)),
+            (
+                "defended_completed".into(),
+                num(self.defended_completed as f64),
+            ),
+            (
+                "undefended_completed".into(),
+                num(self.undefended_completed as f64),
+            ),
+            ("defended_goodput".into(), num(self.defended_goodput())),
+            ("undefended_goodput".into(), num(self.undefended_goodput())),
+            (
+                "undefended_timeouts".into(),
+                num(self.undefended_timeouts as f64),
+            ),
+            (
+                "undefended_retries".into(),
+                num(self.undefended_retries as f64),
+            ),
+            (
+                "undefended_wasted_cycles".into(),
+                num(self.undefended_wasted_cycles),
+            ),
+            (
+                "defended_wasted_cycles".into(),
+                num(self.defended_wasted_cycles),
+            ),
+            ("defended_shed".into(), num(self.defended_shed as f64)),
+            (
+                "brownout_rejections".into(),
+                num(self.brownout_rejections as f64),
+            ),
+            (
+                "health_transitions".into(),
+                num(self.health_transitions as f64),
+            ),
+            ("final_rung".into(), Json::str(self.final_rung.clone())),
+            ("recovered".into(), Json::Bool(self.recovered)),
+        ])
+    }
+}
+
 impl GovernorOutcome {
     /// Serializes the governed-storm outcome (the `governor` member of
     /// the chaos report and the run ledger's guard section).
@@ -194,6 +288,9 @@ pub struct ChaosReport {
     /// Scenario 5 (opt-in via `repro chaos --governor`): the sampling
     /// governor under the storm.
     pub governor: Option<GovernorOutcome>,
+    /// Scenario 6 (opt-in via `repro chaos --retry-storm`): metastable
+    /// retry amplification, defended vs ablated.
+    pub retry_storm: Option<RetryStormOutcome>,
 }
 
 impl ChaosReport {
@@ -280,6 +377,11 @@ impl ChaosReport {
                     .as_ref()
                     .map(|g| ("governor".into(), g.to_json())),
             )
+            .chain(
+                self.retry_storm
+                    .as_ref()
+                    .map(|s| ("retry_storm".into(), s.to_json())),
+            )
             .collect(),
         )
     }
@@ -363,7 +465,7 @@ pub fn run_matrix_with(
     fast: bool,
     governor: bool,
 ) -> Result<ChaosReport, RbvError> {
-    run_matrix_pooled(app, seed, fast, governor, &rbv_par::Pool::serial())
+    run_matrix_pooled(app, seed, fast, governor, false, &rbv_par::Pool::serial())
 }
 
 /// One scenario's outcome, tagged for ordered collection by
@@ -374,6 +476,7 @@ enum ScenarioResult {
     Overload(OverloadOutcome),
     Easing(EasingStormOutcome),
     Governor(GovernorOutcome),
+    RetryStorm(RetryStormOutcome),
 }
 
 /// Runs the chaos matrix with its scenarios fanned over `pool`.
@@ -394,26 +497,31 @@ pub fn run_matrix_pooled(
     seed: u64,
     fast: bool,
     governor: bool,
+    retry_storm: bool,
     pool: &rbv_par::Pool,
 ) -> Result<ChaosReport, RbvError> {
     let n = requests_of(app, fast);
-    let scenarios: &[u8] = if governor {
-        &[0, 1, 2, 3, 4]
-    } else {
-        &[0, 1, 2, 3]
-    };
-    let results = pool.ordered_map(scenarios, |&which| match which {
+    let mut scenarios: Vec<u8> = vec![0, 1, 2, 3];
+    if governor {
+        scenarios.push(4);
+    }
+    if retry_storm {
+        scenarios.push(5);
+    }
+    let results = pool.ordered_map(&scenarios, |&which| match which {
         0 => scenario_anomaly(app, seed, n).map(ScenarioResult::Anomaly),
         1 => scenario_degradation(app, seed, n).map(ScenarioResult::Degradation),
         2 => scenario_overload(app, seed, n).map(ScenarioResult::Overload),
         3 => easing_storm(app, seed, n).map(ScenarioResult::Easing),
-        _ => governor_storm(app, seed, n).map(ScenarioResult::Governor),
+        4 => governor_storm(app, seed, n).map(ScenarioResult::Governor),
+        _ => scenario_retry_storm(app, seed).map(ScenarioResult::RetryStorm),
     });
     let mut anomaly = None;
     let mut degradation = None;
     let mut overload = None;
     let mut easing = None;
     let mut governor_outcome = None;
+    let mut storm_outcome = None;
     for result in results {
         match result? {
             ScenarioResult::Anomaly(o) => anomaly = Some(o),
@@ -421,6 +529,7 @@ pub fn run_matrix_pooled(
             ScenarioResult::Overload(o) => overload = Some(o),
             ScenarioResult::Easing(o) => easing = Some(o),
             ScenarioResult::Governor(o) => governor_outcome = Some(o),
+            ScenarioResult::RetryStorm(o) => storm_outcome = Some(o),
         }
     }
     Ok(ChaosReport {
@@ -431,6 +540,7 @@ pub fn run_matrix_pooled(
         overload: overload.unwrap_or_else(|| unreachable!("scenario 3 always runs")),
         easing: easing.unwrap_or_else(|| unreachable!("scenario 4 always runs")),
         governor: governor_outcome,
+        retry_storm: storm_outcome,
     })
 }
 
@@ -511,6 +621,44 @@ fn scenario_overload(app: AppId, seed: u64, n: usize) -> Result<OverloadOutcome,
         load_shed: r.stats.load_shed,
         deadline_aborts: r.stats.deadline_aborts,
         p99_latency_micros: r.latency_sketch().p99().unwrap_or(0.0),
+    })
+}
+
+/// Scenario 6: the metastable retry storm. Sustained 4x open-loop
+/// overdrive with impatient retrying clients, served twice through the
+/// `rbv-openloop` harness: once with admission control, CoDel shedding,
+/// and the guard ladder armed, once with all three ablated (clients
+/// still time out and retry). The defended run must preserve strictly
+/// more goodput than the storm it prevents, and its ladder must end
+/// back at a normal operating rung.
+pub fn scenario_retry_storm(app: AppId, seed: u64) -> Result<RetryStormOutcome, RbvError> {
+    // The storm needs a backlog deep enough to outlast client patience;
+    // request counts below a few hundred drain before amplification
+    // sets in, independent of `fast`.
+    let offered = 400;
+    let mut defended = rbv_openloop::ServeSpec::new(app, offered, seed ^ 0x5708);
+    defended.overload = 4.0;
+    defended.guard = true;
+    let mut undefended = defended;
+    undefended.admission = false;
+    undefended.shed = false;
+    undefended.guard = false;
+    let pool = rbv_par::Pool::serial();
+    let d = rbv_openloop::serve(&defended, &pool)?;
+    let u = rbv_openloop::serve(&undefended, &pool)?;
+    Ok(RetryStormOutcome {
+        offered,
+        defended_completed: d.completed,
+        undefended_completed: u.completed,
+        undefended_timeouts: u.client_timeouts,
+        undefended_retries: u.client_retries,
+        undefended_wasted_cycles: u.wasted_cycles,
+        defended_wasted_cycles: d.wasted_cycles,
+        defended_shed: d.shed_total(),
+        brownout_rejections: d.failed_by_reason[4],
+        health_transitions: d.health_transitions,
+        final_rung: d.final_rung.label().to_string(),
+        recovered: d.recovered(),
     })
 }
 
@@ -720,6 +868,42 @@ pub fn summarize<W: Write>(report: &ChaosReport, out: &mut W) -> io::Result<()> 
         writeln!(out, "  stock p99 CPI            {:.3}", g.stock_p99_cpi)?;
         writeln!(out, "  governed p99 CPI         {:.3}", g.governed_p99_cpi)?;
     }
+
+    if let Some(s) = &report.retry_storm {
+        writeln!(out)?;
+        writeln!(out, "retry storm (4x overdrive, impatient clients):")?;
+        writeln!(
+            out,
+            "  goodput defended/ablated {:.3} / {:.3}",
+            s.defended_goodput(),
+            s.undefended_goodput()
+        )?;
+        writeln!(
+            out,
+            "  storm timeouts/retries   {} / {}",
+            s.undefended_timeouts, s.undefended_retries
+        )?;
+        writeln!(
+            out,
+            "  wasted cycles def/abl    {:.2e} / {:.2e}",
+            s.defended_wasted_cycles, s.undefended_wasted_cycles
+        )?;
+        writeln!(
+            out,
+            "  defended shed (brownout) {} ({})",
+            s.defended_shed, s.brownout_rejections
+        )?;
+        writeln!(
+            out,
+            "  ladder transitions       {} (final rung {})",
+            s.health_transitions, s.final_rung
+        )?;
+        writeln!(
+            out,
+            "  recovered                {}",
+            if s.recovered { "yes" } else { "NO" }
+        )?;
+    }
     Ok(())
 }
 
@@ -758,6 +942,36 @@ mod tests {
             parsed.get("windows").and_then(Json::as_f64),
             Some(g.windows as f64)
         );
+    }
+
+    #[test]
+    fn retry_storm_defenses_preserve_goodput_and_recover() {
+        // The acceptance criteria of the retry-storm scenario, at the
+        // exact seed the CI smoke step uses: the armed defenses keep
+        // goodput strictly above the no-defense ablation, the ablation
+        // actually storms, and the guard ladder does not stay on an
+        // overload rung after the storm drains.
+        let s = scenario_retry_storm(AppId::WebServer, 42).expect("storm runs");
+        assert!(
+            s.undefended_timeouts > 100 && s.undefended_retries > 100,
+            "ablated run did not storm: {} timeouts, {} retries",
+            s.undefended_timeouts,
+            s.undefended_retries
+        );
+        assert!(
+            s.defended_goodput() > s.undefended_goodput(),
+            "defenses lost goodput: {:.3} <= {:.3}",
+            s.defended_goodput(),
+            s.undefended_goodput()
+        );
+        assert!(
+            s.defended_wasted_cycles < s.undefended_wasted_cycles,
+            "defenses wasted more cycles than the storm"
+        );
+        assert!(s.recovered, "ladder stuck on {}", s.final_rung);
+        // Deterministic: the scenario is a pure function of (app, seed).
+        let again = scenario_retry_storm(AppId::WebServer, 42).expect("storm runs");
+        assert_eq!(s, again);
     }
 
     #[test]

@@ -56,7 +56,9 @@ pub mod drift;
 pub mod inject;
 pub mod plan;
 
-pub use chaos::{run_matrix, run_matrix_pooled, ChaosReport};
+pub use chaos::{
+    run_matrix, run_matrix_pooled, scenario_retry_storm, ChaosReport, RetryStormOutcome,
+};
 pub use detect::{detect_anomalies, score, DetectorConfig, PrecisionRecall};
 pub use drift::{DriftScenario, FIRST_DRIFT_EPOCH};
 pub use inject::{FaultyFactory, InjectedFault};

@@ -122,9 +122,15 @@ fn chaos_matrix_is_identical_across_thread_counts() {
     let app = AppId::WebServer;
     let serial = rbv_faults::run_matrix(app, 42, true).expect("serial matrix");
     for threads in [2, 5] {
-        let pooled =
-            rbv_faults::run_matrix_pooled(app, 42, true, false, &rbv_par::Pool::new(threads))
-                .expect("pooled matrix");
+        let pooled = rbv_faults::run_matrix_pooled(
+            app,
+            42,
+            true,
+            false,
+            false,
+            &rbv_par::Pool::new(threads),
+        )
+        .expect("pooled matrix");
         assert_eq!(serial, pooled, "chaos report diverged at {threads} threads");
     }
 }

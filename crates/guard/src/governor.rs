@@ -46,6 +46,16 @@ pub struct WindowSample {
     /// Running relative prediction error of the easing predictor (the
     /// counter-noise variance proxy; 0 when no predictions were made).
     pub noise_ewma: f64,
+    /// Open-loop arrivals offered this window (0 in closed-loop runs, so
+    /// the overload-pressure score stays 0 and the ladder never enters
+    /// the shed/brownout band).
+    pub offered: u64,
+    /// Arrivals rejected or shed this window (admission rejections,
+    /// CoDel sheds, deadline aborts, brownout rejections).
+    pub rejected: u64,
+    /// Deepest runqueue at window close as a fraction of the admission
+    /// bound (clamped to [0, 1]; 0 when admission is unbounded).
+    pub queue_frac: f64,
 }
 
 impl WindowSample {

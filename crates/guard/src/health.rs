@@ -21,6 +21,23 @@
 //! thresholds is the hysteresis band, and [`HealthPolicy::dwell`] imposes
 //! a minimum simulated time between any two transitions, so the ladder
 //! cannot flap even when the score oscillates around a threshold.
+//!
+//! Below [`LadderRung::Stock`] the ladder continues into *overload*
+//! territory, driven not by measurement health but by a separate
+//! overload-pressure score (admission rejections, sheds, and queue
+//! depth):
+//!
+//! 4. [`LadderRung::Shed`] — admission tightens and CoDel-style queue
+//!    shedding becomes more aggressive;
+//! 5. [`LadderRung::Brownout`] — a deterministic fraction of new arrivals
+//!    is rejected outright to protect goodput of the admitted rest.
+//!
+//! Health-driven degradation is capped at `Stock`; only sustained
+//! pressure above [`HealthPolicy::shed_above`] pushes the ladder into
+//! `Shed`/`Brownout`, and pressure must fall below
+//! [`HealthPolicy::pressure_recover_below`] before the ladder climbs back
+//! to `Stock`. Zero-pressure windows therefore reproduce the original
+//! three-rung behavior bit for bit.
 
 use crate::governor::WindowSample;
 use rbv_sim::Cycles;
@@ -35,14 +52,21 @@ pub enum LadderRung {
     FrozenPredictions,
     /// Stock FIFO scheduling; no easing decisions at all.
     Stock,
+    /// Overload: admission tightens, queue shedding turns aggressive.
+    Shed,
+    /// Severe overload: a deterministic fraction of arrivals is rejected
+    /// outright before admission.
+    Brownout,
 }
 
 impl LadderRung {
     /// Every rung, healthiest first.
-    pub const ALL: [LadderRung; 3] = [
+    pub const ALL: [LadderRung; 5] = [
         LadderRung::Easing,
         LadderRung::FrozenPredictions,
         LadderRung::Stock,
+        LadderRung::Shed,
+        LadderRung::Brownout,
     ];
 
     /// Stable lowercase label for telemetry and the ledger.
@@ -51,6 +75,8 @@ impl LadderRung {
             LadderRung::Easing => "easing",
             LadderRung::FrozenPredictions => "frozen_predictions",
             LadderRung::Stock => "stock",
+            LadderRung::Shed => "shed",
+            LadderRung::Brownout => "brownout",
         }
     }
 
@@ -59,17 +85,40 @@ impl LadderRung {
         *self as usize
     }
 
+    /// Whether this rung is in the overload band (`Shed` or below), where
+    /// the engine tightens admission and sheds queue backlog.
+    pub fn is_overloaded(&self) -> bool {
+        self.index() > LadderRung::Stock.index()
+    }
+
+    /// Health-driven degradation: one rung down, capped at `Stock`. The
+    /// overload rungs below are entered only on pressure (see
+    /// [`HealthLadder::observe`]).
     fn degraded(self) -> LadderRung {
         match self {
             LadderRung::Easing => LadderRung::FrozenPredictions,
-            _ => LadderRung::Stock,
+            LadderRung::FrozenPredictions => LadderRung::Stock,
+            other => other,
         }
     }
 
     fn recovered(self) -> LadderRung {
         match self {
+            LadderRung::Brownout => LadderRung::Shed,
+            LadderRung::Shed => LadderRung::Stock,
             LadderRung::Stock => LadderRung::FrozenPredictions,
             _ => LadderRung::Easing,
+        }
+    }
+
+    /// Pressure-driven degradation: one rung down with no cap — sustained
+    /// overload walks the ladder all the way to `Brownout`.
+    fn pressured(self) -> LadderRung {
+        match self {
+            LadderRung::Easing => LadderRung::FrozenPredictions,
+            LadderRung::FrozenPredictions => LadderRung::Stock,
+            LadderRung::Stock => LadderRung::Shed,
+            _ => LadderRung::Brownout,
         }
     }
 }
@@ -98,6 +147,13 @@ pub struct HealthPolicy {
     pub noise_ref: f64,
     /// Smoothing factor for the score EWMA (weight of the new window).
     pub alpha: f64,
+    /// Degrade one rung toward `Shed`/`Brownout` when the smoothed
+    /// overload pressure rises above this.
+    pub shed_above: f64,
+    /// Recover one rung out of the overload band when the smoothed
+    /// pressure falls below this; must be below `shed_above` (the gap is
+    /// the overload hysteresis band).
+    pub pressure_recover_below: f64,
 }
 
 impl Default for HealthPolicy {
@@ -112,6 +168,8 @@ impl Default for HealthPolicy {
             w_stale: 0.2,
             noise_ref: 0.35,
             alpha: 0.5,
+            shed_above: 0.5,
+            pressure_recover_below: 0.2,
         }
     }
 }
@@ -164,6 +222,18 @@ impl HealthPolicy {
                 self.alpha
             ));
         }
+        if !(self.shed_above > 0.0 && self.shed_above <= 1.0) {
+            return Err(format!(
+                "health shed_above must be in (0, 1], got {}",
+                self.shed_above
+            ));
+        }
+        if !(self.pressure_recover_below > 0.0 && self.pressure_recover_below < self.shed_above) {
+            return Err(format!(
+                "health pressure_recover_below must be in (0, shed_above), got {}",
+                self.pressure_recover_below
+            ));
+        }
         Ok(())
     }
 
@@ -191,6 +261,22 @@ impl HealthPolicy {
             + self.w_stale * stale;
         (1.0 - penalty).clamp(0.0, 1.0)
     }
+
+    /// Scores one window's overload pressure in [0, 1] (0 = no overload).
+    ///
+    /// Weighs the rejection rate (admission rejections + sheds per
+    /// offered arrival) against queue depth relative to the admission
+    /// bound. A window with no arrivals and empty queues scores 0, so
+    /// closed-loop runs never see the overload rungs.
+    pub fn pressure(&self, window: &WindowSample) -> f64 {
+        let reject_rate = if window.offered > 0 {
+            (window.rejected as f64 / window.offered as f64).clamp(0.0, 1.0)
+        } else {
+            0.0
+        };
+        let queue = window.queue_frac.clamp(0.0, 1.0);
+        (0.6 * reject_rate + 0.4 * queue).clamp(0.0, 1.0)
+    }
 }
 
 /// A ladder transition, as reported to telemetry.
@@ -200,8 +286,10 @@ pub struct LadderTransition {
     pub from: LadderRung,
     /// The rung the ladder entered.
     pub to: LadderRung,
-    /// The smoothed health score that triggered the move.
+    /// The smoothed health score at the time of the move.
     pub score: f64,
+    /// The smoothed overload pressure at the time of the move.
+    pub pressure: f64,
 }
 
 /// The degradation-ladder state machine.
@@ -210,6 +298,7 @@ pub struct HealthLadder {
     policy: HealthPolicy,
     rung: LadderRung,
     smoothed: f64,
+    pressure_smoothed: f64,
     primed: bool,
     last_transition: Option<Cycles>,
     transitions: u64,
@@ -222,6 +311,7 @@ impl HealthLadder {
             policy,
             rung: LadderRung::Easing,
             smoothed: 1.0,
+            pressure_smoothed: 0.0,
             primed: false,
             last_transition: None,
             transitions: 0,
@@ -238,28 +328,53 @@ impl HealthLadder {
         self.smoothed
     }
 
+    /// The smoothed overload pressure (0 before any observation).
+    pub fn pressure(&self) -> f64 {
+        self.pressure_smoothed
+    }
+
     /// Transitions taken so far.
     pub fn transitions(&self) -> u64 {
         self.transitions
     }
 
-    /// Scores one window, updates the smoothed score, and moves at most
-    /// one rung — but never within [`HealthPolicy::dwell`] of the
-    /// previous transition.
+    /// Scores one window, updates the smoothed health and pressure, and
+    /// moves at most one rung — but never within [`HealthPolicy::dwell`]
+    /// of the previous transition.
+    ///
+    /// Pressure outranks health: a window over
+    /// [`HealthPolicy::shed_above`] pushes the ladder one rung down
+    /// (toward `Brownout`) regardless of the health score, and the ladder
+    /// cannot climb out of the overload band until pressure falls below
+    /// [`HealthPolicy::pressure_recover_below`]. With zero pressure the
+    /// original three-rung health behavior is reproduced exactly —
+    /// health-driven degradation is capped at `Stock`.
     pub fn observe(&mut self, window: &WindowSample, now: Cycles) -> Option<LadderTransition> {
         let score = self.policy.score(window);
-        self.smoothed = if self.primed {
-            (1.0 - self.policy.alpha) * self.smoothed + self.policy.alpha * score
+        let pressure = self.policy.pressure(window);
+        if self.primed {
+            self.smoothed = (1.0 - self.policy.alpha) * self.smoothed + self.policy.alpha * score;
+            self.pressure_smoothed =
+                (1.0 - self.policy.alpha) * self.pressure_smoothed + self.policy.alpha * pressure;
         } else {
             self.primed = true;
-            score
-        };
+            self.smoothed = score;
+            self.pressure_smoothed = pressure;
+        }
         if let Some(last) = self.last_transition {
             if now.saturating_sub(last) < self.policy.dwell {
                 return None;
             }
         }
-        let next = if self.smoothed < self.policy.degrade_below {
+        let next = if self.pressure_smoothed > self.policy.shed_above {
+            self.rung.pressured()
+        } else if self.rung.is_overloaded() {
+            if self.pressure_smoothed < self.policy.pressure_recover_below {
+                self.rung.recovered()
+            } else {
+                self.rung
+            }
+        } else if self.smoothed < self.policy.degrade_below {
             self.rung.degraded()
         } else if self.smoothed > self.policy.recover_above {
             self.rung.recovered()
@@ -273,6 +388,7 @@ impl HealthLadder {
             from: self.rung,
             to: next,
             score: self.smoothed,
+            pressure: self.pressure_smoothed,
         };
         self.rung = next;
         self.last_transition = Some(now);
@@ -285,6 +401,7 @@ impl HealthLadder {
         Json::Obj(vec![
             ("rung".into(), Json::str(self.rung.label())),
             ("score".into(), Json::Num(self.smoothed)),
+            ("pressure".into(), Json::Num(self.pressure_smoothed)),
             ("transitions".into(), Json::Num(self.transitions as f64)),
         ])
     }
@@ -304,6 +421,19 @@ mod tests {
             starvation_windows: 3,
             staleness_frac: 1.0,
             noise_ewma: 1.0,
+            ..WindowSample::default()
+        }
+    }
+
+    fn overloaded() -> WindowSample {
+        WindowSample {
+            busy_cycles: 1e6,
+            sampling_cycles: 1e3,
+            samples: 50,
+            offered: 100,
+            rejected: 90,
+            queue_frac: 1.0,
+            ..WindowSample::default()
         }
     }
 
@@ -428,5 +558,122 @@ mod tests {
             assert_eq!(rung.index(), i);
         }
         assert_eq!(LadderRung::FrozenPredictions.label(), "frozen_predictions");
+        assert_eq!(LadderRung::Shed.label(), "shed");
+        assert_eq!(LadderRung::Brownout.label(), "brownout");
+        assert!(LadderRung::Shed.is_overloaded());
+        assert!(LadderRung::Brownout.is_overloaded());
+        assert!(!LadderRung::Stock.is_overloaded());
+    }
+
+    #[test]
+    fn pressure_is_zero_without_arrivals_and_high_under_rejections() {
+        let p = HealthPolicy::default();
+        assert_eq!(p.pressure(&healthy()), 0.0);
+        assert_eq!(p.pressure(&sick()), 0.0, "health faults are not pressure");
+        assert!(p.pressure(&overloaded()) > 0.9);
+    }
+
+    #[test]
+    fn sustained_pressure_walks_the_ladder_into_brownout() {
+        let mut ladder = HealthLadder::new(HealthPolicy::default());
+        let dwell = HealthPolicy::default().dwell;
+        let mut now = Cycles::new(1);
+        let mut rungs = vec![];
+        for _ in 0..8 {
+            if let Some(t) = ladder.observe(&overloaded(), now) {
+                rungs.push(t.to);
+            }
+            now += dwell;
+        }
+        assert_eq!(
+            rungs,
+            vec![
+                LadderRung::FrozenPredictions,
+                LadderRung::Stock,
+                LadderRung::Shed,
+                LadderRung::Brownout,
+            ],
+            "one rung per dwell, all the way down"
+        );
+        assert_eq!(ladder.rung(), LadderRung::Brownout);
+    }
+
+    #[test]
+    fn overload_band_recovers_only_when_pressure_clears() {
+        let mut ladder = HealthLadder::new(HealthPolicy::default());
+        let dwell = HealthPolicy::default().dwell;
+        let mut now = Cycles::new(1);
+        for _ in 0..8 {
+            ladder.observe(&overloaded(), now);
+            now += dwell;
+        }
+        assert_eq!(ladder.rung(), LadderRung::Brownout);
+        // Healthy but still-pressured windows hold the rung.
+        let lingering = WindowSample {
+            offered: 100,
+            rejected: 40,
+            queue_frac: 0.5,
+            ..healthy()
+        };
+        let p = HealthPolicy::default();
+        let lp = p.pressure(&lingering);
+        assert!(
+            lp < p.shed_above && lp > p.pressure_recover_below,
+            "fixture must land in the pressure band, got {lp}"
+        );
+        for _ in 0..6 {
+            assert!(ladder.observe(&lingering, now).is_none());
+            now += dwell;
+        }
+        assert_eq!(ladder.rung(), LadderRung::Brownout);
+        // Pressure clears: one rung back per dwell, through Shed and
+        // Stock, then the health path resumes toward Easing.
+        let mut rungs = vec![];
+        for _ in 0..10 {
+            if let Some(t) = ladder.observe(&healthy(), now) {
+                rungs.push(t.to);
+            }
+            now += dwell;
+        }
+        assert_eq!(
+            rungs,
+            vec![
+                LadderRung::Shed,
+                LadderRung::Stock,
+                LadderRung::FrozenPredictions,
+                LadderRung::Easing,
+            ]
+        );
+    }
+
+    #[test]
+    fn zero_pressure_keeps_stock_as_the_health_floor() {
+        let mut ladder = HealthLadder::new(HealthPolicy::default());
+        let dwell = HealthPolicy::default().dwell;
+        let mut now = Cycles::new(1);
+        for _ in 0..10 {
+            ladder.observe(&sick(), now);
+            now += dwell;
+        }
+        assert_eq!(
+            ladder.rung(),
+            LadderRung::Stock,
+            "health faults alone never reach the overload band"
+        );
+    }
+
+    #[test]
+    fn pressure_bands_are_validated() {
+        let bad = HealthPolicy {
+            shed_above: 0.2,
+            pressure_recover_below: 0.5,
+            ..HealthPolicy::default()
+        };
+        assert!(bad.validate().is_err());
+        let nan = HealthPolicy {
+            shed_above: f64::NAN,
+            ..HealthPolicy::default()
+        };
+        assert!(nan.validate().is_err());
     }
 }

@@ -97,6 +97,7 @@ proptest! {
                 starvation_windows: 0,
                 staleness_frac: staleness,
                 noise_ewma: noise,
+                ..WindowSample::default()
             };
             let before = ladder.rung();
             if let Some(t) = ladder.observe(&window, now) {

@@ -1,0 +1,682 @@
+//! Open-loop serving harness for the Request Behavior Variations
+//! reproduction: `repro serve` drives an application with a seeded
+//! open-loop arrival process (Poisson or bursty MMPP) at a chosen
+//! multiple of its measured capacity, with the overload defenses —
+//! admission control, CoDel-style shedding, client timeout/retry — as
+//! independent ablation switches.
+//!
+//! Two properties make million-request runs practical:
+//!
+//! * **Bounded memory.** Completed and failed requests are folded into
+//!   [`QuantileSketch`] digests and counters as they finish
+//!   ([`rbv_os::CompletionSink`]); nothing per-request is retained, so
+//!   memory is O(live requests), not O(total requests).
+//! * **Thread-count-independent determinism.** The run is split into a
+//!   fixed shard plan that depends only on the request count — never on
+//!   `--threads` — and each shard is an independent simulation seeded by
+//!   a SplitMix64 hash of `(seed, shard index)`. Shard digests merge in
+//!   shard order, so the serialized ledger is byte-identical at any
+//!   thread count (wall-clock throughput is opt-in and excluded).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
+use rbv_os::{
+    run_simulation, run_simulation_streaming, ArrivalProcess, ClientPolicy, CompletedRequest,
+    CompletionSink, FailReason, FailedRequest, GovernorPolicy, LadderRung, OverloadPolicy,
+    QueueDiscipline, RbvError, ShedPolicy, SimConfig,
+};
+use rbv_sim::Cycles;
+use rbv_telemetry::{Json, QuantileSketch};
+use rbv_workloads::{factory_for, AppId};
+
+/// Schema tag embedded in every serve ledger; bumped on layout changes.
+pub const SCHEMA: &str = "rbv-serve/v1";
+
+/// Target requests per shard. Small enough that a million-request run
+/// fans out to the shard cap, large enough that per-shard warmup (the
+/// first arrivals landing on an idle machine) stays in the noise.
+const SHARD_TARGET: usize = 32_768;
+
+/// Shard-count cap: fixing the plan at ≤ 64 shards keeps the plan
+/// independent of the worker pool while still saturating any thread
+/// count the CLI accepts.
+const MAX_SHARDS: usize = 64;
+
+/// The failure reasons a serve ledger itemizes, in slot order.
+const REASONS: [FailReason; 5] = [
+    FailReason::AdmissionShed,
+    FailReason::DeadlineAbort,
+    FailReason::ClientTimeout,
+    FailReason::CodelShed,
+    FailReason::BrownoutReject,
+];
+
+/// SplitMix64 finalizer used to derive independent shard seeds — same
+/// constants as the warehouse sharder and the engine's decision hashes.
+fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Harness scale for the long-request applications (mirrors the bench
+/// and chaos harnesses so serve runs finish in reasonable time).
+fn scale_of(app: AppId) -> f64 {
+    match app {
+        AppId::Tpch => 0.5,
+        AppId::Webwork => 0.1,
+        _ => 1.0,
+    }
+}
+
+fn reason_slot(reason: FailReason) -> usize {
+    match reason {
+        FailReason::AdmissionShed => 0,
+        FailReason::DeadlineAbort => 1,
+        FailReason::ClientTimeout => 2,
+        FailReason::CodelShed => 3,
+        FailReason::BrownoutReject => 4,
+    }
+}
+
+fn cycles_at_least_one(value: f64) -> Cycles {
+    Cycles::new(value.max(1.0) as u64)
+}
+
+/// Everything `repro serve <app>` needs to know: the offered load and
+/// which overload defenses are armed. Defenses default **on**; the
+/// ablation flags turn them off one at a time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ServeSpec {
+    /// Application under test.
+    pub app: AppId,
+    /// Total requests to offer (across all shards).
+    pub requests: usize,
+    /// Offered load as a multiple of measured capacity: 1.0 matches the
+    /// service rate of all cores, 2.0 offers twice what the machine can
+    /// complete.
+    pub overload: f64,
+    /// Front-end queue discipline; `None` keeps the engine's default
+    /// least-loaded placement.
+    pub discipline: Option<QueueDiscipline>,
+    /// Deadline-based admission control (bounded runqueues + deadline).
+    pub admission: bool,
+    /// CoDel-style dequeue-time shedding.
+    pub shed: bool,
+    /// Impatient clients: timeout, capped exponential backoff, retry.
+    pub retries: bool,
+    /// Arm the runtime guard (sampling governor + health ladder +
+    /// invariant monitor) so sustained overload can walk the ladder down
+    /// to its shed and brownout rungs.
+    pub guard: bool,
+    /// Bursty MMPP arrivals instead of plain Poisson.
+    pub mmpp: bool,
+    /// Seed of the whole run; shard seeds derive from it.
+    pub seed: u64,
+}
+
+impl ServeSpec {
+    /// A fully-defended Poisson run at moderate overload.
+    pub fn new(app: AppId, requests: usize, seed: u64) -> ServeSpec {
+        ServeSpec {
+            app,
+            requests,
+            overload: 1.5,
+            discipline: None,
+            admission: true,
+            shed: true,
+            retries: true,
+            guard: false,
+            mmpp: false,
+            seed,
+        }
+    }
+
+    /// Checks field sanity.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RbvError::Config`] naming the first inconsistent field.
+    pub fn validate(&self) -> Result<(), RbvError> {
+        if self.requests == 0 {
+            return Err(RbvError::Config("serve requires at least 1 request".into()));
+        }
+        if !self.overload.is_finite() || self.overload <= 0.0 {
+            return Err(RbvError::Config(
+                "serve overload factor must be finite and positive".into(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Mean per-request CPU cycles from a small clean serial probe — the
+/// yardstick serve sizes its arrival rate, deadline, shedding target,
+/// and client patience against (same idiom as the chaos overload
+/// scenario, on its own seed stream).
+///
+/// # Errors
+///
+/// Propagates [`RbvError`] from configuration validation.
+pub fn probe_mean_service(app: AppId, seed: u64) -> Result<f64, RbvError> {
+    let mut cfg = SimConfig::paper_default().with_interrupt_sampling(app.sampling_period_micros());
+    cfg.seed = seed ^ 0x5EED_0B5E;
+    let cfg = cfg.serial();
+    let mut factory = factory_for(app, seed ^ 0x5EED_0B5E, scale_of(app));
+    let result = run_simulation(cfg, factory.as_mut(), 8)?;
+    let total: f64 = result
+        .completed
+        .iter()
+        .map(CompletedRequest::cpu_cycles)
+        .sum();
+    Ok((total / result.completed.len() as f64).max(1.0))
+}
+
+/// The streaming sink: completed and failed requests fold into digests
+/// and counters by reference and are dropped — the bounded-memory half
+/// of the serve contract.
+#[derive(Debug, Clone, Default, PartialEq)]
+struct ServeAccumulator {
+    completed: u64,
+    failed_by_reason: [u64; 5],
+    latency_us: QuantileSketch,
+    cpu_cycles: QuantileSketch,
+}
+
+impl CompletionSink for ServeAccumulator {
+    fn on_complete(&mut self, request: &CompletedRequest) {
+        self.completed += 1;
+        self.latency_us
+            .observe(request.latency().as_f64() / 3_000.0);
+        self.cpu_cycles.observe(request.cpu_cycles());
+    }
+
+    fn on_fail(&mut self, request: &FailedRequest) {
+        self.failed_by_reason[reason_slot(request.reason)] += 1;
+    }
+}
+
+/// One shard's digest, merged in shard order by [`serve`].
+struct ShardOutput {
+    acc: ServeAccumulator,
+    stats: rbv_os::RunStats,
+    total_time: Cycles,
+}
+
+/// The shard plan: per-shard request counts summing to `requests`,
+/// a pure function of the request count alone.
+fn shard_plan(requests: usize, shard_target: usize) -> Vec<usize> {
+    let shards = requests.div_ceil(shard_target.max(1)).clamp(1, MAX_SHARDS);
+    let base = requests / shards;
+    let rem = requests % shards;
+    (0..shards).map(|i| base + usize::from(i < rem)).collect()
+}
+
+/// Builds the shard's simulation config from the spec and the probed
+/// mean service time.
+fn shard_config(spec: &ServeSpec, mean_service: f64, shard_seed: u64) -> SimConfig {
+    let mut cfg =
+        SimConfig::paper_default().with_interrupt_sampling(spec.app.sampling_period_micros());
+    cfg.seed = shard_seed;
+    let cores = cfg.machine.topology.cores as f64;
+    // Offered rate = overload × capacity; capacity = cores / mean service.
+    let base_gap = (mean_service / (cores * spec.overload)).max(1.0);
+    cfg.arrivals = if spec.mmpp {
+        // Calm/burst gaps straddle the Poisson gap so the long-run
+        // offered load stays near the same overload factor while the
+        // burst state transiently doubles it.
+        ArrivalProcess::OpenMmpp {
+            mean_interarrival: cycles_at_least_one(base_gap * 1.5),
+            burst_mean_interarrival: cycles_at_least_one(base_gap * 0.5),
+            mean_calm_dwell: cycles_at_least_one(mean_service * 64.0),
+            mean_burst_dwell: cycles_at_least_one(mean_service * 32.0),
+        }
+    } else {
+        ArrivalProcess::OpenPoisson {
+            mean_interarrival: cycles_at_least_one(base_gap),
+        }
+    };
+    cfg.queue_discipline = spec.discipline;
+    if spec.admission {
+        cfg.overload = Some(OverloadPolicy {
+            max_runqueue: 4,
+            deadline: Some(cycles_at_least_one(mean_service * 8.0)),
+            max_retries: 3,
+            retry_backoff: cycles_at_least_one(mean_service / 4.0),
+        });
+    }
+    if spec.shed {
+        cfg.shed = Some(ShedPolicy {
+            target: cycles_at_least_one(mean_service * 4.0),
+            interval: cycles_at_least_one(mean_service * 16.0),
+        });
+    }
+    if spec.retries {
+        cfg.client = Some(ClientPolicy {
+            timeout: cycles_at_least_one(mean_service * 12.0),
+            max_retries: 3,
+            retry_backoff: cycles_at_least_one(mean_service),
+        });
+    }
+    if spec.guard {
+        cfg.governor = Some(GovernorPolicy::default());
+    }
+    cfg
+}
+
+/// Runs one shard to completion through the streaming sink and checks
+/// request conservation before returning its digest.
+fn run_shard(
+    spec: &ServeSpec,
+    mean_service: f64,
+    shard_index: usize,
+    n: usize,
+) -> Result<ShardOutput, RbvError> {
+    let shard_seed =
+        splitmix64(splitmix64(spec.seed ^ 0x0be7_10c4).wrapping_add(shard_index as u64));
+    let cfg = shard_config(spec, mean_service, shard_seed);
+    let mut factory = factory_for(spec.app, shard_seed, scale_of(spec.app));
+    let mut acc = ServeAccumulator::default();
+    let result = run_simulation_streaming(cfg, factory.as_mut(), n, &mut acc)?;
+    let failed: u64 = acc.failed_by_reason.iter().sum();
+    if acc.completed + failed != n as u64 {
+        // Request conservation: every offered request must end completed
+        // or failed exactly once. A violation is an engine bug, not a
+        // user error — surface it loudly rather than folding it in.
+        return Err(RbvError::Config(format!(
+            "shard {shard_index}: conservation violated ({} completed + {failed} failed != {n} offered)",
+            acc.completed
+        )));
+    }
+    Ok(ShardOutput {
+        acc,
+        stats: result.stats,
+        total_time: result.total_time,
+    })
+}
+
+/// Everything one serve run reports: the goodput/shed/retry/deadline
+/// ledger plus merged latency and CPU digests.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeReport {
+    /// The spec that produced this report.
+    pub spec: ServeSpec,
+    /// Shards the run fanned out to.
+    pub shards: u64,
+    /// Probed mean per-request service cycles (the capacity yardstick).
+    pub mean_service_cycles: f64,
+    /// Requests that completed.
+    pub completed: u64,
+    /// Failures itemized by reason, in [`FailReason`] slot order
+    /// (shed, deadline, timeout, codel, brownout).
+    pub failed_by_reason: [u64; 5],
+    /// Client timeout firings (including ones the client retried past).
+    pub client_timeouts: u64,
+    /// Client resubmissions after timeouts.
+    pub client_retries: u64,
+    /// Admission-control rejections (per attempt).
+    pub admission_rejections: u64,
+    /// Admission retries after backoff.
+    pub admission_retries: u64,
+    /// CPU cycles spent on attempts that were later aborted or shed.
+    pub wasted_cycles: f64,
+    /// Health-ladder transitions across all shards (0 unless `guard`).
+    pub health_transitions: u64,
+    /// Worst (most degraded) final ladder rung across shards; the
+    /// healthy "easing" label when the guard is off or never moved.
+    pub final_rung: LadderRung,
+    /// Total busy cycles across all shards.
+    pub busy_cycles: f64,
+    /// Sum of simulated time across shards, cycles.
+    pub simulated_cycles: f64,
+    /// End-to-end latency digest of completed requests, microseconds.
+    pub latency_us: QuantileSketch,
+    /// Per-request CPU cycle digest of completed requests.
+    pub cpu_cycles: QuantileSketch,
+    /// Wall-clock duration of the run, seconds. Opt-in (`--wallclock`);
+    /// `None` keeps the serialized ledger a pure function of the spec,
+    /// which the thread-count byte-identity gate relies on.
+    pub wall_seconds: Option<f64>,
+}
+
+impl ServeReport {
+    /// Requests offered (= completed + failed, by conservation).
+    pub fn offered(&self) -> u64 {
+        self.spec.requests as u64
+    }
+
+    /// Total failures across all reasons.
+    pub fn failed(&self) -> u64 {
+        self.failed_by_reason.iter().sum()
+    }
+
+    /// Fraction of offered requests that completed — the metric the
+    /// overload defenses exist to protect.
+    pub fn goodput_frac(&self) -> f64 {
+        self.completed as f64 / self.spec.requests as f64
+    }
+
+    /// Requests turned away by any shedding mechanism (admission,
+    /// CoDel, brownout) — as opposed to client-side abandonment.
+    pub fn shed_total(&self) -> u64 {
+        self.failed_by_reason[0] + self.failed_by_reason[3] + self.failed_by_reason[4]
+    }
+
+    /// Requests that blew their end-to-end deadline.
+    pub fn deadline_misses(&self) -> u64 {
+        self.failed_by_reason[1]
+    }
+
+    /// Whether every shard's ladder ended at or above its normal
+    /// operating rung — the overload rungs (shed, brownout) must not
+    /// outlive the storm.
+    pub fn recovered(&self) -> bool {
+        !self.final_rung.is_overloaded()
+    }
+
+    /// Simulated requests resolved per wall-clock second, when wall
+    /// timing was recorded.
+    pub fn sim_requests_per_wall_second(&self) -> Option<f64> {
+        self.wall_seconds
+            .filter(|s| *s > 0.0)
+            .map(|s| self.spec.requests as f64 / s)
+    }
+
+    /// Serializes the report. Key order is fixed and wall-clock fields
+    /// are segregated under `"profile"` (absent unless recorded), so two
+    /// runs of the same spec serialize byte-identically at any thread
+    /// count.
+    pub fn to_json(&self) -> Json {
+        let num = Json::Num;
+        let arrivals = if self.spec.mmpp { "mmpp" } else { "poisson" };
+        let discipline = self.spec.discipline.map_or("none", QueueDiscipline::label);
+        let failed = Json::Obj(
+            REASONS
+                .iter()
+                .enumerate()
+                .map(|(slot, reason)| {
+                    (
+                        reason.label().to_string(),
+                        num(self.failed_by_reason[slot] as f64),
+                    )
+                })
+                .collect(),
+        );
+        let ledger = Json::Obj(vec![
+            ("offered".into(), num(self.offered() as f64)),
+            ("completed".into(), num(self.completed as f64)),
+            ("goodput_frac".into(), num(self.goodput_frac())),
+            ("failed".into(), failed),
+            ("shed_total".into(), num(self.shed_total() as f64)),
+            ("deadline_misses".into(), num(self.deadline_misses() as f64)),
+            ("client_timeouts".into(), num(self.client_timeouts as f64)),
+            ("client_retries".into(), num(self.client_retries as f64)),
+            (
+                "admission_rejections".into(),
+                num(self.admission_rejections as f64),
+            ),
+            (
+                "admission_retries".into(),
+                num(self.admission_retries as f64),
+            ),
+            ("wasted_cycles".into(), num(self.wasted_cycles)),
+            ("busy_cycles".into(), num(self.busy_cycles)),
+            ("simulated_cycles".into(), num(self.simulated_cycles)),
+            (
+                "health_transitions".into(),
+                num(self.health_transitions as f64),
+            ),
+            ("final_rung".into(), Json::str(self.final_rung.label())),
+            ("recovered".into(), Json::Bool(self.recovered())),
+        ]);
+        let mut members = vec![
+            ("schema".into(), Json::str(SCHEMA)),
+            ("app".into(), Json::str(self.spec.app.to_string())),
+            ("seed".into(), num(self.spec.seed as f64)),
+            ("requests".into(), num(self.spec.requests as f64)),
+            ("overload".into(), num(self.spec.overload)),
+            ("arrivals".into(), Json::str(arrivals)),
+            ("discipline".into(), Json::str(discipline)),
+            ("admission".into(), Json::Bool(self.spec.admission)),
+            ("shed".into(), Json::Bool(self.spec.shed)),
+            ("retries".into(), Json::Bool(self.spec.retries)),
+            ("guard".into(), Json::Bool(self.spec.guard)),
+            ("shards".into(), num(self.shards as f64)),
+            ("mean_service_cycles".into(), num(self.mean_service_cycles)),
+            ("ledger".into(), ledger),
+            ("latency_us".into(), self.latency_us.to_json()),
+            ("cpu_cycles".into(), self.cpu_cycles.to_json()),
+        ];
+        if let Some(wall) = self.wall_seconds {
+            members.push((
+                "profile".into(),
+                Json::Obj(vec![
+                    ("wall_seconds".into(), num(wall)),
+                    (
+                        "sim_requests_per_wall_second".into(),
+                        num(self.sim_requests_per_wall_second().unwrap_or(0.0)),
+                    ),
+                ]),
+            ));
+        }
+        Json::Obj(members)
+    }
+}
+
+/// Runs the full serve campaign: probe capacity, fan the fixed shard
+/// plan over `pool`, and merge digests in shard order.
+///
+/// # Errors
+///
+/// Propagates [`RbvError`] from validation, the probe, or any shard
+/// (first shard in plan order wins, deterministically).
+pub fn serve(spec: &ServeSpec, pool: &rbv_par::Pool) -> Result<ServeReport, RbvError> {
+    serve_with_shard_target(spec, pool, SHARD_TARGET)
+}
+
+/// [`serve`] with an explicit shard-size target — the test seam that
+/// exercises multi-shard merging without million-request runs. The
+/// public entry point fixes the target so the plan stays a pure
+/// function of the request count.
+///
+/// # Errors
+///
+/// Propagates [`RbvError`] as [`serve`] does.
+pub fn serve_with_shard_target(
+    spec: &ServeSpec,
+    pool: &rbv_par::Pool,
+    shard_target: usize,
+) -> Result<ServeReport, RbvError> {
+    spec.validate()?;
+    let mean_service = probe_mean_service(spec.app, spec.seed)?;
+    let plan = shard_plan(spec.requests, shard_target);
+    let sizes: Vec<(usize, usize)> = plan.iter().copied().enumerate().collect();
+    let outputs = pool.ordered_map(&sizes, |&(i, n)| run_shard(spec, mean_service, i, n));
+    let mut report = ServeReport {
+        spec: *spec,
+        shards: plan.len() as u64,
+        mean_service_cycles: mean_service,
+        completed: 0,
+        failed_by_reason: [0; 5],
+        client_timeouts: 0,
+        client_retries: 0,
+        admission_rejections: 0,
+        admission_retries: 0,
+        wasted_cycles: 0.0,
+        health_transitions: 0,
+        final_rung: LadderRung::Easing,
+        busy_cycles: 0.0,
+        simulated_cycles: 0.0,
+        latency_us: QuantileSketch::new(),
+        cpu_cycles: QuantileSketch::new(),
+        wall_seconds: None,
+    };
+    // Merge in shard order — the canonical order that makes floating-
+    // point sums and sketch digests byte-identical at any thread count.
+    for output in outputs {
+        let shard = output?;
+        report.completed += shard.acc.completed;
+        for (slot, count) in shard.acc.failed_by_reason.iter().enumerate() {
+            report.failed_by_reason[slot] += count;
+        }
+        report.client_timeouts += shard.stats.client_timeouts;
+        report.client_retries += shard.stats.client_retries;
+        report.admission_rejections += shard.stats.admission_rejections;
+        report.admission_retries += shard.stats.admission_retries;
+        report.wasted_cycles += shard.stats.wasted_cycles;
+        report.health_transitions += shard.stats.health_transitions;
+        let shard_rung = LadderRung::ALL[shard.stats.health_final_rung as usize];
+        if shard_rung.index() > report.final_rung.index() {
+            report.final_rung = shard_rung;
+        }
+        report.busy_cycles += shard.stats.busy_cycles;
+        report.simulated_cycles += shard.total_time.as_f64();
+        report.latency_us.merge(&shard.acc.latency_us);
+        report.cpu_cycles.merge(&shard.acc.cpu_cycles);
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_spec(requests: usize, seed: u64) -> ServeSpec {
+        ServeSpec::new(AppId::WebServer, requests, seed)
+    }
+
+    #[test]
+    fn shard_plan_is_a_pure_function_of_the_request_count() {
+        assert_eq!(shard_plan(1, SHARD_TARGET), vec![1]);
+        assert_eq!(shard_plan(100, SHARD_TARGET), vec![100]);
+        let million = shard_plan(1_000_000, SHARD_TARGET);
+        assert_eq!(million.len(), 31);
+        assert_eq!(million.iter().sum::<usize>(), 1_000_000);
+        // The cap binds eventually and the plan still conserves.
+        let huge = shard_plan(10_000_000, SHARD_TARGET);
+        assert_eq!(huge.len(), MAX_SHARDS);
+        assert_eq!(huge.iter().sum::<usize>(), 10_000_000);
+        // Sizes differ by at most one, so shard runtimes stay balanced.
+        let (lo, hi) = (huge.iter().min().unwrap(), huge.iter().max().unwrap());
+        assert!(hi - lo <= 1);
+    }
+
+    #[test]
+    fn spec_validation_rejects_nonsense() {
+        let mut spec = quick_spec(0, 1);
+        assert!(spec.validate().is_err());
+        spec.requests = 10;
+        spec.overload = 0.0;
+        assert!(spec.validate().is_err());
+        spec.overload = f64::NAN;
+        assert!(spec.validate().is_err());
+        spec.overload = 2.0;
+        assert!(spec.validate().is_ok());
+    }
+
+    #[test]
+    fn serve_ledger_is_byte_identical_across_thread_counts() {
+        let mut spec = quick_spec(120, 7);
+        spec.overload = 2.0;
+        let serial =
+            serve_with_shard_target(&spec, &rbv_par::Pool::serial(), 30).expect("serial serve");
+        let pooled =
+            serve_with_shard_target(&spec, &rbv_par::Pool::new(4), 30).expect("pooled serve");
+        assert_eq!(serial.shards, 4);
+        assert_eq!(
+            serial.to_json().to_string_compact(),
+            pooled.to_json().to_string_compact()
+        );
+        assert_eq!(serial, pooled);
+    }
+
+    #[test]
+    fn overload_run_conserves_requests_and_sheds() {
+        let mut spec = quick_spec(160, 11);
+        spec.overload = 3.0;
+        let report =
+            serve_with_shard_target(&spec, &rbv_par::Pool::serial(), 80).expect("overloaded serve");
+        assert_eq!(report.completed + report.failed(), 160);
+        assert!(report.failed() > 0, "3x overload must shed something");
+        assert!(report.goodput_frac() > 0.0);
+        assert!(report.latency_us.count() == report.completed);
+        assert!(report.wasted_cycles >= 0.0);
+        // The ledger section carries the same conservation story.
+        let json = report.to_json();
+        let ledger = json.get("ledger").expect("ledger member");
+        let offered = ledger.get("offered").and_then(Json::as_f64).unwrap();
+        let completed = ledger.get("completed").and_then(Json::as_f64).unwrap();
+        assert_eq!(offered as u64, 160);
+        assert_eq!(completed as u64, report.completed);
+    }
+
+    #[test]
+    fn mmpp_arrivals_serve_and_conserve() {
+        let mut spec = quick_spec(100, 3);
+        spec.mmpp = true;
+        spec.overload = 2.0;
+        let report =
+            serve_with_shard_target(&spec, &rbv_par::Pool::serial(), 100).expect("mmpp serve");
+        assert_eq!(report.completed + report.failed(), 100);
+        let json = report.to_json();
+        assert_eq!(json.get("arrivals").and_then(Json::as_str), Some("mmpp"));
+    }
+
+    #[test]
+    fn wallclock_profile_is_opt_in_and_segregated() {
+        let spec = quick_spec(40, 5);
+        let mut report =
+            serve_with_shard_target(&spec, &rbv_par::Pool::serial(), 40).expect("serve");
+        assert!(report.to_json().get("profile").is_none());
+        report.wall_seconds = Some(2.0);
+        let json = report.to_json();
+        let profile = json.get("profile").expect("profile member");
+        assert_eq!(
+            profile
+                .get("sim_requests_per_wall_second")
+                .and_then(Json::as_f64),
+            Some(20.0)
+        );
+    }
+
+    #[test]
+    fn defenses_beat_the_undefended_ablation_under_retry_storm() {
+        // The acceptance comparison in miniature: at sustained overload
+        // with impatient clients, armed defenses must complete at least
+        // as many requests as the everything-off ablation, and the
+        // undefended run must exhibit the retry storm (timeouts and
+        // resubmissions) the defenses exist to contain.
+        let mut defended = quick_spec(400, 23);
+        defended.overload = 4.0;
+        let mut undefended = defended;
+        undefended.admission = false;
+        undefended.shed = false;
+        let pool = rbv_par::Pool::serial();
+        let d = serve_with_shard_target(&defended, &pool, 400).expect("defended");
+        let u = serve_with_shard_target(&undefended, &pool, 400).expect("undefended");
+        assert_eq!(u.completed + u.failed(), 400);
+        assert!(
+            u.client_timeouts > 100 && u.client_retries > 100,
+            "undefended overload should storm: {} timeouts, {} retries",
+            u.client_timeouts,
+            u.client_retries
+        );
+        assert!(
+            u.wasted_cycles > 0.0,
+            "aborted attempts should waste service cycles"
+        );
+        assert!(
+            d.goodput_frac() > u.goodput_frac(),
+            "defenses lost goodput: defended {:.3} <= undefended {:.3}",
+            d.goodput_frac(),
+            u.goodput_frac()
+        );
+        assert!(
+            d.wasted_cycles < u.wasted_cycles,
+            "defenses should waste fewer cycles than the storm"
+        );
+    }
+}

@@ -95,6 +95,148 @@ pub enum ArrivalProcess {
         /// Mean interarrival time.
         mean_interarrival: Cycles,
     },
+    /// Open loop, bursty: a two-state Markov-modulated Poisson process.
+    /// The process alternates between a calm state (arrivals at
+    /// `mean_interarrival`) and a burst state (arrivals at the faster
+    /// `burst_mean_interarrival`), with exponentially distributed dwell
+    /// times in each state. All draws come from the engine's seeded
+    /// stream, so the arrival trace is a pure function of the seed.
+    OpenMmpp {
+        /// Mean interarrival time in the calm state.
+        mean_interarrival: Cycles,
+        /// Mean interarrival time in the burst state (must not exceed the
+        /// calm mean — bursts make arrivals denser, not sparser).
+        burst_mean_interarrival: Cycles,
+        /// Mean dwell time in the calm state.
+        mean_calm_dwell: Cycles,
+        /// Mean dwell time in the burst state.
+        mean_burst_dwell: Cycles,
+    },
+}
+
+impl ArrivalProcess {
+    /// Whether requests arrive independent of completions (either open
+    /// variant). Open-loop arrivals are what the client-retry and
+    /// queue-shedding policies require.
+    pub fn is_open(&self) -> bool {
+        !matches!(self, ArrivalProcess::ClosedLoop)
+    }
+}
+
+/// Front-end queue discipline for open-loop arrivals: how a NIC-style
+/// receive path steers new requests onto runqueues. `None` in
+/// [`SimConfig::queue_discipline`] keeps the engine's least-loaded
+/// placement bit-identically.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueueDiscipline {
+    /// d-FCFS: RSS-style steering. A deterministic hash of the request id
+    /// indexes an indirection table that assigns each request a fixed
+    /// per-core queue, as a multi-queue NIC would; each core serves its
+    /// own queue FCFS. Load imbalance between queues is the price.
+    Dfcfs,
+    /// c-FCFS: a single central queue all cores pull from in arrival
+    /// order. Work-conserving and optimal for tail latency at the cost of
+    /// a (here un-modeled) shared dequeue point.
+    Cfcfs,
+}
+
+impl QueueDiscipline {
+    /// Stable lower-case label used on the CLI and in ledgers.
+    pub fn label(self) -> &'static str {
+        match self {
+            QueueDiscipline::Dfcfs => "dfcfs",
+            QueueDiscipline::Cfcfs => "cfcfs",
+        }
+    }
+}
+
+/// Open-loop client model: each submitted request carries a client-side
+/// timeout; on expiry the client abandons the attempt wherever it is
+/// (queued, running, or in admission backoff), and resubmits after capped
+/// exponential backoff with deterministic jitter — the mechanism that
+/// turns sustained overload into a metastable retry storm when left
+/// undefended. `None` in [`SimConfig::client`] models patient clients and
+/// changes nothing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClientPolicy {
+    /// Client-side timeout, measured from each (re)submission.
+    pub timeout: Cycles,
+    /// Resubmissions the client attempts after timeouts before giving up
+    /// (the request then fails with reason `timeout`).
+    pub max_retries: u32,
+    /// Base backoff before the first resubmission; attempt `k` waits
+    /// `retry_backoff * 2^min(k, 16)` plus up to 50% jitter derived from
+    /// a hash of the request id and attempt (no RNG stream is consumed,
+    /// so retry-free runs stay bit-identical to retry-less builds).
+    pub retry_backoff: Cycles,
+}
+
+impl ClientPolicy {
+    /// A typical impatient client: 50 ms timeout, 3 retries, 1 ms base
+    /// backoff.
+    pub fn impatient() -> ClientPolicy {
+        ClientPolicy {
+            timeout: Cycles::from_millis(50),
+            max_retries: 3,
+            retry_backoff: Cycles::from_millis(1),
+        }
+    }
+
+    /// Checks field sanity.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RbvError::Config`] naming the first inconsistent field.
+    pub fn validate(&self) -> Result<(), RbvError> {
+        if self.timeout.is_zero() {
+            return Err(RbvError::Config("client timeout must be nonzero".into()));
+        }
+        if self.max_retries > 0 && self.retry_backoff.is_zero() {
+            return Err(RbvError::Config(
+                "client retries need a nonzero backoff".into(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// CoDel-style queue shedding at dequeue time: when the queueing delay
+/// ("sojourn") of dequeued requests has stayed above `target` for a full
+/// `interval`, the offending request is shed instead of served, and the
+/// clock restarts. Deterministic — no RNG is involved — and `None` in
+/// [`SimConfig::shed`] changes nothing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShedPolicy {
+    /// Acceptable sojourn time; dequeues under this reset the controller.
+    pub target: Cycles,
+    /// How long sojourn must continuously exceed `target` before the
+    /// controller sheds (and between consecutive sheds).
+    pub interval: Cycles,
+}
+
+impl ShedPolicy {
+    /// CoDel's canonical 5 ms / 100 ms constants, scaled to the 3 GHz
+    /// simulated clock.
+    pub fn codel() -> ShedPolicy {
+        ShedPolicy {
+            target: Cycles::from_millis(5),
+            interval: Cycles::from_millis(100),
+        }
+    }
+
+    /// Checks field sanity.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RbvError::Config`] naming the first inconsistent field.
+    pub fn validate(&self) -> Result<(), RbvError> {
+        if self.target.is_zero() || self.interval.is_zero() {
+            return Err(RbvError::Config(
+                "shed policy target and interval must be nonzero".into(),
+            ));
+        }
+        Ok(())
+    }
 }
 
 /// Multi-machine deployment (§7, future work): the machine spec's cores
@@ -284,6 +426,17 @@ pub struct SimConfig {
     pub concurrency: usize,
     /// Request arrival process.
     pub arrivals: ArrivalProcess,
+    /// Front-end queue discipline for new arrivals (RSS-steered d-FCFS or
+    /// central c-FCFS). `None` (the default) keeps least-loaded placement
+    /// bit-identically. Requires single-machine, no component affinity,
+    /// and no work stealing — the NIC front end owns placement.
+    pub queue_discipline: Option<QueueDiscipline>,
+    /// Open-loop client timeout/retry model; `None` (the default) models
+    /// patient clients and changes nothing. Requires open-loop arrivals.
+    pub client: Option<ClientPolicy>,
+    /// CoDel-style dequeue-time shedding; `None` (the default) changes
+    /// nothing. Requires open-loop arrivals.
+    pub shed: Option<ShedPolicy>,
     /// Multi-machine deployment; `None` = the paper's single machine.
     pub multi_machine: Option<MultiMachine>,
     /// Allow an idling core to steal the tail request of the longest
@@ -351,6 +504,9 @@ impl SimConfig {
             scheduler: SchedulerPolicy::Stock,
             concurrency: 8,
             arrivals: ArrivalProcess::ClosedLoop,
+            queue_discipline: None,
+            client: None,
+            shed: None,
             multi_machine: None,
             work_stealing: false,
             component_affinity: false,
@@ -404,9 +560,61 @@ impl SimConfig {
         if self.concurrency == 0 {
             return config_err("concurrency must be at least 1".into());
         }
-        if let ArrivalProcess::OpenPoisson { mean_interarrival } = self.arrivals {
-            if mean_interarrival.is_zero() {
-                return config_err("mean interarrival must be nonzero".into());
+        match self.arrivals {
+            ArrivalProcess::OpenPoisson { mean_interarrival } => {
+                if mean_interarrival.is_zero() {
+                    return config_err("mean interarrival must be nonzero".into());
+                }
+            }
+            ArrivalProcess::OpenMmpp {
+                mean_interarrival,
+                burst_mean_interarrival,
+                mean_calm_dwell,
+                mean_burst_dwell,
+            } => {
+                if mean_interarrival.is_zero()
+                    || burst_mean_interarrival.is_zero()
+                    || mean_calm_dwell.is_zero()
+                    || mean_burst_dwell.is_zero()
+                {
+                    return config_err("MMPP means and dwells must be nonzero".into());
+                }
+                if burst_mean_interarrival > mean_interarrival {
+                    return config_err(format!(
+                        "MMPP burst interarrival {burst_mean_interarrival} must not exceed the calm interarrival {mean_interarrival}"
+                    ));
+                }
+            }
+            ArrivalProcess::ClosedLoop => {}
+        }
+        if self.queue_discipline.is_some() {
+            // The NIC front end owns placement: it cannot coexist with the
+            // placement features that also want to decide where requests go.
+            if self.multi_machine.is_some() {
+                return config_err("queue discipline requires a single machine".into());
+            }
+            if self.component_affinity {
+                return config_err("queue discipline excludes component affinity".into());
+            }
+            if self.work_stealing {
+                return config_err("queue discipline excludes work stealing".into());
+            }
+        }
+        if let Some(client) = &self.client {
+            client.validate()?;
+            if !self.arrivals.is_open() {
+                return config_err("client timeout/retry model requires open-loop arrivals".into());
+            }
+            // A resubmitted request must not race an in-flight network
+            // hop from its aborted attempt back into a runqueue.
+            if self.multi_machine.is_some() {
+                return config_err("client timeout/retry model requires a single machine".into());
+            }
+        }
+        if let Some(shed) = &self.shed {
+            shed.validate()?;
+            if !self.arrivals.is_open() {
+                return config_err("queue shedding requires open-loop arrivals".into());
             }
         }
         if let Some(mm) = &self.multi_machine {
@@ -626,6 +834,81 @@ mod tests {
             ..OverloadPolicy::bounded_queues()
         });
         assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn mmpp_arrivals_are_validated() {
+        let mut c = SimConfig::paper_default();
+        c.arrivals = ArrivalProcess::OpenMmpp {
+            mean_interarrival: Cycles::from_micros(100),
+            burst_mean_interarrival: Cycles::from_micros(20),
+            mean_calm_dwell: Cycles::from_millis(5),
+            mean_burst_dwell: Cycles::from_millis(1),
+        };
+        assert!(c.validate().is_ok());
+        assert!(c.arrivals.is_open());
+
+        // A "burst" slower than calm is a spec error.
+        c.arrivals = ArrivalProcess::OpenMmpp {
+            mean_interarrival: Cycles::from_micros(20),
+            burst_mean_interarrival: Cycles::from_micros(100),
+            mean_calm_dwell: Cycles::from_millis(5),
+            mean_burst_dwell: Cycles::from_millis(1),
+        };
+        assert!(c.validate().is_err());
+
+        c.arrivals = ArrivalProcess::OpenMmpp {
+            mean_interarrival: Cycles::from_micros(100),
+            burst_mean_interarrival: Cycles::from_micros(20),
+            mean_calm_dwell: Cycles::ZERO,
+            mean_burst_dwell: Cycles::from_millis(1),
+        };
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn queue_discipline_excludes_other_placement_features() {
+        let mut c = SimConfig::paper_default();
+        c.queue_discipline = Some(QueueDiscipline::Dfcfs);
+        assert!(c.validate().is_ok());
+        c.work_stealing = true;
+        assert!(c.validate().is_err());
+        c.work_stealing = false;
+        c.component_affinity = true;
+        assert!(c.validate().is_err());
+        assert_eq!(QueueDiscipline::Dfcfs.label(), "dfcfs");
+        assert_eq!(QueueDiscipline::Cfcfs.label(), "cfcfs");
+    }
+
+    #[test]
+    fn client_and_shed_policies_require_open_loop() {
+        let mut c = SimConfig::paper_default();
+        c.client = Some(ClientPolicy::impatient());
+        assert!(c.validate().is_err(), "closed loop has no client timeouts");
+        c.arrivals = ArrivalProcess::OpenPoisson {
+            mean_interarrival: Cycles::from_micros(100),
+        };
+        assert!(c.validate().is_ok());
+
+        let mut c = SimConfig::paper_default();
+        c.shed = Some(ShedPolicy::codel());
+        assert!(c.validate().is_err(), "shedding needs open-loop arrivals");
+        c.arrivals = ArrivalProcess::OpenPoisson {
+            mean_interarrival: Cycles::from_micros(100),
+        };
+        assert!(c.validate().is_ok());
+
+        let mut bad = ClientPolicy::impatient();
+        bad.timeout = Cycles::ZERO;
+        assert!(bad.validate().is_err());
+        let mut bad = ClientPolicy::impatient();
+        bad.retry_backoff = Cycles::ZERO;
+        assert!(bad.validate().is_err());
+        bad.max_retries = 0;
+        assert!(bad.validate().is_ok());
+        let mut bad = ShedPolicy::codel();
+        bad.interval = Cycles::ZERO;
+        assert!(bad.validate().is_err());
     }
 
     #[test]

@@ -49,11 +49,16 @@ pub mod projection;
 pub mod result;
 
 pub use accountant::{ModeCost, ObserverReport, DO_NO_HARM_BUDGET};
-pub use config::{MeasurementFaults, OverloadPolicy, SamplingPolicy, SchedulerPolicy, SimConfig};
+pub use config::{
+    ArrivalProcess, ClientPolicy, MeasurementFaults, OverloadPolicy, QueueDiscipline,
+    SamplingPolicy, SchedulerPolicy, ShedPolicy, SimConfig,
+};
 // Guard re-exports so callers configuring `SimConfig::governor` need not
 // depend on `rbv-guard` directly.
 pub use error::RbvError;
-pub use machine::{run_simulation, run_simulation_traced};
+pub use machine::{
+    run_simulation, run_simulation_streaming, run_simulation_traced, CompletionSink,
+};
 pub use observer::{measure_sampling_cost, SampleCost, SampleMode, SamplingContext};
 pub use projection::PlatformProjection;
 pub use rbv_guard::{GovernorPolicy, HealthPolicy, InvariantKind, LadderRung};

@@ -52,7 +52,7 @@ use rbv_sim::{Cycles, EventQueue, SimRng};
 use rbv_telemetry::{SampleOrigin, SwitchReason, TraceEvent, TraceSink};
 use rbv_workloads::{Request, RequestFactory, Stage, SyscallName};
 
-use crate::config::{ArrivalProcess, SamplingPolicy, SchedulerPolicy, SimConfig};
+use crate::config::{ArrivalProcess, QueueDiscipline, SamplingPolicy, SchedulerPolicy, SimConfig};
 use crate::error::RbvError;
 use crate::observer::{injected_cost, pollution_of, spin_baseline, SampleMode, SamplingContext};
 use crate::result::{
@@ -101,8 +101,55 @@ pub fn run_simulation_traced(
     Ok(result)
 }
 
+/// Streaming consumer of finished requests for bounded-memory runs: the
+/// engine hands each completion or failure over exactly once, in event
+/// order, and then drops it instead of retaining it in the result
+/// vectors. Memory stays proportional to the number of *live* requests
+/// regardless of run length.
+pub trait CompletionSink {
+    /// One request completed end to end.
+    fn on_complete(&mut self, request: &CompletedRequest);
+    /// One request was shed, timed out, or aborted.
+    fn on_fail(&mut self, request: &FailedRequest);
+}
+
+/// Like [`run_simulation`], but folds every finished request into
+/// `completions` instead of retaining it, so memory stays bounded by the
+/// live-request population. The returned [`RunResult`] carries empty
+/// `completed`/`failed` vectors alongside the full statistics.
+///
+/// Streaming is observation-only bookkeeping: the engine's event
+/// schedule and random streams are untouched, so the statistics are
+/// bit-identical to a retaining run of the same configuration.
+///
+/// # Errors
+///
+/// Returns [`RbvError::Config`] if `cfg` is invalid.
+pub fn run_simulation_streaming(
+    cfg: SimConfig,
+    factory: &mut dyn RequestFactory,
+    n_requests: usize,
+    completions: &mut dyn CompletionSink,
+) -> Result<RunResult, RbvError> {
+    cfg.validate()?;
+    let mut engine = Engine::new(cfg, n_requests, None);
+    engine.completions = Some(completions);
+    Ok(engine.run(factory))
+}
+
 /// Sub-instruction tolerance when matching instruction boundaries.
 const INS_EPS: f64 = 0.5;
+
+/// SplitMix64 finalizer: the stateless hash behind RSS steering, brownout
+/// selection, and client retry jitter. Hash-derived decisions consume no
+/// RNG stream, so runs with those features disabled stay bit-identical to
+/// builds that predate them.
+fn hash_mix(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
 
 /// Standard normal draw (Box–Muller) from the deterministic stream.
 fn gaussian(rng: &mut SimRng) -> f64 {
@@ -131,10 +178,16 @@ enum Event {
     /// runnable on the destination machine.
     HopWakeup { rid: usize },
     /// The closed-loop client retries admission after backoff (overload
-    /// protection).
-    Retry { rid: usize, attempt: u32 },
+    /// protection). `gen` is the client attempt generation at scheduling
+    /// time: a retry armed before a client timeout reset the request is
+    /// stale and must not re-admit it.
+    Retry { rid: usize, attempt: u32, gen: u32 },
     /// End-to-end deadline expiry check for a request.
     DeadlineCheck { rid: usize },
+    /// The client's patience for attempt `gen` of a request runs out.
+    ClientTimeout { rid: usize, gen: u32 },
+    /// The client resubmits a timed-out request after backoff.
+    ClientResubmit { rid: usize, gen: u32 },
     /// Guard accounting-window boundary: the governor reads the window's
     /// observer costs, the health ladder rescores, and the invariant
     /// monitor runs its checks. Never scheduled when
@@ -173,6 +226,12 @@ struct LiveRequest {
     last_syscall: Option<SyscallName>,
     stage_marks: Vec<(f64, f64)>,
     noise_rng: SimRng,
+    /// Client attempt generation: 0 for the first submission, bumped on
+    /// every client-timeout resubmission. Stale timer events carrying an
+    /// older generation are ignored.
+    attempt: u32,
+    /// Instant the request last entered a runqueue (CoDel sojourn base).
+    queued_at: Cycles,
 }
 
 impl LiveRequest {
@@ -219,6 +278,8 @@ struct GuardState {
     base_lost: u64,
     base_low_conf: u64,
     base_starved: u64,
+    base_offered: u64,
+    base_rejected: u64,
 }
 
 impl GuardState {
@@ -235,6 +296,8 @@ impl GuardState {
             base_lost: 0,
             base_low_conf: 0,
             base_starved: 0,
+            base_offered: 0,
+            base_rejected: 0,
         }
     }
 }
@@ -288,6 +351,21 @@ struct Engine<'s> {
     /// governor's per-mode decimation (always 0 while `sample_scale` is
     /// 1.0, so ungoverned runs sample every switch).
     cs_skip: u64,
+    /// Streaming completion sink for bounded-memory runs; `None` retains
+    /// finished requests in the result vectors.
+    completions: Option<&'s mut dyn CompletionSink>,
+    /// Completion/failure counts — identical to the result vector lengths
+    /// when not streaming, and the only record of them when streaming.
+    n_completed: usize,
+    n_failed: usize,
+    /// MMPP arrival modulation: whether the process is currently in its
+    /// burst state, and when the current dwell ends (`ZERO` = the first
+    /// dwell has not been drawn yet).
+    mmpp_burst: bool,
+    mmpp_until: Cycles,
+    /// Per-queue instant since when dequeued sojourns have continuously
+    /// exceeded the CoDel target (`None` = last sojourn was below it).
+    codel_above: Vec<Option<Cycles>>,
 }
 
 impl<'s> Engine<'s> {
@@ -325,6 +403,12 @@ impl<'s> Engine<'s> {
             guard,
             sample_scale: 1.0,
             cs_skip: 0,
+            completions: None,
+            n_completed: 0,
+            n_failed: 0,
+            mmpp_burst: false,
+            mmpp_until: Cycles::ZERO,
+            codel_above: vec![None; cores],
         }
     }
 
@@ -336,7 +420,7 @@ impl<'s> Engine<'s> {
                     self.spawn(factory);
                 }
             }
-            ArrivalProcess::OpenPoisson { .. } => {
+            ArrivalProcess::OpenPoisson { .. } | ArrivalProcess::OpenMmpp { .. } => {
                 // First arrival at t = 0; subsequent ones self-schedule.
                 self.spawn(factory);
                 self.schedule_next_arrival();
@@ -348,7 +432,7 @@ impl<'s> Engine<'s> {
                 .schedule_after(guard.policy.window, Event::GuardTick);
         }
 
-        while self.completed.len() + self.failed.len() < self.target {
+        while self.n_completed + self.n_failed < self.target {
             let Some((now, event)) = self.queue.pop() else {
                 break; // no runnable work left (target > generated would be a bug)
             };
@@ -382,17 +466,29 @@ impl<'s> Engine<'s> {
                 Event::HopWakeup { rid } => {
                     // The request may have been deadline-aborted mid-hop.
                     if self.live[rid].is_some() {
-                        self.enqueue_least_loaded(rid);
+                        self.enqueue_runnable(rid);
                     }
                 }
-                Event::Retry { rid, attempt } => {
-                    if self.live[rid].is_some() {
+                Event::Retry { rid, attempt, gen } => {
+                    // Stale once the client timed the attempt out and
+                    // resubmitted: the resubmission owns admission now.
+                    if self.live[rid].as_ref().is_some_and(|lr| lr.attempt == gen) {
                         self.try_admit(rid, attempt, factory);
                     }
                 }
                 Event::DeadlineCheck { rid } => {
                     if self.live[rid].is_some() {
                         self.fail_request(rid, now, FailReason::DeadlineAbort, factory);
+                    }
+                }
+                Event::ClientTimeout { rid, gen } => {
+                    if self.live[rid].as_ref().is_some_and(|lr| lr.attempt == gen) {
+                        self.on_client_timeout(rid, now, factory);
+                    }
+                }
+                Event::ClientResubmit { rid, gen } => {
+                    if self.live[rid].as_ref().is_some_and(|lr| lr.attempt == gen) {
+                        self.on_client_resubmit(rid, factory);
                     }
                 }
                 Event::GuardTick => self.on_guard_tick(now, true),
@@ -458,6 +554,8 @@ impl<'s> Engine<'s> {
             last_syscall: None,
             stage_marks: Vec::new(),
             noise_rng: self.rng.fork_labeled(id as u64),
+            attempt: 0,
+            queued_at: self.queue.now(),
         }));
         if self.sink.is_some() {
             let lr = self.live[id].as_ref().expect("just pushed");
@@ -472,6 +570,25 @@ impl<'s> Engine<'s> {
                 .expect("checked above")
                 .record(event);
         }
+        // Brownout rung: the guard ladder's deepest defense rejects half
+        // of all new arrivals up front. Hash-selected — no stream draws —
+        // and open-loop only; config validation guarantees the policies
+        // that can reach this rung never combine with closed-loop
+        // arrivals, whose respawn-on-failure would recurse here.
+        if self.cfg.arrivals.is_open()
+            && self
+                .guard
+                .as_ref()
+                .is_some_and(|g| g.policy.ladder && g.ladder.rung() == LadderRung::Brownout)
+            && hash_mix(self.cfg.seed ^ 0xb407 ^ (id as u64)) & 1 == 0
+        {
+            self.fail_request(id, self.queue.now(), FailReason::BrownoutReject, factory);
+            return;
+        }
+        if let Some(client) = self.cfg.client {
+            self.queue
+                .schedule_after(client.timeout, Event::ClientTimeout { rid: id, gen: 0 });
+        }
         if let Some(overload) = self.cfg.overload {
             if let Some(deadline) = overload.deadline {
                 self.queue
@@ -479,7 +596,7 @@ impl<'s> Engine<'s> {
             }
             self.try_admit(id, 0, factory);
         } else {
-            self.enqueue_least_loaded(id);
+            self.enqueue_runnable(id);
         }
     }
 
@@ -491,16 +608,49 @@ impl<'s> Engine<'s> {
     /// hits its deadline).
     fn try_admit(&mut self, rid: usize, attempt: u32, factory: &mut dyn RequestFactory) {
         let Some(overload) = self.cfg.overload else {
-            self.enqueue_least_loaded(rid);
+            self.enqueue_runnable(rid);
             return;
         };
-        let core = self.least_loaded_core(rid);
-        let load = self.runqueues[core].len() + usize::from(self.cores[core].running.is_some());
-        if load < overload.max_runqueue {
-            self.runqueues[core].push_back(rid);
-            if self.cores[core].running.is_none() {
-                self.schedule_next_on(core);
+        // dFCFS checks the RSS-steered core's queue; cFCFS checks the one
+        // central queue against the machine-wide bound. The guard ladder's
+        // shed rung halves the effective bound, turning excess load away
+        // at the door before it can queue.
+        let (queue, load, mut bound) = match self.cfg.queue_discipline {
+            Some(QueueDiscipline::Cfcfs) => {
+                let running = self.cores.iter().filter(|c| c.running.is_some()).count();
+                (
+                    0,
+                    self.runqueues[0].len() + running,
+                    overload.max_runqueue.saturating_mul(self.cores.len()),
+                )
             }
+            Some(QueueDiscipline::Dfcfs) => {
+                let c = self.rss_core(rid);
+                (
+                    c,
+                    self.runqueues[c].len() + usize::from(self.cores[c].running.is_some()),
+                    overload.max_runqueue,
+                )
+            }
+            None => {
+                let c = self.least_loaded_core(rid);
+                (
+                    c,
+                    self.runqueues[c].len() + usize::from(self.cores[c].running.is_some()),
+                    overload.max_runqueue,
+                )
+            }
+        };
+        if self.shed_rung_active() {
+            bound = (bound / 2).max(1);
+        }
+        if load < bound {
+            self.live[rid]
+                .as_mut()
+                .expect("admitted request is live")
+                .queued_at = self.queue.now();
+            self.runqueues[queue].push_back(rid);
+            self.wake_idle_for(queue);
             return;
         }
         let now = self.queue.now();
@@ -509,7 +659,7 @@ impl<'s> Engine<'s> {
             sink.record(TraceEvent::AdmissionRejected {
                 ts: now,
                 rid: rid as u64,
-                core: core as u32,
+                core: queue as u32,
                 attempt,
             });
         }
@@ -529,11 +679,16 @@ impl<'s> Engine<'s> {
                     backoff,
                 });
             }
+            let gen = self.live[rid]
+                .as_ref()
+                .expect("rejected request is live")
+                .attempt;
             self.queue.schedule_after(
                 backoff,
                 Event::Retry {
                     rid,
                     attempt: attempt + 1,
+                    gen,
                 },
             );
         } else {
@@ -574,9 +729,14 @@ impl<'s> Engine<'s> {
         match reason {
             FailReason::AdmissionShed => self.stats.load_shed += 1,
             FailReason::DeadlineAbort => self.stats.deadline_aborts += 1,
+            // Counted where the timeout fires (terminal or not).
+            FailReason::ClientTimeout => {}
+            FailReason::CodelShed => self.stats.codel_shed += 1,
+            FailReason::BrownoutReject => self.stats.brownout_rejections += 1,
         }
         let lr = self.live[rid].take().expect("failed request was live");
-        self.failed.push(FailedRequest {
+        self.stats.wasted_cycles += lr.cum_cycles;
+        self.push_failed(FailedRequest {
             id: lr.id,
             app: lr.request.app,
             class: lr.request.class,
@@ -596,26 +756,104 @@ impl<'s> Engine<'s> {
         }
     }
 
-    /// Schedules the next open-loop arrival at an exponential gap.
+    /// Schedules the next open-loop arrival at an exponential gap. Under
+    /// MMPP arrivals the exponential's mean is modulated by a two-state
+    /// Markov chain (calm/burst) whose dwell times are themselves
+    /// exponential; Poisson arrivals draw exactly one uniform per
+    /// arrival, exactly as before, so Poisson runs are bit-identical to
+    /// builds that predate MMPP.
     fn schedule_next_arrival(&mut self) {
-        let ArrivalProcess::OpenPoisson { mean_interarrival } = self.cfg.arrivals else {
-            return;
-        };
         if self.generated >= self.target {
             return;
         }
-        use rand::Rng;
-        let u: f64 = self.rng.gen_range(f64::MIN_POSITIVE..1.0);
-        let gap = (-(mean_interarrival.as_f64()) * u.ln()).max(1.0) as u64;
-        self.queue.schedule_after(Cycles::new(gap), Event::Arrival);
+        let mean = match self.cfg.arrivals {
+            ArrivalProcess::ClosedLoop => return,
+            ArrivalProcess::OpenPoisson { mean_interarrival } => mean_interarrival,
+            ArrivalProcess::OpenMmpp {
+                mean_interarrival,
+                burst_mean_interarrival,
+                mean_calm_dwell,
+                mean_burst_dwell,
+            } => {
+                let now = self.queue.now();
+                if self.mmpp_until.is_zero() {
+                    // Lazy init: the first calm dwell is drawn when the
+                    // first arrival schedules its successor.
+                    self.mmpp_until = now + self.exp_gap(mean_calm_dwell);
+                }
+                while now >= self.mmpp_until {
+                    self.mmpp_burst = !self.mmpp_burst;
+                    let dwell = if self.mmpp_burst {
+                        mean_burst_dwell
+                    } else {
+                        mean_calm_dwell
+                    };
+                    let gap = self.exp_gap(dwell);
+                    self.mmpp_until += gap;
+                }
+                if self.mmpp_burst {
+                    burst_mean_interarrival
+                } else {
+                    mean_interarrival
+                }
+            }
+        };
+        let gap = self.exp_gap(mean);
+        self.queue.schedule_after(gap, Event::Arrival);
     }
 
-    fn enqueue_least_loaded(&mut self, rid: usize) {
-        let core = self.least_loaded_core(rid);
-        self.runqueues[core].push_back(rid);
-        if self.cores[core].running.is_none() {
-            self.schedule_next_on(core);
+    /// One exponential draw with the given mean from the engine stream,
+    /// floored at a single cycle.
+    fn exp_gap(&mut self, mean: Cycles) -> Cycles {
+        use rand::Rng;
+        let u: f64 = self.rng.gen_range(f64::MIN_POSITIVE..1.0);
+        Cycles::new((-(mean.as_f64()) * u.ln()).max(1.0) as u64)
+    }
+
+    /// Makes a request runnable: picks its queue per the configured
+    /// discipline (least-loaded placement by default, RSS steering under
+    /// dFCFS, the one central queue under cFCFS) and wakes an idle core.
+    fn enqueue_runnable(&mut self, rid: usize) {
+        let queue = match self.cfg.queue_discipline {
+            None => self.least_loaded_core(rid),
+            Some(QueueDiscipline::Dfcfs) => self.rss_core(rid),
+            Some(QueueDiscipline::Cfcfs) => 0,
+        };
+        self.live[rid]
+            .as_mut()
+            .expect("enqueued request is live")
+            .queued_at = self.queue.now();
+        self.runqueues[queue].push_back(rid);
+        self.wake_idle_for(queue);
+    }
+
+    /// Wakes a core that can serve `queue`: under cFCFS any idle core
+    /// pulls from the central queue; otherwise the queue is per-core.
+    fn wake_idle_for(&mut self, queue: usize) {
+        if self.cfg.queue_discipline == Some(QueueDiscipline::Cfcfs) {
+            if let Some(idle) = (0..self.cores.len()).find(|&c| self.cores[c].running.is_none()) {
+                self.schedule_next_on(idle);
+            }
+        } else if self.cores[queue].running.is_none() {
+            self.schedule_next_on(queue);
         }
+    }
+
+    /// NIC-style receive-side scaling: a deterministic hash of the
+    /// request id indexes a 128-slot indirection table whose slots map
+    /// round-robin onto cores, pinning each request to one queue for its
+    /// whole lifetime (retries included).
+    fn rss_core(&self, rid: usize) -> usize {
+        let slot = hash_mix(self.cfg.seed ^ 0x55aa ^ (rid as u64)) % 128;
+        (slot as usize) % self.cores.len()
+    }
+
+    /// Whether the guard ladder currently sits on its shed rung or lower,
+    /// tightening admission bounds and CoDel targets.
+    fn shed_rung_active(&self) -> bool {
+        self.guard
+            .as_ref()
+            .is_some_and(|g| g.policy.ladder && g.ladder.rung().is_overloaded())
     }
 
     /// The least-loaded core eligible for a request's current component
@@ -933,14 +1171,14 @@ impl<'s> Engine<'s> {
                     .network_hop_delay;
                 self.queue.schedule_after(delay, Event::HopWakeup { rid });
             } else {
-                self.enqueue_least_loaded(rid);
+                self.enqueue_runnable(rid);
             }
         } else {
             if !flushed {
                 self.teardown_flush(rid);
             }
             let lr = self.live[rid].take().expect("request was live");
-            self.completed.push(CompletedRequest {
+            self.push_completed(CompletedRequest {
                 id: lr.id,
                 app: lr.request.app,
                 class: lr.request.class,
@@ -1378,6 +1616,9 @@ impl<'s> Engine<'s> {
             } else {
                 0.0
             },
+            offered: self.generated as u64 - guard.base_offered,
+            rejected: self.rejected_total() - guard.base_rejected,
+            queue_frac: self.deepest_queue_frac(),
         };
 
         let decision = guard.governor.observe(&window);
@@ -1419,8 +1660,8 @@ impl<'s> Engine<'s> {
             guard.monitor.check_request_conservation(
                 self.generated as u64,
                 live,
-                self.completed.len() as u64,
-                self.failed.len() as u64,
+                self.n_completed as u64,
+                self.n_failed as u64,
                 0,
             );
             guard
@@ -1462,6 +1703,8 @@ impl<'s> Engine<'s> {
         guard.base_lost = self.stats.samples_lost;
         guard.base_low_conf = self.stats.samples_low_confidence;
         guard.base_starved = self.stats.starvation_windows;
+        guard.base_offered = self.generated as u64;
+        guard.base_rejected = self.rejected_total();
 
         if reschedule {
             self.queue
@@ -1500,8 +1743,8 @@ impl<'s> Engine<'s> {
         monitor.check_request_conservation(
             self.generated as u64,
             live,
-            self.completed.len() as u64,
-            self.failed.len() as u64,
+            self.n_completed as u64,
+            self.n_failed as u64,
             0,
         );
         monitor.check_clock_monotonic(0, self.queue.now().get());
@@ -1627,10 +1870,11 @@ impl<'s> Engine<'s> {
     fn easing_gated(&self) -> bool {
         if let Some(guard) = &self.guard {
             if guard.policy.ladder {
-                return match guard.ladder.rung() {
-                    LadderRung::Stock => true,
-                    _ => self.pred_err_primed && self.pred_err > guard.policy.health.noise_ref,
-                };
+                // Stock and every overload rung below it suspend easing.
+                if guard.ladder.rung().index() >= LadderRung::Stock.index() {
+                    return true;
+                }
+                return self.pred_err_primed && self.pred_err > guard.policy.health.noise_ref;
             }
         }
         self.cfg.easing_error_gate.is_some() && self.gate_engaged
@@ -1645,10 +1889,86 @@ impl<'s> Engine<'s> {
             .is_some_and(|g| g.policy.ladder && g.ladder.rung() != LadderRung::Easing)
     }
 
-    /// The §5.2 selection policy.
+    /// Dequeues the next request for `core`, shedding CoDel casualties on
+    /// the way. With no shed policy this is exactly one candidate pick.
     fn pick_next(&mut self, core: usize) -> Option<usize> {
+        loop {
+            let rid = self.pick_candidate(core)?;
+            if self.codel_passes(core, rid) {
+                return Some(rid);
+            }
+            self.shed_dequeued(rid);
+        }
+    }
+
+    /// CoDel at dequeue: compares the dequeued request's queue sojourn
+    /// against the shed policy's target, dropping one request per
+    /// interval once sojourns have stayed above target for a full
+    /// interval. The guard ladder's shed rung halves the target.
+    fn codel_passes(&mut self, core: usize, rid: usize) -> bool {
+        let Some(shed) = self.cfg.shed else {
+            return true;
+        };
+        let now = self.queue.now();
+        let q = self.qidx(core);
+        let queued_at = self.live[rid]
+            .as_ref()
+            .expect("dequeued request is live")
+            .queued_at;
+        let sojourn = now.saturating_sub(queued_at);
+        let target = if self.shed_rung_active() {
+            Cycles::new(shed.target.get() / 2)
+        } else {
+            shed.target
+        };
+        if sojourn <= target {
+            self.codel_above[q] = None;
+            return true;
+        }
+        match self.codel_above[q] {
+            None => {
+                self.codel_above[q] = Some(now);
+                true
+            }
+            Some(since) if now.saturating_sub(since) >= shed.interval => {
+                self.codel_above[q] = Some(now);
+                false
+            }
+            Some(_) => true,
+        }
+    }
+
+    /// Terminal CoDel shed of an already-dequeued request. Never reached
+    /// in closed loop (the shed policy requires open-loop arrivals), so
+    /// no respawn — and therefore no factory — is needed on this path.
+    fn shed_dequeued(&mut self, rid: usize) {
+        let now = self.queue.now();
+        self.stats.codel_shed += 1;
+        let lr = self.live[rid].take().expect("shed request was live");
+        self.stats.wasted_cycles += lr.cum_cycles;
+        self.push_failed(FailedRequest {
+            id: lr.id,
+            app: lr.request.app,
+            class: lr.request.class,
+            arrived_at: lr.arrived_at,
+            failed_at: now,
+            reason: FailReason::CodelShed,
+        });
+        if let Some(sink) = self.sink.as_deref_mut() {
+            sink.record(TraceEvent::RequestFailed {
+                ts: now,
+                rid: rid as u64,
+                reason: FailReason::CodelShed.label().into(),
+            });
+        }
+    }
+
+    /// The §5.2 selection policy, applied to `core`'s queue (the shared
+    /// central queue under cFCFS).
+    fn pick_candidate(&mut self, core: usize) -> Option<usize> {
+        let q = self.qidx(core);
         match self.cfg.scheduler.clone() {
-            SchedulerPolicy::Stock => self.runqueues[core].pop_front(),
+            SchedulerPolicy::Stock => self.runqueues[q].pop_front(),
             SchedulerPolicy::ContentionEasing {
                 high_usage_threshold,
                 ..
@@ -1657,20 +1977,20 @@ impl<'s> Engine<'s> {
                     // vaEWMA error exceeds the gate: fall back to stock
                     // selection until prediction confidence recovers.
                     self.stats.easing_gate_fallbacks += 1;
-                    return self.runqueues[core].pop_front();
+                    return self.runqueues[q].pop_front();
                 }
                 if self.any_other_core_high(core, high_usage_threshold) {
                     // Pick the non-high request closest to the head.
-                    let pos = self.runqueues[core]
+                    let pos = self.runqueues[q]
                         .iter()
                         .position(|&rid| !self.is_high(rid, high_usage_threshold));
                     match pos {
-                        Some(p) => self.runqueues[core].remove(p),
+                        Some(p) => self.runqueues[q].remove(p),
                         // No suitable request: give up, schedule normally.
-                        None => self.runqueues[core].pop_front(),
+                        None => self.runqueues[q].pop_front(),
                     }
                 } else {
-                    self.runqueues[core].pop_front()
+                    self.runqueues[q].pop_front()
                 }
             }
         }
@@ -1696,7 +2016,7 @@ impl<'s> Engine<'s> {
         let Some(rid) = self.cores[core].running else {
             return;
         };
-        if self.runqueues[core].is_empty() {
+        if self.runqueues[self.qidx(core)].is_empty() {
             // Nothing to rotate to: extend the quantum.
             self.cores[core].quantum_epoch += 1;
             let epoch = self.cores[core].quantum_epoch;
@@ -1721,7 +2041,12 @@ impl<'s> Engine<'s> {
                 reason: SwitchReason::Quantum,
             });
         }
-        self.runqueues[core].push_back(rid);
+        let q = self.qidx(core);
+        self.live[rid]
+            .as_mut()
+            .expect("rotated request is live")
+            .queued_at = now;
+        self.runqueues[q].push_back(rid);
         self.schedule_next_on(core);
     }
 
@@ -1756,13 +2081,14 @@ impl<'s> Engine<'s> {
         {
             return;
         }
-        let Some(pos) = self.runqueues[core]
+        let q = self.qidx(core);
+        let Some(pos) = self.runqueues[q]
             .iter()
             .position(|&r| !self.is_high(r, high_usage_threshold))
         else {
             return; // no contention-easing opportunity: current resumes
         };
-        let next = self.runqueues[core].remove(pos).expect("position valid");
+        let next = self.runqueues[q].remove(pos).expect("position valid");
         self.cs_sample(core, rid, now);
         self.cores[core].running = None;
         self.stats.context_switches += 1;
@@ -1787,8 +2113,170 @@ impl<'s> Engine<'s> {
             });
         }
         // The paper keeps the displaced current request at the queue head.
-        self.runqueues[core].push_front(rid);
+        self.runqueues[q].push_front(rid);
         self.dispatch(core, next);
+    }
+
+    // ----- open-loop clients and streaming ----------------------------------
+
+    /// Queue index serving `core`: per-core under dFCFS and the default
+    /// placement, the one shared queue under cFCFS.
+    fn qidx(&self, core: usize) -> usize {
+        if self.cfg.queue_discipline == Some(QueueDiscipline::Cfcfs) {
+            0
+        } else {
+            core
+        }
+    }
+
+    /// Total requests turned away or abandoned so far — the reject-rate
+    /// numerator of the guard ladder's overload-pressure signal.
+    fn rejected_total(&self) -> u64 {
+        self.stats.admission_rejections
+            + self.stats.deadline_aborts
+            + self.stats.codel_shed
+            + self.stats.brownout_rejections
+            + self.stats.client_timeouts
+    }
+
+    /// Deepest runqueue occupancy as a fraction of the admission bound —
+    /// the queue-pressure input of the guard ladder's overload band.
+    /// Zero when queues are unbounded (no overload policy).
+    fn deepest_queue_frac(&self) -> f64 {
+        let Some(overload) = self.cfg.overload else {
+            return 0.0;
+        };
+        if overload.max_runqueue == usize::MAX {
+            return 0.0;
+        }
+        if self.cfg.queue_discipline == Some(QueueDiscipline::Cfcfs) {
+            let running = self.cores.iter().filter(|c| c.running.is_some()).count();
+            let bound = overload.max_runqueue.saturating_mul(self.cores.len());
+            return ((self.runqueues[0].len() + running) as f64 / bound as f64).clamp(0.0, 1.0);
+        }
+        let deepest = (0..self.cores.len())
+            .map(|c| self.runqueues[c].len() + usize::from(self.cores[c].running.is_some()))
+            .max()
+            .unwrap_or(0);
+        (deepest as f64 / overload.max_runqueue as f64).clamp(0.0, 1.0)
+    }
+
+    /// The client's patience for the current attempt ran out: retry with
+    /// capped exponential backoff plus deterministic hash jitter, or give
+    /// up for good once retries are exhausted.
+    fn on_client_timeout(&mut self, rid: usize, now: Cycles, factory: &mut dyn RequestFactory) {
+        let client = self.cfg.client.expect("client timeout requires a policy");
+        self.stats.client_timeouts += 1;
+        let attempt = self.live[rid]
+            .as_ref()
+            .expect("timed-out request is live")
+            .attempt;
+        if attempt >= client.max_retries {
+            self.fail_request(rid, now, FailReason::ClientTimeout, factory);
+            return;
+        }
+        self.abort_attempt(rid, now);
+        let lr = self.live[rid].as_mut().expect("aborted request is live");
+        lr.attempt += 1;
+        let gen = lr.attempt;
+        self.stats.client_retries += 1;
+        // Hash jitter, not a stream draw: retry timing must not perturb
+        // the engine or fault streams, so retries-off runs stay
+        // bit-identical to builds that predate the client model.
+        let jitter = hash_mix(self.cfg.seed ^ ((rid as u64) << 16) ^ u64::from(gen)) as f64
+            / u64::MAX as f64;
+        let backoff = client.retry_backoff.as_f64()
+            * 2f64.powi(attempt.min(16) as i32)
+            * (1.0 + 0.5 * jitter);
+        let backoff = Cycles::new(backoff.max(1.0) as u64);
+        if let Some(sink) = self.sink.as_deref_mut() {
+            sink.record(TraceEvent::RetryScheduled {
+                ts: now,
+                rid: rid as u64,
+                attempt: gen,
+                backoff,
+            });
+        }
+        self.queue
+            .schedule_after(backoff, Event::ClientResubmit { rid, gen });
+    }
+
+    /// The client resubmits a timed-out request: a fresh patience timer
+    /// arms and the request re-enters admission from the top.
+    fn on_client_resubmit(&mut self, rid: usize, factory: &mut dyn RequestFactory) {
+        let client = self.cfg.client.expect("client resubmit requires a policy");
+        let gen = self.live[rid]
+            .as_ref()
+            .expect("resubmitted request is live")
+            .attempt;
+        self.queue
+            .schedule_after(client.timeout, Event::ClientTimeout { rid, gen });
+        self.try_admit(rid, 0, factory);
+    }
+
+    /// Client abandons the current attempt: the request is pulled off
+    /// whatever core or queue holds it and its partially-executed state
+    /// is discarded — the consumed CPU cycles are wasted work, which is
+    /// exactly the amplification mechanism of a metastable retry storm.
+    /// The id stays live awaiting resubmission; its predictor and noise
+    /// stream survive (they belong to the request, not the attempt).
+    fn abort_attempt(&mut self, rid: usize, now: Cycles) {
+        for c in 0..self.cores.len() {
+            if self.cores[c].running == Some(rid) {
+                self.cores[c].running = None;
+                self.rates_dirty = true;
+                self.stats.context_switches += 1;
+                if let Some(sink) = self.sink.as_deref_mut() {
+                    sink.record(TraceEvent::SliceEnd {
+                        ts: now,
+                        core: c as u32,
+                        rid: rid as u64,
+                    });
+                }
+                self.schedule_next_on(c);
+                break;
+            }
+            if let Some(pos) = self.runqueues[c].iter().position(|&r| r == rid) {
+                self.runqueues[c].remove(pos);
+                break;
+            }
+        }
+        let lr = self.live[rid].as_mut().expect("aborted request is live");
+        self.stats.wasted_cycles += lr.cum_cycles;
+        lr.stage_idx = 0;
+        lr.ins_in_stage = 0.0;
+        lr.phase_idx = 0;
+        lr.next_syscall = 0;
+        lr.timeline = Timeline::new();
+        lr.accum = SamplePeriod::default();
+        lr.accum_injection = None;
+        lr.cum_cycles = 0.0;
+        lr.cum_ins = 0.0;
+        lr.syscalls.clear();
+        lr.pending_transition = None;
+        lr.last_syscall = None;
+        lr.stage_marks.clear();
+        lr.queued_at = now;
+    }
+
+    /// Records a completion, streaming it into the completion sink when
+    /// one is attached (bounded-memory mode) or retaining it otherwise.
+    fn push_completed(&mut self, request: CompletedRequest) {
+        self.n_completed += 1;
+        match self.completions.as_deref_mut() {
+            Some(sink) => sink.on_complete(&request),
+            None => self.completed.push(request),
+        }
+    }
+
+    /// Records a failure, streaming or retaining it like
+    /// [`Self::push_completed`].
+    fn push_failed(&mut self, request: FailedRequest) {
+        self.n_failed += 1;
+        match self.completions.as_deref_mut() {
+            Some(sink) => sink.on_fail(&request),
+            None => self.failed.push(request),
+        }
     }
 }
 
@@ -2192,6 +2680,55 @@ mod fault_and_overload_tests {
         }
     }
 
+    /// End-to-end label flow for the overload rungs: a guarded run driven
+    /// into sustained admission pressure walks the ladder below `stock`,
+    /// and the trace stream carries the `shed`/`brownout` labels that the
+    /// Perfetto exporter passes through verbatim.
+    #[test]
+    fn traced_overload_descent_emits_overload_rung_transitions() {
+        let mut cfg = SimConfig::paper_default();
+        cfg.arrivals = ArrivalProcess::OpenPoisson {
+            mean_interarrival: Cycles::from_micros(6),
+        };
+        cfg.overload = Some(OverloadPolicy {
+            max_runqueue: 2,
+            deadline: None,
+            max_retries: 1,
+            retry_backoff: Cycles::from_micros(50),
+        });
+        let mut governor = GovernorPolicy::default();
+        // The default 2 ms dwell spaces rungs further apart than this
+        // short run; a tighter dwell lets the descent reach brownout.
+        governor.health.dwell = Cycles::from_micros(300);
+        cfg.governor = Some(governor);
+        let mut sink = rbv_telemetry::MemorySink::new();
+        let mut f = Tpcc::new(13, 0.05);
+        let r = run_simulation_traced(cfg, &mut f, 800, &mut sink).expect("valid");
+        assert!(r.stats.admission_rejections > 0);
+        let moves: Vec<(String, String)> = sink
+            .into_events()
+            .into_iter()
+            .filter_map(|e| match e {
+                TraceEvent::HealthTransition { from, to, .. } => Some((from, to)),
+                _ => None,
+            })
+            .collect();
+        assert!(
+            moves.contains(&("stock".to_string(), "shed".to_string())),
+            "no stock->shed transition in {moves:?}"
+        );
+        assert!(
+            moves.contains(&("shed".to_string(), "brownout".to_string())),
+            "no shed->brownout transition in {moves:?}"
+        );
+        let known = ["easing", "frozen_predictions", "stock", "shed", "brownout"];
+        for (from, to) in &moves {
+            assert!(known.contains(&from.as_str()), "unknown rung label {from}");
+            assert!(known.contains(&to.as_str()), "unknown rung label {to}");
+        }
+        assert_eq!(r.stats.health_transitions, moves.len() as u64);
+    }
+
     #[test]
     fn fault_runs_are_deterministic() {
         let run = || {
@@ -2534,5 +3071,222 @@ mod multi_machine_tests {
             assert_eq!(x.finished_at, y.finished_at);
             assert_eq!(x.timeline, y.timeline);
         }
+    }
+}
+
+#[cfg(test)]
+mod openloop_tests {
+    use super::*;
+    use crate::config::{
+        ArrivalProcess, ClientPolicy, OverloadPolicy, QueueDiscipline, ShedPolicy, SimConfig,
+    };
+    use rbv_workloads::Tpcc;
+
+    fn open_cfg(mean_micros: u64) -> SimConfig {
+        let mut cfg = SimConfig::paper_default();
+        cfg.arrivals = ArrivalProcess::OpenPoisson {
+            mean_interarrival: Cycles::from_micros(mean_micros),
+        };
+        cfg
+    }
+
+    /// Sorted arrival instants of every finished request (completions and
+    /// failures), for arrival-process statistics.
+    fn arrival_times(r: &RunResult) -> Vec<Cycles> {
+        let mut at: Vec<Cycles> = r
+            .completed
+            .iter()
+            .map(|c| c.arrived_at)
+            .chain(r.failed.iter().map(|f| f.arrived_at))
+            .collect();
+        at.sort_unstable();
+        at
+    }
+
+    /// Squared coefficient of variation of the interarrival gaps: 1 for
+    /// Poisson, above 1 for bursty processes.
+    fn gap_cv2(times: &[Cycles]) -> f64 {
+        let gaps: Vec<f64> = times
+            .windows(2)
+            .map(|w| w[1].saturating_sub(w[0]).as_f64())
+            .collect();
+        let mean = gaps.iter().sum::<f64>() / gaps.len() as f64;
+        let var = gaps.iter().map(|g| (g - mean).powi(2)).sum::<f64>() / gaps.len() as f64;
+        var / (mean * mean)
+    }
+
+    #[test]
+    fn permissive_client_and_shed_policies_are_bit_identical_to_none() {
+        // A client too patient to ever time out and a CoDel target no
+        // sojourn can exceed take none of the new paths: results match
+        // the plain open-loop engine bit for bit.
+        let run = |defended: bool| {
+            let mut cfg = open_cfg(50).with_syscall_sampling(10, 1_000);
+            if defended {
+                cfg.client = Some(ClientPolicy {
+                    timeout: Cycles::from_millis(60_000),
+                    max_retries: 3,
+                    retry_backoff: Cycles::from_micros(100),
+                });
+                cfg.shed = Some(ShedPolicy {
+                    target: Cycles::from_millis(60_000),
+                    interval: Cycles::from_millis(60_000),
+                });
+            }
+            let mut f = Tpcc::new(23, 0.05);
+            run_simulation(cfg, &mut f, 20).expect("valid")
+        };
+        let baseline = run(false);
+        let permissive = run(true);
+        assert_eq!(baseline, permissive);
+        assert!(permissive.failed.is_empty());
+        assert_eq!(permissive.stats.client_timeouts, 0);
+        assert_eq!(permissive.stats.codel_shed, 0);
+    }
+
+    #[test]
+    fn mmpp_arrivals_are_deterministic_and_burstier_than_poisson() {
+        let mmpp = || {
+            let mut cfg = SimConfig::paper_default();
+            cfg.arrivals = ArrivalProcess::OpenMmpp {
+                mean_interarrival: Cycles::from_micros(200),
+                burst_mean_interarrival: Cycles::from_micros(10),
+                mean_calm_dwell: Cycles::from_millis(2),
+                mean_burst_dwell: Cycles::from_millis(1),
+            };
+            let mut f = Tpcc::new(31, 0.05);
+            run_simulation(cfg, &mut f, 60).expect("valid")
+        };
+        let (a, b) = (mmpp(), mmpp());
+        assert_eq!(a, b, "MMPP arrivals must be deterministic");
+
+        let mut f = Tpcc::new(31, 0.05);
+        let poisson = run_simulation(open_cfg(200), &mut f, 60).expect("valid");
+        let cv2_mmpp = gap_cv2(&arrival_times(&a));
+        let cv2_poisson = gap_cv2(&arrival_times(&poisson));
+        assert!(
+            cv2_mmpp > cv2_poisson,
+            "MMPP should be burstier: cv2 {cv2_mmpp} vs poisson {cv2_poisson}"
+        );
+    }
+
+    #[test]
+    fn queue_disciplines_complete_everything_and_differ() {
+        let run = |d: Option<QueueDiscipline>| {
+            let mut cfg = open_cfg(100);
+            cfg.queue_discipline = d;
+            let mut f = Tpcc::new(37, 0.05);
+            run_simulation(cfg, &mut f, 40).expect("valid")
+        };
+        let dfcfs = run(Some(QueueDiscipline::Dfcfs));
+        let cfcfs = run(Some(QueueDiscipline::Cfcfs));
+        assert_eq!(dfcfs.completed.len(), 40);
+        assert_eq!(cfcfs.completed.len(), 40);
+        // RSS hash steering and the shared central queue genuinely place
+        // requests differently.
+        assert_ne!(
+            dfcfs.completed.last().expect("nonempty").finished_at,
+            cfcfs.completed.last().expect("nonempty").finished_at
+        );
+    }
+
+    #[test]
+    fn client_timeouts_retry_and_conserve_requests() {
+        let mut cfg = open_cfg(6);
+        // Queues deep enough that admitted requests wait well past the
+        // client's patience, so timeouts fire while requests sit queued.
+        cfg.overload = Some(OverloadPolicy {
+            max_runqueue: 16,
+            deadline: None,
+            max_retries: 1,
+            retry_backoff: Cycles::from_micros(50),
+        });
+        cfg.client = Some(ClientPolicy {
+            timeout: Cycles::from_micros(300),
+            max_retries: 2,
+            retry_backoff: Cycles::from_micros(30),
+        });
+        let mut f = Tpcc::new(41, 0.05);
+        let r = run_simulation(cfg, &mut f, 50).expect("valid");
+        assert!(r.stats.client_timeouts > 0);
+        assert!(r.stats.client_retries > 0);
+        assert!(r.stats.wasted_cycles > 0.0);
+        // Conservation under the retry storm: every generated request is
+        // accounted for exactly once.
+        assert_eq!(r.completed.len() + r.failed.len(), 50);
+        for fr in &r.failed {
+            assert!(
+                matches!(
+                    fr.reason,
+                    FailReason::AdmissionShed | FailReason::ClientTimeout
+                ),
+                "unexpected reason {:?}",
+                fr.reason
+            );
+        }
+    }
+
+    #[test]
+    fn codel_sheds_persistently_overqueued_requests() {
+        let mut cfg = open_cfg(6);
+        cfg.shed = Some(ShedPolicy {
+            target: Cycles::from_micros(30),
+            interval: Cycles::from_micros(60),
+        });
+        let mut f = Tpcc::new(43, 0.05);
+        let r = run_simulation(cfg, &mut f, 40).expect("valid");
+        assert!(r.stats.codel_shed > 0, "shed {}", r.stats.codel_shed);
+        assert_eq!(r.completed.len() + r.failed.len(), 40);
+        for fr in &r.failed {
+            assert_eq!(fr.reason, FailReason::CodelShed);
+        }
+    }
+
+    struct CountSink {
+        completed: u64,
+        failed: u64,
+        cpu_cycles: f64,
+    }
+
+    impl CompletionSink for CountSink {
+        fn on_complete(&mut self, request: &CompletedRequest) {
+            self.completed += 1;
+            self.cpu_cycles += request.cpu_cycles();
+        }
+
+        fn on_fail(&mut self, _request: &FailedRequest) {
+            self.failed += 1;
+        }
+    }
+
+    #[test]
+    fn streaming_run_matches_retained_run() {
+        let cfg = || {
+            let mut cfg = open_cfg(6);
+            cfg.overload = Some(OverloadPolicy {
+                max_runqueue: 2,
+                deadline: None,
+                max_retries: 1,
+                retry_backoff: Cycles::from_micros(50),
+            });
+            cfg
+        };
+        let mut f = Tpcc::new(47, 0.05);
+        let retained = run_simulation(cfg(), &mut f, 40).expect("valid");
+        let mut f = Tpcc::new(47, 0.05);
+        let mut sink = CountSink {
+            completed: 0,
+            failed: 0,
+            cpu_cycles: 0.0,
+        };
+        let streamed = run_simulation_streaming(cfg(), &mut f, 40, &mut sink).expect("valid");
+        // Identical statistics and simulated time; nothing retained.
+        assert_eq!(retained.stats, streamed.stats);
+        assert_eq!(retained.total_time, streamed.total_time);
+        assert!(streamed.completed.is_empty() && streamed.failed.is_empty());
+        assert_eq!(sink.completed as usize, retained.completed.len());
+        assert_eq!(sink.failed as usize, retained.failed.len());
+        let retained_cpu: f64 = retained.completed.iter().map(|c| c.cpu_cycles()).sum();
+        assert!((sink.cpu_cycles - retained_cpu).abs() < 1e-6 * retained_cpu.max(1.0));
     }
 }

@@ -101,6 +101,16 @@ pub enum FailReason {
     AdmissionShed,
     /// The request exceeded its deadline and was aborted mid-execution.
     DeadlineAbort,
+    /// The client timed out on every resubmission and gave up
+    /// ([`crate::ClientPolicy`]).
+    ClientTimeout,
+    /// CoDel-style dequeue-time shedding dropped the request after its
+    /// queue sojourn stayed over target for a full control interval
+    /// ([`crate::ShedPolicy`]).
+    CodelShed,
+    /// The guard ladder's brownout rung deterministically rejected the
+    /// arrival before admission.
+    BrownoutReject,
 }
 
 impl FailReason {
@@ -109,6 +119,9 @@ impl FailReason {
         match self {
             FailReason::AdmissionShed => "shed",
             FailReason::DeadlineAbort => "deadline",
+            FailReason::ClientTimeout => "timeout",
+            FailReason::CodelShed => "codel",
+            FailReason::BrownoutReject => "brownout",
         }
     }
 }
@@ -201,6 +214,17 @@ pub struct RunStats {
     pub load_shed: u64,
     /// Requests aborted at their deadline.
     pub deadline_aborts: u64,
+    /// Client-side timeout expirations (every firing, terminal or not).
+    pub client_timeouts: u64,
+    /// Client resubmissions after a timeout (capped exponential backoff).
+    pub client_retries: u64,
+    /// Requests shed by the CoDel-style dequeue controller.
+    pub codel_shed: u64,
+    /// Arrivals the guard ladder's brownout rung rejected outright.
+    pub brownout_rejections: u64,
+    /// CPU cycles consumed by attempts the client later abandoned —
+    /// the wasted work that makes retry storms metastable.
+    pub wasted_cycles: f64,
     /// Scheduling decisions where the prediction-confidence gate held
     /// contention easing back and stock scheduling ran instead.
     pub easing_gate_fallbacks: u64,
@@ -230,7 +254,8 @@ pub struct RunStats {
     /// Measurement-health ladder transitions (degradations + recoveries).
     pub health_transitions: u64,
     /// Ladder rung in effect when the run ended, as
-    /// [`rbv_guard::LadderRung::index`] (0 = easing, 2 = stock).
+    /// [`rbv_guard::LadderRung::index`] (0 = easing, 2 = stock,
+    /// 4 = brownout).
     pub health_final_rung: u64,
     /// Runtime invariant checks performed.
     pub invariant_checks: u64,
@@ -434,6 +459,11 @@ impl RunResult {
         registry.count("overload.admission_retries", stats.admission_retries);
         registry.count("overload.load_shed", stats.load_shed);
         registry.count("overload.deadline_aborts", stats.deadline_aborts);
+        registry.count("overload.client_timeouts", stats.client_timeouts);
+        registry.count("overload.client_retries", stats.client_retries);
+        registry.count("overload.codel_shed", stats.codel_shed);
+        registry.count("overload.brownout_rejections", stats.brownout_rejections);
+        registry.gauge("overload.wasted_cycles", stats.wasted_cycles);
         registry.count(
             "scheduler.easing_gate_fallbacks",
             stats.easing_gate_fallbacks,

@@ -264,8 +264,10 @@ pub enum TraceEvent {
         /// The budget the window was judged against.
         budget_frac: f64,
     },
-    /// The measurement-health ladder moved the easing scheduler one rung
-    /// (`easing`, `frozen_predictions`, or `stock`).
+    /// The measurement-health ladder moved one rung (`easing`,
+    /// `frozen_predictions`, `stock`, `shed`, or `brownout`) — below
+    /// `stock` the scheduler runs unmodified and the overload defenses
+    /// progressively engage.
     HealthTransition {
         /// Transition instant (an accounting-window boundary).
         ts: Cycles,

@@ -611,4 +611,44 @@ mod tests {
         assert_eq!(args.get("cycles").unwrap().as_f64(), Some(6000.0));
         assert_eq!(args.get("syscall").unwrap().as_str(), Some("read"));
     }
+
+    /// The overload rungs added below `stock` reach the exporter through
+    /// the same string-label path as the original three rungs.
+    #[test]
+    fn health_transitions_carry_overload_rung_labels() {
+        let events = vec![
+            TraceEvent::HealthTransition {
+                ts: Cycles::from_micros(1),
+                from: "stock".into(),
+                to: "shed".into(),
+                score: 0.3,
+            },
+            TraceEvent::HealthTransition {
+                ts: Cycles::from_micros(2),
+                from: "shed".into(),
+                to: "brownout".into(),
+                score: 0.1,
+            },
+        ];
+        let doc = PerfettoTrace::from_events(&events, 1).to_json();
+        let transitions: Vec<&Json> = trace_events(&doc)
+            .iter()
+            .filter(|e| e.get("name").unwrap().as_str() == Some("health_transition"))
+            .collect();
+        assert_eq!(transitions.len(), 2);
+        let pair = |e: &Json| {
+            let args = e.get("args").unwrap();
+            (
+                args.get("from").unwrap().as_str().unwrap().to_string(),
+                args.get("to").unwrap().as_str().unwrap().to_string(),
+            )
+        };
+        assert_eq!(pair(transitions[0]), ("stock".into(), "shed".into()));
+        assert_eq!(pair(transitions[1]), ("shed".into(), "brownout".into()));
+        assert_eq!(
+            transitions[0].get("cat").unwrap().as_str(),
+            Some("guard"),
+            "ladder moves stay on the guard track"
+        );
+    }
 }
