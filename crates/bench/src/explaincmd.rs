@@ -1,0 +1,94 @@
+//! `repro explain <serve-ledger>` — critical-path report over a traced
+//! serve ledger: where client-visible latency comes from at the median
+//! and at the tail, plus the top-k slowest requests by stage breakdown.
+//!
+//! The input is a `rbv-serve/v1` ledger written by
+//! `repro serve --trace-spans` (or any traced serve run with `--out`);
+//! the embedded `trace` member carries the merged per-shard span
+//! summary.
+
+use std::path::Path;
+
+use rbv_os::RbvError;
+use rbv_telemetry::Json;
+use rbv_trace::{render_explain, SpanSummary, TOP_K};
+
+/// Loads `path`, extracts the `trace` member, and prints the
+/// critical-path report.
+///
+/// # Errors
+///
+/// Returns [`RbvError::Config`] when the file is unreadable, is not a
+/// serve ledger, or carries no `trace` member (the serve run was not
+/// traced).
+pub fn run(path: &Path) -> Result<SpanSummary, RbvError> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| RbvError::Config(format!("cannot read {}: {e}", path.display())))?;
+    let summary =
+        parse_ledger(&text).map_err(|e| RbvError::Config(format!("{}: {e}", path.display())))?;
+    print!("{}", render_explain(&summary, TOP_K));
+    Ok(summary)
+}
+
+/// Parses a serve-ledger JSON text into its embedded span summary.
+fn parse_ledger(text: &str) -> Result<SpanSummary, String> {
+    let doc = Json::parse(text.trim()).map_err(|e| format!("not valid JSON ({e})"))?;
+    let schema = doc
+        .get("schema")
+        .and_then(Json::as_str)
+        .ok_or("missing schema member")?;
+    if schema != rbv_openloop::SCHEMA {
+        return Err(format!(
+            "schema `{schema}` is not `{}` — explain reads serve ledgers",
+            rbv_openloop::SCHEMA
+        ));
+    }
+    let trace = doc.get("trace").ok_or(
+        "ledger has no trace member — rerun `repro serve` with --trace-spans to record one",
+    )?;
+    SpanSummary::from_json(trace)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rbv_openloop::{serve_with_shard_target, ServeSpec};
+    use rbv_workloads::AppId;
+
+    #[test]
+    fn explain_round_trips_a_traced_serve_ledger() {
+        let dir = std::env::temp_dir().join("rbv-explaincmd-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("serve.json");
+        let mut spec = ServeSpec::new(AppId::WebServer, 80, 9);
+        spec.overload = 2.0;
+        spec.trace = true;
+        let report = serve_with_shard_target(&spec, &rbv_par::Pool::serial(), 40).unwrap();
+        std::fs::write(&path, report.to_json().to_string_compact()).unwrap();
+        let summary = run(&path).expect("explain");
+        assert_eq!(Some(&summary), report.trace.as_ref());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn explain_rejects_untraced_ledgers() {
+        let dir = std::env::temp_dir().join("rbv-explaincmd-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("untraced.json");
+        let spec = ServeSpec::new(AppId::WebServer, 40, 9);
+        let report = serve_with_shard_target(&spec, &rbv_par::Pool::serial(), 40).unwrap();
+        std::fs::write(&path, report.to_json().to_string_compact()).unwrap();
+        let err = run(&path).expect_err("untraced ledger must fail");
+        assert!(err.to_string().contains("--trace-spans"), "{err}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn explain_rejects_foreign_schemas() {
+        assert!(parse_ledger("{\"schema\":\"rbv-ledger/v2\"}")
+            .unwrap_err()
+            .contains("serve ledgers"));
+        assert!(parse_ledger("not json").unwrap_err().contains("JSON"));
+        assert!(parse_ledger("{}").unwrap_err().contains("schema"));
+    }
+}

@@ -24,6 +24,7 @@ pub mod campaigncmd;
 pub mod chaoscmd;
 pub mod diffcmd;
 pub mod experiments;
+pub mod explaincmd;
 pub mod harness;
 pub mod servecmd;
 pub mod tracecmd;

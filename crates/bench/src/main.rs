@@ -10,7 +10,9 @@
 //!       [--retry-storm]
 //! repro serve <app> [--requests N] [--overload X] [--seed N] [--mmpp] [--guard] \
 //!       [--discipline none|dfcfs|cfcfs] [--admission on|off] [--shed on|off] \
-//!       [--retries on|off] [--out SERVE.json] [--json] [--wallclock]
+//!       [--retries on|off] [--out SERVE.json] [--json] [--wallclock] \
+//!       [--trace-spans SPANS.json]
+//! repro explain <serve-ledger.json>
 //! repro bench [<app>|--all] [--seed N] [--fast] [--out BENCH.json] [--wallclock]
 //! repro diff <baseline.json> <candidate.json> [--tolerance pct]
 //! repro campaign [--fast] [--seed N] [--drift] [--epochs N] \
@@ -34,6 +36,7 @@ use rbv_bench::experiments::{dispatch, REGISTRY};
 use rbv_os::RbvError;
 
 /// Parsed command line: boolean flags, valued options, positionals.
+#[derive(Debug)]
 struct Cli {
     fast: bool,
     syscalls: bool,
@@ -56,6 +59,7 @@ struct Cli {
     shed: Option<bool>,
     retries: Option<bool>,
     trace: Option<PathBuf>,
+    trace_spans: Option<PathBuf>,
     metrics: Option<PathBuf>,
     out: Option<PathBuf>,
     min_recall: Option<f64>,
@@ -77,6 +81,8 @@ fn usage() {
     eprintln!("             [--discipline none|dfcfs|cfcfs] [--admission on|off]");
     eprintln!("             [--shed on|off] [--retries on|off]");
     eprintln!("             [--out SERVE.json] [--json] [--wallclock]");
+    eprintln!("             [--trace-spans SPANS.json]");
+    eprintln!("       repro explain <serve-ledger.json>");
     eprintln!("       repro bench [<app>|--all] [--seed N] [--fast] \\");
     eprintln!("             [--out BENCH.json] [--wallclock]");
     eprintln!("       repro diff <baseline.json> <candidate.json> [--tolerance pct]");
@@ -121,6 +127,7 @@ fn parse(args: Vec<String>) -> Result<Cli, RbvError> {
         shed: None,
         retries: None,
         trace: None,
+        trace_spans: None,
         metrics: None,
         out: None,
         min_recall: None,
@@ -236,6 +243,12 @@ fn parse(args: Vec<String>) -> Result<Cli, RbvError> {
                         .ok_or_else(|| cli_err("--trace requires a path".into()))?,
                 ));
             }
+            "--trace-spans" => {
+                cli.trace_spans =
+                    Some(PathBuf::from(it.next().ok_or_else(|| {
+                        cli_err("--trace-spans requires a path".into())
+                    })?));
+            }
             "--metrics" => {
                 cli.metrics =
                     Some(PathBuf::from(it.next().ok_or_else(|| {
@@ -267,6 +280,44 @@ fn parse(args: Vec<String>) -> Result<Cli, RbvError> {
         }
     }
     Ok(cli)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(line: &str) -> Vec<String> {
+        line.split_whitespace().map(str::to_string).collect()
+    }
+
+    #[test]
+    fn overload_must_be_finite_and_positive() {
+        for bad in ["-1", "0", "nan", "inf", "-inf", "nope"] {
+            let err = parse(argv(&format!("serve web --overload {bad}")))
+                .expect_err("bad overload must be a usage error");
+            assert!(matches!(err, RbvError::Cli(_)), "{bad}: {err}");
+            assert_eq!(err.exit_code(), 2, "{bad}");
+        }
+        let cli = parse(argv("serve web --overload 2.5")).expect("valid overload");
+        assert_eq!(cli.overload, Some(2.5));
+    }
+
+    #[test]
+    fn trace_spans_takes_a_path() {
+        let cli = parse(argv("serve web --trace-spans spans.json")).expect("parses");
+        assert_eq!(
+            cli.trace_spans.as_deref(),
+            Some(std::path::Path::new("spans.json"))
+        );
+        let err = parse(argv("serve web --trace-spans")).expect_err("missing path");
+        assert_eq!(err.exit_code(), 2);
+    }
+
+    #[test]
+    fn unknown_flags_are_usage_errors() {
+        let err = parse(argv("serve web --bogus")).expect_err("unknown flag");
+        assert_eq!(err.exit_code(), 2);
+    }
 }
 
 /// Prints `e` and converts it to its process exit code.
@@ -370,6 +421,7 @@ fn main() -> ExitCode {
                 eprintln!("             [--discipline none|dfcfs|cfcfs] [--admission on|off]");
                 eprintln!("             [--shed on|off] [--retries on|off] [--guard]");
                 eprintln!("             [--out SERVE.json] [--json] [--wallclock]");
+                eprintln!("             [--trace-spans SPANS.json]");
                 return ExitCode::from(2);
             };
             let mut spec = rbv_openloop::ServeSpec::new(
@@ -394,7 +446,27 @@ fn main() -> ExitCode {
             }
             spec.guard = cli.guard;
             spec.mmpp = cli.mmpp;
-            match rbv_bench::servecmd::run(&spec, cli.wallclock, cli.out.as_deref(), cli.json) {
+            if cli.trace_spans.is_some() {
+                spec.trace = true;
+                spec.trace_spans = true;
+            }
+            match rbv_bench::servecmd::run(
+                &spec,
+                cli.wallclock,
+                cli.out.as_deref(),
+                cli.json,
+                cli.trace_spans.as_deref(),
+            ) {
+                Ok(_) => ExitCode::SUCCESS,
+                Err(e) => fail(&e),
+            }
+        }
+        "explain" => {
+            let Some(ledger) = cli.positionals.get(1) else {
+                eprintln!("usage: repro explain <serve-ledger.json>");
+                return ExitCode::from(2);
+            };
+            match rbv_bench::explaincmd::run(std::path::Path::new(ledger)) {
                 Ok(_) => ExitCode::SUCCESS,
                 Err(e) => fail(&e),
             }

@@ -15,7 +15,9 @@ use rbv_os::RbvError;
 /// then goes to stderr so pipelines stay parseable). `wallclock`
 /// opts into the wall-seconds / simulated-requests-per-wall-second
 /// profile section, which is deliberately excluded otherwise so output
-/// stays byte-identical across `--threads` settings.
+/// stays byte-identical across `--threads` settings. `spans_out`
+/// (requires a spec with `trace_spans` set) writes the retained
+/// per-request spans as a Perfetto trace with retry flow arrows.
 ///
 /// # Errors
 ///
@@ -25,6 +27,7 @@ pub fn run(
     wallclock: bool,
     out: Option<&Path>,
     json: bool,
+    spans_out: Option<&Path>,
 ) -> Result<ServeReport, RbvError> {
     let pool = rbv_par::Pool::global();
     let start = std::time::Instant::now();
@@ -42,6 +45,12 @@ pub fn run(
     if let Some(path) = out {
         std::fs::write(path, format!("{text}\n"))?;
         eprintln!("[serve ledger written to {}]", path.display());
+    }
+    if let Some(path) = spans_out {
+        let spans: usize = report.spans.iter().map(|(_, s)| s.len()).sum();
+        let trace = rbv_trace::spans_to_perfetto(&report.spans);
+        std::fs::write(path, trace.to_json_string())?;
+        eprintln!("[{spans} request spans written to {}]", path.display());
     }
     Ok(report)
 }
@@ -121,6 +130,30 @@ pub fn summarize<W: Write>(report: &ServeReport, out: &mut W) -> io::Result<()> 
             report.latency_us.p99().unwrap_or(f64::NAN)
         )?;
     }
+    if let Some(trace) = &report.trace {
+        writeln!(
+            out,
+            "  visible p50/p99 (us)     {:.1} / {:.1} (spans: {} checks, {} violations)",
+            trace.client_visible_us.p50().unwrap_or(0.0),
+            trace.client_visible_us.p99().unwrap_or(0.0),
+            trace.invariant_checks,
+            trace.violations_total()
+        )?;
+        let stages = [
+            ("queue", trace.queue_us.p99().unwrap_or(0.0)),
+            ("service", trace.service_us.p99().unwrap_or(0.0)),
+            ("backoff", trace.backoff_us.p99().unwrap_or(0.0)),
+            ("other", trace.other_us.p99().unwrap_or(0.0)),
+        ];
+        let total: f64 = stages.iter().map(|(_, v)| v).sum();
+        if total > 0.0 {
+            let shares: Vec<String> = stages
+                .iter()
+                .map(|(name, v)| format!("{name} {:.0}%", 100.0 * v / total))
+                .collect();
+            writeln!(out, "  p99 stage shares         {}", shares.join(" / "))?;
+        }
+    }
     if let (Some(wall), Some(rate)) = (report.wall_seconds, report.sim_requests_per_wall_second()) {
         writeln!(
             out,
@@ -150,7 +183,7 @@ mod tests {
         let path = dir.join("serve.json");
         let mut spec = ServeSpec::new(AppId::WebServer, 80, 9);
         spec.overload = 2.0;
-        let report = run(&spec, true, Some(&path), false).expect("serve cmd");
+        let report = run(&spec, true, Some(&path), false, None).expect("serve cmd");
         assert_eq!(report.completed + report.failed(), 80);
         assert!(report.wall_seconds.is_some());
         let text = std::fs::read_to_string(&path).unwrap();
@@ -167,5 +200,35 @@ mod tests {
         let s = String::from_utf8(buf).unwrap();
         assert!(s.contains("goodput"));
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn traced_serve_cmd_writes_spans_and_reports_attribution() {
+        let dir = std::env::temp_dir().join("rbv-servecmd-trace-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let ledger = dir.join("serve.json");
+        let spans = dir.join("spans.json");
+        let mut spec = ServeSpec::new(AppId::WebServer, 60, 5);
+        spec.overload = 2.0;
+        spec.trace = true;
+        spec.trace_spans = true;
+        let report = run(&spec, false, Some(&ledger), false, Some(&spans)).expect("traced serve");
+        let text = std::fs::read_to_string(&ledger).unwrap();
+        let parsed = rbv_telemetry::Json::parse(text.trim()).expect("ledger parses");
+        assert!(parsed.get("trace").is_some(), "extended ledger has trace");
+        let perfetto = std::fs::read_to_string(&spans).unwrap();
+        let doc = rbv_telemetry::Json::parse(&perfetto).expect("spans parse");
+        assert!(!doc
+            .get("traceEvents")
+            .and_then(rbv_telemetry::Json::as_array)
+            .unwrap()
+            .is_empty());
+        let mut buf = Vec::new();
+        summarize(&report, &mut buf).unwrap();
+        let s = String::from_utf8(buf).unwrap();
+        assert!(s.contains("visible p50/p99"), "{s}");
+        assert!(s.contains("p99 stage shares"), "{s}");
+        std::fs::remove_file(&ledger).ok();
+        std::fs::remove_file(&spans).ok();
     }
 }

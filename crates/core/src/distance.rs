@@ -30,7 +30,11 @@
 //!   Whenever the bound cannot prune, the full DP runs unchanged, so a
 //!   returned distance is bit-identical to [`dtw_distance_with_penalty`];
 //! * [`nearest_series`] — running-best nearest-neighbor scan over
-//!   candidate series, property-tested equal to the naive full scan.
+//!   candidate series, property-tested equal to the naive full scan;
+//! * [`nearest_series_with_stats`] — the same scan, also reporting which
+//!   stage of the prune cascade (LB_Kim → length penalty → LB_Keogh →
+//!   per-column abandon) settled each candidate as [`PruneStats`], the
+//!   observability behind the ledger's `kernel.prune.*` counters.
 
 /// L1 distance with unequal-length penalty (Equation 2).
 ///
@@ -614,18 +618,100 @@ fn band_envelope(y: &[f64], m: usize, band: usize) -> (Vec<f64>, Vec<f64>) {
     (lo, hi)
 }
 
-/// Certified pruning bound for [`dtw_distance_with_penalty`] against a
-/// running-best `cutoff`: if the returned value exceeds `cutoff`, the true
-/// distance provably exceeds `cutoff`.
+/// Per-stage outcome counters of the running-best DTW prune cascade
+/// (LB_Kim → length penalty → LB_Keogh → per-column abandon), one count
+/// per candidate comparison. Exactly one stage settles each candidate,
+/// so the stage counters always sum to [`PruneStats::candidates`].
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct PruneStats {
+    /// Candidate comparisons submitted to the cascade (including the
+    /// scan-seeding first candidate, which always runs the full DP).
+    pub candidates: u64,
+    /// Pruned by the LB_Kim endpoint bound alone.
+    pub lb_kim: u64,
+    /// Pruned once the length-difference penalty joined LB_Kim.
+    pub length_penalty: u64,
+    /// Pruned by the band-constrained LB_Keogh envelope bound.
+    pub lb_keogh: u64,
+    /// Abandoned mid-DP when a whole column exceeded the cutoff.
+    pub early_abandon: u64,
+    /// Ran the full DP to completion.
+    pub full_dp: u64,
+}
+
+impl PruneStats {
+    /// Candidates settled without completing the DP.
+    pub fn pruned(&self) -> u64 {
+        self.lb_kim + self.length_penalty + self.lb_keogh + self.early_abandon
+    }
+
+    /// Fraction of candidates settled without completing the DP
+    /// (0 when no candidates were scanned).
+    pub fn pruned_frac(&self) -> f64 {
+        if self.candidates == 0 {
+            0.0
+        } else {
+            self.pruned() as f64 / self.candidates as f64
+        }
+    }
+
+    /// Folds another scan's counters into this one.
+    pub fn merge(&mut self, other: &PruneStats) {
+        self.candidates += other.candidates;
+        self.lb_kim += other.lb_kim;
+        self.length_penalty += other.length_penalty;
+        self.lb_keogh += other.lb_keogh;
+        self.early_abandon += other.early_abandon;
+        self.full_dp += other.full_dp;
+    }
+}
+
+/// Which cascade stage settled one candidate comparison.
+enum Settled {
+    Kim,
+    Length,
+    Keogh,
+    Abandon,
+    Full(f64),
+}
+
+impl Settled {
+    /// Charges this outcome to its [`PruneStats`] counter.
+    fn charge(&self, stats: &mut PruneStats) {
+        stats.candidates += 1;
+        match self {
+            Settled::Kim => stats.lb_kim += 1,
+            Settled::Length => stats.length_penalty += 1,
+            Settled::Keogh => stats.lb_keogh += 1,
+            Settled::Abandon => stats.early_abandon += 1,
+            Settled::Full(_) => stats.full_dp += 1,
+        }
+    }
+}
+
+/// The staged pruning cascade for [`dtw_distance_with_penalty`] against a
+/// running-best `cutoff`: each stage either proves the true distance
+/// exceeds `cutoff` (settling the candidate) or passes it on, ending in
+/// the full DP with per-column early abandoning. The *decision* (pruned
+/// vs completed, and the completed bits) is identical whichever stage
+/// fires — staging exists so callers can attribute prune rates.
 ///
-/// Note this is *not* an unconditional lower bound. The LB_Keogh term only
-/// bounds warp paths that stay within `band = floor(cutoff / penalty)` of
-/// the synchronized diagonal — but any path deviating further contains
-/// more than `band` asynchronous steps and therefore already costs more
-/// than `cutoff`, so the pruning decision stays exact. The unconditional
-/// part (LB_Kim endpoints + length-difference penalty) needs no such
-/// argument.
-fn pruning_lower_bound(x: &[f64], y: &[f64], penalty: f64, cutoff: f64) -> f64 {
+/// Note the bounds are *not* unconditional lower bounds. The LB_Keogh
+/// term only bounds warp paths that stay within
+/// `band = floor(cutoff / penalty)` of the synchronized diagonal — but
+/// any path deviating further contains more than `band` asynchronous
+/// steps and therefore already costs more than `cutoff`, so the pruning
+/// decision stays exact. The unconditional stages (LB_Kim endpoints,
+/// then the length-difference penalty) need no such argument.
+fn dtw_pruned_staged(x: &[f64], y: &[f64], penalty: f64, cutoff: f64) -> Settled {
+    if x.is_empty() || y.is_empty() {
+        let d = (x.len() + y.len()) as f64 * penalty;
+        return if d > cutoff {
+            Settled::Length
+        } else {
+            Settled::Full(d)
+        };
+    }
     let (m, n) = (x.len(), y.len());
     let lendiff = m.abs_diff(n) as f64 * penalty;
     // LB_Kim: the cells (0, 0) and (m-1, n-1) lie on every warp path.
@@ -634,7 +720,12 @@ fn pruning_lower_bound(x: &[f64], y: &[f64], penalty: f64, cutoff: f64) -> f64 {
     } else {
         (x[0] - y[0]).abs() + (x[m - 1] - y[n - 1]).abs()
     };
-    let mut lb = lendiff + kim;
+    if kim > cutoff {
+        return Settled::Kim;
+    }
+    if kim + lendiff > cutoff {
+        return Settled::Length;
+    }
     // LB_Keogh within the deviation band implied by the cutoff.
     if penalty > 0.0 && cutoff >= 0.0 {
         let ratio = cutoff / penalty;
@@ -655,11 +746,55 @@ fn pruning_lower_bound(x: &[f64], y: &[f64], penalty: f64, cutoff: f64) -> f64 {
                         }
                     })
                     .sum();
-                lb = lb.max(keogh + lendiff);
+                if keogh + lendiff > cutoff {
+                    return Settled::Keogh;
+                }
             }
         }
     }
-    lb
+    // Full-width DP, mirroring dtw_distance_with_penalty cell for cell so
+    // a completed run returns the exact same bits.
+    let (rows, cols) = if x.len() <= y.len() { (x, y) } else { (y, x) };
+    let m = rows.len();
+    let mut prev = vec![f64::INFINITY; m];
+    let mut cur = vec![f64::INFINITY; m];
+
+    for (j, &cv) in cols.iter().enumerate() {
+        std::mem::swap(&mut prev, &mut cur);
+        let mut colmin = f64::INFINITY;
+        for (i, &rv) in rows.iter().enumerate() {
+            let local = (cv - rv).abs();
+            let best = if i == 0 && j == 0 {
+                0.0
+            } else {
+                let diag = if i > 0 && j > 0 {
+                    prev[i - 1]
+                } else {
+                    f64::INFINITY
+                };
+                let up = if i > 0 {
+                    cur[i - 1] + penalty
+                } else {
+                    f64::INFINITY
+                };
+                let left = if j > 0 {
+                    prev[i] + penalty
+                } else {
+                    f64::INFINITY
+                };
+                diag.min(up).min(left)
+            };
+            cur[i] = best + local;
+            colmin = colmin.min(cur[i]);
+        }
+        // Every warp path to the final cell crosses column j, and all later
+        // additions (locals, penalties) are nonnegative, so once the whole
+        // column exceeds the cutoff the final distance must too.
+        if colmin > cutoff {
+            return Settled::Abandon;
+        }
+    }
+    Settled::Full(cur[m - 1])
 }
 
 /// [`dtw_distance_with_penalty`] with exact early abandoning against a
@@ -701,56 +836,10 @@ pub fn dtw_distance_with_penalty_pruned(
 ) -> Option<f64> {
     assert!(penalty >= 0.0, "penalty must be nonnegative");
     assert!(!cutoff.is_nan(), "cutoff must not be NaN");
-    if x.is_empty() || y.is_empty() {
-        let d = (x.len() + y.len()) as f64 * penalty;
-        return if d > cutoff { None } else { Some(d) };
+    match dtw_pruned_staged(x, y, penalty, cutoff) {
+        Settled::Full(d) => Some(d),
+        _ => None,
     }
-    if pruning_lower_bound(x, y, penalty, cutoff) > cutoff {
-        return None;
-    }
-    // Full-width DP, mirroring dtw_distance_with_penalty cell for cell so a
-    // completed run returns the exact same bits.
-    let (rows, cols) = if x.len() <= y.len() { (x, y) } else { (y, x) };
-    let m = rows.len();
-    let mut prev = vec![f64::INFINITY; m];
-    let mut cur = vec![f64::INFINITY; m];
-
-    for (j, &cv) in cols.iter().enumerate() {
-        std::mem::swap(&mut prev, &mut cur);
-        let mut colmin = f64::INFINITY;
-        for (i, &rv) in rows.iter().enumerate() {
-            let local = (cv - rv).abs();
-            let best = if i == 0 && j == 0 {
-                0.0
-            } else {
-                let diag = if i > 0 && j > 0 {
-                    prev[i - 1]
-                } else {
-                    f64::INFINITY
-                };
-                let up = if i > 0 {
-                    cur[i - 1] + penalty
-                } else {
-                    f64::INFINITY
-                };
-                let left = if j > 0 {
-                    prev[i] + penalty
-                } else {
-                    f64::INFINITY
-                };
-                diag.min(up).min(left)
-            };
-            cur[i] = best + local;
-            colmin = colmin.min(cur[i]);
-        }
-        // Every warp path to the final cell crosses column j, and all later
-        // additions (locals, penalties) are nonnegative, so once the whole
-        // column exceeds the cutoff the final distance must too.
-        if colmin > cutoff {
-            return None;
-        }
-    }
-    Some(cur[m - 1])
 }
 
 /// Running-best nearest-neighbor search over candidate series using the
@@ -783,14 +872,37 @@ pub fn nearest_series<S: AsRef<[f64]>>(
     candidates: &[S],
     penalty: f64,
 ) -> Option<(usize, f64)> {
+    nearest_series_with_stats(query, candidates, penalty).0
+}
+
+/// [`nearest_series`] plus per-stage prune attribution: which cascade
+/// stage (LB_Kim, length penalty, LB_Keogh, per-column abandon, or the
+/// full DP) settled each candidate comparison. The nearest-neighbor
+/// result is the same bits as [`nearest_series`]; the stats are what the
+/// ledger's `kernel.prune.*` counters report.
+///
+/// # Panics
+///
+/// Panics if `penalty` is negative.
+pub fn nearest_series_with_stats<S: AsRef<[f64]>>(
+    query: &[f64],
+    candidates: &[S],
+    penalty: f64,
+) -> (Option<(usize, f64)>, PruneStats) {
     assert!(penalty >= 0.0, "penalty must be nonnegative");
+    let mut stats = PruneStats::default();
     let mut best: Option<(usize, f64)> = None;
     for (i, cand) in candidates.iter().enumerate() {
         match best {
-            None => best = Some((i, dtw_distance_with_penalty(query, cand.as_ref(), penalty))),
+            None => {
+                best = Some((i, dtw_distance_with_penalty(query, cand.as_ref(), penalty)));
+                stats.candidates += 1;
+                stats.full_dp += 1;
+            }
             Some((_, b)) => {
-                if let Some(d) = dtw_distance_with_penalty_pruned(query, cand.as_ref(), penalty, b)
-                {
+                let settled = dtw_pruned_staged(query, cand.as_ref(), penalty, b);
+                settled.charge(&mut stats);
+                if let Settled::Full(d) = settled {
                     if d < b {
                         best = Some((i, d));
                     }
@@ -798,7 +910,7 @@ pub fn nearest_series<S: AsRef<[f64]>>(
             }
         }
     }
-    best
+    (best, stats)
 }
 
 #[cfg(test)]
@@ -883,6 +995,77 @@ mod fastpath_tests {
         let cands = vec![vec![], vec![1.0]];
         let (idx, d) = nearest_series(&[1.0], &cands, 2.0).unwrap();
         assert_eq!((idx, d), (1, 0.0));
+    }
+
+    #[test]
+    fn stats_partition_the_candidates_and_preserve_the_result() {
+        let query = series(100, 35);
+        let candidates: Vec<Vec<f64>> = (0..16)
+            .map(|i| series(300 + i, 15 + (i as usize) * 4))
+            .collect();
+        for penalty in [0.0, 0.7, 3.0] {
+            let (fast, stats) = nearest_series_with_stats(&query, &candidates, penalty);
+            assert_eq!(
+                fast.map(|(i, d)| (i, d.to_bits())),
+                nearest_series(&query, &candidates, penalty).map(|(i, d)| (i, d.to_bits()))
+            );
+            assert_eq!(stats.candidates, candidates.len() as u64);
+            assert_eq!(stats.pruned() + stats.full_dp, stats.candidates);
+            assert!(stats.full_dp >= 1, "the seed candidate always completes");
+            assert!((0.0..=1.0).contains(&stats.pruned_frac()));
+        }
+    }
+
+    #[test]
+    fn each_cascade_stage_is_reachable() {
+        // Seed candidate: a perfect match, driving the cutoff to 0.
+        let query = vec![1.0, 1.0, 1.0, 1.0];
+        let candidates: Vec<Vec<f64>> = vec![
+            query.clone(),             // full DP (seeds the running best)
+            vec![50.0, 1.0, 1.0, 1.0], // endpoint blowout: LB_Kim
+            vec![1.0; 12],             // same values, longer: length penalty
+            vec![1.0, 4.0, 4.0, 1.0],  // matching endpoints, off-band middle: LB_Keogh
+        ];
+        let (best, stats) = nearest_series_with_stats(&query, &candidates, 2.0);
+        assert_eq!(best, Some((0, 0.0)));
+        assert_eq!(stats.candidates, 4);
+        assert_eq!(stats.full_dp, 1);
+        assert_eq!(stats.lb_kim, 1, "{stats:?}");
+        assert_eq!(stats.length_penalty, 1, "{stats:?}");
+        assert_eq!(stats.lb_keogh, 1, "{stats:?}");
+        assert_eq!(stats.early_abandon, 0, "{stats:?}");
+    }
+
+    #[test]
+    fn early_abandon_fires_when_bounds_cannot() {
+        // Zero penalty disables the Keogh band and the length stage; the
+        // endpoints match, so only the column scan can prune.
+        let query = vec![1.0, 9.0, 1.0, 9.0, 1.0];
+        let candidates: Vec<Vec<f64>> = vec![
+            query.clone(),                 // seeds cutoff 0
+            vec![1.0, 2.0, 2.0, 2.0, 1.0], // matching endpoints, costly middle
+        ];
+        let (best, stats) = nearest_series_with_stats(&query, &candidates, 0.0);
+        assert_eq!(best, Some((0, 0.0)));
+        assert_eq!(stats.early_abandon, 1, "{stats:?}");
+    }
+
+    #[test]
+    fn merge_accumulates_fieldwise() {
+        let a = PruneStats {
+            candidates: 4,
+            lb_kim: 1,
+            length_penalty: 1,
+            lb_keogh: 0,
+            early_abandon: 1,
+            full_dp: 1,
+        };
+        let mut m = a;
+        m.merge(&a);
+        assert_eq!(m.candidates, 8);
+        assert_eq!(m.pruned(), 6);
+        assert_eq!(m.full_dp, 2);
+        assert_eq!(PruneStats::default().pruned_frac(), 0.0);
     }
 
     #[test]

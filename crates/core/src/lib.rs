@@ -55,7 +55,9 @@ pub mod signature;
 pub mod stats;
 
 pub use cluster::{k_medoids, k_medoids_par, Clustering, DistanceMatrix};
-pub use distance::{dtw_distance_with_penalty_pruned, nearest_series};
+pub use distance::{
+    dtw_distance_with_penalty_pruned, nearest_series, nearest_series_with_stats, PruneStats,
+};
 pub use predict::{Ewma, LastValue, Predictor, RunningAverage, VaEwma};
 pub use series::{Metric, MetricSeries, SamplePeriod, Timeline};
 pub use signature::{BankEntry, RecentPastPredictor, SignatureBank};

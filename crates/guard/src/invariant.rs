@@ -27,16 +27,25 @@ pub enum InvariantKind {
     /// Governed overhead keeps non-negative slack, with at most one
     /// consecutive over-budget window (the AIMD correction lag).
     NonNegativeSlack,
+    /// A reconstructed request span's stage durations (queue + service +
+    /// backoff + other) sum exactly to its client-visible latency.
+    SpanAccounting,
+    /// Attempt identity is conserved across the retry model: every queue
+    /// entry carries the request's current client generation, and a
+    /// client retry announces exactly the next generation.
+    AttemptConservation,
 }
 
 impl InvariantKind {
     /// Every kind, in metric order.
-    pub const ALL: [InvariantKind; 5] = [
+    pub const ALL: [InvariantKind; 7] = [
         InvariantKind::RequestConservation,
         InvariantKind::ClockMonotonic,
         InvariantKind::CounterMonotonic,
         InvariantKind::QuantumAccounting,
         InvariantKind::NonNegativeSlack,
+        InvariantKind::SpanAccounting,
+        InvariantKind::AttemptConservation,
     ];
 
     /// Stable snake_case label for metrics and the ledger.
@@ -47,6 +56,8 @@ impl InvariantKind {
             InvariantKind::CounterMonotonic => "counter_monotonic",
             InvariantKind::QuantumAccounting => "quantum_accounting",
             InvariantKind::NonNegativeSlack => "non_negative_slack",
+            InvariantKind::SpanAccounting => "span_accounting",
+            InvariantKind::AttemptConservation => "attempt_conservation",
         }
     }
 
@@ -61,7 +72,7 @@ impl InvariantKind {
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct InvariantMonitor {
     checks: u64,
-    violations: [u64; 5],
+    violations: [u64; InvariantKind::ALL.len()],
     first_violation: Option<String>,
     last_violation: Option<(InvariantKind, String)>,
 }
@@ -146,13 +157,50 @@ impl InvariantMonitor {
         )
     }
 
+    /// Checks a reconstructed span's stage buckets sum exactly (u64
+    /// cycle arithmetic, no tolerance) to its client-visible latency.
+    pub fn check_span_accounting(
+        &mut self,
+        rid: u64,
+        queue: u64,
+        service: u64,
+        backoff: u64,
+        other: u64,
+        client_visible: u64,
+    ) -> bool {
+        let sum = queue + service + backoff + other;
+        self.record(InvariantKind::SpanAccounting, sum == client_visible, || {
+            format!(
+                "rid {rid}: queue {queue} + service {service} + backoff {backoff} \
+                 + other {other} = {sum} != client-visible {client_visible}"
+            )
+        })
+    }
+
+    /// Checks attempt identity conservation: an observed attempt
+    /// generation (on a queue entry or retry announcement) matches the
+    /// generation the span tracker expects for the request.
+    pub fn check_attempt_conservation(
+        &mut self,
+        rid: u64,
+        site: &str,
+        expected: u32,
+        observed: u32,
+    ) -> bool {
+        self.record(
+            InvariantKind::AttemptConservation,
+            expected == observed,
+            || format!("rid {rid} {site}: attempt {observed} != expected {expected}"),
+        )
+    }
+
     /// Total checks performed.
     pub fn checks(&self) -> u64 {
         self.checks
     }
 
     /// Violations per kind, in [`InvariantKind::ALL`] order.
-    pub fn violations(&self) -> [u64; 5] {
+    pub fn violations(&self) -> [u64; InvariantKind::ALL.len()] {
         self.violations
     }
 
@@ -306,7 +354,9 @@ mod tests {
         assert!(m.check_counter_monotonic("busy", 1.0, 2.0));
         assert!(m.check_quantum_accounting(100.0, 50, 4));
         assert!(m.check_non_negative_slack(1));
-        assert_eq!(m.checks(), 5);
+        assert!(m.check_span_accounting(1, 10, 20, 5, 5, 40));
+        assert!(m.check_attempt_conservation(1, "queue_enter", 2, 2));
+        assert_eq!(m.checks(), 7);
         assert_eq!(m.violations_total(), 0);
         assert!(m.first_violation().is_none());
     }
@@ -320,7 +370,9 @@ mod tests {
         assert!(!m.check_counter_monotonic("cpi", 0.0, f64::NAN));
         assert!(!m.check_quantum_accounting(1e9, 10, 4));
         assert!(!m.check_non_negative_slack(3));
-        assert_eq!(m.violations(), [1, 1, 2, 1, 1]);
+        assert!(!m.check_span_accounting(7, 10, 20, 5, 0, 40));
+        assert!(!m.check_attempt_conservation(7, "queue_enter", 1, 2));
+        assert_eq!(m.violations(), [1, 1, 2, 1, 1, 1, 1]);
         let first = m.first_violation().unwrap();
         assert!(first.starts_with("request_conservation:"), "{first}");
     }

@@ -216,7 +216,10 @@ proptest! {
         // skip it entirely. Either way nothing may be violated.
         let expected_checks: u64 = if cfg!(debug_assertions) { 4 } else { 0 };
         prop_assert_eq!(a.stats.invariant_checks, expected_checks);
-        prop_assert_eq!(a.stats.invariant_violations, [0u64; 5]);
+        prop_assert_eq!(
+            a.stats.invariant_violations,
+            [0u64; rbv_guard::InvariantKind::ALL.len()]
+        );
         prop_assert_eq!(a.stats.health_transitions, 0);
     }
 }

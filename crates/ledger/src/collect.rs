@@ -147,6 +147,56 @@ fn stage_easing(
     Ok(eased)
 }
 
+/// Signature cap for the kernel observability scan: enough requests for
+/// stable prune rates, bounded so the scan stays a small fraction of the
+/// collection cost.
+const KERNEL_SIGNATURES: usize = 128;
+
+/// Kernel observability stage (derived from the standard run, no extra
+/// simulation): per-request CPI time-series signatures fed through the
+/// online nearest-neighbor scan, recording which stage of the DTW prune
+/// cascade (LB_Kim → length penalty → LB_Keogh → per-column abandon)
+/// settled each candidate — the ledger's `kernel.prune.*` counters.
+///
+/// The scan mirrors online signature matching: request `i` queries the
+/// `i-1` signatures seen before it, so the counters measure the cascade
+/// exactly as §4.2's cost concern would meet it in production.
+fn stage_kernel(app: AppId, standard: &RunResult, profiler: &mut SelfProfiler) -> Json {
+    let label = short_label(app);
+    let timer = profiler.stage(format!("{label}.kernel"));
+    let signatures: Vec<Vec<f64>> = standard
+        .completed
+        .iter()
+        .take(KERNEL_SIGNATURES)
+        .map(|r| r.timeline.weighted_values(rbv_core::series::Metric::Cpi).1)
+        .collect();
+    let refs: Vec<&[f64]> = signatures.iter().map(Vec::as_slice).collect();
+    let penalty = rbv_core::distance::length_penalty(&refs, 4096);
+    let mut prune = rbv_core::PruneStats::default();
+    for (i, query) in signatures.iter().enumerate().skip(1) {
+        let (_, stats) = rbv_core::nearest_series_with_stats(query, &signatures[..i], penalty);
+        prune.merge(&stats);
+    }
+    profiler.stop(timer);
+    let num = |v: u64| Json::Num(v as f64);
+    Json::Obj(vec![
+        ("signatures".into(), num(signatures.len() as u64)),
+        ("penalty".into(), Json::Num(penalty)),
+        (
+            "prune".into(),
+            Json::Obj(vec![
+                ("candidates".into(), num(prune.candidates)),
+                ("lb_kim".into(), num(prune.lb_kim)),
+                ("length_penalty".into(), num(prune.length_penalty)),
+                ("lb_keogh".into(), num(prune.lb_keogh)),
+                ("early_abandon".into(), num(prune.early_abandon)),
+                ("full_dp".into(), num(prune.full_dp)),
+                ("pruned_frac".into(), Json::Num(prune.pruned_frac())),
+            ]),
+        ),
+    ])
+}
+
 /// Stage 4: the chaos matrix.
 fn stage_chaos(
     app: AppId,
@@ -181,6 +231,7 @@ fn assemble(
     standard: &RunResult,
     syscall: &RunResult,
     eased: &RunResult,
+    kernel: Json,
     chaos: ChaosReport,
     guard: GovernorOutcome,
 ) -> AppLedger {
@@ -196,6 +247,7 @@ fn assemble(
             stock_p99_cpi: standard.cpi_sketch().p99().unwrap_or(f64::NAN),
             eased_p99_cpi: eased.cpi_sketch().p99().unwrap_or(f64::NAN),
         },
+        kernel,
         chaos: chaos.to_json(),
         guard: guard.to_json(),
     }
@@ -216,9 +268,12 @@ pub fn collect_app(
     let standard = stage_standard(app, seed, n, profiler)?;
     let syscall = stage_syscall(app, seed, n, profiler)?;
     let eased = stage_easing(app, seed, n, &standard, profiler)?;
+    let kernel = stage_kernel(app, &standard, profiler);
     let chaos = stage_chaos(app, seed, fast, profiler)?;
     let guard = stage_guard(app, seed, fast, profiler)?;
-    Ok(assemble(app, &standard, &syscall, &eased, chaos, guard))
+    Ok(assemble(
+        app, &standard, &syscall, &eased, kernel, chaos, guard,
+    ))
 }
 
 /// Collects a full run ledger over `apps`. Wall-clock stage timings land
@@ -276,7 +331,7 @@ pub fn collect_pooled(
 ) -> Result<RunLedger, RbvError> {
     /// One task's payload, tagged for in-order reassembly.
     enum Payload {
-        StandardEasing(Box<(RunResult, RunResult)>),
+        StandardEasingKernel(Box<(RunResult, RunResult, Json)>),
         Syscall(Box<RunResult>),
         Chaos(Box<ChaosReport>),
         Guard(Box<GovernorOutcome>),
@@ -294,8 +349,10 @@ pub fn collect_pooled(
         let n = requests_of(app, fast);
         let payload = match kind {
             0 => stage_standard(app, seed, n, &mut worker).and_then(|standard| {
-                stage_easing(app, seed, n, &standard, &mut worker)
-                    .map(|eased| Payload::StandardEasing(Box::new((standard, eased))))
+                stage_easing(app, seed, n, &standard, &mut worker).map(|eased| {
+                    let kernel = stage_kernel(app, &standard, &mut worker);
+                    Payload::StandardEasingKernel(Box::new((standard, eased, kernel)))
+                })
             }),
             1 => stage_syscall(app, seed, n, &mut worker).map(|r| Payload::Syscall(Box::new(r))),
             2 => stage_chaos(app, seed, fast, &mut worker).map(|c| Payload::Chaos(Box::new(c))),
@@ -318,18 +375,20 @@ pub fn collect_pooled(
                 .unwrap_or_else(|| unreachable!("one result per submitted task"));
             profiler.absorb(worker);
             match payload? {
-                Payload::StandardEasing(b) => standard_easing = Some(*b),
+                Payload::StandardEasingKernel(b) => standard_easing = Some(*b),
                 Payload::Syscall(b) => syscall = Some(*b),
                 Payload::Chaos(b) => chaos = Some(*b),
                 Payload::Guard(b) => guard = Some(*b),
             }
         }
-        let (standard, eased) = standard_easing
+        let (standard, eased, kernel) = standard_easing
             .unwrap_or_else(|| unreachable!("standard+easing task always submitted"));
         let syscall = syscall.unwrap_or_else(|| unreachable!("syscall task always submitted"));
         let chaos = chaos.unwrap_or_else(|| unreachable!("chaos task always submitted"));
         let guard = guard.unwrap_or_else(|| unreachable!("guard task always submitted"));
-        records.push(assemble(app, &standard, &syscall, &eased, chaos, guard));
+        records.push(assemble(
+            app, &standard, &syscall, &eased, kernel, chaos, guard,
+        ));
     }
     let profile = include_wallclock.then(|| {
         Json::Obj(

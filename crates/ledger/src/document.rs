@@ -12,8 +12,9 @@ use rbv_telemetry::{Json, QuantileSketch};
 
 /// Schema tag embedded in every document; the differ refuses to compare
 /// documents with different tags. v2 added the per-app `guard` member
-/// (governed-storm outcome).
-pub const SCHEMA: &str = "rbv-ledger/v2";
+/// (governed-storm outcome); v3 added the per-app `kernel` member
+/// (DTW prune-cascade observability).
+pub const SCHEMA: &str = "rbv-ledger/v3";
 
 /// Stock-vs-easing tail comparison for one application.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -82,6 +83,11 @@ pub struct AppLedger {
     pub syscall_observer: Json,
     /// Stock-vs-easing p99 CPI comparison.
     pub easing: EasingDelta,
+    /// Kernel observability: per-stage prune counters of the DTW
+    /// cascade (`prune.lb_kim` → `prune.length_penalty` →
+    /// `prune.lb_keogh` → `prune.early_abandon`) from the online
+    /// signature nearest-neighbor scan over the standard run.
+    pub kernel: Json,
     /// The chaos matrix outcome, as serialized by
     /// `rbv_faults::ChaosReport::to_json`.
     pub chaos: Json,
@@ -103,6 +109,7 @@ impl AppLedger {
             ("observer".into(), self.observer.clone()),
             ("syscall_observer".into(), self.syscall_observer.clone()),
             ("easing".into(), self.easing.to_json()),
+            ("kernel".into(), self.kernel.clone()),
             ("chaos".into(), self.chaos.clone()),
             ("guard".into(), self.guard.clone()),
         ])
@@ -133,6 +140,7 @@ impl AppLedger {
             observer: member("observer")?.clone(),
             syscall_observer: member("syscall_observer")?.clone(),
             easing: EasingDelta::from_json(member("easing")?)?,
+            kernel: member("kernel")?.clone(),
             chaos: member("chaos")?.clone(),
             guard: member("guard")?.clone(),
         })
@@ -239,6 +247,22 @@ pub(crate) mod tests {
                 stock_p99_cpi: 2.5 * scale,
                 eased_p99_cpi: 2.3 * scale,
             },
+            kernel: Json::Obj(vec![
+                ("signatures".into(), Json::Num(40.0)),
+                ("penalty".into(), Json::Num(1.5 * scale)),
+                (
+                    "prune".into(),
+                    Json::Obj(vec![
+                        ("candidates".into(), Json::Num(780.0)),
+                        ("lb_kim".into(), Json::Num(200.0)),
+                        ("length_penalty".into(), Json::Num(80.0)),
+                        ("lb_keogh".into(), Json::Num(150.0)),
+                        ("early_abandon".into(), Json::Num(100.0)),
+                        ("full_dp".into(), Json::Num(250.0)),
+                        ("pruned_frac".into(), Json::Num(530.0 / 780.0)),
+                    ]),
+                ),
+            ]),
             chaos: Json::Obj(vec![(
                 "anomaly".into(),
                 Json::Obj(vec![

@@ -23,12 +23,13 @@
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 use rbv_os::{
-    run_simulation, run_simulation_streaming, ArrivalProcess, ClientPolicy, CompletedRequest,
-    CompletionSink, FailReason, FailedRequest, GovernorPolicy, LadderRung, OverloadPolicy,
-    QueueDiscipline, RbvError, ShedPolicy, SimConfig,
+    run_simulation, run_simulation_streaming, run_simulation_streaming_traced, ArrivalProcess,
+    ClientPolicy, CompletedRequest, CompletionSink, FailReason, FailedRequest, GovernorPolicy,
+    LadderRung, OverloadPolicy, QueueDiscipline, RbvError, ShedPolicy, SimConfig,
 };
 use rbv_sim::Cycles;
 use rbv_telemetry::{Json, QuantileSketch};
+use rbv_trace::{SpanCollector, SpanRecord, SpanSummary};
 use rbv_workloads::{factory_for, AppId};
 
 /// Schema tag embedded in every serve ledger; bumped on layout changes.
@@ -114,6 +115,15 @@ pub struct ServeSpec {
     pub guard: bool,
     /// Bursty MMPP arrivals instead of plain Poisson.
     pub mmpp: bool,
+    /// Reconstruct per-request causal spans and fold the client-visible
+    /// latency decomposition into the ledger's `"trace"` member.
+    /// Observation-only: every other ledger member is byte-identical
+    /// with tracing off.
+    pub trace: bool,
+    /// Additionally retain one compact span record per finished request
+    /// for Perfetto export (implies `trace`; memory grows to O(total
+    /// requests), so leave off for million-request decomposition runs).
+    pub trace_spans: bool,
     /// Seed of the whole run; shard seeds derive from it.
     pub seed: u64,
 }
@@ -131,6 +141,8 @@ impl ServeSpec {
             retries: true,
             guard: false,
             mmpp: false,
+            trace: false,
+            trace_spans: false,
             seed,
         }
     }
@@ -204,6 +216,8 @@ struct ShardOutput {
     acc: ServeAccumulator,
     stats: rbv_os::RunStats,
     total_time: Cycles,
+    /// Span summary plus retained records, when the spec traces.
+    trace: Option<(SpanSummary, Vec<SpanRecord>)>,
 }
 
 /// The shard plan: per-shard request counts summing to `requests`,
@@ -280,7 +294,31 @@ fn run_shard(
     let cfg = shard_config(spec, mean_service, shard_seed);
     let mut factory = factory_for(spec.app, shard_seed, scale_of(spec.app));
     let mut acc = ServeAccumulator::default();
-    let result = run_simulation_streaming(cfg, factory.as_mut(), n, &mut acc)?;
+    let mut trace = None;
+    let result = if spec.trace || spec.trace_spans {
+        let mut collector = if spec.trace_spans {
+            SpanCollector::retaining()
+        } else {
+            SpanCollector::new()
+        };
+        let result =
+            run_simulation_streaming_traced(cfg, factory.as_mut(), n, &mut acc, &mut collector)?;
+        let (summary, spans) = collector.into_parts();
+        if summary.completed != acc.completed || summary.unfinished != 0 {
+            // Span conservation: the reconstructor must agree with the
+            // completion stream request for request. A mismatch is a
+            // tracing bug, not a user error.
+            return Err(RbvError::Config(format!(
+                "shard {shard_index}: span reconstruction diverged ({} spans completed vs {} \
+                 streamed, {} unfinished)",
+                summary.completed, acc.completed, summary.unfinished
+            )));
+        }
+        trace = Some((summary, spans));
+        result
+    } else {
+        run_simulation_streaming(cfg, factory.as_mut(), n, &mut acc)?
+    };
     let failed: u64 = acc.failed_by_reason.iter().sum();
     if acc.completed + failed != n as u64 {
         // Request conservation: every offered request must end completed
@@ -295,6 +333,7 @@ fn run_shard(
         acc,
         stats: result.stats,
         total_time: result.total_time,
+        trace,
     })
 }
 
@@ -336,6 +375,14 @@ pub struct ServeReport {
     pub latency_us: QuantileSketch,
     /// Per-request CPU cycle digest of completed requests.
     pub cpu_cycles: QuantileSketch,
+    /// Merged span summary — the client-visible latency decomposition —
+    /// when the spec traced. `None` keeps the serialized ledger
+    /// byte-identical to pre-tracing builds.
+    pub trace: Option<SpanSummary>,
+    /// Retained span records per shard, in shard order (empty unless
+    /// `trace_spans`); feeds [`rbv_trace::spans_to_perfetto`], never the
+    /// serialized ledger.
+    pub spans: Vec<(u32, Vec<SpanRecord>)>,
     /// Wall-clock duration of the run, seconds. Opt-in (`--wallclock`);
     /// `None` keeps the serialized ledger a pure function of the spec,
     /// which the thread-count byte-identity gate relies on.
@@ -450,6 +497,9 @@ impl ServeReport {
             ("latency_us".into(), self.latency_us.to_json()),
             ("cpu_cycles".into(), self.cpu_cycles.to_json()),
         ];
+        if let Some(trace) = &self.trace {
+            members.push(("trace".into(), trace.to_json()));
+        }
         if let Some(wall) = self.wall_seconds {
             members.push((
                 "profile".into(),
@@ -512,11 +562,13 @@ pub fn serve_with_shard_target(
         simulated_cycles: 0.0,
         latency_us: QuantileSketch::new(),
         cpu_cycles: QuantileSketch::new(),
+        trace: None,
+        spans: Vec::new(),
         wall_seconds: None,
     };
     // Merge in shard order — the canonical order that makes floating-
     // point sums and sketch digests byte-identical at any thread count.
-    for output in outputs {
+    for (shard_index, output) in outputs.into_iter().enumerate() {
         let shard = output?;
         report.completed += shard.acc.completed;
         for (slot, count) in shard.acc.failed_by_reason.iter().enumerate() {
@@ -536,6 +588,16 @@ pub fn serve_with_shard_target(
         report.simulated_cycles += shard.total_time.as_f64();
         report.latency_us.merge(&shard.acc.latency_us);
         report.cpu_cycles.merge(&shard.acc.cpu_cycles);
+        if let Some((mut summary, spans)) = shard.trace {
+            summary.set_shard(shard_index as u32);
+            match &mut report.trace {
+                Some(merged) => merged.merge(&summary),
+                None => report.trace = Some(summary),
+            }
+            if spec.trace_spans {
+                report.spans.push((shard_index as u32, spans));
+            }
+        }
     }
     Ok(report)
 }
@@ -640,6 +702,116 @@ mod tests {
                 .and_then(Json::as_f64),
             Some(20.0)
         );
+    }
+
+    #[test]
+    fn traced_ledger_is_byte_identical_across_thread_counts() {
+        let mut spec = quick_spec(120, 7);
+        spec.overload = 2.0;
+        spec.trace = true;
+        let serial =
+            serve_with_shard_target(&spec, &rbv_par::Pool::serial(), 30).expect("serial serve");
+        let pooled =
+            serve_with_shard_target(&spec, &rbv_par::Pool::new(4), 30).expect("pooled serve");
+        assert_eq!(serial.shards, 4);
+        let serial_text = serial.to_json().to_string_compact();
+        assert_eq!(serial_text, pooled.to_json().to_string_compact());
+        assert!(serial_text.contains("\"trace\""));
+        // The decomposition sketches themselves are byte-identical too.
+        let a = serial.trace.expect("serial trace");
+        let b = pooled.trace.expect("pooled trace");
+        assert_eq!(
+            a.to_json().to_string_compact(),
+            b.to_json().to_string_compact()
+        );
+        assert_eq!(a.violations_total(), 0, "{:?}", a.first_violation);
+    }
+
+    #[test]
+    fn tracing_is_observation_only() {
+        let mut traced_spec = quick_spec(100, 13);
+        traced_spec.overload = 2.5;
+        traced_spec.trace = true;
+        let mut plain_spec = traced_spec;
+        plain_spec.trace = false;
+        let pool = rbv_par::Pool::serial();
+        let traced = serve_with_shard_target(&traced_spec, &pool, 50).expect("traced");
+        let plain = serve_with_shard_target(&plain_spec, &pool, 50).expect("plain");
+        // Tracing off leaves no trace member at all (byte-identity with
+        // pre-tracing ledgers).
+        assert!(!plain.to_json().to_string_compact().contains("\"trace\""));
+        // Tracing on changes nothing but the trace member: strip it (and
+        // the spec flag) and the reports serialize identically.
+        let mut stripped = traced.clone();
+        stripped.trace = None;
+        stripped.spec.trace = false;
+        assert_eq!(
+            stripped.to_json().to_string_compact(),
+            plain.to_json().to_string_compact()
+        );
+    }
+
+    #[test]
+    fn span_decomposition_accounts_for_every_request() {
+        let mut spec = quick_spec(160, 11);
+        spec.overload = 3.0;
+        spec.trace = true;
+        let report =
+            serve_with_shard_target(&spec, &rbv_par::Pool::serial(), 80).expect("traced serve");
+        let trace = report.trace.as_ref().expect("trace summary");
+        assert_eq!(trace.arrived, 160);
+        assert_eq!(trace.completed, report.completed);
+        assert_eq!(trace.failed, report.failed());
+        assert_eq!(trace.unfinished, 0);
+        // Client-visible latency covers exactly the completed requests;
+        // the stage sketches cover every finished request.
+        assert_eq!(trace.client_visible_us.count(), report.completed);
+        assert_eq!(trace.queue_us.count(), 160);
+        // Every per-request exact-sum and attempt-identity check passed.
+        assert_eq!(trace.violations_total(), 0, "{:?}", trace.first_violation);
+        assert!(trace.invariant_checks >= 160);
+        assert!(!trace.top.is_empty());
+        // Client-visible latency dominates pure service time at 3x
+        // overload: queueing and retries are visible in the sketches.
+        let visible_p99 = trace.client_visible_us.p99().unwrap_or(0.0);
+        let service_p99 = trace.service_us.p99().unwrap_or(f64::MAX);
+        assert!(visible_p99 >= service_p99);
+    }
+
+    #[test]
+    fn retained_spans_round_trip_through_the_perfetto_exporter() {
+        let mut spec = quick_spec(90, 17);
+        spec.overload = 2.0;
+        spec.trace = true;
+        spec.trace_spans = true;
+        let report =
+            serve_with_shard_target(&spec, &rbv_par::Pool::serial(), 30).expect("span serve");
+        assert_eq!(report.spans.len(), report.shards as usize);
+        let total: usize = report.spans.iter().map(|(_, s)| s.len()).sum();
+        assert_eq!(total, 90, "one span record per finished request");
+        for (_, spans) in &report.spans {
+            for span in spans {
+                assert_eq!(
+                    span.queue + span.service + span.backoff + span.other,
+                    span.finished - span.arrived,
+                    "span buckets partition the lifetime"
+                );
+            }
+        }
+        let trace = rbv_trace::spans_to_perfetto(&report.spans);
+        let parsed = Json::parse(&trace.to_json_string()).expect("exported JSON parses");
+        let events = parsed
+            .get("traceEvents")
+            .and_then(Json::as_array)
+            .expect("traceEvents");
+        let begins = events
+            .iter()
+            .filter(|e| {
+                e.get("cat").and_then(Json::as_str) == Some("request")
+                    && e.get("ph").and_then(Json::as_str) == Some("b")
+            })
+            .count();
+        assert_eq!(begins, 90);
     }
 
     #[test]

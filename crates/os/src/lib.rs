@@ -57,7 +57,8 @@ pub use config::{
 // depend on `rbv-guard` directly.
 pub use error::RbvError;
 pub use machine::{
-    run_simulation, run_simulation_streaming, run_simulation_traced, CompletionSink,
+    run_simulation, run_simulation_streaming, run_simulation_streaming_traced,
+    run_simulation_traced, CompletionSink,
 };
 pub use observer::{measure_sampling_cost, SampleCost, SampleMode, SamplingContext};
 pub use projection::PlatformProjection;

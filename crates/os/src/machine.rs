@@ -137,6 +137,36 @@ pub fn run_simulation_streaming(
     Ok(engine.run(factory))
 }
 
+/// Combines [`run_simulation_streaming`] and [`run_simulation_traced`]:
+/// finished requests fold into `completions` while structured
+/// [`TraceEvent`]s stream into `sink`, both in event order. With a
+/// streaming trace consumer (one that folds events instead of retaining
+/// them) memory stays proportional to the live-request population — the
+/// discipline span reconstruction relies on.
+///
+/// Both observers are observation-only, so the statistics and completion
+/// stream are bit-identical to [`run_simulation_streaming`] with the same
+/// configuration.
+///
+/// # Errors
+///
+/// Returns [`RbvError::Config`] if `cfg` is invalid.
+pub fn run_simulation_streaming_traced(
+    cfg: SimConfig,
+    factory: &mut dyn RequestFactory,
+    n_requests: usize,
+    completions: &mut dyn CompletionSink,
+    sink: &mut dyn TraceSink,
+) -> Result<RunResult, RbvError> {
+    cfg.validate()?;
+    let mut engine = Engine::new(cfg, n_requests, Some(sink));
+    engine.completions = Some(completions);
+    let result = engine.run(factory);
+    drop(engine);
+    sink.finish();
+    Ok(result)
+}
+
 /// Sub-instruction tolerance when matching instruction boundaries.
 const INS_EPS: f64 = 0.5;
 
@@ -645,11 +675,21 @@ impl<'s> Engine<'s> {
             bound = (bound / 2).max(1);
         }
         if load < bound {
-            self.live[rid]
-                .as_mut()
-                .expect("admitted request is live")
-                .queued_at = self.queue.now();
+            let now = self.queue.now();
+            let gen = {
+                let req = self.live[rid].as_mut().expect("admitted request is live");
+                req.queued_at = now;
+                req.attempt
+            };
             self.runqueues[queue].push_back(rid);
+            if let Some(sink) = self.sink.as_deref_mut() {
+                sink.record(TraceEvent::QueueEnter {
+                    ts: now,
+                    rid: rid as u64,
+                    queue: queue as u32,
+                    attempt: gen,
+                });
+            }
             self.wake_idle_for(queue);
             return;
         }
@@ -677,6 +717,7 @@ impl<'s> Engine<'s> {
                     rid: rid as u64,
                     attempt: attempt + 1,
                     backoff,
+                    client: false,
                 });
             }
             let gen = self.live[rid]
@@ -819,11 +860,21 @@ impl<'s> Engine<'s> {
             Some(QueueDiscipline::Dfcfs) => self.rss_core(rid),
             Some(QueueDiscipline::Cfcfs) => 0,
         };
-        self.live[rid]
-            .as_mut()
-            .expect("enqueued request is live")
-            .queued_at = self.queue.now();
+        let now = self.queue.now();
+        let gen = {
+            let req = self.live[rid].as_mut().expect("enqueued request is live");
+            req.queued_at = now;
+            req.attempt
+        };
         self.runqueues[queue].push_back(rid);
+        if let Some(sink) = self.sink.as_deref_mut() {
+            sink.record(TraceEvent::QueueEnter {
+                ts: now,
+                rid: rid as u64,
+                queue: queue as u32,
+                attempt: gen,
+            });
+        }
         self.wake_idle_for(queue);
     }
 
@@ -2042,11 +2093,20 @@ impl<'s> Engine<'s> {
             });
         }
         let q = self.qidx(core);
-        self.live[rid]
-            .as_mut()
-            .expect("rotated request is live")
-            .queued_at = now;
+        let gen = {
+            let req = self.live[rid].as_mut().expect("rotated request is live");
+            req.queued_at = now;
+            req.attempt
+        };
         self.runqueues[q].push_back(rid);
+        if let Some(sink) = self.sink.as_deref_mut() {
+            sink.record(TraceEvent::QueueEnter {
+                ts: now,
+                rid: rid as u64,
+                queue: q as u32,
+                attempt: gen,
+            });
+        }
         self.schedule_next_on(core);
     }
 
@@ -2114,6 +2174,18 @@ impl<'s> Engine<'s> {
         }
         // The paper keeps the displaced current request at the queue head.
         self.runqueues[q].push_front(rid);
+        let gen = self.live[rid]
+            .as_ref()
+            .expect("displaced request is live")
+            .attempt;
+        if let Some(sink) = self.sink.as_deref_mut() {
+            sink.record(TraceEvent::QueueEnter {
+                ts: now,
+                rid: rid as u64,
+                queue: q as u32,
+                attempt: gen,
+            });
+        }
         self.dispatch(core, next);
     }
 
@@ -2195,6 +2267,7 @@ impl<'s> Engine<'s> {
                 rid: rid as u64,
                 attempt: gen,
                 backoff,
+                client: true,
             });
         }
         self.queue

@@ -261,7 +261,7 @@ pub struct RunStats {
     pub invariant_checks: u64,
     /// Runtime invariant violations, indexed by
     /// [`rbv_guard::InvariantKind::index`].
-    pub invariant_violations: [u64; 5],
+    pub invariant_violations: [u64; rbv_guard::InvariantKind::ALL.len()],
 }
 
 impl RunStats {

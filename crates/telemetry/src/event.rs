@@ -203,6 +203,22 @@ pub enum TraceEvent {
         /// Window end.
         until: Cycles,
     },
+    /// A request entered a runqueue: first admission, a mid-request stage
+    /// hop, a quantum/easing requeue, or a client resubmission. Together
+    /// with [`TraceEvent::SliceBegin`] this bounds every per-core queue
+    /// wait, and `attempt` threads the client retry generation through
+    /// the NIC-style queues so span reconstruction can attribute each
+    /// wait to the attempt that incurred it.
+    QueueEnter {
+        /// Insertion instant.
+        ts: Cycles,
+        /// Request id.
+        rid: u64,
+        /// Runqueue index (the core's queue, or queue 0 under cFCFS).
+        queue: u32,
+        /// Client attempt generation (0 = first submission).
+        attempt: u32,
+    },
     /// Per-core admission control rejected a new request (bounded
     /// runqueues under overload).
     AdmissionRejected {
@@ -215,17 +231,25 @@ pub enum TraceEvent {
         /// Admission attempts so far (0 = first try).
         attempt: u32,
     },
-    /// The closed-loop client scheduled an admission retry with
-    /// exponential backoff plus jitter.
+    /// A retry was scheduled with exponential backoff plus jitter:
+    /// either an admission-level re-try of the same client attempt
+    /// (`client = false`, `attempt` counts admission tries), or an
+    /// impatient client abandoning the current attempt and scheduling a
+    /// resubmission (`client = true`, `attempt` is the upcoming client
+    /// generation).
     RetryScheduled {
         /// Scheduling instant.
         ts: Cycles,
         /// Request id.
         rid: u64,
-        /// The upcoming attempt number.
+        /// The upcoming attempt number (admission try or client
+        /// generation, per `client`).
         attempt: u32,
         /// Backoff delay before the retry.
         backoff: Cycles,
+        /// Whether this is a client-generation retry (timeout resubmit)
+        /// rather than an admission-level backoff.
+        client: bool,
     },
     /// A request failed: shed after exhausting admission retries, or
     /// aborted at its deadline.
@@ -333,6 +357,7 @@ impl TraceEvent {
             | TraceEvent::SampleLost { ts, .. }
             | TraceEvent::LowConfidenceSample { ts, .. }
             | TraceEvent::SamplingStarved { ts, .. }
+            | TraceEvent::QueueEnter { ts, .. }
             | TraceEvent::AdmissionRejected { ts, .. }
             | TraceEvent::RetryScheduled { ts, .. }
             | TraceEvent::RequestFailed { ts, .. }
@@ -361,6 +386,7 @@ impl TraceEvent {
             TraceEvent::SampleLost { .. } => "sample_lost",
             TraceEvent::LowConfidenceSample { .. } => "low_confidence_sample",
             TraceEvent::SamplingStarved { .. } => "sampling_starved",
+            TraceEvent::QueueEnter { .. } => "queue_enter",
             TraceEvent::AdmissionRejected { .. } => "admission_rejected",
             TraceEvent::RetryScheduled { .. } => "retry_scheduled",
             TraceEvent::RequestFailed { .. } => "request_failed",
@@ -452,6 +478,12 @@ mod tests {
                 core: 0,
                 until: Cycles::new(99),
             },
+            TraceEvent::QueueEnter {
+                ts: t,
+                rid: 1,
+                queue: 0,
+                attempt: 0,
+            },
             TraceEvent::AdmissionRejected {
                 ts: t,
                 rid: 1,
@@ -463,6 +495,7 @@ mod tests {
                 rid: 1,
                 attempt: 1,
                 backoff: Cycles::new(7),
+                client: false,
             },
             TraceEvent::RequestFailed {
                 ts: t,
@@ -509,7 +542,7 @@ mod tests {
         let mut kinds: Vec<&str> = events.iter().map(|e| e.kind()).collect();
         assert!(events.iter().all(|e| e.ts() == t));
         kinds.dedup();
-        assert_eq!(kinds.len(), 22, "distinct kind per variant");
+        assert_eq!(kinds.len(), 23, "distinct kind per variant");
     }
 
     #[test]

@@ -64,6 +64,13 @@ fn with_id(mut members: Vec<(String, Json)>, rid: u64) -> Vec<(String, Json)> {
 }
 
 impl PerfettoTrace {
+    /// Wraps pre-built trace-event objects (e.g. the span documents
+    /// assembled by rbv-trace) so they share this exporter's document
+    /// envelope, serializer, and writer.
+    pub fn from_raw_events(events: Vec<Json>) -> PerfettoTrace {
+        PerfettoTrace { events }
+    }
+
     /// Assembles a trace from engine events (in emission order) for a
     /// machine with `cores` cores.
     pub fn from_events(events: &[TraceEvent], cores: usize) -> PerfettoTrace {
@@ -270,6 +277,21 @@ impl PerfettoTrace {
                         vec![("until_us".into(), Json::Num(until.as_micros_f64()))],
                     ));
                 }
+                TraceEvent::QueueEnter {
+                    rid,
+                    queue,
+                    attempt,
+                    ..
+                } => {
+                    out.push(with_args(
+                        base("queue_enter", "overload", "i", ts, tid_of(*queue)),
+                        vec![
+                            ("rid".into(), Json::Num(*rid as f64)),
+                            ("queue".into(), Json::Num(f64::from(*queue))),
+                            ("attempt".into(), Json::Num(f64::from(*attempt))),
+                        ],
+                    ));
+                }
                 TraceEvent::AdmissionRejected {
                     rid, core, attempt, ..
                 } => {
@@ -285,6 +307,7 @@ impl PerfettoTrace {
                     rid,
                     attempt,
                     backoff,
+                    client,
                     ..
                 } => {
                     out.push(with_args(
@@ -293,6 +316,7 @@ impl PerfettoTrace {
                             ("rid".into(), Json::Num(*rid as f64)),
                             ("attempt".into(), Json::Num(f64::from(*attempt))),
                             ("backoff_us".into(), Json::Num(backoff.as_micros_f64())),
+                            ("client".into(), Json::Bool(*client)),
                         ],
                     ));
                 }

@@ -1,0 +1,37 @@
+//! Per-request causal span tracing for the RBV reproduction.
+//!
+//! The engine emits a rich [`TraceEvent`](rbv_telemetry::TraceEvent)
+//! stream, but no layer reconstructed what a *request* experienced end
+//! to end. This crate closes that gap:
+//!
+//! * [`span`] — [`SpanCollector`], a streaming
+//!   [`TraceSink`](rbv_telemetry::TraceSink) folding the event stream
+//!   into per-request causal timelines in bounded memory (state ∝ live
+//!   requests), deriving the client-visible latency decomposition
+//!   (queue wait / service / retry backoff / admission + network) as
+//!   mergeable [`QuantileSketch`](rbv_telemetry::QuantileSketch)es, and
+//!   checking the span-accounting and attempt-conservation invariants
+//!   for every finished request;
+//! * [`export`] — [`spans_to_perfetto`]: retained spans rendered as
+//!   Perfetto async tracks with per-attempt sub-spans and flow arrows
+//!   linking retry chains;
+//! * [`explain`] — [`render_explain`]: the `repro explain` critical-path
+//!   report (stage share of p99 vs p50, top-k slowest requests by stage
+//!   breakdown).
+//!
+//! Everything here is observation-only and deterministic: shard
+//!   summaries merged in canonical order serialize byte-identically at
+//!   any `--threads` value, and a run with tracing disabled is
+//!   bit-identical to one that predates this crate.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
+pub mod explain;
+pub mod export;
+pub mod span;
+
+pub use explain::render_explain;
+pub use export::spans_to_perfetto;
+pub use span::{SpanCollector, SpanRecord, SpanSummary, TopSpan, TOP_K};
