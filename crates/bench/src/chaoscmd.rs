@@ -17,15 +17,18 @@ use rbv_workloads::AppId;
 /// its do-no-harm outcome. With `retry_storm` it also runs the
 /// defended-vs-ablated metastable retry storm; the returned pass flag
 /// then additionally requires the defended run to beat the ablation on
-/// goodput and to end on a recovered ladder rung.
+/// goodput and to end on a recovered ladder rung. With `thermal` it
+/// also runs the defended-vs-ablated thermal storm; the pass flag then
+/// requires the power-capping defense to beat the firmware-latch
+/// ablation on goodput AND p99 latency with the ladder recovered.
 ///
 /// Returns the report plus whether the gates passed (always true
-/// when `min_recall` is `None` and `retry_storm` is off).
+/// when `min_recall` is `None` and the opt-in storms are off).
 ///
 /// # Errors
 ///
 /// Returns [`RbvError`] on configuration or output failures.
-#[allow(clippy::fn_params_excessive_bools)]
+#[allow(clippy::fn_params_excessive_bools, clippy::too_many_arguments)]
 pub fn run(
     app: AppId,
     seed: u64,
@@ -34,13 +37,14 @@ pub fn run(
     json: bool,
     governor: bool,
     retry_storm: bool,
+    thermal: bool,
 ) -> Result<(ChaosReport, bool), RbvError> {
     let mut profiler = SelfProfiler::new();
     // Scenarios fan over the global pool; the report is identical at any
     // thread count (ordered collect), only wall-clock changes.
     let pool = rbv_par::Pool::global();
     let report = profiler.time("matrix", || {
-        run_matrix_pooled(app, seed, fast, governor, retry_storm, &pool)
+        run_matrix_pooled(app, seed, fast, governor, retry_storm, thermal, &pool)
     })?;
     if json {
         summarize(&report, &mut io::stderr().lock())?;
@@ -87,6 +91,43 @@ pub fn run(
             );
         }
     }
+    if let Some(t) = &report.thermal {
+        let mut thermal_pass = true;
+        if t.defended_goodput() <= t.undefended_goodput() {
+            eprintln!(
+                "[FAIL thermal power cap lost goodput: {:.3} <= {:.3}]",
+                t.defended_goodput(),
+                t.undefended_goodput()
+            );
+            thermal_pass = false;
+        }
+        if t.defended_p99_latency_micros >= t.undefended_p99_latency_micros {
+            eprintln!(
+                "[FAIL thermal power cap lost p99: {:.1}us >= {:.1}us]",
+                t.defended_p99_latency_micros, t.undefended_p99_latency_micros
+            );
+            thermal_pass = false;
+        }
+        if !t.recovered {
+            eprintln!(
+                "[FAIL thermal health ladder stuck on overload rung {}]",
+                t.final_rung
+            );
+            thermal_pass = false;
+        }
+        if thermal_pass {
+            eprintln!(
+                "[thermal goodput {:.3} > ablated {:.3}, p99 {:.1}us < {:.1}us, ladder recovered ({}, power rung {})]",
+                t.defended_goodput(),
+                t.undefended_goodput(),
+                t.defended_p99_latency_micros,
+                t.undefended_p99_latency_micros,
+                t.final_rung,
+                t.power_final_rung
+            );
+        }
+        pass = pass && thermal_pass;
+    }
     Ok((report, pass))
 }
 
@@ -97,8 +138,17 @@ mod tests {
     #[test]
     fn web_chaos_meets_the_ci_recall_gate() {
         // The exact invocation the CI smoke step runs (fast mode).
-        let (report, pass) =
-            run(AppId::WebServer, 42, true, Some(0.8), false, false, false).expect("chaos runs");
+        let (report, pass) = run(
+            AppId::WebServer,
+            42,
+            true,
+            Some(0.8),
+            false,
+            false,
+            false,
+            false,
+        )
+        .expect("chaos runs");
         assert!(
             pass,
             "recall {:.3} under the 0.8 gate",
@@ -117,8 +167,17 @@ mod tests {
 
     #[test]
     fn impossible_gate_fails_without_erroring() {
-        let (_, pass) =
-            run(AppId::WebServer, 7, true, Some(1.01), false, false, false).expect("chaos runs");
+        let (_, pass) = run(
+            AppId::WebServer,
+            7,
+            true,
+            Some(1.01),
+            false,
+            false,
+            false,
+            false,
+        )
+        .expect("chaos runs");
         assert!(!pass);
     }
 
@@ -127,7 +186,7 @@ mod tests {
         // stdout JSON equals report.to_json() — assert on the value the
         // function returns rather than capturing the stream.
         let (report, pass) =
-            run(AppId::WebServer, 42, true, None, true, false, false).expect("chaos runs");
+            run(AppId::WebServer, 42, true, None, true, false, false, false).expect("chaos runs");
         assert!(pass);
         let text = report.to_json().to_string_compact();
         let parsed = rbv_telemetry::Json::parse(&text).expect("chaos JSON parses");
@@ -142,8 +201,17 @@ mod tests {
     fn governor_mode_adds_the_guard_section() {
         // The CI governor smoke invocation: the matrix plus the governed
         // storm, reported under the `governor` member.
-        let (report, pass) =
-            run(AppId::WebServer, 42, true, Some(0.8), false, true, false).expect("chaos runs");
+        let (report, pass) = run(
+            AppId::WebServer,
+            42,
+            true,
+            Some(0.8),
+            false,
+            true,
+            false,
+            false,
+        )
+        .expect("chaos runs");
         assert!(pass);
         let governor = report.governor.as_ref().expect("guard section present");
         assert!(governor.to_json().get("max_breach_streak").is_some());

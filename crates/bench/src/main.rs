@@ -7,8 +7,9 @@
 //! repro list                       # available experiment ids
 //! repro trace <app> [--seed N] [--trace out.json] [--metrics out.json|out.csv]
 //! repro chaos <app> [--seed N] [--fast] [--min-recall X] [--json] [--governor] \
-//!       [--retry-storm]
+//!       [--retry-storm] [--thermal]
 //! repro serve <app> [--requests N] [--overload X] [--seed N] [--mmpp] [--guard] \
+//!       [--power] [--thermal] [--load-sweep] \
 //!       [--discipline none|dfcfs|cfcfs] [--admission on|off] [--shed on|off] \
 //!       [--retries on|off] [--out SERVE.json] [--json] [--wallclock] \
 //!       [--trace-spans SPANS.json]
@@ -49,6 +50,9 @@ struct Cli {
     report: bool,
     mmpp: bool,
     guard: bool,
+    power: bool,
+    thermal: bool,
+    load_sweep: bool,
     epochs: Option<u32>,
     seed: Option<u64>,
     threads: Option<usize>,
@@ -75,9 +79,10 @@ fn usage() {
     eprintln!("             [--trace out.json] [--metrics out.json|out.csv]");
     eprintln!("       repro chaos <web|tpcc|tpch|rubis|webwork> \\");
     eprintln!("             [--seed N] [--fast] [--min-recall X] [--json] [--governor]");
-    eprintln!("             [--retry-storm]");
+    eprintln!("             [--retry-storm] [--thermal]");
     eprintln!("       repro serve <web|tpcc|tpch|rubis|webwork> \\");
     eprintln!("             [--requests N] [--overload X] [--seed N] [--mmpp] [--guard]");
+    eprintln!("             [--power] [--thermal] [--load-sweep]");
     eprintln!("             [--discipline none|dfcfs|cfcfs] [--admission on|off]");
     eprintln!("             [--shed on|off] [--retries on|off]");
     eprintln!("             [--out SERVE.json] [--json] [--wallclock]");
@@ -117,6 +122,9 @@ fn parse(args: Vec<String>) -> Result<Cli, RbvError> {
         report: false,
         mmpp: false,
         guard: false,
+        power: false,
+        thermal: false,
+        load_sweep: false,
         epochs: None,
         seed: None,
         threads: None,
@@ -146,6 +154,9 @@ fn parse(args: Vec<String>) -> Result<Cli, RbvError> {
             "--retry-storm" => cli.retry_storm = true,
             "--mmpp" => cli.mmpp = true,
             "--guard" => cli.guard = true,
+            "--power" => cli.power = true,
+            "--thermal" => cli.thermal = true,
+            "--load-sweep" => cli.load_sweep = true,
             "--wallclock" => cli.wallclock = true,
             "--drift" => cli.drift = true,
             "--report" => cli.report = true,
@@ -314,6 +325,38 @@ mod tests {
     }
 
     #[test]
+    fn zero_requests_is_a_usage_error() {
+        // `repro serve <app> --requests 0` must exit 2, not run an empty
+        // campaign or divide by zero downstream.
+        let err = parse(argv("serve web --requests 0")).expect_err("zero requests");
+        assert!(matches!(err, RbvError::Cli(_)), "{err}");
+        assert_eq!(err.exit_code(), 2);
+        let cli = parse(argv("serve web --requests 80")).expect("valid count");
+        assert_eq!(cli.requests, Some(80));
+    }
+
+    #[test]
+    fn too_few_epochs_is_a_usage_error() {
+        // `repro campaign --epochs 0` (and 1) must exit 2: the drift
+        // scenario needs the day + night reference epochs at minimum.
+        for bad in ["0", "1"] {
+            let err = parse(argv(&format!("campaign --epochs {bad}"))).expect_err("too few epochs");
+            assert!(matches!(err, RbvError::Cli(_)), "{bad}: {err}");
+            assert_eq!(err.exit_code(), 2, "{bad}");
+        }
+        let cli = parse(argv("campaign --epochs 2")).expect("valid count");
+        assert_eq!(cli.epochs, Some(2));
+    }
+
+    #[test]
+    fn power_thermal_and_load_sweep_flags_parse() {
+        let cli = parse(argv("serve web --power --thermal --load-sweep")).expect("parses");
+        assert!(cli.power && cli.thermal && cli.load_sweep);
+        let cli = parse(argv("chaos web --thermal")).expect("parses");
+        assert!(cli.thermal && !cli.power);
+    }
+
+    #[test]
     fn unknown_flags_are_usage_errors() {
         let err = parse(argv("serve web --bogus")).expect_err("unknown flag");
         assert_eq!(err.exit_code(), 2);
@@ -393,6 +436,7 @@ fn main() -> ExitCode {
                 eprintln!(
                     "             [--seed N] [--fast] [--min-recall X] [--json] [--governor]"
                 );
+                eprintln!("             [--retry-storm] [--thermal]");
                 return ExitCode::from(2);
             };
             let seed = cli.seed.unwrap_or(42);
@@ -404,6 +448,7 @@ fn main() -> ExitCode {
                 cli.json,
                 cli.governor,
                 cli.retry_storm,
+                cli.thermal,
             ) {
                 Ok((_, true)) => ExitCode::SUCCESS,
                 Ok((_, false)) => ExitCode::FAILURE,
@@ -418,6 +463,7 @@ fn main() -> ExitCode {
             else {
                 eprintln!("usage: repro serve <web|tpcc|tpch|rubis|webwork> \\");
                 eprintln!("             [--requests N] [--overload X] [--seed N] [--mmpp]");
+                eprintln!("             [--power] [--thermal] [--load-sweep]");
                 eprintln!("             [--discipline none|dfcfs|cfcfs] [--admission on|off]");
                 eprintln!("             [--shed on|off] [--retries on|off] [--guard]");
                 eprintln!("             [--out SERVE.json] [--json] [--wallclock]");
@@ -446,6 +492,8 @@ fn main() -> ExitCode {
             }
             spec.guard = cli.guard;
             spec.mmpp = cli.mmpp;
+            spec.power = cli.power;
+            spec.thermal = cli.thermal;
             if cli.trace_spans.is_some() {
                 spec.trace = true;
                 spec.trace_spans = true;
@@ -456,6 +504,7 @@ fn main() -> ExitCode {
                 cli.out.as_deref(),
                 cli.json,
                 cli.trace_spans.as_deref(),
+                cli.load_sweep,
             ) {
                 Ok(_) => ExitCode::SUCCESS,
                 Err(e) => fail(&e),

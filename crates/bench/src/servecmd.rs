@@ -18,6 +18,9 @@ use rbv_os::RbvError;
 /// stays byte-identical across `--threads` settings. `spans_out`
 /// (requires a spec with `trace_spans` set) writes the retained
 /// per-request spans as a Perfetto trace with retry flow arrows.
+/// `load_sweep` re-serves the spec across a ladder of load multiples
+/// and prints a goodput/latency-vs-load table to stderr (with a joules
+/// column when the power model is on).
 ///
 /// # Errors
 ///
@@ -28,6 +31,7 @@ pub fn run(
     out: Option<&Path>,
     json: bool,
     spans_out: Option<&Path>,
+    load_sweep: bool,
 ) -> Result<ServeReport, RbvError> {
     let pool = rbv_par::Pool::global();
     let start = std::time::Instant::now();
@@ -52,7 +56,57 @@ pub fn run(
         std::fs::write(path, trace.to_json_string())?;
         eprintln!("[{spans} request spans written to {}]", path.display());
     }
+    if load_sweep {
+        sweep_loads(spec, &pool, &mut io::stderr().lock())?;
+    }
     Ok(report)
+}
+
+/// The load multiples `--load-sweep` walks, as fractions of measured
+/// capacity.
+pub const SWEEP_LOADS: [f64; 5] = [0.25, 0.5, 1.0, 2.0, 4.0];
+
+/// Re-serves `spec` at each sweep load and writes the
+/// goodput/latency-vs-load table. Each point is an independent
+/// deterministic serve of the same spec with only the overload factor
+/// replaced, so the table composes with every ablation flag; the joules
+/// column appears when the power model is on.
+///
+/// # Errors
+///
+/// Returns [`RbvError`] from validation, a sweep run, or output.
+pub fn sweep_loads<W: Write>(
+    spec: &ServeSpec,
+    pool: &rbv_par::Pool,
+    out: &mut W,
+) -> Result<(), RbvError> {
+    writeln!(out)?;
+    if spec.power {
+        writeln!(out, "load sweep:  load   goodput   p99 (us)    joules")?;
+    } else {
+        writeln!(out, "load sweep:  load   goodput   p99 (us)")?;
+    }
+    for load in SWEEP_LOADS {
+        let mut point = *spec;
+        point.overload = load;
+        let r = serve(&point, pool)?;
+        let p99 = r.latency_us.p99().unwrap_or(f64::NAN);
+        if let Some(energy) = &r.energy {
+            writeln!(
+                out,
+                "            {load:5.2}x    {:.3}   {p99:8.1}   {:7.2}",
+                r.goodput_frac(),
+                energy.total_joules()
+            )?;
+        } else {
+            writeln!(
+                out,
+                "            {load:5.2}x    {:.3}   {p99:8.1}",
+                r.goodput_frac()
+            )?;
+        }
+    }
+    Ok(())
 }
 
 /// Writes the human-readable serve report.
@@ -154,6 +208,41 @@ pub fn summarize<W: Write>(report: &ServeReport, out: &mut W) -> io::Result<()> 
             writeln!(out, "  p99 stage shares         {}", shares.join(" / "))?;
         }
     }
+    if let Some(energy) = &report.energy {
+        let per_core: Vec<String> = energy
+            .core_uw_cycles
+            .iter()
+            .map(|&c| format!("{:.2}", rbv_os::joules(c)))
+            .collect();
+        writeln!(
+            out,
+            "  energy                   {:.2} J (per core {})",
+            energy.total_joules(),
+            per_core.join(" / ")
+        )?;
+        writeln!(
+            out,
+            "  throttle latches/rel     {} / {} (still throttled {})",
+            energy.throttle_engages, energy.throttle_releases, energy.throttled_final
+        )?;
+        writeln!(
+            out,
+            "  dvfs transitions         {} (max temp {:.1} C)",
+            energy.dvfs_transitions,
+            energy.max_temp_milli_c as f64 / 1000.0
+        )?;
+        writeln!(
+            out,
+            "  power rung transitions   {} (final rung {})",
+            energy.power_rung_transitions,
+            energy.power_rung_label()
+        )?;
+        writeln!(
+            out,
+            "  energy conservation      {} violations",
+            energy.conservation_violations
+        )?;
+    }
     if let (Some(wall), Some(rate)) = (report.wall_seconds, report.sim_requests_per_wall_second()) {
         writeln!(
             out,
@@ -183,7 +272,7 @@ mod tests {
         let path = dir.join("serve.json");
         let mut spec = ServeSpec::new(AppId::WebServer, 80, 9);
         spec.overload = 2.0;
-        let report = run(&spec, true, Some(&path), false, None).expect("serve cmd");
+        let report = run(&spec, true, Some(&path), false, None, false).expect("serve cmd");
         assert_eq!(report.completed + report.failed(), 80);
         assert!(report.wall_seconds.is_some());
         let text = std::fs::read_to_string(&path).unwrap();
@@ -203,6 +292,33 @@ mod tests {
     }
 
     #[test]
+    fn powered_serve_cmd_reports_energy_and_sweeps_loads() {
+        let mut spec = ServeSpec::new(AppId::WebServer, 60, 7);
+        spec.overload = 0.8;
+        spec.power = true;
+        spec.guard = true;
+        let report = run(&spec, false, None, false, None, false).expect("powered serve");
+        let energy = report.energy.as_ref().expect("powered run reports energy");
+        assert_eq!(energy.conservation_violations, 0);
+        let mut buf = Vec::new();
+        summarize(&report, &mut buf).unwrap();
+        let s = String::from_utf8(buf).unwrap();
+        assert!(s.contains("energy"), "{s}");
+        assert!(s.contains("0 violations"), "{s}");
+        // The sweep table renders one row per load, with the joules
+        // column present for a powered spec.
+        let mut table = Vec::new();
+        sweep_loads(&spec, &rbv_par::Pool::serial(), &mut table).expect("sweep");
+        let t = String::from_utf8(table).unwrap();
+        assert!(t.contains("joules"), "{t}");
+        assert_eq!(
+            t.lines().filter(|l| l.contains("x ")).count(),
+            SWEEP_LOADS.len(),
+            "{t}"
+        );
+    }
+
+    #[test]
     fn traced_serve_cmd_writes_spans_and_reports_attribution() {
         let dir = std::env::temp_dir().join("rbv-servecmd-trace-test");
         std::fs::create_dir_all(&dir).unwrap();
@@ -212,7 +328,8 @@ mod tests {
         spec.overload = 2.0;
         spec.trace = true;
         spec.trace_spans = true;
-        let report = run(&spec, false, Some(&ledger), false, Some(&spans)).expect("traced serve");
+        let report =
+            run(&spec, false, Some(&ledger), false, Some(&spans), false).expect("traced serve");
         let text = std::fs::read_to_string(&ledger).unwrap();
         let parsed = rbv_telemetry::Json::parse(text.trim()).expect("ledger parses");
         assert!(parsed.get("trace").is_some(), "extended ledger has trace");

@@ -235,6 +235,103 @@ impl RetryStormOutcome {
     }
 }
 
+/// Outcome of the thermal-storm scenario (opt-in via `repro chaos
+/// --thermal`): sub-capacity open-loop serving under a permanent
+/// heatwave with a cooling-failure victim core, run twice — once with
+/// the guard's power-capping rungs armed and once with only the
+/// firmware throttle latch to fall back on — so the goodput and tail
+/// latency the proactive cap preserves are both on the record.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ThermalOutcome {
+    /// Requests offered to each contender.
+    pub offered: usize,
+    /// Completions with the power-capping defense armed.
+    pub defended_completed: u64,
+    /// Completions with the defense ablated (firmware latch only).
+    pub undefended_completed: u64,
+    /// p99 client latency with the defense armed, microseconds.
+    pub defended_p99_latency_micros: f64,
+    /// p99 client latency with the defense ablated, microseconds.
+    pub undefended_p99_latency_micros: f64,
+    /// Firmware throttle latches the defended run suffered.
+    pub defended_throttle_engages: u64,
+    /// Firmware throttle latches the ablated run suffered.
+    pub undefended_throttle_engages: u64,
+    /// Power-ladder rung transitions the defended guard took.
+    pub power_rung_transitions: u64,
+    /// Defended run's power rung at run end ("nominal" / "freq_cap" /
+    /// "core_park").
+    pub power_final_rung: String,
+    /// Defended run's health-ladder rung at run end.
+    pub final_rung: String,
+    /// Whether the defended health ladder ended at or above normal
+    /// operation.
+    pub recovered: bool,
+    /// Joules the defended run burned.
+    pub defended_joules: f64,
+    /// Joules the ablated run burned.
+    pub undefended_joules: f64,
+}
+
+impl ThermalOutcome {
+    /// Fraction of offered requests the defended run completed.
+    pub fn defended_goodput(&self) -> f64 {
+        self.defended_completed as f64 / self.offered as f64
+    }
+
+    /// Fraction of offered requests the ablated run completed.
+    pub fn undefended_goodput(&self) -> f64 {
+        self.undefended_completed as f64 / self.offered as f64
+    }
+
+    /// Serializes the thermal outcome (the `thermal` member of the
+    /// chaos report).
+    pub fn to_json(&self) -> Json {
+        let num = Json::Num;
+        Json::Obj(vec![
+            ("offered".into(), num(self.offered as f64)),
+            (
+                "defended_completed".into(),
+                num(self.defended_completed as f64),
+            ),
+            (
+                "undefended_completed".into(),
+                num(self.undefended_completed as f64),
+            ),
+            ("defended_goodput".into(), num(self.defended_goodput())),
+            ("undefended_goodput".into(), num(self.undefended_goodput())),
+            (
+                "defended_p99_latency_micros".into(),
+                num(self.defended_p99_latency_micros),
+            ),
+            (
+                "undefended_p99_latency_micros".into(),
+                num(self.undefended_p99_latency_micros),
+            ),
+            (
+                "defended_throttle_engages".into(),
+                num(self.defended_throttle_engages as f64),
+            ),
+            (
+                "undefended_throttle_engages".into(),
+                num(self.undefended_throttle_engages as f64),
+            ),
+            (
+                "power_rung_transitions".into(),
+                num(self.power_rung_transitions as f64),
+            ),
+            (
+                "power_final_rung".into(),
+                Json::str(self.power_final_rung.clone()),
+            ),
+            ("final_rung".into(), Json::str(self.final_rung.clone())),
+            ("recovered".into(), Json::Bool(self.recovered)),
+            ("defended_joules".into(), num(self.defended_joules)),
+            ("undefended_joules".into(), num(self.undefended_joules)),
+        ])
+    }
+}
+
 impl GovernorOutcome {
     /// Serializes the governed-storm outcome (the `governor` member of
     /// the chaos report and the run ledger's guard section).
@@ -291,6 +388,10 @@ pub struct ChaosReport {
     /// Scenario 6 (opt-in via `repro chaos --retry-storm`): metastable
     /// retry amplification, defended vs ablated.
     pub retry_storm: Option<RetryStormOutcome>,
+    /// Scenario 7 (opt-in via `repro chaos --thermal`): serving through
+    /// a thermal-fault storm, power-capping defense vs firmware-only
+    /// ablation.
+    pub thermal: Option<ThermalOutcome>,
 }
 
 impl ChaosReport {
@@ -382,6 +483,11 @@ impl ChaosReport {
                     .as_ref()
                     .map(|s| ("retry_storm".into(), s.to_json())),
             )
+            .chain(
+                self.thermal
+                    .as_ref()
+                    .map(|t| ("thermal".into(), t.to_json())),
+            )
             .collect(),
         )
     }
@@ -465,7 +571,15 @@ pub fn run_matrix_with(
     fast: bool,
     governor: bool,
 ) -> Result<ChaosReport, RbvError> {
-    run_matrix_pooled(app, seed, fast, governor, false, &rbv_par::Pool::serial())
+    run_matrix_pooled(
+        app,
+        seed,
+        fast,
+        governor,
+        false,
+        false,
+        &rbv_par::Pool::serial(),
+    )
 }
 
 /// One scenario's outcome, tagged for ordered collection by
@@ -477,6 +591,7 @@ enum ScenarioResult {
     Easing(EasingStormOutcome),
     Governor(GovernorOutcome),
     RetryStorm(RetryStormOutcome),
+    Thermal(ThermalOutcome),
 }
 
 /// Runs the chaos matrix with its scenarios fanned over `pool`.
@@ -498,6 +613,7 @@ pub fn run_matrix_pooled(
     fast: bool,
     governor: bool,
     retry_storm: bool,
+    thermal: bool,
     pool: &rbv_par::Pool,
 ) -> Result<ChaosReport, RbvError> {
     let n = requests_of(app, fast);
@@ -508,13 +624,17 @@ pub fn run_matrix_pooled(
     if retry_storm {
         scenarios.push(5);
     }
+    if thermal {
+        scenarios.push(6);
+    }
     let results = pool.ordered_map(&scenarios, |&which| match which {
         0 => scenario_anomaly(app, seed, n).map(ScenarioResult::Anomaly),
         1 => scenario_degradation(app, seed, n).map(ScenarioResult::Degradation),
         2 => scenario_overload(app, seed, n).map(ScenarioResult::Overload),
         3 => easing_storm(app, seed, n).map(ScenarioResult::Easing),
         4 => governor_storm(app, seed, n).map(ScenarioResult::Governor),
-        _ => scenario_retry_storm(app, seed).map(ScenarioResult::RetryStorm),
+        5 => scenario_retry_storm(app, seed).map(ScenarioResult::RetryStorm),
+        _ => scenario_thermal(app, seed).map(ScenarioResult::Thermal),
     });
     let mut anomaly = None;
     let mut degradation = None;
@@ -522,6 +642,7 @@ pub fn run_matrix_pooled(
     let mut easing = None;
     let mut governor_outcome = None;
     let mut storm_outcome = None;
+    let mut thermal_outcome = None;
     for result in results {
         match result? {
             ScenarioResult::Anomaly(o) => anomaly = Some(o),
@@ -530,6 +651,7 @@ pub fn run_matrix_pooled(
             ScenarioResult::Easing(o) => easing = Some(o),
             ScenarioResult::Governor(o) => governor_outcome = Some(o),
             ScenarioResult::RetryStorm(o) => storm_outcome = Some(o),
+            ScenarioResult::Thermal(o) => thermal_outcome = Some(o),
         }
     }
     Ok(ChaosReport {
@@ -541,6 +663,7 @@ pub fn run_matrix_pooled(
         easing: easing.unwrap_or_else(|| unreachable!("scenario 4 always runs")),
         governor: governor_outcome,
         retry_storm: storm_outcome,
+        thermal: thermal_outcome,
     })
 }
 
@@ -659,6 +782,53 @@ pub fn scenario_retry_storm(app: AppId, seed: u64) -> Result<RetryStormOutcome, 
         health_transitions: d.health_transitions,
         final_rung: d.final_rung.label().to_string(),
         recovered: d.recovered(),
+    })
+}
+
+/// Scenario 7: serving through a thermal-fault storm. A permanent
+/// heatwave plus a cooling-failure victim core push every core toward
+/// the firmware throttle cap while open-loop arrivals hold the machine
+/// just below its *nominal* capacity. Served twice through
+/// `rbv-openloop`: once with the guard's power-capping rungs armed
+/// (proactive frequency cap at 0.7x keeps cores below the punitive
+/// firmware latch) and once ablated, where the firmware latch clamps
+/// cores to 0.4x with a release point the heatwave never lets them
+/// reach — collapsing capacity below the offered load. The defense must
+/// preserve strictly more goodput *and* a strictly better p99, and the
+/// health ladder must end back at a normal operating rung.
+pub fn scenario_thermal(app: AppId, seed: u64) -> Result<ThermalOutcome, RbvError> {
+    // Load sits at ~55% of nominal capacity: comfortably served at the
+    // defended 0.7x cap, unserviceable once the firmware latch drags
+    // the ablated run to 0.4x. The count must outlast the thermal RC
+    // transient (tau 5ms) by a wide margin.
+    let offered = 1600;
+    let mut defended = rbv_openloop::ServeSpec::new(app, offered, seed ^ 0x7e41);
+    defended.overload = 0.55;
+    defended.power = true;
+    defended.thermal = true;
+    defended.guard = true;
+    let mut undefended = defended;
+    undefended.guard = false;
+    let pool = rbv_par::Pool::serial();
+    let d = rbv_openloop::serve(&defended, &pool)?;
+    let u = rbv_openloop::serve(&undefended, &pool)?;
+    let missing = || RbvError::Config("powered serve reported no energy ledger".into());
+    let d_energy = d.energy.as_ref().ok_or_else(missing)?;
+    let u_energy = u.energy.as_ref().ok_or_else(missing)?;
+    Ok(ThermalOutcome {
+        offered,
+        defended_completed: d.completed,
+        undefended_completed: u.completed,
+        defended_p99_latency_micros: d.latency_us.p99().unwrap_or(f64::NAN),
+        undefended_p99_latency_micros: u.latency_us.p99().unwrap_or(f64::NAN),
+        defended_throttle_engages: d_energy.throttle_engages,
+        undefended_throttle_engages: u_energy.throttle_engages,
+        power_rung_transitions: d_energy.power_rung_transitions,
+        power_final_rung: d_energy.power_rung_label().to_string(),
+        final_rung: d.final_rung.label().to_string(),
+        recovered: d.recovered(),
+        defended_joules: d_energy.total_joules(),
+        undefended_joules: u_energy.total_joules(),
     })
 }
 
@@ -904,6 +1074,43 @@ pub fn summarize<W: Write>(report: &ChaosReport, out: &mut W) -> io::Result<()> 
             if s.recovered { "yes" } else { "NO" }
         )?;
     }
+
+    if let Some(t) = &report.thermal {
+        writeln!(out)?;
+        writeln!(out, "thermal storm (heatwave + cooling failure):")?;
+        writeln!(
+            out,
+            "  goodput defended/ablated {:.3} / {:.3}",
+            t.defended_goodput(),
+            t.undefended_goodput()
+        )?;
+        writeln!(
+            out,
+            "  p99 latency def/abl (us) {:.1} / {:.1}",
+            t.defended_p99_latency_micros, t.undefended_p99_latency_micros
+        )?;
+        writeln!(
+            out,
+            "  throttle latches def/abl {} / {}",
+            t.defended_throttle_engages, t.undefended_throttle_engages
+        )?;
+        writeln!(
+            out,
+            "  power rung transitions   {} (final rung {})",
+            t.power_rung_transitions, t.power_final_rung
+        )?;
+        writeln!(
+            out,
+            "  joules defended/ablated  {:.2} / {:.2}",
+            t.defended_joules, t.undefended_joules
+        )?;
+        writeln!(
+            out,
+            "  health ladder            final rung {}, recovered {}",
+            t.final_rung,
+            if t.recovered { "yes" } else { "NO" }
+        )?;
+    }
     Ok(())
 }
 
@@ -972,6 +1179,40 @@ mod tests {
         // Deterministic: the scenario is a pure function of (app, seed).
         let again = scenario_retry_storm(AppId::WebServer, 42).expect("storm runs");
         assert_eq!(s, again);
+    }
+
+    #[test]
+    fn thermal_storm_defense_beats_ablation_on_goodput_and_p99() {
+        // The acceptance criteria of the thermal scenario, at the exact
+        // seed the CI smoke step uses: the proactive power cap beats the
+        // firmware-latch ablation on goodput AND p99 latency, the
+        // ablation actually latches, and the health ladder ends back at
+        // a normal operating rung.
+        let t = scenario_thermal(AppId::WebServer, 42).expect("thermal storm runs");
+        assert!(
+            t.undefended_throttle_engages > 0,
+            "ablated run never hit the firmware throttle"
+        );
+        assert!(
+            t.defended_goodput() > t.undefended_goodput(),
+            "power cap lost goodput: {:.3} <= {:.3}",
+            t.defended_goodput(),
+            t.undefended_goodput()
+        );
+        assert!(
+            t.defended_p99_latency_micros < t.undefended_p99_latency_micros,
+            "power cap lost p99: {:.1} >= {:.1}",
+            t.defended_p99_latency_micros,
+            t.undefended_p99_latency_micros
+        );
+        assert!(t.recovered, "health ladder stuck on {}", t.final_rung);
+        assert!(
+            t.power_rung_transitions > 0,
+            "defended guard never engaged a power rung"
+        );
+        // Deterministic: the scenario is a pure function of (app, seed).
+        let again = scenario_thermal(AppId::WebServer, 42).expect("thermal storm runs");
+        assert_eq!(t, again);
     }
 
     #[test]

@@ -57,7 +57,8 @@ pub mod inject;
 pub mod plan;
 
 pub use chaos::{
-    run_matrix, run_matrix_pooled, scenario_retry_storm, ChaosReport, RetryStormOutcome,
+    run_matrix, run_matrix_pooled, scenario_retry_storm, scenario_thermal, ChaosReport,
+    RetryStormOutcome, ThermalOutcome,
 };
 pub use detect::{detect_anomalies, score, DetectorConfig, PrecisionRecall};
 pub use drift::{DriftScenario, FIRST_DRIFT_EPOCH};

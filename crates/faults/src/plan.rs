@@ -151,6 +151,9 @@ pub struct FaultPlan {
     pub measurement: MeasurementFaults,
     /// Overload protection (applied to [`SimConfig::overload`]).
     pub overload: Option<OverloadPolicy>,
+    /// Thermal faults — heatwave, cooling failure, hot loop (applied to
+    /// [`SimConfig::thermal_faults`]; requires [`SimConfig::power`]).
+    pub thermal: Option<rbv_os::ThermalFaults>,
 }
 
 impl FaultPlan {
@@ -162,6 +165,7 @@ impl FaultPlan {
             workload: None,
             measurement: MeasurementFaults::none(),
             overload: None,
+            thermal: None,
         }
     }
 
@@ -178,15 +182,19 @@ impl FaultPlan {
         if let Some(overload) = &self.overload {
             overload.validate()?;
         }
+        if let Some(thermal) = &self.thermal {
+            thermal.validate().map_err(RbvError::Config)?;
+        }
         Ok(())
     }
 
-    /// Writes the measurement and overload channels into `cfg`. The
-    /// workload channel is applied separately by wrapping the request
+    /// Writes the measurement, overload, and thermal channels into `cfg`.
+    /// The workload channel is applied separately by wrapping the request
     /// factory in a [`crate::FaultyFactory`].
     pub fn apply_to(&self, cfg: &mut SimConfig) {
         cfg.faults = self.measurement;
         cfg.overload = self.overload;
+        cfg.thermal_faults = self.thermal;
     }
 
     /// The workload fault assigned to the `index`-th emitted request, if

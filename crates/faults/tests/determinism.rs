@@ -29,6 +29,7 @@ fn storm_plan(seed: u64) -> FaultPlan {
             max_retries: 2,
             retry_backoff: Cycles::from_micros(50),
         }),
+        thermal: None,
         seed,
     }
 }
@@ -126,6 +127,7 @@ fn chaos_matrix_is_identical_across_thread_counts() {
             app,
             42,
             true,
+            false,
             false,
             false,
             &rbv_par::Pool::new(threads),

@@ -96,6 +96,10 @@ pub struct GovernorPolicy {
     pub ladder: bool,
     /// Whether the runtime invariant monitor runs each window.
     pub invariants: bool,
+    /// Power-capping ladder bands; `None` (the default) leaves thermal
+    /// defense entirely to the firmware throttle. Only meaningful when
+    /// the kernel runs with a power model.
+    pub power_cap: Option<crate::power::PowerCapPolicy>,
 }
 
 impl Default for GovernorPolicy {
@@ -110,6 +114,7 @@ impl Default for GovernorPolicy {
             health: HealthPolicy::default(),
             ladder: true,
             invariants: true,
+            power_cap: None,
         }
     }
 }
@@ -168,6 +173,9 @@ impl GovernorPolicy {
                 "governor recover_margin must be in (0, 1), got {}",
                 self.recover_margin
             ));
+        }
+        if let Some(power_cap) = &self.power_cap {
+            power_cap.validate()?;
         }
         self.health.validate()
     }
@@ -415,6 +423,13 @@ mod tests {
             },
             GovernorPolicy {
                 recover_margin: 1.0,
+                ..GovernorPolicy::default()
+            },
+            GovernorPolicy {
+                power_cap: Some(crate::power::PowerCapPolicy {
+                    cap_pstate: 0,
+                    ..Default::default()
+                }),
                 ..GovernorPolicy::default()
             },
         ] {

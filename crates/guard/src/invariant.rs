@@ -34,11 +34,21 @@ pub enum InvariantKind {
     /// entry carries the request's current client generation, and a
     /// client retry announces exactly the next generation.
     AttemptConservation,
+    /// Energy is conserved exactly: the per-core fixed-point energy
+    /// accumulators sum (integer arithmetic, no tolerance) to the run's
+    /// running per-slice power·dt total.
+    EnergyConservation,
+    /// Every core's effective P-state stays within the configured
+    /// frequency ladder's bounds.
+    FrequencyBounds,
+    /// Throttle events are conserved: per-core engage counts minus
+    /// release counts equal the number of cores currently throttled.
+    ThrottleConservation,
 }
 
 impl InvariantKind {
     /// Every kind, in metric order.
-    pub const ALL: [InvariantKind; 7] = [
+    pub const ALL: [InvariantKind; 10] = [
         InvariantKind::RequestConservation,
         InvariantKind::ClockMonotonic,
         InvariantKind::CounterMonotonic,
@@ -46,6 +56,9 @@ impl InvariantKind {
         InvariantKind::NonNegativeSlack,
         InvariantKind::SpanAccounting,
         InvariantKind::AttemptConservation,
+        InvariantKind::EnergyConservation,
+        InvariantKind::FrequencyBounds,
+        InvariantKind::ThrottleConservation,
     ];
 
     /// Stable snake_case label for metrics and the ledger.
@@ -58,6 +71,9 @@ impl InvariantKind {
             InvariantKind::NonNegativeSlack => "non_negative_slack",
             InvariantKind::SpanAccounting => "span_accounting",
             InvariantKind::AttemptConservation => "attempt_conservation",
+            InvariantKind::EnergyConservation => "energy_conservation",
+            InvariantKind::FrequencyBounds => "frequency_bounds",
+            InvariantKind::ThrottleConservation => "throttle_conservation",
         }
     }
 
@@ -191,6 +207,66 @@ impl InvariantMonitor {
             InvariantKind::AttemptConservation,
             expected == observed,
             || format!("rid {rid} {site}: attempt {observed} != expected {expected}"),
+        )
+    }
+
+    /// Checks exact energy conservation: the per-core fixed-point energy
+    /// accumulators (µW·cycles) sum — in u128 integer arithmetic, no
+    /// tolerance — to the running per-slice power·dt total.
+    pub fn check_energy_conservation(
+        &mut self,
+        core_sum_uw_cycles: u128,
+        total_uw_cycles: u128,
+    ) -> bool {
+        self.record(
+            InvariantKind::EnergyConservation,
+            core_sum_uw_cycles == total_uw_cycles,
+            || {
+                format!(
+                    "core energy sum {core_sum_uw_cycles} uW-cycles != running total {total_uw_cycles}"
+                )
+            },
+        )
+    }
+
+    /// Checks a core's effective P-state sits within the frequency
+    /// ladder's bounds and its ratio is a sane milli-fraction.
+    pub fn check_frequency_bounds(
+        &mut self,
+        core: u64,
+        pstate: u64,
+        pstates: u64,
+        ratio_milli: u64,
+    ) -> bool {
+        self.record(
+            InvariantKind::FrequencyBounds,
+            pstate < pstates && (1..=1000).contains(&ratio_milli),
+            || {
+                format!(
+                    "core {core}: P-state {pstate} (of {pstates}) at ratio {ratio_milli} \
+                     outside the ladder"
+                )
+            },
+        )
+    }
+
+    /// Checks throttle-event conservation: engages minus releases must
+    /// equal the number of cores currently throttled (u64 arithmetic).
+    pub fn check_throttle_conservation(
+        &mut self,
+        engages: u64,
+        releases: u64,
+        throttled_now: u64,
+    ) -> bool {
+        self.record(
+            InvariantKind::ThrottleConservation,
+            engages == releases + throttled_now,
+            || {
+                format!(
+                    "throttle engages {engages} != releases {releases} + currently throttled \
+                     {throttled_now}"
+                )
+            },
         )
     }
 
@@ -356,7 +432,10 @@ mod tests {
         assert!(m.check_non_negative_slack(1));
         assert!(m.check_span_accounting(1, 10, 20, 5, 5, 40));
         assert!(m.check_attempt_conservation(1, "queue_enter", 2, 2));
-        assert_eq!(m.checks(), 7);
+        assert!(m.check_energy_conservation(12_345, 12_345));
+        assert!(m.check_frequency_bounds(0, 4, 5, 600));
+        assert!(m.check_throttle_conservation(3, 2, 1));
+        assert_eq!(m.checks(), 10);
         assert_eq!(m.violations_total(), 0);
         assert!(m.first_violation().is_none());
     }
@@ -372,7 +451,11 @@ mod tests {
         assert!(!m.check_non_negative_slack(3));
         assert!(!m.check_span_accounting(7, 10, 20, 5, 0, 40));
         assert!(!m.check_attempt_conservation(7, "queue_enter", 1, 2));
-        assert_eq!(m.violations(), [1, 1, 2, 1, 1, 1, 1]);
+        assert!(!m.check_energy_conservation(12_345, 12_346));
+        assert!(!m.check_frequency_bounds(2, 5, 5, 600));
+        assert!(!m.check_frequency_bounds(2, 1, 5, 1_500));
+        assert!(!m.check_throttle_conservation(3, 3, 1));
+        assert_eq!(m.violations(), [1, 1, 2, 1, 1, 1, 1, 1, 2, 1]);
         let first = m.first_violation().unwrap();
         assert!(first.starts_with("request_conservation:"), "{first}");
     }

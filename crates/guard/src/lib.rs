@@ -15,8 +15,13 @@
 //!   so it cannot flap, and back up when health returns;
 //! * [`InvariantMonitor`] — online checks of the simulator's conservation
 //!   laws (request conservation, clock/counter monotonicity, quantum
-//!   accounting, non-negative slack), counted per kind instead of
-//!   panicking;
+//!   accounting, non-negative slack, energy conservation), counted per
+//!   kind instead of panicking;
+//! * [`PowerLadder`] — a power-capping ladder over smoothed thermal
+//!   pressure — nominal → frequency cap → core park — with the same
+//!   hysteresis-plus-dwell machinery, degrading proactively so the
+//!   firmware thermal clamp (the punitive defense of last resort) never
+//!   has to;
 //! * [`fsx`] — crash-safe artifact files: tempfile + atomic-rename writes
 //!   and corrupt-document detection on read.
 //!
@@ -35,8 +40,10 @@ pub mod fsx;
 pub mod governor;
 pub mod health;
 pub mod invariant;
+pub mod power;
 
 pub use fsx::{read_document, write_atomic, DocumentError};
 pub use governor::{Governor, GovernorAction, GovernorDecision, GovernorPolicy, WindowSample};
 pub use health::{HealthLadder, HealthPolicy, LadderRung, LadderTransition};
 pub use invariant::{CampaignInvariants, InvariantKind, InvariantMonitor};
+pub use power::{PowerCapPolicy, PowerLadder, PowerRung, PowerTransition};

@@ -11,10 +11,16 @@
 //! 3. **Governor-off bit-identity**: with the governor disabled the
 //!    engine takes none of the guard paths, so runs are bit-identical
 //!    and carry all-zero guard statistics.
+//! 4. **Rung recovery**: whatever overload or thermal history drove the
+//!    health ladder into its shed/brownout band or the power ladder onto
+//!    its cap/park rungs, sustained calm input always climbs both
+//!    ladders back out — no pressure history can latch a degraded rung.
 
 use proptest::prelude::*;
 
-use rbv_guard::{HealthLadder, HealthPolicy, LadderRung, WindowSample};
+use rbv_guard::{
+    HealthLadder, HealthPolicy, LadderRung, PowerCapPolicy, PowerLadder, PowerRung, WindowSample,
+};
 use rbv_os::{run_simulation, GovernorPolicy, RunResult, SimConfig};
 use rbv_sim::Cycles;
 use rbv_workloads::{factory_for, AppId};
@@ -187,6 +193,76 @@ proptest! {
                 ladder.rung()
             );
         }
+    }
+
+    /// Contract 4: no overload history can latch the health ladder in
+    /// its shed/brownout band, and no thermal-pressure history can latch
+    /// the power ladder on its cap/park rungs. Once the input calms,
+    /// both always recover.
+    #[test]
+    fn degraded_rungs_always_recover_after_pressure_subsides(
+        overload_windows in 1usize..20,
+        reject_frac in 0.6f64..1.0,
+        queue_frac in 0.5f64..1.0,
+        thermal_pressures in prop::collection::vec(0.6f64..2.0, 1..20),
+    ) {
+        // Health ladder: arbitrary sustained overload, then calm.
+        let mut ladder = HealthLadder::new(HealthPolicy::default());
+        let mut now = Cycles::ZERO;
+        let hot = WindowSample {
+            busy_cycles: 1e6,
+            samples: 10,
+            offered: 100,
+            rejected: (100.0 * reject_frac) as u64,
+            queue_frac,
+            ..WindowSample::default()
+        };
+        for _ in 0..overload_windows {
+            now += Cycles::from_millis(10);
+            ladder.observe(&hot, now);
+        }
+        let overloaded = matches!(ladder.rung(), LadderRung::Shed | LadderRung::Brownout);
+        prop_assert!(
+            overloaded || overload_windows < 3,
+            "sustained rejections never pushed the ladder into the overload band"
+        );
+        // Calm, healthy windows: zero rejections, empty queue. The
+        // ladder must walk back out of the overload band (and with a
+        // perfect health score, all the way to normal operation).
+        let calm = WindowSample {
+            busy_cycles: 1e6,
+            samples: 10,
+            offered: 100,
+            ..WindowSample::default()
+        };
+        for _ in 0..64 {
+            now += Cycles::from_millis(10);
+            ladder.observe(&calm, now);
+        }
+        prop_assert!(
+            !matches!(ladder.rung(), LadderRung::Shed | LadderRung::Brownout),
+            "health ladder latched on {:?} after pressure subsided",
+            ladder.rung()
+        );
+
+        // Power ladder: arbitrary thermal-pressure history (including
+        // readings past the firmware cap), then cool readings.
+        let mut power = PowerLadder::new(PowerCapPolicy::default());
+        let mut pnow = Cycles::ZERO;
+        for pressure in thermal_pressures {
+            pnow += Cycles::from_millis(2);
+            power.observe(pressure, pnow);
+        }
+        for _ in 0..64 {
+            pnow += Cycles::from_millis(2);
+            power.observe(0.05, pnow);
+        }
+        prop_assert_eq!(
+            power.rung(),
+            PowerRung::Nominal,
+            "power ladder latched on {:?} after the cores cooled",
+            power.rung()
+        );
     }
 
     /// Contract 3: governor-disabled runs take no guard path — two runs

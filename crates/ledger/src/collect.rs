@@ -197,6 +197,104 @@ fn stage_kernel(app: AppId, standard: &RunResult, profiler: &mut SelfProfiler) -
     ])
 }
 
+/// One variant of the energy study, serialized for the ledger's
+/// `energy` member.
+fn energy_variant_json(result: &RunResult) -> Json {
+    let energy = result
+        .stats
+        .energy
+        .as_ref()
+        .unwrap_or_else(|| unreachable!("powered run reports energy"));
+    Json::Obj(vec![
+        ("joules".into(), Json::Num(energy.total_joules())),
+        (
+            "core_joules".into(),
+            Json::Arr(
+                energy
+                    .core_uw_cycles
+                    .iter()
+                    .map(|&c| Json::Num(rbv_os::joules(c)))
+                    .collect(),
+            ),
+        ),
+        (
+            "throttle_engages".into(),
+            Json::Num(energy.throttle_engages as f64),
+        ),
+        (
+            "dvfs_transitions".into(),
+            Json::Num(energy.dvfs_transitions as f64),
+        ),
+        (
+            "power_rung_transitions".into(),
+            Json::Num(energy.power_rung_transitions as f64),
+        ),
+        (
+            "p99_cpi".into(),
+            Json::Num(result.cpi_sketch().p99().unwrap_or(f64::NAN)),
+        ),
+    ])
+}
+
+/// Stage 6: the energy study. The same workload runs three times with
+/// the per-core DVFS/power model on — stock scheduling, contention
+/// easing, and easing under the guard's power-capping rungs — recording
+/// joules (total and per core), throttle/DVFS counts, and p99 request
+/// CPI per variant. The capped variant trades tail CPI for joules; the
+/// ledger keeps both sides of that trade on the record. The easing
+/// threshold derives from the standard run exactly as in stage 3.
+fn stage_energy(
+    app: AppId,
+    seed: u64,
+    n: usize,
+    standard: &RunResult,
+    profiler: &mut SelfProfiler,
+) -> Result<Json, RbvError> {
+    let label = short_label(app);
+    let timer = profiler.stage(format!("{label}.energy"));
+    let mut mpi = Vec::new();
+    for r in &standard.completed {
+        let (_, mut v) = r
+            .timeline
+            .weighted_values(rbv_core::series::Metric::L2MissesPerIns);
+        mpi.append(&mut v);
+    }
+    let threshold = percentile(&mpi, 0.8).unwrap_or(0.0);
+    let variant = |mode: usize| -> Result<RunResult, RbvError> {
+        let mut cfg = base_config(app, seed ^ 0xE76);
+        cfg.concurrency = 12;
+        cfg.power = Some(rbv_os::PowerPolicy::paper_default());
+        if mode >= 1 {
+            cfg.scheduler = SchedulerPolicy::ContentionEasing {
+                resched_interval: Cycles::from_millis(5),
+                high_usage_threshold: threshold,
+                alpha: 0.6,
+            };
+            cfg.easing_error_gate = Some(0.35);
+        }
+        if mode == 2 {
+            let governor = rbv_os::GovernorPolicy {
+                power_cap: Some(rbv_os::PowerCapPolicy::default()),
+                ..rbv_os::GovernorPolicy::default()
+            };
+            // The ladder supersedes the one-shot gate (as in the
+            // governed storm).
+            cfg.easing_error_gate = None;
+            cfg.governor = Some(governor);
+        }
+        run(cfg, app, seed ^ 0xE76, n)
+    };
+    let stock = variant(0)?;
+    let easing = variant(1)?;
+    let power_easing = variant(2)?;
+    profiler.stop(timer);
+    Ok(Json::Obj(vec![
+        ("stock".into(), energy_variant_json(&stock)),
+        ("easing".into(), energy_variant_json(&easing)),
+        ("power_easing".into(), energy_variant_json(&power_easing)),
+    ]))
+}
+
 /// Stage 4: the chaos matrix.
 fn stage_chaos(
     app: AppId,
@@ -225,7 +323,8 @@ fn stage_guard(
     Ok(guard)
 }
 
-/// Folds the five stage outcomes into one [`AppLedger`] record.
+/// Folds the six stage outcomes into one [`AppLedger`] record.
+#[allow(clippy::too_many_arguments)]
 fn assemble(
     app: AppId,
     standard: &RunResult,
@@ -234,6 +333,7 @@ fn assemble(
     kernel: Json,
     chaos: ChaosReport,
     guard: GovernorOutcome,
+    energy: Json,
 ) -> AppLedger {
     AppLedger {
         app: short_label(app).to_string(),
@@ -250,6 +350,7 @@ fn assemble(
         kernel,
         chaos: chaos.to_json(),
         guard: guard.to_json(),
+        energy,
     }
 }
 
@@ -271,8 +372,9 @@ pub fn collect_app(
     let kernel = stage_kernel(app, &standard, profiler);
     let chaos = stage_chaos(app, seed, fast, profiler)?;
     let guard = stage_guard(app, seed, fast, profiler)?;
+    let energy = stage_energy(app, seed, n, &standard, profiler)?;
     Ok(assemble(
-        app, &standard, &syscall, &eased, kernel, chaos, guard,
+        app, &standard, &syscall, &eased, kernel, chaos, guard, energy,
     ))
 }
 
@@ -331,7 +433,7 @@ pub fn collect_pooled(
 ) -> Result<RunLedger, RbvError> {
     /// One task's payload, tagged for in-order reassembly.
     enum Payload {
-        StandardEasingKernel(Box<(RunResult, RunResult, Json)>),
+        StandardEasingKernelEnergy(Box<(RunResult, RunResult, Json, Json)>),
         Syscall(Box<RunResult>),
         Chaos(Box<ChaosReport>),
         Guard(Box<GovernorOutcome>),
@@ -349,9 +451,13 @@ pub fn collect_pooled(
         let n = requests_of(app, fast);
         let payload = match kind {
             0 => stage_standard(app, seed, n, &mut worker).and_then(|standard| {
-                stage_easing(app, seed, n, &standard, &mut worker).map(|eased| {
+                stage_easing(app, seed, n, &standard, &mut worker).and_then(|eased| {
                     let kernel = stage_kernel(app, &standard, &mut worker);
-                    Payload::StandardEasingKernel(Box::new((standard, eased, kernel)))
+                    stage_energy(app, seed, n, &standard, &mut worker).map(|energy| {
+                        Payload::StandardEasingKernelEnergy(Box::new((
+                            standard, eased, kernel, energy,
+                        )))
+                    })
                 })
             }),
             1 => stage_syscall(app, seed, n, &mut worker).map(|r| Payload::Syscall(Box::new(r))),
@@ -375,19 +481,19 @@ pub fn collect_pooled(
                 .unwrap_or_else(|| unreachable!("one result per submitted task"));
             profiler.absorb(worker);
             match payload? {
-                Payload::StandardEasingKernel(b) => standard_easing = Some(*b),
+                Payload::StandardEasingKernelEnergy(b) => standard_easing = Some(*b),
                 Payload::Syscall(b) => syscall = Some(*b),
                 Payload::Chaos(b) => chaos = Some(*b),
                 Payload::Guard(b) => guard = Some(*b),
             }
         }
-        let (standard, eased, kernel) = standard_easing
+        let (standard, eased, kernel, energy) = standard_easing
             .unwrap_or_else(|| unreachable!("standard+easing task always submitted"));
         let syscall = syscall.unwrap_or_else(|| unreachable!("syscall task always submitted"));
         let chaos = chaos.unwrap_or_else(|| unreachable!("chaos task always submitted"));
         let guard = guard.unwrap_or_else(|| unreachable!("guard task always submitted"));
         records.push(assemble(
-            app, &standard, &syscall, &eased, kernel, chaos, guard,
+            app, &standard, &syscall, &eased, kernel, chaos, guard, energy,
         ));
     }
     let profile = include_wallclock.then(|| {

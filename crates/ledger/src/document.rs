@@ -13,8 +13,10 @@ use rbv_telemetry::{Json, QuantileSketch};
 /// Schema tag embedded in every document; the differ refuses to compare
 /// documents with different tags. v2 added the per-app `guard` member
 /// (governed-storm outcome); v3 added the per-app `kernel` member
-/// (DTW prune-cascade observability).
-pub const SCHEMA: &str = "rbv-ledger/v3";
+/// (DTW prune-cascade observability); v4 added the per-app `energy`
+/// member (powered-run joules and the p99-CPI-vs-joules tradeoff across
+/// stock / easing / power-easing).
+pub const SCHEMA: &str = "rbv-ledger/v4";
 
 /// Stock-vs-easing tail comparison for one application.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -95,6 +97,11 @@ pub struct AppLedger {
     /// invariant monitor under the measurement storm), as serialized by
     /// `rbv_faults::GovernorOutcome::to_json`.
     pub guard: Json,
+    /// The energy study: the same workload run with the power model on
+    /// under stock scheduling, contention easing, and easing with the
+    /// guard's power-capping rungs — joules (total and per core),
+    /// throttle/DVFS counts, and p99 request CPI per variant.
+    pub energy: Json,
 }
 
 impl AppLedger {
@@ -112,6 +119,7 @@ impl AppLedger {
             ("kernel".into(), self.kernel.clone()),
             ("chaos".into(), self.chaos.clone()),
             ("guard".into(), self.guard.clone()),
+            ("energy".into(), self.energy.clone()),
         ])
     }
 
@@ -143,6 +151,7 @@ impl AppLedger {
             kernel: member("kernel")?.clone(),
             chaos: member("chaos")?.clone(),
             guard: member("guard")?.clone(),
+            energy: member("energy")?.clone(),
         })
     }
 }
@@ -276,6 +285,22 @@ pub(crate) mod tests {
                 ("max_breach_streak".into(), Json::Num(1.0)),
                 ("overhead_frac".into(), Json::Num(0.004 * scale)),
                 ("invariant_violations".into(), Json::Num(0.0)),
+            ]),
+            energy: Json::Obj(vec![
+                (
+                    "stock".into(),
+                    Json::Obj(vec![
+                        ("joules".into(), Json::Num(2.4 * scale)),
+                        ("p99_cpi".into(), Json::Num(2.5 * scale)),
+                    ]),
+                ),
+                (
+                    "power_easing".into(),
+                    Json::Obj(vec![
+                        ("joules".into(), Json::Num(1.9 * scale)),
+                        ("p99_cpi".into(), Json::Num(2.7 * scale)),
+                    ]),
+                ),
             ]),
         }
     }

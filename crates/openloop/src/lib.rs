@@ -23,9 +23,10 @@
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 use rbv_os::{
-    run_simulation, run_simulation_streaming, run_simulation_streaming_traced, ArrivalProcess,
-    ClientPolicy, CompletedRequest, CompletionSink, FailReason, FailedRequest, GovernorPolicy,
-    LadderRung, OverloadPolicy, QueueDiscipline, RbvError, ShedPolicy, SimConfig,
+    joules, run_simulation, run_simulation_streaming, run_simulation_streaming_traced,
+    ArrivalProcess, ClientPolicy, CompletedRequest, CompletionSink, EnergyStats, FailReason,
+    FailedRequest, GovernorPolicy, LadderRung, OverloadPolicy, PowerCapPolicy, PowerPolicy,
+    PowerRung, QueueDiscipline, RbvError, ShedPolicy, SimConfig, ThermalFaults,
 };
 use rbv_sim::Cycles;
 use rbv_telemetry::{Json, QuantileSketch};
@@ -111,8 +112,22 @@ pub struct ServeSpec {
     pub retries: bool,
     /// Arm the runtime guard (sampling governor + health ladder +
     /// invariant monitor) so sustained overload can walk the ladder down
-    /// to its shed and brownout rungs.
+    /// to its shed and brownout rungs. With [`ServeSpec::power`] also
+    /// armed, the guard additionally runs the power-capping ladder
+    /// (frequency cap → core parking) against smoothed thermal pressure.
     pub guard: bool,
+    /// Arm the per-core DVFS/power/thermal model
+    /// ([`rbv_os::PowerPolicy::paper_default`]) and fold the exact
+    /// integer energy accounting into the ledger's `"energy"` member.
+    /// The paper-default policy never throttles an unfaulted machine, so
+    /// without [`ServeSpec::thermal`] every non-energy ledger member is
+    /// byte-identical with the power model off.
+    pub power: bool,
+    /// Inject the canonical seeded thermal storm
+    /// ([`rbv_os::ThermalFaults::storm`], per shard on the shard's seed):
+    /// a cooling failure, a heatwave, and a hot-loop window, which can
+    /// drive cores into firmware throttling. Requires `power`.
+    pub thermal: bool,
     /// Bursty MMPP arrivals instead of plain Poisson.
     pub mmpp: bool,
     /// Reconstruct per-request causal spans and fold the client-visible
@@ -140,6 +155,8 @@ impl ServeSpec {
             shed: true,
             retries: true,
             guard: false,
+            power: false,
+            thermal: false,
             mmpp: false,
             trace: false,
             trace_spans: false,
@@ -159,6 +176,11 @@ impl ServeSpec {
         if !self.overload.is_finite() || self.overload <= 0.0 {
             return Err(RbvError::Config(
                 "serve overload factor must be finite and positive".into(),
+            ));
+        }
+        if self.thermal && !self.power {
+            return Err(RbvError::Config(
+                "serve thermal faults require the power model (--power)".into(),
             ));
         }
         Ok(())
@@ -276,7 +298,17 @@ fn shard_config(spec: &ServeSpec, mean_service: f64, shard_seed: u64) -> SimConf
         });
     }
     if spec.guard {
-        cfg.governor = Some(GovernorPolicy::default());
+        let mut governor = GovernorPolicy::default();
+        if spec.power {
+            governor.power_cap = Some(PowerCapPolicy::default());
+        }
+        cfg.governor = Some(governor);
+    }
+    if spec.power {
+        cfg.power = Some(PowerPolicy::paper_default());
+        if spec.thermal {
+            cfg.thermal_faults = Some(ThermalFaults::storm(shard_seed));
+        }
     }
     cfg
 }
@@ -337,6 +369,116 @@ fn run_shard(
     })
 }
 
+/// Merged energy/thermal accounting across shards, present when the
+/// spec arms the power model. The per-core accumulators are exact
+/// integers (µW·cycles), so the shard-order merge is order-free and the
+/// serialized `"energy"` member is byte-identical at any thread count.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct EnergyReport {
+    /// Exact energy per core in µW·cycles, summed across shards.
+    pub core_uw_cycles: Vec<u128>,
+    /// Exact total energy in µW·cycles (must equal the core sum).
+    pub total_uw_cycles: u128,
+    /// Firmware throttle engagements across all cores and shards.
+    pub throttle_engages: u64,
+    /// Firmware throttle releases across all cores and shards.
+    pub throttle_releases: u64,
+    /// Cores still throttled when their shard ended.
+    pub throttled_final: u64,
+    /// DVFS P-state transitions across all cores and shards.
+    pub dvfs_transitions: u64,
+    /// Hottest temperature any core reached, milli-°C.
+    pub max_temp_milli_c: i64,
+    /// Power-capping ladder transitions (0 unless the guard is armed).
+    pub power_rung_transitions: u64,
+    /// Worst (deepest) final power rung across shards, as a
+    /// [`PowerRung`] index.
+    pub power_final_rung: u64,
+    /// Shards whose per-core energy sum failed to equal their total
+    /// exactly — the serve-level energy-conservation check. Always 0;
+    /// a nonzero count is an engine bug on the record.
+    pub conservation_violations: u64,
+}
+
+impl EnergyReport {
+    /// Total dissipated energy in joules.
+    pub fn total_joules(&self) -> f64 {
+        joules(self.total_uw_cycles)
+    }
+
+    /// Label of the worst final power rung.
+    pub fn power_rung_label(&self) -> &'static str {
+        let idx = (self.power_final_rung as usize).min(PowerRung::ALL.len() - 1);
+        PowerRung::ALL[idx].label()
+    }
+
+    /// Folds one shard's engine-side energy stats in, checking the
+    /// shard's exact conservation (Σ per-core µW·cycles == total) on
+    /// the way.
+    fn absorb(&mut self, shard: &EnergyStats) {
+        if self.core_uw_cycles.len() < shard.core_uw_cycles.len() {
+            self.core_uw_cycles.resize(shard.core_uw_cycles.len(), 0);
+        }
+        for (slot, uw_cycles) in shard.core_uw_cycles.iter().enumerate() {
+            self.core_uw_cycles[slot] += uw_cycles;
+        }
+        if shard.core_uw_cycles.iter().sum::<u128>() != shard.total_uw_cycles {
+            self.conservation_violations += 1;
+        }
+        self.total_uw_cycles += shard.total_uw_cycles;
+        self.throttle_engages += shard.throttle_engages;
+        self.throttle_releases += shard.throttle_releases;
+        self.throttled_final += shard.throttled_final;
+        self.dvfs_transitions += shard.dvfs_transitions;
+        self.max_temp_milli_c = self.max_temp_milli_c.max(shard.max_temp_milli_c);
+        self.power_rung_transitions += shard.power_rung_transitions;
+        self.power_final_rung = self.power_final_rung.max(shard.power_final_rung);
+    }
+
+    /// Serializes the energy member. The exact accumulator rides along
+    /// as a decimal string (µW·cycles exceed f64's integer range on
+    /// long runs), so byte-comparison of ledgers covers it losslessly.
+    pub fn to_json(&self) -> Json {
+        let num = Json::Num;
+        Json::Obj(vec![
+            ("joules".into(), num(self.total_joules())),
+            (
+                "uw_cycles".into(),
+                Json::str(self.total_uw_cycles.to_string()),
+            ),
+            (
+                "core_joules".into(),
+                Json::Arr(
+                    self.core_uw_cycles
+                        .iter()
+                        .map(|&c| num(joules(c)))
+                        .collect(),
+                ),
+            ),
+            ("throttle_engages".into(), num(self.throttle_engages as f64)),
+            (
+                "throttle_releases".into(),
+                num(self.throttle_releases as f64),
+            ),
+            ("throttled_final".into(), num(self.throttled_final as f64)),
+            ("dvfs_transitions".into(), num(self.dvfs_transitions as f64)),
+            ("max_temp_milli_c".into(), num(self.max_temp_milli_c as f64)),
+            (
+                "power_rung_transitions".into(),
+                num(self.power_rung_transitions as f64),
+            ),
+            (
+                "power_final_rung".into(),
+                Json::str(self.power_rung_label()),
+            ),
+            (
+                "conservation_violations".into(),
+                num(self.conservation_violations as f64),
+            ),
+        ])
+    }
+}
+
 /// Everything one serve run reports: the goodput/shed/retry/deadline
 /// ledger plus merged latency and CPU digests.
 #[derive(Debug, Clone, PartialEq)]
@@ -375,6 +517,10 @@ pub struct ServeReport {
     pub latency_us: QuantileSketch,
     /// Per-request CPU cycle digest of completed requests.
     pub cpu_cycles: QuantileSketch,
+    /// Merged exact energy/thermal accounting when the spec armed the
+    /// power model. `None` keeps the serialized ledger byte-identical
+    /// to power-model-off builds.
+    pub energy: Option<EnergyReport>,
     /// Merged span summary — the client-visible latency decomposition —
     /// when the spec traced. `None` keeps the serialized ledger
     /// byte-identical to pre-tracing builds.
@@ -491,12 +637,23 @@ impl ServeReport {
             ("shed".into(), Json::Bool(self.spec.shed)),
             ("retries".into(), Json::Bool(self.spec.retries)),
             ("guard".into(), Json::Bool(self.spec.guard)),
+        ];
+        if self.spec.power {
+            // Conditional like the energy member itself: power-off
+            // ledgers stay byte-identical to pre-power builds.
+            members.push(("power".into(), Json::Bool(true)));
+            members.push(("thermal".into(), Json::Bool(self.spec.thermal)));
+        }
+        members.extend([
             ("shards".into(), num(self.shards as f64)),
             ("mean_service_cycles".into(), num(self.mean_service_cycles)),
             ("ledger".into(), ledger),
             ("latency_us".into(), self.latency_us.to_json()),
             ("cpu_cycles".into(), self.cpu_cycles.to_json()),
-        ];
+        ]);
+        if let Some(energy) = &self.energy {
+            members.push(("energy".into(), energy.to_json()));
+        }
         if let Some(trace) = &self.trace {
             members.push(("trace".into(), trace.to_json()));
         }
@@ -562,6 +719,7 @@ pub fn serve_with_shard_target(
         simulated_cycles: 0.0,
         latency_us: QuantileSketch::new(),
         cpu_cycles: QuantileSketch::new(),
+        energy: None,
         trace: None,
         spans: Vec::new(),
         wall_seconds: None,
@@ -588,6 +746,12 @@ pub fn serve_with_shard_target(
         report.simulated_cycles += shard.total_time.as_f64();
         report.latency_us.merge(&shard.acc.latency_us);
         report.cpu_cycles.merge(&shard.acc.cpu_cycles);
+        if let Some(shard_energy) = &shard.stats.energy {
+            report
+                .energy
+                .get_or_insert_with(EnergyReport::default)
+                .absorb(shard_energy);
+        }
         if let Some((mut summary, spans)) = shard.trace {
             summary.set_shard(shard_index as u32);
             match &mut report.trace {
@@ -812,6 +976,104 @@ mod tests {
             })
             .count();
         assert_eq!(begins, 90);
+    }
+
+    #[test]
+    fn unfaulted_power_model_is_observation_only() {
+        // The paper-default power policy never throttles an unfaulted
+        // machine, so arming it must change nothing but the energy
+        // member (and the flags that announce it).
+        let mut powered_spec = quick_spec(100, 19);
+        powered_spec.overload = 2.0;
+        powered_spec.power = true;
+        let mut plain_spec = powered_spec;
+        plain_spec.power = false;
+        let pool = rbv_par::Pool::serial();
+        let powered = serve_with_shard_target(&powered_spec, &pool, 50).expect("powered");
+        let plain = serve_with_shard_target(&plain_spec, &pool, 50).expect("plain");
+        assert!(!plain.to_json().to_string_compact().contains("\"energy\""));
+        let energy = powered.energy.clone().expect("energy member");
+        assert_eq!(
+            energy.core_uw_cycles.iter().sum::<u128>(),
+            energy.total_uw_cycles,
+            "exact conservation"
+        );
+        assert_eq!(energy.conservation_violations, 0);
+        assert_eq!(energy.throttle_engages, 0, "unfaulted must not throttle");
+        assert_eq!(energy.dvfs_transitions, 0);
+        assert!(energy.total_joules() > 0.0);
+        let mut stripped = powered.clone();
+        stripped.energy = None;
+        stripped.spec.power = false;
+        assert_eq!(
+            stripped.to_json().to_string_compact(),
+            plain.to_json().to_string_compact()
+        );
+    }
+
+    #[test]
+    fn powered_thermal_ledger_is_byte_identical_across_thread_counts() {
+        let mut spec = quick_spec(120, 7);
+        spec.overload = 2.0;
+        spec.power = true;
+        spec.thermal = true;
+        spec.guard = true;
+        let serial =
+            serve_with_shard_target(&spec, &rbv_par::Pool::serial(), 30).expect("serial serve");
+        let pooled =
+            serve_with_shard_target(&spec, &rbv_par::Pool::new(4), 30).expect("pooled serve");
+        assert_eq!(serial.shards, 4);
+        let serial_text = serial.to_json().to_string_compact();
+        assert_eq!(serial_text, pooled.to_json().to_string_compact());
+        assert!(serial_text.contains("\"energy\""));
+        assert_eq!(serial, pooled);
+        let energy = serial.energy.expect("energy member");
+        assert_eq!(energy.conservation_violations, 0);
+        assert_eq!(
+            energy.core_uw_cycles.iter().sum::<u128>(),
+            energy.total_uw_cycles
+        );
+    }
+
+    #[test]
+    fn thermal_without_power_is_rejected() {
+        let mut spec = quick_spec(10, 1);
+        spec.thermal = true;
+        assert!(spec.validate().is_err());
+        spec.power = true;
+        assert!(spec.validate().is_ok());
+    }
+
+    proptest::proptest! {
+        // Two full serves per case; keep the count modest.
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(6))]
+
+        /// The power-model-off bit-identity contract: a ledger served
+        /// with the power model off is byte-identical to the powered,
+        /// unfaulted ledger with its energy member (and flags) stripped
+        /// — i.e. the power model is observation-only until a thermal
+        /// fault or the capping ladder actually moves a frequency.
+        #[test]
+        fn power_off_ledgers_are_bit_identical_to_powered_unfaulted(
+            seed in 0u64..1_000,
+            requests in 40usize..120,
+        ) {
+            let mut powered_spec = quick_spec(requests, seed);
+            powered_spec.overload = 2.5;
+            powered_spec.power = true;
+            let mut plain_spec = powered_spec;
+            plain_spec.power = false;
+            let pool = rbv_par::Pool::serial();
+            let powered = serve_with_shard_target(&powered_spec, &pool, 60).expect("powered");
+            let plain = serve_with_shard_target(&plain_spec, &pool, 60).expect("plain");
+            let mut stripped = powered.clone();
+            stripped.energy = None;
+            stripped.spec.power = false;
+            proptest::prop_assert_eq!(
+                stripped.to_json().to_string_compact(),
+                plain.to_json().to_string_compact()
+            );
+        }
     }
 
     #[test]

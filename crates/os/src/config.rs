@@ -488,6 +488,16 @@ pub struct SimConfig {
     /// governor ticks and leaves the engine's event stream bit-identical
     /// to an ungoverned build.
     pub governor: Option<GovernorPolicy>,
+    /// Per-core DVFS/power/thermal model (`rbv-power`): a discrete
+    /// P-state frequency ladder, a fixed-point energy accumulator, RC
+    /// heating/cooling, and firmware thermal throttling. `None` (the
+    /// default) accounts no energy and leaves the engine's event stream
+    /// bit-identical to a power-unaware build.
+    pub power: Option<rbv_power::PowerPolicy>,
+    /// Seeded thermal fault plan (heatwave, cooling failure, hot loop).
+    /// Requires [`SimConfig::power`]; `None` (the default) injects
+    /// nothing.
+    pub thermal_faults: Option<rbv_power::ThermalFaults>,
     /// Engine RNG seed (placement decisions only; workload randomness
     /// lives in the factories).
     pub seed: u64,
@@ -518,6 +528,8 @@ impl SimConfig {
             overload: None,
             easing_error_gate: None,
             governor: None,
+            power: None,
+            thermal_faults: None,
             seed: 0,
         }
     }
@@ -706,6 +718,15 @@ impl SimConfig {
         if let Some(governor) = &self.governor {
             governor.validate().map_err(RbvError::Config)?;
         }
+        if let Some(power) = &self.power {
+            power.validate().map_err(RbvError::Config)?;
+        }
+        if let Some(thermal) = &self.thermal_faults {
+            thermal.validate().map_err(RbvError::Config)?;
+            if self.power.is_none() {
+                return config_err("thermal faults require a power model".into());
+            }
+        }
         Ok(())
     }
 }
@@ -764,6 +785,20 @@ mod tests {
             alpha: 1.5,
         };
         assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn thermal_faults_require_a_power_model() {
+        let mut c = SimConfig::paper_default();
+        c.thermal_faults = Some(rbv_power::ThermalFaults::storm(1));
+        assert!(c.validate().is_err());
+        c.power = Some(rbv_power::PowerPolicy::paper_default());
+        assert!(c.validate().is_ok());
+        c.power = Some(rbv_power::PowerPolicy {
+            ladder_milli: vec![900],
+            ..rbv_power::PowerPolicy::paper_default()
+        });
+        assert!(c.validate().is_err(), "power policy is validated too");
     }
 
     #[test]

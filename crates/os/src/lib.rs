@@ -63,7 +63,11 @@ pub use machine::{
 pub use observer::{measure_sampling_cost, SampleCost, SampleMode, SamplingContext};
 pub use projection::PlatformProjection;
 pub use rbv_guard::{GovernorPolicy, HealthPolicy, InvariantKind, LadderRung};
+// Power re-exports so callers configuring `SimConfig::power` and
+// `SimConfig::thermal_faults` need not depend on `rbv-power` directly.
+pub use rbv_guard::{PowerCapPolicy, PowerRung};
+pub use rbv_power::{joules, PowerPolicy, ThermalFaults};
 pub use result::{
-    CompletedRequest, FailReason, FailedRequest, RunResult, RunStats, SyscallRecord,
+    CompletedRequest, EnergyStats, FailReason, FailedRequest, RunResult, RunStats, SyscallRecord,
     TransitionRecord,
 };

@@ -45,9 +45,10 @@ use rbv_core::predict::{Predictor, VaEwma};
 use rbv_core::series::{Metric, SamplePeriod, Timeline};
 use rbv_guard::{
     Governor, GovernorAction, GovernorPolicy, HealthLadder, InvariantMonitor, LadderRung,
-    WindowSample,
+    PowerLadder, WindowSample,
 };
 use rbv_mem::{PerfEstimate, SegmentProfile};
+use rbv_power::{CorePower, PowerPolicy, ThermalFaults};
 use rbv_sim::{Cycles, EventQueue, SimRng};
 use rbv_telemetry::{SampleOrigin, SwitchReason, TraceEvent, TraceSink};
 use rbv_workloads::{Request, RequestFactory, Stage, SyscallName};
@@ -56,7 +57,7 @@ use crate::config::{ArrivalProcess, QueueDiscipline, SamplingPolicy, SchedulerPo
 use crate::error::RbvError;
 use crate::observer::{injected_cost, pollution_of, spin_baseline, SampleMode, SamplingContext};
 use crate::result::{
-    CompletedRequest, FailReason, FailedRequest, RunResult, RunStats, SyscallRecord,
+    CompletedRequest, EnergyStats, FailReason, FailedRequest, RunResult, RunStats, SyscallRecord,
     TransitionRecord,
 };
 
@@ -300,6 +301,14 @@ struct GuardState {
     governor: Governor,
     ladder: HealthLadder,
     monitor: InvariantMonitor,
+    /// Power-capping ladder, armed by [`GovernorPolicy::power_cap`]. Only
+    /// acts when the engine also has a power model to read pressure from.
+    power_ladder: Option<PowerLadder>,
+    /// Core parked by the ladder's emergency rung: chosen as the hottest
+    /// core at the instant the ladder enters the park rung, and latched
+    /// until it leaves (so the choice cannot thrash between cores as
+    /// temperatures shift under it).
+    parked: Option<usize>,
     /// Start instant of the current accounting window.
     win_start: Cycles,
     base_busy: f64,
@@ -318,6 +327,8 @@ impl GuardState {
             governor: Governor::new(&policy),
             ladder: HealthLadder::new(policy.health.clone()),
             monitor: InvariantMonitor::new(),
+            power_ladder: policy.power_cap.clone().map(PowerLadder::new),
+            parked: None,
             policy,
             win_start: Cycles::ZERO,
             base_busy: 0.0,
@@ -330,6 +341,34 @@ impl GuardState {
             base_rejected: 0,
         }
     }
+}
+
+/// Per-core DVFS/thermal integration state, present only when
+/// [`SimConfig::power`] is set. Everything here is accounted in exact
+/// integer arithmetic (`rbv-power`), so powered ledgers stay byte-identical
+/// under any shard count.
+struct PowerState {
+    /// The frequency ladder, power coefficients, and thermal constants.
+    policy: PowerPolicy,
+    /// The thermal fault plan ([`ThermalFaults::none`] when unfaulted).
+    faults: ThermalFaults,
+    /// Per-core temperature, throttle latch, and energy accumulator.
+    cores: Vec<CorePower>,
+    /// Effective P-state in force on each core during the current
+    /// accounting slice (firmware throttle already applied).
+    slice_pstate: Vec<usize>,
+    /// Activity milli-fraction of each core during the current slice
+    /// (0 for idle cores: static power only).
+    slice_act_milli: Vec<u32>,
+    /// Last P-state recorded per core, for DVFS transition edges.
+    last_pstate: Vec<usize>,
+    /// Running machine-wide energy total; the energy-conservation
+    /// invariant requires this to equal the per-core sum *exactly*.
+    total_uw_cycles: u128,
+    /// DVFS transition edges observed across all cores.
+    dvfs_transitions: u64,
+    /// Hottest temperature any core reached, milli-°C.
+    max_temp_milli_c: i64,
 }
 
 struct Engine<'s> {
@@ -396,6 +435,10 @@ struct Engine<'s> {
     /// Per-queue instant since when dequeued sojourns have continuously
     /// exceeded the CoDel target (`None` = last sojourn was below it).
     codel_above: Vec<Option<Cycles>>,
+    /// DVFS/power/thermal integration state; `None` (the default) skips
+    /// every power branch and keeps runs bit-identical to power-unaware
+    /// builds.
+    power: Option<PowerState>,
 }
 
 impl<'s> Engine<'s> {
@@ -403,6 +446,19 @@ impl<'s> Engine<'s> {
         let cores = cfg.machine.topology.cores;
         let seed = cfg.seed;
         let guard = cfg.governor.clone().map(GuardState::new);
+        let power = cfg.power.clone().map(|policy| PowerState {
+            faults: cfg
+                .thermal_faults
+                .unwrap_or_else(|| ThermalFaults::none(seed)),
+            cores: (0..cores).map(|_| CorePower::new(&policy)).collect(),
+            slice_pstate: vec![0; cores],
+            slice_act_milli: vec![0; cores],
+            last_pstate: vec![0; cores],
+            total_uw_cycles: 0,
+            dvfs_transitions: 0,
+            max_temp_milli_c: policy.ambient_milli_c,
+            policy,
+        });
         Engine {
             cfg,
             queue: EventQueue::new(),
@@ -439,6 +495,7 @@ impl<'s> Engine<'s> {
             mmpp_burst: false,
             mmpp_until: Cycles::ZERO,
             codel_above: vec![None; cores],
+            power,
         }
     }
 
@@ -535,6 +592,7 @@ impl<'s> Engine<'s> {
         } else if cfg!(debug_assertions) {
             self.debug_invariant_sweep();
         }
+        self.finalize_power_stats();
 
         RunResult {
             completed: std::mem::take(&mut self.completed),
@@ -878,11 +936,33 @@ impl<'s> Engine<'s> {
         self.wake_idle_for(queue);
     }
 
+    /// The core currently parked by the guard's power-capping ladder:
+    /// the hottest core at the instant the park rung engaged (latched
+    /// until the rung releases), and never the only core. A parked core
+    /// receives no new placements, pulls nothing from the cFCFS central
+    /// queue, and steals no work — but it drains whatever already sits
+    /// in its own queue, so no request is ever stranded. (RSS-pinned
+    /// placement ignores parking: the indirection table is fixed.)
+    fn parked_core(&self) -> Option<usize> {
+        if self.power.is_none() || self.cores.len() <= 1 {
+            return None;
+        }
+        self.guard.as_ref().and_then(|g| {
+            g.power_ladder
+                .as_ref()
+                .filter(|l| l.rung().parks_core())
+                .and(g.parked)
+        })
+    }
+
     /// Wakes a core that can serve `queue`: under cFCFS any idle core
     /// pulls from the central queue; otherwise the queue is per-core.
     fn wake_idle_for(&mut self, queue: usize) {
         if self.cfg.queue_discipline == Some(QueueDiscipline::Cfcfs) {
-            if let Some(idle) = (0..self.cores.len()).find(|&c| self.cores[c].running.is_none()) {
+            let parked = self.parked_core();
+            if let Some(idle) = (0..self.cores.len())
+                .find(|&c| self.cores[c].running.is_none() && Some(c) != parked)
+            {
                 self.schedule_next_on(idle);
             }
         } else if self.cores[queue].running.is_none() {
@@ -910,7 +990,7 @@ impl<'s> Engine<'s> {
     /// The least-loaded core eligible for a request's current component
     /// (respecting multi-machine placement and component affinity).
     fn least_loaded_core(&self, rid: usize) -> usize {
-        let candidates: Vec<usize> = if let Some(mm) = self.cfg.multi_machine {
+        let mut candidates: Vec<usize> = if let Some(mm) = self.cfg.multi_machine {
             // The request runs on the machine hosting its current
             // component's tier.
             let component = self.live[rid]
@@ -926,6 +1006,11 @@ impl<'s> Engine<'s> {
         } else {
             (0..self.cores.len()).collect()
         };
+        if let Some(parked) = self.parked_core() {
+            if candidates.len() > 1 {
+                candidates.retain(|&c| c != parked);
+            }
+        }
         candidates
             .into_iter()
             .min_by_key(|&c| self.runqueues[c].len() + usize::from(self.cores[c].running.is_some()))
@@ -1020,6 +1105,43 @@ impl<'s> Engine<'s> {
                     .record(event);
             }
         }
+        // Energy/thermal integration: every core (idle ones pay static
+        // power) advances across the elapsed slice under the P-state and
+        // activity that were in force during it. Fault multipliers are
+        // step functions of time, sampled at the slice start — the same
+        // "state changes take effect at events" convention as the rates.
+        if let Some(ps) = &mut self.power {
+            let n = ps.cores.len();
+            let ambient_delta = ps.faults.ambient_delta_at(interval_start);
+            let dyn_mult = ps.faults.dyn_mult_at(interval_start);
+            for c in 0..n {
+                let r_mult = ps.faults.cooling_mult_for(c, n, interval_start);
+                let out = ps.cores[c].advance(
+                    &ps.policy,
+                    elapsed,
+                    ps.slice_pstate[c],
+                    ps.slice_act_milli[c],
+                    ambient_delta,
+                    r_mult,
+                    dyn_mult,
+                );
+                ps.total_uw_cycles += u128::from(out.power_uw) * u128::from(elapsed.get());
+                ps.max_temp_milli_c = ps.max_temp_milli_c.max(out.temp_milli_c);
+                if let Some(engaged) = out.throttle_edge {
+                    // The firmware clamp (or its release) changes the
+                    // effective CPI from the next slice on.
+                    self.rates_dirty = true;
+                    if let Some(sink) = self.sink.as_deref_mut() {
+                        sink.record(TraceEvent::ThermalThrottle {
+                            ts: now,
+                            core: c as u32,
+                            engaged,
+                            temp_milli_c: out.temp_milli_c,
+                        });
+                    }
+                }
+            }
+        }
     }
 
     // ----- rates and milestones -------------------------------------------
@@ -1059,8 +1181,62 @@ impl<'s> Engine<'s> {
         } else {
             self.cfg.machine.evaluate(&profiles)
         };
+        self.apply_dvfs();
         for c in 0..self.cores.len() {
             self.push_milestone(c);
+        }
+    }
+
+    /// Applies DVFS to the freshly evaluated rates: splits each running
+    /// core's CPI into its compute base and memory-stall components, slows
+    /// only the base by the effective P-state's inverse ratio (memory
+    /// stalls are wall-time and the clock is counted in nominal cycles),
+    /// and records the slice P-state/activity the next [`Engine::advance_all`]
+    /// integrates power over. No-op without a power model; at full speed
+    /// the rates are left bit-identical to a power-unaware build.
+    fn apply_dvfs(&mut self) {
+        let Some(ps) = &mut self.power else {
+            return;
+        };
+        let cap = self.guard.as_ref().and_then(|g| {
+            g.power_ladder
+                .as_ref()
+                .filter(|l| l.rung().caps_frequency())
+                .map(|l| l.policy().cap_pstate)
+        });
+        let now = self.queue.now();
+        for c in 0..self.cores.len() {
+            let effective = ps.cores[c].effective_pstate(&ps.policy, cap.unwrap_or(0));
+            ps.slice_pstate[c] = effective;
+            ps.slice_act_milli[c] = match self.rates[c].as_mut() {
+                Some(rate) => {
+                    let stall = rate.l2_refs_per_ins
+                        * (self.cfg.machine.l2_hit_cycles * (1.0 - rate.l2_miss_ratio)
+                            + rate.mem_latency_cycles * rate.l2_miss_ratio);
+                    let base = (rate.cpi - stall).max(0.0);
+                    let factor = ps.policy.compute_cpi_factor(effective);
+                    if factor != 1.0 {
+                        rate.cpi = base * factor + stall;
+                    }
+                    ((base * factor / rate.cpi) * 1000.0)
+                        .round()
+                        .clamp(0.0, 1000.0) as u32
+                }
+                None => 0,
+            };
+            if effective != ps.last_pstate[c] {
+                ps.dvfs_transitions += 1;
+                if let Some(sink) = self.sink.as_deref_mut() {
+                    sink.record(TraceEvent::DvfsTransition {
+                        ts: now,
+                        core: c as u32,
+                        from_pstate: ps.last_pstate[c] as u32,
+                        to_pstate: effective as u32,
+                        ratio_milli: ps.policy.ratio_milli(effective),
+                    });
+                }
+                ps.last_pstate[c] = effective;
+            }
         }
     }
 
@@ -1705,6 +1881,47 @@ impl<'s> Engine<'s> {
             }
         }
 
+        // Power capping: feed the hottest core's thermal pressure into the
+        // power ladder. Rung moves change the frequency cap (and possibly
+        // park/unpark a core), so the rates must be rebuilt. Reported on
+        // the health-transition channel with the distinct power-rung
+        // labels ("nominal"/"freq_cap"/"core_park").
+        let mut parked_update = None;
+        if let (Some(ladder), Some(ps)) = (guard.power_ladder.as_mut(), &self.power) {
+            let pressure = ps
+                .cores
+                .iter()
+                .map(|c| c.pressure(&ps.policy))
+                .fold(0.0, f64::max);
+            if let Some(t) = ladder.observe(pressure, now) {
+                self.rates_dirty = true;
+                if t.to.parks_core() {
+                    // Park the hottest core (ties to the lowest index),
+                    // latched for the rung's lifetime.
+                    let mut hottest = 0;
+                    for (core, state) in ps.cores.iter().enumerate().skip(1) {
+                        if state.temp_milli_c > ps.cores[hottest].temp_milli_c {
+                            hottest = core;
+                        }
+                    }
+                    parked_update = Some(Some(hottest));
+                } else if t.from.parks_core() {
+                    parked_update = Some(None);
+                }
+                if let Some(sink) = self.sink.as_deref_mut() {
+                    sink.record(TraceEvent::HealthTransition {
+                        ts: now,
+                        from: t.from.label().to_string(),
+                        to: t.to.label().to_string(),
+                        score: t.pressure,
+                    });
+                }
+            }
+        }
+        if let Some(parked) = parked_update {
+            guard.parked = parked;
+        }
+
         if guard.policy.invariants {
             let live = self.live.iter().filter(|l| l.is_some()).count() as u64;
             let before = guard.monitor.violations_total();
@@ -1734,6 +1951,27 @@ impl<'s> Engine<'s> {
             guard
                 .monitor
                 .check_non_negative_slack(guard.governor.max_breach_streak());
+            if let Some(ps) = &self.power {
+                let core_sum: u128 = ps.cores.iter().map(|c| c.energy_uw_cycles).sum();
+                guard
+                    .monitor
+                    .check_energy_conservation(core_sum, ps.total_uw_cycles);
+                for c in 0..ps.cores.len() {
+                    let pstate = ps.slice_pstate[c];
+                    guard.monitor.check_frequency_bounds(
+                        c as u64,
+                        pstate as u64,
+                        ps.policy.pstates() as u64,
+                        u64::from(ps.policy.ratio_milli(pstate)),
+                    );
+                }
+                let engages: u64 = ps.cores.iter().map(|c| c.throttle_engages).sum();
+                let releases: u64 = ps.cores.iter().map(|c| c.throttle_releases).sum();
+                let throttled = ps.cores.iter().filter(|c| c.throttled).count() as u64;
+                guard
+                    .monitor
+                    .check_throttle_conservation(engages, releases, throttled);
+            }
             if guard.monitor.violations_total() > before {
                 if let Some((kind, detail)) = guard.monitor.last_violation() {
                     if let Some(sink) = self.sink.as_deref_mut() {
@@ -1784,6 +2022,33 @@ impl<'s> Engine<'s> {
         self.stats.invariant_violations = guard.monitor.violations();
     }
 
+    /// Folds the power model's end-of-run state into the statistics (the
+    /// ledger's `energy.*` metric family). `stats.energy` stays `None` for
+    /// power-off runs, so their metric key set — and therefore their
+    /// serialized ledgers — are bit-identical to power-unaware builds.
+    fn finalize_power_stats(&mut self) {
+        let Some(ps) = &self.power else {
+            return;
+        };
+        let (rung_transitions, final_rung) =
+            match self.guard.as_ref().and_then(|g| g.power_ladder.as_ref()) {
+                Some(ladder) => (ladder.transitions(), ladder.rung().index() as u64),
+                None => (0, 0),
+            };
+        self.stats.energy = Some(EnergyStats {
+            core_uw_cycles: ps.cores.iter().map(|c| c.energy_uw_cycles).collect(),
+            total_uw_cycles: ps.total_uw_cycles,
+            throttle_engages: ps.cores.iter().map(|c| c.throttle_engages).sum(),
+            throttle_releases: ps.cores.iter().map(|c| c.throttle_releases).sum(),
+            throttled_final: ps.cores.iter().filter(|c| c.throttled).count() as u64,
+            dvfs_transitions: ps.dvfs_transitions,
+            max_temp_milli_c: ps.max_temp_milli_c,
+            final_temp_milli_c: ps.cores.iter().map(|c| c.temp_milli_c).collect(),
+            power_rung_transitions: rung_transitions,
+            power_final_rung: final_rung,
+        });
+    }
+
     /// End-of-run invariant sweep for ungoverned debug runs: the same
     /// conservation laws the governed monitor checks every window, run
     /// once over the whole run. Emits no events and draws nothing, so it
@@ -1805,6 +2070,10 @@ impl<'s> Engine<'s> {
             self.queue.now().get(),
             self.cores.len() as u64,
         );
+        if let Some(ps) = &self.power {
+            let core_sum: u128 = ps.cores.iter().map(|c| c.energy_uw_cycles).sum();
+            monitor.check_energy_conservation(core_sum, ps.total_uw_cycles);
+        }
         self.stats.invariant_checks = monitor.checks();
         self.stats.invariant_violations = monitor.violations();
         debug_assert!(
@@ -1819,10 +2088,18 @@ impl<'s> Engine<'s> {
     /// Picks and dispatches the next request on an idle `core`.
     fn schedule_next_on(&mut self, core: usize) {
         debug_assert!(self.cores[core].running.is_none());
-        if self.cfg.work_stealing && self.runqueues[core].is_empty() {
+        let parked = self.parked_core() == Some(core);
+        if self.cfg.work_stealing && !parked && self.runqueues[core].is_empty() {
             self.steal_into(core);
         }
-        let Some(rid) = self.pick_next(core) else {
+        // A parked core never pulls new work from the cFCFS central
+        // queue; its own (per-core) queue it still drains.
+        let next = if parked && self.cfg.queue_discipline == Some(QueueDiscipline::Cfcfs) {
+            None
+        } else {
+            self.pick_next(core)
+        };
+        let Some(rid) = next else {
             // Idle: cancel timers.
             self.cores[core].quantum_epoch += 1;
             self.cores[core].sample_epoch += 1;
@@ -1890,6 +2167,9 @@ impl<'s> Engine<'s> {
     /// `core`'s (empty) queue. Stealing from the tail keeps each queue's
     /// head position — which both schedulers treat as meaningful — intact.
     fn steal_into(&mut self, core: usize) {
+        if self.parked_core() == Some(core) {
+            return;
+        }
         let victim = (0..self.runqueues.len())
             .filter(|&c| c != core)
             .max_by_key(|&c| self.runqueues[c].len())
@@ -2203,11 +2483,16 @@ impl<'s> Engine<'s> {
 
     /// Total requests turned away or abandoned so far — the reject-rate
     /// numerator of the guard ladder's overload-pressure signal.
+    /// Involuntary rejections — the demand-vs-capacity signal feeding
+    /// the health ladder's overload pressure. Brownout rejections are
+    /// deliberately excluded: they are the ladder's *own* action, and
+    /// echoing them back as input locks the ladder into its brownout
+    /// rung long after real pressure has subsided (the rejections it
+    /// causes sustain the score that keeps it rejecting).
     fn rejected_total(&self) -> u64 {
         self.stats.admission_rejections
             + self.stats.deadline_aborts
             + self.stats.codel_shed
-            + self.stats.brownout_rejections
             + self.stats.client_timeouts
     }
 
@@ -2369,6 +2654,123 @@ mod tests {
         let r = small_run(SimConfig::paper_default(), AppId::Tpcc, 20);
         assert_eq!(r.completed.len(), 20);
         assert!(r.total_time > Cycles::ZERO);
+    }
+
+    #[test]
+    fn unthrottled_power_model_is_schedule_identical() {
+        // The power model observes (energy, temperature) without acting
+        // until something clamps frequency. The paper-default policy never
+        // throttles without a fault (hottest steady state 89 °C < 95 °C
+        // cap), so a powered run executes the exact same schedule as a
+        // power-off run — completions, timelines, and total time all equal.
+        let off = small_run(SimConfig::paper_default(), AppId::Tpcc, 25);
+        let cfg = SimConfig {
+            power: Some(rbv_power::PowerPolicy::paper_default()),
+            ..SimConfig::paper_default()
+        };
+        let on = small_run(cfg, AppId::Tpcc, 25);
+        assert_eq!(off.completed, on.completed);
+        assert_eq!(off.failed, on.failed);
+        assert_eq!(off.total_time, on.total_time);
+        assert_eq!(off.stats.energy, None);
+        let energy = on.stats.energy.expect("powered run accounts energy");
+        assert!(energy.total_uw_cycles > 0);
+        assert_eq!(
+            energy.core_uw_cycles.iter().sum::<u128>(),
+            energy.total_uw_cycles,
+            "energy conservation is exact"
+        );
+        assert_eq!(energy.throttle_engages, 0);
+        assert_eq!(energy.dvfs_transitions, 0);
+        assert!(
+            energy.max_temp_milli_c > 45_000,
+            "cores heated above ambient"
+        );
+    }
+
+    #[test]
+    fn powered_runs_are_deterministic() {
+        let cfg = SimConfig {
+            power: Some(rbv_power::PowerPolicy::paper_default()),
+            thermal_faults: Some(rbv_power::ThermalFaults::storm(9)),
+            ..SimConfig::paper_default()
+        };
+        let a = small_run(cfg.clone(), AppId::Tpcc, 20);
+        let b = small_run(cfg, AppId::Tpcc, 20);
+        assert_eq!(a.completed, b.completed);
+        assert_eq!(a.stats.energy, b.stats.energy);
+    }
+
+    /// A power policy aggressive enough that a thermal storm reliably trips
+    /// the firmware throttle within a short test run.
+    fn touchy_power() -> rbv_power::PowerPolicy {
+        rbv_power::PowerPolicy {
+            tau: Cycles::from_micros(200),
+            throttle_cap_milli_c: 60_000,
+            throttle_release_milli_c: 50_000,
+            ..rbv_power::PowerPolicy::paper_default()
+        }
+    }
+
+    #[test]
+    fn thermal_storm_trips_the_firmware_throttle() {
+        let cfg = SimConfig {
+            power: Some(touchy_power()),
+            thermal_faults: Some(rbv_power::ThermalFaults::storm(42)),
+            ..SimConfig::paper_default()
+        };
+        let r = small_run(cfg, AppId::Tpcc, 40);
+        assert_eq!(r.completed.len(), 40);
+        let energy = r.stats.energy.expect("powered run accounts energy");
+        assert!(energy.throttle_engages >= 1, "storm must throttle");
+        assert_eq!(
+            energy.throttle_engages,
+            energy.throttle_releases + energy.throttled_final,
+            "throttle conservation"
+        );
+        assert!(
+            energy.dvfs_transitions >= 1,
+            "clamping is a DVFS transition"
+        );
+        assert_eq!(
+            energy.core_uw_cycles.iter().sum::<u128>(),
+            energy.total_uw_cycles
+        );
+    }
+
+    #[test]
+    fn power_capping_ladder_engages_under_storm() {
+        // Defended: guard power-capping rungs react to smoothed thermal
+        // pressure well before the firmware cap.
+        let governor = GovernorPolicy {
+            power_cap: Some(rbv_guard::PowerCapPolicy {
+                engage_above: 0.3,
+                recover_below: 0.2,
+                dwell: Cycles::from_micros(250),
+                ..rbv_guard::PowerCapPolicy::default()
+            }),
+            ..GovernorPolicy::default()
+        };
+        let cfg = SimConfig {
+            power: Some(touchy_power()),
+            thermal_faults: Some(rbv_power::ThermalFaults::storm(42)),
+            governor: Some(governor),
+            ..SimConfig::paper_default()
+        };
+        let r = small_run(cfg, AppId::Tpcc, 40);
+        assert_eq!(r.completed.len(), 40, "parking must not strand requests");
+        let energy = r.stats.energy.expect("powered run accounts energy");
+        assert!(
+            energy.power_rung_transitions >= 1,
+            "pressure must move the power ladder"
+        );
+        // The invariant monitor ran the energy/frequency/throttle checks
+        // every window and none fired.
+        assert_eq!(
+            r.stats.invariant_violations.iter().sum::<u64>(),
+            0,
+            "all guard invariants hold under the storm"
+        );
     }
 
     #[test]

@@ -164,6 +164,48 @@ impl TransitionRecord {
     }
 }
 
+/// Energy/thermal accounting of a powered run ([`crate::SimConfig::power`]).
+///
+/// Energy is carried as the exact fixed-point accumulators (µW·cycles in
+/// `u128`) rather than floating-point joules: integer addition is
+/// order-free, so shard merges produce byte-identical totals at any thread
+/// count. Convert with [`rbv_power::joules`] only at the reporting edge.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct EnergyStats {
+    /// Per-core dissipated energy in µW·cycles.
+    pub core_uw_cycles: Vec<u128>,
+    /// Machine-wide total in µW·cycles; the energy-conservation invariant
+    /// requires this to equal the per-core sum exactly.
+    pub total_uw_cycles: u128,
+    /// Firmware throttle engagements across all cores.
+    pub throttle_engages: u64,
+    /// Firmware throttle releases across all cores.
+    pub throttle_releases: u64,
+    /// Cores still throttled when the run ended (the throttle-conservation
+    /// invariant is `engages == releases + throttled_final`).
+    pub throttled_final: u64,
+    /// DVFS transition edges across all cores (throttle clamps and guard
+    /// frequency caps included).
+    pub dvfs_transitions: u64,
+    /// Hottest temperature any core reached, milli-°C.
+    pub max_temp_milli_c: i64,
+    /// Per-core temperature when the run ended, milli-°C.
+    pub final_temp_milli_c: Vec<i64>,
+    /// Power-capping ladder transitions (0 without a guard power ladder).
+    pub power_rung_transitions: u64,
+    /// Power-capping rung in effect when the run ended, as
+    /// [`rbv_guard::PowerRung::index`] (0 = nominal).
+    pub power_final_rung: u64,
+}
+
+impl EnergyStats {
+    /// Machine-wide dissipated energy in joules (reporting only; the
+    /// exact quantity is [`EnergyStats::total_uw_cycles`]).
+    pub fn total_joules(&self) -> f64 {
+        rbv_power::joules(self.total_uw_cycles)
+    }
+}
+
 /// Aggregate statistics of a run.
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct RunStats {
@@ -262,6 +304,10 @@ pub struct RunStats {
     /// Runtime invariant violations, indexed by
     /// [`rbv_guard::InvariantKind::index`].
     pub invariant_violations: [u64; rbv_guard::InvariantKind::ALL.len()],
+    /// Energy/thermal accounting; `None` for power-off runs, keeping
+    /// their stats (and every downstream ledger) bit-identical to
+    /// power-unaware builds.
+    pub energy: Option<EnergyStats>,
 }
 
 impl RunStats {
@@ -516,6 +562,28 @@ impl RunResult {
                 &format!("guard.invariant.{}", kind.label()),
                 stats.invariant_violations[kind.index()],
             );
+        }
+
+        // Energy family: only for powered runs — absent keys keep
+        // power-off ledgers byte-identical to power-unaware builds.
+        if let Some(energy) = &stats.energy {
+            registry.gauge("energy.total_joules", energy.total_joules());
+            for (c, &uw_cycles) in energy.core_uw_cycles.iter().enumerate() {
+                registry.gauge(
+                    &format!("energy.core{c}_joules"),
+                    rbv_power::joules(uw_cycles),
+                );
+            }
+            registry.count("energy.throttle_engages", energy.throttle_engages);
+            registry.count("energy.throttle_releases", energy.throttle_releases);
+            registry.count("energy.throttled_final", energy.throttled_final);
+            registry.count("energy.dvfs_transitions", energy.dvfs_transitions);
+            registry.gauge("energy.max_temp_milli_c", energy.max_temp_milli_c as f64);
+            registry.count(
+                "energy.power_rung_transitions",
+                energy.power_rung_transitions,
+            );
+            registry.gauge("energy.power_final_rung", energy.power_final_rung as f64);
         }
 
         for r in &self.completed {

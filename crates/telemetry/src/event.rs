@@ -338,6 +338,32 @@ pub enum TraceEvent {
         /// Shards folded into the cell.
         shards: u64,
     },
+    /// A core's effective DVFS P-state changed (governor cap, core park,
+    /// or firmware throttle moved it on the frequency ladder).
+    DvfsTransition {
+        /// Transition instant.
+        ts: Cycles,
+        /// Core whose frequency changed.
+        core: u32,
+        /// P-state the core left.
+        from_pstate: u32,
+        /// P-state the core entered.
+        to_pstate: u32,
+        /// New frequency ratio in milli-units of the nominal clock.
+        ratio_milli: u32,
+    },
+    /// Firmware thermal throttling engaged or released on a core.
+    ThermalThrottle {
+        /// Edge instant.
+        ts: Cycles,
+        /// Core throttled or released.
+        core: u32,
+        /// `true` = engaged (clamped to the slowest P-state), `false` =
+        /// released.
+        engaged: bool,
+        /// Core temperature at the edge, in milli-°C.
+        temp_milli_c: i64,
+    },
 }
 
 impl TraceEvent {
@@ -366,7 +392,9 @@ impl TraceEvent {
             | TraceEvent::HealthTransition { ts, .. }
             | TraceEvent::InvariantViolation { ts, .. }
             | TraceEvent::CampaignShard { ts, .. }
-            | TraceEvent::CampaignMerge { ts, .. } => *ts,
+            | TraceEvent::CampaignMerge { ts, .. }
+            | TraceEvent::DvfsTransition { ts, .. }
+            | TraceEvent::ThermalThrottle { ts, .. } => *ts,
         }
     }
 
@@ -396,6 +424,8 @@ impl TraceEvent {
             TraceEvent::InvariantViolation { .. } => "invariant_violation",
             TraceEvent::CampaignShard { .. } => "campaign_shard",
             TraceEvent::CampaignMerge { .. } => "campaign_merge",
+            TraceEvent::DvfsTransition { .. } => "dvfs_transition",
+            TraceEvent::ThermalThrottle { .. } => "thermal_throttle",
         }
     }
 }
@@ -538,11 +568,24 @@ mod tests {
                 epoch: 3,
                 shards: 12,
             },
+            TraceEvent::DvfsTransition {
+                ts: t,
+                core: 0,
+                from_pstate: 0,
+                to_pstate: 2,
+                ratio_milli: 800,
+            },
+            TraceEvent::ThermalThrottle {
+                ts: t,
+                core: 0,
+                engaged: true,
+                temp_milli_c: 95_200,
+            },
         ];
         let mut kinds: Vec<&str> = events.iter().map(|e| e.kind()).collect();
         assert!(events.iter().all(|e| e.ts() == t));
         kinds.dedup();
-        assert_eq!(kinds.len(), 23, "distinct kind per variant");
+        assert_eq!(kinds.len(), 25, "distinct kind per variant");
     }
 
     #[test]

@@ -407,6 +407,36 @@ impl PerfettoTrace {
                         ],
                     ));
                 }
+                TraceEvent::DvfsTransition {
+                    core,
+                    from_pstate,
+                    to_pstate,
+                    ratio_milli,
+                    ..
+                } => {
+                    out.push(with_args(
+                        base("dvfs_transition", "power", "i", ts, tid_of(*core)),
+                        vec![
+                            ("from_pstate".into(), Json::Num(f64::from(*from_pstate))),
+                            ("to_pstate".into(), Json::Num(f64::from(*to_pstate))),
+                            ("ratio_milli".into(), Json::Num(f64::from(*ratio_milli))),
+                        ],
+                    ));
+                }
+                TraceEvent::ThermalThrottle {
+                    core,
+                    engaged,
+                    temp_milli_c,
+                    ..
+                } => {
+                    out.push(with_args(
+                        base("thermal_throttle", "power", "i", ts, tid_of(*core)),
+                        vec![
+                            ("engaged".into(), Json::Bool(*engaged)),
+                            ("temp_milli_c".into(), Json::Num(*temp_milli_c as f64)),
+                        ],
+                    ));
+                }
             }
         }
 
@@ -673,6 +703,52 @@ mod tests {
             transitions[0].get("cat").unwrap().as_str(),
             Some("guard"),
             "ladder moves stay on the guard track"
+        );
+    }
+
+    #[test]
+    fn power_events_export_on_their_core_track() {
+        let events = vec![
+            TraceEvent::DvfsTransition {
+                ts: Cycles::from_micros(1),
+                core: 1,
+                from_pstate: 0,
+                to_pstate: 2,
+                ratio_milli: 800,
+            },
+            TraceEvent::ThermalThrottle {
+                ts: Cycles::from_micros(2),
+                core: 1,
+                engaged: true,
+                temp_milli_c: 95_200,
+            },
+        ];
+        let doc = PerfettoTrace::from_events(&events, 2).to_json();
+        let powered: Vec<&Json> = trace_events(&doc)
+            .iter()
+            .filter(|e| e.get("cat").unwrap().as_str() == Some("power"))
+            .collect();
+        assert_eq!(powered.len(), 2);
+        assert_eq!(
+            powered[0].get("name").unwrap().as_str(),
+            Some("dvfs_transition")
+        );
+        let args = powered[0].get("args").unwrap();
+        assert_eq!(args.get("to_pstate").unwrap().as_f64(), Some(2.0));
+        assert_eq!(args.get("ratio_milli").unwrap().as_f64(), Some(800.0));
+        let throttle = powered[1];
+        assert_eq!(
+            throttle.get("name").unwrap().as_str(),
+            Some("thermal_throttle")
+        );
+        assert_eq!(
+            throttle.get("args").unwrap().get("engaged"),
+            Some(&Json::Bool(true))
+        );
+        assert_eq!(
+            powered[0].get("tid"),
+            powered[1].get("tid"),
+            "both land on core 1's track"
         );
     }
 }
