@@ -22,6 +22,7 @@
 pub mod benchcmd;
 pub mod campaigncmd;
 pub mod chaoscmd;
+pub mod clustercmd;
 pub mod diffcmd;
 pub mod experiments;
 pub mod explaincmd;

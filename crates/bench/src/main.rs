@@ -14,6 +14,9 @@
 //!       [--retries on|off] [--out SERVE.json] [--json] [--wallclock] \
 //!       [--trace-spans SPANS.json]
 //! repro explain <serve-ledger.json>
+//! repro cluster <app> [--requests N] [--overload X] [--seed N] [--easing] \
+//!       [--single] [--out CLUSTER.json] [--json] [--wallclock] \
+//!       [--trace-spans SPANS.json]
 //! repro bench [<app>|--all] [--seed N] [--fast] [--out BENCH.json] [--wallclock]
 //! repro diff <baseline.json> <candidate.json> [--tolerance pct]
 //! repro campaign [--fast] [--seed N] [--drift] [--epochs N] \
@@ -50,6 +53,8 @@ struct Cli {
     report: bool,
     mmpp: bool,
     guard: bool,
+    single: bool,
+    easing: bool,
     power: bool,
     thermal: bool,
     load_sweep: bool,
@@ -88,6 +93,10 @@ fn usage() {
     eprintln!("             [--out SERVE.json] [--json] [--wallclock]");
     eprintln!("             [--trace-spans SPANS.json]");
     eprintln!("       repro explain <serve-ledger.json>");
+    eprintln!("       repro cluster <web|tpcc|tpch|rubis|webwork> \\");
+    eprintln!("             [--requests N] [--overload X] [--seed N] [--easing] [--single]");
+    eprintln!("             [--out CLUSTER.json] [--json] [--wallclock]");
+    eprintln!("             [--trace-spans SPANS.json]");
     eprintln!("       repro bench [<app>|--all] [--seed N] [--fast] \\");
     eprintln!("             [--out BENCH.json] [--wallclock]");
     eprintln!("       repro diff <baseline.json> <candidate.json> [--tolerance pct]");
@@ -122,6 +131,8 @@ fn parse(args: Vec<String>) -> Result<Cli, RbvError> {
         report: false,
         mmpp: false,
         guard: false,
+        single: false,
+        easing: false,
         power: false,
         thermal: false,
         load_sweep: false,
@@ -154,6 +165,8 @@ fn parse(args: Vec<String>) -> Result<Cli, RbvError> {
             "--retry-storm" => cli.retry_storm = true,
             "--mmpp" => cli.mmpp = true,
             "--guard" => cli.guard = true,
+            "--single" => cli.single = true,
+            "--easing" => cli.easing = true,
             "--power" => cli.power = true,
             "--thermal" => cli.thermal = true,
             "--load-sweep" => cli.load_sweep = true,
@@ -507,6 +520,45 @@ fn main() -> ExitCode {
                 cli.load_sweep,
             ) {
                 Ok(_) => ExitCode::SUCCESS,
+                Err(e) => fail(&e),
+            }
+        }
+        "cluster" => {
+            let Some(app) = cli
+                .positionals
+                .get(1)
+                .and_then(|a| rbv_bench::experiments::dump::parse_app(a))
+            else {
+                eprintln!("usage: repro cluster <web|tpcc|tpch|rubis|webwork> \\");
+                eprintln!("             [--requests N] [--overload X] [--seed N] [--easing]");
+                eprintln!("             [--single] [--out CLUSTER.json] [--json] [--wallclock]");
+                eprintln!("             [--trace-spans SPANS.json]");
+                return ExitCode::from(2);
+            };
+            let mut spec = rbv_cluster::ClusterSpec::three_tier(app);
+            if let Some(n) = cli.requests {
+                spec.requests = n;
+            }
+            if let Some(x) = cli.overload {
+                spec.overload = x;
+            }
+            if let Some(seed) = cli.seed {
+                spec.seed = seed;
+            }
+            spec.easing = cli.easing;
+            if cli.single {
+                spec.topology = rbv_cluster::ClusterTopology::Single;
+            }
+            spec.trace_spans = cli.trace_spans.is_some();
+            spec.wallclock = cli.wallclock;
+            match rbv_bench::clustercmd::run(
+                &spec,
+                cli.out.as_deref(),
+                cli.json,
+                cli.trace_spans.as_deref(),
+            ) {
+                Ok((_, true)) => ExitCode::SUCCESS,
+                Ok((_, false)) => ExitCode::FAILURE,
                 Err(e) => fail(&e),
             }
         }

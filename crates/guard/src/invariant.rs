@@ -418,6 +418,152 @@ impl CampaignInvariants {
     }
 }
 
+/// Conservation checks for a multi-machine cluster run, mirroring
+/// [`CampaignInvariants`]: the `rbv-cluster` event loop feeds it
+/// per-request and end-of-run facts, and the cluster ledger records the
+/// verdicts (and treats any violation as fatal).
+///
+/// The load-bearing check is the exact latency partition: a request's
+/// per-tier leg residencies plus its network hops must sum — in integer
+/// cycles, no tolerance — to its client-visible latency. That is the
+/// cross-machine extension of the single-machine `SpanAccounting`
+/// invariant.
+///
+/// # Example
+///
+/// ```
+/// use rbv_guard::ClusterInvariants;
+///
+/// let mut inv = ClusterInvariants::new();
+/// // legs 120 + 380, hops 40 + 60, client-visible 600: exact partition.
+/// assert!(inv.check_latency_partition(7, 500, 100, 600));
+/// assert!(inv.check_request_conservation(1, 1, 0));
+/// assert_eq!(inv.violations(), 0);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ClusterInvariants {
+    checks: u64,
+    violations: u64,
+    first_violation: Option<String>,
+}
+
+impl ClusterInvariants {
+    /// A fresh checker with no checks recorded.
+    pub fn new() -> ClusterInvariants {
+        ClusterInvariants::default()
+    }
+
+    fn record(&mut self, ok: bool, detail: impl FnOnce() -> String) -> bool {
+        self.checks += 1;
+        if !ok {
+            self.violations += 1;
+            if self.first_violation.is_none() {
+                self.first_violation = Some(detail());
+            }
+        }
+        ok
+    }
+
+    /// Checks cluster-wide request conservation: every request offered
+    /// to the cluster was either delivered back to the client or failed.
+    pub fn check_request_conservation(
+        &mut self,
+        offered: u64,
+        delivered: u64,
+        failed: u64,
+    ) -> bool {
+        self.record(offered == delivered + failed, || {
+            format!(
+                "cluster request conservation: offered {offered} != \
+                 delivered {delivered} + failed {failed}"
+            )
+        })
+    }
+
+    /// Checks hop accounting: every network departure was delivered —
+    /// the cluster's links buffer nothing and drop nothing once a run
+    /// has drained.
+    pub fn check_hop_accounting(&mut self, departures: u64, deliveries: u64) -> bool {
+        self.record(departures == deliveries, || {
+            format!("hop accounting: {departures} departures != {deliveries} deliveries")
+        })
+    }
+
+    /// Checks the exact cross-tier latency partition for one request:
+    /// per-tier leg residencies plus network hop times must sum to the
+    /// client-visible latency in integer cycles.
+    pub fn check_latency_partition(
+        &mut self,
+        rid: u64,
+        leg_cycles: u64,
+        hop_cycles: u64,
+        client_visible: u64,
+    ) -> bool {
+        self.record(leg_cycles + hop_cycles == client_visible, || {
+            format!(
+                "request {rid}: legs {leg_cycles} + hops {hop_cycles} != \
+                 client-visible {client_visible}"
+            )
+        })
+    }
+
+    /// Checks a leg's internal split: on-CPU service can never exceed
+    /// the leg's total residence on the machine.
+    pub fn check_service_bound(&mut self, rid: u64, service: u64, leg_total: u64) -> bool {
+        self.record(service <= leg_total, || {
+            format!("request {rid}: leg service {service} exceeds residence {leg_total}")
+        })
+    }
+
+    /// Checks one leg's exact internal partition: wait plus service must
+    /// equal the leg's residence (arrival to completion on the machine)
+    /// in integer cycles.
+    pub fn check_leg_partition(
+        &mut self,
+        rid: u64,
+        wait: u64,
+        service: u64,
+        residence: u64,
+    ) -> bool {
+        self.record(wait + service == residence, || {
+            format!("request {rid}: leg wait {wait} + service {service} != residence {residence}")
+        })
+    }
+
+    /// Total checks performed.
+    pub fn checks(&self) -> u64 {
+        self.checks
+    }
+
+    /// Total violations.
+    pub fn violations(&self) -> u64 {
+        self.violations
+    }
+
+    /// The first violation's detail, if any.
+    pub fn first_violation(&self) -> Option<&str> {
+        self.first_violation.as_deref()
+    }
+
+    /// Merges another checker's tallies into this one (shard fold; the
+    /// first violation in fold order wins).
+    pub fn absorb(&mut self, other: &ClusterInvariants) {
+        self.checks += other.checks;
+        self.violations += other.violations;
+        if self.first_violation.is_none() {
+            self.first_violation = other.first_violation.clone();
+        }
+    }
+
+    /// Serializes the checker for the cluster ledger.
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("checks".into(), Json::Num(self.checks as f64)),
+            ("violations".into(), Json::Num(self.violations as f64)),
+        ])
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -112,14 +112,24 @@ pub enum ArrivalProcess {
         /// Mean dwell time in the burst state.
         mean_burst_dwell: Cycles,
     },
+    /// Externally driven: the engine spawns nothing on its own — every
+    /// request is handed to it by an outside owner (a
+    /// `rbv-cluster` event loop injecting tier legs as they hop between
+    /// machines). The engine still runs its full scheduling/sampling
+    /// machinery; only the arrival source moves out of process.
+    External,
 }
 
 impl ArrivalProcess {
     /// Whether requests arrive independent of completions (either open
     /// variant). Open-loop arrivals are what the client-retry and
-    /// queue-shedding policies require.
+    /// queue-shedding policies require; externally driven machines have
+    /// no in-engine client, so they do not count as open here.
     pub fn is_open(&self) -> bool {
-        !matches!(self, ArrivalProcess::ClosedLoop)
+        matches!(
+            self,
+            ArrivalProcess::OpenPoisson { .. } | ArrivalProcess::OpenMmpp { .. }
+        )
     }
 }
 
@@ -597,7 +607,23 @@ impl SimConfig {
                     ));
                 }
             }
-            ArrivalProcess::ClosedLoop => {}
+            ArrivalProcess::ClosedLoop | ArrivalProcess::External => {}
+        }
+        if self.arrivals == ArrivalProcess::External {
+            // Externally driven machines belong to a cluster loop that
+            // owns arrival timing and cross-machine routing; the
+            // in-engine policies that would race it are rejected.
+            if self.overload.is_some() {
+                return config_err("external arrivals exclude the overload policy".into());
+            }
+            if self.shed.is_some() {
+                return config_err("external arrivals exclude queue shedding".into());
+            }
+            if self.multi_machine.is_some() {
+                return config_err(
+                    "external arrivals exclude the in-engine multi-machine model".into(),
+                );
+            }
         }
         if self.queue_discipline.is_some() {
             // The NIC front end owns placement: it cannot coexist with the

@@ -37,7 +37,7 @@
 //! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod accountant;
@@ -58,7 +58,7 @@ pub use config::{
 pub use error::RbvError;
 pub use machine::{
     run_simulation, run_simulation_streaming, run_simulation_streaming_traced,
-    run_simulation_traced, CompletionSink,
+    run_simulation_traced, CompletionSink, Machine,
 };
 pub use observer::{measure_sampling_cost, SampleCost, SampleMode, SamplingContext};
 pub use projection::PlatformProjection;

@@ -168,6 +168,150 @@ pub fn run_simulation_streaming_traced(
     Ok(result)
 }
 
+/// A single simulated machine exposed to an external event loop.
+///
+/// [`run_simulation`] drives the engine to completion in one call; a
+/// `Machine` instead surfaces the same engine one event at a time so a
+/// cluster scheduler (`rbv-cluster`) can interleave several machines on
+/// one global clock and hand requests across them. [`Machine::start`]
+/// plus repeated [`Machine::step`] is *structurally* the loop
+/// [`run_simulation`] runs, so a lone machine reproduces it bit for bit;
+/// under [`ArrivalProcess::External`] the machine spawns nothing itself
+/// and every request enters through [`Machine::inject`].
+///
+/// # Example
+///
+/// ```
+/// use rbv_os::{Machine, SimConfig};
+/// use rbv_workloads::{RequestFactory, Tpcc};
+///
+/// let mut factory = Tpcc::new(42, 0.05);
+/// let mut machine = Machine::new(SimConfig::paper_default(), 3).expect("valid configuration");
+/// machine.start(&mut factory);
+/// while !machine.target_reached() && machine.step(&mut factory) {}
+/// let result = machine.finish();
+/// assert_eq!(result.completed.len(), 3);
+/// ```
+pub struct Machine {
+    engine: Engine<'static>,
+}
+
+impl Machine {
+    /// Builds a machine that will resolve `target` requests (spawned
+    /// by the machine itself under closed-loop or open-loop arrivals;
+    /// irrelevant under [`ArrivalProcess::External`], where the owner
+    /// decides when the cluster is done).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RbvError::Config`] if `cfg` is invalid.
+    pub fn new(cfg: SimConfig, target: usize) -> Result<Machine, RbvError> {
+        cfg.validate()?;
+        Ok(Machine {
+            engine: Engine::new(cfg, target, None),
+        })
+    }
+
+    /// Seeds the event queue: initial spawns (or the first open-loop
+    /// arrival) and the first guard tick. Call exactly once, before the
+    /// first [`Machine::step`].
+    pub fn start(&mut self, factory: &mut dyn RequestFactory) {
+        self.engine.start(factory);
+    }
+
+    /// Pops and handles exactly one engine event. Returns `false` when
+    /// the machine's queue is empty (idle until the next injection).
+    pub fn step(&mut self, factory: &mut dyn RequestFactory) -> bool {
+        self.engine.step(factory)
+    }
+
+    /// The machine's local clock: the timestamp of the last handled
+    /// event.
+    pub fn now(&self) -> Cycles {
+        self.engine.queue.now()
+    }
+
+    /// Timestamp of the machine's earliest pending event, or `None` when
+    /// idle. A cluster loop compares these across machines (and against
+    /// in-flight network deliveries) to pick the globally next event.
+    pub fn peek_time(&self) -> Option<Cycles> {
+        self.engine.queue.peek_time()
+    }
+
+    /// Whether the machine has resolved (completed or failed) its
+    /// configured target of self-spawned requests.
+    pub fn target_reached(&self) -> bool {
+        self.engine.n_completed + self.engine.n_failed >= self.engine.target
+    }
+
+    /// Requests resolved so far (completed plus failed).
+    pub fn resolved(&self) -> usize {
+        self.engine.n_completed + self.engine.n_failed
+    }
+
+    /// Hands the machine a request arriving over the network at absolute
+    /// time `at` (clamped to the machine's clock; the cluster's global
+    /// ordering guarantees `at` is never in the machine's past). Returns
+    /// the machine-local request id, which tags the eventual
+    /// [`CompletedRequest`] from [`Machine::drain_finished`].
+    ///
+    /// Injected requests take the same path as an inter-machine stage
+    /// hop: a `HopWakeup` event delivery straight into a runqueue —
+    /// admission control is the ingress machine's business, not the
+    /// receiving tier's.
+    pub fn inject(&mut self, request: Request, at: Cycles) -> usize {
+        debug_assert!(request.validate().is_ok());
+        let engine = &mut self.engine;
+        let at = at.max(engine.queue.now());
+        let id = engine.live.len();
+        engine.generated += 1;
+        let alpha = match &engine.cfg.scheduler {
+            SchedulerPolicy::ContentionEasing { alpha, .. } => *alpha,
+            SchedulerPolicy::Stock => 0.6,
+        };
+        engine.live.push(Some(LiveRequest {
+            id,
+            request,
+            stage_idx: 0,
+            ins_in_stage: 0.0,
+            phase_idx: 0,
+            next_syscall: 0,
+            timeline: Timeline::new(),
+            accum: SamplePeriod::default(),
+            accum_injection: None,
+            cum_cycles: 0.0,
+            cum_ins: 0.0,
+            syscalls: Vec::new(),
+            arrived_at: at,
+            predictor: VaEwma::new(alpha, PREDICTOR_UNIT),
+            pending_transition: None,
+            last_syscall: None,
+            stage_marks: Vec::new(),
+            noise_rng: engine.rng.fork_labeled(id as u64),
+            attempt: 0,
+            queued_at: at,
+        }));
+        engine.queue.schedule(at, Event::HopWakeup { rid: id });
+        id
+    }
+
+    /// Takes every request resolved since the last drain, in resolution
+    /// order. The cluster correlates the machine-local ids back to its
+    /// global request identities.
+    pub fn drain_finished(&mut self) -> (Vec<CompletedRequest>, Vec<FailedRequest>) {
+        (
+            std::mem::take(&mut self.engine.completed),
+            std::mem::take(&mut self.engine.failed),
+        )
+    }
+
+    /// Closes the run (final guard window or debug invariant sweep,
+    /// power finalization) and returns the machine's [`RunResult`].
+    pub fn finish(mut self) -> RunResult {
+        self.engine.finish_run()
+    }
+}
+
 /// Sub-instruction tolerance when matching instruction boundaries.
 const INS_EPS: f64 = 0.5;
 
@@ -500,6 +644,19 @@ impl<'s> Engine<'s> {
     }
 
     fn run(&mut self, factory: &mut dyn RequestFactory) -> RunResult {
+        self.start(factory);
+        while self.n_completed + self.n_failed < self.target {
+            if !self.step(factory) {
+                break; // no runnable work left (target > generated would be a bug)
+            }
+        }
+        self.finish_run()
+    }
+
+    /// Seeds the event queue: initial spawns (or the first open-loop
+    /// arrival) and the first guard tick. Externally driven machines
+    /// start empty — their owner injects every request.
+    fn start(&mut self, factory: &mut dyn RequestFactory) {
         match self.cfg.arrivals {
             ArrivalProcess::ClosedLoop => {
                 let initial = self.cfg.concurrency.min(self.target);
@@ -512,16 +669,21 @@ impl<'s> Engine<'s> {
                 self.spawn(factory);
                 self.schedule_next_arrival();
             }
+            ArrivalProcess::External => {}
         }
         self.flush_rates();
         if let Some(guard) = &self.guard {
             self.queue
                 .schedule_after(guard.policy.window, Event::GuardTick);
         }
+    }
 
-        while self.n_completed + self.n_failed < self.target {
+    /// Pops and handles exactly one event. Returns `false` when the
+    /// queue is empty (nothing left to do).
+    fn step(&mut self, factory: &mut dyn RequestFactory) -> bool {
+        {
             let Some((now, event)) = self.queue.pop() else {
-                break; // no runnable work left (target > generated would be a bug)
+                return false;
             };
             self.stats.engine_events += 1;
             self.advance_all(now);
@@ -582,7 +744,11 @@ impl<'s> Engine<'s> {
             }
             self.flush_rates();
         }
+        true
+    }
 
+    /// Closes the run and takes the accumulated [`RunResult`].
+    fn finish_run(&mut self) -> RunResult {
         // Close the final (partial) guard window so short runs still get
         // at least one governed observation, then fold the guard verdicts
         // into the run statistics.
@@ -866,7 +1032,7 @@ impl<'s> Engine<'s> {
             return;
         }
         let mean = match self.cfg.arrivals {
-            ArrivalProcess::ClosedLoop => return,
+            ArrivalProcess::ClosedLoop | ArrivalProcess::External => return,
             ArrivalProcess::OpenPoisson { mean_interarrival } => mean_interarrival,
             ArrivalProcess::OpenMmpp {
                 mean_interarrival,

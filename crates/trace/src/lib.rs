@@ -17,7 +17,13 @@
 //!   linking retry chains;
 //! * [`explain`] — [`render_explain`]: the `repro explain` critical-path
 //!   report (stage share of p99 vs p50, top-k slowest requests by stage
-//!   breakdown).
+//!   breakdown);
+//! * [`tier`] — [`TierSpanCollector`]: the cross-machine extension —
+//!   the `rbv-cluster` event loop's tier-leg/tier-hop stream folded
+//!   into per-tier latency/CPI attribution whose stages (per-tier
+//!   residence plus network hops) exactly partition each request's
+//!   client-visible latency, plus [`cluster_to_perfetto`] rendering one
+//!   track-group per machine with cross-tier flow arrows.
 //!
 //! Everything here is observation-only and deterministic: shard
 //!   summaries merged in canonical order serialize byte-identically at
@@ -25,13 +31,18 @@
 //!   bit-identical to one that predates this crate.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod explain;
 pub mod export;
 pub mod span;
+pub mod tier;
 
 pub use explain::render_explain;
 pub use export::spans_to_perfetto;
 pub use span::{SpanCollector, SpanRecord, SpanSummary, TopSpan, TOP_K};
+pub use tier::{
+    cluster_to_perfetto, ClusterHopRecord, ClusterLegRecord, ClusterSpanRecord, TierSpanCollector,
+    TierStats, TierSummary, TierTopSpan,
+};
